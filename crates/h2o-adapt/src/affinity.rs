@@ -1,0 +1,191 @@
+//! Attribute affinity matrices.
+//!
+//! "The access patterns are stored in the form of two affinity attribute
+//! matrices (one for the where and one for the select clause). Affinity
+//! among attributes expresses the extent to which they are accessed
+//! together during processing. The basic premise is that attributes
+//! accessed together and have similar frequencies should be grouped
+//! together." (§3.2, citing Navathe et al.'s vertical partitioning work)
+//!
+//! The matrix is symmetric with the per-attribute access frequency on the
+//! diagonal; it is stored as a dense lower triangle.
+
+use h2o_storage::{AttrId, AttrSet};
+
+/// A symmetric co-access count matrix over the schema's attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffinityMatrix {
+    n: usize,
+    /// Lower triangle, row-major: entry (i, j) with i >= j at
+    /// `i*(i+1)/2 + j`.
+    tri: Vec<u64>,
+    /// Number of patterns folded in.
+    observations: u64,
+}
+
+impl AffinityMatrix {
+    /// An empty matrix over `n` attributes.
+    pub fn new(n: usize) -> Self {
+        AffinityMatrix {
+            n,
+            tri: vec![0; n * (n + 1) / 2],
+            observations: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, a: usize, b: usize) -> usize {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        hi * (hi + 1) / 2 + lo
+    }
+
+    /// Number of attributes the matrix covers.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded access patterns.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Folds in one query's attribute set: increments the pairwise affinity
+    /// of every pair in `attrs` and the diagonal frequency of each member.
+    pub fn record(&mut self, attrs: &AttrSet) {
+        let members: Vec<AttrId> = attrs.iter().collect();
+        for (i, &a) in members.iter().enumerate() {
+            debug_assert!(a.index() < self.n, "attribute outside matrix");
+            for &b in &members[i..] {
+                let idx = self.idx(a.index(), b.index());
+                self.tri[idx] += 1;
+            }
+        }
+        self.observations += 1;
+    }
+
+    /// Co-access count of `a` and `b` (diagonal = frequency of `a`).
+    pub fn affinity(&self, a: AttrId, b: AttrId) -> u64 {
+        self.tri[self.idx(a.index(), b.index())]
+    }
+
+    /// Access frequency of `a`.
+    pub fn frequency(&self, a: AttrId) -> u64 {
+        self.affinity(a, a)
+    }
+
+    /// Normalized affinity in `[0, 1]`: co-access relative to the more
+    /// frequent of the two attributes. 1.0 means "whenever the more
+    /// frequent one is accessed, the other is too" — the strongest possible
+    /// grouping signal.
+    pub fn normalized(&self, a: AttrId, b: AttrId) -> f64 {
+        let denom = self.frequency(a).max(self.frequency(b));
+        if denom == 0 {
+            0.0
+        } else {
+            self.affinity(a, b) as f64 / denom as f64
+        }
+    }
+
+    /// Average normalized affinity between two attribute sets — the merge
+    /// signal the candidate generator uses to rank group unions.
+    pub fn group_affinity(&self, g1: &AttrSet, g2: &AttrSet) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for a in g1.iter() {
+            for b in g2.iter() {
+                sum += self.normalized(a, b);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Resets all counts (used when the monitoring window is invalidated by
+    /// a workload shift).
+    pub fn clear(&mut self) {
+        self.tri.fill(0);
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aset(ids: &[usize]) -> AttrSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut m = AffinityMatrix::new(5);
+        m.record(&aset(&[0, 1, 2]));
+        m.record(&aset(&[1, 2]));
+        m.record(&aset(&[4]));
+        assert_eq!(m.frequency(AttrId(0)), 1);
+        assert_eq!(m.frequency(AttrId(1)), 2);
+        assert_eq!(m.frequency(AttrId(2)), 2);
+        assert_eq!(m.frequency(AttrId(3)), 0);
+        assert_eq!(m.frequency(AttrId(4)), 1);
+        assert_eq!(m.affinity(AttrId(1), AttrId(2)), 2);
+        assert_eq!(m.affinity(AttrId(0), AttrId(2)), 1);
+        assert_eq!(m.affinity(AttrId(0), AttrId(4)), 0);
+        assert_eq!(m.observations(), 3);
+    }
+
+    #[test]
+    fn symmetry() {
+        let mut m = AffinityMatrix::new(4);
+        m.record(&aset(&[0, 3]));
+        assert_eq!(m.affinity(AttrId(0), AttrId(3)), m.affinity(AttrId(3), AttrId(0)));
+    }
+
+    #[test]
+    fn normalized_affinity() {
+        let mut m = AffinityMatrix::new(3);
+        // 0 and 1 always together; 2 sometimes alone.
+        m.record(&aset(&[0, 1]));
+        m.record(&aset(&[0, 1, 2]));
+        m.record(&aset(&[2]));
+        assert_eq!(m.normalized(AttrId(0), AttrId(1)), 1.0);
+        assert!((m.normalized(AttrId(0), AttrId(2)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.normalized(AttrId(0), AttrId(0)), 1.0);
+    }
+
+    #[test]
+    fn normalized_zero_for_unseen() {
+        let m = AffinityMatrix::new(3);
+        assert_eq!(m.normalized(AttrId(0), AttrId(1)), 0.0);
+    }
+
+    #[test]
+    fn group_affinity_averages() {
+        let mut m = AffinityMatrix::new(4);
+        m.record(&aset(&[0, 1]));
+        m.record(&aset(&[0, 1]));
+        m.record(&aset(&[2, 3]));
+        let strong = m.group_affinity(&aset(&[0]), &aset(&[1]));
+        let weak = m.group_affinity(&aset(&[0, 1]), &aset(&[2, 3]));
+        assert_eq!(strong, 1.0);
+        assert_eq!(weak, 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = AffinityMatrix::new(2);
+        m.record(&aset(&[0, 1]));
+        m.clear();
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.frequency(AttrId(0)), 0);
+    }
+
+    #[test]
+    fn empty_group_affinity_is_zero() {
+        let m = AffinityMatrix::new(2);
+        assert_eq!(m.group_affinity(&AttrSet::new(), &aset(&[0])), 0.0);
+    }
+}

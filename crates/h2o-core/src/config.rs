@@ -1,0 +1,95 @@
+//! Engine configuration.
+
+use h2o_adapt::{AdviserConfig, WindowConfig};
+use h2o_cost::HardwareParams;
+use h2o_exec::CompileCostModel;
+
+/// All tuning knobs of the adaptive engine in one place. The defaults
+/// reproduce the paper's setup scaled to this environment; everything is
+/// overridable for experiments ("hands-free" means no knob is *required*,
+/// not that none exists).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Dynamic monitoring window configuration (§3.2). The paper's Fig. 7
+    /// run starts at 20 queries.
+    pub window: WindowConfig,
+    /// Candidate generation/selection knobs.
+    pub adviser: AdviserConfig,
+    /// Cost-model hardware parameters.
+    pub hardware: HardwareParams,
+    /// Simulated operator-generation latency charged on operator-cache
+    /// misses (see `h2o-exec::opcache`). Defaults to the scaled-down
+    /// equivalent of the paper's 10–150 ms external-compiler overhead.
+    pub compile_cost: CompileCostModel,
+    /// Operator cache capacity (number of generated operators retained).
+    pub opcache_capacity: usize,
+    /// Master switch for the adaptation mechanism. With `false` the engine
+    /// degenerates to a fixed-layout engine with cost-based strategy choice
+    /// (useful for ablations).
+    pub adaptive: bool,
+    /// Selectivity assumed for filters never observed before.
+    pub default_selectivity: f64,
+    /// Storage budget in bytes for *all* layouts together, or `None` for
+    /// unlimited. When a lazy materialization would exceed the budget the
+    /// engine first evicts least-recently-used redundant layouts; if no
+    /// layout can be evicted safely, the materialization is skipped. (The
+    /// paper motivates this: "there is not enough space to store these
+    /// alternatives" is exactly why H2O cannot prepare every layout.)
+    pub space_budget_bytes: Option<usize>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            window: WindowConfig::default(),
+            adviser: AdviserConfig::default(),
+            hardware: HardwareParams::default(),
+            compile_cost: CompileCostModel::scaled_default(),
+            opcache_capacity: 256,
+            adaptive: true,
+            default_selectivity: 0.5,
+            space_budget_bytes: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with adaptation disabled (static-layout ablation).
+    pub fn non_adaptive() -> Self {
+        EngineConfig {
+            adaptive: false,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A configuration with zero simulated compile latency (pure library
+    /// use; unit tests).
+    pub fn no_compile_latency() -> Self {
+        EngineConfig {
+            compile_cost: CompileCostModel::ZERO,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = EngineConfig::default();
+        assert!(c.adaptive);
+        assert_eq!(c.window.initial, 20);
+        assert!(c.default_selectivity > 0.0 && c.default_selectivity <= 1.0);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(!EngineConfig::non_adaptive().adaptive);
+        assert_eq!(
+            EngineConfig::no_compile_latency().compile_cost,
+            CompileCostModel::ZERO
+        );
+    }
+}

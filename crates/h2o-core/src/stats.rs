@@ -1,0 +1,42 @@
+//! Engine statistics.
+
+use std::time::Duration;
+
+/// Counters the engine maintains across its lifetime. These power the
+//  benchmark harness' reporting (e.g. Fig. 8 splits layout-creation time
+/// from query-execution time) and the engine's own introspection API.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Adaptation rounds run (adviser invocations).
+    pub adaptations: u64,
+    /// Adaptation rounds that produced at least one candidate.
+    pub recommendations: u64,
+    /// Layouts materialized lazily (online, fused with a query).
+    pub layouts_created: u64,
+    /// Layouts evicted under the storage budget.
+    pub layouts_evicted: u64,
+    /// Tuples appended through the write path.
+    pub rows_appended: u64,
+    /// Workload shifts detected by the monitoring window.
+    pub shifts_detected: u64,
+    /// Wall-clock time spent inside fused reorganization operators
+    /// (includes answering the triggering queries).
+    pub reorg_time: Duration,
+    /// Wall-clock time spent running the adviser.
+    pub advise_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = EngineStats::default();
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.layouts_created, 0);
+        assert_eq!(s.reorg_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,28 @@
+//! # h2o-cost — the H2O cost model
+//!
+//! Implements the paper's two cost formulas (SIGMOD 2014 §3.2, §3.5):
+//!
+//! * **Eq. 2 — query cost**: `q(L) = Σ_i max(cost_IO_i, cost_CPU_i)` over
+//!   the layouts `L` a plan reads, assuming disk I/O and CPU overlap. The
+//!   CPU term is estimated from **data cache misses** ("they can provide a
+//!   good indication regarding the expected execution cost of query plans"),
+//!   following the HYRISE-style cache-line model the paper cites, plus
+//!   per-value compute and intermediate-result materialization terms.
+//! * **Eq. 1 — configuration cost**:
+//!   `cost(W, C_i) = Σ_j q_j(C_i) + T(C_{i-1}, C_i)` — the cost of a whole
+//!   monitoring window under a candidate layout configuration, including
+//!   the transformation cost `T` of materializing the new layouts. This is
+//!   the objective the adaptation mechanism minimizes.
+//!
+//! The model is deliberately *relative*: its job is to rank alternatives
+//! (plans in the query processor, candidate configurations in the
+//! adaptation mechanism), not to predict wall-clock seconds. Parameters are
+//! in [`HardwareParams`] and can be calibrated.
+
+pub mod model;
+pub mod params;
+pub mod pattern;
+
+pub use model::{CostModel, GroupSpec, PlanSpec, Residence};
+pub use params::HardwareParams;
+pub use pattern::AccessPattern;

@@ -1,0 +1,75 @@
+//! Hardware parameters for the cost model.
+
+/// Machine characteristics the cost model is parameterized on. Defaults are
+/// order-of-magnitude values for a commodity x86 server; only *ratios*
+/// matter for plan and configuration ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareParams {
+    /// Cache line size in bytes.
+    pub cache_line_bytes: f64,
+    /// Cost of one last-level cache miss, in seconds (~memory latency).
+    pub cache_miss_seconds: f64,
+    /// Sustained sequential memory bandwidth, bytes/second. Used for
+    /// intermediate-result materialization (write) costs.
+    pub memory_bandwidth: f64,
+    /// Per-value CPU work for touching/processing one attribute value, in
+    /// seconds (branch + arithmetic in a compiled kernel).
+    pub cpu_value_seconds: f64,
+    /// Per-tuple cost of reading from one *additional* group in the same
+    /// pass (tuple stitching across groups: extra address streams defeat
+    /// the prefetcher and add pointer arithmetic), in seconds.
+    pub cpu_stitch_seconds: f64,
+    /// Per-operator CPU work for one expression opcode, in seconds.
+    pub cpu_op_seconds: f64,
+    /// Sequential disk bandwidth, bytes/second (only used for disk-resident
+    /// layouts; the paper's experiments — and this reproduction's — run
+    /// hot).
+    pub disk_bandwidth: f64,
+    /// Per-random-I/O latency, seconds.
+    pub disk_seek_seconds: f64,
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        HardwareParams {
+            cache_line_bytes: 64.0,
+            cache_miss_seconds: 80e-9,
+            memory_bandwidth: 10e9,
+            cpu_value_seconds: 1.2e-9,
+            cpu_stitch_seconds: 2.5e-9,
+            cpu_op_seconds: 0.8e-9,
+            disk_bandwidth: 500e6,
+            disk_seek_seconds: 5e-3,
+        }
+    }
+}
+
+impl HardwareParams {
+    /// Number of cache lines covering `bytes` of contiguous data.
+    pub fn lines(&self, bytes: f64) -> f64 {
+        (bytes / self.cache_line_bytes).ceil().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let p = HardwareParams::default();
+        assert!(p.cache_line_bytes > 0.0);
+        assert!(p.cache_miss_seconds > 0.0);
+        // Memory must be faster than disk.
+        assert!(p.memory_bandwidth > p.disk_bandwidth);
+    }
+
+    #[test]
+    fn lines_rounds_up() {
+        let p = HardwareParams::default();
+        assert_eq!(p.lines(1.0), 1.0);
+        assert_eq!(p.lines(64.0), 1.0);
+        assert_eq!(p.lines(65.0), 2.0);
+        assert_eq!(p.lines(0.0), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Query access patterns — what the monitor records and the model costs.
+//!
+//! An [`AccessPattern`] is the layout-relevant abstraction of a query
+//! (paper §3.2): *which* attributes the select clause reads, *which* the
+//! where clause reads, and how selective the filter is. The adaptation
+//! mechanism never looks at predicates or expressions, only at patterns.
+
+use h2o_expr::Query;
+use h2o_storage::AttrSet;
+
+/// The layout-relevant footprint of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPattern {
+    /// Attributes referenced in the select clause.
+    pub select: AttrSet,
+    /// Attributes referenced in the where clause.
+    pub where_: AttrSet,
+    /// Estimated (or observed) selectivity in `[0, 1]`; `1.0` when there is
+    /// no where clause.
+    pub selectivity: f64,
+    /// Values produced per output row (for result materialization costs).
+    pub output_width: usize,
+    /// Total expression opcodes in the select clause (compute-cost term).
+    pub select_ops: usize,
+    /// Whether the query aggregates (output is one row) rather than
+    /// projecting one row per qualifying tuple.
+    pub is_aggregate: bool,
+}
+
+impl AccessPattern {
+    /// Derives the pattern of `query`, with `selectivity` supplied by the
+    /// caller (the engine passes observed selectivity from execution
+    /// feedback; a priori estimates default to 1.0 for no filter).
+    pub fn of(query: &Query, selectivity: f64) -> AccessPattern {
+        AccessPattern {
+            select: query.select_attrs(),
+            where_: query.where_attrs(),
+            selectivity: selectivity.clamp(0.0, 1.0),
+            output_width: query.output_width(),
+            select_ops: query.select_node_count(),
+            is_aggregate: query.is_aggregate(),
+        }
+    }
+
+    /// All attributes the query touches.
+    pub fn all_attrs(&self) -> AttrSet {
+        self.select.union(&self.where_)
+    }
+
+    /// Whether the query has a where clause.
+    pub fn has_filter(&self) -> bool {
+        !self.where_.is_empty()
+    }
+
+    /// Jaccard similarity of the attribute footprints of two patterns —
+    /// used by workload-shift detection ("it examines whether the input
+    /// query access pattern is new or if it has been observed", §3.2).
+    pub fn similarity(&self, other: &AccessPattern) -> f64 {
+        let a = self.all_attrs();
+        let b = other.all_attrs();
+        let inter = a.intersection_len(&b);
+        let union = a.len() + b.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_expr::{Aggregate, Conjunction, Expr, Predicate};
+    use h2o_storage::AttrId;
+
+    #[test]
+    fn pattern_of_query() {
+        let q = Query::project(
+            [Expr::sum_of([AttrId(0), AttrId(1)])],
+            Conjunction::of([Predicate::lt(5u32, 3)]),
+        )
+        .unwrap();
+        let p = AccessPattern::of(&q, 0.25);
+        assert_eq!(p.select.to_vec(), vec![AttrId(0), AttrId(1)]);
+        assert_eq!(p.where_.to_vec(), vec![AttrId(5)]);
+        assert!((p.selectivity - 0.25).abs() < 1e-12);
+        assert_eq!(p.output_width, 1);
+        assert_eq!(p.select_ops, 3);
+        assert!(!p.is_aggregate);
+        assert!(p.has_filter());
+        assert_eq!(p.all_attrs().len(), 3);
+    }
+
+    #[test]
+    fn selectivity_clamped() {
+        let q = Query::aggregate([Aggregate::count()], Conjunction::always()).unwrap();
+        assert_eq!(AccessPattern::of(&q, 7.0).selectivity, 1.0);
+        assert_eq!(AccessPattern::of(&q, -1.0).selectivity, 0.0);
+        assert!(AccessPattern::of(&q, 1.0).is_aggregate);
+    }
+
+    #[test]
+    fn similarity_metric() {
+        let qa = Query::project(
+            [Expr::col(0u32), Expr::col(1u32)],
+            Conjunction::always(),
+        )
+        .unwrap();
+        let qb = Query::project(
+            [Expr::col(1u32), Expr::col(2u32)],
+            Conjunction::always(),
+        )
+        .unwrap();
+        let pa = AccessPattern::of(&qa, 1.0);
+        let pb = AccessPattern::of(&qb, 1.0);
+        // {0,1} vs {1,2}: intersection 1, union 3.
+        assert!((pa.similarity(&pb) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pa.similarity(&pa), 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Compiled filters: offset-resolved conjunctive predicates.
+//!
+//! A [`CompiledFilter`] is the where-clause after "code generation": each
+//! predicate's attribute is a [`BoundAttr`] and the comparison is evaluated
+//! with the operator dispatched per predicate, not per tuple-per-node as the
+//! interpreter does. The one- and two-predicate cases — the shapes of every
+//! where-clause in the paper's evaluation (`where d<v1 and e>v2`) — have
+//! dedicated unrolled paths, mirroring Fig. 5 line 10 where both predicates
+//! compile into a single `if`.
+
+use crate::bind::{BoundAttr, GroupViews};
+use h2o_expr::CmpOp;
+use h2o_storage::Value;
+
+/// One compiled predicate: `view[attr] op value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledPred {
+    pub attr: BoundAttr,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+impl CompiledPred {
+    #[inline(always)]
+    fn matches(&self, views: &GroupViews<'_>, row: usize) -> bool {
+        self.op.apply(views.get(self.attr, row), self.value)
+    }
+}
+
+/// A compiled conjunction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompiledFilter {
+    preds: Vec<CompiledPred>,
+}
+
+impl CompiledFilter {
+    /// Builds a compiled filter from resolved predicates.
+    pub fn new(preds: Vec<CompiledPred>) -> Self {
+        CompiledFilter { preds }
+    }
+
+    /// The always-true filter.
+    pub fn always() -> Self {
+        CompiledFilter { preds: Vec::new() }
+    }
+
+    /// Whether there is no where-clause.
+    pub fn is_always_true(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The compiled predicates.
+    pub fn preds(&self) -> &[CompiledPred] {
+        &self.preds
+    }
+
+    /// Replaces the predicate constants in order (operator-cache reuse: the
+    /// cached operator is re-parameterized like the paper's generated code,
+    /// whose constants `val1`/`val2` are arguments — Fig. 5 line 6).
+    pub fn rebind_constants(&mut self, values: &[Value]) {
+        debug_assert_eq!(values.len(), self.preds.len());
+        for (p, &v) in self.preds.iter_mut().zip(values) {
+            p.value = v;
+        }
+    }
+
+    /// Evaluates the conjunction for `row`.
+    #[inline(always)]
+    pub fn matches(&self, views: &GroupViews<'_>, row: usize) -> bool {
+        match self.preds.as_slice() {
+            [] => true,
+            [p] => p.matches(views, row),
+            [p, q] => p.matches(views, row) && q.matches(views, row),
+            preds => preds.iter().all(|p| p.matches(views, row)),
+        }
+    }
+
+    /// Evaluates the conjunction against a stitched tuple buffer, where each
+    /// predicate's `offset` indexes the buffer directly (`slot` is ignored).
+    /// Used by the fused reorganization kernel, which assembles each tuple
+    /// once and answers the query from the assembled bytes.
+    #[inline(always)]
+    pub fn matches_tuple(&self, tuple: &[Value]) -> bool {
+        self.preds
+            .iter()
+            .all(|p| p.op.apply(tuple[p.attr.offset as usize], p.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_storage::{AttrId, GroupBuilder};
+
+    fn views_one_group<'a>(g: &'a h2o_storage::ColumnGroup) -> GroupViews<'a> {
+        GroupViews::from_groups(std::slice::from_ref(&g))
+    }
+
+    #[test]
+    fn two_pred_fused_path() {
+        // Group (d, e): tuples (1,9), (5,5), (9,1).
+        let g = GroupBuilder::from_columns(
+            vec![AttrId(3), AttrId(4)],
+            &[&[1, 5, 9], &[9, 5, 1]],
+        )
+        .unwrap();
+        let views = views_one_group(&g);
+        let f = CompiledFilter::new(vec![
+            CompiledPred {
+                attr: BoundAttr { slot: 0, offset: 0 },
+                op: CmpOp::Lt,
+                value: 6,
+            },
+            CompiledPred {
+                attr: BoundAttr { slot: 0, offset: 1 },
+                op: CmpOp::Gt,
+                value: 4,
+            },
+        ]);
+        assert!(f.matches(&views, 0));
+        assert!(f.matches(&views, 1));
+        assert!(!f.matches(&views, 2));
+    }
+
+    #[test]
+    fn empty_single_and_many_pred_paths() {
+        let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[3, 7]]).unwrap();
+        let views = views_one_group(&g);
+        let a = BoundAttr { slot: 0, offset: 0 };
+        assert!(CompiledFilter::always().matches(&views, 0));
+        let one = CompiledFilter::new(vec![CompiledPred {
+            attr: a,
+            op: CmpOp::Ge,
+            value: 5,
+        }]);
+        assert!(!one.matches(&views, 0));
+        assert!(one.matches(&views, 1));
+        let three = CompiledFilter::new(vec![
+            CompiledPred { attr: a, op: CmpOp::Gt, value: 0 },
+            CompiledPred { attr: a, op: CmpOp::Lt, value: 10 },
+            CompiledPred { attr: a, op: CmpOp::Ne, value: 3 },
+        ]);
+        assert!(!three.matches(&views, 0));
+        assert!(three.matches(&views, 1));
+    }
+
+    #[test]
+    fn rebind_constants() {
+        let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[3]]).unwrap();
+        let views = views_one_group(&g);
+        let mut f = CompiledFilter::new(vec![CompiledPred {
+            attr: BoundAttr { slot: 0, offset: 0 },
+            op: CmpOp::Lt,
+            value: 0,
+        }]);
+        assert!(!f.matches(&views, 0));
+        f.rebind_constants(&[10]);
+        assert!(f.matches(&views, 0));
+    }
+}

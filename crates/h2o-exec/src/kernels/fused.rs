@@ -1,0 +1,404 @@
+//! The fused volcano kernel (paper Fig. 5).
+//!
+//! One loop over the relation; for each tuple the compiled filter is
+//! evaluated (both predicates in one step) and, if it passes, the
+//! select-items are computed immediately. No selection vector, no
+//! intermediate columns — the access pattern the paper generates when all
+//! needed attributes live in one column group, generalized here to plans
+//! that stitch several groups tuple-at-a-time (used by online
+//! reorganization and multi-group volcano plans).
+
+use super::SelectProgram;
+use crate::bind::GroupViews;
+use crate::filter::CompiledFilter;
+use crate::program::CompiledExpr;
+use h2o_expr::agg::AggState;
+use h2o_expr::QueryResult;
+use h2o_storage::Value;
+
+/// Runs the fused kernel over all tuples.
+pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgram) -> QueryResult {
+    // The Fig. 5 specialization: when the whole plan reads one column
+    // group, slice each tuple once and evaluate everything against the
+    // slice — no per-access slot/stride arithmetic in the inner loop.
+    if views.len() == 1 {
+        return run_single_group(views, filter, select);
+    }
+    match select {
+        SelectProgram::Project(exprs) => project(views, filter, exprs),
+        SelectProgram::Aggregate(aggs) => aggregate(views, filter, aggs),
+    }
+}
+
+/// Single-group fused scan: the direct analogue of the paper's generated
+/// `q1_single_column_group` (Fig. 5) — `ptr[3] < v1 && ptr[4] > v2` then
+/// `ptr[0] + ptr[1] + ptr[2]`, via the tuple-buffer evaluation paths.
+fn run_single_group(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    select: &SelectProgram,
+) -> QueryResult {
+    let (data, width) = views.view(0);
+    let rows = views.rows();
+    match select {
+        SelectProgram::Project(exprs) => {
+            let out_width = exprs.len();
+            let mut out = QueryResult::with_capacity(out_width, rows / 4);
+            let mut row_buf: Vec<Value> = vec![0; out_width];
+            match exprs.as_slice() {
+                [e] => {
+                    for row in 0..rows {
+                        let tuple = &data[row * width..(row + 1) * width];
+                        if filter.matches_tuple(tuple) {
+                            out.push1(e.eval_tuple(tuple));
+                        }
+                    }
+                }
+                _ => {
+                    for row in 0..rows {
+                        let tuple = &data[row * width..(row + 1) * width];
+                        if filter.matches_tuple(tuple) {
+                            for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                                *slot = e.eval_tuple(tuple);
+                            }
+                            out.push_row(&row_buf);
+                        }
+                    }
+                }
+            }
+            out
+        }
+        SelectProgram::Aggregate(aggs) => {
+            let mut states: Vec<AggState> =
+                aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+            // Specialization: when every aggregate input is a bare column,
+            // resolve the offsets once and keep the inner loop down to
+            // "load, update" per value — the template-(ii) hot path.
+            let col_offsets: Option<Vec<usize>> = aggs
+                .iter()
+                .map(|(_, e)| match e {
+                    CompiledExpr::Col(a) => Some(a.offset as usize),
+                    _ => None,
+                })
+                .collect();
+            if let Some(offsets) = col_offsets {
+                let row_vals = aggregate_cols_specialized(data, width, rows, filter, aggs, &offsets);
+                let mut out = QueryResult::new(aggs.len());
+                out.push_row(&row_vals);
+                return out;
+            }
+            {
+                for row in 0..rows {
+                    let tuple = &data[row * width..(row + 1) * width];
+                    if filter.matches_tuple(tuple) {
+                        for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                            st.update(e.eval_tuple(tuple));
+                        }
+                    }
+                }
+            }
+            let mut out = QueryResult::new(aggs.len());
+            let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
+            out.push_row(&row);
+            out
+        }
+    }
+}
+
+/// The tightest generated loop for `select f(a), f(b), ... from <group>`
+/// (template ii over one group): aggregates are grouped by function so the
+/// inner loop contains no dispatch at all, and a single shared counter
+/// tracks qualifying tuples (every bare-column aggregate folds exactly the
+/// same rows).
+fn aggregate_cols_specialized(
+    data: &[Value],
+    width: usize,
+    rows: usize,
+    filter: &CompiledFilter,
+    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    offsets: &[usize],
+) -> Vec<Value> {
+    use h2o_expr::AggFunc;
+    // (function, [(accumulator index, tuple offset)])
+    let mut groups: Vec<(AggFunc, Vec<(usize, usize)>)> = Vec::new();
+    for (i, ((f, _), &off)) in aggs.iter().zip(offsets).enumerate() {
+        match groups.iter_mut().find(|(gf, _)| gf == f) {
+            Some((_, items)) => items.push((i, off)),
+            None => groups.push((*f, vec![(i, off)])),
+        }
+    }
+    let mut acc: Vec<Value> = aggs
+        .iter()
+        .map(|(f, _)| match f {
+            AggFunc::Min => Value::MAX,
+            AggFunc::Max => Value::MIN,
+            _ => 0,
+        })
+        .collect();
+    let mut matched: u64 = 0;
+
+    // Tightest tier: one function over a dense offset range (the exact
+    // shape of `select max(a_j), ..., max(a_{j+k})`) — the accumulator
+    // update is a straight slice-to-slice loop the compiler vectorizes.
+    let dense = match groups.as_slice() {
+        [(f, items)] => {
+            let base = items.first().map(|&(_, off)| off).unwrap_or(0);
+            let is_dense = items
+                .iter()
+                .enumerate()
+                .all(|(j, &(i, off))| i == j && off == base + j);
+            if is_dense {
+                Some((*f, base, items.len()))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    if let Some((f, base, k)) = dense {
+        use h2o_expr::AggFunc;
+        for row in 0..rows {
+            let tuple = &data[row * width..(row + 1) * width];
+            if filter.matches_tuple(tuple) {
+                matched += 1;
+                let vals = &tuple[base..base + k];
+                match f {
+                    AggFunc::Max => {
+                        for (a, &v) in acc.iter_mut().zip(vals) {
+                            if v > *a {
+                                *a = v;
+                            }
+                        }
+                    }
+                    AggFunc::Min => {
+                        for (a, &v) in acc.iter_mut().zip(vals) {
+                            if v < *a {
+                                *a = v;
+                            }
+                        }
+                    }
+                    AggFunc::Sum | AggFunc::Avg => {
+                        for (a, &v) in acc.iter_mut().zip(vals) {
+                            *a = a.wrapping_add(v);
+                        }
+                    }
+                    AggFunc::Count => {}
+                }
+            }
+        }
+        return finish_specialized(aggs, &acc, matched);
+    }
+
+    for row in 0..rows {
+        let tuple = &data[row * width..(row + 1) * width];
+        if filter.matches_tuple(tuple) {
+            matched += 1;
+            for (f, items) in &groups {
+                match f {
+                    AggFunc::Max => {
+                        for &(i, off) in items {
+                            let v = tuple[off];
+                            if v > acc[i] {
+                                acc[i] = v;
+                            }
+                        }
+                    }
+                    AggFunc::Min => {
+                        for &(i, off) in items {
+                            let v = tuple[off];
+                            if v < acc[i] {
+                                acc[i] = v;
+                            }
+                        }
+                    }
+                    AggFunc::Sum | AggFunc::Avg => {
+                        for &(i, off) in items {
+                            acc[i] = acc[i].wrapping_add(tuple[off]);
+                        }
+                    }
+                    AggFunc::Count => {}
+                }
+            }
+        }
+    }
+    finish_specialized(aggs, &acc, matched)
+}
+
+pub(crate) fn finish_specialized(
+    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    acc: &[Value],
+    matched: u64,
+) -> Vec<Value> {
+    use h2o_expr::AggFunc;
+    aggs.iter()
+        .enumerate()
+        .map(|(i, (f, _))| match f {
+            AggFunc::Sum => acc[i],
+            AggFunc::Count => matched as Value,
+            AggFunc::Min | AggFunc::Max => {
+                if matched == 0 {
+                    0
+                } else {
+                    acc[i]
+                }
+            }
+            AggFunc::Avg => {
+                if matched == 0 {
+                    0
+                } else {
+                    acc[i].wrapping_div(matched as Value)
+                }
+            }
+        })
+        .collect()
+}
+
+fn project(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    exprs: &[CompiledExpr],
+) -> QueryResult {
+    let rows = views.rows();
+    let width = exprs.len();
+    let mut out = QueryResult::with_capacity(width, rows / 4);
+    let mut row_buf: Vec<Value> = vec![0; width];
+    match exprs {
+        // The dominant single-expression template (e.g. `select a+b+c ...`):
+        // keep the inner loop free of the per-expression loop.
+        [e] => {
+            for row in 0..rows {
+                if filter.matches(views, row) {
+                    out.push1(e.eval(views, row));
+                }
+            }
+        }
+        _ => {
+            for row in 0..rows {
+                if filter.matches(views, row) {
+                    for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                        *slot = e.eval(views, row);
+                    }
+                    out.push_row(&row_buf);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn aggregate(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+) -> QueryResult {
+    let rows = views.rows();
+    let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+    for row in 0..rows {
+        if filter.matches(views, row) {
+            for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                st.update(e.eval(views, row));
+            }
+        }
+    }
+    let mut out = QueryResult::new(aggs.len());
+    let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
+    out.push_row(&row);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::BoundAttr;
+    use crate::filter::CompiledPred;
+    use h2o_expr::{AggFunc, CmpOp};
+    use h2o_storage::{AttrId, GroupBuilder};
+
+    fn sample_group() -> h2o_storage::ColumnGroup {
+        // attrs a,b,d: rows (1,10,0), (2,20,1), (3,30,2), (4,40,3)
+        GroupBuilder::from_columns(
+            vec![AttrId(0), AttrId(1), AttrId(3)],
+            &[&[1, 2, 3, 4], &[10, 20, 30, 40], &[0, 1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    fn ba(offset: u32) -> BoundAttr {
+        BoundAttr { slot: 0, offset }
+    }
+
+    #[test]
+    fn fused_project_with_filter() {
+        let g = sample_group();
+        let views = GroupViews::from_groups(&[&g]);
+        // select a+b where d >= 2  -> rows 2,3 -> 33, 44
+        let filter = CompiledFilter::new(vec![CompiledPred {
+            attr: ba(2),
+            op: CmpOp::Ge,
+            value: 2,
+        }]);
+        let select = SelectProgram::Project(vec![CompiledExpr::SumCols(vec![ba(0), ba(1)])]);
+        let out = run(&views, &filter, &select);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0), &[33]);
+        assert_eq!(out.row(1), &[44]);
+    }
+
+    #[test]
+    fn fused_multi_expr_project() {
+        let g = sample_group();
+        let views = GroupViews::from_groups(&[&g]);
+        let select = SelectProgram::Project(vec![
+            CompiledExpr::Col(ba(0)),
+            CompiledExpr::Col(ba(1)),
+        ]);
+        let out = run(&views, &CompiledFilter::always(), &select);
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.row(3), &[4, 40]);
+    }
+
+    #[test]
+    fn fused_aggregate() {
+        let g = sample_group();
+        let views = GroupViews::from_groups(&[&g]);
+        let select = SelectProgram::Aggregate(vec![
+            (AggFunc::Sum, CompiledExpr::Col(ba(0))),
+            (AggFunc::Max, CompiledExpr::Col(ba(1))),
+            (AggFunc::Count, CompiledExpr::Col(ba(0))),
+        ]);
+        let filter = CompiledFilter::new(vec![CompiledPred {
+            attr: ba(2),
+            op: CmpOp::Lt,
+            value: 2,
+        }]);
+        let out = run(&views, &filter, &select);
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0), &[3, 20, 2]);
+    }
+
+    #[test]
+    fn fused_over_two_groups_stitches() {
+        let g1 = GroupBuilder::from_columns(vec![AttrId(0)], &[&[1, 2, 3]]).unwrap();
+        let g2 = GroupBuilder::from_columns(vec![AttrId(1)], &[&[5, 5, 0]]).unwrap();
+        let views = GroupViews::from_groups(&[&g1, &g2]);
+        // select a0 where a1 = 5
+        let filter = CompiledFilter::new(vec![CompiledPred {
+            attr: BoundAttr { slot: 1, offset: 0 },
+            op: CmpOp::Eq,
+            value: 5,
+        }]);
+        let select = SelectProgram::Project(vec![CompiledExpr::Col(ba(0))]);
+        let out = run(&views, &filter, &select);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.data(), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[][..]]).unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        let select = SelectProgram::Project(vec![CompiledExpr::Col(ba(0))]);
+        let out = run(&views, &CompiledFilter::always(), &select);
+        assert!(out.is_empty());
+    }
+}

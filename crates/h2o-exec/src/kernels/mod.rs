@@ -1,0 +1,48 @@
+//! Specialized execution kernels — the output of the "operator generator".
+//!
+//! Each submodule is one of the paper's generated-code templates (§3.4):
+//!
+//! * [`fused`] — Fig. 5: one loop, predicates and select-items fused, no
+//!   intermediate results;
+//! * [`selvector`] — Fig. 6: `q1_sel_vector` + `q1_compute_expression`, the
+//!   two-phase plan through a materialized selection vector;
+//! * [`colmajor`] — the pure column-store execution model of §2.1, with
+//!   per-operator intermediate materialization.
+//!
+//! Kernels operate on [`GroupViews`](crate::bind::GroupViews) (raw slices)
+//! and offset-resolved programs; nothing in a per-tuple loop consults a
+//! schema, hash map or expression tree.
+
+pub mod colmajor;
+pub mod fused;
+pub mod selvector;
+
+use crate::program::CompiledExpr;
+use h2o_expr::AggFunc;
+
+/// The select-clause half of a compiled operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectProgram {
+    /// One output row per qualifying tuple.
+    Project(Vec<CompiledExpr>),
+    /// One output row total.
+    Aggregate(Vec<(AggFunc, CompiledExpr)>),
+}
+
+impl SelectProgram {
+    /// Values per output row.
+    pub fn width(&self) -> usize {
+        match self {
+            SelectProgram::Project(es) => es.len(),
+            SelectProgram::Aggregate(aggs) => aggs.len(),
+        }
+    }
+
+    /// The compiled expressions, regardless of kind.
+    pub fn exprs(&self) -> Box<dyn Iterator<Item = &CompiledExpr> + '_> {
+        match self {
+            SelectProgram::Project(es) => Box::new(es.iter()),
+            SelectProgram::Aggregate(aggs) => Box::new(aggs.iter().map(|(_, e)| e)),
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The operator cache and the simulated code-generation cost model.
+//!
+//! "To minimize the overhead of code generation, H2O stores newly generated
+//! operators into a cache. If the same operator is requested by a future
+//! query, H2O accesses it directly from the cache." (§3.4)
+//!
+//! Cache keys deliberately exclude the where-clause constants: the paper's
+//! generated functions take `val1`/`val2` as *arguments* (Fig. 5), so two
+//! queries differing only in constants share one operator. On a hit the
+//! cached operator is cloned and re-parameterized.
+//!
+//! # Simulated compile latency
+//!
+//! The paper generates C++ and invokes an external compiler: "the
+//! compilation overhead in our experiments varies from 10 to 150 ms and
+//! depends on the query complexity ... in all experiments, the compilation
+//! overhead is included in the query execution time" (§4). Our kernels are
+//! ahead-of-time monomorphized, so instantiating one costs microseconds; to
+//! preserve the paper's cost structure (first use of a new operator pays,
+//! later uses amortize) the [`CompileCostModel`] charges a configurable
+//! synthetic latency on every cache miss, scaled to the generated code
+//! size. It defaults to zero (pure library use); the engine and the
+//! benchmark harness enable it explicitly.
+
+use crate::compile::{compile, CompiledOp, ExecError};
+use crate::plan::AccessPlan;
+use h2o_expr::Query;
+use h2o_storage::{LayoutCatalog, Value};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+/// Synthetic cost of "generating and compiling" one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileCostModel {
+    /// Fixed cost per generated operator.
+    pub base: Duration,
+    /// Additional cost per opcode of the generated operator.
+    pub per_op: Duration,
+}
+
+impl CompileCostModel {
+    /// No simulated latency (default).
+    pub const ZERO: CompileCostModel = CompileCostModel {
+        base: Duration::ZERO,
+        per_op: Duration::ZERO,
+    };
+
+    /// A latency model scaled for this reproduction's data sizes: paper
+    /// compile times were 10–150 ms against 1–10 s queries (roughly 2–5%
+    /// of a query); with our ~5–50 ms queries the equivalent proportional
+    /// charge is ~0.1–0.5 ms depending on operator complexity.
+    pub fn scaled_default() -> CompileCostModel {
+        CompileCostModel {
+            base: Duration::from_micros(100),
+            per_op: Duration::from_micros(10),
+        }
+    }
+
+    /// The charge for an operator of `code_size` opcodes.
+    pub fn cost(&self, code_size: usize) -> Duration {
+        self.base + self.per_op * code_size as u32
+    }
+
+    /// Burns wall-clock time for `d` (spin wait: the charge must appear in
+    /// measured query latency, and `thread::sleep` has millisecond-level
+    /// jitter that would swamp it).
+    pub fn charge(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Default for CompileCostModel {
+    fn default() -> Self {
+        CompileCostModel::ZERO
+    }
+}
+
+/// Cache key: query *shape* (constants excluded from the filter), plan
+/// layouts and strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperatorKey(u64);
+
+impl OperatorKey {
+    /// Builds the key for `(query, plan)`.
+    pub fn new(query: &Query, plan: &AccessPlan) -> OperatorKey {
+        let mut h = DefaultHasher::new();
+        // Select-items: full structure (constants in select expressions are
+        // part of the generated code).
+        query.projections().hash(&mut h);
+        for a in query.aggregates() {
+            a.func.hash(&mut h);
+            a.expr.hash(&mut h);
+        }
+        // Filter: shape only.
+        for p in query.filter().predicates() {
+            p.attr.hash(&mut h);
+            p.op.hash(&mut h);
+        }
+        plan.layouts.hash(&mut h);
+        plan.strategy.hash(&mut h);
+        OperatorKey(h.finish())
+    }
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Total simulated compile latency charged.
+    pub compile_time: Duration,
+}
+
+/// A bounded operator cache with simulated compile latency on miss.
+#[derive(Debug)]
+pub struct OperatorCache {
+    entries: Mutex<HashMap<OperatorKey, CompiledOp>>,
+    stats: Mutex<CacheStats>,
+    cost_model: CompileCostModel,
+    capacity: usize,
+}
+
+impl OperatorCache {
+    /// Creates a cache holding up to `capacity` operators with the given
+    /// latency model.
+    pub fn new(capacity: usize, cost_model: CompileCostModel) -> Self {
+        OperatorCache {
+            entries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+            cost_model,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> CompileCostModel {
+        self.cost_model
+    }
+
+    /// Returns the operator for `(query, plan)`, generating (and charging
+    /// compile latency) on miss. The returned operator already carries this
+    /// query's predicate constants.
+    pub fn get_or_compile(
+        &self,
+        catalog: &LayoutCatalog,
+        plan: &AccessPlan,
+        query: &Query,
+    ) -> Result<CompiledOp, ExecError> {
+        let key = OperatorKey::new(query, plan);
+        let constants: Vec<Value> = query
+            .filter()
+            .predicates()
+            .iter()
+            .map(|p| p.value)
+            .collect();
+        if let Some(cached) = self.entries.lock().get(&key).cloned() {
+            self.stats.lock().hits += 1;
+            let mut op = cached;
+            op.rebind_constants(&constants);
+            return Ok(op);
+        }
+        let op = compile(catalog, plan, query)?;
+        let charge = self.cost_model.cost(op.code_size());
+        self.cost_model.charge(charge);
+        {
+            let mut stats = self.stats.lock();
+            stats.misses += 1;
+            stats.compile_time += charge;
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity {
+            // Simple random-ish eviction: drop an arbitrary entry. The
+            // paper does not specify an eviction policy; capacity pressure
+            // only arises in adversarial workloads.
+            if let Some(&victim) = entries.keys().next() {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(key, op.clone());
+        Ok(op)
+    }
+
+    /// Drops every operator whose plan reads `layout` — required when a
+    /// layout is dropped from the catalog.
+    pub fn invalidate_layout(&self, layout: h2o_storage::LayoutId) {
+        self.entries
+            .lock()
+            .retain(|_, op| !op.plan().layouts.contains(&layout));
+    }
+
+    /// Clears the cache.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of cached operators.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute;
+    use crate::plan::Strategy;
+    use h2o_expr::{Aggregate, Conjunction, Expr, Predicate};
+    use h2o_storage::{Relation, Schema};
+
+    fn rel() -> Relation {
+        let schema = Schema::with_width(3).into_shared();
+        let cols = (0..3)
+            .map(|k| (0..20).map(|r| (k * 100 + r) as Value).collect())
+            .collect();
+        Relation::columnar(schema, cols).unwrap()
+    }
+
+    fn count_below(v: Value) -> Query {
+        Query::aggregate(
+            [Aggregate::count()],
+            Conjunction::of([Predicate::lt(0u32, v)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_shape_different_constants_hits() {
+        let rel = rel();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::SelVector);
+        let op1 = cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        let op2 = cache.get_or_compile(rel.catalog(), &plan, &count_below(11)).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // And the rebinding is effective:
+        assert_eq!(execute(rel.catalog(), &op1).unwrap().row(0), &[5]);
+        assert_eq!(execute(rel.catalog(), &op2).unwrap().row(0), &[11]);
+    }
+
+    #[test]
+    fn different_shape_misses() {
+        let rel = rel();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::SelVector);
+        cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        let other = Query::aggregate(
+            [Aggregate::sum(Expr::col(1u32))],
+            Conjunction::of([Predicate::lt(0u32, 5)]),
+        )
+        .unwrap();
+        cache.get_or_compile(rel.catalog(), &plan, &other).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn different_strategy_or_layouts_miss() {
+        let rel = rel();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let ids = rel.catalog().layout_ids();
+        let q = count_below(5);
+        cache
+            .get_or_compile(rel.catalog(), &AccessPlan::new(ids.clone(), Strategy::SelVector), &q)
+            .unwrap();
+        cache
+            .get_or_compile(rel.catalog(), &AccessPlan::new(ids.clone(), Strategy::FusedVolcano), &q)
+            .unwrap();
+        cache
+            .get_or_compile(
+                rel.catalog(),
+                &AccessPlan::new(vec![ids[0]], Strategy::SelVector),
+                &q,
+            )
+            .unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn compile_latency_charged_once() {
+        let rel = rel();
+        let model = CompileCostModel {
+            base: Duration::from_millis(2),
+            per_op: Duration::ZERO,
+        };
+        let cache = OperatorCache::new(16, model);
+        let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::SelVector);
+        let t0 = Instant::now();
+        cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        let first = t0.elapsed();
+        let t1 = Instant::now();
+        cache.get_or_compile(rel.catalog(), &plan, &count_below(7)).unwrap();
+        let second = t1.elapsed();
+        assert!(first >= Duration::from_millis(2));
+        assert!(second < Duration::from_millis(2));
+        assert_eq!(cache.stats().compile_time, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn invalidate_layout_drops_dependents() {
+        let rel = rel();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let ids = rel.catalog().layout_ids();
+        let plan = AccessPlan::new(ids.clone(), Strategy::SelVector);
+        cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.invalidate_layout(ids[0]);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let rel = rel();
+        let cache = OperatorCache::new(2, CompileCostModel::ZERO);
+        let ids = rel.catalog().layout_ids();
+        for strategy in Strategy::ALL {
+            let plan = AccessPlan::new(ids.clone(), strategy);
+            cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        }
+        assert!(cache.len() <= 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Compiled expressions: the "generated code" for select-items.
+//!
+//! At operator-generation time every select expression is lowered into a
+//! [`CompiledExpr`]. The common shapes of the paper's templates get
+//! dedicated variants whose per-tuple evaluation is a straight-line loop —
+//! the Rust equivalent of `ptr[0] + ptr[1] + ptr[2]` in the paper's
+//! generated code (Fig. 5 line 11):
+//!
+//! * [`CompiledExpr::Col`] — a bare projection,
+//! * [`CompiledExpr::SumCols`] — `a + b + ...` (templates i/iii),
+//! * [`CompiledExpr::Program`] — arbitrary expressions, flattened into a
+//!   postfix opcode sequence evaluated on a small stack: no tree walk, no
+//!   recursion, but still general.
+
+use crate::bind::{BoundAttr, GroupViews};
+use h2o_expr::{ArithOp, Expr};
+use h2o_storage::Value;
+
+/// A postfix opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCode {
+    /// Push the value of a bound attribute.
+    Load(BoundAttr),
+    /// Push a constant.
+    Const(Value),
+    /// Pop two, apply, push.
+    Arith(ArithOp),
+}
+
+/// A compiled select expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledExpr {
+    /// A single attribute.
+    Col(BoundAttr),
+    /// A left-deep sum of attributes.
+    SumCols(Vec<BoundAttr>),
+    /// General postfix program with its required stack depth.
+    Program { ops: Vec<OpCode>, stack: usize },
+}
+
+impl CompiledExpr {
+    /// Lowers `expr`, resolving attributes through `bind`.
+    pub fn lower<F: FnMut(h2o_storage::AttrId) -> BoundAttr>(
+        expr: &Expr,
+        mut bind: F,
+    ) -> CompiledExpr {
+        if let Some(a) = expr.as_col() {
+            return CompiledExpr::Col(bind(a));
+        }
+        if let Some(cols) = expr.as_column_sum() {
+            return CompiledExpr::SumCols(cols.into_iter().map(bind).collect());
+        }
+        let mut ops = Vec::with_capacity(expr.node_count());
+        fn emit<F: FnMut(h2o_storage::AttrId) -> BoundAttr>(
+            e: &Expr,
+            ops: &mut Vec<OpCode>,
+            bind: &mut F,
+        ) {
+            match e {
+                Expr::Col(a) => ops.push(OpCode::Load(bind(*a))),
+                Expr::Const(v) => ops.push(OpCode::Const(*v)),
+                Expr::Binary { op, lhs, rhs } => {
+                    emit(lhs, ops, bind);
+                    emit(rhs, ops, bind);
+                    ops.push(OpCode::Arith(*op));
+                }
+            }
+        }
+        emit(expr, &mut ops, &mut bind);
+        // Stack depth: +1 per push, -1 per arith (pops 2, pushes 1).
+        let mut depth = 0usize;
+        let mut max = 0usize;
+        for op in &ops {
+            match op {
+                OpCode::Load(_) | OpCode::Const(_) => {
+                    depth += 1;
+                    max = max.max(depth);
+                }
+                OpCode::Arith(_) => depth -= 1,
+            }
+        }
+        CompiledExpr::Program { ops, stack: max }
+    }
+
+    /// Evaluates the expression for one tuple.
+    #[inline]
+    pub fn eval(&self, views: &GroupViews<'_>, row: usize) -> Value {
+        match self {
+            CompiledExpr::Col(a) => views.get(*a, row),
+            CompiledExpr::SumCols(cols) => {
+                let mut acc: Value = 0;
+                for &c in cols {
+                    acc = acc.wrapping_add(views.get(c, row));
+                }
+                acc
+            }
+            CompiledExpr::Program { ops, stack } => {
+                // Small fixed stack; expressions in the evaluation never
+                // exceed a handful of operands, but fall back to the heap
+                // safely if they do.
+                let mut buf = [0 as Value; 16];
+                if *stack <= buf.len() {
+                    eval_program(ops, views, row, &mut buf)
+                } else {
+                    let mut heap = vec![0 as Value; *stack];
+                    eval_program(ops, views, row, &mut heap)
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression against a stitched tuple buffer, where each
+    /// bound attribute's `offset` indexes the buffer (`slot` is ignored).
+    /// The fused reorganization kernel's counterpart of [`Self::eval`].
+    #[inline]
+    pub fn eval_tuple(&self, tuple: &[Value]) -> Value {
+        match self {
+            CompiledExpr::Col(a) => tuple[a.offset as usize],
+            CompiledExpr::SumCols(cols) => {
+                let mut acc: Value = 0;
+                for c in cols {
+                    acc = acc.wrapping_add(tuple[c.offset as usize]);
+                }
+                acc
+            }
+            CompiledExpr::Program { ops, stack } => {
+                let mut buf = [0 as Value; 16];
+                if *stack <= buf.len() {
+                    eval_program_tuple(ops, tuple, &mut buf)
+                } else {
+                    let mut heap = vec![0 as Value; *stack];
+                    eval_program_tuple(ops, tuple, &mut heap)
+                }
+            }
+        }
+    }
+
+    /// The attributes this expression loads (plan-slot bound).
+    pub fn bound_attrs(&self) -> Vec<BoundAttr> {
+        match self {
+            CompiledExpr::Col(a) => vec![*a],
+            CompiledExpr::SumCols(cols) => cols.clone(),
+            CompiledExpr::Program { ops, .. } => ops
+                .iter()
+                .filter_map(|op| match op {
+                    OpCode::Load(a) => Some(*a),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[inline]
+fn eval_program_tuple(ops: &[OpCode], tuple: &[Value], stack: &mut [Value]) -> Value {
+    let mut sp = 0usize;
+    for op in ops {
+        match op {
+            OpCode::Load(a) => {
+                stack[sp] = tuple[a.offset as usize];
+                sp += 1;
+            }
+            OpCode::Const(v) => {
+                stack[sp] = *v;
+                sp += 1;
+            }
+            OpCode::Arith(o) => {
+                let r = stack[sp - 1];
+                let l = stack[sp - 2];
+                stack[sp - 2] = o.apply(l, r);
+                sp -= 1;
+            }
+        }
+    }
+    debug_assert_eq!(sp, 1);
+    stack[0]
+}
+
+#[inline]
+fn eval_program(ops: &[OpCode], views: &GroupViews<'_>, row: usize, stack: &mut [Value]) -> Value {
+    let mut sp = 0usize;
+    for op in ops {
+        match op {
+            OpCode::Load(a) => {
+                stack[sp] = views.get(*a, row);
+                sp += 1;
+            }
+            OpCode::Const(v) => {
+                stack[sp] = *v;
+                sp += 1;
+            }
+            OpCode::Arith(o) => {
+                let r = stack[sp - 1];
+                let l = stack[sp - 2];
+                stack[sp - 2] = o.apply(l, r);
+                sp -= 1;
+            }
+        }
+    }
+    debug_assert_eq!(sp, 1);
+    stack[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_storage::{AttrId, GroupBuilder};
+
+    fn one_group_views(cols: &[&[Value]]) -> h2o_storage::ColumnGroup {
+        let attrs: Vec<AttrId> = (0..cols.len()).map(AttrId::from).collect();
+        GroupBuilder::from_columns(attrs, cols).unwrap()
+    }
+
+    fn direct_bind(a: h2o_storage::AttrId) -> BoundAttr {
+        BoundAttr {
+            slot: 0,
+            offset: a.index() as u32,
+        }
+    }
+
+    #[test]
+    fn lower_picks_fast_variants() {
+        let c = CompiledExpr::lower(&Expr::col(2u32), direct_bind);
+        assert!(matches!(c, CompiledExpr::Col(_)));
+        let s = CompiledExpr::lower(&Expr::sum_of([AttrId(0), AttrId(1)]), direct_bind);
+        assert!(matches!(s, CompiledExpr::SumCols(_)));
+        let p = CompiledExpr::lower(&Expr::col(0u32).mul(Expr::lit(3)), direct_bind);
+        assert!(matches!(p, CompiledExpr::Program { .. }));
+    }
+
+    #[test]
+    fn eval_matches_interpreter_for_all_variants() {
+        let g = one_group_views(&[&[5, -2], &[7, 11], &[1, 100]]);
+        let views = GroupViews::from_groups(&[&g]);
+        let exprs = [
+            Expr::col(1u32),
+            Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]),
+            Expr::col(0u32).mul(Expr::col(1u32)).sub(Expr::lit(4)),
+            Expr::col(2u32)
+                .add(Expr::col(0u32).mul(Expr::col(1u32)))
+                .mul(Expr::col(2u32).sub(Expr::lit(1))),
+        ];
+        for expr in &exprs {
+            let compiled = CompiledExpr::lower(expr, direct_bind);
+            for row in 0..2 {
+                let want = expr.eval(|a| g.value(row, a.index()));
+                assert_eq!(compiled.eval(&views, row), want, "{expr} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn stack_depth_computed() {
+        // (a0 + (a1 * (a2 + a0))): postfix loads a0,a1,a2,a0 before the
+        // first reduction, so the peak stack depth is 4.
+        let e = Expr::col(0u32).add(Expr::col(1u32).mul(Expr::col(2u32).add(Expr::col(0u32))));
+        if let CompiledExpr::Program { stack, .. } = CompiledExpr::lower(&e, direct_bind) {
+            assert_eq!(stack, 4);
+        } else {
+            panic!("expected Program");
+        }
+    }
+
+    #[test]
+    fn bound_attrs_reported() {
+        let e = Expr::col(0u32).mul(Expr::col(2u32)).add(Expr::lit(1));
+        let c = CompiledExpr::lower(&e, direct_bind);
+        let attrs = c.bound_attrs();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].offset, 0);
+        assert_eq!(attrs[1].offset, 2);
+    }
+
+    #[test]
+    fn deep_expression_uses_heap_stack() {
+        // Build a right-deep chain of adds 20 deep: a0 + (a0 + (...)).
+        let mut e = Expr::col(0u32);
+        for _ in 0..20 {
+            e = Expr::Binary {
+                op: ArithOp::Add,
+                lhs: Box::new(Expr::col(0u32)),
+                rhs: Box::new(e.mul(Expr::lit(1))), // mul blocks SumCols detection
+            };
+        }
+        let g = one_group_views(&[&[1, 2]]);
+        let views = GroupViews::from_groups(&[&g]);
+        let c = CompiledExpr::lower(&e, direct_bind);
+        let want = e.eval(|_| 2);
+        assert_eq!(c.eval(&views, 1), want);
+    }
+}

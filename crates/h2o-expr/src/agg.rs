@@ -1,0 +1,245 @@
+//! Aggregate functions over expressions.
+//!
+//! The paper's micro-benchmarks aggregate to "minimize the number of tuples
+//! returned from the DBMS" (§2.2); template (ii) is
+//! `select max(a), max(b), ... from R where <predicates>`.
+
+use crate::expr::Expr;
+use h2o_storage::Value;
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Min,
+    Max,
+    Count,
+    /// Integer average: `sum / count` with truncation, `0` for empty input —
+    /// deterministic so all execution strategies agree.
+    Avg,
+}
+
+impl AggFunc {
+    /// The SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate select-item: `func(expr)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    pub expr: Expr,
+}
+
+impl Aggregate {
+    /// Creates an aggregate.
+    pub fn new(func: AggFunc, expr: Expr) -> Self {
+        Aggregate { func, expr }
+    }
+
+    /// `sum(expr)`.
+    pub fn sum(expr: Expr) -> Self {
+        Self::new(AggFunc::Sum, expr)
+    }
+
+    /// `max(expr)`.
+    pub fn max(expr: Expr) -> Self {
+        Self::new(AggFunc::Max, expr)
+    }
+
+    /// `min(expr)`.
+    pub fn min(expr: Expr) -> Self {
+        Self::new(AggFunc::Min, expr)
+    }
+
+    /// `count(*)` (the expression is ignored but kept for uniformity).
+    pub fn count() -> Self {
+        Self::new(AggFunc::Count, Expr::lit(1))
+    }
+
+    /// `avg(expr)`.
+    pub fn avg(expr: Expr) -> Self {
+        Self::new(AggFunc::Avg, expr)
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.func.name(), self.expr)
+    }
+}
+
+/// Running state for one aggregate. Every execution strategy — interpreted,
+/// volcano, vectorized, fused kernels — folds tuples through this same
+/// accumulator, which is what guarantees identical results across layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggState {
+    func: AggFunc,
+    sum: Value,
+    min: Value,
+    max: Value,
+    count: u64,
+}
+
+impl AggState {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        AggState {
+            func,
+            sum: 0,
+            min: Value::MAX,
+            max: Value::MIN,
+            count: 0,
+        }
+    }
+
+    /// Folds one input value. Only the fields the function needs are
+    /// maintained — this runs once per (aggregate, qualifying tuple) in
+    /// every kernel's inner loop, so a `max(..)` must cost a compare, not
+    /// a compare plus three unrelated updates.
+    #[inline(always)]
+    pub fn update(&mut self, v: Value) {
+        match self.func {
+            AggFunc::Sum => self.sum = self.sum.wrapping_add(v),
+            AggFunc::Min => {
+                self.min = self.min.min(v);
+                self.count += 1;
+            }
+            AggFunc::Max => {
+                self.max = self.max.max(v);
+                self.count += 1;
+            }
+            AggFunc::Count => self.count += 1,
+            AggFunc::Avg => {
+                self.sum = self.sum.wrapping_add(v);
+                self.count += 1;
+            }
+        }
+    }
+
+    /// Merges another accumulator (vectorized strategies fold per-vector
+    /// partials, then merge).
+    pub fn merge(&mut self, other: &AggState) {
+        debug_assert_eq!(self.func, other.func);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Finishes the aggregate. Empty-input results: `sum`/`count`/`avg` are
+    /// `0`, `min`/`max` are `0` (SQL would say NULL; the engine has no
+    /// nulls, and all strategies agree on this convention).
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as Value,
+            AggFunc::Min => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.min
+                }
+            }
+            AggFunc::Max => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.max
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.sum.wrapping_div(self.count as Value)
+                }
+            }
+        }
+    }
+
+    /// Number of folded values (not maintained for `sum` accumulators,
+    /// which do not need it).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold(func: AggFunc, vals: &[Value]) -> Value {
+        let mut s = AggState::new(func);
+        for &v in vals {
+            s.update(v);
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let vals = [3, -1, 7, 7, 0];
+        assert_eq!(fold(AggFunc::Sum, &vals), 16);
+        assert_eq!(fold(AggFunc::Min, &vals), -1);
+        assert_eq!(fold(AggFunc::Max, &vals), 7);
+        assert_eq!(fold(AggFunc::Count, &vals), 5);
+        assert_eq!(fold(AggFunc::Avg, &vals), 3); // 16/5 truncated
+    }
+
+    #[test]
+    fn empty_input_conventions() {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            assert_eq!(fold(f, &[]), 0, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let vals = [5, -3, 12, 9, -20, 1];
+        for f in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg] {
+            let mut left = AggState::new(f);
+            let mut right = AggState::new(f);
+            for &v in &vals[..3] {
+                left.update(v);
+            }
+            for &v in &vals[3..] {
+                right.update(v);
+            }
+            left.merge(&right);
+            assert_eq!(left.finish(), fold(f, &vals), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn avg_truncates_toward_zero() {
+        assert_eq!(fold(AggFunc::Avg, &[-3, -4]), -3); // -7/2 = -3 (trunc)
+    }
+
+    #[test]
+    fn display() {
+        let a = Aggregate::max(Expr::col(3u32));
+        assert_eq!(a.to_string(), "max(a3)");
+        assert_eq!(Aggregate::count().func, AggFunc::Count);
+    }
+
+    #[test]
+    fn sum_wraps() {
+        assert_eq!(fold(AggFunc::Sum, &[i64::MAX, 1]), i64::MIN);
+    }
+}

@@ -1,0 +1,247 @@
+//! Arithmetic expressions over attributes.
+
+use h2o_storage::{AttrId, AttrSet, Value};
+use std::fmt;
+
+/// A binary arithmetic operator. All arithmetic is wrapping so that every
+/// execution strategy in the engine agrees bit-for-bit (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+impl ArithOp {
+    /// Applies the operator.
+    #[inline]
+    pub fn apply(self, l: Value, r: Value) -> Value {
+        match self {
+            ArithOp::Add => l.wrapping_add(r),
+            ArithOp::Sub => l.wrapping_sub(r),
+            ArithOp::Mul => l.wrapping_mul(r),
+        }
+    }
+
+    /// The SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+        }
+    }
+}
+
+/// An arithmetic expression tree, e.g. `a + b + c` from the paper's query
+/// `Q1: select a+b+c from R where d<v1 and e>v2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A reference to an attribute of the relation.
+    Col(AttrId),
+    /// A constant.
+    Const(Value),
+    /// A binary operation.
+    Binary {
+        op: ArithOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col<A: Into<AttrId>>(a: A) -> Expr {
+        Expr::Col(a.into())
+    }
+
+    /// Shorthand for a constant.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // fluent builder by design
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: ArithOp::Add,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)] // fluent builder by design
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: ArithOp::Sub,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)] // fluent builder by design
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: ArithOp::Mul,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// The left-deep sum `a0 + a1 + ... + ak` — the paper's template (iii)
+    /// "select a + b + ... from R".
+    pub fn sum_of<I: IntoIterator<Item = AttrId>>(attrs: I) -> Expr {
+        let mut it = attrs.into_iter();
+        let first = Expr::Col(it.next().expect("sum_of requires at least one attribute"));
+        it.fold(first, |acc, a| acc.add(Expr::Col(a)))
+    }
+
+    /// Collects the attributes referenced by the expression into `out`.
+    pub fn collect_attrs(&self, out: &mut AttrSet) {
+        match self {
+            Expr::Col(a) => {
+                out.insert(*a);
+            }
+            Expr::Const(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_attrs(out);
+                rhs.collect_attrs(out);
+            }
+        }
+    }
+
+    /// The attributes referenced by the expression.
+    pub fn attrs(&self) -> AttrSet {
+        let mut s = AttrSet::new();
+        self.collect_attrs(&mut s);
+        s
+    }
+
+    /// Number of nodes in the tree (a proxy for interpretation overhead;
+    /// used by the cost model's CPU term).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Col(_) | Expr::Const(_) => 1,
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+        }
+    }
+
+    /// Evaluates the expression with attribute values supplied by `fetch`.
+    /// This *is* the interpretation overhead the paper's generated code
+    /// removes: one virtual walk of the tree per tuple.
+    pub fn eval<F: Fn(AttrId) -> Value + Copy>(&self, fetch: F) -> Value {
+        match self {
+            Expr::Col(a) => fetch(*a),
+            Expr::Const(v) => *v,
+            Expr::Binary { op, lhs, rhs } => op.apply(lhs.eval(fetch), rhs.eval(fetch)),
+        }
+    }
+
+    /// Whether the expression is a bare column reference.
+    pub fn as_col(&self) -> Option<AttrId> {
+        match self {
+            Expr::Col(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Whether the expression is a left-deep sum of distinct columns
+    /// (`a + b + ... + k`). The specialized kernels fast-path this shape,
+    /// mirroring the paper's generated code for Q1 (Figs. 5–6). Returns the
+    /// columns in order if so.
+    pub fn as_column_sum(&self) -> Option<Vec<AttrId>> {
+        fn walk(e: &Expr, out: &mut Vec<AttrId>) -> bool {
+            match e {
+                Expr::Col(a) => {
+                    out.push(*a);
+                    true
+                }
+                Expr::Binary {
+                    op: ArithOp::Add,
+                    lhs,
+                    rhs,
+                } => walk(lhs, out) && walk(rhs, out),
+                _ => false,
+            }
+        }
+        let mut cols = Vec::new();
+        if walk(self, &mut cols) {
+            Some(cols)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(a) => write!(f, "{a}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arith_ops_wrap() {
+        assert_eq!(ArithOp::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(ArithOp::Sub.apply(i64::MIN, 1), i64::MAX);
+        assert_eq!(ArithOp::Mul.apply(3, 4), 12);
+    }
+
+    #[test]
+    fn eval_walks_tree() {
+        // (a0 + a1) * 2 - a2
+        let e = Expr::col(0u32)
+            .add(Expr::col(1u32))
+            .mul(Expr::lit(2))
+            .sub(Expr::col(2u32));
+        let vals = [5, 7, 3];
+        let got = e.eval(|a| vals[a.index()]);
+        assert_eq!(got, (5 + 7) * 2 - 3);
+    }
+
+    #[test]
+    fn attrs_collected() {
+        let e = Expr::col(3u32).add(Expr::col(9u32).mul(Expr::lit(2)));
+        let attrs = e.attrs();
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs.contains(AttrId(3)));
+        assert!(attrs.contains(AttrId(9)));
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn sum_of_builds_left_deep_chain() {
+        let e = Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(e.eval(|a| a.index() as i64 + 1), 6);
+        assert_eq!(e.as_column_sum().unwrap(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(format!("{e}"), "((a0 + a1) + a2)");
+    }
+
+    #[test]
+    fn column_sum_detection_rejects_other_shapes() {
+        assert!(Expr::col(0u32).mul(Expr::col(1u32)).as_column_sum().is_none());
+        assert!(Expr::col(0u32).add(Expr::lit(1)).as_column_sum().is_none());
+        assert_eq!(Expr::col(4u32).as_column_sum().unwrap(), vec![AttrId(4)]);
+    }
+
+    #[test]
+    fn as_col() {
+        assert_eq!(Expr::col(2u32).as_col(), Some(AttrId(2)));
+        assert_eq!(Expr::lit(1).as_col(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn sum_of_empty_panics() {
+        Expr::sum_of(Vec::<AttrId>::new());
+    }
+}

@@ -1,0 +1,38 @@
+//! # h2o-expr — queries, expressions and the interpreted generic operator
+//!
+//! This crate defines the logical query language H2O's evaluation exercises
+//! (select-project-aggregate over one wide relation, SIGMOD 2014 §2.2/§4.2.1):
+//!
+//! * [`Expr`] — arithmetic expressions over attributes (`a + b + c`),
+//! * [`Predicate`]/[`Conjunction`] — conjunctive range filters
+//!   (`d < v1 and e > v2`),
+//! * [`Aggregate`] — `sum`/`min`/`max`/`count`/`avg` over expressions,
+//! * [`Query`] — the select-project-aggregate statement with the paper's
+//!   three templates (projection, aggregation, arithmetic expression),
+//! * [`QueryResult`] — row-major output blocks ("all execution strategies
+//!   materialize the output results ... in a row-major layout", §3.3).
+//!
+//! It also implements the **generic operator** ([`interp`]): a
+//! tuple-at-a-time interpreter that evaluates any query over any set of
+//! column groups through dynamic dispatch on the expression tree. This is
+//! the baseline that the paper's *generated code* beats in Fig. 14 — the
+//! interpretation overhead it embodies is exactly what the specialized
+//! kernels in `h2o-exec` remove.
+//!
+//! All engine arithmetic is wrapping (`i64`), so every execution strategy —
+//! interpreted, volcano, vectorized, fused — produces bit-identical results
+//! and can be differential-tested against this interpreter.
+
+pub mod agg;
+pub mod expr;
+pub mod interp;
+pub mod predicate;
+pub mod query;
+pub mod result;
+
+pub use agg::{AggFunc, Aggregate};
+pub use expr::{ArithOp, Expr};
+pub use interp::interpret;
+pub use predicate::{CmpOp, Conjunction, Predicate};
+pub use query::{Query, QueryError};
+pub use result::QueryResult;

@@ -1,0 +1,233 @@
+//! Filter predicates: single-attribute comparisons and conjunctions.
+//!
+//! The paper's where-clauses are conjunctions of comparisons of attributes
+//! against constants (`where d < v1 and e > v2`, §2.1), generated so that
+//! overall selectivity is controlled (§2.2). That is the shape this module
+//! models; it is also the shape the specialized kernels fuse into a single
+//! branch per tuple (Fig. 5, line 10).
+
+use h2o_storage::{AttrId, AttrSet, Value};
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    #[inline]
+    pub fn apply(self, l: Value, r: Value) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+
+    /// The SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        }
+    }
+}
+
+/// One predicate: `attr op constant`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    pub attr: AttrId,
+    pub op: CmpOp,
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new<A: Into<AttrId>>(attr: A, op: CmpOp, value: Value) -> Self {
+        Predicate {
+            attr: attr.into(),
+            op,
+            value,
+        }
+    }
+
+    /// `attr < v`.
+    pub fn lt<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+        Self::new(attr, CmpOp::Lt, v)
+    }
+
+    /// `attr > v`.
+    pub fn gt<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+        Self::new(attr, CmpOp::Gt, v)
+    }
+
+    /// `attr <= v`.
+    pub fn le<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+        Self::new(attr, CmpOp::Le, v)
+    }
+
+    /// `attr = v`.
+    pub fn eq<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+        Self::new(attr, CmpOp::Eq, v)
+    }
+
+    /// Evaluates the predicate against an attribute value.
+    #[inline]
+    pub fn matches(&self, attr_value: Value) -> bool {
+        self.op.apply(attr_value, self.value)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op.symbol(), self.value)
+    }
+}
+
+/// A conjunction of predicates — the whole where-clause. An empty
+/// conjunction accepts every tuple (no where-clause, selectivity 100%).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Conjunction {
+    preds: Vec<Predicate>,
+}
+
+impl Conjunction {
+    /// The always-true conjunction (no where-clause).
+    pub fn always() -> Self {
+        Conjunction { preds: Vec::new() }
+    }
+
+    /// Builds a conjunction from predicates.
+    pub fn of<I: IntoIterator<Item = Predicate>>(preds: I) -> Self {
+        Conjunction {
+            preds: preds.into_iter().collect(),
+        }
+    }
+
+    /// Adds a predicate.
+    pub fn and(mut self, p: Predicate) -> Self {
+        self.preds.push(p);
+        self
+    }
+
+    /// The predicates in evaluation order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Whether there is no where-clause.
+    pub fn is_always_true(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the conjunction is empty (alias of [`Self::is_always_true`]).
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Attributes referenced by the where-clause.
+    pub fn attrs(&self) -> AttrSet {
+        self.preds.iter().map(|p| p.attr).collect()
+    }
+
+    /// Evaluates the conjunction with attribute values supplied by `fetch`,
+    /// short-circuiting on the first failed predicate.
+    #[inline]
+    pub fn matches<F: Fn(AttrId) -> Value>(&self, fetch: F) -> bool {
+        self.preds.iter().all(|p| p.matches(fetch(p.attr)))
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.preds.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Predicate> for Conjunction {
+    fn from_iter<I: IntoIterator<Item = Predicate>>(iter: I) -> Self {
+        Conjunction::of(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Lt.apply(1, 2));
+        assert!(!CmpOp::Lt.apply(2, 2));
+        assert!(CmpOp::Le.apply(2, 2));
+        assert!(CmpOp::Gt.apply(3, 2));
+        assert!(CmpOp::Ge.apply(2, 2));
+        assert!(CmpOp::Eq.apply(2, 2));
+        assert!(CmpOp::Ne.apply(1, 2));
+    }
+
+    #[test]
+    fn predicate_matches() {
+        let p = Predicate::lt(0u32, 10);
+        assert!(p.matches(9));
+        assert!(!p.matches(10));
+        assert_eq!(p.to_string(), "a0 < 10");
+    }
+
+    #[test]
+    fn conjunction_short_circuits_and_matches() {
+        // Paper Q1 shape: d < v1 and e > v2.
+        let c = Conjunction::of([Predicate::lt(3u32, 100), Predicate::gt(4u32, 50)]);
+        let vals = |d: Value, e: Value| move |a: AttrId| if a.index() == 3 { d } else { e };
+        assert!(c.matches(vals(99, 51)));
+        assert!(!c.matches(vals(100, 51)));
+        assert!(!c.matches(vals(99, 50)));
+        assert_eq!(c.attrs().to_vec(), vec![AttrId(3), AttrId(4)]);
+        assert_eq!(c.to_string(), "a3 < 100 and a4 > 50");
+    }
+
+    #[test]
+    fn empty_conjunction_accepts_all() {
+        let c = Conjunction::always();
+        assert!(c.is_always_true());
+        assert!(c.matches(|_| 0));
+        assert_eq!(c.to_string(), "true");
+        assert!(c.attrs().is_empty());
+    }
+
+    #[test]
+    fn and_builder() {
+        let c = Conjunction::always()
+            .and(Predicate::eq(1u32, 5))
+            .and(Predicate::new(2u32, CmpOp::Ne, 7));
+        assert_eq!(c.len(), 2);
+        assert!(c.matches(|a| if a.index() == 1 { 5 } else { 8 }));
+    }
+}

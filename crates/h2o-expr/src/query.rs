@@ -1,0 +1,245 @@
+//! The select-project-aggregate query statement.
+//!
+//! A [`Query`] is either a *projection* query (select-items are expressions,
+//! one output row per qualifying tuple) or an *aggregation* query (all
+//! select-items are aggregates, one output row total). These are the two
+//! shapes of the paper's evaluation (§2.2, §4.2.1 templates i–iii); mixing
+//! them would require group-by, which the paper does not evaluate.
+
+use crate::agg::Aggregate;
+use crate::expr::Expr;
+use crate::predicate::Conjunction;
+use h2o_storage::AttrSet;
+use std::fmt;
+
+/// Validation errors for query construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query must select at least one item.
+    EmptySelect,
+    /// Projections and aggregates cannot be mixed without group-by.
+    MixedSelect,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptySelect => write!(f, "query selects nothing"),
+            QueryError::MixedSelect => {
+                write!(f, "cannot mix plain projections and aggregates without group-by")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A validated select-project-aggregate query over the relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    projections: Vec<Expr>,
+    aggregates: Vec<Aggregate>,
+    filter: Conjunction,
+}
+
+impl Query {
+    /// A projection query: `select <exprs> from R where <filter>`.
+    pub fn project<I: IntoIterator<Item = Expr>>(
+        exprs: I,
+        filter: Conjunction,
+    ) -> Result<Self, QueryError> {
+        let projections: Vec<Expr> = exprs.into_iter().collect();
+        if projections.is_empty() {
+            return Err(QueryError::EmptySelect);
+        }
+        Ok(Query {
+            projections,
+            aggregates: Vec::new(),
+            filter,
+        })
+    }
+
+    /// An aggregation query: `select <aggs> from R where <filter>`.
+    pub fn aggregate<I: IntoIterator<Item = Aggregate>>(
+        aggs: I,
+        filter: Conjunction,
+    ) -> Result<Self, QueryError> {
+        let aggregates: Vec<Aggregate> = aggs.into_iter().collect();
+        if aggregates.is_empty() {
+            return Err(QueryError::EmptySelect);
+        }
+        Ok(Query {
+            projections: Vec::new(),
+            aggregates,
+            filter,
+        })
+    }
+
+    /// The projection expressions (empty for aggregation queries).
+    pub fn projections(&self) -> &[Expr] {
+        &self.projections
+    }
+
+    /// The aggregates (empty for projection queries).
+    pub fn aggregates(&self) -> &[Aggregate] {
+        &self.aggregates
+    }
+
+    /// The where-clause.
+    pub fn filter(&self) -> &Conjunction {
+        &self.filter
+    }
+
+    /// Whether this is an aggregation query.
+    pub fn is_aggregate(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+
+    /// Number of output values per result row.
+    pub fn output_width(&self) -> usize {
+        if self.is_aggregate() {
+            self.aggregates.len()
+        } else {
+            self.projections.len()
+        }
+    }
+
+    /// The select-items' expressions (projection exprs or aggregate inputs).
+    pub fn select_exprs(&self) -> impl Iterator<Item = &Expr> {
+        self.projections
+            .iter()
+            .chain(self.aggregates.iter().map(|a| &a.expr))
+    }
+
+    /// Attributes referenced in the **select clause**. The adaptation
+    /// mechanism keeps this separate from [`Self::where_attrs`]: "H2O
+    /// considers attributes accessed together in the select and the where
+    /// clause as different potential groups" (§3.2).
+    pub fn select_attrs(&self) -> AttrSet {
+        let mut s = AttrSet::new();
+        for e in self.select_exprs() {
+            e.collect_attrs(&mut s);
+        }
+        s
+    }
+
+    /// Attributes referenced in the **where clause**.
+    pub fn where_attrs(&self) -> AttrSet {
+        self.filter.attrs()
+    }
+
+    /// All attributes the query touches.
+    pub fn all_attrs(&self) -> AttrSet {
+        self.select_attrs().union(&self.where_attrs())
+    }
+
+    /// Total expression-tree nodes across select items (drives the
+    /// interpretation-overhead term of the CPU cost model).
+    pub fn select_node_count(&self) -> usize {
+        self.select_exprs().map(|e| e.node_count()).sum()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.is_aggregate() {
+            for (i, a) in self.aggregates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        } else {
+            for (i, e) in self.projections.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        write!(f, " from R")?;
+        if !self.filter.is_always_true() {
+            write!(f, " where {}", self.filter)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use h2o_storage::AttrId;
+
+    #[test]
+    fn paper_q1_shape() {
+        // Q1: select a+b+c from R where d<v1 and e>v2
+        let q = Query::project(
+            [Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)])],
+            Conjunction::of([Predicate::lt(3u32, 10), Predicate::gt(4u32, -10)]),
+        )
+        .unwrap();
+        assert!(!q.is_aggregate());
+        assert_eq!(q.output_width(), 1);
+        assert_eq!(q.select_attrs().to_vec(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(q.where_attrs().to_vec(), vec![AttrId(3), AttrId(4)]);
+        assert_eq!(q.all_attrs().len(), 5);
+        assert_eq!(
+            q.to_string(),
+            "select ((a0 + a1) + a2) from R where a3 < 10 and a4 > -10"
+        );
+    }
+
+    #[test]
+    fn aggregate_query() {
+        let q = Query::aggregate(
+            [
+                Aggregate::max(Expr::col(0u32)),
+                Aggregate::max(Expr::col(1u32)),
+            ],
+            Conjunction::always(),
+        )
+        .unwrap();
+        assert!(q.is_aggregate());
+        assert_eq!(q.output_width(), 2);
+        assert!(q.where_attrs().is_empty());
+        assert_eq!(q.to_string(), "select max(a0), max(a1) from R");
+    }
+
+    #[test]
+    fn empty_select_rejected() {
+        assert_eq!(
+            Query::project([], Conjunction::always()).unwrap_err(),
+            QueryError::EmptySelect
+        );
+        assert_eq!(
+            Query::aggregate([], Conjunction::always()).unwrap_err(),
+            QueryError::EmptySelect
+        );
+    }
+
+    #[test]
+    fn select_node_count_counts_trees() {
+        let q = Query::project(
+            [Expr::col(0u32).add(Expr::col(1u32)), Expr::col(2u32)],
+            Conjunction::always(),
+        )
+        .unwrap();
+        assert_eq!(q.select_node_count(), 4);
+    }
+
+    #[test]
+    fn overlapping_select_and_where_attrs() {
+        // The same attribute may appear in both clauses (paper §2.2: "the
+        // attributes accessed in the where clause and in the select clause
+        // are the same").
+        let q = Query::aggregate(
+            [Aggregate::sum(Expr::col(5u32))],
+            Conjunction::of([Predicate::lt(5u32, 0)]),
+        )
+        .unwrap();
+        assert_eq!(q.all_attrs().len(), 1);
+        assert_eq!(q.select_attrs(), q.where_attrs());
+    }
+}

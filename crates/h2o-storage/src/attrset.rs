@@ -1,0 +1,334 @@
+//! Compact attribute sets.
+//!
+//! Attribute sets are the lingua franca of the adaptation machinery: query
+//! access patterns, candidate column groups, affinity-matrix rows and layout
+//! coverage checks are all set operations over attribute ids. Because
+//! [`AttrId`]s are dense schema positions, a bitset is
+//! both the smallest and the fastest representation — wide tables in the
+//! paper's target workloads reach thousands of attributes (§1 mentions
+//! neuro-imaging datasets with 7000+), so these operations must stay cheap.
+
+use crate::types::AttrId;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of attribute ids, stored as a bitset.
+///
+/// The set grows automatically when larger ids are inserted; two sets with
+/// different internal capacities but the same members compare equal.
+#[derive(Clone, Default)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AttrSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for attributes `0..n`.
+    pub fn with_capacity(n: usize) -> Self {
+        AttrSet {
+            words: vec![0; n.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates the full set `{0, 1, .., n-1}`.
+    pub fn all(n: usize) -> Self {
+        let mut s = AttrSet::with_capacity(n);
+        for i in 0..n {
+            s.insert(AttrId::from(i));
+        }
+        s
+    }
+
+    /// Builds a set from any iterator of attribute ids.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator below
+    pub fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut s = AttrSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Inserts an attribute; returns `true` if it was not already present.
+    pub fn insert(&mut self, attr: AttrId) -> bool {
+        let (w, b) = (attr.index() / WORD_BITS, attr.index() % WORD_BITS);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes an attribute; returns `true` if it was present.
+    pub fn remove(&mut self, attr: AttrId) -> bool {
+        let (w, b) = (attr.index() / WORD_BITS, attr.index() % WORD_BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, attr: AttrId) -> bool {
+        let (w, b) = (attr.index() / WORD_BITS, attr.index() % WORD_BITS);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(AttrId::from(wi * WORD_BITS + b))
+                }
+            })
+        })
+    }
+
+    /// Members collected into a sorted vector.
+    pub fn to_vec(&self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let n = self.words.len().max(other.words.len());
+        let mut words = Vec::with_capacity(n);
+        for i in 0..n {
+            words.push(
+                self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0),
+            );
+        }
+        AttrSet { words }
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let n = self.words.len().min(other.words.len());
+        let mut words = Vec::with_capacity(n);
+        for i in 0..n {
+            words.push(self.words[i] & other.words[i]);
+        }
+        AttrSet { words }
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut words = self.words.clone();
+        for (i, w) in words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        AttrSet { words }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &AttrSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &AttrSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the two sets share at least one member.
+    pub fn intersects(&self, other: &AttrSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_len(&self, other: &AttrSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<AttrId> {
+        self.iter().next()
+    }
+}
+
+impl PartialEq for AttrSet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for AttrSet {}
+
+impl std::hash::Hash for AttrSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Skip trailing zero words so equal sets hash equally regardless of
+        // internal capacity.
+        let mut end = self.words.len();
+        while end > 0 && self.words[end - 1] == 0 {
+            end -= 1;
+        }
+        self.words[..end].hash(state);
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        AttrSet::from_iter(iter.into_iter().map(AttrId::from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> AttrSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AttrSet::new();
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(4)));
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut s = AttrSet::new();
+        s.insert(AttrId(0));
+        s.insert(AttrId(63));
+        s.insert(AttrId(64));
+        s.insert(AttrId(300));
+        assert_eq!(s.len(), 4);
+        assert_eq!(
+            s.to_vec(),
+            vec![AttrId(0), AttrId(63), AttrId(64), AttrId(300)]
+        );
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[1, 2, 3, 70]);
+        let b = set(&[3, 4, 70, 100]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4, 70, 100]));
+        assert_eq!(a.intersection(&b), set(&[3, 70]));
+        assert_eq!(a.difference(&b), set(&[1, 2]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+        assert!(!set(&[1]).intersects(&set(&[2])));
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(set(&[1, 2]).is_subset(&set(&[1, 2, 3])));
+        assert!(!set(&[1, 4]).is_subset(&set(&[1, 2, 3])));
+        assert!(AttrSet::new().is_subset(&set(&[1])));
+        // Subset must hold even when the subset has more backing words.
+        let mut small = set(&[1]);
+        small.insert(AttrId(500));
+        small.remove(AttrId(500));
+        assert!(small.is_subset(&set(&[1, 2])));
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = set(&[1, 2]);
+        a.insert(AttrId(700));
+        a.remove(AttrId(700));
+        let b = set(&[1, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn all_and_first() {
+        let s = AttrSet::all(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.first(), Some(AttrId(0)));
+        assert_eq!(AttrSet::new().first(), None);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = set(&[1, 2]);
+        a.union_with(&set(&[2, 3, 90]));
+        assert_eq!(a, set(&[1, 2, 3, 90]));
+        a.difference_with(&set(&[2, 90]));
+        assert_eq!(a, set(&[1, 3]));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = set(&[9, 1, 200, 64, 63]);
+        let v: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(v, vec![1, 9, 63, 64, 200]);
+    }
+}

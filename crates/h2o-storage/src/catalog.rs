@@ -1,0 +1,529 @@
+//! The layout catalog — H2O's *Data Layout Manager* (paper Fig. 3).
+//!
+//! The catalog owns every materialized [`ColumnGroup`], maintains the
+//! invariant that the union of live groups always covers the full schema
+//! (so any query can be answered), resolves attribute sets to *covering
+//! sets* of groups, and records the usage statistics the adaptation
+//! mechanism consumes.
+
+use crate::attrset::AttrSet;
+use crate::error::StorageError;
+use crate::group::ColumnGroup;
+use crate::schema::Schema;
+use crate::types::{AttrId, Epoch, LayoutId, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-group usage statistics, updated by the engine as queries run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Epoch (query sequence number) at which the group was materialized.
+    pub created_at: Epoch,
+    /// Epoch of the most recent query that scanned the group.
+    pub last_used: Epoch,
+    /// Number of queries that scanned the group.
+    pub uses: u64,
+}
+
+/// How a covering set of groups should be chosen when several could serve
+/// the same attribute set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverPolicy {
+    /// Prefer the fewest groups (then least excess width). Minimizing the
+    /// number of groups minimizes stitching/selection-vector passes.
+    FewestGroups,
+    /// Prefer the least total excess width (then fewest groups). Minimizing
+    /// excess width minimizes wasted memory bandwidth (paper §4.2.2,
+    /// Fig. 11).
+    LeastExcessWidth,
+}
+
+/// The set of materialized layouts for one relation.
+#[derive(Debug, Clone)]
+pub struct LayoutCatalog {
+    schema: Arc<Schema>,
+    rows: usize,
+    groups: BTreeMap<LayoutId, ColumnGroup>,
+    stats: BTreeMap<LayoutId, GroupStats>,
+    next_id: u32,
+}
+
+impl LayoutCatalog {
+    /// Creates an empty catalog. The caller must add groups covering the
+    /// whole schema before the catalog is usable for queries; prefer
+    /// [`Relation`](crate::relation::Relation) constructors which do this.
+    pub fn new(schema: Arc<Schema>, rows: usize) -> Self {
+        LayoutCatalog {
+            schema,
+            rows,
+            groups: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples in the relation (identical across all groups).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of live groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total bytes across all live groups (storage footprint; the paper
+    /// notes the same data may be stored in more than one format).
+    pub fn total_bytes(&self) -> usize {
+        self.groups.values().map(|g| g.bytes()).sum()
+    }
+
+    /// Admits a group, assigning it a fresh [`LayoutId`]. The group must
+    /// match the relation's row count and only reference schema attributes.
+    pub fn add_group(&mut self, mut group: ColumnGroup, now: Epoch) -> Result<LayoutId, StorageError> {
+        if group.rows() != self.rows {
+            return Err(StorageError::RowCountMismatch {
+                expected: self.rows,
+                got: group.rows(),
+            });
+        }
+        for &a in group.attrs() {
+            if !self.schema.contains(a) {
+                return Err(StorageError::UnknownAttr(a));
+            }
+        }
+        let id = LayoutId(self.next_id);
+        self.next_id += 1;
+        group.set_id(id);
+        self.groups.insert(id, group);
+        self.stats.insert(
+            id,
+            GroupStats {
+                created_at: now,
+                last_used: now,
+                uses: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Drops a group. Fails with [`StorageError::WouldUncover`] if removing
+    /// it would leave some attribute with no materialized layout — the
+    /// catalog never allows data loss.
+    pub fn drop_group(&mut self, id: LayoutId) -> Result<ColumnGroup, StorageError> {
+        let victim = self
+            .groups
+            .get(&id)
+            .ok_or(StorageError::UnknownLayout(id))?;
+        for &a in victim.attrs() {
+            let still_covered = self
+                .groups
+                .values()
+                .any(|g| g.id() != id && g.contains(a));
+            if !still_covered {
+                return Err(StorageError::WouldUncover(a));
+            }
+        }
+        self.stats.remove(&id);
+        Ok(self.groups.remove(&id).expect("checked above"))
+    }
+
+    /// Looks up a live group.
+    pub fn group(&self, id: LayoutId) -> Result<&ColumnGroup, StorageError> {
+        self.groups.get(&id).ok_or(StorageError::UnknownLayout(id))
+    }
+
+    /// Iterates over all live groups in id order.
+    pub fn groups(&self) -> impl Iterator<Item = &ColumnGroup> {
+        self.groups.values()
+    }
+
+    /// Ids of all live groups.
+    pub fn layout_ids(&self) -> Vec<LayoutId> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// All groups that store `attr`.
+    pub fn groups_for(&self, attr: AttrId) -> impl Iterator<Item = &ColumnGroup> {
+        self.groups.values().filter(move |g| g.contains(attr))
+    }
+
+    /// Finds a group whose attribute set is exactly `attrs`, if one exists
+    /// (used to detect that a pending adaptation target already
+    /// materialized).
+    pub fn find_exact(&self, attrs: &AttrSet) -> Option<LayoutId> {
+        self.groups
+            .values()
+            .find(|g| g.attr_set() == attrs)
+            .map(|g| g.id())
+    }
+
+    /// Finds the narrowest single group containing *all* of `attrs`, if any.
+    pub fn find_superset(&self, attrs: &AttrSet) -> Option<LayoutId> {
+        self.groups
+            .values()
+            .filter(|g| attrs.is_subset(g.attr_set()))
+            .min_by_key(|g| g.width())
+            .map(|g| g.id())
+    }
+
+    /// Whether the union of live groups covers `attrs`.
+    pub fn covers(&self, attrs: &AttrSet) -> bool {
+        let mut remaining = attrs.clone();
+        for g in self.groups.values() {
+            remaining.difference_with(g.attr_set());
+            if remaining.is_empty() {
+                return true;
+            }
+        }
+        remaining.is_empty()
+    }
+
+    /// Whether the live groups cover the entire schema (the catalog's core
+    /// invariant once loading finishes).
+    pub fn covers_schema(&self) -> bool {
+        self.covers(&AttrSet::all(self.schema.len()))
+    }
+
+    /// Greedily selects a covering set of groups for `attrs` under the given
+    /// policy. Returns the chosen layout ids together with, for each, the
+    /// subset of `attrs` it is *responsible* for (each requested attribute
+    /// is assigned to exactly one chosen group).
+    ///
+    /// Greedy set cover is the standard ln(n)-approximation; the paper's own
+    /// search is heuristic for the same NP-hardness reason (§3.2).
+    pub fn cover(
+        &self,
+        attrs: &AttrSet,
+        policy: CoverPolicy,
+    ) -> Result<Vec<(LayoutId, AttrSet)>, StorageError> {
+        let mut remaining = attrs.clone();
+        let mut chosen = Vec::new();
+        while !remaining.is_empty() {
+            let best = self
+                .groups
+                .values()
+                .filter(|g| g.attr_set().intersects(&remaining))
+                .max_by(|a, b| {
+                    let (ca, cb) = (
+                        a.attr_set().intersection_len(&remaining),
+                        b.attr_set().intersection_len(&remaining),
+                    );
+                    // Excess = stored attributes that the query does not need.
+                    let (ea, eb) = (a.width() - ca, b.width() - cb);
+                    match policy {
+                        CoverPolicy::FewestGroups => {
+                            ca.cmp(&cb).then(eb.cmp(&ea)).then(b.id().cmp(&a.id()))
+                        }
+                        CoverPolicy::LeastExcessWidth => {
+                            // Maximize covered-per-excess: compare ca*(eb+1)
+                            // vs cb*(ea+1) to avoid floats.
+                            (ca * (eb + 1))
+                                .cmp(&(cb * (ea + 1)))
+                                .then(ca.cmp(&cb))
+                                .then(b.id().cmp(&a.id()))
+                        }
+                    }
+                });
+            let Some(best) = best else {
+                return Err(StorageError::NoCover(
+                    remaining.first().expect("non-empty"),
+                ));
+            };
+            let responsible = best.attr_set().intersection(&remaining);
+            remaining.difference_with(&responsible);
+            chosen.push((best.id(), responsible));
+        }
+        Ok(chosen)
+    }
+
+    /// Enumerates the distinct covering sets produced by every
+    /// [`CoverPolicy`], deduplicated — the planner costs each alternative
+    /// (paper §3.3: "H2O evaluates the alternative execution strategies and
+    /// selects the most appropriate one").
+    pub fn cover_alternatives(
+        &self,
+        attrs: &AttrSet,
+    ) -> Result<Vec<Vec<(LayoutId, AttrSet)>>, StorageError> {
+        let a = self.cover(attrs, CoverPolicy::FewestGroups)?;
+        let b = self.cover(attrs, CoverPolicy::LeastExcessWidth)?;
+        let mut out = vec![a];
+        if out[0].iter().map(|(id, _)| *id).collect::<Vec<_>>()
+            != b.iter().map(|(id, _)| *id).collect::<Vec<_>>()
+        {
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Appends one logical tuple (full schema order) to **every** live
+    /// group, keeping all layouts row-aligned. This is the write path the
+    /// paper leaves as future work ("updates might become quite
+    /// expensive"); the cost is proportional to the number of coexisting
+    /// layouts, which is exactly the trade-off an adaptive multi-layout
+    /// store makes.
+    pub fn append_row(&mut self, tuple: &[Value]) -> Result<(), StorageError> {
+        if tuple.len() != self.schema.len() {
+            return Err(StorageError::RowCountMismatch {
+                expected: self.schema.len(),
+                got: tuple.len(),
+            });
+        }
+        // Validate-then-mutate: build every group's projection first so a
+        // failure cannot leave groups misaligned.
+        let mut projections: Vec<Vec<Value>> = Vec::with_capacity(self.groups.len());
+        for g in self.groups.values() {
+            projections.push(g.attrs().iter().map(|a| tuple[a.index()]).collect());
+        }
+        for (g, proj) in self.groups.values_mut().zip(projections) {
+            g.append_tuple(&proj).expect("projection width matches");
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends many tuples (see [`Self::append_row`]).
+    pub fn append_rows(&mut self, tuples: &[Vec<Value>]) -> Result<(), StorageError> {
+        for t in tuples {
+            self.append_row(t)?;
+        }
+        Ok(())
+    }
+
+    /// The id of the least-recently-used group that can be dropped without
+    /// uncovering any attribute — the eviction candidate when a storage
+    /// budget is in force.
+    pub fn eviction_candidate(&self) -> Option<LayoutId> {
+        let mut candidates: Vec<(Epoch, LayoutId)> = self
+            .groups
+            .values()
+            .filter(|g| {
+                g.attrs().iter().all(|&a| {
+                    self.groups
+                        .values()
+                        .any(|other| other.id() != g.id() && other.contains(a))
+                })
+            })
+            .map(|g| {
+                let last = self.stats.get(&g.id()).map(|s| s.last_used).unwrap_or(0);
+                (last, g.id())
+            })
+            .collect();
+        candidates.sort();
+        candidates.first().map(|&(_, id)| id)
+    }
+
+    /// Records that a query at epoch `now` scanned `id`.
+    pub fn note_use(&mut self, id: LayoutId, now: Epoch) {
+        if let Some(s) = self.stats.get_mut(&id) {
+            s.last_used = now;
+            s.uses += 1;
+        }
+    }
+
+    /// Usage statistics for a live group.
+    pub fn stats(&self, id: LayoutId) -> Result<&GroupStats, StorageError> {
+        self.stats.get(&id).ok_or(StorageError::UnknownLayout(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupBuilder;
+
+    fn catalog_with(groups: &[&[u32]], rows: usize) -> LayoutCatalog {
+        let max_attr = groups.iter().flat_map(|g| g.iter()).max().unwrap() + 1;
+        let schema = Schema::with_width(max_attr as usize).into_shared();
+        let mut cat = LayoutCatalog::new(schema, rows);
+        for attrs in groups {
+            let ids: Vec<AttrId> = attrs.iter().map(|&i| AttrId(i)).collect();
+            let cols: Vec<Vec<i64>> = attrs
+                .iter()
+                .map(|&a| (0..rows as i64).map(|r| (a as i64) * 1000 + r).collect())
+                .collect();
+            let refs: Vec<&[i64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let g = GroupBuilder::from_columns(ids, &refs).unwrap();
+            cat.add_group(g, 0).unwrap();
+        }
+        cat
+    }
+
+    fn aset(ids: &[usize]) -> AttrSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let cat = catalog_with(&[&[0, 1], &[2]], 4);
+        assert_eq!(cat.group_count(), 2);
+        assert!(cat.covers_schema());
+        assert_eq!(cat.total_bytes(), (4 * 2 + 4) * 8);
+        let l0 = cat.layout_ids()[0];
+        assert_eq!(cat.group(l0).unwrap().width(), 2);
+    }
+
+    #[test]
+    fn add_rejects_wrong_rows_and_unknown_attrs() {
+        let mut cat = catalog_with(&[&[0, 1]], 4);
+        let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[1, 2]]).unwrap();
+        assert!(matches!(
+            cat.add_group(g, 0),
+            Err(StorageError::RowCountMismatch { .. })
+        ));
+        let g = GroupBuilder::from_columns(vec![AttrId(99)], &[&[1, 2, 3, 4]]).unwrap();
+        assert!(matches!(
+            cat.add_group(g, 0),
+            Err(StorageError::UnknownAttr(_))
+        ));
+    }
+
+    #[test]
+    fn drop_preserves_coverage() {
+        let mut cat = catalog_with(&[&[0, 1], &[1, 2], &[0]], 2);
+        let ids = cat.layout_ids();
+        // Dropping [0,1] is fine: 0 covered by [0], 1 covered by [1,2].
+        cat.drop_group(ids[0]).unwrap();
+        assert!(cat.covers_schema());
+        // Dropping [1,2] now would uncover 1 and 2.
+        let err = cat.drop_group(ids[1]).unwrap_err();
+        assert!(matches!(err, StorageError::WouldUncover(_)));
+        assert!(cat.covers_schema());
+    }
+
+    #[test]
+    fn cover_single_group_preferred() {
+        let cat = catalog_with(&[&[0], &[1], &[2], &[0, 1, 2]], 2);
+        let cover = cat.cover(&aset(&[0, 1, 2]), CoverPolicy::FewestGroups).unwrap();
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].1, aset(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn cover_least_excess_prefers_narrow_columns() {
+        // Wide group [0..9] vs two exact columns 0 and 1. For {0,1} the
+        // least-excess policy should take the columns; fewest-groups may
+        // take... the wide group covers both in one group but with excess 8.
+        let cat = catalog_with(&[&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9], &[0], &[1]], 2);
+        let lee = cat
+            .cover(&aset(&[0, 1]), CoverPolicy::LeastExcessWidth)
+            .unwrap();
+        let total_excess: usize = lee
+            .iter()
+            .map(|(id, got)| cat.group(*id).unwrap().width() - got.len())
+            .sum();
+        assert_eq!(total_excess, 0, "least-excess cover should use the two columns");
+        let few = cat.cover(&aset(&[0, 1]), CoverPolicy::FewestGroups).unwrap();
+        assert_eq!(few.len(), 1, "fewest-groups cover should use the wide group");
+    }
+
+    #[test]
+    fn cover_missing_attr_errors() {
+        let cat = catalog_with(&[&[0, 1]], 2);
+        let err = cat.cover(&aset(&[5]), CoverPolicy::FewestGroups);
+        assert!(matches!(err, Err(StorageError::NoCover(_))));
+    }
+
+    #[test]
+    fn cover_alternatives_dedup() {
+        let cat = catalog_with(&[&[0, 1, 2]], 2);
+        let alts = cat.cover_alternatives(&aset(&[0, 2])).unwrap();
+        assert_eq!(alts.len(), 1, "identical covers must deduplicate");
+    }
+
+    #[test]
+    fn find_exact_and_superset() {
+        let cat = catalog_with(&[&[0, 1], &[2, 3, 4]], 2);
+        assert!(cat.find_exact(&aset(&[0, 1])).is_some());
+        assert!(cat.find_exact(&aset(&[0])).is_none());
+        assert!(cat.find_superset(&aset(&[2, 4])).is_some());
+        assert!(cat.find_superset(&aset(&[0, 4])).is_none());
+    }
+
+    #[test]
+    fn responsibility_partition_is_exact() {
+        let cat = catalog_with(&[&[0, 1, 2], &[2, 3], &[4]], 2);
+        let want = aset(&[1, 2, 3, 4]);
+        let cover = cat.cover(&want, CoverPolicy::FewestGroups).unwrap();
+        let mut seen = AttrSet::new();
+        for (_, resp) in &cover {
+            assert!(!resp.intersects(&seen), "responsibilities must be disjoint");
+            seen.union_with(resp);
+        }
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn usage_stats_update() {
+        let mut cat = catalog_with(&[&[0]], 2);
+        let id = cat.layout_ids()[0];
+        cat.note_use(id, 5);
+        cat.note_use(id, 9);
+        let s = cat.stats(id).unwrap();
+        assert_eq!(s.uses, 2);
+        assert_eq!(s.last_used, 9);
+        assert_eq!(s.created_at, 0);
+    }
+
+    #[test]
+    fn append_row_updates_every_layout() {
+        let mut cat = catalog_with(&[&[0, 1], &[1, 2], &[2]], 2);
+        cat.append_row(&[7, 8, 9]).unwrap();
+        assert_eq!(cat.rows(), 3);
+        for g in cat.groups() {
+            assert_eq!(g.rows(), 3);
+        }
+        // The projection landed correctly in each layout.
+        let ids = cat.layout_ids();
+        assert_eq!(cat.group(ids[0]).unwrap().tuple(2), &[7, 8]);
+        assert_eq!(cat.group(ids[1]).unwrap().tuple(2), &[8, 9]);
+        assert_eq!(cat.group(ids[2]).unwrap().tuple(2), &[9]);
+    }
+
+    #[test]
+    fn append_row_rejects_wrong_width() {
+        let mut cat = catalog_with(&[&[0, 1]], 2);
+        assert!(matches!(
+            cat.append_row(&[1]),
+            Err(StorageError::RowCountMismatch { .. })
+        ));
+        assert_eq!(cat.rows(), 2, "failed append must not change state");
+        assert!(cat.groups().all(|g| g.rows() == 2));
+    }
+
+    #[test]
+    fn append_rows_bulk() {
+        let mut cat = catalog_with(&[&[0], &[1]], 1);
+        cat.append_rows(&[vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(cat.rows(), 3);
+    }
+
+    #[test]
+    fn eviction_candidate_is_lru_and_safe() {
+        let mut cat = catalog_with(&[&[0], &[1], &[0, 1]], 2);
+        let ids = cat.layout_ids();
+        // Use the two columns recently; the wide group is stale.
+        cat.note_use(ids[0], 10);
+        cat.note_use(ids[1], 11);
+        assert_eq!(cat.eviction_candidate(), Some(ids[2]));
+        // After dropping it, the columns are each sole coverers — no
+        // candidate remains.
+        cat.drop_group(ids[2]).unwrap();
+        assert_eq!(cat.eviction_candidate(), None);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut cat = catalog_with(&[&[0], &[0, 1]], 2);
+        let first = cat.layout_ids()[0];
+        cat.drop_group(first).unwrap();
+        let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[0, 0]]).unwrap();
+        let new_id = cat.add_group(g, 1).unwrap();
+        assert_ne!(new_id, first);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the storage layer.
+
+use crate::types::{AttrId, LayoutId};
+use std::fmt;
+
+/// Errors surfaced by storage-layer operations.
+///
+/// The storage layer is deliberately strict: the engine above it is supposed
+/// to only ever ask for attributes and layouts that exist, so any of these
+/// errors reaching a user indicates a planning bug — but we return them as
+/// values (not panics) so the engine can degrade gracefully and tests can
+/// assert on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The attribute is not part of the relation schema.
+    UnknownAttr(AttrId),
+    /// No attribute with this name exists in the schema.
+    UnknownAttrName(String),
+    /// The layout id does not refer to a live column group.
+    UnknownLayout(LayoutId),
+    /// The requested attribute is not stored in the given group.
+    AttrNotInGroup { attr: AttrId, layout: LayoutId },
+    /// Attempted to build a group with no attributes.
+    EmptyGroup,
+    /// Attempted to build a group with a duplicated attribute.
+    DuplicateAttr(AttrId),
+    /// Row counts of the inputs to a group build disagree.
+    RowCountMismatch { expected: usize, got: usize },
+    /// Dropping this group would leave some attribute with no layout at all.
+    WouldUncover(AttrId),
+    /// The existing groups do not cover the requested attribute set.
+    NoCover(AttrId),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownAttr(a) => write!(f, "unknown attribute {a}"),
+            StorageError::UnknownAttrName(n) => write!(f, "unknown attribute name {n:?}"),
+            StorageError::UnknownLayout(l) => write!(f, "unknown layout {l}"),
+            StorageError::AttrNotInGroup { attr, layout } => {
+                write!(f, "attribute {attr} is not stored in layout {layout}")
+            }
+            StorageError::EmptyGroup => write!(f, "a column group must contain attributes"),
+            StorageError::DuplicateAttr(a) => {
+                write!(f, "attribute {a} appears twice in the group definition")
+            }
+            StorageError::RowCountMismatch { expected, got } => {
+                write!(f, "row count mismatch: expected {expected}, got {got}")
+            }
+            StorageError::WouldUncover(a) => {
+                write!(f, "dropping this layout would leave attribute {a} unmaterialized")
+            }
+            StorageError::NoCover(a) => {
+                write!(f, "no materialized layout stores attribute {a}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::AttrNotInGroup {
+            attr: AttrId(4),
+            layout: LayoutId(2),
+        };
+        assert!(e.to_string().contains("a4"));
+        assert!(e.to_string().contains("L2"));
+        assert!(StorageError::EmptyGroup.to_string().contains("must contain"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::EmptyGroup);
+    }
+}

@@ -1,0 +1,387 @@
+//! Column groups — the single physical layout primitive.
+//!
+//! A [`ColumnGroup`] stores a subset of the relation's attributes for *all*
+//! tuples, row-major **within the group**: tuple `i`'s values occupy the
+//! contiguous slice `data[i*width .. (i+1)*width]`. The three layouts of the
+//! paper (§3.1, Fig. 4) are all instances:
+//!
+//! * width 1 → a plain column (DSM),
+//! * width = schema width → the row-major layout (NSM),
+//! * anything in between → a "group of columns" vertical partition.
+//!
+//! Attributes are densely packed with no padding or per-tuple header, as in
+//! the paper ("attributes are densely-packed and no additional space is left
+//! for updates").
+
+use crate::error::StorageError;
+use crate::types::{AttrId, LayoutId, Value, VALUE_BYTES};
+use crate::AttrSet;
+use std::collections::HashMap;
+
+/// A materialized vertical partition of the relation.
+#[derive(Debug, Clone)]
+pub struct ColumnGroup {
+    id: LayoutId,
+    /// Attributes in physical order; the position of an attribute in this
+    /// vector is its byte-offset/`VALUE_BYTES` within a tuple of the group.
+    attrs: Vec<AttrId>,
+    /// Fast attribute → offset lookup.
+    offsets: HashMap<AttrId, usize>,
+    /// Same membership as `attrs`, as a bitset for coverage queries.
+    attr_set: AttrSet,
+    rows: usize,
+    /// Row-major strided payload, `rows * attrs.len()` values.
+    data: Vec<Value>,
+}
+
+impl ColumnGroup {
+    /// Assembles a group from its parts. `data.len()` must equal
+    /// `rows * attrs.len()` and `attrs` must be non-empty and duplicate-free.
+    pub fn from_parts(
+        id: LayoutId,
+        attrs: Vec<AttrId>,
+        rows: usize,
+        data: Vec<Value>,
+    ) -> Result<Self, StorageError> {
+        if attrs.is_empty() {
+            return Err(StorageError::EmptyGroup);
+        }
+        let mut offsets = HashMap::with_capacity(attrs.len());
+        let mut attr_set = AttrSet::new();
+        for (off, &a) in attrs.iter().enumerate() {
+            if offsets.insert(a, off).is_some() {
+                return Err(StorageError::DuplicateAttr(a));
+            }
+            attr_set.insert(a);
+        }
+        let expected = rows * attrs.len();
+        if data.len() != expected {
+            return Err(StorageError::RowCountMismatch {
+                expected,
+                got: data.len() / attrs.len().max(1),
+            });
+        }
+        Ok(ColumnGroup {
+            id,
+            attrs,
+            offsets,
+            attr_set,
+            rows,
+            data,
+        })
+    }
+
+    /// The layout id assigned by the catalog.
+    #[inline]
+    pub fn id(&self) -> LayoutId {
+        self.id
+    }
+
+    /// Re-tags the group with a new id (used by the catalog on admission).
+    pub(crate) fn set_id(&mut self, id: LayoutId) {
+        self.id = id;
+    }
+
+    /// Attributes in physical order.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Membership bitset.
+    #[inline]
+    pub fn attr_set(&self) -> &AttrSet {
+        &self.attr_set
+    }
+
+    /// Number of attributes stored per tuple (the group's *width*).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Width of one tuple of this group in bytes.
+    #[inline]
+    pub fn tuple_bytes(&self) -> usize {
+        self.width() * VALUE_BYTES
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total payload size in bytes (feeds the I/O cost model).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * VALUE_BYTES
+    }
+
+    /// The raw strided payload. Kernels iterate this directly.
+    #[inline]
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Whether the group stores `attr`.
+    #[inline]
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.offsets.contains_key(&attr)
+    }
+
+    /// Offset of `attr` within a tuple of this group, if stored.
+    #[inline]
+    pub fn offset_of(&self, attr: AttrId) -> Option<usize> {
+        self.offsets.get(&attr).copied()
+    }
+
+    /// Offset of `attr`, as an error if absent.
+    pub fn try_offset_of(&self, attr: AttrId) -> Result<usize, StorageError> {
+        self.offset_of(attr).ok_or(StorageError::AttrNotInGroup {
+            attr,
+            layout: self.id,
+        })
+    }
+
+    /// The `row`-th tuple as a contiguous slice of `width()` values.
+    #[inline]
+    pub fn tuple(&self, row: usize) -> &[Value] {
+        let w = self.width();
+        &self.data[row * w..(row + 1) * w]
+    }
+
+    /// A single cell.
+    #[inline]
+    pub fn value(&self, row: usize, offset: usize) -> Value {
+        self.data[row * self.width() + offset]
+    }
+
+    /// Reads attribute `attr` of tuple `row` (slow path; kernels resolve the
+    /// offset once and use [`Self::value`]).
+    pub fn value_of(&self, row: usize, attr: AttrId) -> Result<Value, StorageError> {
+        Ok(self.value(row, self.try_offset_of(attr)?))
+    }
+
+    /// Copies one full column out of the group (used by reorganization and
+    /// tests; query execution never needs this).
+    pub fn extract_column(&self, attr: AttrId) -> Result<Vec<Value>, StorageError> {
+        let off = self.try_offset_of(attr)?;
+        let w = self.width();
+        Ok((0..self.rows).map(|r| self.data[r * w + off]).collect())
+    }
+
+    /// Appends one tuple, given the values of this group's attributes in
+    /// the group's physical order. The append path of the store: every
+    /// live group receives the projection of each inserted tuple, so all
+    /// layouts stay row-aligned (see
+    /// [`LayoutCatalog::append_row`](crate::catalog::LayoutCatalog::append_row)).
+    pub fn append_tuple(&mut self, values: &[Value]) -> Result<(), StorageError> {
+        if values.len() != self.width() {
+            return Err(StorageError::RowCountMismatch {
+                expected: self.width(),
+                got: values.len(),
+            });
+        }
+        self.data.extend_from_slice(values);
+        self.rows += 1;
+        Ok(())
+    }
+}
+
+/// Incremental builder for a [`ColumnGroup`].
+///
+/// Two construction styles are supported, matching how groups arise in the
+/// engine:
+///
+/// * [`GroupBuilder::push_tuple`] — row-at-a-time, used by the fused
+///   reorganization operators that stitch a new group together *while
+///   scanning* (paper §3.2 "Data Reorganization");
+/// * [`GroupBuilder::from_columns`] — bulk build from whole columns, used at
+///   load time and by tests.
+#[derive(Debug)]
+pub struct GroupBuilder {
+    attrs: Vec<AttrId>,
+    data: Vec<Value>,
+}
+
+impl GroupBuilder {
+    /// Starts a builder for a group storing `attrs` (in this physical
+    /// order). `rows_hint` pre-sizes the payload allocation.
+    pub fn new(attrs: Vec<AttrId>, rows_hint: usize) -> Result<Self, StorageError> {
+        if attrs.is_empty() {
+            return Err(StorageError::EmptyGroup);
+        }
+        let mut seen = AttrSet::new();
+        for &a in &attrs {
+            if !seen.insert(a) {
+                return Err(StorageError::DuplicateAttr(a));
+            }
+        }
+        let width = attrs.len();
+        Ok(GroupBuilder {
+            attrs,
+            data: Vec::with_capacity(rows_hint * width),
+        })
+    }
+
+    /// Appends one tuple. `tuple` must have exactly the group's width; this
+    /// is a hot path for the reorganization kernels, so the check is a
+    /// `debug_assert`.
+    #[inline]
+    pub fn push_tuple(&mut self, tuple: &[Value]) {
+        debug_assert_eq!(tuple.len(), self.attrs.len());
+        self.data.extend_from_slice(tuple);
+    }
+
+    /// Number of tuples appended so far.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.attrs.len()
+    }
+
+    /// Finishes the build. The id is a placeholder until the catalog admits
+    /// the group (see [`LayoutCatalog::add_group`](crate::catalog::LayoutCatalog::add_group)).
+    pub fn finish(self) -> ColumnGroup {
+        let rows = self.data.len() / self.attrs.len();
+        ColumnGroup::from_parts(LayoutId(u32::MAX), self.attrs, rows, self.data)
+            .expect("builder maintains invariants")
+    }
+
+    /// Bulk-builds a group from per-attribute columns. All columns must have
+    /// the same length.
+    pub fn from_columns(
+        attrs: Vec<AttrId>,
+        columns: &[&[Value]],
+    ) -> Result<ColumnGroup, StorageError> {
+        if attrs.is_empty() || columns.is_empty() {
+            return Err(StorageError::EmptyGroup);
+        }
+        assert_eq!(attrs.len(), columns.len(), "one column per attribute");
+        let rows = columns[0].len();
+        for c in columns {
+            if c.len() != rows {
+                return Err(StorageError::RowCountMismatch {
+                    expected: rows,
+                    got: c.len(),
+                });
+            }
+        }
+        let width = attrs.len();
+        let mut data = vec![0; rows * width];
+        for (off, col) in columns.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                data[r * width + off] = v;
+            }
+        }
+        ColumnGroup::from_parts(LayoutId(u32::MAX), attrs, rows, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<AttrId> {
+        v.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn from_parts_strided_access() {
+        // Two attributes, three tuples: (1,10), (2,20), (3,30).
+        let g = ColumnGroup::from_parts(LayoutId(0), ids(&[4, 7]), 3, vec![1, 10, 2, 20, 3, 30])
+            .unwrap();
+        assert_eq!(g.width(), 2);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.tuple(1), &[2, 20]);
+        assert_eq!(g.value(2, 1), 30);
+        assert_eq!(g.offset_of(AttrId(7)), Some(1));
+        assert_eq!(g.offset_of(AttrId(5)), None);
+        assert_eq!(g.value_of(0, AttrId(4)).unwrap(), 1);
+        assert_eq!(g.bytes(), 48);
+        assert!(g.contains(AttrId(4)));
+        assert!(!g.contains(AttrId(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_shapes() {
+        assert!(matches!(
+            ColumnGroup::from_parts(LayoutId(0), vec![], 0, vec![]),
+            Err(StorageError::EmptyGroup)
+        ));
+        assert!(matches!(
+            ColumnGroup::from_parts(LayoutId(0), ids(&[1, 1]), 1, vec![0, 0]),
+            Err(StorageError::DuplicateAttr(_))
+        ));
+        assert!(matches!(
+            ColumnGroup::from_parts(LayoutId(0), ids(&[1]), 2, vec![0]),
+            Err(StorageError::RowCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_push_tuples() {
+        let mut b = GroupBuilder::new(ids(&[0, 2, 5]), 2).unwrap();
+        b.push_tuple(&[1, 2, 3]);
+        b.push_tuple(&[4, 5, 6]);
+        assert_eq!(b.rows(), 2);
+        let g = b.finish();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.tuple(0), &[1, 2, 3]);
+        assert_eq!(g.tuple(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        assert!(matches!(
+            GroupBuilder::new(ids(&[3, 3]), 0),
+            Err(StorageError::DuplicateAttr(_))
+        ));
+        assert!(matches!(
+            GroupBuilder::new(vec![], 0),
+            Err(StorageError::EmptyGroup)
+        ));
+    }
+
+    #[test]
+    fn from_columns_transposes() {
+        let c0 = [1, 2, 3];
+        let c1 = [10, 20, 30];
+        let g = GroupBuilder::from_columns(ids(&[8, 9]), &[&c0, &c1]).unwrap();
+        assert_eq!(g.tuple(0), &[1, 10]);
+        assert_eq!(g.tuple(2), &[3, 30]);
+        assert_eq!(g.extract_column(AttrId(9)).unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged() {
+        let c0 = [1, 2, 3];
+        let c1 = [10, 20];
+        assert!(matches!(
+            GroupBuilder::from_columns(ids(&[0, 1]), &[&c0, &c1]),
+            Err(StorageError::RowCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn width_one_group_is_a_column() {
+        let g = GroupBuilder::from_columns(ids(&[3]), &[&[7, 8, 9]]).unwrap();
+        assert_eq!(g.width(), 1);
+        assert_eq!(g.data(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn extract_missing_column_errors() {
+        let g = GroupBuilder::from_columns(ids(&[3]), &[&[7]]).unwrap();
+        assert!(matches!(
+            g.extract_column(AttrId(0)),
+            Err(StorageError::AttrNotInGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_relation_zero_rows() {
+        let g = ColumnGroup::from_parts(LayoutId(1), ids(&[0, 1]), 0, vec![]).unwrap();
+        assert_eq!(g.rows(), 0);
+        assert_eq!(g.bytes(), 0);
+    }
+}

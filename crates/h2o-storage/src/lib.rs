@@ -1,0 +1,40 @@
+//! # h2o-storage — physical data layouts for the H2O adaptive store
+//!
+//! This crate implements the storage substrate of H2O (Alagiannis, Idreos,
+//! Ailamaki — SIGMOD 2014, §3.1): a relation whose attributes may be
+//! materialized in **several physical layouts at the same time**:
+//!
+//! * **column-major** (DSM): each attribute in its own contiguous array,
+//! * **row-major** (NSM): all attributes densely packed per tuple,
+//! * **column groups**: vertical partitions storing a *subset* of the
+//!   attributes row-major within the group.
+//!
+//! All three are represented by one physical structure, [`ColumnGroup`]: a
+//! group of one attribute *is* a column, and a group of all attributes *is*
+//! the row-major layout. This mirrors the paper's observation that columns
+//! and rows are "the two extremes of the physical data layout design space".
+//!
+//! The [`LayoutCatalog`] is the paper's *Data Layout Manager* (Fig. 3): it
+//! owns every materialized group, guarantees the set of groups always covers
+//! the full schema, answers "which groups contain these attributes?", and
+//! tracks per-group usage statistics that feed the adaptation mechanism.
+//!
+//! All attributes are fixed-width 64-bit integers, matching the paper's
+//! evaluation setting ("each tuple contains N attributes with integer
+//! values"; §3.1: "we consider fixed length attributes").
+
+pub mod attrset;
+pub mod catalog;
+pub mod error;
+pub mod group;
+pub mod relation;
+pub mod schema;
+pub mod types;
+
+pub use attrset::AttrSet;
+pub use catalog::{GroupStats, LayoutCatalog};
+pub use error::StorageError;
+pub use group::{ColumnGroup, GroupBuilder};
+pub use relation::Relation;
+pub use schema::{Attribute, Schema};
+pub use types::{AttrId, Epoch, LayoutId, Value, VALUE_BYTES};

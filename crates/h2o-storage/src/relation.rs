@@ -1,0 +1,227 @@
+//! A relation = schema + the catalog of its materialized layouts.
+//!
+//! [`Relation`] is the unit the engine operates on. Constructors cover the
+//! three starting points used in the paper's experiments: fully columnar
+//! (Fig. 7 "relation R is initially stored in a column-major format"), fully
+//! row-major (Fig. 9), or an arbitrary initial vertical partitioning.
+
+use crate::catalog::LayoutCatalog;
+use crate::error::StorageError;
+use crate::group::GroupBuilder;
+use crate::schema::Schema;
+use crate::types::{AttrId, Value};
+use crate::AttrSet;
+use std::sync::Arc;
+
+/// A relation with one or more coexisting physical layouts.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    catalog: LayoutCatalog,
+}
+
+impl Relation {
+    /// Builds a relation stored **column-major**: one width-1 group per
+    /// attribute. `columns[i]` holds the values of schema attribute `i`.
+    pub fn columnar(schema: Arc<Schema>, columns: Vec<Vec<Value>>) -> Result<Self, StorageError> {
+        let partition: Vec<Vec<AttrId>> =
+            schema.attr_ids().map(|a| vec![a]).collect();
+        Self::partitioned(schema, columns, partition)
+    }
+
+    /// Builds a relation stored **row-major**: a single group over the whole
+    /// schema.
+    pub fn row_major(schema: Arc<Schema>, columns: Vec<Vec<Value>>) -> Result<Self, StorageError> {
+        let all: Vec<AttrId> = schema.attr_ids().collect();
+        Self::partitioned(schema, columns, vec![all])
+    }
+
+    /// Builds a relation stored as an arbitrary set of column groups.
+    /// `partition` must be a disjoint cover of the schema (each attribute in
+    /// exactly one group); `columns` is indexed by schema attribute id.
+    pub fn partitioned(
+        schema: Arc<Schema>,
+        columns: Vec<Vec<Value>>,
+        partition: Vec<Vec<AttrId>>,
+    ) -> Result<Self, StorageError> {
+        assert_eq!(
+            columns.len(),
+            schema.len(),
+            "one input column per schema attribute"
+        );
+        let rows = columns.first().map_or(0, |c| c.len());
+        for c in &columns {
+            if c.len() != rows {
+                return Err(StorageError::RowCountMismatch {
+                    expected: rows,
+                    got: c.len(),
+                });
+            }
+        }
+        let mut seen = AttrSet::new();
+        for grp in &partition {
+            for &a in grp {
+                if !schema.contains(a) {
+                    return Err(StorageError::UnknownAttr(a));
+                }
+                if !seen.insert(a) {
+                    return Err(StorageError::DuplicateAttr(a));
+                }
+            }
+        }
+        if let Some(missing) = schema.attr_ids().find(|a| !seen.contains(*a)) {
+            return Err(StorageError::NoCover(missing));
+        }
+
+        let mut catalog = LayoutCatalog::new(schema, rows);
+        for attrs in partition {
+            let refs: Vec<&[Value]> = attrs.iter().map(|a| columns[a.index()].as_slice()).collect();
+            let g = GroupBuilder::from_columns(attrs, &refs)?;
+            catalog.add_group(g, 0)?;
+        }
+        Ok(Relation { catalog })
+    }
+
+    /// Builds a row-major relation from tuples (mostly for tests/examples).
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<Value>]) -> Result<Self, StorageError> {
+        let width = schema.len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); width];
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != width {
+                return Err(StorageError::RowCountMismatch {
+                    expected: width,
+                    got: r.len(),
+                });
+            }
+            for (c, &v) in r.iter().enumerate() {
+                columns[c].push(v);
+            }
+            let _ = i;
+        }
+        Self::row_major(schema, columns)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.catalog.schema()
+    }
+
+    /// Number of tuples.
+    pub fn rows(&self) -> usize {
+        self.catalog.rows()
+    }
+
+    /// Immutable access to the layout catalog.
+    pub fn catalog(&self) -> &LayoutCatalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the layout catalog (the engine's adaptation path).
+    pub fn catalog_mut(&mut self) -> &mut LayoutCatalog {
+        &mut self.catalog
+    }
+
+    /// Reads a single logical cell by searching any group that stores the
+    /// attribute. O(groups) — a test/debug oracle, never used by execution.
+    pub fn cell(&self, row: usize, attr: AttrId) -> Result<Value, StorageError> {
+        let g = self
+            .catalog
+            .groups_for(attr)
+            .next()
+            .ok_or(StorageError::NoCover(attr))?;
+        g.value_of(row, attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols3() -> Vec<Vec<Value>> {
+        vec![vec![1, 2, 3], vec![10, 20, 30], vec![100, 200, 300]]
+    }
+
+    #[test]
+    fn columnar_layout_shape() {
+        let r = Relation::columnar(Schema::with_width(3).into_shared(), cols3()).unwrap();
+        assert_eq!(r.catalog().group_count(), 3);
+        assert!(r.catalog().groups().all(|g| g.width() == 1));
+        assert_eq!(r.cell(1, AttrId(2)).unwrap(), 200);
+        assert!(r.catalog().covers_schema());
+    }
+
+    #[test]
+    fn row_major_layout_shape() {
+        let r = Relation::row_major(Schema::with_width(3).into_shared(), cols3()).unwrap();
+        assert_eq!(r.catalog().group_count(), 1);
+        let g = r.catalog().groups().next().unwrap();
+        assert_eq!(g.width(), 3);
+        assert_eq!(g.tuple(2), &[3, 30, 300]);
+    }
+
+    #[test]
+    fn partitioned_layout() {
+        let r = Relation::partitioned(
+            Schema::with_width(3).into_shared(),
+            cols3(),
+            vec![vec![AttrId(0), AttrId(2)], vec![AttrId(1)]],
+        )
+        .unwrap();
+        assert_eq!(r.catalog().group_count(), 2);
+        assert_eq!(r.cell(0, AttrId(0)).unwrap(), 1);
+        assert_eq!(r.cell(0, AttrId(1)).unwrap(), 10);
+        assert_eq!(r.cell(0, AttrId(2)).unwrap(), 100);
+    }
+
+    #[test]
+    fn partition_must_cover_and_be_disjoint() {
+        let schema = Schema::with_width(3).into_shared();
+        // Missing attribute 2.
+        assert!(matches!(
+            Relation::partitioned(
+                schema.clone(),
+                cols3(),
+                vec![vec![AttrId(0)], vec![AttrId(1)]]
+            ),
+            Err(StorageError::NoCover(_))
+        ));
+        // Attribute 1 twice.
+        assert!(matches!(
+            Relation::partitioned(
+                schema,
+                cols3(),
+                vec![vec![AttrId(0), AttrId(1)], vec![AttrId(1), AttrId(2)]]
+            ),
+            Err(StorageError::DuplicateAttr(_))
+        ));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let schema = Schema::with_width(2).into_shared();
+        let res = Relation::columnar(schema, vec![vec![1, 2], vec![1]]);
+        assert!(matches!(res, Err(StorageError::RowCountMismatch { .. })));
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let schema = Schema::with_width(2).into_shared();
+        let r = Relation::from_rows(schema, &[vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.cell(1, AttrId(0)).unwrap(), 3);
+        assert_eq!(r.cell(1, AttrId(1)).unwrap(), 4);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let schema = Schema::with_width(2).into_shared();
+        assert!(Relation::from_rows(schema, &[vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let schema = Schema::with_width(2).into_shared();
+        let r = Relation::columnar(schema, vec![vec![], vec![]]).unwrap();
+        assert_eq!(r.rows(), 0);
+        assert!(r.catalog().covers_schema());
+    }
+}

@@ -1,0 +1,168 @@
+//! Relation schemas: named, fixed-width attributes.
+
+use crate::error::StorageError;
+use crate::types::{AttrId, VALUE_BYTES};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    id: AttrId,
+}
+
+impl Attribute {
+    /// The attribute's name as declared in the schema.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's dense id (its position in the schema).
+    pub fn id(&self) -> AttrId {
+        self.id
+    }
+
+    /// Physical width in bytes. All H2O attributes are fixed-width 8-byte
+    /// values (see crate docs).
+    pub fn width_bytes(&self) -> usize {
+        VALUE_BYTES
+    }
+}
+
+/// The schema of a relation: an ordered list of attributes with unique names.
+///
+/// Schemas are immutable once built and shared (`Arc`) between the catalog,
+/// the planner and the adaptation mechanism.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names. Panics on duplicate names —
+    /// schema construction happens at load time, where a duplicate is a
+    /// programming error, not a runtime condition.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        let mut attrs = Vec::new();
+        let mut by_name = HashMap::new();
+        for (i, name) in names.into_iter().enumerate() {
+            let name = name.into();
+            let id = AttrId::from(i);
+            assert!(
+                by_name.insert(name.clone(), id).is_none(),
+                "duplicate attribute name {name:?}"
+            );
+            attrs.push(Attribute { name, id });
+        }
+        Schema { attrs, by_name }
+    }
+
+    /// Convenience constructor: `n` attributes named `a0..a{n-1}`, matching
+    /// the anonymous wide tables used throughout the paper's evaluation.
+    pub fn with_width(n: usize) -> Self {
+        Schema::new((0..n).map(|i| format!("a{i}")))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Looks up an attribute by id.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute, StorageError> {
+        self.attrs
+            .get(id.index())
+            .ok_or(StorageError::UnknownAttr(id))
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Result<AttrId, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownAttrName(name.to_string()))
+    }
+
+    /// Whether `id` belongs to this schema.
+    pub fn contains(&self, id: AttrId) -> bool {
+        id.index() < self.attrs.len()
+    }
+
+    /// Iterates over all attributes in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// All attribute ids in schema order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len()).map(AttrId::from)
+    }
+
+    /// Width of a full tuple in bytes (the paper's row-major tuple width).
+    pub fn tuple_bytes(&self) -> usize {
+        self.attrs.len() * VALUE_BYTES
+    }
+
+    /// Wraps the schema into an `Arc` for sharing.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_schema_lookup() {
+        let s = Schema::new(["d", "e", "f"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attr_by_name("e").unwrap(), AttrId(1));
+        assert_eq!(s.attr(AttrId(2)).unwrap().name(), "f");
+        assert!(matches!(
+            s.attr_by_name("zzz"),
+            Err(StorageError::UnknownAttrName(_))
+        ));
+        assert!(matches!(
+            s.attr(AttrId(9)),
+            Err(StorageError::UnknownAttr(_))
+        ));
+    }
+
+    #[test]
+    fn with_width_generates_dense_names() {
+        let s = Schema::with_width(4);
+        assert_eq!(s.attr(AttrId(0)).unwrap().name(), "a0");
+        assert_eq!(s.attr(AttrId(3)).unwrap().name(), "a3");
+        assert_eq!(s.tuple_bytes(), 32);
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_panic() {
+        Schema::new(["x", "x"]);
+    }
+
+    #[test]
+    fn attr_ids_in_order() {
+        let s = Schema::with_width(3);
+        let ids: Vec<_> = s.attr_ids().collect();
+        assert_eq!(ids, vec![AttrId(0), AttrId(1), AttrId(2)]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(Vec::<String>::new());
+        assert!(s.is_empty());
+        assert_eq!(s.tuple_bytes(), 0);
+    }
+}

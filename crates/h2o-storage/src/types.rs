@@ -1,0 +1,123 @@
+//! Fundamental identifier and value types shared across the engine.
+
+use std::fmt;
+
+/// The native value type of the engine.
+///
+/// H2O's evaluation (SIGMOD 2014, §2.2 and §4) uses relations of fixed-width
+/// integer attributes; we adopt `i64` as the single physical lane type. Every
+/// attribute occupies exactly [`VALUE_BYTES`] bytes in every layout, which is
+/// what makes strided tuple access and the cache-miss cost model exact.
+pub type Value = i64;
+
+/// Width of one stored value in bytes (used by the cost model).
+pub const VALUE_BYTES: usize = std::mem::size_of::<Value>();
+
+/// A logical attribute (column) of the relation, identified by its position
+/// in the [`Schema`](crate::schema::Schema).
+///
+/// `AttrId` is a dense index, so attribute sets can be represented as
+/// bitsets ([`AttrSet`](crate::attrset::AttrSet)) and per-attribute tables as
+/// plain vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute's dense index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for AttrId {
+    fn from(v: u32) -> Self {
+        AttrId(v)
+    }
+}
+
+impl From<usize> for AttrId {
+    fn from(v: usize) -> Self {
+        AttrId(u32::try_from(v).expect("attribute index exceeds u32"))
+    }
+}
+
+/// Identifier of a materialized physical layout (a [`ColumnGroup`](crate::group::ColumnGroup)) inside
+/// the [`LayoutCatalog`](crate::catalog::LayoutCatalog).
+///
+/// Layout ids are never reused: dropping a group retires its id. This lets
+/// the adaptation layer keep references to historical layouts (e.g. in the
+/// transformation-cost bookkeeping of Eq. 1) without ABA confusion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LayoutId(pub u32);
+
+impl LayoutId {
+    /// The raw id value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LayoutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LayoutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A monotonically increasing logical clock, advanced once per processed
+/// query. Used to timestamp layout creation and last access so the
+/// adaptation mechanism can reason about recency (paper §3.2).
+pub type Epoch = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_id_roundtrip() {
+        let a = AttrId::from(7usize);
+        assert_eq!(a.index(), 7);
+        assert_eq!(format!("{a}"), "a7");
+        assert_eq!(format!("{a:?}"), "a7");
+        assert_eq!(AttrId::from(7u32), a);
+    }
+
+    #[test]
+    fn layout_id_display() {
+        let l = LayoutId(3);
+        assert_eq!(l.raw(), 3);
+        assert_eq!(format!("{l}"), "L3");
+    }
+
+    #[test]
+    fn value_is_eight_bytes() {
+        assert_eq!(VALUE_BYTES, 8);
+    }
+
+    #[test]
+    fn attr_id_ordering_follows_index() {
+        assert!(AttrId(1) < AttrId(2));
+        let mut v = vec![AttrId(5), AttrId(1), AttrId(3)];
+        v.sort();
+        assert_eq!(v, vec![AttrId(1), AttrId(3), AttrId(5)]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # h2o-workload — data and query generators for the evaluation
+//!
+//! Deterministic (seeded) generators reproducing the workloads of the
+//! paper's evaluation (SIGMOD 2014 §4):
+//!
+//! * [`synth`] — wide integer relations ("each tuple contains N attributes
+//!   with integers randomly distributed in [−10⁹, 10⁹]") and
+//!   selectivity-controlled predicates over them;
+//! * [`micro`] — the three §4.2.1 query templates: projections,
+//!   aggregations, arithmetic expressions, with and without where clauses;
+//! * [`sequence`] — the query *sequences* of the adaptation experiments:
+//!   the Fig. 7 class-pool workload, the Fig. 9 shifting workload, and an
+//!   oscillating stress sequence;
+//! * [`skyserver`] — a synthetic stand-in for the SDSS SkyServer
+//!   "PhotoObjAll" workload of Fig. 8 (wide table, clustered skewed
+//!   access, drift), since the real data/query logs are not redistributable
+//!   (see DESIGN.md, substitution table).
+//!
+//! Every generator takes an explicit seed; identical seeds produce
+//! identical workloads across runs and platforms.
+
+pub mod micro;
+pub mod sequence;
+pub mod skyserver;
+pub mod synth;
+
+pub use micro::{QueryGen, Template};
+pub use sequence::{fig7_sequence, fig9_sequence, oscillating_sequence, TimedQuery};
+pub use skyserver::{skyserver_schema, skyserver_workload, SkyServerSpec};
+pub use synth::{gen_columns, threshold_for_selectivity, VALUE_MAX, VALUE_MIN};

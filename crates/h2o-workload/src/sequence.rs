@@ -1,0 +1,223 @@
+//! Query sequences for the adaptation experiments.
+
+use crate::micro::{QueryGen, Template};
+use h2o_expr::Query;
+use h2o_storage::AttrId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One workload step: the query plus its ground-truth selectivity (the
+/// harness passes it to the engine as a planning hint and uses it for
+/// reporting).
+#[derive(Debug, Clone)]
+pub struct TimedQuery {
+    pub query: Query,
+    pub selectivity: f64,
+}
+
+/// The Fig. 7 workload: a sequence of select-project-aggregation queries
+/// where "each query refers to z randomly selected attributes of R, with
+/// z ∈ [10, 30]".
+///
+/// As in the paper's walkthrough ("5 out of the 20 queries refer to
+/// attributes a1, a5, a8, a9, a10"), queries cluster into recurring
+/// *classes*: a pool of `classes` attribute sets is drawn up front and each
+/// query instantiates one of them (with fresh predicate constants), with a
+/// `noise` fraction of one-off random-attribute queries mixed in.
+pub fn fig7_sequence(
+    n_attrs: usize,
+    n_queries: usize,
+    classes: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<TimedQuery> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut gen = QueryGen::new(n_attrs, seed ^ 0x9e3779b97f4a7c15);
+    // Draw the class pool: attribute sets of size z ∈ [10, 30].
+    let pool: Vec<Vec<AttrId>> = (0..classes)
+        .map(|_| {
+            let z = rng.gen_range(10..=30.min(n_attrs));
+            gen.random_attrs(z)
+        })
+        .collect();
+    (0..n_queries)
+        .map(|_| {
+            let attrs: Vec<AttrId> = if rng.gen_bool(noise) {
+                let z = rng.gen_range(10..=30.min(n_attrs));
+                gen.random_attrs(z)
+            } else {
+                pool.choose(&mut rng).expect("non-empty pool").clone()
+            };
+            // Select-project-aggregate mix: mostly Q1-style arithmetic
+            // expressions (the paper's running example), with aggregations
+            // and projections mixed in; one predicate among the accessed
+            // attributes; varying selectivity per query.
+            let template = match rng.gen_range(0..10) {
+                0..=6 => Template::Expression,
+                7..=8 => Template::Aggregation,
+                _ => Template::Projection,
+            };
+            let selectivity = *[0.5, 1.0, 1.0].choose(&mut rng).unwrap();
+            let (query, selectivity) = if selectivity >= 1.0 {
+                // No where clause (pure scan-compute, the regime where
+                // tailored groups help most).
+                QueryGen::build(template, &attrs[1..], &[], 1.0)
+            } else {
+                QueryGen::build(template, &attrs[1..], &attrs[..1], selectivity)
+            };
+            TimedQuery { query, selectivity }
+        })
+        .collect()
+}
+
+/// The Fig. 9 workload: 60 queries computing arithmetic expressions, each
+/// referring to 5–20 attributes; "the first 15 queries focus on a set of 20
+/// specific attributes while the other 45 queries to a different one".
+pub fn fig9_sequence(n_attrs: usize, seed: u64) -> Vec<TimedQuery> {
+    shifted_sequence(n_attrs, 60, 15, 20, seed)
+}
+
+/// Generalized Fig. 9 shape: `n_queries` expression queries over a focus
+/// set of `focus_size` attributes that switches to a disjoint focus set
+/// after `shift_at` queries.
+pub fn shifted_sequence(
+    n_attrs: usize,
+    n_queries: usize,
+    shift_at: usize,
+    focus_size: usize,
+    seed: u64,
+) -> Vec<TimedQuery> {
+    assert!(n_attrs >= 2 * focus_size, "need two disjoint focus sets");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut all: Vec<u32> = (0..n_attrs as u32).collect();
+    all.shuffle(&mut rng);
+    let focus_a: Vec<AttrId> = all[..focus_size].iter().copied().map(AttrId).collect();
+    let focus_b: Vec<AttrId> = all[focus_size..2 * focus_size]
+        .iter()
+        .copied()
+        .map(AttrId)
+        .collect();
+    (0..n_queries)
+        .map(|i| {
+            let focus = if i < shift_at { &focus_a } else { &focus_b };
+            let k = rng.gen_range(5..=20.min(focus_size));
+            let mut attrs = focus.clone();
+            attrs.shuffle(&mut rng);
+            attrs.truncate(k);
+            attrs.sort_unstable();
+            let selectivity = *[0.2, 0.5].choose(&mut rng).unwrap();
+            let filter = [attrs[0]];
+            let (query, selectivity) =
+                QueryGen::build(Template::Expression, &attrs, &filter, selectivity);
+            TimedQuery { query, selectivity }
+        })
+        .collect()
+}
+
+/// An oscillating workload: alternates between two query classes every
+/// `period` queries — the §3.2 "oscillating workloads" robustness case
+/// (the engine must not thrash layouts).
+pub fn oscillating_sequence(
+    n_attrs: usize,
+    n_queries: usize,
+    period: usize,
+    seed: u64,
+) -> Vec<TimedQuery> {
+    assert!(n_attrs >= 12);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut gen = QueryGen::new(n_attrs, seed ^ 0xabcdef);
+    let class_a = gen.random_attrs(6);
+    let class_b: Vec<AttrId> = {
+        // Disjoint from class_a.
+        let mut rest: Vec<u32> = (0..n_attrs as u32)
+            .filter(|&i| !class_a.contains(&AttrId(i)))
+            .collect();
+        rest.shuffle(&mut rng);
+        rest.truncate(6);
+        rest.sort_unstable();
+        rest.into_iter().map(AttrId).collect()
+    };
+    (0..n_queries)
+        .map(|i| {
+            let attrs = if (i / period).is_multiple_of(2) { &class_a } else { &class_b };
+            let (query, selectivity) =
+                QueryGen::build(Template::Expression, &attrs[1..], &attrs[..1], 0.3);
+            TimedQuery { query, selectivity }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_storage::AttrSet;
+
+    #[test]
+    fn fig7_shape() {
+        let w = fig7_sequence(150, 100, 6, 0.1, 1);
+        assert_eq!(w.len(), 100);
+        for tq in &w {
+            // Filtered queries touch z attrs; no-filter queries z−1.
+            let n = tq.query.all_attrs().len();
+            assert!((9..=30).contains(&n), "query touches {n} attrs");
+            // mixed templates: aggregations, expressions, projections
+        }
+        // Classes repeat: the number of distinct attribute sets must be far
+        // below the number of queries.
+        let distinct: std::collections::HashSet<Vec<_>> = w
+            .iter()
+            .map(|tq| tq.query.all_attrs().to_vec())
+            .collect();
+        assert!(distinct.len() < 40, "got {} distinct sets", distinct.len());
+    }
+
+    #[test]
+    fn fig7_deterministic() {
+        let a = fig7_sequence(150, 20, 4, 0.1, 5);
+        let b = fig7_sequence(150, 20, 4, 0.1, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.query, y.query);
+        }
+    }
+
+    #[test]
+    fn fig9_shifts_at_15() {
+        let w = fig9_sequence(150, 3);
+        assert_eq!(w.len(), 60);
+        let attrs_of = |i: usize| -> AttrSet { w[i].query.all_attrs() };
+        // Union of the first 15 queries' attrs is disjoint from the union
+        // of the last 45.
+        let mut before = AttrSet::new();
+        for i in 0..15 {
+            before.union_with(&attrs_of(i));
+        }
+        let mut after = AttrSet::new();
+        for i in 15..60 {
+            after.union_with(&attrs_of(i));
+        }
+        assert!(!before.intersects(&after), "focus sets must be disjoint");
+        assert!(before.len() <= 20);
+        for tq in &w {
+            let n = tq.query.all_attrs().len();
+            assert!((5..=20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oscillation_alternates() {
+        let w = oscillating_sequence(30, 40, 5, 2);
+        let a0 = w[0].query.all_attrs();
+        let a5 = w[5].query.all_attrs();
+        let a10 = w[10].query.all_attrs();
+        assert!(!a0.intersects(&a5), "periods use disjoint classes");
+        assert_eq!(a0, a10, "period 2k returns to class A");
+    }
+
+    #[test]
+    fn selectivity_hints_in_range() {
+        for tq in fig7_sequence(150, 50, 5, 0.2, 11) {
+            assert!(tq.selectivity > 0.0 && tq.selectivity <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! A synthetic SkyServer ("PhotoObjAll") workload.
+//!
+//! Fig. 8 evaluates H2O against AutoPart on "a subset of the PhotoObjAll
+//! table which is the most commonly used and 250 of the SkyServer
+//! queries". The real SDSS data and query logs are not redistributable, so
+//! this module generates a stand-in that preserves the properties that
+//! drive the experiment (see DESIGN.md):
+//!
+//! * a **wide table** whose attributes form semantic clusters
+//!   (astrometry, per-band photometry, per-band shape, flags) — real
+//!   SkyServer queries overwhelmingly access attributes *within* clusters;
+//! * **skewed cluster popularity** (a few hot clusters, a long tail);
+//! * **drift**: cluster popularity changes over the 250-query sequence, so
+//!   a single offline partitioning cannot be optimal throughout — the
+//!   effect Fig. 8 measures.
+
+use crate::micro::{QueryGen, Template};
+use crate::sequence::TimedQuery;
+use crate::synth::gen_columns;
+use h2o_storage::{AttrId, Schema, Value};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The synthetic PhotoObjAll schema plus its semantic clusters.
+#[derive(Debug, Clone)]
+pub struct SkyServerSpec {
+    pub schema: Arc<Schema>,
+    /// Named attribute clusters (astrometry, photometry per band, ...).
+    pub clusters: Vec<(String, Vec<AttrId>)>,
+    /// Attributes commonly used in predicates (`type`, `status`, `clean`,
+    /// `modelMag_r`).
+    pub predicate_attrs: Vec<AttrId>,
+}
+
+/// Builds the synthetic PhotoObjAll schema (64 attributes).
+pub fn skyserver_schema() -> SkyServerSpec {
+    let bands = ["u", "g", "r", "i", "z"];
+    let mut names: Vec<String> = Vec::new();
+    let mut clusters: Vec<(String, Vec<AttrId>)> = Vec::new();
+
+    let mut push_cluster = |label: &str, attrs: Vec<String>, names: &mut Vec<String>| {
+        let ids: Vec<AttrId> = attrs
+            .iter()
+            .map(|n| {
+                names.push(n.clone());
+                AttrId::from(names.len() - 1)
+            })
+            .collect();
+        clusters.push((label.to_string(), ids));
+    };
+
+    push_cluster(
+        "astrometry",
+        [
+            "objID", "run", "rerun", "camcol", "field", "obj", "mode", "ra", "dec", "raErr",
+            "decErr", "cx", "cy", "cz", "htmID",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        &mut names,
+    );
+    for band in bands {
+        push_cluster(
+            &format!("photometry_{band}"),
+            vec![
+                format!("psfMag_{band}"),
+                format!("psfMagErr_{band}"),
+                format!("petroMag_{band}"),
+                format!("petroMagErr_{band}"),
+                format!("modelMag_{band}"),
+                format!("modelMagErr_{band}"),
+            ],
+            &mut names,
+        );
+    }
+    for band in bands {
+        push_cluster(
+            &format!("shape_{band}"),
+            vec![
+                format!("rowc_{band}"),
+                format!("colc_{band}"),
+                format!("petroRad_{band}"),
+            ],
+            &mut names,
+        );
+    }
+    push_cluster(
+        "flags",
+        ["type", "status", "flags", "clean"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        &mut names,
+    );
+
+    let schema = Schema::new(names).into_shared();
+    let predicate_attrs = vec![
+        schema.attr_by_name("type").unwrap(),
+        schema.attr_by_name("status").unwrap(),
+        schema.attr_by_name("clean").unwrap(),
+        schema.attr_by_name("modelMag_r").unwrap(),
+    ];
+    SkyServerSpec {
+        schema,
+        clusters,
+        predicate_attrs,
+    }
+}
+
+/// Generates the full Fig. 8 setup: schema, data columns, and a 250-query
+/// drifting workload.
+///
+/// The sequence has three phases with different hot clusters (e.g. an
+/// astrometry-heavy phase, a photometry-heavy phase, a shape-heavy phase);
+/// within each phase cluster choice is skewed ~80/20.
+pub fn skyserver_workload(
+    rows: usize,
+    n_queries: usize,
+    seed: u64,
+) -> (SkyServerSpec, Vec<Vec<Value>>, Vec<TimedQuery>) {
+    let spec = skyserver_schema();
+    let columns = gen_columns(spec.schema.len(), rows, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_5eed);
+
+    // Phase → (hot clusters, warm clusters).
+    let phase_hots: [&[usize]; 3] = [
+        &[0, 1, 3],  // astrometry + photometry u/r
+        &[2, 3, 11], // photometry g/r + flags
+        &[6, 7, 8],  // shape u/g/r
+    ];
+    let phase_len = n_queries.div_ceil(3);
+
+    let mut out = Vec::with_capacity(n_queries);
+    for qi in 0..n_queries {
+        let phase = (qi / phase_len).min(2);
+        let hot = phase_hots[phase];
+        // 80% hot cluster, 20% any cluster.
+        let cluster_idx = if rng.gen_bool(0.8) {
+            *hot.choose(&mut rng).unwrap()
+        } else {
+            rng.gen_range(0..spec.clusters.len())
+        };
+        let (_, cluster_attrs) = &spec.clusters[cluster_idx % spec.clusters.len()];
+
+        // Query shape: mostly aggregations and expressions over a subset of
+        // the cluster, sometimes spanning two clusters (joins of concepts,
+        // e.g. photometry + astrometry).
+        let mut attrs: Vec<AttrId> = cluster_attrs.clone();
+        if rng.gen_bool(0.3) {
+            let other = &spec.clusters[rng.gen_range(0..spec.clusters.len())].1;
+            attrs.extend(other.iter().copied());
+        }
+        attrs.shuffle(&mut rng);
+        let k = rng.gen_range(2..=attrs.len().min(10));
+        attrs.truncate(k);
+        attrs.sort_unstable();
+        attrs.dedup();
+
+        let template = match rng.gen_range(0..10) {
+            0..=4 => Template::Aggregation,
+            5..=7 => Template::Expression,
+            _ => Template::Projection,
+        };
+        let selectivity = *[0.01, 0.05, 0.1, 0.3].choose(&mut rng).unwrap();
+        let filter = [*spec.predicate_attrs.choose(&mut rng).unwrap()];
+        let (query, selectivity) = QueryGen::build(template, &attrs, &filter, selectivity);
+        out.push(TimedQuery { query, selectivity });
+    }
+    (spec, columns, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let spec = skyserver_schema();
+        assert_eq!(spec.schema.len(), 64);
+        assert_eq!(spec.clusters.len(), 12);
+        // Clusters partition the schema.
+        let total: usize = spec.clusters.iter().map(|(_, a)| a.len()).sum();
+        assert_eq!(total, 64);
+        assert!(spec.schema.attr_by_name("psfMag_r").is_ok());
+        assert!(spec.schema.attr_by_name("ra").is_ok());
+        assert_eq!(spec.predicate_attrs.len(), 4);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_well_formed() {
+        let (spec, cols, w1) = skyserver_workload(1000, 250, 7);
+        let (_, _, w2) = skyserver_workload(1000, 250, 7);
+        assert_eq!(w1.len(), 250);
+        assert_eq!(cols.len(), spec.schema.len());
+        assert_eq!(cols[0].len(), 1000);
+        for (a, b) in w1.iter().zip(&w2) {
+            assert_eq!(a.query, b.query);
+        }
+        for tq in &w1 {
+            assert!(!tq.query.all_attrs().is_empty());
+            assert!(tq.query.all_attrs().len() <= 15);
+        }
+    }
+
+    #[test]
+    fn workload_exhibits_drift() {
+        let (_, _, w) = skyserver_workload(100, 240, 3);
+        // Popularity of shape-cluster attributes must be much higher in the
+        // last phase than in the first.
+        let spec = skyserver_schema();
+        let shape_attrs: h2o_storage::AttrSet = spec
+            .clusters
+            .iter()
+            .filter(|(n, _)| n.starts_with("shape"))
+            .flat_map(|(_, a)| a.iter().copied())
+            .collect();
+        let hits = |range: std::ops::Range<usize>| -> usize {
+            w[range]
+                .iter()
+                .filter(|tq| tq.query.all_attrs().intersects(&shape_attrs))
+                .count()
+        };
+        let early = hits(0..80);
+        let late = hits(160..240);
+        assert!(
+            late > early * 2,
+            "drift expected: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn queries_cluster_locally() {
+        // Most queries should touch few clusters (access locality).
+        let (spec, _, w) = skyserver_workload(100, 100, 9);
+        let mut within = 0;
+        for tq in &w {
+            let attrs = tq.query.select_attrs();
+            let clusters_touched = spec
+                .clusters
+                .iter()
+                .filter(|(_, ids)| ids.iter().any(|a| attrs.contains(*a)))
+                .count();
+            if clusters_touched <= 2 {
+                within += 1;
+            }
+        }
+        assert!(within >= 90, "cluster locality: {within}/100");
+    }
+}

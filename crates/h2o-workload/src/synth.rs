@@ -1,0 +1,79 @@
+//! Synthetic relation generation and selectivity-controlled predicates.
+
+use h2o_storage::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Lower bound of generated values (inclusive) — the paper's data range.
+pub const VALUE_MIN: Value = -1_000_000_000;
+/// Upper bound of generated values (exclusive).
+pub const VALUE_MAX: Value = 1_000_000_000;
+
+/// Generates `n_attrs` columns of `rows` values uniformly distributed in
+/// `[VALUE_MIN, VALUE_MAX)`, deterministically from `seed`.
+pub fn gen_columns(n_attrs: usize, rows: usize, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_attrs)
+        .map(|_| (0..rows).map(|_| rng.gen_range(VALUE_MIN..VALUE_MAX)).collect())
+        .collect()
+}
+
+/// The threshold `v` such that `attr < v` has selectivity `s` over data
+/// uniform in `[VALUE_MIN, VALUE_MAX)`.
+pub fn threshold_for_selectivity(s: f64) -> Value {
+    let s = s.clamp(0.0, 1.0);
+    let span = (VALUE_MAX - VALUE_MIN) as f64;
+    VALUE_MIN + (span * s) as Value
+}
+
+/// Per-predicate selectivity so that a conjunction of `k` independent
+/// predicates has overall selectivity `s` ("we generate the filter
+/// conditions so as the selectivity remains the same for all queries",
+/// §2.2).
+pub fn per_predicate_selectivity(s: f64, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    s.clamp(0.0, 1.0).powf(1.0 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = gen_columns(3, 100, 42);
+        let b = gen_columns(3, 100, 42);
+        assert_eq!(a, b);
+        let c = gen_columns(3, 100, 43);
+        assert_ne!(a, c);
+        for col in &a {
+            assert_eq!(col.len(), 100);
+            assert!(col.iter().all(|&v| (VALUE_MIN..VALUE_MAX).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn threshold_hits_requested_selectivity() {
+        let cols = gen_columns(1, 200_000, 7);
+        for s in [0.01, 0.1, 0.4, 0.9] {
+            let t = threshold_for_selectivity(s);
+            let observed =
+                cols[0].iter().filter(|&&v| v < t).count() as f64 / cols[0].len() as f64;
+            assert!(
+                (observed - s).abs() < 0.01,
+                "requested {s}, observed {observed}"
+            );
+        }
+        assert_eq!(threshold_for_selectivity(0.0), VALUE_MIN);
+        assert_eq!(threshold_for_selectivity(1.0), VALUE_MAX);
+    }
+
+    #[test]
+    fn conjunction_selectivity_composes() {
+        let s = per_predicate_selectivity(0.25, 2);
+        assert!((s * s - 0.25).abs() < 1e-12);
+        assert_eq!(per_predicate_selectivity(0.5, 0), 1.0);
+    }
+}

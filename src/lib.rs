@@ -1,0 +1,60 @@
+//! # H2O: a hands-free adaptive store — Rust reproduction
+//!
+//! A from-scratch implementation of **H2O** (Alagiannis, Idreos, Ailamaki —
+//! SIGMOD 2014): an in-memory analytical engine that makes *no fixed
+//! decision* about physical data layout. Row-major, column-major and
+//! column-group layouts coexist; the engine monitors the query stream and
+//! — driven by an affinity/cost model — creates new layouts **while
+//! answering queries**, generating specialized access operators per
+//! (layout, query-shape) combination.
+//!
+//! ```
+//! use h2o::prelude::*;
+//!
+//! // A 20-attribute relation, initially column-major.
+//! let schema = Schema::with_width(20).into_shared();
+//! let columns = h2o::workload::gen_columns(20, 10_000, 42);
+//! let relation = Relation::columnar(schema, columns).unwrap();
+//! let mut engine = H2oEngine::new(relation, EngineConfig::default());
+//!
+//! // select sum(a0+a1+a2) from R where a3 < 0
+//! let query = Query::aggregate(
+//!     [Aggregate::sum(Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]))],
+//!     Conjunction::of([Predicate::lt(3u32, 0)]),
+//! ).unwrap();
+//!
+//! let result = engine.execute(&query).unwrap();
+//! assert_eq!(result.rows(), 1);
+//! // Keep querying: the engine adapts its layouts to the workload.
+//! ```
+//!
+//! The crates behind this facade:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`storage`] | column groups, layout catalog (Data Layout Manager) |
+//! | [`expr`] | queries, expressions, the interpreted generic operator |
+//! | [`exec`] | execution strategies, specialized kernels, operator cache |
+//! | [`cost`] | Eq. 1 / Eq. 2 cost model (cache-miss CPU model) |
+//! | [`adapt`] | monitoring window, affinity matrices, candidate adviser |
+//! | [`partition`] | AutoPart offline baseline, brute-force oracle |
+//! | [`core`] | the adaptive engine, static baselines, optimal oracle |
+//! | [`workload`] | benchmark data/query generators (incl. synthetic SkyServer) |
+
+pub use h2o_adapt as adapt;
+pub use h2o_core as core;
+pub use h2o_cost as cost;
+pub use h2o_exec as exec;
+pub use h2o_expr as expr;
+pub use h2o_partition as partition;
+pub use h2o_storage as storage;
+pub use h2o_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use h2o_core::{EngineConfig, EngineStats, H2oEngine, StaticEngine, StaticKind};
+    pub use h2o_expr::{
+        Aggregate, ArithOp, CmpOp, Conjunction, Expr, Predicate, Query, QueryResult,
+    };
+    pub use h2o_storage::{AttrId, AttrSet, Relation, Schema, Value};
+}

@@ -1,0 +1,164 @@
+//! End-to-end behavior of the adaptation mechanism: layouts emerge for hot
+//! clusters, shifts re-trigger adaptation, oscillation does not thrash, and
+//! adaptation can start from any initial layout.
+
+use h2o::core::{EngineConfig, H2oEngine};
+use h2o::expr::interpret;
+use h2o::prelude::*;
+use h2o::workload::sequence::{oscillating_sequence, shifted_sequence};
+use h2o::workload::synth::gen_columns;
+
+fn engine_with(relation: Relation, window: usize) -> H2oEngine {
+    let mut cfg = EngineConfig::no_compile_latency();
+    cfg.window.initial = window;
+    cfg.window.min = 4;
+    H2oEngine::new(relation, cfg)
+}
+
+fn columnar(n_attrs: usize, rows: usize, seed: u64) -> Relation {
+    let schema = Schema::with_width(n_attrs).into_shared();
+    Relation::columnar(schema, gen_columns(n_attrs, rows, seed)).unwrap()
+}
+
+fn row_major(n_attrs: usize, rows: usize, seed: u64) -> Relation {
+    let schema = Schema::with_width(n_attrs).into_shared();
+    Relation::row_major(schema, gen_columns(n_attrs, rows, seed)).unwrap()
+}
+
+/// Drives a workload through the engine, checking every answer against the
+/// interpreter, and returns the engine for inspection.
+fn drive(mut engine: H2oEngine, workload: &[h2o::workload::TimedQuery]) -> H2oEngine {
+    for (i, tq) in workload.iter().enumerate() {
+        let want = interpret(engine.catalog(), &tq.query).unwrap();
+        let got = engine
+            .execute_with_hint(&tq.query, Some(tq.selectivity))
+            .unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint(), "query {i} diverged");
+    }
+    engine
+}
+
+#[test]
+fn hot_cluster_produces_layout_and_it_gets_used() {
+    let engine = engine_with(columnar(40, 5_000, 1), 10);
+    // 50 identical-class expression queries over attrs 0..8, filter on 9.
+    let workload: Vec<h2o::workload::TimedQuery> = (0..50)
+        .map(|i| {
+            let q = Query::project(
+                [Expr::sum_of((0u32..8).map(AttrId))],
+                Conjunction::of([Predicate::lt(9u32, (i % 11) * 150_000_000 - 700_000_000)]),
+            )
+            .unwrap();
+            h2o::workload::TimedQuery {
+                query: q,
+                selectivity: 0.5,
+            }
+        })
+        .collect();
+    let engine = drive(engine, &workload);
+    assert!(engine.stats().layouts_created >= 1, "{:?}", engine.stats());
+    // The last queries should execute on a multi-attribute group.
+    let report = engine.last_report().unwrap();
+    assert!(report
+        .layouts
+        .iter()
+        .any(|&id| engine.catalog().group(id).unwrap().width() > 1));
+}
+
+#[test]
+fn workload_shift_is_detected_and_followed() {
+    let engine = engine_with(columnar(60, 5_000, 2), 12);
+    let workload = shifted_sequence(60, 70, 25, 20, 7);
+    let engine = drive(engine, &workload);
+    let stats = engine.stats();
+    assert!(stats.shifts_detected >= 1, "shift missed: {stats:?}");
+    assert!(
+        stats.layouts_created >= 1,
+        "no layout for either phase: {stats:?}"
+    );
+}
+
+#[test]
+fn adaptation_works_from_row_major_start() {
+    // "H2O can adapt regardless of the initial data layout."
+    let engine = engine_with(row_major(30, 4_000, 3), 8);
+    let workload: Vec<h2o::workload::TimedQuery> = (0..40)
+        .map(|i| {
+            let q = Query::aggregate(
+                [
+                    Aggregate::sum(Expr::col(1u32)),
+                    Aggregate::max(Expr::col(2u32)),
+                ],
+                Conjunction::of([Predicate::gt(0u32, (i % 7) * 100_000_000)]),
+            )
+            .unwrap();
+            h2o::workload::TimedQuery {
+                query: q,
+                selectivity: 0.4,
+            }
+        })
+        .collect();
+    let engine = drive(engine, &workload);
+    // Starting from one wide group, the engine should have carved out a
+    // narrow layout for the hot trio.
+    assert!(
+        engine.catalog().group_count() > 1,
+        "no new layouts from a row-major start"
+    );
+}
+
+#[test]
+fn oscillating_workload_does_not_thrash() {
+    let engine = engine_with(columnar(30, 3_000, 4), 8);
+    let workload = oscillating_sequence(30, 80, 5, 9);
+    let engine = drive(engine, &workload);
+    let stats = engine.stats();
+    // Layouts for (at most) the two classes — not one per oscillation.
+    assert!(
+        stats.layouts_created <= 6,
+        "layout thrashing: {} creations",
+        stats.layouts_created
+    );
+    // And the engine must never have dropped below the floor of groups: the
+    // catalog only ever grows here (no destructive churn).
+    assert!(engine.catalog().group_count() >= 30);
+}
+
+#[test]
+fn non_adaptive_ablation_still_correct() {
+    let mut cfg = EngineConfig::non_adaptive();
+    cfg.compile_cost = h2o::exec::CompileCostModel::ZERO;
+    let engine = H2oEngine::new(columnar(20, 2_000, 5), cfg);
+    let workload = shifted_sequence(20, 30, 10, 8, 3);
+    let engine = drive(engine, &workload);
+    assert_eq!(engine.stats().layouts_created, 0);
+    assert_eq!(engine.stats().adaptations, 0);
+}
+
+#[test]
+fn pending_layouts_are_lazy() {
+    // A recommendation must not materialize anything until a query
+    // actually benefits: run a hot phase to build up pending layouts, then
+    // observe that an unrelated query does not trigger creation.
+    let mut engine = engine_with(columnar(40, 4_000, 6), 6);
+    for i in 0..6 {
+        let q = Query::project(
+            [Expr::sum_of((0u32..10).map(AttrId))],
+            Conjunction::of([Predicate::lt(10u32, i * 100_000_000)]),
+        )
+        .unwrap();
+        engine.execute_with_hint(&q, Some(0.5)).unwrap();
+    }
+    let pending_after_adapt = engine.pending().len();
+    let created_before = engine.stats().layouts_created;
+    // Unrelated query: touches attrs 30..32 only.
+    let q = Query::project([Expr::col(31u32)], Conjunction::of([Predicate::gt(30u32, 0)]))
+        .unwrap();
+    engine.execute(&q).unwrap();
+    assert_eq!(
+        engine.stats().layouts_created,
+        created_before,
+        "unrelated query must not trigger materialization"
+    );
+    let _ = pending_after_adapt;
+}

@@ -1,0 +1,200 @@
+//! Property-based invariants over the storage and execution substrates.
+#![allow(clippy::needless_range_loop)]
+
+use h2o::cost::{AccessPattern, CostModel, GroupSpec};
+use h2o::exec::{compile, execute, reorg, AccessPlan, Strategy as ExecStrategy};
+use h2o::expr::interp::interpret_over;
+use h2o::expr::interpret;
+use h2o::prelude::*;
+use h2o::storage::LayoutCatalog;
+use proptest::prelude::*;
+
+/// Strategy: a small relation as raw columns.
+fn arb_columns() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    (1usize..6, 0usize..60).prop_flat_map(|(n_attrs, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, rows..=rows),
+            n_attrs..=n_attrs,
+        )
+    })
+}
+
+/// Strategy: a random partition of `n` attributes (as index assignments).
+fn arb_partition(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..n.max(1), n..=n)
+}
+
+fn build_partitioned(columns: &[Vec<i64>], assignment: &[usize]) -> Relation {
+    let n = columns.len();
+    let schema = Schema::with_width(n).into_shared();
+    let mut groups: Vec<Vec<AttrId>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (attr, &block) in assignment.iter().enumerate() {
+        match labels.iter().position(|&l| l == block) {
+            Some(i) => groups[i].push(AttrId::from(attr)),
+            None => {
+                labels.push(block);
+                groups.push(vec![AttrId::from(attr)]);
+            }
+        }
+    }
+    Relation::partitioned(schema, columns.to_vec(), groups).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reorganization preserves data: materializing any attribute subset
+    /// from any partitioning yields exactly the source values.
+    #[test]
+    fn materialize_preserves_values(
+        columns in arb_columns(),
+        assignment_seed in arb_partition(6),
+        pick in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        let n = columns.len();
+        let rel = build_partitioned(&columns, &assignment_seed[..n]);
+        let attrs: Vec<AttrId> = (0..n)
+            .filter(|&i| pick[i])
+            .map(AttrId::from)
+            .collect();
+        prop_assume!(!attrs.is_empty());
+        let group = reorg::materialize(rel.catalog(), &attrs).unwrap();
+        for (pos, &a) in attrs.iter().enumerate() {
+            for row in 0..rel.rows() {
+                prop_assert_eq!(group.value(row, pos), columns[a.index()][row]);
+            }
+        }
+    }
+
+    /// The same query over any physical partitioning and any strategy
+    /// equals the interpreter's answer.
+    #[test]
+    fn partitioning_is_transparent(
+        columns in arb_columns(),
+        assignment_seed in arb_partition(6),
+        strategy_idx in 0usize..3,
+        sel_value in -1000i64..1000,
+    ) {
+        let n = columns.len();
+        let rel = build_partitioned(&columns, &assignment_seed[..n]);
+        let q = Query::aggregate(
+            [
+                Aggregate::sum(Expr::col(0u32)),
+                Aggregate::count(),
+            ],
+            Conjunction::of([Predicate::lt(AttrId::from(n - 1), sel_value)]),
+        )
+        .unwrap();
+        let want = interpret(rel.catalog(), &q).unwrap();
+        let plan = AccessPlan::new(rel.catalog().layout_ids(), ExecStrategy::ALL[strategy_idx]);
+        let op = compile(rel.catalog(), &plan, &q).unwrap();
+        let got = execute(rel.catalog(), &op).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Fused reorganization = offline materialization + interpreter answer.
+    #[test]
+    fn online_reorg_equals_offline(
+        columns in arb_columns(),
+        sel_value in -1000i64..1000,
+    ) {
+        let n = columns.len();
+        let schema = Schema::with_width(n).into_shared();
+        let rel = Relation::columnar(schema, columns).unwrap();
+        let attrs: Vec<AttrId> = (0..n).map(AttrId::from).collect();
+        let q = Query::project(
+            [Expr::col(0u32)],
+            Conjunction::of([Predicate::gt(AttrId::from(n - 1), sel_value)]),
+        )
+        .unwrap();
+        let (group, result) = reorg::reorg_and_execute(rel.catalog(), &attrs, &q).unwrap();
+        let offline = reorg::materialize(rel.catalog(), &attrs).unwrap();
+        prop_assert_eq!(group.data(), offline.data());
+        let want = interpret(rel.catalog(), &q).unwrap();
+        prop_assert_eq!(result.fingerprint(), want.fingerprint());
+    }
+
+    /// The row-wise and column-wise offline builders agree bit-for-bit.
+    #[test]
+    fn rowwise_and_columnwise_builders_agree(
+        columns in arb_columns(),
+    ) {
+        let n = columns.len();
+        let schema = Schema::with_width(n).into_shared();
+        let rel = Relation::columnar(schema, columns).unwrap();
+        let attrs: Vec<AttrId> = (0..n).rev().map(AttrId::from).collect();
+        let a = reorg::materialize(rel.catalog(), &attrs).unwrap();
+        let b = reorg::materialize_rowwise(rel.catalog(), &attrs).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    /// Interpreting over a tailored single group equals interpreting over
+    /// the original columns (the oracle's soundness).
+    #[test]
+    fn tailored_group_is_transparent(
+        columns in arb_columns(),
+        sel_value in -1000i64..1000,
+    ) {
+        let n = columns.len();
+        let schema = Schema::with_width(n).into_shared();
+        let rel = Relation::columnar(schema.clone(), columns).unwrap();
+        let q = Query::aggregate(
+            [Aggregate::min(Expr::col(0u32))],
+            Conjunction::of([Predicate::le(AttrId::from(n - 1), sel_value)]),
+        )
+        .unwrap();
+        let attrs: Vec<AttrId> = q.all_attrs().to_vec();
+        let group = reorg::materialize(rel.catalog(), &attrs).unwrap();
+        let mut catalog = LayoutCatalog::new(schema, rel.rows());
+        catalog.add_group(group, 0).unwrap();
+        let via_group = interpret(&catalog, &q).unwrap();
+        let via_columns = interpret(rel.catalog(), &q).unwrap();
+        prop_assert_eq!(via_group, via_columns);
+    }
+
+    /// Cost model sanity: non-negative, monotone in rows, and covering
+    /// more attributes never costs less under the same plan shape.
+    #[test]
+    fn cost_model_sane(
+        k in 1usize..10,
+        sel in 0.0f64..1.0,
+        rows in 1usize..1_000_000,
+    ) {
+        let model = CostModel::default();
+        let attrs: AttrSet = (0..k).collect();
+        let pat = AccessPattern {
+            select: attrs.clone(),
+            where_: AttrSet::new(),
+            selectivity: sel,
+            output_width: 1,
+            select_ops: k,
+            is_aggregate: true,
+        };
+        let groups = vec![GroupSpec::new(attrs)];
+        let c = model.best_cost(&pat, &groups, rows);
+        prop_assert!(c.is_finite() && c >= 0.0);
+        let c2 = model.best_cost(&pat, &groups, rows * 2);
+        prop_assert!(c2 >= c);
+    }
+
+    /// The interpreter over an explicit cover equals the interpreter over
+    /// the catalog's chosen cover.
+    #[test]
+    fn interpreter_cover_independence(
+        columns in arb_columns(),
+        assignment_seed in arb_partition(6),
+    ) {
+        let n = columns.len();
+        let rel = build_partitioned(&columns, &assignment_seed[..n]);
+        let q = Query::project(
+            (0..n).map(|i| Expr::col(i as u32)),
+            Conjunction::always(),
+        )
+        .unwrap();
+        let via_catalog = interpret(rel.catalog(), &q).unwrap();
+        let groups: Vec<_> = rel.catalog().groups().collect();
+        let via_all = interpret_over(&groups, &q).unwrap();
+        prop_assert_eq!(via_catalog.fingerprint(), via_all.fingerprint());
+    }
+}
