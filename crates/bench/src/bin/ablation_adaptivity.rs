@@ -34,19 +34,19 @@ fn main() {
     let workload = fig7_sequence(args.attrs, args.queries, 6, 0.1, args.seed);
 
     let variants: Vec<(&str, EngineConfig)> = vec![
-        ("full", EngineConfig::default()),
+        ("full", EngineConfig::single_threaded()),
         ("no_adaptation", {
-            let mut c = EngineConfig::default();
+            let mut c = EngineConfig::single_threaded();
             c.adaptive = false;
             c
         }),
         ("static_window", {
-            let mut c = EngineConfig::default();
+            let mut c = EngineConfig::single_threaded();
             c.window = WindowConfig::fixed(20);
             c
         }),
         ("tiny_opcache", {
-            let mut c = EngineConfig::default();
+            let mut c = EngineConfig::single_threaded();
             c.opcache_capacity = 1;
             c
         }),

@@ -49,7 +49,9 @@ fn main() {
     .unwrap();
     let h2o_relation = Relation::columnar(schema, columns).unwrap();
     let oracle_relation = col_engine.relation().clone();
-    let mut config = EngineConfig::default();
+    // Paper comparison: the static baselines are serial, so H2O runs
+    // single-threaded here too (parallel scaling is fig15's subject).
+    let mut config = EngineConfig::single_threaded();
     config.window.initial = 20;
     let mut h2o = H2oEngine::new(h2o_relation, config);
 
@@ -71,7 +73,10 @@ fn main() {
 
     let (mut sum_h2o, mut sum_col, mut sum_row, mut sum_opt) = (0.0, 0.0, 0.0, 0.0);
     for (i, tq) in workload.iter().enumerate() {
-        let (r_h2o, t_h2o) = time(|| h2o.execute_with_hint(&tq.query, Some(tq.selectivity)).unwrap());
+        let (r_h2o, t_h2o) = time(|| {
+            h2o.execute_with_hint(&tq.query, Some(tq.selectivity))
+                .unwrap()
+        });
         let (r_col, t_col) = time(|| col_engine.execute(&tq.query).unwrap());
         let (r_row, t_row) = time(|| row_engine.execute(&tq.query).unwrap());
         let key = tq.query.all_attrs().to_vec();

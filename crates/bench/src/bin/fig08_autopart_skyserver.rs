@@ -34,9 +34,8 @@ fn main() {
         .map(|tq| AccessPattern::of(&tq.query, tq.selectivity))
         .collect();
     let autopart = AutoPart::default();
-    let (fragments, t_advise) = time(|| {
-        autopart.partition(&patterns, spec.schema.len(), args.tuples)
-    });
+    let (fragments, t_advise) =
+        time(|| autopart.partition(&patterns, spec.schema.len(), args.tuples));
     eprintln!(
         "AutoPart: {} fragments (advisor ran {:.2}s)",
         fragments.len(),
@@ -44,14 +43,13 @@ fn main() {
     );
 
     // Layout creation: materialize the recommended fragmentation.
-    let partition: Vec<Vec<h2o_storage::AttrId>> =
-        fragments.iter().map(|f| f.to_vec()).collect();
-    let (ap_relation, t_ap_create) = time(|| {
-        Relation::partitioned(spec.schema.clone(), columns.clone(), partition).unwrap()
-    });
+    let partition: Vec<Vec<h2o_storage::AttrId>> = fragments.iter().map(|f| f.to_vec()).collect();
+    let (ap_relation, t_ap_create) =
+        time(|| Relation::partitioned(spec.schema.clone(), columns.clone(), partition).unwrap());
     // Static engine over AutoPart's fragments: cost-based strategy choice,
     // adaptation off (the layout is fixed by the advisor).
     let mut ap_cfg = EngineConfig::non_adaptive();
+    ap_cfg.parallelism = Some(1); // paper comparison: single-threaded
     ap_cfg.compile_cost = h2o_exec::CompileCostModel::scaled_default();
     let mut ap_engine = H2oEngine::new(ap_relation, ap_cfg);
 
@@ -69,7 +67,7 @@ fn main() {
 
     // ---------------- H2O (no workload knowledge) ----------------
     let h2o_relation = Relation::columnar(spec.schema.clone(), columns).unwrap();
-    let mut h2o = H2oEngine::new(h2o_relation, EngineConfig::default());
+    let mut h2o = H2oEngine::new(h2o_relation, EngineConfig::single_threaded());
     let mut t_h2o_total = 0.0;
     for (i, tq) in workload.iter().enumerate() {
         let (r, t) = time(|| {
@@ -83,7 +81,12 @@ fn main() {
     let t_h2o_create = stats.reorg_time.as_secs_f64();
     let t_h2o_exec = t_h2o_total - t_h2o_create;
 
-    csv_header(&["system", "layout_creation_s", "query_execution_s", "total_s"]);
+    csv_header(&[
+        "system",
+        "layout_creation_s",
+        "query_execution_s",
+        "total_s",
+    ]);
     println!(
         "autopart,{},{},{}",
         fmt_s(t_ap_create),

@@ -30,7 +30,8 @@ fn main() {
     // "data this time is organized in a row-major format"
     let make_engine = |window: WindowConfig| {
         let rel = Relation::row_major(schema.clone(), columns.clone()).unwrap();
-        let mut cfg = EngineConfig::default();
+        // Paper comparison: single-threaded, as in the prototype.
+        let mut cfg = EngineConfig::single_threaded();
         cfg.window = window;
         H2oEngine::new(rel, cfg)
     };
@@ -65,9 +66,21 @@ fn main() {
                 .execute_with_hint(&tq.query, Some(tq.selectivity))
                 .unwrap()
         });
-        assert_eq!(rs.fingerprint(), rd.fingerprint(), "engines disagree at {i}");
-        let sc = static_engine.last_report().unwrap().created_layout.is_some();
-        let dc = dynamic_engine.last_report().unwrap().created_layout.is_some();
+        assert_eq!(
+            rs.fingerprint(),
+            rd.fingerprint(),
+            "engines disagree at {i}"
+        );
+        let sc = static_engine
+            .last_report()
+            .unwrap()
+            .created_layout
+            .is_some();
+        let dc = dynamic_engine
+            .last_report()
+            .unwrap()
+            .created_layout
+            .is_some();
         println!("{i},{},{},{sc},{dc}", fmt_s(ts), fmt_s(td));
         sum_s += ts;
         sum_d += td;

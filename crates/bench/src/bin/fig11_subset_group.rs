@@ -28,7 +28,10 @@ fn timed_on_group(source: &Relation, group_attrs: &[AttrId], q: &Query) -> f64 {
 
 fn main() {
     let args = Args::parse(300_000, 150, 0);
-    eprintln!("fig11: {} tuples x {} attrs, group of 30", args.tuples, args.attrs);
+    eprintln!(
+        "fig11: {} tuples x {} attrs, group of 30",
+        args.tuples, args.attrs
+    );
     let schema = Schema::with_width(args.attrs).into_shared();
     let columns = gen_columns(args.attrs, args.tuples, args.seed);
     let source = Relation::columnar(schema, columns).unwrap();
@@ -51,10 +54,7 @@ fn main() {
             let t_group = timed_on_group(&source, &group_attrs, &q);
             let t_opt = timed_on_group(&source, &accessed, &q);
             let penalty = (t_group / t_opt - 1.0) * 100.0;
-            println!(
-                "{sel},{useful},{:.6},{:.6},{penalty:.1}",
-                t_group, t_opt
-            );
+            println!("{sel},{useful},{:.6},{:.6},{penalty:.1}", t_group, t_opt);
         }
     }
 }

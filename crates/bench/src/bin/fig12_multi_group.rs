@@ -50,7 +50,10 @@ fn timed_on_groups(source: &Relation, parts: &[Vec<AttrId>], q: &Query) -> f64 {
 
 fn main() {
     let args = Args::parse(300_000, 150, 0);
-    eprintln!("fig12: {} tuples x {} attrs, 25-attr query", args.tuples, args.attrs);
+    eprintln!(
+        "fig12: {} tuples x {} attrs, 25-attr query",
+        args.tuples, args.attrs
+    );
     let schema = Schema::with_width(args.attrs).into_shared();
     let columns = gen_columns(args.attrs, args.tuples, args.seed);
     let source = Relation::columnar(schema, columns).unwrap();

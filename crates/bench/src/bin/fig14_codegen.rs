@@ -44,7 +44,10 @@ fn compare(
 
 fn main() {
     let args = Args::parse(400_000, 150, 0);
-    eprintln!("fig14: {} tuples x {} attrs, 20 accessed", args.tuples, args.attrs);
+    eprintln!(
+        "fig14: {} tuples x {} attrs, 20 accessed",
+        args.tuples, args.attrs
+    );
     let schema = Schema::with_width(args.attrs).into_shared();
     let columns = gen_columns(args.attrs, args.tuples, args.seed);
     let source = Relation::columnar(schema.clone(), columns.clone()).unwrap();

@@ -1,0 +1,85 @@
+//! Morsel-parallel scaling of the fused aggregate scan (beyond the paper:
+//! the prototype is single-threaded, so this figure has no paper analogue).
+//!
+//! Sweeps worker counts 1/2/4/8 over a hot fused aggregate scan of a
+//! single wide column group (the paper's template (ii): `select max(a),
+//! max(b), ... where a0 < v`) and reports wall-clock seconds plus speedup
+//! relative to the 1-thread run, as JSON for the benchmark trajectory.
+//!
+//! Every run cross-checks its result against the serial path first — a
+//! scaling number for a wrong answer is worthless.
+//!
+//! Interpreting the numbers: speedup tracks the host's *physical* core
+//! count (`host_parallelism` in the output). On a single-core container
+//! all thread counts collapse to ~1×; on a 4-core host the 4-thread run
+//! is expected to reach ≥2× (memory bandwidth, not the kernel, is the
+//! ceiling for this scan).
+
+use h2o_bench::{time_hot, Args};
+use h2o_exec::{compile, execute, execute_with_policy, AccessPlan, ExecPolicy, Strategy};
+use h2o_expr::{Aggregate, Conjunction, Expr, Predicate, Query};
+use h2o_storage::{Relation, Schema};
+use h2o_workload::synth::{gen_columns, threshold_for_selectivity};
+
+fn main() {
+    let args = Args::parse(10_000_000, 4, 3);
+    let rows = args.tuples;
+    let attrs = args.attrs.max(2);
+    let reps = args.queries.max(1);
+
+    eprintln!("fig15: building {rows} x {attrs} row-major relation ...");
+    let schema = Schema::with_width(attrs).into_shared();
+    let columns = gen_columns(attrs, rows, args.seed);
+    let rel = Relation::row_major(schema, columns).unwrap();
+
+    // Template (ii) over every attribute, half-selective predicate on a0 —
+    // the fused kernel's dense same-function specialization.
+    let query = Query::aggregate(
+        (0..attrs).map(|a| Aggregate::max(Expr::col(a as u32))),
+        Conjunction::of([Predicate::lt(0u32, threshold_for_selectivity(0.5))]),
+    )
+    .unwrap();
+    let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::FusedVolcano);
+    let op = compile(rel.catalog(), &plan, &query).unwrap();
+
+    let reference = execute(rel.catalog(), &op).unwrap();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut entries = Vec::new();
+    let mut base_seconds = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let policy = ExecPolicy {
+            parallelism: Some(threads),
+            morsel_rows: 65_536,
+            serial_threshold: 0,
+        };
+        // Correctness first: the parallel result must be bit-identical.
+        let got = execute_with_policy(rel.catalog(), &op, &policy).unwrap();
+        assert_eq!(
+            got, reference,
+            "parallel result diverged at {threads} threads"
+        );
+
+        let secs = time_hot(reps, || {
+            execute_with_policy(rel.catalog(), &op, &policy).unwrap()
+        });
+        if threads == 1 {
+            base_seconds = secs;
+        }
+        let speedup = base_seconds / secs;
+        let melems = rows as f64 / secs / 1e6;
+        eprintln!(
+            "fig15: threads={threads:<2} {secs:.4}s  speedup {speedup:.2}x  {melems:.1} Melem/s"
+        );
+        entries.push(format!(
+            "{{\"threads\":{threads},\"seconds\":{secs:.6},\"speedup\":{speedup:.4},\"melem_per_s\":{melems:.2}}}"
+        ));
+    }
+
+    println!(
+        "{{\"bench\":\"fig15_parallel_scaling\",\"rows\":{rows},\"attrs\":{attrs},\"reps\":{reps},\"host_parallelism\":{host},\"morsel_rows\":65536,\"results\":[{}]}}",
+        entries.join(",")
+    );
+}

@@ -41,7 +41,9 @@ impl Args {
                 "--attrs" => args.attrs = value() as usize,
                 "--queries" => args.queries = value() as usize,
                 "--seed" => args.seed = value(),
-                other => panic!("unknown argument {other} (expected --tuples/--attrs/--queries/--seed)"),
+                other => {
+                    panic!("unknown argument {other} (expected --tuples/--attrs/--queries/--seed)")
+                }
             }
             i += 2;
         }

@@ -141,7 +141,10 @@ mod tests {
     fn symmetry() {
         let mut m = AffinityMatrix::new(4);
         m.record(&aset(&[0, 3]));
-        assert_eq!(m.affinity(AttrId(0), AttrId(3)), m.affinity(AttrId(3), AttrId(0)));
+        assert_eq!(
+            m.affinity(AttrId(0), AttrId(3)),
+            m.affinity(AttrId(3), AttrId(0))
+        );
     }
 
     #[test]

@@ -291,7 +291,11 @@ mod tests {
         w.observe(pat(&[50, 51])); // novel
         w.observe(pat(&[0, 1, 2])); // familiar: resets streak
         w.observe(pat(&[50, 51])); // novel again, streak = 1
-        assert_eq!(w.shifts_detected(), 0, "oscillation must not trigger a shift");
+        assert_eq!(
+            w.shifts_detected(),
+            0,
+            "oscillation must not trigger a shift"
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! strategy — exactly the experimental isolation the paper argues for.
 
 use h2o_exec::{
-    execute as exec_execute, AccessPlan, CompileCostModel, ExecError, OperatorCache, Strategy,
+    execute_with_policy as exec_execute_with_policy, AccessPlan, CompileCostModel, ExecError,
+    ExecPolicy, OperatorCache, Strategy,
 };
 use h2o_expr::{Query, QueryResult};
 use h2o_storage::catalog::CoverPolicy;
@@ -47,6 +48,10 @@ pub struct StaticEngine {
     relation: Relation,
     kind: StaticKind,
     opcache: OperatorCache,
+    /// Intra-query parallelism policy. Defaults to serial (the paper's
+    /// single-threaded baselines); [`StaticEngine::set_exec_policy`] opts
+    /// into morsel parallelism for scaling comparisons.
+    policy: ExecPolicy,
 }
 
 impl StaticEngine {
@@ -66,18 +71,29 @@ impl StaticEngine {
             relation,
             kind,
             opcache: OperatorCache::new(256, compile_cost),
+            policy: ExecPolicy::serial(),
         })
     }
 
     /// Wraps an existing relation (its layouts must match `kind`'s
     /// expectations for the results to be meaningful; execution is correct
     /// regardless).
-    pub fn from_relation(relation: Relation, kind: StaticKind, compile_cost: CompileCostModel) -> Self {
+    pub fn from_relation(
+        relation: Relation,
+        kind: StaticKind,
+        compile_cost: CompileCostModel,
+    ) -> Self {
         StaticEngine {
             relation,
             kind,
             opcache: OperatorCache::new(256, compile_cost),
+            policy: ExecPolicy::serial(),
         }
+    }
+
+    /// Sets the intra-query parallelism policy (default: serial).
+    pub fn set_exec_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
     }
 
     /// The engine kind.
@@ -114,7 +130,7 @@ impl StaticEngine {
         let op = self
             .opcache
             .get_or_compile(self.relation.catalog(), &plan, q)?;
-        exec_execute(self.relation.catalog(), &op)
+        exec_execute_with_policy(self.relation.catalog(), &op, &self.policy)
     }
 
     /// Operator-cache statistics.
@@ -131,7 +147,11 @@ mod tests {
 
     fn cols(n: usize, rows: usize) -> Vec<Vec<Value>> {
         (0..n)
-            .map(|k| (0..rows).map(|r| ((k * 997 + r * 13) % 501) as Value - 250).collect())
+            .map(|k| {
+                (0..rows)
+                    .map(|r| ((k * 997 + r * 13) % 501) as Value - 250)
+                    .collect()
+            })
             .collect()
     }
 
@@ -197,7 +217,10 @@ mod tests {
     fn column_store_reads_only_needed_columns() {
         let (_, col) = engines(20, 30);
         let q = Query::aggregate(
-            [Aggregate::sum(Expr::col(3u32)), Aggregate::sum(Expr::col(9u32))],
+            [
+                Aggregate::sum(Expr::col(3u32)),
+                Aggregate::sum(Expr::col(9u32)),
+            ],
             Conjunction::of([Predicate::gt(15u32, 0)]),
         )
         .unwrap();

@@ -5,7 +5,8 @@ use crate::stats::EngineStats;
 use h2o_adapt::{Adviser, MonitoringWindow};
 use h2o_cost::{AccessPattern, CostModel, GroupSpec, PlanSpec, Residence};
 use h2o_exec::{
-    execute as exec_execute, reorg, AccessPlan, ExecError, OperatorCache, Strategy,
+    execute_with_policy as exec_execute_with_policy, reorg, AccessPlan, ExecError, OperatorCache,
+    Strategy,
 };
 use h2o_expr::{Query, QueryResult};
 use h2o_storage::{AttrId, Epoch, LayoutId, Relation, StorageError};
@@ -161,7 +162,9 @@ impl H2oEngine {
             Some(r) => r?,
             None => {
                 let (plan, cost) = self.plan(&pattern)?;
-                let op = self.opcache.get_or_compile(self.relation.catalog(), &plan, q)?;
+                let op = self
+                    .opcache
+                    .get_or_compile(self.relation.catalog(), &plan, q)?;
                 for &id in &plan.layouts {
                     self.relation.catalog_mut().note_use(id, self.epoch);
                 }
@@ -172,7 +175,7 @@ impl H2oEngine {
                     estimated_cost: cost,
                     selectivity_estimate: sel,
                 });
-                exec_execute(self.relation.catalog(), &op)?
+                exec_execute_with_policy(self.relation.catalog(), &op, &self.config.exec_policy())?
             }
         };
 
@@ -237,9 +240,7 @@ impl H2oEngine {
             }
         }
         best.ok_or_else(|| {
-            EngineError::Storage(StorageError::NoCover(
-                needed.first().unwrap_or(AttrId(0)),
-            ))
+            EngineError::Storage(StorageError::NoCover(needed.first().unwrap_or(AttrId(0))))
         })
     }
 
@@ -319,7 +320,12 @@ impl H2oEngine {
         self.opcache.cost_model().charge(charge);
 
         let t0 = Instant::now();
-        let out = reorg::reorg_and_execute(self.relation.catalog(), &attrs, q);
+        let out = reorg::reorg_and_execute_with(
+            self.relation.catalog(),
+            &attrs,
+            q,
+            &self.config.exec_policy(),
+        );
         let (group, result) = match out {
             Ok(v) => v,
             Err(e) => return Some(Err(e.into())),
@@ -367,7 +373,8 @@ impl H2oEngine {
     /// the Fig. 13 comparison and by explicit administration.
     pub fn materialize_now(&mut self, attrs: &[AttrId]) -> Result<LayoutId, EngineError> {
         let t0 = Instant::now();
-        let group = reorg::materialize(self.relation.catalog(), attrs)?;
+        let group =
+            reorg::materialize_with(self.relation.catalog(), attrs, &self.config.exec_policy())?;
         let id = self.relation.catalog_mut().add_group(group, self.epoch)?;
         self.stats.reorg_time += t0.elapsed();
         self.stats.layouts_created += 1;
@@ -414,12 +421,15 @@ impl H2oEngine {
         )
         .unwrap();
         let needed = pattern.all_attrs();
-        let pending_hit = self
-            .pending
-            .iter()
-            .any(|g| needed.intersects(&g.attrs) && self.relation.catalog().find_exact(&g.attrs).is_none());
+        let pending_hit = self.pending.iter().any(|g| {
+            needed.intersects(&g.attrs) && self.relation.catalog().find_exact(&g.attrs).is_none()
+        });
         if self.config.adaptive && pending_hit {
-            writeln!(out, "pending layout available: may materialize while answering").unwrap();
+            writeln!(
+                out,
+                "pending layout available: may materialize while answering"
+            )
+            .unwrap();
         }
         writeln!(out, "strategy: {}", plan.strategy.name()).unwrap();
         writeln!(out, "estimated cost: {cost:.6}").unwrap();
@@ -527,7 +537,10 @@ mod tests {
             assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
         }
         let stats = e.stats();
-        assert!(stats.adaptations >= 1, "window must have triggered adaptation");
+        assert!(
+            stats.adaptations >= 1,
+            "window must have triggered adaptation"
+        );
         assert!(
             stats.layouts_created >= 1,
             "hot cluster must have produced a materialized group; stats: {stats:?}"
@@ -543,8 +556,13 @@ mod tests {
         // And later queries should be using it.
         let report = e.last_report().unwrap();
         let used = &report.layouts;
-        let wide_used = used.iter().any(|&id| e.catalog().group(id).unwrap().width() > 1);
-        assert!(wide_used, "later queries should run on the new group: {report:?}");
+        let wide_used = used
+            .iter()
+            .any(|&id| e.catalog().group(id).unwrap().width() > 1);
+        assert!(
+            wide_used,
+            "later queries should run on the new group: {report:?}"
+        );
     }
 
     #[test]
@@ -590,9 +608,15 @@ mod tests {
         let mut cfg = EngineConfig::no_compile_latency();
         cfg.window.initial = 200; // no adaptation interference
         let mut e = engine(10, 500, cfg);
-        let id = e.materialize_now(&[AttrId(0), AttrId(1), AttrId(2)]).unwrap();
+        let id = e
+            .materialize_now(&[AttrId(0), AttrId(1), AttrId(2)])
+            .unwrap();
         let q = Query::aggregate(
-            [Aggregate::sum(Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]))],
+            [Aggregate::sum(Expr::sum_of([
+                AttrId(0),
+                AttrId(1),
+                AttrId(2),
+            ]))],
             Conjunction::always(),
         )
         .unwrap();
@@ -651,14 +675,16 @@ mod tests {
     #[test]
     fn inserts_are_visible_in_every_layout() {
         let mut e = engine(6, 100, EngineConfig::no_compile_latency());
-        e.materialize_now(&[AttrId(0), AttrId(1), AttrId(2)]).unwrap();
+        e.materialize_now(&[AttrId(0), AttrId(1), AttrId(2)])
+            .unwrap();
         let q = Query::aggregate(
             [Aggregate::count(), Aggregate::max(Expr::col(1u32))],
             Conjunction::always(),
         )
         .unwrap();
         let before = e.execute(&q).unwrap();
-        e.insert(&[vec![1, i64::MAX, 3, 4, 5, 6], vec![0; 6]]).unwrap();
+        e.insert(&[vec![1, i64::MAX, 3, 4, 5, 6], vec![0; 6]])
+            .unwrap();
         let after = e.execute(&q).unwrap();
         assert_eq!(after.row(0)[0], before.row(0)[0] + 2);
         assert_eq!(after.row(0)[1], i64::MAX, "new max must be visible");

@@ -66,7 +66,11 @@ mod tests {
     fn oracle_matches_reference() {
         let schema = Schema::with_width(8).into_shared();
         let cols: Vec<Vec<Value>> = (0..8)
-            .map(|k| (0..200).map(|r| ((k * 7 + r * 3) % 101) as Value - 50).collect())
+            .map(|k| {
+                (0..200)
+                    .map(|r| ((k * 7 + r * 3) % 101) as Value - 50)
+                    .collect()
+            })
             .collect();
         let rel = Relation::columnar(schema, cols).unwrap();
         let queries = [
@@ -75,11 +79,7 @@ mod tests {
                 Conjunction::of([Predicate::gt(5u32, 0)]),
             )
             .unwrap(),
-            Query::aggregate(
-                [Aggregate::min(Expr::col(7u32))],
-                Conjunction::always(),
-            )
-            .unwrap(),
+            Query::aggregate([Aggregate::min(Expr::col(7u32))], Conjunction::always()).unwrap(),
         ];
         for q in &queries {
             let oracle = prepare(&rel, q).unwrap();

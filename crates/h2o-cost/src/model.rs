@@ -479,8 +479,7 @@ mod tests {
         let m = CostModel::default();
         let pat = pattern(&[0, 1, 2], &[3], 0.4);
         let columns: Vec<GroupSpec> = (0..150).map(|i| spec(&[i])).collect();
-        let needed_cols: Vec<GroupSpec> =
-            [0, 1, 2, 3].iter().map(|&i| spec(&[i])).collect();
+        let needed_cols: Vec<GroupSpec> = [0, 1, 2, 3].iter().map(|&i| spec(&[i])).collect();
         let row: Vec<GroupSpec> = vec![spec(&(0..150).collect::<Vec<_>>())];
         let col_cost = m.best_cost(&pat, &needed_cols, ROWS);
         let row_cost = m.best_cost(&pat, &row, ROWS);
@@ -677,7 +676,10 @@ mod tests {
         ];
         let pat = pattern(&[0, 1, 2], &[3], 0.3);
         let (cost, cover) = m.best_cover_cost(&pat, &config, ROWS).unwrap();
-        assert!(cover.contains(&1), "expected the tailored group in {cover:?}");
+        assert!(
+            cover.contains(&1),
+            "expected the tailored group in {cover:?}"
+        );
         let wide_only = m.best_cost(&pat, &config[..1], ROWS);
         assert!(cost < wide_only);
         // Uncoverable pattern yields None.

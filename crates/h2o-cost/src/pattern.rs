@@ -102,16 +102,8 @@ mod tests {
 
     #[test]
     fn similarity_metric() {
-        let qa = Query::project(
-            [Expr::col(0u32), Expr::col(1u32)],
-            Conjunction::always(),
-        )
-        .unwrap();
-        let qb = Query::project(
-            [Expr::col(1u32), Expr::col(2u32)],
-            Conjunction::always(),
-        )
-        .unwrap();
+        let qa = Query::project([Expr::col(0u32), Expr::col(1u32)], Conjunction::always()).unwrap();
+        let qb = Query::project([Expr::col(1u32), Expr::col(2u32)], Conjunction::always()).unwrap();
         let pa = AccessPattern::of(&qa, 1.0);
         let pb = AccessPattern::of(&qb, 1.0);
         // {0,1} vs {1,2}: intersection 1, union 3.

@@ -18,10 +18,20 @@ pub struct BoundAttr {
 }
 
 /// Raw views over the groups of an access plan, in plan slot order.
+///
+/// Morsel-parallel execution shares one `GroupViews` by `&` across scoped
+/// worker threads; it contains only shared slices over catalog-owned
+/// payloads, so it is `Send + Sync` (checked at compile time below).
 pub struct GroupViews<'a> {
     views: Vec<(&'a [Value], usize)>,
     rows: usize,
 }
+
+// Compile-time proof that views may be shared across morsel workers.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GroupViews<'static>>();
+};
 
 impl<'a> GroupViews<'a> {
     /// Resolves `layouts` (plan slot order) against the catalog.

@@ -10,9 +10,12 @@
 use crate::bind::{BoundAttr, GroupViews};
 use crate::filter::{CompiledFilter, CompiledPred};
 use crate::kernels::{self, SelectProgram};
+use crate::parallel::{run_chunks, run_morsels, ExecPolicy};
 use crate::plan::{AccessPlan, Strategy};
 use crate::program::CompiledExpr;
-use h2o_expr::{Query, QueryResult};
+use crate::selvec::SelVec;
+use h2o_expr::agg::AggState;
+use h2o_expr::{AggFunc, Query, QueryResult};
 use h2o_storage::{AttrId, LayoutCatalog, LayoutId, StorageError, Value};
 use std::fmt;
 
@@ -173,20 +176,158 @@ pub fn compile(
     })
 }
 
-/// Executes a compiled operator against the catalog.
+/// Executes a compiled operator against the catalog, serially (the
+/// paper-faithful single-threaded path).
 pub fn execute(catalog: &LayoutCatalog, op: &CompiledOp) -> Result<QueryResult, ExecError> {
     let views = GroupViews::resolve(catalog, &op.plan.layouts)?;
     Ok(execute_with_views(&views, op))
 }
 
-/// Executes a compiled operator against pre-resolved views (lets callers
-/// hoist view resolution out of timing loops).
+/// Executes a compiled operator against the catalog under a parallelism
+/// policy. Results are bit-identical to [`execute`] for every strategy and
+/// query shape (see `crate::parallel` for why).
+pub fn execute_with_policy(
+    catalog: &LayoutCatalog,
+    op: &CompiledOp,
+    policy: &ExecPolicy,
+) -> Result<QueryResult, ExecError> {
+    let views = GroupViews::resolve(catalog, &op.plan.layouts)?;
+    Ok(execute_with_views_policy(&views, op, policy))
+}
+
+/// Executes a compiled operator against pre-resolved views, serially (lets
+/// callers hoist view resolution out of timing loops).
 pub fn execute_with_views(views: &GroupViews<'_>, op: &CompiledOp) -> QueryResult {
     match op.plan.strategy {
         Strategy::FusedVolcano => kernels::fused::run(views, &op.filter, &op.select),
         Strategy::SelVector => kernels::selvector::run(views, &op.filter, &op.select),
         Strategy::ColumnMajor => kernels::colmajor::run(views, &op.filter, &op.select),
     }
+}
+
+/// Executes a compiled operator against pre-resolved views under a
+/// parallelism policy. Small relations (per `policy`'s serial threshold)
+/// fall back to the serial kernels on the calling thread.
+pub fn execute_with_views_policy(
+    views: &GroupViews<'_>,
+    op: &CompiledOp,
+    policy: &ExecPolicy,
+) -> QueryResult {
+    let rows = views.rows();
+    if policy.is_serial_for(rows) {
+        return execute_with_views(views, op);
+    }
+    match op.plan.strategy {
+        Strategy::FusedVolcano => match &op.select {
+            SelectProgram::Project(exprs) => concat_blocks(
+                exprs.len(),
+                run_morsels(rows, policy, |r| {
+                    kernels::fused::project_range(views, &op.filter, exprs, r)
+                }),
+            ),
+            SelectProgram::Aggregate(aggs) => merge_and_finish(
+                aggs,
+                run_morsels(rows, policy, |r| {
+                    kernels::fused::aggregate_range(views, &op.filter, aggs, r)
+                }),
+            ),
+        },
+        Strategy::SelVector => {
+            // Phase 1 splits by row range; phase 2 by qualifying-id chunk,
+            // so consume work stays balanced at any selectivity.
+            let sel = stitch_selvecs(run_morsels(rows, policy, |r| {
+                kernels::selvector::build_selvec_range(views, &op.filter, r)
+            }));
+            match &op.select {
+                SelectProgram::Project(exprs) => concat_blocks(
+                    exprs.len(),
+                    run_chunks(sel.ids(), policy, |ids| {
+                        kernels::selvector::project_ids(views, ids, exprs)
+                    }),
+                ),
+                SelectProgram::Aggregate(aggs) => merge_and_finish(
+                    aggs,
+                    run_chunks(sel.ids(), policy, |ids| {
+                        kernels::selvector::aggregate_ids(views, ids, aggs)
+                    }),
+                ),
+            }
+        }
+        Strategy::ColumnMajor => {
+            // The no-filter bare-column streaming path splits by row range
+            // directly — no selection vector exists to chunk.
+            if kernels::colmajor::is_streaming_aggregate(&op.filter, &op.select) {
+                let SelectProgram::Aggregate(aggs) = &op.select else {
+                    unreachable!("streaming shape implies aggregate");
+                };
+                return merge_and_finish(
+                    aggs,
+                    run_morsels(rows, policy, |r| {
+                        aggs.iter()
+                            .map(|(f, e)| {
+                                let CompiledExpr::Col(a) = e else {
+                                    unreachable!("streaming shape implies bare columns");
+                                };
+                                kernels::colmajor::agg_full_column_range(views, *a, *f, r.clone())
+                            })
+                            .collect::<Vec<_>>()
+                    }),
+                );
+            }
+            let sel = stitch_selvecs(run_morsels(rows, policy, |r| {
+                kernels::colmajor::build_selvec_columnar_range(views, &op.filter, r)
+            }));
+            match &op.select {
+                SelectProgram::Project(exprs) => concat_blocks(
+                    exprs.len(),
+                    run_chunks(sel.ids(), policy, |ids| {
+                        kernels::colmajor::project_ids_columnar(views, ids, exprs)
+                    }),
+                ),
+                SelectProgram::Aggregate(aggs) => merge_and_finish(
+                    aggs,
+                    run_chunks(sel.ids(), policy, |ids| {
+                        kernels::colmajor::aggregate_ids_columnar(views, ids, aggs)
+                    }),
+                ),
+            }
+        }
+    }
+}
+
+/// Concatenates per-morsel projection blocks in morsel order.
+fn concat_blocks(width: usize, blocks: Vec<QueryResult>) -> QueryResult {
+    let total: usize = blocks.iter().map(|b| b.rows()).sum();
+    let mut out = QueryResult::with_capacity(width, total);
+    for b in &blocks {
+        out.append(b);
+    }
+    out
+}
+
+/// Stitches per-range selection vectors in morsel order.
+fn stitch_selvecs(parts: Vec<SelVec>) -> SelVec {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = SelVec::with_capacity(total);
+    for p in &parts {
+        out.extend_from(p);
+    }
+    out
+}
+
+/// Merges per-morsel aggregate partials in morsel order and finishes them
+/// into the one-row result (shared with the parallel reorganization path).
+pub(crate) fn merge_and_finish(
+    aggs: &[(AggFunc, CompiledExpr)],
+    partials: Vec<Vec<AggState>>,
+) -> QueryResult {
+    let mut total: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+    for partial in &partials {
+        for (t, p) in total.iter_mut().zip(partial) {
+            t.merge(p);
+        }
+    }
+    kernels::fused::finish_states(aggs.len(), &total)
 }
 
 #[cfg(test)]
@@ -236,8 +377,8 @@ mod tests {
     #[test]
     fn differential_all_strategies_all_layouts() {
         let partitions: Vec<Vec<Vec<AttrId>>> = vec![
-            (0..6).map(|i| vec![AttrId(i)]).collect(), // columnar
-            vec![(0u32..6).map(AttrId::from).collect()],  // row-major
+            (0..6).map(|i| vec![AttrId(i)]).collect(),   // columnar
+            vec![(0u32..6).map(AttrId::from).collect()], // row-major
             vec![
                 vec![AttrId(0), AttrId(1), AttrId(2)],
                 vec![AttrId(3), AttrId(4)],

@@ -99,11 +99,8 @@ mod tests {
     #[test]
     fn two_pred_fused_path() {
         // Group (d, e): tuples (1,9), (5,5), (9,1).
-        let g = GroupBuilder::from_columns(
-            vec![AttrId(3), AttrId(4)],
-            &[&[1, 5, 9], &[9, 5, 1]],
-        )
-        .unwrap();
+        let g = GroupBuilder::from_columns(vec![AttrId(3), AttrId(4)], &[&[1, 5, 9], &[9, 5, 1]])
+            .unwrap();
         let views = views_one_group(&g);
         let f = CompiledFilter::new(vec![
             CompiledPred {
@@ -136,9 +133,21 @@ mod tests {
         assert!(!one.matches(&views, 0));
         assert!(one.matches(&views, 1));
         let three = CompiledFilter::new(vec![
-            CompiledPred { attr: a, op: CmpOp::Gt, value: 0 },
-            CompiledPred { attr: a, op: CmpOp::Lt, value: 10 },
-            CompiledPred { attr: a, op: CmpOp::Ne, value: 3 },
+            CompiledPred {
+                attr: a,
+                op: CmpOp::Gt,
+                value: 0,
+            },
+            CompiledPred {
+                attr: a,
+                op: CmpOp::Lt,
+                value: 10,
+            },
+            CompiledPred {
+                attr: a,
+                op: CmpOp::Ne,
+                value: 3,
+            },
         ]);
         assert!(!three.matches(&views, 0));
         assert!(three.matches(&views, 1));

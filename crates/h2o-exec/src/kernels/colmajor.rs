@@ -22,6 +22,12 @@
 //! auto-vectorizes. Its weakness is everything that needs many attributes
 //! per tuple, where the intermediates and final reconstruction dominate
 //! (Figs. 10(a)/(c)).
+//!
+//! For morsel parallelism the filter phase splits by row range
+//! ([`build_selvec_columnar_range`]) and the evaluation phase by id chunk
+//! ([`project_ids_columnar`], [`aggregate_ids_columnar`]) — each chunk
+//! materializes its own (proportionally smaller) intermediate columns, so
+//! the strategy's cost structure is preserved per morsel.
 
 use super::SelectProgram;
 use crate::bind::{BoundAttr, GroupViews};
@@ -31,6 +37,7 @@ use crate::selvec::SelVec;
 use h2o_expr::agg::AggState;
 use h2o_expr::{AggFunc, QueryResult};
 use h2o_storage::Value;
+use std::ops::Range;
 
 /// A column-at-a-time operand: a materialized intermediate column or a
 /// broadcast constant.
@@ -40,14 +47,13 @@ enum ColVec {
 }
 
 /// Gathers `attr` for the selected rows into a fresh intermediate column.
-fn gather_attr(views: &GroupViews<'_>, attr: BoundAttr, sel: &SelVec) -> Vec<Value> {
+fn gather_attr(views: &GroupViews<'_>, attr: BoundAttr, ids: &[u32]) -> Vec<Value> {
     let (data, width) = views.view(attr.slot);
     let off = attr.offset as usize;
     if width == 1 {
-        sel.ids().iter().map(|&i| data[i as usize]).collect()
+        ids.iter().map(|&i| data[i as usize]).collect()
     } else {
-        sel.ids()
-            .iter()
+        ids.iter()
             .map(|&i| data[i as usize * width + off])
             .collect()
     }
@@ -61,21 +67,38 @@ pub fn build_selvec_columnar(views: &GroupViews<'_>, filter: &CompiledFilter) ->
     if filter.is_always_true() {
         return SelVec::identity(rows);
     }
+    build_selvec_columnar_range(views, filter, 0..rows)
+}
+
+/// Columnar filter evaluation over one row range; per-range outputs stitch
+/// by concatenation exactly as [`build_selvec_columnar`]'s full vector.
+pub fn build_selvec_columnar_range(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    range: Range<usize>,
+) -> SelVec {
+    if filter.is_always_true() {
+        let mut sel = SelVec::with_capacity(range.len());
+        for row in range {
+            sel.push(row as u32);
+        }
+        return sel;
+    }
     let preds = filter.preds();
     let first = &preds[0];
-    let mut sel = SelVec::with_capacity(rows / 8 + 16);
+    let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
     {
         let (data, width) = views.view(first.attr.slot);
         let off = first.attr.offset as usize;
         if width == 1 {
             // Contiguous scan — the auto-vectorizable fast path.
-            for (i, &v) in data.iter().enumerate() {
+            for (i, &v) in data[range.clone()].iter().enumerate() {
                 if first.op.apply(v, first.value) {
-                    sel.push(i as u32);
+                    sel.push((range.start + i) as u32);
                 }
             }
         } else {
-            for i in 0..rows {
+            for i in range {
                 if first.op.apply(data[i * width + off], first.value) {
                     sel.push(i as u32);
                 }
@@ -84,7 +107,7 @@ pub fn build_selvec_columnar(views: &GroupViews<'_>, filter: &CompiledFilter) ->
     }
     for p in &preds[1..] {
         // Intermediate materialization of the candidate values.
-        let candidates = gather_attr(views, p.attr, &sel);
+        let candidates = gather_attr(views, p.attr, sel.ids());
         let mut next = SelVec::with_capacity(candidates.len());
         for (i, &v) in candidates.iter().enumerate() {
             if p.op.apply(v, p.value) {
@@ -98,13 +121,13 @@ pub fn build_selvec_columnar(views: &GroupViews<'_>, filter: &CompiledFilter) ->
 
 /// Evaluates an expression column-at-a-time over the selected rows,
 /// materializing one intermediate column per operator.
-fn eval_expr_columns(views: &GroupViews<'_>, sel: &SelVec, expr: &CompiledExpr) -> ColVec {
+fn eval_expr_columns(views: &GroupViews<'_>, ids: &[u32], expr: &CompiledExpr) -> ColVec {
     match expr {
-        CompiledExpr::Col(a) => ColVec::Mat(gather_attr(views, *a, sel)),
+        CompiledExpr::Col(a) => ColVec::Mat(gather_attr(views, *a, ids)),
         CompiledExpr::SumCols(cols) => {
-            let mut acc = gather_attr(views, cols[0], sel);
+            let mut acc = gather_attr(views, cols[0], ids);
             for &c in &cols[1..] {
-                let operand = gather_attr(views, c, sel);
+                let operand = gather_attr(views, c, ids);
                 // Fresh intermediate per addition, as the paper describes.
                 acc = acc
                     .iter()
@@ -118,7 +141,7 @@ fn eval_expr_columns(views: &GroupViews<'_>, sel: &SelVec, expr: &CompiledExpr) 
             let mut stack: Vec<ColVec> = Vec::with_capacity(4);
             for op in ops {
                 match op {
-                    OpCode::Load(a) => stack.push(ColVec::Mat(gather_attr(views, *a, sel))),
+                    OpCode::Load(a) => stack.push(ColVec::Mat(gather_attr(views, *a, ids))),
                     OpCode::Const(v) => stack.push(ColVec::Const(*v)),
                     OpCode::Arith(o) => {
                         let r = stack.pop().expect("well-formed program");
@@ -143,19 +166,24 @@ fn eval_expr_columns(views: &GroupViews<'_>, sel: &SelVec, expr: &CompiledExpr) 
     }
 }
 
-/// Single-column aggregate without a where-clause: the tight contiguous
-/// loop that makes pure columns win Fig. 10(b).
-fn agg_full_column(views: &GroupViews<'_>, attr: BoundAttr, func: AggFunc) -> AggState {
+/// Single-column aggregate without a where-clause over one row range: the
+/// tight contiguous loop that makes pure columns win Fig. 10(b), returning
+/// a mergeable partial.
+pub fn agg_full_column_range(
+    views: &GroupViews<'_>,
+    attr: BoundAttr,
+    func: AggFunc,
+    range: Range<usize>,
+) -> AggState {
     let (data, width) = views.view(attr.slot);
     let off = attr.offset as usize;
     let mut st = AggState::new(func);
     if width == 1 {
-        for &v in data {
+        for &v in &data[range] {
             st.update(v);
         }
     } else {
-        let rows = views.rows();
-        for i in 0..rows {
+        for i in range {
             st.update(data[i * width + off]);
         }
     }
@@ -179,64 +207,87 @@ fn fold_colvec(cv: &ColVec, n: usize, func: AggFunc) -> AggState {
     st
 }
 
+/// Whether `select` is the no-filter bare-column aggregate shape that
+/// streams each column independently (the Fig. 10(b) fast path); the
+/// parallel driver asks so it can split that path by row range.
+pub(crate) fn is_streaming_aggregate(filter: &CompiledFilter, select: &SelectProgram) -> bool {
+    filter.is_always_true()
+        && matches!(select, SelectProgram::Aggregate(aggs)
+            if aggs.iter().all(|(_, e)| matches!(e, CompiledExpr::Col(_))))
+}
+
+/// Column-at-a-time aggregation over one id chunk, returning mergeable
+/// partials (each chunk materializes its own intermediate columns).
+pub fn aggregate_ids_columnar(
+    views: &GroupViews<'_>,
+    ids: &[u32],
+    aggs: &[(AggFunc, CompiledExpr)],
+) -> Vec<AggState> {
+    aggs.iter()
+        .map(|(f, e)| {
+            let cv = eval_expr_columns(views, ids, e);
+            fold_colvec(&cv, ids.len(), *f)
+        })
+        .collect()
+}
+
+/// Column-at-a-time projection over one id chunk: evaluate each select
+/// expression into a result column, then reconstruct tuples row-major.
+pub fn project_ids_columnar(
+    views: &GroupViews<'_>,
+    ids: &[u32],
+    exprs: &[CompiledExpr],
+) -> QueryResult {
+    let result_cols: Vec<ColVec> = exprs
+        .iter()
+        .map(|e| eval_expr_columns(views, ids, e))
+        .collect();
+    // Tuple reconstruction: transpose the result columns into the
+    // row-major output block (§3.3).
+    let width = exprs.len();
+    let n = ids.len();
+    let mut out = QueryResult::with_capacity(width, n);
+    let mut row_buf: Vec<Value> = vec![0; width];
+    for i in 0..n {
+        for (slot, cv) in row_buf.iter_mut().zip(&result_cols) {
+            *slot = match cv {
+                ColVec::Mat(vs) => vs[i],
+                ColVec::Const(c) => *c,
+            };
+        }
+        out.push_row(&row_buf);
+    }
+    out
+}
+
 /// Runs the full column-major strategy.
 pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgram) -> QueryResult {
-    let no_filter = filter.is_always_true();
     match select {
         SelectProgram::Aggregate(aggs) => {
             // Fast path: no where-clause and bare-column aggregates stream
             // each column independently with no selection vector at all.
-            if no_filter {
-                let all_cols = aggs
+            if is_streaming_aggregate(filter, select) {
+                let rows = views.rows();
+                let mut out = QueryResult::new(aggs.len());
+                let row: Vec<Value> = aggs
                     .iter()
-                    .all(|(_, e)| matches!(e, CompiledExpr::Col(_)));
-                if all_cols {
-                    let mut out = QueryResult::new(aggs.len());
-                    let row: Vec<Value> = aggs
-                        .iter()
-                        .map(|(f, e)| {
-                            let CompiledExpr::Col(a) = e else { unreachable!() };
-                            agg_full_column(views, *a, *f).finish()
-                        })
-                        .collect();
-                    out.push_row(&row);
-                    return out;
-                }
+                    .map(|(f, e)| {
+                        let CompiledExpr::Col(a) = e else {
+                            unreachable!()
+                        };
+                        agg_full_column_range(views, *a, *f, 0..rows).finish()
+                    })
+                    .collect();
+                out.push_row(&row);
+                return out;
             }
             let sel = build_selvec_columnar(views, filter);
-            let mut out = QueryResult::new(aggs.len());
-            let row: Vec<Value> = aggs
-                .iter()
-                .map(|(f, e)| {
-                    let cv = eval_expr_columns(views, &sel, e);
-                    fold_colvec(&cv, sel.len(), *f).finish()
-                })
-                .collect();
-            out.push_row(&row);
-            out
+            let states = aggregate_ids_columnar(views, sel.ids(), aggs);
+            super::fused::finish_states(aggs.len(), &states)
         }
         SelectProgram::Project(exprs) => {
             let sel = build_selvec_columnar(views, filter);
-            let result_cols: Vec<ColVec> = exprs
-                .iter()
-                .map(|e| eval_expr_columns(views, &sel, e))
-                .collect();
-            // Tuple reconstruction: transpose the result columns into the
-            // row-major output block (§3.3).
-            let width = exprs.len();
-            let n = sel.len();
-            let mut out = QueryResult::with_capacity(width, n);
-            let mut row_buf: Vec<Value> = vec![0; width];
-            for i in 0..n {
-                for (slot, cv) in row_buf.iter_mut().zip(&result_cols) {
-                    *slot = match cv {
-                        ColVec::Mat(vs) => vs[i],
-                        ColVec::Const(c) => *c,
-                    };
-                }
-                out.push_row(&row_buf);
-            }
-            out
+            project_ids_columnar(views, sel.ids(), exprs)
         }
     }
 }
@@ -268,9 +319,21 @@ mod tests {
         let views = GroupViews::from_groups(&refs);
         // where a0 > 1 and a1 = 5 and a2 < 9 -> rows {1,3}
         let filter = CompiledFilter::new(vec![
-            CompiledPred { attr: ba(0), op: CmpOp::Gt, value: 1 },
-            CompiledPred { attr: ba(1), op: CmpOp::Eq, value: 5 },
-            CompiledPred { attr: ba(2), op: CmpOp::Lt, value: 9 },
+            CompiledPred {
+                attr: ba(0),
+                op: CmpOp::Gt,
+                value: 1,
+            },
+            CompiledPred {
+                attr: ba(1),
+                op: CmpOp::Eq,
+                value: 5,
+            },
+            CompiledPred {
+                attr: ba(2),
+                op: CmpOp::Lt,
+                value: 9,
+            },
         ]);
         let sel = build_selvec_columnar(&views, &filter);
         assert_eq!(sel.ids(), &[1, 3]);
@@ -282,11 +345,7 @@ mod tests {
         let refs: Vec<&_> = groups.iter().collect();
         let views = GroupViews::from_groups(&refs);
         // select a0 + a1 + a2 (no filter): 15, 15, 10, 15
-        let select = SelectProgram::Project(vec![CompiledExpr::SumCols(vec![
-            ba(0),
-            ba(1),
-            ba(2),
-        ])]);
+        let select = SelectProgram::Project(vec![CompiledExpr::SumCols(vec![ba(0), ba(1), ba(2)])]);
         let out = run(&views, &CompiledFilter::always(), &select);
         assert_eq!(out.data(), &[15, 15, 10, 15]);
     }
@@ -301,6 +360,7 @@ mod tests {
             (AggFunc::Min, CompiledExpr::Col(ba(2))),
             (AggFunc::Sum, CompiledExpr::Col(ba(1))),
         ]);
+        assert!(is_streaming_aggregate(&CompiledFilter::always(), &select));
         let out = run(&views, &CompiledFilter::always(), &select);
         assert_eq!(out.row(0), &[4, 6, 15]);
     }
@@ -325,6 +385,7 @@ mod tests {
             stack: 2,
         };
         let select = SelectProgram::Aggregate(vec![(AggFunc::Sum, expr)]);
+        assert!(!is_streaming_aggregate(&filter, &select));
         let out = run(&views, &filter, &select);
         assert_eq!(out.row(0), &[49]);
     }
@@ -365,22 +426,71 @@ mod tests {
     fn works_on_strided_groups_too() {
         // The columnar strategy is defined for any layout; verify
         // correctness when the "columns" live in one wide group.
-        let g = GroupBuilder::from_columns(
-            vec![AttrId(0), AttrId(1)],
-            &[&[1, 2, 3], &[10, 20, 30]],
-        )
-        .unwrap();
+        let g =
+            GroupBuilder::from_columns(vec![AttrId(0), AttrId(1)], &[&[1, 2, 3], &[10, 20, 30]])
+                .unwrap();
         let views = GroupViews::from_groups(&[&g]);
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: BoundAttr { slot: 0, offset: 0 },
             op: CmpOp::Gt,
             value: 1,
         }]);
-        let select = SelectProgram::Project(vec![CompiledExpr::Col(BoundAttr {
-            slot: 0,
-            offset: 1,
-        })]);
+        let select =
+            SelectProgram::Project(vec![CompiledExpr::Col(BoundAttr { slot: 0, offset: 1 })]);
         let out = run(&views, &filter, &select);
         assert_eq!(out.data(), &[20, 30]);
+    }
+
+    #[test]
+    fn range_and_chunk_partials_stitch_to_full_run() {
+        let groups = columns();
+        let refs: Vec<&_> = groups.iter().collect();
+        let views = GroupViews::from_groups(&refs);
+        let filter = CompiledFilter::new(vec![
+            CompiledPred {
+                attr: ba(1),
+                op: CmpOp::Eq,
+                value: 5,
+            },
+            CompiledPred {
+                attr: ba(2),
+                op: CmpOp::Lt,
+                value: 9,
+            },
+        ]);
+        // Filter phase by range.
+        let full = build_selvec_columnar(&views, &filter);
+        let mut stitched = SelVec::new();
+        for r in [0..2, 2..4] {
+            for &id in build_selvec_columnar_range(&views, &filter, r).ids() {
+                stitched.push(id);
+            }
+        }
+        assert_eq!(stitched.ids(), full.ids());
+        // Aggregate phase by id chunk.
+        let aggs = vec![
+            (AggFunc::Sum, CompiledExpr::SumCols(vec![ba(0), ba(2)])),
+            (AggFunc::Max, CompiledExpr::Col(ba(2))),
+        ];
+        let want: Vec<Value> = aggregate_ids_columnar(&views, full.ids(), &aggs)
+            .iter()
+            .map(|s| s.finish())
+            .collect();
+        let mut merged: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+        for chunk in full.ids().chunks(1) {
+            for (m, p) in merged
+                .iter_mut()
+                .zip(aggregate_ids_columnar(&views, chunk, &aggs))
+            {
+                m.merge(&p);
+            }
+        }
+        let got: Vec<Value> = merged.iter().map(|s| s.finish()).collect();
+        assert_eq!(got, want);
+        // Streaming fast path by range.
+        let whole = agg_full_column_range(&views, ba(0), AggFunc::Sum, 0..4);
+        let mut m = agg_full_column_range(&views, ba(0), AggFunc::Sum, 0..2);
+        m.merge(&agg_full_column_range(&views, ba(0), AggFunc::Sum, 2..4));
+        assert_eq!(m.finish(), whole.finish());
     }
 }

@@ -7,6 +7,12 @@
 //! needed attributes live in one column group, generalized here to plans
 //! that stitch several groups tuple-at-a-time (used by online
 //! reorganization and multi-group volcano plans).
+//!
+//! Every loop is parameterized by a row **range** so the morsel-parallel
+//! driver (`crate::parallel`) can run disjoint row ranges on worker threads:
+//! projections return a per-range [`QueryResult`] block (concatenated in
+//! morsel order), aggregates return per-range [`AggState`] partials (merged
+//! in morsel order). [`run`] executes the full range serially.
 
 use super::SelectProgram;
 use crate::bind::GroupViews;
@@ -15,109 +21,156 @@ use crate::program::CompiledExpr;
 use h2o_expr::agg::AggState;
 use h2o_expr::QueryResult;
 use h2o_storage::Value;
+use std::ops::Range;
 
 /// Runs the fused kernel over all tuples.
 pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgram) -> QueryResult {
-    // The Fig. 5 specialization: when the whole plan reads one column
-    // group, slice each tuple once and evaluate everything against the
-    // slice — no per-access slot/stride arithmetic in the inner loop.
-    if views.len() == 1 {
-        return run_single_group(views, filter, select);
-    }
+    let rows = views.rows();
     match select {
-        SelectProgram::Project(exprs) => project(views, filter, exprs),
-        SelectProgram::Aggregate(aggs) => aggregate(views, filter, aggs),
+        SelectProgram::Project(exprs) => project_range(views, filter, exprs, 0..rows),
+        SelectProgram::Aggregate(aggs) => {
+            let states = aggregate_range(views, filter, aggs, 0..rows);
+            finish_states(aggs.len(), &states)
+        }
     }
 }
 
-/// Single-group fused scan: the direct analogue of the paper's generated
-/// `q1_single_column_group` (Fig. 5) — `ptr[3] < v1 && ptr[4] > v2` then
-/// `ptr[0] + ptr[1] + ptr[2]`, via the tuple-buffer evaluation paths.
-fn run_single_group(
+/// Turns final aggregate states into the one-row result block.
+pub(crate) fn finish_states(width: usize, states: &[AggState]) -> QueryResult {
+    debug_assert_eq!(width, states.len());
+    let mut out = QueryResult::new(width);
+    let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
+    out.push_row(&row);
+    out
+}
+
+/// Fused projection over one row range. The Fig. 5 specialization applies
+/// when the whole plan reads a single column group: each tuple is sliced
+/// once and everything evaluates against the slice — no per-access
+/// slot/stride arithmetic in the inner loop.
+pub fn project_range(
     views: &GroupViews<'_>,
     filter: &CompiledFilter,
-    select: &SelectProgram,
+    exprs: &[CompiledExpr],
+    range: Range<usize>,
 ) -> QueryResult {
-    let (data, width) = views.view(0);
-    let rows = views.rows();
-    match select {
-        SelectProgram::Project(exprs) => {
-            let out_width = exprs.len();
-            let mut out = QueryResult::with_capacity(out_width, rows / 4);
-            let mut row_buf: Vec<Value> = vec![0; out_width];
-            match exprs.as_slice() {
-                [e] => {
-                    for row in 0..rows {
-                        let tuple = &data[row * width..(row + 1) * width];
-                        if filter.matches_tuple(tuple) {
-                            out.push1(e.eval_tuple(tuple));
-                        }
-                    }
-                }
-                _ => {
-                    for row in 0..rows {
-                        let tuple = &data[row * width..(row + 1) * width];
-                        if filter.matches_tuple(tuple) {
-                            for (slot, e) in row_buf.iter_mut().zip(exprs) {
-                                *slot = e.eval_tuple(tuple);
-                            }
-                            out.push_row(&row_buf);
-                        }
-                    }
-                }
-            }
-            out
-        }
-        SelectProgram::Aggregate(aggs) => {
-            let mut states: Vec<AggState> =
-                aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-            // Specialization: when every aggregate input is a bare column,
-            // resolve the offsets once and keep the inner loop down to
-            // "load, update" per value — the template-(ii) hot path.
-            let col_offsets: Option<Vec<usize>> = aggs
-                .iter()
-                .map(|(_, e)| match e {
-                    CompiledExpr::Col(a) => Some(a.offset as usize),
-                    _ => None,
-                })
-                .collect();
-            if let Some(offsets) = col_offsets {
-                let row_vals = aggregate_cols_specialized(data, width, rows, filter, aggs, &offsets);
-                let mut out = QueryResult::new(aggs.len());
-                out.push_row(&row_vals);
-                return out;
-            }
-            {
-                for row in 0..rows {
+    let out_width = exprs.len();
+    let mut out = QueryResult::with_capacity(out_width, range.len() / 4);
+    let mut row_buf: Vec<Value> = vec![0; out_width];
+    if views.len() == 1 {
+        let (data, width) = views.view(0);
+        match exprs {
+            [e] => {
+                for row in range {
                     let tuple = &data[row * width..(row + 1) * width];
                     if filter.matches_tuple(tuple) {
-                        for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                            st.update(e.eval_tuple(tuple));
-                        }
+                        out.push1(e.eval_tuple(tuple));
                     }
                 }
             }
-            let mut out = QueryResult::new(aggs.len());
-            let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
-            out.push_row(&row);
-            out
+            _ => {
+                for row in range {
+                    let tuple = &data[row * width..(row + 1) * width];
+                    if filter.matches_tuple(tuple) {
+                        for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                            *slot = e.eval_tuple(tuple);
+                        }
+                        out.push_row(&row_buf);
+                    }
+                }
+            }
+        }
+        return out;
+    }
+    match exprs {
+        // The dominant single-expression template (e.g. `select a+b+c ...`):
+        // keep the inner loop free of the per-expression loop.
+        [e] => {
+            for row in range {
+                if filter.matches(views, row) {
+                    out.push1(e.eval(views, row));
+                }
+            }
+        }
+        _ => {
+            for row in range {
+                if filter.matches(views, row) {
+                    for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                        *slot = e.eval(views, row);
+                    }
+                    out.push_row(&row_buf);
+                }
+            }
         }
     }
+    out
+}
+
+/// Fused aggregation over one row range, returning mergeable partials.
+pub fn aggregate_range(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    range: Range<usize>,
+) -> Vec<AggState> {
+    if views.len() == 1 {
+        // Specialization: when every aggregate input is a bare column,
+        // resolve the offsets once and keep the inner loop down to
+        // "load, update" per value — the template-(ii) hot path.
+        let col_offsets: Option<Vec<usize>> = aggs
+            .iter()
+            .map(|(_, e)| match e {
+                CompiledExpr::Col(a) => Some(a.offset as usize),
+                _ => None,
+            })
+            .collect();
+        if let Some(offsets) = col_offsets {
+            let (data, width) = views.view(0);
+            let (acc, matched) =
+                aggregate_cols_specialized(data, width, range, filter, aggs, &offsets);
+            return aggs
+                .iter()
+                .zip(&acc)
+                .map(|((f, _), &raw)| AggState::from_parts(*f, raw, matched))
+                .collect();
+        }
+        let (data, width) = views.view(0);
+        let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+        for row in range {
+            let tuple = &data[row * width..(row + 1) * width];
+            if filter.matches_tuple(tuple) {
+                for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                    st.update(e.eval_tuple(tuple));
+                }
+            }
+        }
+        return states;
+    }
+    let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+    for row in range {
+        if filter.matches(views, row) {
+            for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                st.update(e.eval(views, row));
+            }
+        }
+    }
+    states
 }
 
 /// The tightest generated loop for `select f(a), f(b), ... from <group>`
 /// (template ii over one group): aggregates are grouped by function so the
 /// inner loop contains no dispatch at all, and a single shared counter
 /// tracks qualifying tuples (every bare-column aggregate folds exactly the
-/// same rows).
+/// same rows). Returns the raw accumulators plus the match count — the
+/// caller lifts them into mergeable [`AggState`] partials.
 fn aggregate_cols_specialized(
     data: &[Value],
     width: usize,
-    rows: usize,
+    range: Range<usize>,
     filter: &CompiledFilter,
     aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
     offsets: &[usize],
-) -> Vec<Value> {
+) -> (Vec<Value>, u64) {
     use h2o_expr::AggFunc;
     // (function, [(accumulator index, tuple offset)])
     let mut groups: Vec<(AggFunc, Vec<(usize, usize)>)> = Vec::new();
@@ -156,8 +209,7 @@ fn aggregate_cols_specialized(
         _ => None,
     };
     if let Some((f, base, k)) = dense {
-        use h2o_expr::AggFunc;
-        for row in 0..rows {
+        for row in range {
             let tuple = &data[row * width..(row + 1) * width];
             if filter.matches_tuple(tuple) {
                 matched += 1;
@@ -186,10 +238,10 @@ fn aggregate_cols_specialized(
                 }
             }
         }
-        return finish_specialized(aggs, &acc, matched);
+        return (acc, matched);
     }
 
-    for row in 0..rows {
+    for row in range {
         let tuple = &data[row * width..(row + 1) * width];
         if filter.matches_tuple(tuple) {
             matched += 1;
@@ -221,89 +273,20 @@ fn aggregate_cols_specialized(
             }
         }
     }
-    finish_specialized(aggs, &acc, matched)
+    (acc, matched)
 }
 
+/// Finishes raw specialized accumulators into final values (used by the
+/// fused reorganization operator, which shares the dense-aggregate tier).
 pub(crate) fn finish_specialized(
     aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
     acc: &[Value],
     matched: u64,
 ) -> Vec<Value> {
-    use h2o_expr::AggFunc;
     aggs.iter()
-        .enumerate()
-        .map(|(i, (f, _))| match f {
-            AggFunc::Sum => acc[i],
-            AggFunc::Count => matched as Value,
-            AggFunc::Min | AggFunc::Max => {
-                if matched == 0 {
-                    0
-                } else {
-                    acc[i]
-                }
-            }
-            AggFunc::Avg => {
-                if matched == 0 {
-                    0
-                } else {
-                    acc[i].wrapping_div(matched as Value)
-                }
-            }
-        })
+        .zip(acc)
+        .map(|((f, _), &raw)| AggState::from_parts(*f, raw, matched).finish())
         .collect()
-}
-
-fn project(
-    views: &GroupViews<'_>,
-    filter: &CompiledFilter,
-    exprs: &[CompiledExpr],
-) -> QueryResult {
-    let rows = views.rows();
-    let width = exprs.len();
-    let mut out = QueryResult::with_capacity(width, rows / 4);
-    let mut row_buf: Vec<Value> = vec![0; width];
-    match exprs {
-        // The dominant single-expression template (e.g. `select a+b+c ...`):
-        // keep the inner loop free of the per-expression loop.
-        [e] => {
-            for row in 0..rows {
-                if filter.matches(views, row) {
-                    out.push1(e.eval(views, row));
-                }
-            }
-        }
-        _ => {
-            for row in 0..rows {
-                if filter.matches(views, row) {
-                    for (slot, e) in row_buf.iter_mut().zip(exprs) {
-                        *slot = e.eval(views, row);
-                    }
-                    out.push_row(&row_buf);
-                }
-            }
-        }
-    }
-    out
-}
-
-fn aggregate(
-    views: &GroupViews<'_>,
-    filter: &CompiledFilter,
-    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
-) -> QueryResult {
-    let rows = views.rows();
-    let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-    for row in 0..rows {
-        if filter.matches(views, row) {
-            for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                st.update(e.eval(views, row));
-            }
-        }
-    }
-    let mut out = QueryResult::new(aggs.len());
-    let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
-    out.push_row(&row);
-    out
 }
 
 #[cfg(test)]
@@ -348,10 +331,8 @@ mod tests {
     fn fused_multi_expr_project() {
         let g = sample_group();
         let views = GroupViews::from_groups(&[&g]);
-        let select = SelectProgram::Project(vec![
-            CompiledExpr::Col(ba(0)),
-            CompiledExpr::Col(ba(1)),
-        ]);
+        let select =
+            SelectProgram::Project(vec![CompiledExpr::Col(ba(0)), CompiledExpr::Col(ba(1))]);
         let out = run(&views, &CompiledFilter::always(), &select);
         assert_eq!(out.rows(), 4);
         assert_eq!(out.row(3), &[4, 40]);
@@ -400,5 +381,45 @@ mod tests {
         let select = SelectProgram::Project(vec![CompiledExpr::Col(ba(0))]);
         let out = run(&views, &CompiledFilter::always(), &select);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_partials_stitch_to_full_run() {
+        let g = sample_group();
+        let views = GroupViews::from_groups(&[&g]);
+        let filter = CompiledFilter::new(vec![CompiledPred {
+            attr: ba(2),
+            op: CmpOp::Ge,
+            value: 1,
+        }]);
+        // Projection: concatenating per-range blocks equals the full run.
+        let exprs = vec![CompiledExpr::SumCols(vec![ba(0), ba(1)])];
+        let full = project_range(&views, &filter, &exprs, 0..4);
+        let mut stitched = QueryResult::new(1);
+        for r in [0..2, 2..3, 3..4] {
+            for row in project_range(&views, &filter, &exprs, r).iter_rows() {
+                stitched.push_row(row);
+            }
+        }
+        assert_eq!(stitched, full);
+        // Aggregation: merging per-range partials equals the full fold.
+        let aggs = vec![
+            (AggFunc::Sum, CompiledExpr::Col(ba(0))),
+            (AggFunc::Min, CompiledExpr::Col(ba(1))),
+            (AggFunc::Avg, CompiledExpr::Col(ba(0))),
+        ];
+        let want = aggregate_range(&views, &filter, &aggs, 0..4);
+        let mut merged: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+        for r in [0..1, 1..3, 3..4] {
+            for (m, p) in merged
+                .iter_mut()
+                .zip(aggregate_range(&views, &filter, &aggs, r))
+            {
+                m.merge(&p);
+            }
+        }
+        let want_row: Vec<Value> = want.iter().map(|s| s.finish()).collect();
+        let got_row: Vec<Value> = merged.iter().map(|s| s.finish()).collect();
+        assert_eq!(got_row, want_row);
     }
 }

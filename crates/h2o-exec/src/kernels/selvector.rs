@@ -8,6 +8,12 @@
 //! notes the trade-off explicitly: computation is avoided for
 //! non-qualifying tuples, "on the other hand, the materialization of the
 //! selection vector is required".
+//!
+//! Both phases are morsel-parallelizable: phase 1 builds per-row-range
+//! selection vectors whose ascending-id segments stitch by concatenation
+//! ([`build_selvec_range`]); phase 2 consumes contiguous **id chunks**
+//! ([`project_ids`], [`aggregate_ids`]) so work is balanced by qualifying
+//! rows, not raw ranges.
 
 use super::SelectProgram;
 use crate::bind::GroupViews;
@@ -17,6 +23,7 @@ use crate::selvec::SelVec;
 use h2o_expr::agg::AggState;
 use h2o_expr::QueryResult;
 use h2o_storage::Value;
+use std::ops::Range;
 
 /// Phase 1: materializes the selection vector for `filter`.
 pub fn build_selvec(views: &GroupViews<'_>, filter: &CompiledFilter) -> SelVec {
@@ -24,9 +31,27 @@ pub fn build_selvec(views: &GroupViews<'_>, filter: &CompiledFilter) -> SelVec {
     if filter.is_always_true() {
         return SelVec::identity(rows);
     }
+    build_selvec_range(views, filter, 0..rows)
+}
+
+/// Phase 1 over one row range: the qualifying ids within `range`, in
+/// ascending order. Concatenating consecutive ranges' outputs yields
+/// exactly [`build_selvec`]'s vector.
+pub fn build_selvec_range(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    range: Range<usize>,
+) -> SelVec {
+    if filter.is_always_true() {
+        let mut sel = SelVec::with_capacity(range.len());
+        for row in range {
+            sel.push(row as u32);
+        }
+        return sel;
+    }
     // Start with a modest capacity guess; the vector grows geometrically.
-    let mut sel = SelVec::with_capacity(rows / 8 + 16);
-    for row in 0..rows {
+    let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
+    for row in range {
         if filter.matches(views, row) {
             sel.push(row as u32);
         }
@@ -37,53 +62,64 @@ pub fn build_selvec(views: &GroupViews<'_>, filter: &CompiledFilter) -> SelVec {
 /// Phase 2: computes the select-items for the rows in `sel`.
 pub fn consume(views: &GroupViews<'_>, sel: &SelVec, select: &SelectProgram) -> QueryResult {
     match select {
-        SelectProgram::Project(exprs) => {
-            let width = exprs.len();
-            let mut out = QueryResult::with_capacity(width, sel.len());
-            let mut row_buf: Vec<Value> = vec![0; width];
-            match exprs.as_slice() {
-                [e] => {
-                    for &row in sel.ids() {
-                        out.push1(e.eval(views, row as usize));
-                    }
-                }
-                _ => {
-                    for &row in sel.ids() {
-                        for (slot, e) in row_buf.iter_mut().zip(exprs) {
-                            *slot = e.eval(views, row as usize);
-                        }
-                        out.push_row(&row_buf);
-                    }
-                }
-            }
-            out
-        }
+        SelectProgram::Project(exprs) => project_ids(views, sel.ids(), exprs),
         SelectProgram::Aggregate(aggs) => {
-            // Specialization mirroring the fused kernel's: when every
-            // aggregate input is a bare column, gather-and-fold with the
-            // dispatch hoisted out of the row loop.
-            let cols: Option<Vec<crate::bind::BoundAttr>> = aggs
-                .iter()
-                .map(|(_, e)| match e {
-                    CompiledExpr::Col(a) => Some(*a),
-                    _ => None,
-                })
-                .collect();
-            if let Some(cols) = cols {
-                return aggregate_gather_specialized(views, sel, aggs, &cols);
-            }
-            let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-            for &row in sel.ids() {
-                for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                    st.update(e.eval(views, row as usize));
-                }
-            }
-            let mut out = QueryResult::new(aggs.len());
-            let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
-            out.push_row(&row);
-            out
+            let states = aggregate_ids(views, sel.ids(), aggs);
+            super::fused::finish_states(aggs.len(), &states)
         }
     }
+}
+
+/// Phase-2 projection over a contiguous chunk of qualifying ids.
+pub fn project_ids(views: &GroupViews<'_>, ids: &[u32], exprs: &[CompiledExpr]) -> QueryResult {
+    let width = exprs.len();
+    let mut out = QueryResult::with_capacity(width, ids.len());
+    let mut row_buf: Vec<Value> = vec![0; width];
+    match exprs {
+        [e] => {
+            for &row in ids {
+                out.push1(e.eval(views, row as usize));
+            }
+        }
+        _ => {
+            for &row in ids {
+                for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                    *slot = e.eval(views, row as usize);
+                }
+                out.push_row(&row_buf);
+            }
+        }
+    }
+    out
+}
+
+/// Phase-2 aggregation over a contiguous chunk of qualifying ids,
+/// returning mergeable partials.
+pub fn aggregate_ids(
+    views: &GroupViews<'_>,
+    ids: &[u32],
+    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+) -> Vec<AggState> {
+    // Specialization mirroring the fused kernel's: when every aggregate
+    // input is a bare column, gather-and-fold with the dispatch hoisted out
+    // of the row loop.
+    let cols: Option<Vec<crate::bind::BoundAttr>> = aggs
+        .iter()
+        .map(|(_, e)| match e {
+            CompiledExpr::Col(a) => Some(*a),
+            _ => None,
+        })
+        .collect();
+    if let Some(cols) = cols {
+        return aggregate_gather_specialized(views, ids, aggs, &cols);
+    }
+    let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+    for &row in ids {
+        for (st, (_, e)) in states.iter_mut().zip(aggs) {
+            st.update(e.eval(views, row as usize));
+        }
+    }
+    states
 }
 
 /// Generated-code-quality gather aggregation: consecutive bare-column
@@ -95,10 +131,10 @@ pub fn consume(views: &GroupViews<'_>, sel: &SelVec, select: &SelectProgram) -> 
 /// significant overhead").
 fn aggregate_gather_specialized(
     views: &GroupViews<'_>,
-    sel: &SelVec,
+    ids: &[u32],
     aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
     cols: &[crate::bind::BoundAttr],
-) -> QueryResult {
+) -> Vec<AggState> {
     use h2o_expr::AggFunc;
     struct Seg {
         slot: u32,
@@ -136,7 +172,7 @@ fn aggregate_gather_specialized(
         })
         .collect();
     let resolved: Vec<(&[Value], usize)> = segs.iter().map(|s| views.view(s.slot)).collect();
-    for &row in sel.ids() {
+    for &row in ids {
         let row = row as usize;
         for (seg, &(data, w)) in segs.iter().zip(&resolved) {
             let base = row * w + seg.off_base;
@@ -166,10 +202,10 @@ fn aggregate_gather_specialized(
             }
         }
     }
-    let row = super::fused::finish_specialized(aggs, &acc, sel.len() as u64);
-    let mut out = QueryResult::new(aggs.len());
-    out.push_row(&row);
-    out
+    aggs.iter()
+        .zip(&acc)
+        .map(|((f, _), &raw)| AggState::from_parts(*f, raw, ids.len() as u64))
+        .collect()
 }
 
 /// Convenience: both phases over one set of views.
@@ -195,11 +231,8 @@ mod tests {
             &[&[1, 2, 3], &[10, 20, 30], &[100, 200, 300]],
         )
         .unwrap();
-        let r2 = GroupBuilder::from_columns(
-            vec![AttrId(3), AttrId(4)],
-            &[&[5, 1, 9], &[0, 7, 7]],
-        )
-        .unwrap();
+        let r2 = GroupBuilder::from_columns(vec![AttrId(3), AttrId(4)], &[&[5, 1, 9], &[0, 7, 7]])
+            .unwrap();
         let views = GroupViews::from_groups(&[&r1, &r2]);
         // where d < 6 and e > 3  -> row 1 only.
         let filter = CompiledFilter::new(vec![
@@ -276,5 +309,62 @@ mod tests {
         )]);
         let out = consume(&views, &SelVec::new(), &select);
         assert_eq!(out.row(0), &[0]);
+    }
+
+    #[test]
+    fn range_selvecs_stitch_to_full_build() {
+        let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[1, -1, 2, -2, 3, -3, 4]]).unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        let a = BoundAttr { slot: 0, offset: 0 };
+        for filter in [
+            CompiledFilter::new(vec![CompiledPred {
+                attr: a,
+                op: CmpOp::Gt,
+                value: 0,
+            }]),
+            CompiledFilter::always(),
+        ] {
+            let full = build_selvec(&views, &filter);
+            let mut stitched = SelVec::new();
+            for r in [0..3, 3..3, 3..6, 6..7] {
+                for &id in build_selvec_range(&views, &filter, r).ids() {
+                    stitched.push(id);
+                }
+            }
+            assert_eq!(stitched.ids(), full.ids());
+        }
+    }
+
+    #[test]
+    fn id_chunk_partials_stitch_to_full_consume() {
+        let g = GroupBuilder::from_columns(
+            vec![AttrId(0), AttrId(1)],
+            &[&[1, 2, 3, 4, 5], &[9, 8, 7, 6, 5]],
+        )
+        .unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        let ids: Vec<u32> = vec![0, 2, 3, 4];
+        let aggs = vec![
+            (
+                AggFunc::Sum,
+                CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 }),
+            ),
+            (
+                AggFunc::Min,
+                CompiledExpr::Col(BoundAttr { slot: 0, offset: 1 }),
+            ),
+        ];
+        let want: Vec<_> = aggregate_ids(&views, &ids, &aggs)
+            .iter()
+            .map(|s| s.finish())
+            .collect();
+        let mut merged: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+        for chunk in ids.chunks(3) {
+            for (m, p) in merged.iter_mut().zip(aggregate_ids(&views, chunk, &aggs)) {
+                m.merge(&p);
+            }
+        }
+        let got: Vec<_> = merged.iter().map(|s| s.finish()).collect();
+        assert_eq!(got, want);
     }
 }

@@ -30,6 +30,7 @@ use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Synthetic cost of "generating and compiling" one operator.
@@ -120,22 +121,49 @@ pub struct CacheStats {
     pub compile_time: Duration,
 }
 
-/// A bounded operator cache with simulated compile latency on miss.
+/// Number of lock shards. A small power of two: enough that concurrent
+/// queries (engines sharing one cache, morsel workers compiling plans)
+/// rarely contend on the same shard, cheap enough that `len`/`clear`
+/// iteration stays trivial.
+const SHARDS: usize = 8;
+
+/// A bounded, thread-safe operator cache with simulated compile latency on
+/// miss.
+///
+/// The cache is `Send + Sync` by construction: the entry map is split into
+/// [`SHARDS`] independently locked shards keyed by the operator key's hash,
+/// and the counters are atomics — so concurrent lookups from parallel
+/// queries serialize only when they collide on a shard, never on a single
+/// global lock.
 #[derive(Debug)]
 pub struct OperatorCache {
-    entries: Mutex<HashMap<OperatorKey, CompiledOp>>,
-    stats: Mutex<CacheStats>,
+    shards: [Mutex<HashMap<OperatorKey, CompiledOp>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Total simulated compile latency charged, in nanoseconds.
+    compile_nanos: AtomicU64,
     cost_model: CompileCostModel,
+    /// Total capacity across all shards. Enforced before each insert by
+    /// summing shard sizes; under concurrent misses the bound is
+    /// approximate (a racing insert may briefly overshoot by one).
     capacity: usize,
 }
+
+// Compile-time proof the cache may be shared across worker threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OperatorCache>();
+};
 
 impl OperatorCache {
     /// Creates a cache holding up to `capacity` operators with the given
     /// latency model.
     pub fn new(capacity: usize, cost_model: CompileCostModel) -> Self {
         OperatorCache {
-            entries: Mutex::new(HashMap::new()),
-            stats: Mutex::new(CacheStats::default()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
             cost_model,
             capacity: capacity.max(1),
         }
@@ -144,6 +172,10 @@ impl OperatorCache {
     /// The configured cost model.
     pub fn cost_model(&self) -> CompileCostModel {
         self.cost_model
+    }
+
+    fn shard(&self, key: OperatorKey) -> &Mutex<HashMap<OperatorKey, CompiledOp>> {
+        &self.shards[key.0 as usize % SHARDS]
     }
 
     /// Returns the operator for `(query, plan)`, generating (and charging
@@ -162,8 +194,8 @@ impl OperatorCache {
             .iter()
             .map(|p| p.value)
             .collect();
-        if let Some(cached) = self.entries.lock().get(&key).cloned() {
-            self.stats.lock().hits += 1;
+        if let Some(cached) = self.shard(key).lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             let mut op = cached;
             op.rebind_constants(&constants);
             return Ok(op);
@@ -171,50 +203,65 @@ impl OperatorCache {
         let op = compile(catalog, plan, query)?;
         let charge = self.cost_model.cost(op.code_size());
         self.cost_model.charge(charge);
-        {
-            let mut stats = self.stats.lock();
-            stats.misses += 1;
-            stats.compile_time += charge;
-        }
-        let mut entries = self.entries.lock();
-        if entries.len() >= self.capacity {
-            // Simple random-ish eviction: drop an arbitrary entry. The
-            // paper does not specify an eviction policy; capacity pressure
-            // only arises in adversarial workloads.
-            if let Some(&victim) = entries.keys().next() {
-                entries.remove(&victim);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compile_nanos
+            .fetch_add(charge.as_nanos() as u64, Ordering::Relaxed);
+        while self.len() >= self.capacity {
+            // Simple random-ish eviction: drop an arbitrary entry (from the
+            // target shard if it has one, else from any non-empty shard).
+            // The paper does not specify an eviction policy; capacity
+            // pressure only arises in adversarial workloads.
+            let mut evicted = false;
+            for shard in std::iter::once(self.shard(key)).chain(&self.shards) {
+                let mut entries = shard.lock();
+                if let Some(&victim) = entries.keys().next() {
+                    entries.remove(&victim);
+                    evicted = true;
+                    break;
+                }
+            }
+            if !evicted {
+                break;
             }
         }
-        entries.insert(key, op.clone());
+        self.shard(key).lock().insert(key, op.clone());
         Ok(op)
     }
 
     /// Drops every operator whose plan reads `layout` — required when a
     /// layout is dropped from the catalog.
     pub fn invalidate_layout(&self, layout: h2o_storage::LayoutId) {
-        self.entries
-            .lock()
-            .retain(|_, op| !op.plan().layouts.contains(&layout));
+        for shard in &self.shards {
+            shard
+                .lock()
+                .retain(|_, op| !op.plan().layouts.contains(&layout));
+        }
     }
 
     /// Clears the cache.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 
     /// Number of cached operators.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -247,8 +294,12 @@ mod tests {
         let rel = rel();
         let cache = OperatorCache::new(16, CompileCostModel::ZERO);
         let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::SelVector);
-        let op1 = cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
-        let op2 = cache.get_or_compile(rel.catalog(), &plan, &count_below(11)).unwrap();
+        let op1 = cache
+            .get_or_compile(rel.catalog(), &plan, &count_below(5))
+            .unwrap();
+        let op2 = cache
+            .get_or_compile(rel.catalog(), &plan, &count_below(11))
+            .unwrap();
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 1);
         // And the rebinding is effective:
@@ -261,7 +312,9 @@ mod tests {
         let rel = rel();
         let cache = OperatorCache::new(16, CompileCostModel::ZERO);
         let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::SelVector);
-        cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        cache
+            .get_or_compile(rel.catalog(), &plan, &count_below(5))
+            .unwrap();
         let other = Query::aggregate(
             [Aggregate::sum(Expr::col(1u32))],
             Conjunction::of([Predicate::lt(0u32, 5)]),
@@ -278,10 +331,18 @@ mod tests {
         let ids = rel.catalog().layout_ids();
         let q = count_below(5);
         cache
-            .get_or_compile(rel.catalog(), &AccessPlan::new(ids.clone(), Strategy::SelVector), &q)
+            .get_or_compile(
+                rel.catalog(),
+                &AccessPlan::new(ids.clone(), Strategy::SelVector),
+                &q,
+            )
             .unwrap();
         cache
-            .get_or_compile(rel.catalog(), &AccessPlan::new(ids.clone(), Strategy::FusedVolcano), &q)
+            .get_or_compile(
+                rel.catalog(),
+                &AccessPlan::new(ids.clone(), Strategy::FusedVolcano),
+                &q,
+            )
             .unwrap();
         cache
             .get_or_compile(
@@ -303,10 +364,14 @@ mod tests {
         let cache = OperatorCache::new(16, model);
         let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::SelVector);
         let t0 = Instant::now();
-        cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        cache
+            .get_or_compile(rel.catalog(), &plan, &count_below(5))
+            .unwrap();
         let first = t0.elapsed();
         let t1 = Instant::now();
-        cache.get_or_compile(rel.catalog(), &plan, &count_below(7)).unwrap();
+        cache
+            .get_or_compile(rel.catalog(), &plan, &count_below(7))
+            .unwrap();
         let second = t1.elapsed();
         assert!(first >= Duration::from_millis(2));
         assert!(second < Duration::from_millis(2));
@@ -319,10 +384,39 @@ mod tests {
         let cache = OperatorCache::new(16, CompileCostModel::ZERO);
         let ids = rel.catalog().layout_ids();
         let plan = AccessPlan::new(ids.clone(), Strategy::SelVector);
-        cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+        cache
+            .get_or_compile(rel.catalog(), &plan, &count_below(5))
+            .unwrap();
         assert_eq!(cache.len(), 1);
         cache.invalidate_layout(ids[0]);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        // The sharded cache serves concurrent lookups; every thread sees
+        // correct operators and the counters account for every access.
+        let rel = rel();
+        let cache = OperatorCache::new(64, CompileCostModel::ZERO);
+        let threads = 4;
+        let per_thread = 25;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for i in 0..per_thread {
+                        let strategy = Strategy::ALL[i % 3];
+                        let plan = AccessPlan::new(rel.catalog().layout_ids(), strategy);
+                        let op = cache
+                            .get_or_compile(rel.catalog(), &plan, &count_below(5))
+                            .unwrap();
+                        assert_eq!(execute(rel.catalog(), &op).unwrap().row(0), &[5]);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
+        assert_eq!(cache.len(), 3, "one operator per strategy");
     }
 
     #[test]
@@ -332,7 +426,9 @@ mod tests {
         let ids = rel.catalog().layout_ids();
         for strategy in Strategy::ALL {
             let plan = AccessPlan::new(ids.clone(), strategy);
-            cache.get_or_compile(rel.catalog(), &plan, &count_below(5)).unwrap();
+            cache
+                .get_or_compile(rel.catalog(), &plan, &count_below(5))
+                .unwrap();
         }
         assert!(cache.len() <= 2);
     }

@@ -1,0 +1,325 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! The paper's prototype is single-threaded; its claim is that
+//! layout-specialized operators make the scan loop as fast as the hardware
+//! allows. On multi-core hardware "as fast as the hardware allows" requires
+//! intra-query parallelism, so this module adds the simplest scheme that
+//! preserves the kernels' tight loops unchanged: the relation is split into
+//! fixed-size **morsels** of consecutive rows and a small pool of scoped
+//! worker threads claims morsels greedily off a shared atomic counter
+//! (self-scheduling work-stealing — no per-query planning, in the spirit of
+//! the greedy, statistics-free adaptation mechanism).
+//!
+//! Every parallel path is *deterministic*: per-morsel partial results are
+//! re-assembled in morsel order (projection blocks concatenated, selection
+//! vectors stitched, aggregate partials merged through
+//! [`AggState::merge`](h2o_expr::agg::AggState::merge), whose operations —
+//! wrapping sums, min/max, counts — are associative), so parallel execution
+//! returns **bit-identical** results to serial execution. The differential
+//! test suite asserts this for every strategy × query shape.
+//!
+//! [`ExecPolicy`] carries the knobs: worker count, morsel size, and a serial
+//! fallback threshold so tiny relations never pay fork/join overhead.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default rows per morsel. Large enough that per-morsel overhead (one
+/// atomic increment + one partial-result allocation) is noise against the
+/// scan work; small enough that work-stealing load-balances skewed
+/// predicates across workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// Default serial-fallback threshold: relations at or below this row count
+/// execute on the calling thread. Scans this small finish in microseconds —
+/// faster than spawning a single worker.
+pub const DEFAULT_SERIAL_THRESHOLD: usize = 16_384;
+
+/// Execution-parallelism policy: how (and whether) to split a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker threads to use. `None` asks the host for its available
+    /// parallelism; `Some(1)` forces serial execution.
+    pub parallelism: Option<usize>,
+    /// Rows per morsel (clamped to at least 1).
+    pub morsel_rows: usize,
+    /// Relations with at most this many rows always run serially.
+    pub serial_threshold: usize,
+}
+
+impl ExecPolicy {
+    /// Strictly serial execution (the paper's original behavior).
+    pub const fn serial() -> ExecPolicy {
+        ExecPolicy {
+            parallelism: Some(1),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            serial_threshold: DEFAULT_SERIAL_THRESHOLD,
+        }
+    }
+
+    /// A policy with an explicit worker count and default morsel shape.
+    pub fn with_threads(threads: usize) -> ExecPolicy {
+        ExecPolicy {
+            parallelism: Some(threads.max(1)),
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// The resolved worker count. The host's available parallelism is
+    /// queried once per process (it sits on the per-query hot path).
+    pub fn threads(&self) -> usize {
+        match self.parallelism {
+            Some(n) => n.max(1),
+            None => {
+                static HOST: OnceLock<usize> = OnceLock::new();
+                *HOST.get_or_init(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+            }
+        }
+    }
+
+    /// Whether a scan of `rows` tuples should run serially under this
+    /// policy (single worker, tiny relation, or a single morsel anyway).
+    pub fn is_serial_for(&self, rows: usize) -> bool {
+        self.threads() <= 1 || rows <= self.serial_threshold || rows <= self.morsel_rows.max(1)
+    }
+
+    /// Number of morsels a scan of `rows` tuples splits into.
+    pub fn morsel_count(&self, rows: usize) -> usize {
+        rows.div_ceil(self.morsel_rows.max(1))
+    }
+
+    /// The `i`-th morsel's row range.
+    fn morsel(&self, rows: usize, i: usize) -> Range<usize> {
+        let m = self.morsel_rows.max(1);
+        let start = i * m;
+        start..((start + m).min(rows))
+    }
+}
+
+impl Default for ExecPolicy {
+    /// Use all available cores with the default morsel shape.
+    fn default() -> Self {
+        ExecPolicy {
+            parallelism: None,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            serial_threshold: DEFAULT_SERIAL_THRESHOLD,
+        }
+    }
+}
+
+/// Runs `f` over every morsel of `0..rows` and returns the per-morsel
+/// results **in morsel order**. Under a serial policy (or when only one
+/// morsel exists) `f` runs on the calling thread; otherwise scoped workers
+/// claim morsels greedily off a shared atomic counter.
+///
+/// Workers are fresh scoped threads per call rather than a persistent
+/// pool: morsel closures borrow catalog-owned slices (`GroupViews`), which
+/// `std::thread::scope` supports without `'static` bounds or channel
+/// indirection. The spawn/join cost (tens of microseconds) is kept off
+/// small queries by the policy's serial threshold and is noise against the
+/// multi-millisecond scans parallelism targets; a shared work-stealing
+/// pool (e.g. rayon) would amortize it further and can replace this
+/// scheduler behind the same signature.
+pub fn run_morsels<T, F>(rows: usize, policy: &ExecPolicy, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let n = policy.morsel_count(rows);
+    if policy.is_serial_for(rows) || n <= 1 {
+        return (0..n).map(|i| f(policy.morsel(rows, i))).collect();
+    }
+    let workers = policy.threads().min(n);
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(policy.morsel(rows, i))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Runs `f` over morsel-sized contiguous chunks of `items` and returns the
+/// per-chunk results in order. Used for the phase-2 consumers that walk a
+/// selection vector rather than raw row ranges: the chunking unit is
+/// *qualifying rows*, so work stays balanced at any selectivity.
+pub fn run_chunks<I, T, F>(items: &[I], policy: &ExecPolicy, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&[I]) -> T + Sync,
+{
+    run_morsels(items.len(), policy, |range| f(&items[range]))
+}
+
+/// Fills `data` (a `rows * width` row-major buffer) by handing each worker
+/// disjoint morsel-aligned blocks: `f(range, block)` must write the tuples
+/// of `range` into `block` (which is exactly `range.len() * width` long).
+/// Blocks are assigned round-robin, so the split is static — appropriate
+/// for gather loops whose per-row cost is uniform.
+pub fn fill_morsels<T, F>(data: &mut [T], rows: usize, width: usize, policy: &ExecPolicy, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert_eq!(data.len(), rows * width, "buffer/shape mismatch");
+    if width == 0 || rows == 0 {
+        return;
+    }
+    let m = policy.morsel_rows.max(1);
+    if policy.is_serial_for(rows) {
+        for (i, block) in data.chunks_mut(m * width).enumerate() {
+            f(policy.morsel(rows, i), block);
+        }
+        return;
+    }
+    let workers = policy.threads().min(policy.morsel_count(rows));
+    // Partition the blocks round-robin among workers; each worker owns its
+    // disjoint set of `&mut` blocks, so no synchronization is needed.
+    let mut assignments: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, block) in data.chunks_mut(m * width).enumerate() {
+        assignments[i % workers].push((i, block));
+    }
+    std::thread::scope(|s| {
+        for blocks in assignments {
+            s.spawn(|| {
+                for (i, block) in blocks {
+                    f(policy.morsel(rows, i), block);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(threads: usize, morsel: usize) -> ExecPolicy {
+        ExecPolicy {
+            parallelism: Some(threads),
+            morsel_rows: morsel,
+            serial_threshold: 0,
+        }
+    }
+
+    #[test]
+    fn morsel_ranges_cover_exactly() {
+        let p = policy(4, 10);
+        for rows in [0usize, 1, 9, 10, 11, 25, 100] {
+            let n = p.morsel_count(rows);
+            let mut covered = 0;
+            for i in 0..n {
+                let r = p.morsel(rows, i);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, rows, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn run_morsels_preserves_order() {
+        let p = policy(4, 7);
+        let got = run_morsels(100, &p, |r| r.start);
+        let want: Vec<usize> = (0..100usize.div_ceil(7)).map(|i| i * 7).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_equals_serial_fold() {
+        let rows = 10_000;
+        let serial: u64 = run_morsels(rows, &ExecPolicy::serial(), |r| {
+            r.map(|i| i as u64 * 3).sum::<u64>()
+        })
+        .into_iter()
+        .sum();
+        for threads in [2, 4, 8] {
+            let par: u64 = run_morsels(rows, &policy(threads, 997), |r| {
+                r.map(|i| i as u64 * 3).sum::<u64>()
+            })
+            .into_iter()
+            .sum();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_fallback_respected() {
+        let p = ExecPolicy {
+            parallelism: Some(8),
+            morsel_rows: 10,
+            serial_threshold: 1_000,
+        };
+        assert!(p.is_serial_for(1_000));
+        assert!(!p.is_serial_for(1_001));
+        assert!(ExecPolicy::serial().is_serial_for(usize::MAX));
+        // One morsel ⇒ serial regardless of thread count.
+        let q = policy(8, 1_000_000);
+        assert!(q.is_serial_for(500_000));
+    }
+
+    #[test]
+    fn run_chunks_concatenates_in_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        let p = policy(3, 13);
+        let chunks = run_chunks(&items, &p, |c| c.to_vec());
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn fill_morsels_writes_every_slot() {
+        let rows = 503;
+        let width = 3;
+        for p in [policy(4, 64), ExecPolicy::serial()] {
+            let mut data = vec![0i64; rows * width];
+            fill_morsels(&mut data, rows, width, &p, |range, block| {
+                for (k, row) in range.clone().enumerate() {
+                    for c in 0..width {
+                        block[k * width + c] = (row * width + c) as i64;
+                    }
+                }
+            });
+            let want: Vec<i64> = (0..(rows * width) as i64).collect();
+            assert_eq!(data, want);
+        }
+    }
+
+    #[test]
+    fn zero_rows_are_fine() {
+        let p = policy(4, 8);
+        assert!(run_morsels(0, &p, |r| r.len()).is_empty());
+        let mut empty: Vec<i64> = Vec::new();
+        fill_morsels(&mut empty, 0, 3, &p, |_, _| panic!("no work expected"));
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(ExecPolicy::with_threads(0).threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(4).threads(), 4);
+        assert!(ExecPolicy::default().threads() >= 1);
+    }
+}

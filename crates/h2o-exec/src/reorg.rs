@@ -20,6 +20,7 @@ use crate::bind::{BoundAttr, GroupViews};
 use crate::compile::ExecError;
 use crate::filter::{CompiledFilter, CompiledPred};
 use crate::kernels::SelectProgram;
+use crate::parallel::{fill_morsels, run_morsels, ExecPolicy};
 use crate::program::CompiledExpr;
 use h2o_expr::agg::AggState;
 use h2o_expr::{Query, QueryResult};
@@ -57,12 +58,24 @@ fn source_bindings(
 }
 
 /// Offline reorganization: builds a new group over `target_attrs` (in this
-/// physical order) by stitching from the existing layouts. Does **not**
-/// admit the group to the catalog — the caller decides (and timestamps)
-/// that.
+/// physical order) by stitching from the existing layouts, serially. Does
+/// **not** admit the group to the catalog — the caller decides (and
+/// timestamps) that.
 pub fn materialize(
     catalog: &LayoutCatalog,
     target_attrs: &[AttrId],
+) -> Result<ColumnGroup, ExecError> {
+    materialize_with(catalog, target_attrs, &ExecPolicy::serial())
+}
+
+/// [`materialize`] under a parallelism policy: the gather loops fill
+/// disjoint morsel-aligned blocks of the new group's payload on worker
+/// threads. The output is byte-identical to the serial build (each block is
+/// a pure function of its row range).
+pub fn materialize_with(
+    catalog: &LayoutCatalog,
+    target_attrs: &[AttrId],
+    policy: &ExecPolicy,
 ) -> Result<ColumnGroup, ExecError> {
     let (layouts, bindings) = source_bindings(catalog, target_attrs)?;
     let views = GroupViews::resolve(catalog, &layouts)?;
@@ -71,13 +84,15 @@ pub fn materialize(
     // Column-wise fill: for each target attribute, stride through its
     // source group once. Sequential reads per source, strided writes.
     let mut data = vec![0 as Value; rows * width];
-    for (t, &b) in bindings.iter().enumerate() {
-        let (src, src_w) = views.view(b.slot);
-        let off = b.offset as usize;
-        for row in 0..rows {
-            data[row * width + t] = src[row * src_w + off];
+    fill_morsels(&mut data, rows, width, policy, |range, block| {
+        for (t, &b) in bindings.iter().enumerate() {
+            let (src, src_w) = views.view(b.slot);
+            let off = b.offset as usize;
+            for (k, row) in range.clone().enumerate() {
+                block[k * width + t] = src[row * src_w + off];
+            }
         }
-    }
+    });
     Ok(ColumnGroup::from_parts(
         h2o_storage::LayoutId(u32::MAX),
         target_attrs.to_vec(),
@@ -97,11 +112,20 @@ pub fn materialize_rowwise(
     catalog: &LayoutCatalog,
     target_attrs: &[AttrId],
 ) -> Result<ColumnGroup, ExecError> {
+    materialize_rowwise_with(catalog, target_attrs, &ExecPolicy::serial())
+}
+
+/// [`materialize_rowwise`] under a parallelism policy: each worker runs the
+/// same row-wise stitch loop over its own morsel-aligned block.
+pub fn materialize_rowwise_with(
+    catalog: &LayoutCatalog,
+    target_attrs: &[AttrId],
+    policy: &ExecPolicy,
+) -> Result<ColumnGroup, ExecError> {
     let (layouts, bindings) = source_bindings(catalog, target_attrs)?;
     let views = GroupViews::resolve(catalog, &layouts)?;
     let rows = views.rows();
-    let mut builder =
-        GroupBuilder::new(target_attrs.to_vec(), rows).map_err(ExecError::Storage)?;
+    let width = target_attrs.len();
     let resolved: Vec<(&[Value], usize, usize)> = bindings
         .iter()
         .map(|b| {
@@ -109,14 +133,22 @@ pub fn materialize_rowwise(
             (data, w, b.offset as usize)
         })
         .collect();
-    let mut tuple = vec![0 as Value; target_attrs.len()];
-    for row in 0..rows {
-        for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
-            *slot = data[row * w + off];
+    let mut data = vec![0 as Value; rows * width];
+    fill_morsels(&mut data, rows, width, policy, |range, block| {
+        for (k, row) in range.clone().enumerate() {
+            let tuple = &mut block[k * width..(k + 1) * width];
+            for (slot, &(src, w, off)) in tuple.iter_mut().zip(&resolved) {
+                *slot = src[row * w + off];
+            }
         }
-        builder.push_tuple(&tuple);
-    }
-    Ok(builder.finish())
+    });
+    Ok(ColumnGroup::from_parts(
+        h2o_storage::LayoutId(u32::MAX),
+        target_attrs.to_vec(),
+        rows,
+        data,
+    )
+    .expect("bindings guarantee shape"))
 }
 
 /// Lowers `query` so every attribute reference indexes a stitched tuple of
@@ -197,6 +229,21 @@ pub fn reorg_and_execute(
     target_attrs: &[AttrId],
     query: &Query,
 ) -> Result<(ColumnGroup, QueryResult), ExecError> {
+    reorg_and_execute_with(catalog, target_attrs, query, &ExecPolicy::serial())
+}
+
+/// [`reorg_and_execute`] under a parallelism policy: the single
+/// stitch-store-evaluate scan is morsel-split, so online reorganization
+/// overlaps across cores. Each worker stitches its morsel into a
+/// disjoint block of the new group's payload and folds the query over the
+/// stitched tuples; blocks concatenate (byte-identical group) and query
+/// partials merge (bit-identical result) in morsel order.
+pub fn reorg_and_execute_with(
+    catalog: &LayoutCatalog,
+    target_attrs: &[AttrId],
+    query: &Query,
+    policy: &ExecPolicy,
+) -> Result<(ColumnGroup, QueryResult), ExecError> {
     // Working-tuple layout: the target attributes first (these are stored),
     // then any extra attributes the query needs (evaluation only).
     let mut tuple_attrs: Vec<AttrId> = target_attrs.to_vec();
@@ -211,10 +258,6 @@ pub fn reorg_and_execute(
     let rows = views.rows();
     let width = target_attrs.len();
 
-    let mut builder =
-        GroupBuilder::new(target_attrs.to_vec(), rows).map_err(ExecError::Storage)?;
-    let mut tuple = vec![0 as Value; tuple_attrs.len()];
-
     // Resolve each binding to a raw (slice, stride, offset) triple once so
     // the per-row stitch loop is three indexed loads, not slot lookups.
     let resolved: Vec<(&[Value], usize, usize)> = bindings
@@ -224,6 +267,85 @@ pub fn reorg_and_execute(
             (data, w, b.offset as usize)
         })
         .collect();
+
+    if !policy.is_serial_for(rows) {
+        let finish_group = |blocks: Vec<&Vec<Value>>| -> ColumnGroup {
+            let mut data = Vec::with_capacity(rows * width);
+            for b in blocks {
+                data.extend_from_slice(b);
+            }
+            ColumnGroup::from_parts(
+                h2o_storage::LayoutId(u32::MAX),
+                target_attrs.to_vec(),
+                rows,
+                data,
+            )
+            .expect("morsel blocks cover exactly the relation")
+        };
+        // One morsel's work: stitch each row's working tuple, store its
+        // target prefix, evaluate the query over it.
+        let stitch_block =
+            |range: std::ops::Range<usize>, per_row: &mut dyn FnMut(&[Value])| -> Vec<Value> {
+                let mut block = Vec::with_capacity(range.len() * width);
+                let mut tuple = vec![0 as Value; tuple_attrs.len()];
+                for row in range {
+                    for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
+                        *slot = data[row * w + off];
+                    }
+                    block.extend_from_slice(&tuple[..width]);
+                    per_row(&tuple);
+                }
+                block
+            };
+        return match &select {
+            SelectProgram::Aggregate(aggs) => {
+                let parts: Vec<(Vec<Value>, Vec<AggState>)> = run_morsels(rows, policy, |range| {
+                    let mut states: Vec<AggState> =
+                        aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+                    let block = stitch_block(range, &mut |tuple| {
+                        if filter.matches_tuple(tuple) {
+                            for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                                st.update(e.eval_tuple(tuple));
+                            }
+                        }
+                    });
+                    (block, states)
+                });
+                let out = crate::compile::merge_and_finish(
+                    aggs,
+                    parts.iter().map(|(_, states)| states.clone()).collect(),
+                );
+                let group = finish_group(parts.iter().map(|(b, _)| b).collect());
+                Ok((group, out))
+            }
+            SelectProgram::Project(exprs) => {
+                let out_width = exprs.len();
+                let parts: Vec<(Vec<Value>, QueryResult)> = run_morsels(rows, policy, |range| {
+                    let mut out = QueryResult::with_capacity(out_width, range.len() / 4);
+                    let mut row_buf = vec![0 as Value; out_width];
+                    let block = stitch_block(range, &mut |tuple| {
+                        if filter.matches_tuple(tuple) {
+                            for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                                *slot = e.eval_tuple(tuple);
+                            }
+                            out.push_row(&row_buf);
+                        }
+                    });
+                    (block, out)
+                });
+                let total_rows: usize = parts.iter().map(|(_, r)| r.rows()).sum();
+                let mut out = QueryResult::with_capacity(out_width, total_rows);
+                for (_, r) in &parts {
+                    out.append(r);
+                }
+                let group = finish_group(parts.iter().map(|(b, _)| b).collect());
+                Ok((group, out))
+            }
+        };
+    }
+
+    let mut builder = GroupBuilder::new(target_attrs.to_vec(), rows).map_err(ExecError::Storage)?;
+    let mut tuple = vec![0 as Value; tuple_attrs.len()];
 
     match &select {
         SelectProgram::Aggregate(aggs) => {
@@ -242,9 +364,7 @@ pub fn reorg_and_execute(
                     Some(base)
                         if aggs.len() > 1
                             && aggs.iter().map(|(f, _)| f).all(|f| *f == aggs[0].0)
-                            && offs
-                                .enumerate()
-                                .all(|(j, o)| o == Some(base + j + 1)) =>
+                            && offs.enumerate().all(|(j, o)| o == Some(base + j + 1)) =>
                     {
                         Some((aggs[0].0, base, aggs.len()))
                     }
@@ -299,8 +419,7 @@ pub fn reorg_and_execute(
                 out.push_row(&row);
                 return Ok((builder.finish(), out));
             }
-            let mut states: Vec<AggState> =
-                aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+            let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
             for row in 0..rows {
                 for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
                     *slot = data[row * w + off];
@@ -347,7 +466,11 @@ mod tests {
     fn rel(columnar: bool) -> Relation {
         let schema = Schema::with_width(6).into_shared();
         let cols: Vec<Vec<Value>> = (0..6)
-            .map(|k| (0..40).map(|r| ((k * 61 + r * 17) % 97) as Value - 48).collect())
+            .map(|k| {
+                (0..40)
+                    .map(|r| ((k * 61 + r * 17) % 97) as Value - 48)
+                    .collect()
+            })
             .collect();
         if columnar {
             Relation::columnar(schema, cols).unwrap()
@@ -417,13 +540,14 @@ mod tests {
         // 5 and projects attribute 0 — the paper's "select-clause group +
         // existing where-clause layout" case.
         let r = rel(true);
-        let q = Query::project(
-            [Expr::col(0u32)],
-            Conjunction::of([Predicate::gt(5u32, 0)]),
-        )
-        .unwrap();
+        let q =
+            Query::project([Expr::col(0u32)], Conjunction::of([Predicate::gt(5u32, 0)])).unwrap();
         let (group, result) = reorg_and_execute(r.catalog(), &[AttrId(0), AttrId(1)], &q).unwrap();
-        assert_eq!(group.attrs(), &[AttrId(0), AttrId(1)], "extra attrs not stored");
+        assert_eq!(
+            group.attrs(),
+            &[AttrId(0), AttrId(1)],
+            "extra attrs not stored"
+        );
         let offline = materialize(r.catalog(), &[AttrId(0), AttrId(1)]).unwrap();
         assert_eq!(group.data(), offline.data());
         let want = interpret(r.catalog(), &q).unwrap();
@@ -434,7 +558,9 @@ mod tests {
     fn materialize_from_mixed_groups() {
         // Sources: group (0,1), group (2,3), columns 4, 5.
         let schema = Schema::with_width(6).into_shared();
-        let cols: Vec<Vec<Value>> = (0..6).map(|k| vec![k as Value * 10, k as Value * 20]).collect();
+        let cols: Vec<Vec<Value>> = (0..6)
+            .map(|k| vec![k as Value * 10, k as Value * 20])
+            .collect();
         let r = Relation::partitioned(
             schema,
             cols,

@@ -47,6 +47,22 @@ impl SelVec {
         self.ids.push(row);
     }
 
+    /// Appends all ids of `other` — the stitch step of morsel-parallel
+    /// filter phases: per-range selection vectors (each ascending, over
+    /// disjoint consecutive ranges) concatenate in morsel order into the
+    /// exact vector a serial pass would build.
+    #[inline]
+    pub fn extend_from(&mut self, other: &SelVec) {
+        debug_assert!(
+            self.ids
+                .last()
+                .zip(other.ids.first())
+                .is_none_or(|(&a, &b)| a < b),
+            "stitched selection vectors must stay ascending"
+        );
+        self.ids.extend_from_slice(&other.ids);
+    }
+
     /// Number of qualifying rows.
     #[inline]
     pub fn len(&self) -> usize {
@@ -113,7 +129,7 @@ impl BitSel {
     pub fn new(rows: usize) -> Self {
         BitSel {
             words: vec![0; rows.div_ceil(64)],
-            rows: rows.max(0),
+            rows,
         }
     }
 
@@ -122,7 +138,11 @@ impl BitSel {
         let mut s = BitSel::new(rows);
         for (i, w) in s.words.iter_mut().enumerate() {
             let bits = (rows - i * 64).min(64);
-            *w = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            *w = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
         }
         s
     }
@@ -217,6 +237,14 @@ mod tests {
         assert_eq!(s.ids(), &[1, 5]);
         assert!(!s.is_empty());
         assert!(SelVec::new().is_empty());
+    }
+
+    #[test]
+    fn extend_from_stitches_ranges() {
+        let mut s = SelVec::from_ids(vec![0, 2]);
+        s.extend_from(&SelVec::from_ids(vec![5, 6]));
+        s.extend_from(&SelVec::new());
+        assert_eq!(s.ids(), &[0, 2, 5, 6]);
     }
 
     #[test]

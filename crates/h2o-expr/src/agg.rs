@@ -126,14 +126,37 @@ impl AggState {
         }
     }
 
-    /// Merges another accumulator (vectorized strategies fold per-vector
-    /// partials, then merge).
+    /// Merges another accumulator. This is the combine step of parallel
+    /// execution: each morsel folds its rows into a private `AggState` and
+    /// the partials are merged in morsel order. All the merge operations —
+    /// wrapping sum, min, max, count addition — are associative and have
+    /// `AggState::new` as their identity, so any grouping of morsels yields
+    /// the same final state as a single sequential fold (the parallel
+    /// differential tests assert bit-identical results).
     pub fn merge(&mut self, other: &AggState) {
         debug_assert_eq!(self.func, other.func);
         self.sum = self.sum.wrapping_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.count += other.count;
+    }
+
+    /// Reconstructs an accumulator from a kernel's raw partial: `raw` is the
+    /// specialized loop's accumulator value (sum for `sum`/`avg`, the
+    /// extremum for `min`/`max`, ignored for `count`) and `count` the number
+    /// of folded values. Bridges the offset-specialized kernels — which
+    /// accumulate into flat `Value` slots rather than `AggState`s — into the
+    /// mergeable form the parallel driver combines.
+    pub fn from_parts(func: AggFunc, raw: Value, count: u64) -> AggState {
+        let mut st = AggState::new(func);
+        st.count = count;
+        match func {
+            AggFunc::Sum | AggFunc::Avg => st.sum = raw,
+            AggFunc::Min => st.min = raw,
+            AggFunc::Max => st.max = raw,
+            AggFunc::Count => {}
+        }
+        st
     }
 
     /// Finishes the aggregate. Empty-input results: `sum`/`count`/`avg` are
@@ -212,7 +235,13 @@ mod tests {
     #[test]
     fn merge_equals_sequential_fold() {
         let vals = [5, -3, 12, 9, -20, 1];
-        for f in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg] {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
             let mut left = AggState::new(f);
             let mut right = AggState::new(f);
             for &v in &vals[..3] {
@@ -224,6 +253,87 @@ mod tests {
             left.merge(&right);
             assert_eq!(left.finish(), fold(f, &vals), "{}", f.name());
         }
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let vals = [4, -9, 2];
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            let mut folded = AggState::new(f);
+            for &v in &vals {
+                folded.update(v);
+            }
+            // empty ∪ folded
+            let mut left = AggState::new(f);
+            left.merge(&folded);
+            assert_eq!(left.finish(), folded.finish(), "{} left-identity", f.name());
+            // folded ∪ empty
+            let mut right = folded;
+            right.merge(&AggState::new(f));
+            assert_eq!(
+                right.finish(),
+                folded.finish(),
+                "{} right-identity",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_over_any_split() {
+        let vals: Vec<Value> = (0..37).map(|i| (i * 31 % 17) - 8).collect();
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            let want = fold(f, &vals);
+            for chunk in [1usize, 2, 5, 7, 36, 64] {
+                let mut total = AggState::new(f);
+                for part in vals.chunks(chunk) {
+                    let mut partial = AggState::new(f);
+                    for &v in part {
+                        partial.update(v);
+                    }
+                    total.merge(&partial);
+                }
+                assert_eq!(total.finish(), want, "{} chunk={chunk}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_specialized_accumulators() {
+        // (func, raw accumulator, count, expected finish)
+        let cases = [
+            (AggFunc::Sum, 42, 3, 42),
+            (AggFunc::Avg, 10, 4, 2),
+            (AggFunc::Min, -7, 2, -7),
+            (AggFunc::Max, 9, 2, 9),
+            (AggFunc::Count, 0, 5, 5),
+        ];
+        for (f, raw, count, want) in cases {
+            assert_eq!(
+                AggState::from_parts(f, raw, count).finish(),
+                want,
+                "{}",
+                f.name()
+            );
+        }
+        // Empty partials carry the neutral accumulator and merge as identity.
+        let empty_min = AggState::from_parts(AggFunc::Min, Value::MAX, 0);
+        let mut real = AggState::from_parts(AggFunc::Min, 5, 1);
+        real.merge(&empty_min);
+        assert_eq!(real.finish(), 5);
+        assert_eq!(empty_min.finish(), 0, "empty-input convention preserved");
     }
 
     #[test]

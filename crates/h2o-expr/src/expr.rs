@@ -222,13 +222,19 @@ mod tests {
     fn sum_of_builds_left_deep_chain() {
         let e = Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]);
         assert_eq!(e.eval(|a| a.index() as i64 + 1), 6);
-        assert_eq!(e.as_column_sum().unwrap(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(
+            e.as_column_sum().unwrap(),
+            vec![AttrId(0), AttrId(1), AttrId(2)]
+        );
         assert_eq!(format!("{e}"), "((a0 + a1) + a2)");
     }
 
     #[test]
     fn column_sum_detection_rejects_other_shapes() {
-        assert!(Expr::col(0u32).mul(Expr::col(1u32)).as_column_sum().is_none());
+        assert!(Expr::col(0u32)
+            .mul(Expr::col(1u32))
+            .as_column_sum()
+            .is_none());
         assert!(Expr::col(0u32).add(Expr::lit(1)).as_column_sum().is_none());
         assert_eq!(Expr::col(4u32).as_column_sum().unwrap(), vec![AttrId(4)]);
     }

@@ -14,8 +14,8 @@
 use crate::agg::AggState;
 use crate::query::Query;
 use crate::result::QueryResult;
-use h2o_storage::{AttrId, ColumnGroup, LayoutCatalog, StorageError, Value};
 use h2o_storage::catalog::CoverPolicy;
+use h2o_storage::{AttrId, ColumnGroup, LayoutCatalog, StorageError, Value};
 
 /// Resolves each referenced attribute to `(group index, offset in group)`
 /// once per query; per-tuple fetches then do two indexed loads. Kept dense
@@ -63,8 +63,11 @@ pub fn interpret_over(groups: &[&ColumnGroup], q: &Query) -> Result<QueryResult,
     let filter = q.filter();
 
     if q.is_aggregate() {
-        let mut states: Vec<AggState> =
-            q.aggregates().iter().map(|a| AggState::new(a.func)).collect();
+        let mut states: Vec<AggState> = q
+            .aggregates()
+            .iter()
+            .map(|a| AggState::new(a.func))
+            .collect();
         for row in 0..rows {
             if filter.matches(|a| binding.fetch(groups, row, a)) {
                 for (st, agg) in states.iter_mut().zip(q.aggregates()) {
@@ -117,7 +120,11 @@ mod tests {
     fn test_relation(columnar: bool) -> Relation {
         let schema = Schema::with_width(5).into_shared();
         let cols: Vec<Vec<Value>> = (0..5)
-            .map(|k| (0..6).map(|r| (k as Value + 1) * 100 + r as Value).collect())
+            .map(|k| {
+                (0..6)
+                    .map(|r| (k as Value + 1) * 100 + r as Value)
+                    .collect()
+            })
             .collect();
         if columnar {
             Relation::columnar(schema, cols).unwrap()

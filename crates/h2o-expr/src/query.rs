@@ -26,7 +26,10 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::EmptySelect => write!(f, "query selects nothing"),
             QueryError::MixedSelect => {
-                write!(f, "cannot mix plain projections and aggregates without group-by")
+                write!(
+                    f,
+                    "cannot mix plain projections and aggregates without group-by"
+                )
             }
         }
     }
@@ -182,7 +185,10 @@ mod tests {
         .unwrap();
         assert!(!q.is_aggregate());
         assert_eq!(q.output_width(), 1);
-        assert_eq!(q.select_attrs().to_vec(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(
+            q.select_attrs().to_vec(),
+            vec![AttrId(0), AttrId(1), AttrId(2)]
+        );
         assert_eq!(q.where_attrs().to_vec(), vec![AttrId(3), AttrId(4)]);
         assert_eq!(q.all_attrs().len(), 5);
         assert_eq!(

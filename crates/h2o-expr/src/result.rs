@@ -69,6 +69,15 @@ impl QueryResult {
         self.data.push(v);
     }
 
+    /// Appends all rows of `other` (same width) — the stitch step of
+    /// morsel-parallel projections: per-morsel result blocks concatenate in
+    /// morsel order into the exact buffer a serial scan would produce.
+    #[inline]
+    pub fn append(&mut self, other: &QueryResult) {
+        debug_assert_eq!(self.width, other.width);
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// The `i`-th row.
     #[inline]
     pub fn row(&self, i: usize) -> &[Value] {
@@ -133,6 +142,19 @@ mod tests {
         r.push1(9);
         assert_eq!(r.data(), &[7, 9]);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn append_concatenates_blocks() {
+        let mut a = QueryResult::new(2);
+        a.push_row(&[1, 2]);
+        let mut b = QueryResult::new(2);
+        b.push_row(&[3, 4]);
+        b.push_row(&[5, 6]);
+        a.append(&b);
+        a.append(&QueryResult::new(2));
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.data(), &[1, 2, 3, 4, 5, 6]);
     }
 
     #[test]

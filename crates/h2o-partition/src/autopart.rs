@@ -104,7 +104,9 @@ impl AutoPart {
                     }
                 }
             }
-            let Some((i, j, cost)) = best_merge else { break };
+            let Some((i, j, cost)) = best_merge else {
+                break;
+            };
             let merged = parts[i].union(&parts[j]);
             parts = parts
                 .into_iter()
@@ -196,10 +198,7 @@ mod tests {
     #[test]
     fn merging_never_worsens_cost() {
         let ap = AutoPart::default();
-        let w = vec![
-            pattern(&[0, 1, 2], &[3], 0.4),
-            pattern(&[4, 5], &[3], 0.4),
-        ];
+        let w = vec![pattern(&[0, 1, 2], &[3], 0.4), pattern(&[4, 5], &[3], 0.4)];
         let primaries = AutoPart::primary_partitions(&w, 8);
         let final_parts = ap.partition(&w, 8, ROWS);
         let c_primary = ap.cost(&w, &primaries, ROWS);

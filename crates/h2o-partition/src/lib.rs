@@ -47,8 +47,7 @@ pub fn partition_cost(
         let needed = pat.all_attrs();
         match CostModel::cover_abstract(&specs, &needed) {
             Some(cover) => {
-                let groups: Vec<GroupSpec> =
-                    cover.into_iter().map(|i| specs[i].clone()).collect();
+                let groups: Vec<GroupSpec> = cover.into_iter().map(|i| specs[i].clone()).collect();
                 total += model.best_cost(pat, &groups, rows);
             }
             None => return f64::INFINITY,

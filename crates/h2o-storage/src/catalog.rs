@@ -85,7 +85,11 @@ impl LayoutCatalog {
 
     /// Admits a group, assigning it a fresh [`LayoutId`]. The group must
     /// match the relation's row count and only reference schema attributes.
-    pub fn add_group(&mut self, mut group: ColumnGroup, now: Epoch) -> Result<LayoutId, StorageError> {
+    pub fn add_group(
+        &mut self,
+        mut group: ColumnGroup,
+        now: Epoch,
+    ) -> Result<LayoutId, StorageError> {
         if group.rows() != self.rows {
             return Err(StorageError::RowCountMismatch {
                 expected: self.rows,
@@ -121,10 +125,7 @@ impl LayoutCatalog {
             .get(&id)
             .ok_or(StorageError::UnknownLayout(id))?;
         for &a in victim.attrs() {
-            let still_covered = self
-                .groups
-                .values()
-                .any(|g| g.id() != id && g.contains(a));
+            let still_covered = self.groups.values().any(|g| g.id() != id && g.contains(a));
             if !still_covered {
                 return Err(StorageError::WouldUncover(a));
             }
@@ -231,9 +232,7 @@ impl LayoutCatalog {
                     }
                 });
             let Some(best) = best else {
-                return Err(StorageError::NoCover(
-                    remaining.first().expect("non-empty"),
-                ));
+                return Err(StorageError::NoCover(remaining.first().expect("non-empty")));
             };
             let responsible = best.attr_set().intersection(&remaining);
             remaining.difference_with(&responsible);
@@ -399,7 +398,9 @@ mod tests {
     #[test]
     fn cover_single_group_preferred() {
         let cat = catalog_with(&[&[0], &[1], &[2], &[0, 1, 2]], 2);
-        let cover = cat.cover(&aset(&[0, 1, 2]), CoverPolicy::FewestGroups).unwrap();
+        let cover = cat
+            .cover(&aset(&[0, 1, 2]), CoverPolicy::FewestGroups)
+            .unwrap();
         assert_eq!(cover.len(), 1);
         assert_eq!(cover[0].1, aset(&[0, 1, 2]));
     }
@@ -417,9 +418,18 @@ mod tests {
             .iter()
             .map(|(id, got)| cat.group(*id).unwrap().width() - got.len())
             .sum();
-        assert_eq!(total_excess, 0, "least-excess cover should use the two columns");
-        let few = cat.cover(&aset(&[0, 1]), CoverPolicy::FewestGroups).unwrap();
-        assert_eq!(few.len(), 1, "fewest-groups cover should use the wide group");
+        assert_eq!(
+            total_excess, 0,
+            "least-excess cover should use the two columns"
+        );
+        let few = cat
+            .cover(&aset(&[0, 1]), CoverPolicy::FewestGroups)
+            .unwrap();
+        assert_eq!(
+            few.len(),
+            1,
+            "fewest-groups cover should use the wide group"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl fmt::Display for StorageError {
                 write!(f, "row count mismatch: expected {expected}, got {got}")
             }
             StorageError::WouldUncover(a) => {
-                write!(f, "dropping this layout would leave attribute {a} unmaterialized")
+                write!(
+                    f,
+                    "dropping this layout would leave attribute {a} unmaterialized"
+                )
             }
             StorageError::NoCover(a) => {
                 write!(f, "no materialized layout stores attribute {a}")
@@ -72,7 +75,9 @@ mod tests {
         };
         assert!(e.to_string().contains("a4"));
         assert!(e.to_string().contains("L2"));
-        assert!(StorageError::EmptyGroup.to_string().contains("must contain"));
+        assert!(StorageError::EmptyGroup
+            .to_string()
+            .contains("must contain"));
     }
 
     #[test]

@@ -23,8 +23,7 @@ impl Relation {
     /// Builds a relation stored **column-major**: one width-1 group per
     /// attribute. `columns[i]` holds the values of schema attribute `i`.
     pub fn columnar(schema: Arc<Schema>, columns: Vec<Vec<Value>>) -> Result<Self, StorageError> {
-        let partition: Vec<Vec<AttrId>> =
-            schema.attr_ids().map(|a| vec![a]).collect();
+        let partition: Vec<Vec<AttrId>> = schema.attr_ids().map(|a| vec![a]).collect();
         Self::partitioned(schema, columns, partition)
     }
 
@@ -74,7 +73,10 @@ impl Relation {
 
         let mut catalog = LayoutCatalog::new(schema, rows);
         for attrs in partition {
-            let refs: Vec<&[Value]> = attrs.iter().map(|a| columns[a.index()].as_slice()).collect();
+            let refs: Vec<&[Value]> = attrs
+                .iter()
+                .map(|a| columns[a.index()].as_slice())
+                .collect();
             let g = GroupBuilder::from_columns(attrs, &refs)?;
             catalog.add_group(g, 0)?;
         }

@@ -60,7 +60,11 @@ impl QueryGen {
 
     /// Draws `k` distinct random attributes.
     pub fn random_attrs(&mut self, k: usize) -> Vec<AttrId> {
-        assert!(k <= self.n_attrs, "cannot draw {k} of {} attrs", self.n_attrs);
+        assert!(
+            k <= self.n_attrs,
+            "cannot draw {k} of {} attrs",
+            self.n_attrs
+        );
         let mut ids: Vec<u32> = (0..self.n_attrs as u32).collect();
         ids.shuffle(&mut self.rng);
         ids.truncate(k);
@@ -91,16 +95,19 @@ impl QueryGen {
     ) -> (Query, f64) {
         assert!(!attrs.is_empty());
         let filter = Self::filter_with_selectivity(filter_attrs, selectivity);
-        let sel = if filter_attrs.is_empty() { 1.0 } else { selectivity };
+        let sel = if filter_attrs.is_empty() {
+            1.0
+        } else {
+            selectivity
+        };
         let q = match template {
             Template::Projection => {
                 Query::project(attrs.iter().map(|&a| Expr::Col(a)), filter).unwrap()
             }
-            Template::Aggregation => Query::aggregate(
-                attrs.iter().map(|&a| Aggregate::max(Expr::Col(a))),
-                filter,
-            )
-            .unwrap(),
+            Template::Aggregation => {
+                Query::aggregate(attrs.iter().map(|&a| Aggregate::max(Expr::Col(a))), filter)
+                    .unwrap()
+            }
             Template::Expression => {
                 Query::project([Expr::sum_of(attrs.iter().copied())], filter).unwrap()
             }

@@ -140,7 +140,11 @@ pub fn oscillating_sequence(
     };
     (0..n_queries)
         .map(|i| {
-            let attrs = if (i / period).is_multiple_of(2) { &class_a } else { &class_b };
+            let attrs = if (i / period).is_multiple_of(2) {
+                &class_a
+            } else {
+                &class_b
+            };
             let (query, selectivity) =
                 QueryGen::build(Template::Expression, &attrs[1..], &attrs[..1], 0.3);
             TimedQuery { query, selectivity }
@@ -165,10 +169,8 @@ mod tests {
         }
         // Classes repeat: the number of distinct attribute sets must be far
         // below the number of queries.
-        let distinct: std::collections::HashSet<Vec<_>> = w
-            .iter()
-            .map(|tq| tq.query.all_attrs().to_vec())
-            .collect();
+        let distinct: std::collections::HashSet<Vec<_>> =
+            w.iter().map(|tq| tq.query.all_attrs().to_vec()).collect();
         assert!(distinct.len() < 40, "got {} distinct sets", distinct.len());
     }
 

@@ -14,7 +14,11 @@ pub const VALUE_MAX: Value = 1_000_000_000;
 pub fn gen_columns(n_attrs: usize, rows: usize, seed: u64) -> Vec<Vec<Value>> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n_attrs)
-        .map(|_| (0..rows).map(|_| rng.gen_range(VALUE_MIN..VALUE_MAX)).collect())
+        .map(|_| {
+            (0..rows)
+                .map(|_| rng.gen_range(VALUE_MIN..VALUE_MAX))
+                .collect()
+        })
         .collect()
 }
 
@@ -59,8 +63,7 @@ mod tests {
         let cols = gen_columns(1, 200_000, 7);
         for s in [0.01, 0.1, 0.4, 0.9] {
             let t = threshold_for_selectivity(s);
-            let observed =
-                cols[0].iter().filter(|&&v| v < t).count() as f64 / cols[0].len() as f64;
+            let observed = cols[0].iter().filter(|&&v| v < t).count() as f64 / cols[0].len() as f64;
             assert!(
                 (observed - s).abs() < 0.01,
                 "requested {s}, observed {observed}"

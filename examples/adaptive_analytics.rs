@@ -50,7 +50,10 @@ fn main() {
     )
     .unwrap();
 
-    let phases = [("sensors (attrs 0..9)", 0u32), ("billing (attrs 40..49)", 40u32)];
+    let phases = [
+        ("sensors (attrs 0..9)", 0u32),
+        ("billing (attrs 40..49)", 40u32),
+    ];
     for (label, base) in phases {
         let (mut t_h2o, mut t_row, mut t_col) = (0.0f64, 0.0, 0.0);
         for i in 0..60i64 {
@@ -67,9 +70,7 @@ fn main() {
             assert_eq!(a.fingerprint(), b.fingerprint());
             assert_eq!(b.fingerprint(), c.fingerprint());
         }
-        println!(
-            "{label:>24}: H2O {t_h2o:.3}s | column-store {t_col:.3}s | row-store {t_row:.3}s"
-        );
+        println!("{label:>24}: H2O {t_h2o:.3}s | column-store {t_col:.3}s | row-store {t_row:.3}s");
     }
 
     let stats = h2o_engine.stats();

@@ -66,7 +66,10 @@ fn main() {
         engine.execute(&q).unwrap();
         if let Some(report) = engine.last_report() {
             if let Some(layout) = report.created_layout {
-                println!("query {:>2}: materialized layout {layout} while answering", i + 2);
+                println!(
+                    "query {:>2}: materialized layout {layout} while answering",
+                    i + 2
+                );
             }
         }
     }

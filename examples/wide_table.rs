@@ -42,7 +42,10 @@ fn main() {
     );
 
     println!("projectivity sweep over a {n_attrs}-attribute table ({rows} rows):\n");
-    println!("{:>6} {:>12} {:>12} {:>12}", "attrs", "row-store", "col-store", "H2O");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "attrs", "row-store", "col-store", "H2O"
+    );
     for pct in [2usize, 20, 50, 80, 100] {
         let k = (n_attrs * pct / 100).max(2);
         let attrs: Vec<AttrId> = (0..k as u32).map(AttrId).collect();
@@ -68,10 +71,7 @@ fn main() {
         let c = c.unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(b.fingerprint(), c.fingerprint());
-        println!(
-            "{:>5}% {t_row:>11.4}s {t_col:>11.4}s {t_h2o:>11.4}s",
-            pct
-        );
+        println!("{:>5}% {t_row:>11.4}s {t_col:>11.4}s {t_h2o:>11.4}s", pct);
     }
 
     println!(

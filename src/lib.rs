@@ -28,6 +28,29 @@
 //! // Keep querying: the engine adapts its layouts to the workload.
 //! ```
 //!
+//! ## Parallel execution (deviation from the paper)
+//!
+//! The paper's prototype executes each query on one thread. This
+//! reproduction adds **morsel-driven intra-query parallelism** across all
+//! three execution strategies and the online-reorganization operator: scans
+//! split into fixed-size row morsels that worker threads claim greedily,
+//! and per-morsel partials are re-assembled deterministically (projection
+//! blocks concatenated in row order, aggregate accumulators merged, online
+//! reorganization stitching disjoint blocks of the new layout), so parallel
+//! results are **bit-identical** to serial ones. Three
+//! [`EngineConfig`](h2o_core::EngineConfig) knobs control it:
+//!
+//! * `parallelism: Option<usize>` — worker count; `None` = all available
+//!   cores, `Some(1)` = the paper-faithful serial path
+//!   ([`EngineConfig::single_threaded`](h2o_core::EngineConfig::single_threaded));
+//! * `morsel_rows: usize` — rows per morsel (default 65 536);
+//! * `parallel_row_threshold: usize` — relations at or below this row count
+//!   always run serially, so tiny scans never pay fork/join overhead.
+//!
+//! See `h2o_exec::parallel` for the scheduler and the determinism argument,
+//! and the `fig15_parallel_scaling` bench binary for thread-scaling
+//! measurements.
+//!
 //! The crates behind this facade:
 //!
 //! | crate | contents |

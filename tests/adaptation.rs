@@ -152,8 +152,11 @@ fn pending_layouts_are_lazy() {
     let pending_after_adapt = engine.pending().len();
     let created_before = engine.stats().layouts_created;
     // Unrelated query: touches attrs 30..32 only.
-    let q = Query::project([Expr::col(31u32)], Conjunction::of([Predicate::gt(30u32, 0)]))
-        .unwrap();
+    let q = Query::project(
+        [Expr::col(31u32)],
+        Conjunction::of([Predicate::gt(30u32, 0)]),
+    )
+    .unwrap();
     engine.execute(&q).unwrap();
     assert_eq!(
         engine.stats().layouts_created,

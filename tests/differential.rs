@@ -32,8 +32,13 @@ fn engines(n_attrs: usize, rows: usize, seed: u64) -> (H2oEngine, StaticEngine, 
         CompileCostModel::ZERO,
     )
     .unwrap();
-    let col = StaticEngine::new(schema, columns, StaticKind::ColumnStore, CompileCostModel::ZERO)
-        .unwrap();
+    let col = StaticEngine::new(
+        schema,
+        columns,
+        StaticKind::ColumnStore,
+        CompileCostModel::ZERO,
+    )
+    .unwrap();
     (h2o, row, col)
 }
 
@@ -47,7 +52,9 @@ fn all_engines_agree_across_a_long_adaptive_run() {
         let n_preds = i % 3;
         let sel = [0.0, 0.01, 0.3, 0.7, 1.0][i % 5];
         let (q, _) = gen.random(template, k, n_preds, sel);
-        let want = interpret(col.relation().catalog(), &q).unwrap().fingerprint();
+        let want = interpret(col.relation().catalog(), &q)
+            .unwrap()
+            .fingerprint();
         assert_eq!(
             h2o.execute(&q).unwrap().fingerprint(),
             want,

@@ -25,12 +25,7 @@ fn autopart_close_to_optimal_on_structured_workloads() {
     let workloads: Vec<Vec<AccessPattern>> = vec![
         // Two disjoint hot pairs.
         (0..6)
-            .flat_map(|_| {
-                vec![
-                    pattern(&[0, 1], &[4], 0.3),
-                    pattern(&[2, 3], &[5], 0.3),
-                ]
-            })
+            .flat_map(|_| vec![pattern(&[0, 1], &[4], 0.3), pattern(&[2, 3], &[5], 0.3)])
             .collect(),
         // One hot cluster, cold tail.
         (0..8).map(|_| pattern(&[0, 1, 2], &[3], 0.2)).collect(),
@@ -115,7 +110,11 @@ fn autopart_partition_usable_as_relation_layout() {
 
     let mut engine = H2oEngine::new(rel, EngineConfig::non_adaptive());
     let q = Query::aggregate(
-        [Aggregate::sum(Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]))],
+        [Aggregate::sum(Expr::sum_of([
+            AttrId(0),
+            AttrId(1),
+            AttrId(2),
+        ]))],
         Conjunction::of([Predicate::lt(9u32, 0)]),
     )
     .unwrap();

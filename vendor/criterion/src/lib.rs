@@ -1,0 +1,211 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! plain wall-clock timing harness. Each benchmark runs one warm-up
+//! iteration plus `sample_size` timed iterations and prints
+//! mean/min seconds (and derived throughput) to stdout. No statistics, no
+//! HTML reports, no regression tracking.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark id (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: f64,
+    /// Min seconds per iteration of the last `iter` call.
+    last_min: f64,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warm-up
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last_mean = total / self.samples as f64;
+        self.last_min = min;
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(self.sample_size, name, None, f);
+    }
+}
+
+/// A named benchmark group with optional throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.sample_size, &label, self.throughput, f);
+    }
+
+    /// Runs a benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.sample_size, &label, self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; reports were printed as benchmarks ran).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    samples: usize,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        last_mean: 0.0,
+        last_min: 0.0,
+    };
+    f(&mut b);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if b.last_mean > 0.0 => {
+            format!("  {:.3} Melem/s", n as f64 / b.last_mean / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if b.last_mean > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / b.last_mean / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<48} mean {:>12.6}s  min {:>12.6}s{extra}",
+        b.last_mean, b.last_min
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("in_group", |b| b.iter(|| (0..100).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}
