@@ -62,7 +62,7 @@ fn main() {
     let mut reference: Option<Vec<u64>> = None;
     for (name, cfg) in variants {
         let relation = Relation::columnar(schema.clone(), columns.clone()).unwrap();
-        let mut engine = H2oEngine::new(relation, cfg);
+        let engine = H2oEngine::new(relation, cfg);
         let mut total = 0.0;
         let mut prints = Vec::with_capacity(workload.len());
         for tq in &workload {

@@ -53,7 +53,7 @@ fn main() {
     // single-threaded here too (parallel scaling is fig15's subject).
     let mut config = EngineConfig::single_threaded();
     config.window.initial = 20;
-    let mut h2o = H2oEngine::new(h2o_relation, config);
+    let h2o = H2oEngine::new(h2o_relation, config);
 
     let workload = fig7_sequence(args.attrs, args.queries, 6, 0.1, args.seed);
 

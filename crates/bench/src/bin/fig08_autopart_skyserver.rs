@@ -51,7 +51,7 @@ fn main() {
     let mut ap_cfg = EngineConfig::non_adaptive();
     ap_cfg.parallelism = Some(1); // paper comparison: single-threaded
     ap_cfg.compile_cost = h2o_exec::CompileCostModel::scaled_default();
-    let mut ap_engine = H2oEngine::new(ap_relation, ap_cfg);
+    let ap_engine = H2oEngine::new(ap_relation, ap_cfg);
 
     let mut t_ap_exec = 0.0;
     let mut ap_results = Vec::with_capacity(workload.len());
@@ -67,7 +67,7 @@ fn main() {
 
     // ---------------- H2O (no workload knowledge) ----------------
     let h2o_relation = Relation::columnar(spec.schema.clone(), columns).unwrap();
-    let mut h2o = H2oEngine::new(h2o_relation, EngineConfig::single_threaded());
+    let h2o = H2oEngine::new(h2o_relation, EngineConfig::single_threaded());
     let mut t_h2o_total = 0.0;
     for (i, tq) in workload.iter().enumerate() {
         let (r, t) = time(|| {

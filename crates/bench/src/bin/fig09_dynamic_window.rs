@@ -35,8 +35,8 @@ fn main() {
         cfg.window = window;
         H2oEngine::new(rel, cfg)
     };
-    let mut static_engine = make_engine(WindowConfig::fixed(30));
-    let mut dynamic_engine = make_engine(WindowConfig {
+    let static_engine = make_engine(WindowConfig::fixed(30));
+    let dynamic_engine = make_engine(WindowConfig {
         initial: 30,
         min: 5,
         max: 60,

@@ -52,6 +52,17 @@ pub struct EngineConfig {
     /// execute on the calling thread, so tiny scans never pay fork/join
     /// overhead.
     pub parallel_row_threshold: usize,
+    /// Moves adaptive reorganization off the query path. With `false` (the
+    /// default, the paper's behavior) a query that benefits from a pending
+    /// layout materializes it *while answering* through the fused
+    /// reorganization operator. With `true` queries never reorganize:
+    /// adaptation rounds and layout builds run only inside
+    /// [`H2oEngine::maintain`](crate::H2oEngine::maintain) — typically
+    /// pumped by a background reorganizer thread
+    /// ([`H2oEngine::spawn_reorganizer`](crate::H2oEngine::spawn_reorganizer))
+    /// — which builds new groups from a snapshot and atomically publishes
+    /// them while in-flight queries keep reading their own snapshots.
+    pub background_reorg: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +79,7 @@ impl Default for EngineConfig {
             parallelism: None,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             parallel_row_threshold: DEFAULT_SERIAL_THRESHOLD,
+            background_reorg: false,
         }
     }
 }
@@ -85,6 +97,17 @@ impl EngineConfig {
     /// use; unit tests).
     pub fn no_compile_latency() -> Self {
         EngineConfig {
+            compile_cost: CompileCostModel::ZERO,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A configuration for shared multi-client serving: adaptation advice
+    /// and reorganization run only in `maintain()` (background reorganizer),
+    /// never on the query path, and no compile latency is simulated.
+    pub fn background() -> Self {
+        EngineConfig {
+            background_reorg: true,
             compile_cost: CompileCostModel::ZERO,
             ..EngineConfig::default()
         }
@@ -125,6 +148,8 @@ mod tests {
     #[test]
     fn presets() {
         assert!(!EngineConfig::non_adaptive().adaptive);
+        assert!(EngineConfig::background().background_reorg);
+        assert!(!EngineConfig::default().background_reorg);
         assert_eq!(
             EngineConfig::no_compile_latency().compile_cost,
             CompileCostModel::ZERO

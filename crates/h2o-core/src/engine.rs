@@ -1,20 +1,52 @@
-//! The H2O engine: query processor + adaptation mechanism (paper Fig. 3).
+//! The H2O engine: query processor + adaptation mechanism (paper Fig. 3),
+//! shared across concurrent clients.
+//!
+//! # Concurrency model
+//!
+//! The engine is queried through `&self` and is `Send + Sync`: wrap it in an
+//! `Arc` (or borrow it into scoped threads) and any number of clients can
+//! call [`H2oEngine::execute`] at once.
+//!
+//! * **Snapshot-isolated reads.** The layout catalog is published as an
+//!   [`CatalogSnapshot`] (`Arc<LayoutCatalog>`) behind a single swap point.
+//!   A query clones the `Arc` once and plans, compiles and scans against
+//!   that immutable version — it can never observe a torn catalog, a
+//!   half-appended batch, or a half-admitted layout.
+//! * **Serialized writes.** Appends, layout materialization and drops run
+//!   behind one writer mutex. A writer clones the current catalog value
+//!   (cheap: groups are `Arc`-shared inside the catalog), mutates the
+//!   clone, and atomically publishes it. In-flight readers keep their old
+//!   snapshot and never block.
+//! * **Off-path adaptation.** With
+//!   [`EngineConfig::background_reorg`] set, the query path only *observes*
+//!   patterns; advice and reorganization happen in [`H2oEngine::maintain`]
+//!   — pump it explicitly or let [`H2oEngine::spawn_reorganizer`] run it on
+//!   a dedicated thread. New groups are built from a snapshot with the
+//!   parallel `reorg` kernels and published atomically. With the flag off
+//!   the paper's lazy fused materialization runs on the query path as
+//!   before (serialized behind the writer lock; a contended lock simply
+//!   skips the lazy path for that query).
 
 use crate::config::EngineConfig;
 use crate::stats::EngineStats;
-use h2o_adapt::{Adviser, MonitoringWindow};
+use h2o_adapt::{AdviceQueue, Adviser, SharedWindow};
 use h2o_cost::{AccessPattern, CostModel, GroupSpec, PlanSpec, Residence};
 use h2o_exec::{
     execute_with_policy as exec_execute_with_policy, reorg, AccessPlan, ExecError, OperatorCache,
     Strategy,
 };
 use h2o_expr::{Query, QueryResult};
-use h2o_storage::{AttrId, Epoch, LayoutId, Relation, StorageError};
+use h2o_storage::{
+    AttrId, CatalogSnapshot, Epoch, LayoutCatalog, LayoutId, Relation, StorageError,
+};
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,23 +96,51 @@ pub struct QueryReport {
     pub selectivity_estimate: f64,
 }
 
-/// The adaptive engine.
-pub struct H2oEngine {
-    relation: Relation,
-    config: EngineConfig,
-    window: MonitoringWindow,
-    adviser: Adviser,
-    model: CostModel,
-    opcache: OperatorCache,
-    /// Layouts recommended by the last adaptation round, awaiting a query
-    /// that can benefit (lazy materialization, §3.2).
-    pending: Vec<GroupSpec>,
-    epoch: Epoch,
-    stats: EngineStats,
-    /// Observed selectivity per filter signature (exponentially smoothed).
-    sel_history: HashMap<u64, f64>,
-    last_report: Option<QueryReport>,
+/// What one [`H2oEngine::maintain`] pump did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Whether a due adaptation round ran (adviser invocation).
+    pub adapted: bool,
+    /// Pending layouts built and published by this pump.
+    pub layouts_built: usize,
 }
+
+/// The adaptive engine, shareable across threads (`execute(&self)`).
+pub struct H2oEngine {
+    config: EngineConfig,
+    model: CostModel,
+    adviser: Adviser,
+    opcache: OperatorCache,
+    /// The publish point: the currently visible catalog version. Readers
+    /// clone the `Arc` (snapshot isolation); writers swap in a new version.
+    catalog: RwLock<CatalogSnapshot>,
+    /// Serializes every catalog mutation (append / reorganize / drop).
+    /// Readers never take it.
+    writer: Mutex<()>,
+    window: SharedWindow,
+    /// Layouts recommended by the last adaptation round, awaiting
+    /// materialization (lazy on the query path, or eager in `maintain()`).
+    pending: AdviceQueue,
+    epoch: AtomicU64,
+    /// Set when the window completes an interval in background-reorg mode;
+    /// consumed by the next `maintain()` pump.
+    adapt_due: AtomicBool,
+    /// Coalesces lazy-mode adaptation rounds: the window keeps reporting
+    /// "interval complete" until `adaptation_done` resets it, so without
+    /// this guard N concurrent queries would each run a redundant adviser
+    /// round (and grow the window N times too fast).
+    adapt_running: AtomicBool,
+    stats: Mutex<EngineStats>,
+    /// Observed selectivity per filter signature (exponentially smoothed).
+    sel_history: Mutex<HashMap<u64, f64>>,
+    last_report: Mutex<Option<QueryReport>>,
+}
+
+// Compile-time proof the engine may be shared across client threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<H2oEngine>();
+};
 
 impl H2oEngine {
     /// Wraps a relation (with whatever initial layouts it carries) into an
@@ -89,33 +149,48 @@ impl H2oEngine {
     pub fn new(relation: Relation, config: EngineConfig) -> Self {
         let model = CostModel::new(config.hardware);
         H2oEngine {
-            window: MonitoringWindow::new(config.window),
+            window: SharedWindow::new(config.window),
             adviser: Adviser::new(model.clone(), config.adviser),
             model,
             opcache: OperatorCache::new(config.opcache_capacity, config.compile_cost),
-            relation,
+            catalog: RwLock::new(Arc::new(relation.into_catalog())),
+            writer: Mutex::new(()),
             config,
-            pending: Vec::new(),
-            epoch: 0,
-            stats: EngineStats::default(),
-            sel_history: HashMap::new(),
-            last_report: None,
+            pending: AdviceQueue::new(),
+            epoch: AtomicU64::new(0),
+            adapt_due: AtomicBool::new(false),
+            adapt_running: AtomicBool::new(false),
+            stats: Mutex::new(EngineStats::default()),
+            sel_history: Mutex::new(HashMap::new()),
+            last_report: Mutex::new(None),
         }
     }
 
-    /// The underlying relation.
-    pub fn relation(&self) -> &Relation {
-        &self.relation
+    /// The currently published catalog version. The returned snapshot is
+    /// immutable and stays fully readable (and row-aligned) no matter what
+    /// writers publish afterwards.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.catalog.read().clone()
     }
 
-    /// The layout catalog (Data Layout Manager state).
-    pub fn catalog(&self) -> &h2o_storage::LayoutCatalog {
-        self.relation.catalog()
+    /// The layout catalog (Data Layout Manager state) — an alias for
+    /// [`Self::snapshot`] kept for the established `engine.catalog()` call
+    /// sites.
+    pub fn catalog(&self) -> CatalogSnapshot {
+        self.snapshot()
+    }
+
+    /// Swaps in a new catalog version. Callers must hold the writer lock.
+    fn publish(&self, new_catalog: LayoutCatalog) -> CatalogSnapshot {
+        let arc = Arc::new(new_catalog);
+        *self.catalog.write() = arc.clone();
+        self.stats.lock().snapshots_published += 1;
+        arc
     }
 
     /// Engine statistics.
     pub fn stats(&self) -> EngineStats {
-        let mut s = self.stats;
+        let mut s = *self.stats.lock();
         s.shifts_detected = self.window.shifts_detected();
         s
     }
@@ -130,18 +205,31 @@ impl H2oEngine {
         self.window.size()
     }
 
-    /// Layouts recommended but not yet materialized.
-    pub fn pending(&self) -> &[GroupSpec] {
-        &self.pending
+    /// Layouts recommended but not yet materialized (a point-in-time copy).
+    pub fn pending(&self) -> Vec<GroupSpec> {
+        self.pending.get()
     }
 
-    /// What the engine did for the most recent query.
-    pub fn last_report(&self) -> Option<&QueryReport> {
-        self.last_report.as_ref()
+    /// What the engine did for the most recent query (racy under concurrent
+    /// clients — it reports *some* recent query's plan).
+    pub fn last_report(&self) -> Option<QueryReport> {
+        self.last_report.lock().clone()
+    }
+
+    /// The exponentially smoothed selectivity the engine has observed for
+    /// queries with `q`'s filter signature, if any.
+    pub fn observed_selectivity(&self, q: &Query) -> Option<f64> {
+        if q.filter().is_always_true() {
+            return None;
+        }
+        self.sel_history
+            .lock()
+            .get(&Self::filter_signature(q))
+            .copied()
     }
 
     /// Executes a query, adapting as a side effect.
-    pub fn execute(&mut self, q: &Query) -> Result<QueryResult, EngineError> {
+    pub fn execute(&self, q: &Query) -> Result<QueryResult, EngineError> {
         self.execute_with_hint(q, None)
     }
 
@@ -149,57 +237,98 @@ impl H2oEngine {
     /// (benchmark harnesses that control the workload know the true
     /// selectivity; without a hint the engine uses observed history).
     pub fn execute_with_hint(
-        &mut self,
+        &self,
         q: &Query,
         selectivity_hint: Option<f64>,
     ) -> Result<QueryResult, EngineError> {
-        self.epoch += 1;
-        self.stats.queries += 1;
+        self.execute_snapshot_with_hint(q, selectivity_hint)
+            .map(|(_, r)| r)
+    }
+
+    /// Executes a query and also returns the catalog snapshot the result
+    /// was computed against — the hook differential tests use to check a
+    /// concurrent result against the serial oracle *on the same data*.
+    pub fn execute_snapshot(
+        &self,
+        q: &Query,
+    ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
+        self.execute_snapshot_with_hint(q, None)
+    }
+
+    /// [`Self::execute_snapshot`] with an explicit selectivity hint.
+    pub fn execute_snapshot_with_hint(
+        &self,
+        q: &Query,
+        selectivity_hint: Option<f64>,
+    ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.lock().queries += 1;
         let sel = self.estimate_selectivity(q, selectivity_hint);
         let pattern = AccessPattern::of(q, sel);
 
-        let result = match self.try_pending(q, &pattern) {
+        let (snap, result) = match self.try_pending(q, &pattern, epoch) {
             Some(r) => r?,
             None => {
-                let (plan, cost) = self.plan(&pattern)?;
-                let op = self
-                    .opcache
-                    .get_or_compile(self.relation.catalog(), &plan, q)?;
+                let snap = self.snapshot();
+                let (plan, cost) = self.plan_on(&snap, &pattern)?;
+                let op = self.opcache.get_or_compile(&snap, &plan, q)?;
                 for &id in &plan.layouts {
-                    self.relation.catalog_mut().note_use(id, self.epoch);
+                    snap.note_use(id, epoch);
                 }
-                self.last_report = Some(QueryReport {
+                *self.last_report.lock() = Some(QueryReport {
                     strategy: plan.strategy,
                     layouts: plan.layouts.clone(),
                     created_layout: None,
                     estimated_cost: cost,
                     selectivity_estimate: sel,
                 });
-                exec_execute_with_policy(self.relation.catalog(), &op, &self.config.exec_policy())?
+                let r = exec_execute_with_policy(&snap, &op, &self.config.exec_policy())?;
+                (snap, r)
             }
         };
 
         // Selectivity feedback (projection queries expose the match count).
-        if !q.is_aggregate() && self.relation.rows() > 0 && !q.filter().is_always_true() {
-            let observed = result.rows() as f64 / self.relation.rows() as f64;
+        if !q.is_aggregate() && snap.rows() > 0 && !q.filter().is_always_true() {
+            let observed = result.rows() as f64 / snap.rows() as f64;
             let sig = Self::filter_signature(q);
-            let entry = self.sel_history.entry(sig).or_insert(observed);
+            let mut hist = self.sel_history.lock();
+            let entry = hist.entry(sig).or_insert(observed);
             *entry = 0.5 * *entry + 0.5 * observed;
         }
 
-        // Monitoring + periodic adaptation.
+        // Monitoring + periodic adaptation. In background mode the query
+        // path only flags that an adaptation round is due; `maintain()`
+        // (the reorganizer thread) runs it off the hot path.
         let adapt_now = self.window.observe(pattern);
         if adapt_now && self.config.adaptive {
-            self.adapt();
+            if self.config.background_reorg {
+                self.adapt_due.store(true, Ordering::Release);
+            } else if !self.adapt_running.swap(true, Ordering::AcqRel) {
+                // One thread runs the due round; concurrent queries whose
+                // observe() also reported the (same) completed interval
+                // skip it instead of piling on redundant adviser runs.
+                self.adapt();
+                self.adapt_running.store(false, Ordering::Release);
+            }
         }
-        Ok(result)
+        Ok((snap, result))
     }
 
     /// Picks the cheapest `(covering layouts, strategy)` plan for a
-    /// pattern: the query-processor half of Fig. 3. Exposed for tests and
-    /// the harness (`EXPLAIN`-style introspection).
+    /// pattern against the current snapshot: the query-processor half of
+    /// Fig. 3. Exposed for tests and the harness (`EXPLAIN`-style
+    /// introspection).
     pub fn plan(&self, pattern: &AccessPattern) -> Result<(AccessPlan, f64), EngineError> {
-        let catalog = self.relation.catalog();
+        self.plan_on(&self.snapshot(), pattern)
+    }
+
+    /// [`Self::plan`] against an explicit snapshot (so one query plans,
+    /// compiles and executes against a single catalog version).
+    fn plan_on(
+        &self,
+        catalog: &LayoutCatalog,
+        pattern: &AccessPattern,
+    ) -> Result<(AccessPlan, f64), EngineError> {
         let needed = pattern.all_attrs();
         let mut plans: Vec<AccessPlan> = Vec::new();
         for cover in catalog.cover_alternatives(&needed)? {
@@ -233,7 +362,7 @@ impl H2oEngine {
                     groups,
                     residence: Residence::Memory,
                 },
-                self.relation.rows(),
+                catalog.rows(),
             );
             if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((plan, cost));
@@ -246,17 +375,36 @@ impl H2oEngine {
 
     /// Lazy materialization: if a pending layout covers this query and the
     /// cost model says the query benefits, materialize it *while answering
-    /// the query* through the fused reorganization operator.
+    /// the query* through the fused reorganization operator. Runs behind
+    /// the writer lock; if another writer holds it, the lazy path is
+    /// skipped for this query (readers must never block on reorganization).
+    #[allow(clippy::type_complexity)]
     fn try_pending(
-        &mut self,
+        &self,
         q: &Query,
         pattern: &AccessPattern,
-    ) -> Option<Result<QueryResult, EngineError>> {
-        if !self.config.adaptive || self.pending.is_empty() {
+        epoch: Epoch,
+    ) -> Option<Result<(CatalogSnapshot, QueryResult), EngineError>> {
+        if !self.config.adaptive || self.config.background_reorg || self.pending.is_empty() {
             return None;
         }
+        // Cheap lock-free screen: only queries that intersect some pending
+        // spec may take the writer lock and pay for planning — unrelated
+        // queries must never serialize against writers.
         let needed = pattern.all_attrs();
-        let current_cost = match self.plan(pattern) {
+        if !self
+            .pending
+            .get()
+            .iter()
+            .any(|g| needed.intersects(&g.attrs))
+        {
+            return None;
+        }
+        let _w = self.writer.try_lock()?;
+        // Under the writer lock the published catalog cannot change: this
+        // snapshot is the authoritative current version.
+        let snap = self.snapshot();
+        let current_cost = match self.plan_on(&snap, pattern) {
             Ok((_, c)) => c,
             Err(e) => return Some(Err(e)),
         };
@@ -267,16 +415,16 @@ impl H2oEngine {
         // best achievable cost against the current best plan. (The
         // window-level amortization was already established by the
         // adviser; this is the per-query "can benefit" check of §3.2.)
-        let catalog = self.relation.catalog();
+        let pending = self.pending.get();
         let mut best: Option<(usize, f64)> = None;
-        for (i, g) in self.pending.iter().enumerate() {
-            if !needed.intersects(&g.attrs) || catalog.find_exact(&g.attrs).is_some() {
+        for (i, g) in pending.iter().enumerate() {
+            if !needed.intersects(&g.attrs) || snap.find_exact(&g.attrs).is_some() {
                 continue;
             }
             let remaining = needed.difference(&g.attrs);
             let mut groups = vec![g.clone()];
             if !remaining.is_empty() {
-                let cover = match catalog.cover(
+                let cover = match snap.cover(
                     &remaining,
                     h2o_storage::catalog::CoverPolicy::LeastExcessWidth,
                 ) {
@@ -284,31 +432,23 @@ impl H2oEngine {
                     Err(_) => continue, // uncoverable remainder: not a candidate
                 };
                 for (id, _) in cover {
-                    let Ok(src) = catalog.group(id) else { continue };
+                    let Ok(src) = snap.group(id) else { continue };
                     groups.push(GroupSpec::new(src.attr_set().clone()));
                 }
             }
-            let cost = self.model.best_cost(pattern, &groups, self.relation.rows());
+            let cost = self.model.best_cost(pattern, &groups, snap.rows());
             if cost < current_cost && best.is_none_or(|(_, c)| cost < c) {
                 best = Some((i, cost));
             }
         }
         let (idx, new_cost) = best?;
-        let g = self.pending[idx].clone();
+        let g = pending[idx].clone();
 
-        // Space budget: evict least-recently-used redundant layouts until
-        // the new group fits; skip the materialization if it cannot.
-        if let Some(budget) = self.config.space_budget_bytes {
-            let new_bytes = g.attrs.len() * h2o_storage::VALUE_BYTES * self.relation.rows();
-            while self.relation.catalog().total_bytes() + new_bytes > budget {
-                let victim = self.relation.catalog().eviction_candidate()?;
-                if self.relation.catalog_mut().drop_group(victim).is_err() {
-                    return None;
-                }
-                self.opcache.invalidate_layout(victim);
-                self.stats.layouts_evicted += 1;
-            }
-        }
+        // Build the successor catalog: evict under the space budget, stitch
+        // the new group, admit it — then publish the whole thing in one
+        // atomic swap. Readers see either the old or the new version.
+        let mut new_cat = (*snap).clone();
+        let evicted = self.evict_for(&mut new_cat, g.attrs.len())?;
 
         // Generate the fused reorganization operator (charged like any
         // other generated operator) and run it.
@@ -320,71 +460,251 @@ impl H2oEngine {
         self.opcache.cost_model().charge(charge);
 
         let t0 = Instant::now();
-        let out = reorg::reorg_and_execute_with(
-            self.relation.catalog(),
-            &attrs,
-            q,
-            &self.config.exec_policy(),
-        );
+        let out = reorg::reorg_and_execute_with(&new_cat, &attrs, q, &self.config.exec_policy());
         let (group, result) = match out {
             Ok(v) => v,
             Err(e) => return Some(Err(e.into())),
         };
-        let id = match self.relation.catalog_mut().add_group(group, self.epoch) {
+        let id = match new_cat.add_group(group, epoch) {
             Ok(id) => id,
             Err(e) => return Some(Err(e.into())),
         };
-        self.stats.reorg_time += t0.elapsed();
-        self.stats.layouts_created += 1;
-        self.pending.remove(idx);
-        self.last_report = Some(QueryReport {
+        self.commit_reorg(&evicted, t0);
+        // Publish before retiring the advice: adapt()'s race-closing prune
+        // snapshots the catalog after its replace, so as long as every
+        // materialization publishes first, a concurrently re-recommended
+        // spec can never survive as pending for an existing layout.
+        let published = self.publish(new_cat);
+        self.pending.remove(&g);
+        *self.last_report.lock() = Some(QueryReport {
             strategy: Strategy::FusedVolcano,
             layouts: vec![id],
             created_layout: Some(id),
             estimated_cost: new_cost,
             selectivity_estimate: pattern.selectivity,
         });
-        Some(Ok(result))
+        Some(Ok((published, result)))
     }
 
     /// One adaptation round: feed the monitoring window to the adviser and
-    /// refresh the pending-layout list.
-    fn adapt(&mut self) {
-        self.stats.adaptations += 1;
-        let current: Vec<GroupSpec> = self
-            .relation
-            .catalog()
+    /// refresh the pending-layout list. Touches only advice state — never
+    /// the catalog — so it is safe from any thread.
+    fn adapt(&self) {
+        self.stats.lock().adaptations += 1;
+        let snap = self.snapshot();
+        let current: Vec<GroupSpec> = snap
             .groups()
             .map(|g| GroupSpec::new(g.attr_set().clone()))
             .collect();
         let t0 = Instant::now();
         let rec = self
             .adviser
-            .recommend(&self.window.snapshot(), &current, self.relation.rows());
-        self.stats.advise_time += t0.elapsed();
+            .recommend(&self.window.snapshot(), &current, snap.rows());
+        let elapsed = t0.elapsed();
+        {
+            let mut s = self.stats.lock();
+            s.advise_time += elapsed;
+            if !rec.groups.is_empty() {
+                s.recommendations += 1;
+            }
+        }
         if !rec.groups.is_empty() {
-            self.stats.recommendations += 1;
-            self.pending = rec.groups;
+            self.pending.replace(rec.groups);
+            // The recommendation was computed from a possibly stale
+            // snapshot: a layout materialized concurrently (e.g. by
+            // `materialize_now`, whose own retain may have run before our
+            // replace) must not be re-advertised. Pruning against a
+            // post-replace snapshot closes the race for every
+            // interleaving, because `materialize_now` publishes before it
+            // retains.
+            let now = self.snapshot();
+            self.pending.retain(|g| now.find_exact(&g.attrs).is_none());
         }
         self.window.adaptation_done();
     }
 
+    /// One background-maintenance pump: runs a due adaptation round, then
+    /// builds every still-beneficial pending layout offline (parallel
+    /// stitch from a snapshot) and publishes each atomically. In-flight
+    /// queries keep their snapshots and never block. Call it from a loop on
+    /// a dedicated thread ([`Self::spawn_reorganizer`] does exactly that)
+    /// or pump it explicitly between batches.
+    pub fn maintain(&self) -> MaintenanceReport {
+        let mut report = MaintenanceReport::default();
+        if !self.config.adaptive {
+            return report;
+        }
+        if self.adapt_due.swap(false, Ordering::AcqRel) {
+            self.adapt();
+            report.adapted = true;
+        }
+        if !self.config.background_reorg {
+            // Lazy mode materializes on the query path; maintain() only
+            // prunes advice that already materialized (e.g. via
+            // `materialize_now`) so `pending()` stays consistent.
+            let snap = self.snapshot();
+            self.pending.retain(|g| snap.find_exact(&g.attrs).is_none());
+            return report;
+        }
+        while let Some(spec) = self.pending.pop() {
+            if self.build_pending_group(&spec) {
+                report.layouts_built += 1;
+            }
+        }
+        report
+    }
+
+    /// Builds one recommended group and publishes it. The expensive stitch
+    /// runs *without* the writer lock (from a pinned snapshot), so
+    /// concurrent appends proceed during the build; the lock is taken only
+    /// to admit and publish. If appends landed mid-build (the row count
+    /// moved), the build retries from a fresh snapshot; the final attempt
+    /// builds under the lock so it cannot be outrun forever. All side
+    /// effects (opcache invalidation, stats) happen only when a new
+    /// catalog version is actually published.
+    fn build_pending_group(&self, spec: &GroupSpec) -> bool {
+        let attrs: Vec<AttrId> = spec.attrs.to_vec();
+        const ATTEMPTS: usize = 3;
+        for attempt in 0..ATTEMPTS {
+            let locked_build = attempt == ATTEMPTS - 1;
+            let base = self.snapshot();
+            if base.find_exact(&spec.attrs).is_some() {
+                return false; // already materialized (e.g. materialize_now)
+            }
+            // Feasibility before cost: simulate the budget eviction on a
+            // cheap table-only clone so an unfittable spec is skipped
+            // *before* paying for a full-table stitch (a tight budget plus
+            // a stable workload would otherwise re-stitch and discard the
+            // same group every adaptation round).
+            if self.config.space_budget_bytes.is_some() {
+                let mut scratch = (*base).clone();
+                if self.evict_for(&mut scratch, attrs.len()).is_none() {
+                    return false;
+                }
+            }
+            let t0 = Instant::now();
+            let built = if locked_build {
+                None
+            } else {
+                match reorg::materialize_with(&base, &attrs, &self.config.exec_policy()) {
+                    Ok(g) => Some(g),
+                    Err(_) => return false, // spec no longer coverable
+                }
+            };
+            let _w = self.writer.lock();
+            let latest = self.snapshot();
+            if latest.find_exact(&spec.attrs).is_some() {
+                return false;
+            }
+            let group = match built {
+                Some(g) if g.rows() == latest.rows() => g,
+                Some(_) => continue, // appends landed mid-build: rebuild
+                _ => match reorg::materialize_with(&latest, &attrs, &self.config.exec_policy()) {
+                    Ok(g) => g,
+                    Err(_) => return false,
+                },
+            };
+            let mut new_cat = (*latest).clone();
+            let Some(evicted) = self.evict_for(&mut new_cat, attrs.len()) else {
+                return false; // cannot fit: skip the spec, no side effects
+            };
+            let epoch = self.epoch.load(Ordering::Relaxed);
+            if new_cat.add_group(group, epoch).is_err() {
+                return false;
+            }
+            self.commit_reorg(&evicted, t0);
+            self.publish(new_cat);
+            return true;
+        }
+        false
+    }
+
+    /// Evicts least-recently-used redundant layouts from `new_cat` until a
+    /// new `new_width`-attribute group fits the space budget. Returns the
+    /// victims (side effects deferred to [`Self::commit_reorg`], so an
+    /// abandoned copy-on-write attempt leaves no trace) or `None` when the
+    /// group cannot be made to fit.
+    fn evict_for(&self, new_cat: &mut LayoutCatalog, new_width: usize) -> Option<Vec<LayoutId>> {
+        let mut evicted = Vec::new();
+        if let Some(budget) = self.config.space_budget_bytes {
+            let new_bytes = new_width * h2o_storage::VALUE_BYTES * new_cat.rows();
+            while new_cat.total_bytes() + new_bytes > budget {
+                let victim = new_cat.eviction_candidate()?;
+                if new_cat.drop_group(victim).is_err() {
+                    return None;
+                }
+                evicted.push(victim);
+            }
+        }
+        Some(evicted)
+    }
+
+    /// Applies the side effects of a completed reorganization whose new
+    /// catalog version is about to be (or was just) published: invalidates
+    /// cached operators over evicted layouts and updates the counters.
+    fn commit_reorg(&self, evicted: &[LayoutId], started: Instant) {
+        for &victim in evicted {
+            self.opcache.invalidate_layout(victim);
+        }
+        let mut s = self.stats.lock();
+        s.layouts_evicted += evicted.len() as u64;
+        s.reorg_time += started.elapsed();
+        s.layouts_created += 1;
+        s.reorgs_completed += 1;
+    }
+
+    /// Spawns a dedicated reorganizer thread that pumps
+    /// [`Self::maintain`] every `poll` until the returned handle is
+    /// dropped or [`ReorganizerHandle::stop`] is called.
+    pub fn spawn_reorganizer(self: &Arc<Self>, poll: Duration) -> ReorganizerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let engine = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("h2o-reorganizer".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    engine.maintain();
+                    std::thread::park_timeout(poll);
+                }
+                // Final pump so advice queued right before stop still lands.
+                engine.maintain();
+            })
+            .expect("spawn reorganizer thread");
+        ReorganizerHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
     /// Materializes a layout *offline* (separate pass, no query). Used by
     /// the Fig. 13 comparison and by explicit administration.
-    pub fn materialize_now(&mut self, attrs: &[AttrId]) -> Result<LayoutId, EngineError> {
+    pub fn materialize_now(&self, attrs: &[AttrId]) -> Result<LayoutId, EngineError> {
+        let _w = self.writer.lock();
+        let snap = self.snapshot();
         let t0 = Instant::now();
-        let group =
-            reorg::materialize_with(self.relation.catalog(), attrs, &self.config.exec_policy())?;
-        let id = self.relation.catalog_mut().add_group(group, self.epoch)?;
-        self.stats.reorg_time += t0.elapsed();
-        self.stats.layouts_created += 1;
+        let group = reorg::materialize_with(&snap, attrs, &self.config.exec_policy())?;
+        let mut new_cat = (*snap).clone();
+        let id = new_cat.add_group(group, self.epoch.load(Ordering::Relaxed))?;
+        self.commit_reorg(&[], t0);
+        self.publish(new_cat);
+        // The spec is no longer pending advice: it exists. Pruning *after*
+        // the publish pairs with adapt()'s replace-then-prune ordering so
+        // the two cannot interleave into re-advertising an existing layout.
+        let spec_attrs: h2o_storage::AttrSet = attrs.iter().copied().collect();
+        self.pending.retain(|g| g.attrs != spec_attrs);
         Ok(id)
     }
 
     /// Drops a layout (refusing to uncover attributes) and invalidates
-    /// dependent cached operators.
-    pub fn drop_layout(&mut self, id: LayoutId) -> Result<(), EngineError> {
-        self.relation.catalog_mut().drop_group(id)?;
+    /// dependent cached operators. Pending advice is untouched: a spec
+    /// whose layout is dropped simply becomes materializable again.
+    pub fn drop_layout(&self, id: LayoutId) -> Result<(), EngineError> {
+        let _w = self.writer.lock();
+        let snap = self.snapshot();
+        let mut new_cat = (*snap).clone();
+        new_cat.drop_group(id)?;
+        self.publish(new_cat);
         self.opcache.invalidate_layout(id);
         Ok(())
     }
@@ -393,10 +713,22 @@ impl H2oEngine {
     /// coexisting layout receives the rows, so all plans keep working; the
     /// write cost scales with the number of live layouts — the multi-format
     /// trade-off the paper acknowledges ("updates might become quite
-    /// expensive" for redundant layouts).
-    pub fn insert(&mut self, tuples: &[Vec<h2o_storage::Value>]) -> Result<(), EngineError> {
-        self.relation.catalog_mut().append_rows(tuples)?;
-        self.stats.rows_appended += tuples.len() as u64;
+    /// expensive" for redundant layouts). The whole batch becomes visible
+    /// in one atomic snapshot publish; readers never see a torn batch.
+    ///
+    /// Cost note: snapshot isolation makes a batch copy-on-write — the
+    /// first appended row of a batch clones each group's payload (old
+    /// snapshots keep the originals), so a batch costs O(relation bytes)
+    /// regardless of batch size. Batch your appends; per-row `insert`
+    /// calls pay the full copy every time. (Segmented column storage, so
+    /// COW clones only the tail segment, is the known follow-up.)
+    pub fn insert(&self, tuples: &[Vec<h2o_storage::Value>]) -> Result<(), EngineError> {
+        let _w = self.writer.lock();
+        let snap = self.snapshot();
+        let mut new_cat = (*snap).clone();
+        new_cat.append_rows(tuples)?;
+        self.stats.lock().rows_appended += tuples.len() as u64;
+        self.publish(new_cat);
         Ok(())
     }
 
@@ -405,9 +737,10 @@ impl H2oEngine {
     /// estimate, and whether a pending layout would be materialized first.
     pub fn explain(&self, q: &Query) -> Result<String, EngineError> {
         use std::fmt::Write;
+        let snap = self.snapshot();
         let sel = self.estimate_selectivity(q, None);
         let pattern = AccessPattern::of(q, sel);
-        let (plan, cost) = self.plan(&pattern)?;
+        let (plan, cost) = self.plan_on(&snap, &pattern)?;
         let mut out = String::new();
         writeln!(out, "query: {q}").unwrap();
         writeln!(
@@ -421,9 +754,11 @@ impl H2oEngine {
         )
         .unwrap();
         let needed = pattern.all_attrs();
-        let pending_hit = self.pending.iter().any(|g| {
-            needed.intersects(&g.attrs) && self.relation.catalog().find_exact(&g.attrs).is_none()
-        });
+        let pending_hit = self
+            .pending
+            .get()
+            .iter()
+            .any(|g| needed.intersects(&g.attrs) && snap.find_exact(&g.attrs).is_none());
         if self.config.adaptive && pending_hit {
             writeln!(
                 out,
@@ -434,7 +769,7 @@ impl H2oEngine {
         writeln!(out, "strategy: {}", plan.strategy.name()).unwrap();
         writeln!(out, "estimated cost: {cost:.6}").unwrap();
         for &id in &plan.layouts {
-            let g = self.relation.catalog().group(id)?;
+            let g = snap.group(id)?;
             let attrs: Vec<String> = g.attrs().iter().map(|a| a.to_string()).collect();
             writeln!(
                 out,
@@ -457,6 +792,7 @@ impl H2oEngine {
         }
         let sig = Self::filter_signature(q);
         self.sel_history
+            .lock()
             .get(&sig)
             .copied()
             .unwrap_or(self.config.default_selectivity)
@@ -470,6 +806,43 @@ impl H2oEngine {
             p.hash(&mut h);
         }
         h.finish()
+    }
+}
+
+/// Guard for a running background reorganizer thread. Dropping it (or
+/// calling [`Self::stop`]) stops the thread after one final `maintain()`
+/// pump and joins it.
+pub struct ReorganizerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReorganizerHandle {
+    /// Stops and joins the reorganizer thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Asks the reorganizer to pump `maintain()` soon (without waiting for
+    /// the poll interval).
+    pub fn nudge(&self) {
+        if let Some(t) = &self.thread {
+            t.thread().unpark();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReorganizerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -505,7 +878,7 @@ mod tests {
 
     #[test]
     fn engine_answers_match_interpreter() {
-        let mut e = engine(8, 500, EngineConfig::no_compile_latency());
+        let e = engine(8, 500, EngineConfig::no_compile_latency());
         let queries = [
             expr_query(&[0, 1, 2], 3, 100),
             Query::aggregate(
@@ -516,7 +889,7 @@ mod tests {
             Query::project([Expr::col(7u32)], Conjunction::always()).unwrap(),
         ];
         for q in &queries {
-            let want = interpret(e.catalog(), q).unwrap();
+            let want = interpret(&e.catalog(), q).unwrap();
             let got = e.execute(q).unwrap();
             assert_eq!(got.fingerprint(), want.fingerprint(), "{q}");
         }
@@ -528,11 +901,11 @@ mod tests {
         let mut cfg = EngineConfig::no_compile_latency();
         cfg.window.initial = 10;
         cfg.window.min = 4;
-        let mut e = engine(30, 4000, cfg);
+        let e = engine(30, 4000, cfg);
         // 40 near-identical queries over {0..4} with filter on 5.
         for i in 0..40 {
             let q = expr_query(&[0, 1, 2, 3, 4], 5, (i % 7) * 100 - 300);
-            let want = interpret(e.catalog(), &q).unwrap();
+            let want = interpret(&e.catalog(), &q).unwrap();
             let got = e.execute(&q).unwrap();
             assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
         }
@@ -545,6 +918,8 @@ mod tests {
             stats.layouts_created >= 1,
             "hot cluster must have produced a materialized group; stats: {stats:?}"
         );
+        assert!(stats.reorgs_completed >= 1);
+        assert!(stats.snapshots_published >= 1);
         // The created layout must cover the hot select cluster (the
         // where-clause attribute keeps its own layout — the paper's
         // two-group design of Fig. 6).
@@ -573,13 +948,13 @@ mod tests {
         let mut cfg = EngineConfig::no_compile_latency();
         cfg.window.initial = 6;
         cfg.window.min = 3;
-        let mut e = engine(20, 1500, cfg);
+        let e = engine(20, 1500, cfg);
         let phases: [(&[u32], u32); 2] = [(&[0, 1, 2], 3), (&[10, 11, 12, 13], 14)];
         let mut qid = 0;
         for (select, w) in phases {
             for i in 0..25 {
                 let q = expr_query(select, w, (i % 11) * 50 - 250);
-                let want = interpret(e.catalog(), &q).unwrap();
+                let want = interpret(&e.catalog(), &q).unwrap();
                 let got = e.execute(&q).unwrap();
                 assert_eq!(got.fingerprint(), want.fingerprint(), "query {qid}");
                 qid += 1;
@@ -589,11 +964,65 @@ mod tests {
     }
 
     #[test]
+    fn background_mode_defers_reorg_to_maintain() {
+        let mut cfg = EngineConfig::background();
+        cfg.window.initial = 8;
+        cfg.window.min = 4;
+        let e = engine(24, 2000, cfg);
+        for i in 0..30 {
+            let q = expr_query(&[0, 1, 2, 3], 4, (i % 5) * 100 - 200);
+            let want = interpret(&e.catalog(), &q).unwrap();
+            let got = e.execute(&q).unwrap();
+            assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
+        }
+        assert_eq!(
+            e.stats().layouts_created,
+            0,
+            "background mode must not reorganize on the query path"
+        );
+        // Pump maintenance until the due adaptation ran and pending drained.
+        let mut built = 0;
+        for _ in 0..4 {
+            built += e.maintain().layouts_built;
+        }
+        assert!(built >= 1, "maintain() must build the recommended layouts");
+        assert!(e.stats().reorgs_completed >= 1);
+        // Queries keep matching the oracle and can now use the new group.
+        for i in 0..10 {
+            let q = expr_query(&[0, 1, 2, 3], 4, (i % 5) * 100 - 200);
+            let want = interpret(&e.catalog(), &q).unwrap();
+            assert_eq!(e.execute(&q).unwrap().fingerprint(), want.fingerprint());
+        }
+    }
+
+    #[test]
+    fn background_reorganizer_thread_builds_layouts() {
+        let mut cfg = EngineConfig::background();
+        cfg.window.initial = 6;
+        cfg.window.min = 4;
+        let e = Arc::new(engine(20, 1500, cfg));
+        let handle = e.spawn_reorganizer(Duration::from_millis(1));
+        for i in 0..60 {
+            let q = expr_query(&[0, 1, 2], 3, (i % 5) * 100 - 200);
+            let want = interpret(&e.catalog(), &q).unwrap();
+            assert_eq!(e.execute(&q).unwrap().fingerprint(), want.fingerprint());
+            handle.nudge();
+        }
+        handle.stop();
+        assert!(
+            e.stats().reorgs_completed >= 1,
+            "reorganizer thread must have built a layout; stats: {:?}",
+            e.stats()
+        );
+        assert_eq!(e.stats().layouts_created, e.stats().reorgs_completed);
+    }
+
+    #[test]
     fn non_adaptive_engine_never_creates_layouts() {
         let mut cfg = EngineConfig::non_adaptive();
         cfg.compile_cost = h2o_exec::CompileCostModel::ZERO;
         cfg.window.initial = 5;
-        let mut e = engine(12, 800, cfg);
+        let e = engine(12, 800, cfg);
         for i in 0..30 {
             let q = expr_query(&[0, 1, 2], 3, i * 10);
             e.execute(&q).unwrap();
@@ -601,13 +1030,14 @@ mod tests {
         assert_eq!(e.stats().layouts_created, 0);
         assert_eq!(e.stats().adaptations, 0);
         assert_eq!(e.catalog().group_count(), 12);
+        assert_eq!(e.maintain(), MaintenanceReport::default());
     }
 
     #[test]
     fn plan_picks_single_group_when_available() {
         let mut cfg = EngineConfig::no_compile_latency();
         cfg.window.initial = 200; // no adaptation interference
-        let mut e = engine(10, 500, cfg);
+        let e = engine(10, 500, cfg);
         let id = e
             .materialize_now(&[AttrId(0), AttrId(1), AttrId(2)])
             .unwrap();
@@ -627,7 +1057,7 @@ mod tests {
             "planner should consider the tailored group: {plan:?}"
         );
         // Execute and verify.
-        let want = interpret(e.catalog(), &q).unwrap();
+        let want = interpret(&e.catalog(), &q).unwrap();
         assert_eq!(e.execute(&q).unwrap(), want);
     }
 
@@ -636,8 +1066,9 @@ mod tests {
         let mut cfg = EngineConfig::no_compile_latency();
         cfg.window.initial = 100;
         cfg.default_selectivity = 0.5;
-        let mut e = engine(6, 1000, cfg);
+        let e = engine(6, 1000, cfg);
         let q = expr_query(&[0, 1], 2, -900); // very selective
+        assert_eq!(e.observed_selectivity(&q), None);
         e.execute(&q).unwrap();
         let first_est = e.last_report().unwrap().selectivity_estimate;
         assert!((first_est - 0.5).abs() < 1e-9, "first run uses the default");
@@ -647,11 +1078,13 @@ mod tests {
             second_est < 0.3,
             "second run must use observed selectivity, got {second_est}"
         );
+        let hist = e.observed_selectivity(&q).unwrap();
+        assert!((0.0..=1.0).contains(&hist));
     }
 
     #[test]
     fn hint_overrides_history() {
-        let mut e = engine(6, 500, EngineConfig::no_compile_latency());
+        let e = engine(6, 500, EngineConfig::no_compile_latency());
         let q = expr_query(&[0], 1, 0);
         e.execute_with_hint(&q, Some(0.05)).unwrap();
         assert!((e.last_report().unwrap().selectivity_estimate - 0.05).abs() < 1e-9);
@@ -659,7 +1092,7 @@ mod tests {
 
     #[test]
     fn materialize_now_and_drop_layout() {
-        let mut e = engine(5, 300, EngineConfig::no_compile_latency());
+        let e = engine(5, 300, EngineConfig::no_compile_latency());
         let id = e.materialize_now(&[AttrId(1), AttrId(3)]).unwrap();
         assert_eq!(e.catalog().group_count(), 6);
         e.drop_layout(id).unwrap();
@@ -674,7 +1107,7 @@ mod tests {
 
     #[test]
     fn inserts_are_visible_in_every_layout() {
-        let mut e = engine(6, 100, EngineConfig::no_compile_latency());
+        let e = engine(6, 100, EngineConfig::no_compile_latency());
         e.materialize_now(&[AttrId(0), AttrId(1), AttrId(2)])
             .unwrap();
         let q = Query::aggregate(
@@ -692,13 +1125,33 @@ mod tests {
         // Every layout grew.
         assert!(e.catalog().groups().all(|g| g.rows() == 102));
         // Differential check post-insert.
-        let want = interpret(e.catalog(), &q).unwrap();
+        let want = interpret(&e.catalog(), &q).unwrap();
         assert_eq!(e.execute(&q).unwrap(), want);
     }
 
     #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let e = engine(4, 50, EngineConfig::no_compile_latency());
+        let before = e.snapshot();
+        e.insert(&[vec![9, 9, 9, 9]]).unwrap();
+        let after = e.snapshot();
+        assert_eq!(before.rows(), 50, "old snapshot keeps its row count");
+        assert_eq!(after.rows(), 51);
+        assert!(before.groups().all(|g| g.rows() == 50));
+        // The old snapshot still answers queries on the old data.
+        let q = Query::aggregate(
+            [Aggregate::count()],
+            Conjunction::of([Predicate::gt(0u32, i64::MIN)]),
+        )
+        .unwrap();
+        assert_eq!(interpret(&before, &q).unwrap().row(0)[0], 50);
+        assert_eq!(interpret(&after, &q).unwrap().row(0)[0], 51);
+        assert_eq!(e.stats().snapshots_published, 1);
+    }
+
+    #[test]
     fn insert_rejects_ragged_tuples() {
-        let mut e = engine(4, 10, EngineConfig::no_compile_latency());
+        let e = engine(4, 10, EngineConfig::no_compile_latency());
         assert!(e.insert(&[vec![1, 2]]).is_err());
         assert_eq!(e.catalog().rows(), 10);
     }
@@ -712,13 +1165,13 @@ mod tests {
         cfg.window.min = 4;
         // Budget: base columns + roughly two extra 10-attr groups.
         cfg.space_budget_bytes = Some((n_attrs + 22) * 8 * rows);
-        let mut e = engine(n_attrs, rows, cfg);
+        let e = engine(n_attrs, rows, cfg);
         // Alternate between three hot clusters so the adviser wants
         // several layouts over time.
         for i in 0..90u32 {
             let base = (i / 10 % 3) * 10;
             let q = expr_query(&[base, base + 1, base + 2, base + 3], base + 4, 0);
-            let want = interpret(e.catalog(), &q).unwrap();
+            let want = interpret(&e.catalog(), &q).unwrap();
             let got = e.execute(&q).unwrap();
             assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
             assert!(
@@ -732,7 +1185,7 @@ mod tests {
 
     #[test]
     fn explain_describes_the_plan() {
-        let mut e = engine(8, 200, EngineConfig::no_compile_latency());
+        let e = engine(8, 200, EngineConfig::no_compile_latency());
         let q = expr_query(&[0, 1, 2], 3, 50);
         let text = e.explain(&q).unwrap();
         assert!(text.contains("strategy:"), "{text}");
@@ -746,14 +1199,14 @@ mod tests {
     fn empty_relation_is_fine() {
         let schema = Schema::with_width(3).into_shared();
         let rel = Relation::columnar(schema, vec![vec![], vec![], vec![]]).unwrap();
-        let mut e = H2oEngine::new(rel, EngineConfig::no_compile_latency());
+        let e = H2oEngine::new(rel, EngineConfig::no_compile_latency());
         let q = Query::project([Expr::col(0u32)], Conjunction::always()).unwrap();
         assert!(e.execute(&q).unwrap().is_empty());
     }
 
     #[test]
     fn unknown_attribute_is_an_error() {
-        let mut e = engine(3, 100, EngineConfig::no_compile_latency());
+        let e = engine(3, 100, EngineConfig::no_compile_latency());
         let q = Query::project([Expr::col(99u32)], Conjunction::always()).unwrap();
         assert!(e.execute(&q).is_err());
     }

@@ -30,5 +30,5 @@ pub mod stats;
 
 pub use baseline::{StaticEngine, StaticKind};
 pub use config::EngineConfig;
-pub use engine::{EngineError, H2oEngine, QueryReport};
+pub use engine::{EngineError, H2oEngine, MaintenanceReport, QueryReport, ReorganizerHandle};
 pub use stats::EngineStats;

@@ -21,6 +21,12 @@ pub struct EngineStats {
     pub rows_appended: u64,
     /// Workload shifts detected by the monitoring window.
     pub shifts_detected: u64,
+    /// Reorganizations completed, by any path: fused-with-a-query, explicit
+    /// `materialize_now`, or background `maintain()` builds.
+    pub reorgs_completed: u64,
+    /// Catalog snapshots atomically published (appends, layout creations,
+    /// drops — each is one copy-on-write swap readers pick up).
+    pub snapshots_published: u64,
     /// Wall-clock time spent inside fused reorganization operators
     /// (includes answering the triggering queries).
     pub reorg_time: Duration,
@@ -37,6 +43,8 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.queries, 0);
         assert_eq!(s.layouts_created, 0);
+        assert_eq!(s.reorgs_completed, 0);
+        assert_eq!(s.snapshots_published, 0);
         assert_eq!(s.reorg_time, Duration::ZERO);
     }
 }

@@ -15,6 +15,14 @@
 //! * [`reorg_and_execute`] — the **online** path: one pass that stitches
 //!   each tuple, appends it to the new group, and answers the triggering
 //!   query from the stitched buffer (the Fig. 13 "online" bars).
+//!
+//! Every entry point reads the catalog through `&LayoutCatalog` and
+//! returns the new group *without* admitting it, which is exactly the
+//! contract the concurrent engine's off-path reorganizer needs: a
+//! background thread builds the group from an immutable snapshot (the
+//! `*_with` variants morsel-parallelize the stitch), and the caller
+//! decides when — and into which successor catalog version — the group is
+//! published. In-flight queries on older snapshots are never involved.
 
 use crate::bind::{BoundAttr, GroupViews};
 use crate::compile::ExecError;

@@ -12,7 +12,15 @@ use crate::group::ColumnGroup;
 use crate::schema::Schema;
 use crate::types::{AttrId, Epoch, LayoutId, Value};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A published, immutable view of the catalog. Readers clone the `Arc`
+/// (O(1)) and keep querying that version for as long as they like; writers
+/// build a new catalog value and atomically swap the published pointer.
+/// Column-group payloads are themselves `Arc`-shared, so cloning a catalog
+/// value copies only the group *table*, never the data.
+pub type CatalogSnapshot = Arc<LayoutCatalog>;
 
 /// Per-group usage statistics, updated by the engine as queries run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -23,6 +31,29 @@ pub struct GroupStats {
     pub last_used: Epoch,
     /// Number of queries that scanned the group.
     pub uses: u64,
+}
+
+/// Interior-mutability storage for [`GroupStats`]: usage is recorded from
+/// concurrent readers through a shared reference (`note_use(&self)`), so the
+/// hot counters are atomics. Cells are `Arc`-shared across catalog clones:
+/// usage is a property of the *layout*, not of one published version, so a
+/// `note_use` recorded on an older pinned snapshot still lands in the cell
+/// every successor catalog reads for LRU eviction.
+#[derive(Debug, Default)]
+struct StatsCell {
+    created_at: Epoch,
+    last_used: AtomicU64,
+    uses: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> GroupStats {
+        GroupStats {
+            created_at: self.created_at,
+            last_used: self.last_used.load(Ordering::Relaxed),
+            uses: self.uses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// How a covering set of groups should be chosen when several could serve
@@ -39,12 +70,17 @@ pub enum CoverPolicy {
 }
 
 /// The set of materialized layouts for one relation.
+///
+/// Groups are stored behind `Arc`s: cloning the catalog (the copy-on-write
+/// step of every snapshot publish) duplicates only the id → group table.
+/// Group payloads are copied lazily, and only by the one mutation that
+/// actually rewrites them ([`Self::append_row`] via `Arc::make_mut`).
 #[derive(Debug, Clone)]
 pub struct LayoutCatalog {
     schema: Arc<Schema>,
     rows: usize,
-    groups: BTreeMap<LayoutId, ColumnGroup>,
-    stats: BTreeMap<LayoutId, GroupStats>,
+    groups: BTreeMap<LayoutId, Arc<ColumnGroup>>,
+    stats: BTreeMap<LayoutId, Arc<StatsCell>>,
     next_id: u32,
 }
 
@@ -104,14 +140,14 @@ impl LayoutCatalog {
         let id = LayoutId(self.next_id);
         self.next_id += 1;
         group.set_id(id);
-        self.groups.insert(id, group);
+        self.groups.insert(id, Arc::new(group));
         self.stats.insert(
             id,
-            GroupStats {
+            Arc::new(StatsCell {
                 created_at: now,
-                last_used: now,
-                uses: 0,
-            },
+                last_used: AtomicU64::new(now),
+                uses: AtomicU64::new(0),
+            }),
         );
         Ok(id)
     }
@@ -119,7 +155,7 @@ impl LayoutCatalog {
     /// Drops a group. Fails with [`StorageError::WouldUncover`] if removing
     /// it would leave some attribute with no materialized layout — the
     /// catalog never allows data loss.
-    pub fn drop_group(&mut self, id: LayoutId) -> Result<ColumnGroup, StorageError> {
+    pub fn drop_group(&mut self, id: LayoutId) -> Result<Arc<ColumnGroup>, StorageError> {
         let victim = self
             .groups
             .get(&id)
@@ -136,12 +172,15 @@ impl LayoutCatalog {
 
     /// Looks up a live group.
     pub fn group(&self, id: LayoutId) -> Result<&ColumnGroup, StorageError> {
-        self.groups.get(&id).ok_or(StorageError::UnknownLayout(id))
+        self.groups
+            .get(&id)
+            .map(|g| g.as_ref())
+            .ok_or(StorageError::UnknownLayout(id))
     }
 
     /// Iterates over all live groups in id order.
     pub fn groups(&self) -> impl Iterator<Item = &ColumnGroup> {
-        self.groups.values()
+        self.groups.values().map(|g| g.as_ref())
     }
 
     /// Ids of all live groups.
@@ -151,7 +190,20 @@ impl LayoutCatalog {
 
     /// All groups that store `attr`.
     pub fn groups_for(&self, attr: AttrId) -> impl Iterator<Item = &ColumnGroup> {
-        self.groups.values().filter(move |g| g.contains(attr))
+        self.groups
+            .values()
+            .map(|g| g.as_ref())
+            .filter(move |g| g.contains(attr))
+    }
+
+    /// Reads a single logical cell by searching any group that stores the
+    /// attribute. O(groups) — a test/debug oracle, never used by execution.
+    pub fn cell(&self, row: usize, attr: AttrId) -> Result<Value, StorageError> {
+        let g = self
+            .groups_for(attr)
+            .next()
+            .ok_or(StorageError::NoCover(attr))?;
+        g.value_of(row, attr)
     }
 
     /// Finds a group whose attribute set is exactly `attrs`, if one exists
@@ -280,7 +332,12 @@ impl LayoutCatalog {
             projections.push(g.attrs().iter().map(|a| tuple[a.index()]).collect());
         }
         for (g, proj) in self.groups.values_mut().zip(projections) {
-            g.append_tuple(&proj).expect("projection width matches");
+            // Copy-on-write: if a published snapshot still shares this
+            // group's payload, `make_mut` clones it once; within a batch the
+            // clone is already unique and appends are in-place.
+            Arc::make_mut(g)
+                .append_tuple(&proj)
+                .expect("projection width matches");
         }
         self.rows += 1;
         Ok(())
@@ -309,7 +366,11 @@ impl LayoutCatalog {
                 })
             })
             .map(|g| {
-                let last = self.stats.get(&g.id()).map(|s| s.last_used).unwrap_or(0);
+                let last = self
+                    .stats
+                    .get(&g.id())
+                    .map(|s| s.last_used.load(Ordering::Relaxed))
+                    .unwrap_or(0);
                 (last, g.id())
             })
             .collect();
@@ -317,17 +378,21 @@ impl LayoutCatalog {
         candidates.first().map(|&(_, id)| id)
     }
 
-    /// Records that a query at epoch `now` scanned `id`.
-    pub fn note_use(&mut self, id: LayoutId, now: Epoch) {
-        if let Some(s) = self.stats.get_mut(&id) {
-            s.last_used = now;
-            s.uses += 1;
+    /// Records that a query at epoch `now` scanned `id`. Takes `&self`:
+    /// concurrent readers record usage on the published snapshot they hold.
+    pub fn note_use(&self, id: LayoutId, now: Epoch) {
+        if let Some(s) = self.stats.get(&id) {
+            s.last_used.fetch_max(now, Ordering::Relaxed);
+            s.uses.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Usage statistics for a live group.
-    pub fn stats(&self, id: LayoutId) -> Result<&GroupStats, StorageError> {
-        self.stats.get(&id).ok_or(StorageError::UnknownLayout(id))
+    /// Usage statistics for a live group (a point-in-time copy).
+    pub fn stats(&self, id: LayoutId) -> Result<GroupStats, StorageError> {
+        self.stats
+            .get(&id)
+            .map(|s| s.snapshot())
+            .ok_or(StorageError::UnknownLayout(id))
     }
 }
 
@@ -470,7 +535,7 @@ mod tests {
 
     #[test]
     fn usage_stats_update() {
-        let mut cat = catalog_with(&[&[0]], 2);
+        let cat = catalog_with(&[&[0]], 2);
         let id = cat.layout_ids()[0];
         cat.note_use(id, 5);
         cat.note_use(id, 9);
@@ -478,6 +543,21 @@ mod tests {
         assert_eq!(s.uses, 2);
         assert_eq!(s.last_used, 9);
         assert_eq!(s.created_at, 0);
+    }
+
+    #[test]
+    fn usage_stats_survive_catalog_clones() {
+        // Stats cells are Arc-shared across clones: a reader recording
+        // usage on an old pinned snapshot is still visible to the
+        // published successor (LRU eviction must not see stale counts).
+        let cat = catalog_with(&[&[0]], 2);
+        let id = cat.layout_ids()[0];
+        let successor = cat.clone();
+        cat.note_use(id, 5);
+        assert_eq!(successor.stats(id).unwrap().uses, 1);
+        assert_eq!(successor.stats(id).unwrap().last_used, 5);
+        successor.note_use(id, 9);
+        assert_eq!(cat.stats(id).unwrap().last_used, 9);
     }
 
     #[test]

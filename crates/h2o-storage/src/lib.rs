@@ -32,7 +32,7 @@ pub mod schema;
 pub mod types;
 
 pub use attrset::AttrSet;
-pub use catalog::{GroupStats, LayoutCatalog};
+pub use catalog::{CatalogSnapshot, GroupStats, LayoutCatalog};
 pub use error::StorageError;
 pub use group::{ColumnGroup, GroupBuilder};
 pub use relation::Relation;

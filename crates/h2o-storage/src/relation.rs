@@ -122,15 +122,16 @@ impl Relation {
         &mut self.catalog
     }
 
+    /// Unwraps the relation into its catalog (the engine's snapshot
+    /// publishing works on bare catalog values).
+    pub fn into_catalog(self) -> LayoutCatalog {
+        self.catalog
+    }
+
     /// Reads a single logical cell by searching any group that stores the
     /// attribute. O(groups) — a test/debug oracle, never used by execution.
     pub fn cell(&self, row: usize, attr: AttrId) -> Result<Value, StorageError> {
-        let g = self
-            .catalog
-            .groups_for(attr)
-            .next()
-            .ok_or(StorageError::NoCover(attr))?;
-        g.value_of(row, attr)
+        self.catalog.cell(row, attr)
     }
 }
 

@@ -31,7 +31,7 @@ fn main() {
     let schema = Schema::with_width(n_attrs).into_shared();
     let columns = h2o::workload::gen_columns(n_attrs, rows, 7);
 
-    let mut h2o_engine = H2oEngine::new(
+    let h2o_engine = H2oEngine::new(
         Relation::columnar(schema.clone(), columns.clone()).unwrap(),
         EngineConfig::default(),
     );

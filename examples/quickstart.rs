@@ -14,7 +14,7 @@ fn main() {
     let schema = Schema::with_width(n_attrs).into_shared();
     let columns = h2o::workload::gen_columns(n_attrs, rows, 42);
     let relation = Relation::columnar(schema, columns).unwrap();
-    let mut engine = H2oEngine::new(relation, EngineConfig::default());
+    let engine = H2oEngine::new(relation, EngineConfig::default());
 
     // The paper's running example, Q1:
     //   select a+b+c from R where d < v1 and e > v2

@@ -24,7 +24,7 @@ fn main() {
     );
 
     let relation = Relation::columnar(spec.schema.clone(), columns).unwrap();
-    let mut engine = H2oEngine::new(relation, EngineConfig::default());
+    let engine = H2oEngine::new(relation, EngineConfig::default());
 
     let mut phase_time = 0.0f64;
     for (i, tq) in workload.iter().enumerate() {
@@ -35,7 +35,8 @@ fn main() {
         phase_time += t.elapsed().as_secs_f64();
 
         if let Some(created) = engine.last_report().and_then(|r| r.created_layout) {
-            let g = engine.catalog().group(created).unwrap();
+            let snapshot = engine.catalog();
+            let g = snapshot.group(created).unwrap();
             let names: Vec<&str> = g
                 .attrs()
                 .iter()

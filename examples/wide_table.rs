@@ -36,7 +36,7 @@ fn main() {
         CompileCostModel::ZERO,
     )
     .unwrap();
-    let mut h2o_engine = H2oEngine::new(
+    let h2o_engine = H2oEngine::new(
         Relation::columnar(schema, columns).unwrap(),
         EngineConfig::default(),
     );

@@ -15,7 +15,7 @@
 //! let schema = Schema::with_width(20).into_shared();
 //! let columns = h2o::workload::gen_columns(20, 10_000, 42);
 //! let relation = Relation::columnar(schema, columns).unwrap();
-//! let mut engine = H2oEngine::new(relation, EngineConfig::default());
+//! let engine = H2oEngine::new(relation, EngineConfig::default());
 //!
 //! // select sum(a0+a1+a2) from R where a3 < 0
 //! let query = Query::aggregate(
@@ -51,6 +51,27 @@
 //! and the `fig15_parallel_scaling` bench binary for thread-scaling
 //! measurements.
 //!
+//! ## Concurrent serving (deviation from the paper)
+//!
+//! The engine is shared: [`H2oEngine::execute`](h2o_core::H2oEngine::execute)
+//! takes `&self`, so any number of client threads can query one engine
+//! (wrap it in an `Arc` or borrow it into scoped threads). Reads are
+//! **snapshot-isolated**: each query pins the currently published
+//! `Arc<LayoutCatalog>` ([`storage::CatalogSnapshot`]) and plans, compiles
+//! and scans against that immutable version. Appends, explicit layout
+//! administration and adaptive reorganization serialize behind a writer
+//! lock and publish new catalog versions in one atomic swap — in-flight
+//! readers keep their snapshot and never block. With
+//! [`EngineConfig::background`](h2o_core::EngineConfig::background),
+//! reorganization moves entirely off the query path onto a background
+//! reorganizer
+//! ([`H2oEngine::spawn_reorganizer`](h2o_core::H2oEngine::spawn_reorganizer)
+//! or an explicit
+//! [`maintain()`](h2o_core::H2oEngine::maintain) pump). The
+//! `tests/concurrency.rs` stress suite pins all of this differentially
+//! against the serial interpreter, and `fig16_concurrent_throughput`
+//! measures queries/sec versus reader-thread count.
+//!
 //! The crates behind this facade:
 //!
 //! | crate | contents |
@@ -75,9 +96,12 @@ pub use h2o_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use h2o_core::{EngineConfig, EngineStats, H2oEngine, StaticEngine, StaticKind};
+    pub use h2o_core::{
+        EngineConfig, EngineStats, H2oEngine, MaintenanceReport, ReorganizerHandle, StaticEngine,
+        StaticKind,
+    };
     pub use h2o_expr::{
         Aggregate, ArithOp, CmpOp, Conjunction, Expr, Predicate, Query, QueryResult,
     };
-    pub use h2o_storage::{AttrId, AttrSet, Relation, Schema, Value};
+    pub use h2o_storage::{AttrId, AttrSet, CatalogSnapshot, Relation, Schema, Value};
 }

@@ -27,9 +27,9 @@ fn row_major(n_attrs: usize, rows: usize, seed: u64) -> Relation {
 
 /// Drives a workload through the engine, checking every answer against the
 /// interpreter, and returns the engine for inspection.
-fn drive(mut engine: H2oEngine, workload: &[h2o::workload::TimedQuery]) -> H2oEngine {
+fn drive(engine: H2oEngine, workload: &[h2o::workload::TimedQuery]) -> H2oEngine {
     for (i, tq) in workload.iter().enumerate() {
-        let want = interpret(engine.catalog(), &tq.query).unwrap();
+        let want = interpret(&engine.catalog(), &tq.query).unwrap();
         let got = engine
             .execute_with_hint(&tq.query, Some(tq.selectivity))
             .unwrap();
@@ -140,7 +140,7 @@ fn pending_layouts_are_lazy() {
     // A recommendation must not materialize anything until a query
     // actually benefits: run a hot phase to build up pending layouts, then
     // observe that an unrelated query does not trigger creation.
-    let mut engine = engine_with(columnar(40, 4_000, 6), 6);
+    let engine = engine_with(columnar(40, 4_000, 6), 6);
     for i in 0..6 {
         let q = Query::project(
             [Expr::sum_of((0u32..10).map(AttrId))],
@@ -164,4 +164,65 @@ fn pending_layouts_are_lazy() {
         "unrelated query must not trigger materialization"
     );
     let _ = pending_after_adapt;
+}
+
+#[test]
+fn drop_and_rematerialize_race_with_pending_advice() {
+    // materialize_now / drop_layout interleaved with the adviser's pending
+    // proposals: administration must never panic, never tear the catalog,
+    // and never leave pending() advertising a spec that already exists.
+    let engine = engine_with(columnar(40, 3_000, 6), 6);
+    // Hot phase builds up pending advice (same shape as
+    // `pending_layouts_are_lazy`).
+    for i in 0..6 {
+        let q = Query::project(
+            [Expr::sum_of((0u32..10).map(AttrId))],
+            Conjunction::of([Predicate::lt(10u32, i * 100_000_000)]),
+        )
+        .unwrap();
+        engine.execute_with_hint(&q, Some(0.5)).unwrap();
+    }
+    let pending = engine.pending();
+    assert!(
+        !pending.is_empty(),
+        "hot phase must leave advice pending for this scenario"
+    );
+
+    // Materialize the adviser's own proposal explicitly: it must leave the
+    // pending queue (otherwise a lazy query would try to create it twice).
+    let spec = pending[0].clone();
+    let attrs: Vec<AttrId> = spec.attrs.to_vec();
+    let id = engine.materialize_now(&attrs).unwrap();
+    assert!(
+        engine.pending().iter().all(|g| g.attrs != spec.attrs),
+        "materialize_now must retire the matching pending spec"
+    );
+
+    // Drop the layout the adviser just proposed (and we just built): the
+    // spec becomes materializable again and queries keep working.
+    engine.drop_layout(id).unwrap();
+    assert!(matches!(
+        engine.drop_layout(id),
+        Err(h2o::core::EngineError::Storage(_))
+    ));
+    for i in 0..12 {
+        let q = Query::project(
+            [Expr::sum_of((0u32..10).map(AttrId))],
+            Conjunction::of([Predicate::lt(10u32, i * 50_000_000)]),
+        )
+        .unwrap();
+        let want = interpret(&engine.catalog(), &q).unwrap();
+        let got = engine.execute_with_hint(&q, Some(0.5)).unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint(), "post-drop query {i}");
+    }
+    // The catalog is whole: full coverage, all groups row-aligned.
+    let snap = engine.catalog();
+    assert!(snap.covers_schema());
+    assert!(snap.groups().all(|g| g.rows() == snap.rows()));
+
+    // A second materialize/drop cycle of the same spec works (ids are
+    // never reused, pending stays consistent).
+    let id2 = engine.materialize_now(&attrs).unwrap();
+    assert_ne!(id, id2);
+    engine.drop_layout(id2).unwrap();
 }

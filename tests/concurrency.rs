@@ -1,0 +1,298 @@
+//! Multi-client differential stress suite.
+//!
+//! N reader threads run a mixed projection/aggregate workload against a
+//! *shared* engine while one writer thread appends batched rows and
+//! adaptive reorganization runs (lazily on the query path, or on a
+//! background reorganizer thread). Every concurrent result is
+//! fingerprint-checked against the serial `interpret` oracle **on the
+//! snapshot it ran against**, and every observed snapshot is checked for
+//! tearing (full schema coverage, all groups row-aligned).
+//!
+//! The workload is deterministic: set `H2O_STRESS_SEED` to reproduce a CI
+//! run (thread interleavings vary, but every query/batch sequence and every
+//! differential check is a pure function of the seed and the thread index).
+
+use h2o::core::{EngineConfig, H2oEngine};
+use h2o::exec::{compile, execute_with_policy, AccessPlan, ExecPolicy, Strategy};
+use h2o::expr::interpret;
+use h2o::prelude::*;
+use h2o::storage::LayoutCatalog;
+use h2o::workload::synth::{gen_columns, threshold_for_selectivity, VALUE_MAX, VALUE_MIN};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ATTRS: usize = 12;
+const ROWS: usize = 3_000;
+const READERS: usize = 4;
+const QUERIES_PER_READER: usize = 40;
+const WRITE_BATCHES: usize = 25;
+const BATCH_ROWS: usize = 4;
+
+/// Fixed default; `H2O_STRESS_SEED` overrides so CI failures replay.
+fn stress_seed() -> u64 {
+    std::env::var("H2O_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn shared_engine(cfg: EngineConfig) -> Arc<H2oEngine> {
+    let schema = Schema::with_width(ATTRS).into_shared();
+    let columns = gen_columns(ATTRS, ROWS, stress_seed());
+    Arc::new(H2oEngine::new(
+        Relation::columnar(schema, columns).unwrap(),
+        cfg,
+    ))
+}
+
+fn adaptive_config() -> EngineConfig {
+    let mut cfg = EngineConfig::no_compile_latency();
+    cfg.window.initial = 8;
+    cfg.window.min = 4;
+    cfg
+}
+
+/// A mixed workload query: half projections, half aggregates, over a small
+/// set of hot attribute clusters so adaptation has something to chew on.
+fn mixed_query(rng: &mut SmallRng) -> Query {
+    let base = (rng.gen_range(0..3u32)) * 3;
+    let width = rng.gen_range(1..=3u32);
+    let select: Vec<AttrId> = (base..base + width).map(AttrId).collect();
+    let where_attr = (base + width) % ATTRS as u32;
+    let filter = if rng.gen_range(0..8u32) == 0 {
+        Conjunction::always()
+    } else {
+        Conjunction::of([Predicate::lt(
+            where_attr,
+            threshold_for_selectivity(rng.gen_range(0.0..1.0)),
+        )])
+    };
+    if rng.gen_range(0..2u32) == 0 {
+        Query::project([Expr::sum_of(select)], filter).unwrap()
+    } else {
+        Query::aggregate(
+            [
+                Aggregate::sum(Expr::sum_of(select)),
+                Aggregate::count(),
+                Aggregate::max(Expr::col(where_attr)),
+            ],
+            filter,
+        )
+        .unwrap()
+    }
+}
+
+/// No query may observe a torn catalog: every snapshot covers the schema
+/// and every group in it holds exactly the snapshot's row count.
+fn assert_untorn(snap: &LayoutCatalog, ctx: &str) {
+    assert!(snap.covers_schema(), "{ctx}: snapshot lost coverage");
+    let rows = snap.rows();
+    for g in snap.groups() {
+        assert_eq!(
+            g.rows(),
+            rows,
+            "{ctx}: group {} is not row-aligned (snapshot has {rows} rows)",
+            g.id()
+        );
+    }
+}
+
+/// One writer thread: appends deterministic batches (verified afterwards
+/// through `stats().rows_appended` and the final snapshot's row count).
+fn writer_loop(engine: &H2oEngine) {
+    let mut rng = SmallRng::seed_from_u64(stress_seed() ^ 0xB11D_F00D);
+    for _ in 0..WRITE_BATCHES {
+        let batch: Vec<Vec<i64>> = (0..BATCH_ROWS)
+            .map(|_| {
+                (0..ATTRS)
+                    .map(|_| rng.gen_range(VALUE_MIN..VALUE_MAX))
+                    .collect()
+            })
+            .collect();
+        engine.insert(&batch).unwrap();
+        std::thread::yield_now();
+    }
+}
+
+/// The headline test: 4 readers × mixed workload + 1 writer + adaptation
+/// (lazy fused materialization on the query path), every result checked
+/// bit-identically against the serial oracle on its own snapshot.
+#[test]
+fn readers_writer_and_lazy_adaptation_are_differentially_correct() {
+    let engine = shared_engine(adaptive_config());
+    std::thread::scope(|s| {
+        let engine = &engine;
+        s.spawn(move || writer_loop(engine));
+        for t in 0..READERS {
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(stress_seed() ^ (t as u64 + 1));
+                for i in 0..QUERIES_PER_READER {
+                    let q = mixed_query(&mut rng);
+                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    assert_untorn(&snap, &format!("reader {t} query {i}"));
+                    let want = interpret(&snap, &q).unwrap();
+                    assert_eq!(
+                        got.fingerprint(),
+                        want.fingerprint(),
+                        "reader {t} query {i} diverged from the oracle on its snapshot: {q}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(
+        stats.rows_appended,
+        (WRITE_BATCHES * BATCH_ROWS) as u64,
+        "every batch must have landed"
+    );
+    assert_eq!(stats.queries, (READERS * QUERIES_PER_READER) as u64);
+    assert!(
+        stats.snapshots_published >= WRITE_BATCHES as u64,
+        "each batch is one atomic publish at least; stats: {stats:?}"
+    );
+    // The final snapshot reflects all writes and stays untorn.
+    let final_snap = engine.snapshot();
+    assert_untorn(&final_snap, "final");
+    assert_eq!(final_snap.rows(), ROWS + WRITE_BATCHES * BATCH_ROWS);
+}
+
+/// Same stress shape with the background reorganizer thread doing all
+/// adaptation off the query path (`EngineConfig::background`).
+#[test]
+fn background_reorganizer_stress_is_differentially_correct() {
+    let mut cfg = EngineConfig::background();
+    cfg.window.initial = 8;
+    cfg.window.min = 4;
+    let engine = shared_engine(cfg);
+    let reorganizer = engine.spawn_reorganizer(Duration::from_millis(1));
+    std::thread::scope(|s| {
+        let engine = &engine;
+        s.spawn(move || writer_loop(engine));
+        for t in 0..READERS {
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(stress_seed() ^ (0x8000 + t as u64));
+                for i in 0..QUERIES_PER_READER {
+                    let q = mixed_query(&mut rng);
+                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    assert_untorn(&snap, &format!("bg reader {t} query {i}"));
+                    let want = interpret(&snap, &q).unwrap();
+                    assert_eq!(
+                        got.fingerprint(),
+                        want.fingerprint(),
+                        "bg reader {t} query {i} diverged: {q}"
+                    );
+                }
+            });
+        }
+    });
+    reorganizer.stop();
+    let stats = engine.stats();
+    assert_eq!(stats.rows_appended, (WRITE_BATCHES * BATCH_ROWS) as u64);
+    assert_eq!(stats.queries, (READERS * QUERIES_PER_READER) as u64);
+    assert_untorn(&engine.snapshot(), "final");
+    // Background mode must never reorganize on the query path: every
+    // created layout is also a completed background reorg.
+    assert_eq!(stats.layouts_created, stats.reorgs_completed);
+}
+
+/// Snapshot isolation per execution strategy: concurrent readers pin a
+/// snapshot and run the *same* plan through all three strategies (serial
+/// and morsel-parallel) while the writer churns the published catalog.
+/// All six results must be bit-identical to the oracle on that snapshot.
+#[test]
+fn all_three_strategies_agree_on_concurrent_snapshots() {
+    let engine = shared_engine(EngineConfig::no_compile_latency());
+    let parallel_policy = ExecPolicy {
+        parallelism: Some(4),
+        morsel_rows: 512,
+        serial_threshold: 0,
+    };
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let parallel_policy = &parallel_policy;
+        s.spawn(move || writer_loop(engine));
+        for t in 0..READERS {
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(stress_seed() ^ (0x5742A7 + t as u64));
+                for i in 0..QUERIES_PER_READER / 2 {
+                    let q = mixed_query(&mut rng);
+                    let snap = engine.snapshot();
+                    assert_untorn(&snap, &format!("strategy reader {t} query {i}"));
+                    let want = interpret(&snap, &q).unwrap();
+                    for strategy in Strategy::ALL {
+                        let plan = AccessPlan::new(snap.layout_ids(), strategy);
+                        let op = compile(&snap, &plan, &q).unwrap();
+                        for policy in [&ExecPolicy::serial(), parallel_policy] {
+                            let got = execute_with_policy(&snap, &op, policy).unwrap();
+                            assert_eq!(
+                                got.fingerprint(),
+                                want.fingerprint(),
+                                "reader {t} query {i} strategy {} diverged: {q}",
+                                strategy.name()
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        engine.stats().rows_appended,
+        (WRITE_BATCHES * BATCH_ROWS) as u64
+    );
+}
+
+/// `materialize_now` / `drop_layout` racing readers and pending adaptive
+/// groups: explicit administration must never panic a reader, tear a
+/// snapshot, or leave `pending()` claiming a spec that already exists.
+#[test]
+fn explicit_materialize_and_drop_race_readers_safely() {
+    let engine = shared_engine(adaptive_config());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let stop = &stop;
+        // Admin thread: repeatedly materialize a tailored layout, verify
+        // pending consistency, then drop it again.
+        s.spawn(move || {
+            for round in 0..10 {
+                let attrs = [AttrId(round % 3), AttrId(3 + round % 3)];
+                match engine.materialize_now(&attrs) {
+                    Ok(id) => {
+                        let spec_attrs: AttrSet = attrs.iter().copied().collect();
+                        assert!(
+                            engine.pending().iter().all(|g| g.attrs != spec_attrs),
+                            "pending() still advertises a spec that was just materialized"
+                        );
+                        engine.drop_layout(id).unwrap();
+                    }
+                    Err(e) => panic!("materialize_now failed: {e}"),
+                }
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Release);
+        });
+        for t in 0..2 {
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(stress_seed() ^ (0xD0 + t as u64));
+                let mut i = 0;
+                while !stop.load(Ordering::Acquire) || i < 20 {
+                    let q = mixed_query(&mut rng);
+                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    assert_untorn(&snap, &format!("admin-race reader {t} query {i}"));
+                    let want = interpret(&snap, &q).unwrap();
+                    assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}: {q}");
+                    i += 1;
+                    if i > 300 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    assert_untorn(&engine.snapshot(), "final");
+}

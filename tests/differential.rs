@@ -44,7 +44,7 @@ fn engines(n_attrs: usize, rows: usize, seed: u64) -> (H2oEngine, StaticEngine, 
 
 #[test]
 fn all_engines_agree_across_a_long_adaptive_run() {
-    let (mut h2o, row, col) = engines(24, 2_000, 99);
+    let (h2o, row, col) = engines(24, 2_000, 99);
     let mut gen = QueryGen::new(24, 5);
     for i in 0..120 {
         let template = Template::ALL[i % 3];
@@ -78,7 +78,7 @@ fn all_engines_agree_across_a_long_adaptive_run() {
 
 #[test]
 fn agreement_survives_explicit_reorganizations() {
-    let (mut h2o, _, col) = engines(12, 1_000, 3);
+    let (h2o, _, col) = engines(12, 1_000, 3);
     let q = Query::aggregate(
         [
             Aggregate::sum(Expr::sum_of([AttrId(0), AttrId(1)])),
@@ -114,7 +114,7 @@ proptest! {
         rows in 1usize..400,
     ) {
         let n_attrs = 10;
-        let (mut h2o, row, col) = engines(n_attrs, rows, seed);
+        let (h2o, row, col) = engines(n_attrs, rows, seed);
         let mut gen = QueryGen::new(n_attrs, seed ^ 0xdead);
         let (q, _) = gen.random(Template::ALL[template_idx], k, n_preds.min(k), sel);
         let want = interpret(col.relation().catalog(), &q).unwrap().fingerprint();

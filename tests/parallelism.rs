@@ -219,7 +219,7 @@ fn parallel_engine_agrees_with_interpreter_through_adaptation() {
     cfg.parallelism = Some(4);
     cfg.morsel_rows = 256;
     cfg.parallel_row_threshold = 0;
-    let mut engine = H2oEngine::new(Relation::columnar(schema, columns).unwrap(), cfg);
+    let engine = H2oEngine::new(Relation::columnar(schema, columns).unwrap(), cfg);
     for i in 0..40 {
         let q = Query::project(
             [Expr::sum_of([AttrId(0), AttrId(1), AttrId(2), AttrId(3)])],
@@ -229,7 +229,7 @@ fn parallel_engine_agrees_with_interpreter_through_adaptation() {
             )]),
         )
         .unwrap();
-        let want = interpret(engine.catalog(), &q).unwrap();
+        let want = interpret(&engine.catalog(), &q).unwrap();
         let got = engine.execute(&q).unwrap();
         assert_eq!(got, want, "query {i}");
     }

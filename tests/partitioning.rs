@@ -108,7 +108,7 @@ fn autopart_partition_usable_as_relation_layout() {
     let rel = Relation::partitioned(schema, columns, partition).unwrap();
     assert!(rel.catalog().covers_schema());
 
-    let mut engine = H2oEngine::new(rel, EngineConfig::non_adaptive());
+    let engine = H2oEngine::new(rel, EngineConfig::non_adaptive());
     let q = Query::aggregate(
         [Aggregate::sum(Expr::sum_of([
             AttrId(0),
@@ -118,6 +118,6 @@ fn autopart_partition_usable_as_relation_layout() {
         Conjunction::of([Predicate::lt(9u32, 0)]),
     )
     .unwrap();
-    let want = interpret(engine.catalog(), &q).unwrap();
+    let want = interpret(&engine.catalog(), &q).unwrap();
     assert_eq!(engine.execute(&q).unwrap(), want);
 }

@@ -198,3 +198,129 @@ proptest! {
         prop_assert_eq!(via_catalog.fingerprint(), via_all.fingerprint());
     }
 }
+
+/// EWMA selectivity-feedback invariants (the engine's `sel_history`).
+///
+/// The engine smooths observed selectivities with an EWMA (`est' =
+/// (est + observed) / 2`). Two properties pin it down: under a stationary
+/// workload the estimate converges geometrically toward the true
+/// selectivity, and under *any* query/insert sequence it can never leave
+/// `[0, 1]`.
+mod selectivity_feedback {
+    use super::*;
+    use h2o::core::{EngineConfig, H2oEngine};
+
+    fn quiet_config() -> EngineConfig {
+        let mut cfg = EngineConfig::no_compile_latency();
+        // No adaptation interference: the window never completes.
+        cfg.window.initial = 10_000;
+        cfg.window.max = 10_000;
+        cfg
+    }
+
+    fn engine_from(columns: &[Vec<i64>]) -> H2oEngine {
+        let schema = Schema::with_width(columns.len()).into_shared();
+        let rel = Relation::columnar(schema, columns.to_vec()).unwrap();
+        H2oEngine::new(rel, quiet_config())
+    }
+
+    /// Like `arb_columns` but guaranteed non-empty (at least one row).
+    fn arb_filled_columns() -> impl Strategy<Value = Vec<Vec<i64>>> {
+        (1usize..6, 1usize..60).prop_flat_map(|(n_attrs, rows)| {
+            proptest::collection::vec(
+                proptest::collection::vec(-1000i64..1000, rows..=rows),
+                n_attrs..=n_attrs,
+            )
+        })
+    }
+
+    fn filter_query(n_attrs: usize, attr: usize, threshold: i64) -> Query {
+        Query::project(
+            [Expr::col((attr % n_attrs) as u32)],
+            Conjunction::of([Predicate::lt((attr % n_attrs) as u32, threshold)]),
+        )
+        .unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Stationary workload: the estimate halves its error every query,
+        /// converging geometrically to the true selectivity — even when the
+        /// history was seeded by an earlier phase with different data.
+        #[test]
+        fn ewma_converges_to_true_selectivity(
+            columns in arb_filled_columns(),
+            attr in 0usize..6,
+            threshold in -1000i64..1000,
+            shift in proptest::collection::vec(
+                proptest::collection::vec(-1000i64..1000, 1..=6), 0..20),
+            reps in 1usize..12,
+        ) {
+            let n = columns.len();
+            let e = engine_from(&columns);
+            let q = filter_query(n, attr, threshold);
+            // Phase A seeds the history with the pre-shift selectivity.
+            e.execute(&q).unwrap();
+            // Phase B: appended tuples change the true selectivity.
+            let batch: Vec<Vec<i64>> = shift
+                .iter()
+                .map(|t| (0..n).map(|a| t[a % t.len()]).collect())
+                .collect();
+            if !batch.is_empty() {
+                e.insert(&batch).unwrap();
+            }
+            let snap = e.snapshot();
+            let truth =
+                interpret(&snap, &q).unwrap().rows() as f64 / snap.rows() as f64;
+            let mut err = (e.observed_selectivity(&q).unwrap() - truth).abs();
+            for i in 0..reps {
+                e.execute(&q).unwrap();
+                let est = e.observed_selectivity(&q).unwrap();
+                let new_err = (est - truth).abs();
+                prop_assert!(
+                    new_err <= 0.5 * err + 1e-9,
+                    "rep {i}: error must halve ({err} -> {new_err}, truth {truth})"
+                );
+                prop_assert!((0.0..=1.0).contains(&est));
+                err = new_err;
+            }
+            prop_assert!(err <= 1.0 * 0.5f64.powi(reps as i32) + 1e-9);
+        }
+
+        /// Adversarial sequences — random filters, random constants,
+        /// interleaved inserts, hint abuse — never push any stored estimate
+        /// or any planning estimate outside [0, 1].
+        #[test]
+        fn ewma_stays_in_unit_interval_under_adversarial_sequences(
+            columns in arb_filled_columns(),
+            ops in proptest::collection::vec(
+                (any::<bool>(), 0usize..6, -2000i64..2000, -10.0f64..10.0), 1..40),
+        ) {
+            let n = columns.len();
+            let e = engine_from(&columns);
+            for (do_insert, attr, threshold, hint) in ops {
+                if do_insert {
+                    e.insert(&[vec![threshold; n]]).unwrap();
+                } else {
+                    let q = filter_query(n, attr, threshold);
+                    // Out-of-range hints must be clamped, not stored raw.
+                    let hint = if hint.is_finite() { Some(hint) } else { None };
+                    e.execute_with_hint(&q, hint).unwrap();
+                    let report = e.last_report().unwrap();
+                    prop_assert!(
+                        (0.0..=1.0).contains(&report.selectivity_estimate),
+                        "planning estimate escaped [0,1]: {}",
+                        report.selectivity_estimate
+                    );
+                    if let Some(est) = e.observed_selectivity(&q) {
+                        prop_assert!(
+                            (0.0..=1.0).contains(&est),
+                            "stored estimate escaped [0,1]: {est}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

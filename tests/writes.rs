@@ -19,7 +19,7 @@ fn engine(n_attrs: usize, rows: usize, seed: u64) -> H2oEngine {
 
 #[test]
 fn interleaved_reads_writes_and_adaptation_stay_consistent() {
-    let mut e = engine(16, 1000, 21);
+    let e = engine(16, 1000, 21);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
     let hot_query = |v: i64| {
         Query::aggregate(
@@ -42,7 +42,7 @@ fn interleaved_reads_writes_and_adaptation_stay_consistent() {
             expected_rows += 3;
         }
         let q = hot_query(rng.gen_range(-1_000_000_000..1_000_000_000));
-        let want = interpret(e.catalog(), &q).unwrap();
+        let want = interpret(&e.catalog(), &q).unwrap();
         let got = e.execute(&q).unwrap();
         assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
         assert_eq!(e.catalog().rows(), expected_rows);
@@ -55,7 +55,7 @@ fn interleaved_reads_writes_and_adaptation_stay_consistent() {
 
 #[test]
 fn count_reflects_appends_through_any_layout() {
-    let mut e = engine(8, 100, 9);
+    let e = engine(8, 100, 9);
     // Force a tailored layout, then append, then count through it.
     e.materialize_now(&[AttrId(0), AttrId(4)]).unwrap();
     let q = Query::aggregate([Aggregate::count()], Conjunction::always()).unwrap();
@@ -75,7 +75,7 @@ proptest! {
             proptest::collection::vec(-1_000i64..1_000, 5..=5), 1..10),
         materialize_extra in any::<bool>(),
     ) {
-        let mut e = engine(5, 20, 3);
+        let e = engine(5, 20, 3);
         if materialize_extra {
             e.materialize_now(&[AttrId(1), AttrId(3)]).unwrap();
         }
@@ -84,7 +84,7 @@ proptest! {
         for (i, t) in tuples.iter().enumerate() {
             for (a, &v) in t.iter().enumerate() {
                 prop_assert_eq!(
-                    e.relation().cell(base + i, AttrId::from(a)).unwrap(),
+                    e.catalog().cell(base + i, AttrId::from(a)).unwrap(),
                     v
                 );
             }
