@@ -19,6 +19,15 @@ pub struct EngineStats {
     pub layouts_evicted: u64,
     /// Tuples appended through the write path.
     pub rows_appended: u64,
+    /// Payload bytes cloned by copy-on-write appends: when a published
+    /// snapshot still shares a group's tail segment, the first append of a
+    /// batch clones that one segment. Bounded by (groups × one segment)
+    /// per batch — *not* by relation size — which is the invariant the
+    /// segmented-storage tests pin down.
+    pub bytes_cloned_on_write: u64,
+    /// Payload segments sealed (filled to capacity, immutable from then
+    /// on) by the append path.
+    pub segments_sealed: u64,
     /// Workload shifts detected by the monitoring window.
     pub shifts_detected: u64,
     /// Reorganizations completed, by any path: fused-with-a-query, explicit
@@ -43,6 +52,8 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.queries, 0);
         assert_eq!(s.layouts_created, 0);
+        assert_eq!(s.bytes_cloned_on_write, 0);
+        assert_eq!(s.segments_sealed, 0);
         assert_eq!(s.reorgs_completed, 0);
         assert_eq!(s.snapshots_published, 0);
         assert_eq!(s.reorg_time, Duration::ZERO);

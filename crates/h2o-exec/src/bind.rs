@@ -3,11 +3,24 @@
 //! A compiled operator never touches attribute ids at run time. At compile
 //! time every referenced attribute is resolved to a [`BoundAttr`] — *(which
 //! group in the plan, at which offset)* — and at execution time the plan's
-//! layout ids are resolved to [`GroupViews`], raw `(&[Value], width)` pairs.
-//! The per-tuple path is then pure index arithmetic, which is what lets the
+//! layout ids are resolved to [`GroupViews`]: per-slot, per-**segment** raw
+//! slices over the groups' payloads. The per-tuple path is then pure index
+//! arithmetic (a shift/mask locates the segment), which is what lets the
 //! kernels match what the paper's generated C++ achieves.
+//!
+//! Because groups store segmented payloads ([`h2o_storage::ColumnGroup`]),
+//! a scan range is not one contiguous slice per group. Kernels therefore
+//! iterate **segment runs** ([`GroupViews::runs`]): maximal sub-ranges that
+//! lie within a single segment of *every* bound group (segment capacities
+//! are powers of two, so boundaries nest). Within a run,
+//! [`SegRun::view`] hands back exactly the old contiguous `(&[Value],
+//! width)` pair and the tight loops are unchanged. Random access by row id
+//! (selection-vector consumers) goes through [`GroupViews::get`] /
+//! [`SlotAccessor`], which add one shift, one mask and one extra indexed
+//! load per access.
 
-use h2o_storage::{ColumnGroup, LayoutCatalog, LayoutId, StorageError, Value};
+use h2o_storage::{ColumnGroup, LayoutCatalog, LayoutId, StorageError, Value, DEFAULT_SEG_SHIFT};
+use std::ops::Range;
 
 /// A physically resolved attribute reference: the `slot`-th group of the
 /// access plan, at value-offset `offset` within each tuple of that group.
@@ -17,14 +30,27 @@ pub struct BoundAttr {
     pub offset: u32,
 }
 
+/// One bound group: its segment slices plus the shift/mask that maps a
+/// global row id to (segment, local row).
+struct SlotView<'a> {
+    segs: Vec<&'a [Value]>,
+    width: usize,
+    shift: u32,
+    mask: usize,
+}
+
 /// Raw views over the groups of an access plan, in plan slot order.
 ///
 /// Morsel-parallel execution shares one `GroupViews` by `&` across scoped
 /// worker threads; it contains only shared slices over catalog-owned
 /// payloads, so it is `Send + Sync` (checked at compile time below).
 pub struct GroupViews<'a> {
-    views: Vec<(&'a [Value], usize)>,
+    slots: Vec<SlotView<'a>>,
     rows: usize,
+    /// Minimum segment shift across slots: runs split at this granularity,
+    /// which nests inside every slot's boundaries (capacities are powers
+    /// of two).
+    min_shift: u32,
 }
 
 // Compile-time proof that views may be shared across morsel workers.
@@ -33,30 +59,45 @@ const _: fn() = || {
     assert_send_sync::<GroupViews<'static>>();
 };
 
+fn slot_of(g: &ColumnGroup) -> SlotView<'_> {
+    SlotView {
+        segs: g.segments().collect(),
+        width: g.width(),
+        shift: g.seg_shift(),
+        mask: g.seg_rows() - 1,
+    }
+}
+
 impl<'a> GroupViews<'a> {
     /// Resolves `layouts` (plan slot order) against the catalog.
     pub fn resolve(
         catalog: &'a LayoutCatalog,
         layouts: &[LayoutId],
     ) -> Result<GroupViews<'a>, StorageError> {
-        let mut views = Vec::with_capacity(layouts.len());
+        let mut slots = Vec::with_capacity(layouts.len());
         for &id in layouts {
-            let g = catalog.group(id)?;
-            views.push((g.data(), g.width()));
+            slots.push(slot_of(catalog.group(id)?));
         }
-        Ok(GroupViews {
-            views,
-            rows: catalog.rows(),
-        })
+        Ok(Self::assemble(slots, catalog.rows()))
     }
 
     /// Builds views directly from group references (plan slot order).
     pub fn from_groups(groups: &[&'a ColumnGroup]) -> GroupViews<'a> {
         let rows = groups.first().map_or(0, |g| g.rows());
         debug_assert!(groups.iter().all(|g| g.rows() == rows));
+        Self::assemble(groups.iter().map(|g| slot_of(g)).collect(), rows)
+    }
+
+    fn assemble(slots: Vec<SlotView<'a>>, rows: usize) -> GroupViews<'a> {
+        let min_shift = slots
+            .iter()
+            .map(|s| s.shift)
+            .min()
+            .unwrap_or(DEFAULT_SEG_SHIFT);
         GroupViews {
-            views: groups.iter().map(|g| (g.data(), g.width())).collect(),
+            slots,
             rows,
+            min_shift,
         }
     }
 
@@ -68,27 +109,166 @@ impl<'a> GroupViews<'a> {
 
     /// Number of bound groups.
     pub fn len(&self) -> usize {
-        self.views.len()
+        self.slots.len()
     }
 
     /// Whether no groups are bound.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.slots.is_empty()
+    }
+
+    /// The run granularity: every [`Self::runs`] run spans at most this
+    /// many rows, and runs starting at multiples of it never split.
+    /// Schedulers align morsel boundaries to it
+    /// ([`ExecPolicy::aligned_to`](crate::parallel::ExecPolicy::aligned_to)).
+    #[inline]
+    pub fn seg_rows(&self) -> usize {
+        1usize << self.min_shift
     }
 
     /// Reads the value of `attr` for tuple `row`.
     #[inline(always)]
     pub fn get(&self, attr: BoundAttr, row: usize) -> Value {
-        let (data, width) = self.views[attr.slot as usize];
-        data[row * width + attr.offset as usize]
+        let s = &self.slots[attr.slot as usize];
+        let seg = s.segs[row >> s.shift];
+        seg[(row & s.mask) * s.width + attr.offset as usize]
     }
 
-    /// The raw `(data, width)` view of plan slot `slot` — kernels use this
-    /// to run tight loops over a single group without per-access slot
-    /// indirection.
+    /// Width (values per tuple) of plan slot `slot`.
+    #[inline]
+    pub fn width(&self, slot: u32) -> usize {
+        self.slots[slot as usize].width
+    }
+
+    /// A random-access cursor over one plan slot, for gather loops that
+    /// walk selection vectors (resolves the slot once; each access is a
+    /// shift, a mask and two indexed loads).
+    #[inline]
+    pub fn accessor(&self, slot: u32) -> SlotAccessor<'_, 'a> {
+        let s = &self.slots[slot as usize];
+        SlotAccessor {
+            segs: &s.segs,
+            width: s.width,
+            shift: s.shift,
+            mask: s.mask,
+        }
+    }
+
+    /// Splits `range` into maximal segment runs: each run lies within a
+    /// single segment of every bound group, so [`SegRun::view`] can hand
+    /// kernels one contiguous slice per slot. Runs are yielded in row
+    /// order and cover `range` exactly.
+    pub fn runs(&self, range: Range<usize>) -> SegRuns<'_, 'a> {
+        debug_assert!(range.end <= self.rows);
+        SegRuns {
+            views: self,
+            cur: range.start,
+            end: range.end,
+        }
+    }
+}
+
+/// Iterator over the segment runs of a row range (see [`GroupViews::runs`]).
+pub struct SegRuns<'v, 'a> {
+    views: &'v GroupViews<'a>,
+    cur: usize,
+    end: usize,
+}
+
+impl<'v, 'a> Iterator for SegRuns<'v, 'a> {
+    type Item = SegRun<'v, 'a>;
+
+    fn next(&mut self) -> Option<SegRun<'v, 'a>> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let gran = self.views.seg_rows();
+        let boundary = ((self.cur >> self.views.min_shift) + 1) * gran;
+        let stop = boundary.min(self.end);
+        let run = SegRun {
+            views: self.views,
+            start: self.cur,
+            end: stop,
+        };
+        self.cur = stop;
+        Some(run)
+    }
+}
+
+/// One contiguous sub-range of a scan: all rows live in the same segment of
+/// every bound group.
+pub struct SegRun<'v, 'a> {
+    views: &'v GroupViews<'a>,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> SegRun<'_, 'a> {
+    /// First global row id of the run.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The run's global row range.
+    #[inline]
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Rows in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the run is empty (never, for runs yielded by the iterator).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// The contiguous `(data, width)` slice of plan slot `slot` covering
+    /// exactly this run's rows — local row `k` of the run is the tuple at
+    /// `data[k*width..(k+1)*width]`.
     #[inline]
     pub fn view(&self, slot: u32) -> (&'a [Value], usize) {
-        self.views[slot as usize]
+        let s = &self.views.slots[slot as usize];
+        let seg = s.segs[self.start >> s.shift];
+        let lo = (self.start & s.mask) * s.width;
+        let hi = lo + (self.end - self.start) * s.width;
+        (&seg[lo..hi], s.width)
+    }
+}
+
+/// Random-access cursor over one plan slot (see [`GroupViews::accessor`]).
+#[derive(Clone, Copy)]
+pub struct SlotAccessor<'v, 'a> {
+    segs: &'v [&'a [Value]],
+    width: usize,
+    shift: u32,
+    mask: usize,
+}
+
+impl<'a> SlotAccessor<'_, 'a> {
+    /// Values per tuple of this slot.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The value at `(row, offset)`.
+    #[inline(always)]
+    pub fn value(&self, row: usize, offset: usize) -> Value {
+        self.segs[row >> self.shift][(row & self.mask) * self.width + offset]
+    }
+
+    /// The full tuple of `row` as a contiguous slice (tuples never
+    /// straddle segment boundaries).
+    #[inline(always)]
+    pub fn tuple(&self, row: usize) -> &'a [Value] {
+        let base = (row & self.mask) * self.width;
+        &self.segs[row >> self.shift][base..base + self.width]
     }
 }
 
@@ -113,7 +293,9 @@ mod tests {
         // a1 is offset 1 in slot 0; a2 is offset 0 in slot 1.
         assert_eq!(views.get(BoundAttr { slot: 0, offset: 1 }, 1), 20);
         assert_eq!(views.get(BoundAttr { slot: 1, offset: 0 }, 0), 100);
-        let (data, w) = views.view(0);
+        let runs: Vec<_> = views.runs(0..2).collect();
+        assert_eq!(runs.len(), 1);
+        let (data, w) = runs[0].view(0);
         assert_eq!(w, 2);
         assert_eq!(data, &[1, 10, 2, 20]);
     }
@@ -124,6 +306,58 @@ mod tests {
         let views = GroupViews::from_groups(&[&g]);
         assert_eq!(views.rows(), 3);
         assert_eq!(views.get(BoundAttr { slot: 0, offset: 0 }, 2), 7);
+        let acc = views.accessor(0);
+        assert_eq!(acc.value(1, 0), 6);
+        assert_eq!(acc.tuple(2), &[7]);
+    }
+
+    #[test]
+    fn runs_split_at_segment_boundaries() {
+        // 10 rows at shift 2 (4 rows/segment): segments [0..4), [4..8), [8..10).
+        let col: Vec<i64> = (0..10).collect();
+        let g = GroupBuilder::from_columns_with_shift(vec![AttrId(0)], &[&col], 2).unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        assert_eq!(views.seg_rows(), 4);
+        let ranges: Vec<_> = views.runs(1..10).map(|r| r.range()).collect();
+        assert_eq!(ranges, vec![1..4, 4..8, 8..10]);
+        // Each run's view is the matching contiguous piece.
+        for run in views.runs(1..10) {
+            let (data, w) = run.view(0);
+            assert_eq!(w, 1);
+            let want: Vec<i64> = run.range().map(|r| r as i64).collect();
+            assert_eq!(data, want.as_slice());
+        }
+        // Runs cover exactly the requested range, in order.
+        let covered: usize = views.runs(1..10).map(|r| r.len()).sum();
+        assert_eq!(covered, 9);
+        assert!(views.runs(3..3).next().is_none());
+    }
+
+    #[test]
+    fn mixed_segment_sizes_split_at_the_finest_granularity() {
+        // One group at shift 1 (2 rows/seg), one monolithic (big shift):
+        // run boundaries follow the finest segmentation, and both views
+        // stay contiguous within every run.
+        let c0: Vec<i64> = (0..6).collect();
+        let c1: Vec<i64> = (100..106).collect();
+        let fine = GroupBuilder::from_columns_with_shift(vec![AttrId(0)], &[&c0], 1).unwrap();
+        let coarse = GroupBuilder::from_columns_with_shift(vec![AttrId(1)], &[&c1], 20).unwrap();
+        let views = GroupViews::from_groups(&[&fine, &coarse]);
+        assert_eq!(views.seg_rows(), 2);
+        let ranges: Vec<_> = views.runs(0..6).map(|r| r.range()).collect();
+        assert_eq!(ranges, vec![0..2, 2..4, 4..6]);
+        for run in views.runs(0..6) {
+            let (d0, _) = run.view(0);
+            let (d1, _) = run.view(1);
+            for k in 0..run.len() {
+                assert_eq!(d0[k], (run.start() + k) as i64);
+                assert_eq!(d1[k], (run.start() + k) as i64 + 100);
+                assert_eq!(
+                    views.get(BoundAttr { slot: 1, offset: 0 }, run.start() + k),
+                    d1[k]
+                );
+            }
+        }
     }
 
     #[test]

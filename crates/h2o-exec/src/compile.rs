@@ -217,6 +217,10 @@ pub fn execute_with_views_policy(
     if policy.is_serial_for(rows) {
         return execute_with_views(views, op);
     }
+    // Align morsel boundaries to the storage's segment granularity so
+    // multi-segment morsels visit whole segment runs (bit-identical either
+    // way; see `ExecPolicy::aligned_to`).
+    let policy = &policy.aligned_to(views.seg_rows());
     match op.plan.strategy {
         Strategy::FusedVolcano => match &op.select {
             SelectProgram::Project(exprs) => concat_blocks(

@@ -48,15 +48,9 @@ enum ColVec {
 
 /// Gathers `attr` for the selected rows into a fresh intermediate column.
 fn gather_attr(views: &GroupViews<'_>, attr: BoundAttr, ids: &[u32]) -> Vec<Value> {
-    let (data, width) = views.view(attr.slot);
+    let acc = views.accessor(attr.slot);
     let off = attr.offset as usize;
-    if width == 1 {
-        ids.iter().map(|&i| data[i as usize]).collect()
-    } else {
-        ids.iter()
-            .map(|&i| data[i as usize * width + off])
-            .collect()
-    }
+    ids.iter().map(|&i| acc.value(i as usize, off)).collect()
 }
 
 /// Column-at-a-time filter evaluation (paper §2.1): the first predicate
@@ -87,20 +81,21 @@ pub fn build_selvec_columnar_range(
     let preds = filter.preds();
     let first = &preds[0];
     let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
-    {
-        let (data, width) = views.view(first.attr.slot);
+    for run in views.runs(range) {
+        let (data, width) = run.view(first.attr.slot);
         let off = first.attr.offset as usize;
+        let base = run.start();
         if width == 1 {
-            // Contiguous scan — the auto-vectorizable fast path.
-            for (i, &v) in data[range.clone()].iter().enumerate() {
+            // Contiguous per-segment scan — the auto-vectorizable fast path.
+            for (i, &v) in data.iter().enumerate() {
                 if first.op.apply(v, first.value) {
-                    sel.push((range.start + i) as u32);
+                    sel.push((base + i) as u32);
                 }
             }
         } else {
-            for i in range {
-                if first.op.apply(data[i * width + off], first.value) {
-                    sel.push(i as u32);
+            for (i, tuple) in data.chunks_exact(width).enumerate() {
+                if first.op.apply(tuple[off], first.value) {
+                    sel.push((base + i) as u32);
                 }
             }
         }
@@ -175,16 +170,18 @@ pub fn agg_full_column_range(
     func: AggFunc,
     range: Range<usize>,
 ) -> AggState {
-    let (data, width) = views.view(attr.slot);
     let off = attr.offset as usize;
     let mut st = AggState::new(func);
-    if width == 1 {
-        for &v in &data[range] {
-            st.update(v);
-        }
-    } else {
-        for i in range {
-            st.update(data[i * width + off]);
+    for run in views.runs(range) {
+        let (data, width) = run.view(attr.slot);
+        if width == 1 {
+            for &v in data {
+                st.update(v);
+            }
+        } else {
+            for tuple in data.chunks_exact(width) {
+                st.update(tuple[off]);
+            }
         }
     }
     st

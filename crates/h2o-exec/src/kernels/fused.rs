@@ -45,9 +45,10 @@ pub(crate) fn finish_states(width: usize, states: &[AggState]) -> QueryResult {
 }
 
 /// Fused projection over one row range. The Fig. 5 specialization applies
-/// when the whole plan reads a single column group: each tuple is sliced
-/// once and everything evaluates against the slice — no per-access
-/// slot/stride arithmetic in the inner loop.
+/// when the whole plan reads a single column group: the range is walked one
+/// segment run at a time, each tuple is sliced once from the run's
+/// contiguous payload and everything evaluates against the slice — no
+/// per-access slot/stride arithmetic in the inner loop.
 pub fn project_range(
     views: &GroupViews<'_>,
     filter: &CompiledFilter,
@@ -58,24 +59,24 @@ pub fn project_range(
     let mut out = QueryResult::with_capacity(out_width, range.len() / 4);
     let mut row_buf: Vec<Value> = vec![0; out_width];
     if views.len() == 1 {
-        let (data, width) = views.view(0);
-        match exprs {
-            [e] => {
-                for row in range {
-                    let tuple = &data[row * width..(row + 1) * width];
-                    if filter.matches_tuple(tuple) {
-                        out.push1(e.eval_tuple(tuple));
+        for run in views.runs(range) {
+            let (data, width) = run.view(0);
+            match exprs {
+                [e] => {
+                    for tuple in data.chunks_exact(width) {
+                        if filter.matches_tuple(tuple) {
+                            out.push1(e.eval_tuple(tuple));
+                        }
                     }
                 }
-            }
-            _ => {
-                for row in range {
-                    let tuple = &data[row * width..(row + 1) * width];
-                    if filter.matches_tuple(tuple) {
-                        for (slot, e) in row_buf.iter_mut().zip(exprs) {
-                            *slot = e.eval_tuple(tuple);
+                _ => {
+                    for tuple in data.chunks_exact(width) {
+                        if filter.matches_tuple(tuple) {
+                            for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                                *slot = e.eval_tuple(tuple);
+                            }
+                            out.push_row(&row_buf);
                         }
-                        out.push_row(&row_buf);
                     }
                 }
             }
@@ -125,22 +126,21 @@ pub fn aggregate_range(
             })
             .collect();
         if let Some(offsets) = col_offsets {
-            let (data, width) = views.view(0);
-            let (acc, matched) =
-                aggregate_cols_specialized(data, width, range, filter, aggs, &offsets);
+            let (acc, matched) = aggregate_cols_specialized(views, range, filter, aggs, &offsets);
             return aggs
                 .iter()
                 .zip(&acc)
                 .map(|((f, _), &raw)| AggState::from_parts(*f, raw, matched))
                 .collect();
         }
-        let (data, width) = views.view(0);
         let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-        for row in range {
-            let tuple = &data[row * width..(row + 1) * width];
-            if filter.matches_tuple(tuple) {
-                for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                    st.update(e.eval_tuple(tuple));
+        for run in views.runs(range) {
+            let (data, width) = run.view(0);
+            for tuple in data.chunks_exact(width) {
+                if filter.matches_tuple(tuple) {
+                    for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                        st.update(e.eval_tuple(tuple));
+                    }
                 }
             }
         }
@@ -161,11 +161,11 @@ pub fn aggregate_range(
 /// (template ii over one group): aggregates are grouped by function so the
 /// inner loop contains no dispatch at all, and a single shared counter
 /// tracks qualifying tuples (every bare-column aggregate folds exactly the
-/// same rows). Returns the raw accumulators plus the match count — the
-/// caller lifts them into mergeable [`AggState`] partials.
+/// same rows). The range is folded one contiguous segment run at a time.
+/// Returns the raw accumulators plus the match count — the caller lifts
+/// them into mergeable [`AggState`] partials.
 fn aggregate_cols_specialized(
-    data: &[Value],
-    width: usize,
+    views: &GroupViews<'_>,
     range: Range<usize>,
     filter: &CompiledFilter,
     aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
@@ -209,66 +209,70 @@ fn aggregate_cols_specialized(
         _ => None,
     };
     if let Some((f, base, k)) = dense {
-        for row in range {
-            let tuple = &data[row * width..(row + 1) * width];
-            if filter.matches_tuple(tuple) {
-                matched += 1;
-                let vals = &tuple[base..base + k];
-                match f {
-                    AggFunc::Max => {
-                        for (a, &v) in acc.iter_mut().zip(vals) {
-                            if v > *a {
-                                *a = v;
+        for run in views.runs(range) {
+            let (data, width) = run.view(0);
+            for tuple in data.chunks_exact(width) {
+                if filter.matches_tuple(tuple) {
+                    matched += 1;
+                    let vals = &tuple[base..base + k];
+                    match f {
+                        AggFunc::Max => {
+                            for (a, &v) in acc.iter_mut().zip(vals) {
+                                if v > *a {
+                                    *a = v;
+                                }
                             }
                         }
-                    }
-                    AggFunc::Min => {
-                        for (a, &v) in acc.iter_mut().zip(vals) {
-                            if v < *a {
-                                *a = v;
+                        AggFunc::Min => {
+                            for (a, &v) in acc.iter_mut().zip(vals) {
+                                if v < *a {
+                                    *a = v;
+                                }
                             }
                         }
-                    }
-                    AggFunc::Sum | AggFunc::Avg => {
-                        for (a, &v) in acc.iter_mut().zip(vals) {
-                            *a = a.wrapping_add(v);
+                        AggFunc::Sum | AggFunc::Avg => {
+                            for (a, &v) in acc.iter_mut().zip(vals) {
+                                *a = a.wrapping_add(v);
+                            }
                         }
+                        AggFunc::Count => {}
                     }
-                    AggFunc::Count => {}
                 }
             }
         }
         return (acc, matched);
     }
 
-    for row in range {
-        let tuple = &data[row * width..(row + 1) * width];
-        if filter.matches_tuple(tuple) {
-            matched += 1;
-            for (f, items) in &groups {
-                match f {
-                    AggFunc::Max => {
-                        for &(i, off) in items {
-                            let v = tuple[off];
-                            if v > acc[i] {
-                                acc[i] = v;
+    for run in views.runs(range) {
+        let (data, width) = run.view(0);
+        for tuple in data.chunks_exact(width) {
+            if filter.matches_tuple(tuple) {
+                matched += 1;
+                for (f, items) in &groups {
+                    match f {
+                        AggFunc::Max => {
+                            for &(i, off) in items {
+                                let v = tuple[off];
+                                if v > acc[i] {
+                                    acc[i] = v;
+                                }
                             }
                         }
-                    }
-                    AggFunc::Min => {
-                        for &(i, off) in items {
-                            let v = tuple[off];
-                            if v < acc[i] {
-                                acc[i] = v;
+                        AggFunc::Min => {
+                            for &(i, off) in items {
+                                let v = tuple[off];
+                                if v < acc[i] {
+                                    acc[i] = v;
+                                }
                             }
                         }
-                    }
-                    AggFunc::Sum | AggFunc::Avg => {
-                        for &(i, off) in items {
-                            acc[i] = acc[i].wrapping_add(tuple[off]);
+                        AggFunc::Sum | AggFunc::Avg => {
+                            for &(i, off) in items {
+                                acc[i] = acc[i].wrapping_add(tuple[off]);
+                            }
                         }
+                        AggFunc::Count => {}
                     }
-                    AggFunc::Count => {}
                 }
             }
         }

@@ -171,12 +171,13 @@ fn aggregate_gather_specialized(
             _ => 0,
         })
         .collect();
-    let resolved: Vec<(&[Value], usize)> = segs.iter().map(|s| views.view(s.slot)).collect();
+    let resolved: Vec<crate::bind::SlotAccessor<'_, '_>> =
+        segs.iter().map(|s| views.accessor(s.slot)).collect();
     for &row in ids {
         let row = row as usize;
-        for (seg, &(data, w)) in segs.iter().zip(&resolved) {
-            let base = row * w + seg.off_base;
-            let vals = &data[base..base + seg.len];
+        for (seg, acc_slot) in segs.iter().zip(&resolved) {
+            let tuple = acc_slot.tuple(row);
+            let vals = &tuple[seg.off_base..seg.off_base + seg.len];
             let accs = &mut acc[seg.acc_base..seg.acc_base + seg.len];
             match seg.func {
                 AggFunc::Max => {

@@ -77,7 +77,7 @@ pub mod program;
 pub mod reorg;
 pub mod selvec;
 
-pub use bind::{BoundAttr, GroupViews};
+pub use bind::{BoundAttr, GroupViews, SegRun, SlotAccessor};
 pub use compile::{
     compile, execute, execute_with_policy, execute_with_views, execute_with_views_policy,
     CompiledOp, ExecError,

@@ -99,6 +99,26 @@ impl ExecPolicy {
         let start = i * m;
         start..((start + m).min(rows))
     }
+
+    /// Aligns morsel boundaries to the storage's segment granularity
+    /// (`seg_rows` per segment, a power of two): when a morsel spans
+    /// multiple segments, its size is rounded down to a whole number of
+    /// segments so every morsel visits only complete segment runs (one
+    /// boundary crossing per segment, none per morsel). Morsels smaller
+    /// than a segment are left alone — they already lie within one
+    /// segment except at its edges, and shrinking them to zero would be
+    /// wrong. Pure perf plumbing: results are bit-identical for any
+    /// morsel shape.
+    pub fn aligned_to(&self, seg_rows: usize) -> ExecPolicy {
+        let m = self.morsel_rows.max(1);
+        if seg_rows <= 1 || m <= seg_rows {
+            return *self;
+        }
+        ExecPolicy {
+            morsel_rows: m / seg_rows * seg_rows,
+            ..*self
+        }
+    }
 }
 
 impl Default for ExecPolicy {
@@ -172,45 +192,6 @@ where
     F: Fn(&[I]) -> T + Sync,
 {
     run_morsels(items.len(), policy, |range| f(&items[range]))
-}
-
-/// Fills `data` (a `rows * width` row-major buffer) by handing each worker
-/// disjoint morsel-aligned blocks: `f(range, block)` must write the tuples
-/// of `range` into `block` (which is exactly `range.len() * width` long).
-/// Blocks are assigned round-robin, so the split is static — appropriate
-/// for gather loops whose per-row cost is uniform.
-pub fn fill_morsels<T, F>(data: &mut [T], rows: usize, width: usize, policy: &ExecPolicy, f: F)
-where
-    T: Send,
-    F: Fn(Range<usize>, &mut [T]) + Sync,
-{
-    assert_eq!(data.len(), rows * width, "buffer/shape mismatch");
-    if width == 0 || rows == 0 {
-        return;
-    }
-    let m = policy.morsel_rows.max(1);
-    if policy.is_serial_for(rows) {
-        for (i, block) in data.chunks_mut(m * width).enumerate() {
-            f(policy.morsel(rows, i), block);
-        }
-        return;
-    }
-    let workers = policy.threads().min(policy.morsel_count(rows));
-    // Partition the blocks round-robin among workers; each worker owns its
-    // disjoint set of `&mut` blocks, so no synchronization is needed.
-    let mut assignments: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, block) in data.chunks_mut(m * width).enumerate() {
-        assignments[i % workers].push((i, block));
-    }
-    std::thread::scope(|s| {
-        for blocks in assignments {
-            s.spawn(|| {
-                for (i, block) in blocks {
-                    f(policy.morsel(rows, i), block);
-                }
-            });
-        }
-    });
 }
 
 #[cfg(test)]
@@ -291,29 +272,23 @@ mod tests {
     }
 
     #[test]
-    fn fill_morsels_writes_every_slot() {
-        let rows = 503;
-        let width = 3;
-        for p in [policy(4, 64), ExecPolicy::serial()] {
-            let mut data = vec![0i64; rows * width];
-            fill_morsels(&mut data, rows, width, &p, |range, block| {
-                for (k, row) in range.clone().enumerate() {
-                    for c in 0..width {
-                        block[k * width + c] = (row * width + c) as i64;
-                    }
-                }
-            });
-            let want: Vec<i64> = (0..(rows * width) as i64).collect();
-            assert_eq!(data, want);
-        }
-    }
-
-    #[test]
     fn zero_rows_are_fine() {
         let p = policy(4, 8);
         assert!(run_morsels(0, &p, |r| r.len()).is_empty());
-        let mut empty: Vec<i64> = Vec::new();
-        fill_morsels(&mut empty, 0, 3, &p, |_, _| panic!("no work expected"));
+    }
+
+    #[test]
+    fn aligned_to_rounds_multi_segment_morsels_only() {
+        let p = policy(4, 100_000);
+        // Spans multiple 65 536-row segments: rounded down to one whole
+        // segment.
+        assert_eq!(p.aligned_to(65_536).morsel_rows, 65_536);
+        assert_eq!(policy(4, 200_000).aligned_to(65_536).morsel_rows, 196_608);
+        // Smaller than a segment: untouched.
+        assert_eq!(policy(4, 512).aligned_to(65_536).morsel_rows, 512);
+        // Degenerate granularities: untouched.
+        assert_eq!(policy(4, 100).aligned_to(1).morsel_rows, 100);
+        assert_eq!(policy(4, 100).aligned_to(0).morsel_rows, 100);
     }
 
     #[test]

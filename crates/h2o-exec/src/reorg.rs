@@ -28,12 +28,13 @@ use crate::bind::{BoundAttr, GroupViews};
 use crate::compile::ExecError;
 use crate::filter::{CompiledFilter, CompiledPred};
 use crate::kernels::SelectProgram;
-use crate::parallel::{fill_morsels, run_morsels, ExecPolicy};
+use crate::parallel::{run_morsels, ExecPolicy};
 use crate::program::CompiledExpr;
 use h2o_expr::agg::AggState;
 use h2o_expr::{Query, QueryResult};
 use h2o_storage::catalog::CoverPolicy;
-use h2o_storage::{AttrId, ColumnGroup, GroupBuilder, LayoutCatalog, Value};
+use h2o_storage::{AttrId, ColumnGroup, GroupBuilder, LayoutCatalog, Value, DEFAULT_SEG_SHIFT};
+use std::ops::Range;
 
 /// Resolves, for each target attribute in order, where to read it from the
 /// chosen source groups: `(slot, offset)` pairs in plan-slot space.
@@ -65,6 +66,60 @@ fn source_bindings(
     Ok((layouts, bindings))
 }
 
+/// The policy the reorganization builders use to fill the new group's
+/// payload: one morsel per **output segment**
+/// (`1 << DEFAULT_SEG_SHIFT` rows), so each worker hands back a sealed
+/// segment that [`ColumnGroup::from_segments`] adopts without a
+/// re-chunking copy. Thread count and serial threshold pass through.
+fn segment_build_policy(policy: &ExecPolicy) -> ExecPolicy {
+    ExecPolicy {
+        morsel_rows: 1usize << DEFAULT_SEG_SHIFT,
+        ..*policy
+    }
+}
+
+/// Wraps morsel-built segment payloads into the finished group.
+fn group_from_payloads(
+    target_attrs: &[AttrId],
+    rows: usize,
+    payloads: Vec<Vec<Value>>,
+) -> ColumnGroup {
+    ColumnGroup::from_segments(
+        h2o_storage::LayoutId(u32::MAX),
+        target_attrs.to_vec(),
+        rows,
+        payloads,
+        DEFAULT_SEG_SHIFT,
+    )
+    .expect("morsel blocks are exactly the output segments")
+}
+
+/// Stitches every row of `range`: resolves each binding's source slice once
+/// per segment run, fills `tuple` per row, and hands it to `per_row`.
+fn stitch_each(
+    views: &GroupViews<'_>,
+    bindings: &[BoundAttr],
+    range: Range<usize>,
+    tuple: &mut [Value],
+    per_row: &mut dyn FnMut(&[Value]),
+) {
+    for run in views.runs(range) {
+        let resolved: Vec<(&[Value], usize, usize)> = bindings
+            .iter()
+            .map(|b| {
+                let (d, w) = run.view(b.slot);
+                (d, w, b.offset as usize)
+            })
+            .collect();
+        for k in 0..run.len() {
+            for (slot, &(d, w, off)) in tuple.iter_mut().zip(&resolved) {
+                *slot = d[k * w + off];
+            }
+            per_row(tuple);
+        }
+    }
+}
+
 /// Offline reorganization: builds a new group over `target_attrs` (in this
 /// physical order) by stitching from the existing layouts, serially. Does
 /// **not** admit the group to the catalog — the caller decides (and
@@ -76,10 +131,12 @@ pub fn materialize(
     materialize_with(catalog, target_attrs, &ExecPolicy::serial())
 }
 
-/// [`materialize`] under a parallelism policy: the gather loops fill
-/// disjoint morsel-aligned blocks of the new group's payload on worker
-/// threads. The output is byte-identical to the serial build (each block is
-/// a pure function of its row range).
+/// [`materialize`] under a parallelism policy: worker threads each build
+/// whole **output segments** of the new group's payload (morsel boundaries
+/// are aligned to segments, so every block workers hand back is a sealed
+/// segment adopted without a re-chunking copy). The output is
+/// byte-identical to the serial build (each segment is a pure function of
+/// its row range).
 pub fn materialize_with(
     catalog: &LayoutCatalog,
     target_attrs: &[AttrId],
@@ -90,24 +147,23 @@ pub fn materialize_with(
     let rows = views.rows();
     let width = target_attrs.len();
     // Column-wise fill: for each target attribute, stride through its
-    // source group once. Sequential reads per source, strided writes.
-    let mut data = vec![0 as Value; rows * width];
-    fill_morsels(&mut data, rows, width, policy, |range, block| {
+    // source group one segment run at a time. Sequential reads per source,
+    // strided writes.
+    let payloads = run_morsels(rows, &segment_build_policy(policy), |range| {
+        let mut block = vec![0 as Value; range.len() * width];
         for (t, &b) in bindings.iter().enumerate() {
-            let (src, src_w) = views.view(b.slot);
             let off = b.offset as usize;
-            for (k, row) in range.clone().enumerate() {
-                block[k * width + t] = src[row * src_w + off];
+            for run in views.runs(range.clone()) {
+                let (src, src_w) = run.view(b.slot);
+                let base = run.start() - range.start;
+                for k in 0..run.len() {
+                    block[(base + k) * width + t] = src[k * src_w + off];
+                }
             }
         }
+        block
     });
-    Ok(ColumnGroup::from_parts(
-        h2o_storage::LayoutId(u32::MAX),
-        target_attrs.to_vec(),
-        rows,
-        data,
-    )
-    .expect("bindings guarantee shape"))
+    Ok(group_from_payloads(target_attrs, rows, payloads))
 }
 
 /// Offline reorganization through the **same row-wise stitch loop** the
@@ -124,7 +180,7 @@ pub fn materialize_rowwise(
 }
 
 /// [`materialize_rowwise`] under a parallelism policy: each worker runs the
-/// same row-wise stitch loop over its own morsel-aligned block.
+/// same row-wise stitch loop over its own whole output segment.
 pub fn materialize_rowwise_with(
     catalog: &LayoutCatalog,
     target_attrs: &[AttrId],
@@ -134,29 +190,15 @@ pub fn materialize_rowwise_with(
     let views = GroupViews::resolve(catalog, &layouts)?;
     let rows = views.rows();
     let width = target_attrs.len();
-    let resolved: Vec<(&[Value], usize, usize)> = bindings
-        .iter()
-        .map(|b| {
-            let (data, w) = views.view(b.slot);
-            (data, w, b.offset as usize)
-        })
-        .collect();
-    let mut data = vec![0 as Value; rows * width];
-    fill_morsels(&mut data, rows, width, policy, |range, block| {
-        for (k, row) in range.clone().enumerate() {
-            let tuple = &mut block[k * width..(k + 1) * width];
-            for (slot, &(src, w, off)) in tuple.iter_mut().zip(&resolved) {
-                *slot = src[row * w + off];
-            }
-        }
+    let payloads = run_morsels(rows, &segment_build_policy(policy), |range| {
+        let mut block = Vec::with_capacity(range.len() * width);
+        let mut tuple = vec![0 as Value; width];
+        stitch_each(&views, &bindings, range, &mut tuple, &mut |t| {
+            block.extend_from_slice(t);
+        });
+        block
     });
-    Ok(ColumnGroup::from_parts(
-        h2o_storage::LayoutId(u32::MAX),
-        target_attrs.to_vec(),
-        rows,
-        data,
-    )
-    .expect("bindings guarantee shape"))
+    Ok(group_from_payloads(target_attrs, rows, payloads))
 }
 
 /// Lowers `query` so every attribute reference indexes a stitched tuple of
@@ -266,48 +308,23 @@ pub fn reorg_and_execute_with(
     let rows = views.rows();
     let width = target_attrs.len();
 
-    // Resolve each binding to a raw (slice, stride, offset) triple once so
-    // the per-row stitch loop is three indexed loads, not slot lookups.
-    let resolved: Vec<(&[Value], usize, usize)> = bindings
-        .iter()
-        .map(|b| {
-            let (data, w) = views.view(b.slot);
-            (data, w, b.offset as usize)
-        })
-        .collect();
-
     if !policy.is_serial_for(rows) {
-        let finish_group = |blocks: Vec<&Vec<Value>>| -> ColumnGroup {
-            let mut data = Vec::with_capacity(rows * width);
-            for b in blocks {
-                data.extend_from_slice(b);
-            }
-            ColumnGroup::from_parts(
-                h2o_storage::LayoutId(u32::MAX),
-                target_attrs.to_vec(),
-                rows,
-                data,
-            )
-            .expect("morsel blocks cover exactly the relation")
-        };
-        // One morsel's work: stitch each row's working tuple, store its
+        // One morsel = one output segment: stitch each row's working
+        // tuple (source slices resolved once per segment run), store its
         // target prefix, evaluate the query over it.
-        let stitch_block =
-            |range: std::ops::Range<usize>, per_row: &mut dyn FnMut(&[Value])| -> Vec<Value> {
-                let mut block = Vec::with_capacity(range.len() * width);
-                let mut tuple = vec![0 as Value; tuple_attrs.len()];
-                for row in range {
-                    for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
-                        *slot = data[row * w + off];
-                    }
-                    block.extend_from_slice(&tuple[..width]);
-                    per_row(&tuple);
-                }
-                block
-            };
+        let stitch_block = |range: Range<usize>, per_row: &mut dyn FnMut(&[Value])| -> Vec<Value> {
+            let mut block = Vec::with_capacity(range.len() * width);
+            let mut tuple = vec![0 as Value; tuple_attrs.len()];
+            stitch_each(&views, &bindings, range, &mut tuple, &mut |t| {
+                block.extend_from_slice(&t[..width]);
+                per_row(t);
+            });
+            block
+        };
+        let build = segment_build_policy(policy);
         return match &select {
             SelectProgram::Aggregate(aggs) => {
-                let parts: Vec<(Vec<Value>, Vec<AggState>)> = run_morsels(rows, policy, |range| {
+                let parts: Vec<(Vec<Value>, Vec<AggState>)> = run_morsels(rows, &build, |range| {
                     let mut states: Vec<AggState> =
                         aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
                     let block = stitch_block(range, &mut |tuple| {
@@ -323,12 +340,16 @@ pub fn reorg_and_execute_with(
                     aggs,
                     parts.iter().map(|(_, states)| states.clone()).collect(),
                 );
-                let group = finish_group(parts.iter().map(|(b, _)| b).collect());
+                let group = group_from_payloads(
+                    target_attrs,
+                    rows,
+                    parts.into_iter().map(|(b, _)| b).collect(),
+                );
                 Ok((group, out))
             }
             SelectProgram::Project(exprs) => {
                 let out_width = exprs.len();
-                let parts: Vec<(Vec<Value>, QueryResult)> = run_morsels(rows, policy, |range| {
+                let parts: Vec<(Vec<Value>, QueryResult)> = run_morsels(rows, &build, |range| {
                     let mut out = QueryResult::with_capacity(out_width, range.len() / 4);
                     let mut row_buf = vec![0 as Value; out_width];
                     let block = stitch_block(range, &mut |tuple| {
@@ -346,7 +367,11 @@ pub fn reorg_and_execute_with(
                 for (_, r) in &parts {
                     out.append(r);
                 }
-                let group = finish_group(parts.iter().map(|(b, _)| b).collect());
+                let group = group_from_payloads(
+                    target_attrs,
+                    rows,
+                    parts.into_iter().map(|(b, _)| b).collect(),
+                );
                 Ok((group, out))
             }
         };
@@ -390,14 +415,11 @@ pub fn reorg_and_execute_with(
                     k
                 ];
                 let mut matched: u64 = 0;
-                for row in 0..rows {
-                    for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
-                        *slot = data[row * w + off];
-                    }
-                    builder.push_tuple(&tuple[..width]);
-                    if filter.matches_tuple(&tuple) {
+                stitch_each(&views, &bindings, 0..rows, &mut tuple, &mut |t| {
+                    builder.push_tuple(&t[..width]);
+                    if filter.matches_tuple(t) {
                         matched += 1;
-                        let vals = &tuple[base..base + k];
+                        let vals = &t[base..base + k];
                         match func {
                             AggFunc::Max => {
                                 for (a, &v) in acc.iter_mut().zip(vals) {
@@ -421,24 +443,21 @@ pub fn reorg_and_execute_with(
                             AggFunc::Count => {}
                         }
                     }
-                }
+                });
                 let row = crate::kernels::fused::finish_specialized(aggs, &acc, matched);
                 let mut out = QueryResult::new(aggs.len());
                 out.push_row(&row);
                 return Ok((builder.finish(), out));
             }
             let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-            for row in 0..rows {
-                for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
-                    *slot = data[row * w + off];
-                }
-                builder.push_tuple(&tuple[..width]);
-                if filter.matches_tuple(&tuple) {
+            stitch_each(&views, &bindings, 0..rows, &mut tuple, &mut |t| {
+                builder.push_tuple(&t[..width]);
+                if filter.matches_tuple(t) {
                     for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                        st.update(e.eval_tuple(&tuple));
+                        st.update(e.eval_tuple(t));
                     }
                 }
-            }
+            });
             let mut out = QueryResult::new(aggs.len());
             let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
             out.push_row(&row);
@@ -448,18 +467,15 @@ pub fn reorg_and_execute_with(
             let out_width = exprs.len();
             let mut out = QueryResult::with_capacity(out_width, rows / 4);
             let mut row_buf = vec![0 as Value; out_width];
-            for row in 0..rows {
-                for (slot, &(data, w, off)) in tuple.iter_mut().zip(&resolved) {
-                    *slot = data[row * w + off];
-                }
-                builder.push_tuple(&tuple[..width]);
-                if filter.matches_tuple(&tuple) {
+            stitch_each(&views, &bindings, 0..rows, &mut tuple, &mut |t| {
+                builder.push_tuple(&t[..width]);
+                if filter.matches_tuple(t) {
                     for (slot, e) in row_buf.iter_mut().zip(exprs) {
-                        *slot = e.eval_tuple(&tuple);
+                        *slot = e.eval_tuple(t);
                     }
                     out.push_row(&row_buf);
                 }
-            }
+            });
             Ok((builder.finish(), out))
         }
     }
@@ -516,7 +532,7 @@ mod tests {
             let (group, result) = reorg_and_execute(r.catalog(), &attrs, &q).unwrap();
             // Group identical to offline materialization.
             let offline = materialize(r.catalog(), &attrs).unwrap();
-            assert_eq!(group.data(), offline.data());
+            assert_eq!(group.collect_values(), offline.collect_values());
             // Result identical to the reference interpreter.
             let want = interpret(r.catalog(), &q).unwrap();
             assert_eq!(result.fingerprint(), want.fingerprint());
@@ -557,7 +573,7 @@ mod tests {
             "extra attrs not stored"
         );
         let offline = materialize(r.catalog(), &[AttrId(0), AttrId(1)]).unwrap();
-        assert_eq!(group.data(), offline.data());
+        assert_eq!(group.collect_values(), offline.collect_values());
         let want = interpret(r.catalog(), &q).unwrap();
         assert_eq!(result.fingerprint(), want.fingerprint());
     }

@@ -8,7 +8,7 @@
 
 use crate::attrset::AttrSet;
 use crate::error::StorageError;
-use crate::group::ColumnGroup;
+use crate::group::{AppendDelta, ColumnGroup};
 use crate::schema::Schema;
 use crate::types::{AttrId, Epoch, LayoutId, Value};
 use std::collections::BTreeMap;
@@ -73,8 +73,10 @@ pub enum CoverPolicy {
 ///
 /// Groups are stored behind `Arc`s: cloning the catalog (the copy-on-write
 /// step of every snapshot publish) duplicates only the id → group table.
-/// Group payloads are copied lazily, and only by the one mutation that
-/// actually rewrites them ([`Self::append_row`] via `Arc::make_mut`).
+/// Group payloads are segmented ([`ColumnGroup`]) and copied lazily at
+/// segment granularity, only by the one mutation that actually rewrites
+/// them ([`Self::append_row`] via `Arc::make_mut`, which clones at most
+/// each group's shared tail segment).
 #[derive(Debug, Clone)]
 pub struct LayoutCatalog {
     schema: Arc<Schema>,
@@ -318,9 +320,15 @@ impl LayoutCatalog {
     /// expensive"); the cost is proportional to the number of coexisting
     /// layouts, which is exactly the trade-off an adaptive multi-layout
     /// store makes.
-    pub fn append_row(&mut self, tuple: &[Value]) -> Result<(), StorageError> {
+    ///
+    /// Returns the copy-on-write accounting: if a published snapshot still
+    /// shares a group's *tail segment*, the first append clones that one
+    /// segment (never the sealed ones), so a batch against a shared
+    /// catalog costs O(batch + one tail segment per group) — not
+    /// O(relation) as the monolithic representation did.
+    pub fn append_row(&mut self, tuple: &[Value]) -> Result<AppendDelta, StorageError> {
         if tuple.len() != self.schema.len() {
-            return Err(StorageError::RowCountMismatch {
+            return Err(StorageError::WidthMismatch {
                 expected: self.schema.len(),
                 got: tuple.len(),
             });
@@ -331,24 +339,30 @@ impl LayoutCatalog {
         for g in self.groups.values() {
             projections.push(g.attrs().iter().map(|a| tuple[a.index()]).collect());
         }
+        let mut delta = AppendDelta::default();
         for (g, proj) in self.groups.values_mut().zip(projections) {
             // Copy-on-write: if a published snapshot still shares this
-            // group's payload, `make_mut` clones it once; within a batch the
-            // clone is already unique and appends are in-place.
-            Arc::make_mut(g)
-                .append_tuple(&proj)
-                .expect("projection width matches");
+            // group, `make_mut` clones only its segment pointer table; the
+            // group then clones (at most) its shared tail segment. Within a
+            // batch everything is already unique and appends are in-place.
+            delta.absorb(
+                Arc::make_mut(g)
+                    .append_tuple(&proj)
+                    .expect("projection width matches"),
+            );
         }
         self.rows += 1;
-        Ok(())
+        Ok(delta)
     }
 
-    /// Appends many tuples (see [`Self::append_row`]).
-    pub fn append_rows(&mut self, tuples: &[Vec<Value>]) -> Result<(), StorageError> {
+    /// Appends many tuples (see [`Self::append_row`]), returning the
+    /// accumulated copy-on-write accounting for the whole batch.
+    pub fn append_rows(&mut self, tuples: &[Vec<Value>]) -> Result<AppendDelta, StorageError> {
+        let mut delta = AppendDelta::default();
         for t in tuples {
-            self.append_row(t)?;
+            delta.absorb(self.append_row(t)?);
         }
-        Ok(())
+        Ok(delta)
     }
 
     /// The id of the least-recently-used group that can be dropped without
@@ -578,12 +592,33 @@ mod tests {
     #[test]
     fn append_row_rejects_wrong_width() {
         let mut cat = catalog_with(&[&[0, 1]], 2);
-        assert!(matches!(
-            cat.append_row(&[1]),
-            Err(StorageError::RowCountMismatch { .. })
-        ));
+        assert_eq!(
+            cat.append_row(&[1]).unwrap_err(),
+            StorageError::WidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
         assert_eq!(cat.rows(), 2, "failed append must not change state");
         assert!(cat.groups().all(|g| g.rows() == 2));
+    }
+
+    #[test]
+    fn append_after_clone_clones_only_tail_segments() {
+        // A clone (what publishing a snapshot does) shares every segment;
+        // the next append must clone exactly one tail segment per group,
+        // not the groups' whole payloads.
+        let mut cat = catalog_with(&[&[0, 1], &[2]], 4);
+        let snapshot = cat.clone();
+        let delta = cat.append_row(&[7, 8, 9]).unwrap();
+        // Tails: 4 rows × (width 2 + width 1) values × 8 bytes.
+        assert_eq!(delta.bytes_cloned, (4 * 3 * 8) as u64);
+        // Second row of the same batch: everything already unique.
+        let delta = cat.append_row(&[1, 2, 3]).unwrap();
+        assert_eq!(delta.bytes_cloned, 0);
+        assert_eq!(cat.rows(), 6);
+        assert_eq!(snapshot.rows(), 4, "clone keeps its own payloads");
+        assert!(snapshot.groups().all(|g| g.rows() == 4));
     }
 
     #[test]

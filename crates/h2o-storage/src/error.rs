@@ -24,8 +24,20 @@ pub enum StorageError {
     EmptyGroup,
     /// Attempted to build a group with a duplicated attribute.
     DuplicateAttr(AttrId),
-    /// Row counts of the inputs to a group build disagree.
+    /// Row counts of the inputs to a group build disagree. Both fields are
+    /// denominated in **rows**.
     RowCountMismatch { expected: usize, got: usize },
+    /// A tuple (or attribute/column list) has the wrong width. Both fields
+    /// are denominated in values-per-tuple.
+    WidthMismatch { expected: usize, got: usize },
+    /// A pre-built payload segment has the wrong shape: every segment but
+    /// the last must hold exactly the segment capacity, and the last must
+    /// be a non-empty whole number of tuples. Fields are in rows.
+    BadSegment {
+        index: usize,
+        expected: usize,
+        got: usize,
+    },
     /// Dropping this group would leave some attribute with no layout at all.
     WouldUncover(AttrId),
     /// The existing groups do not cover the requested attribute set.
@@ -46,7 +58,20 @@ impl fmt::Display for StorageError {
                 write!(f, "attribute {a} appears twice in the group definition")
             }
             StorageError::RowCountMismatch { expected, got } => {
-                write!(f, "row count mismatch: expected {expected}, got {got}")
+                write!(f, "row count mismatch: expected {expected} rows, got {got}")
+            }
+            StorageError::WidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple width mismatch: expected {expected} values, got {got}"
+                )
+            }
+            StorageError::BadSegment {
+                index,
+                expected,
+                got,
+            } => {
+                write!(f, "segment {index} holds {got} rows, expected {expected}")
             }
             StorageError::WouldUncover(a) => {
                 write!(
@@ -78,6 +103,28 @@ mod tests {
         assert!(StorageError::EmptyGroup
             .to_string()
             .contains("must contain"));
+    }
+
+    #[test]
+    fn row_count_and_width_mismatches_render_their_units() {
+        // Regression: `expected` and `got` once mixed units (values vs
+        // rows); both variants now state their denomination explicitly.
+        let rows = StorageError::RowCountMismatch {
+            expected: 3,
+            got: 4,
+        };
+        assert_eq!(
+            rows.to_string(),
+            "row count mismatch: expected 3 rows, got 4"
+        );
+        let width = StorageError::WidthMismatch {
+            expected: 2,
+            got: 5,
+        };
+        assert_eq!(
+            width.to_string(),
+            "tuple width mismatch: expected 2 values, got 5"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Column groups — the single physical layout primitive.
 //!
 //! A [`ColumnGroup`] stores a subset of the relation's attributes for *all*
-//! tuples, row-major **within the group**: tuple `i`'s values occupy the
-//! contiguous slice `data[i*width .. (i+1)*width]`. The three layouts of the
+//! tuples, row-major **within the group**: tuple `i`'s values occupy a
+//! contiguous slice of `width()` values. The three layouts of the
 //! paper (§3.1, Fig. 4) are all instances:
 //!
 //! * width 1 → a plain column (DSM),
@@ -12,11 +12,56 @@
 //! Attributes are densely packed with no padding or per-tuple header, as in
 //! the paper ("attributes are densely-packed and no additional space is left
 //! for updates").
+//!
+//! # Segmented payloads
+//!
+//! The payload is **not** one monolithic array: it is a sequence of
+//! `Arc`-shared *segments* of `1 << seg_shift` rows each (`2^16 = 65 536`
+//! by default, [`DEFAULT_SEG_SHIFT`]). Every segment except the last is
+//! exactly full ("sealed"); the last segment is the mutable *tail* that
+//! appends grow. Rows map to segments by shift/mask, so point access costs
+//! one extra indexed load over the monolithic representation, while scans
+//! iterate whole-segment contiguous slices (`h2o-exec` binds them as
+//! per-segment views and runs its tight loops over *segment runs*).
+//!
+//! Segmentation is what makes copy-on-write appends cheap: cloning a group
+//! copies only the segment *pointer table*; appending then clones (at most)
+//! the shared tail segment via `Arc::make_mut`, so a write batch against a
+//! snapshot-shared group costs O(batch + one tail segment), not O(relation)
+//! — see [`LayoutCatalog::append_row`](crate::catalog::LayoutCatalog::append_row).
 
 use crate::error::StorageError;
 use crate::types::{AttrId, LayoutId, Value, VALUE_BYTES};
 use crate::AttrSet;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default log2 of rows per segment: 65 536-row segments. Large enough
+/// that sequential scans are effectively contiguous (one boundary per 64K
+/// rows) and that per-segment `Arc` overhead is noise; small enough that
+/// the copy-on-write unit (one tail segment) is a tiny fraction of any
+/// relation worth segmenting.
+pub const DEFAULT_SEG_SHIFT: u32 = 16;
+
+/// What one append did to a group's physical storage — the copy-on-write
+/// accounting surfaced as `EngineStats::bytes_cloned_on_write` /
+/// `segments_sealed` in `h2o-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendDelta {
+    /// Payload bytes copied because a snapshot still shared the tail
+    /// segment (the COW cost of the append; 0 once the tail is unique).
+    pub bytes_cloned: u64,
+    /// Segments that became full (immutable from now on) during the append.
+    pub segments_sealed: u64,
+}
+
+impl AppendDelta {
+    /// Accumulates another delta into this one.
+    pub fn absorb(&mut self, other: AppendDelta) {
+        self.bytes_cloned += other.bytes_cloned;
+        self.segments_sealed += other.segments_sealed;
+    }
+}
 
 /// A materialized vertical partition of the relation.
 #[derive(Debug, Clone)]
@@ -30,19 +75,122 @@ pub struct ColumnGroup {
     /// Same membership as `attrs`, as a bitset for coverage queries.
     attr_set: AttrSet,
     rows: usize,
-    /// Row-major strided payload, `rows * attrs.len()` values.
-    data: Vec<Value>,
+    /// log2 of rows per segment.
+    seg_shift: u32,
+    /// Row-major strided payload, split into `Arc`-shared segments of
+    /// `1 << seg_shift` rows (`* width` values) each; every segment but the
+    /// last is exactly full, the last is the append tail. Empty iff
+    /// `rows == 0`.
+    segments: Vec<Arc<Vec<Value>>>,
 }
 
 impl ColumnGroup {
-    /// Assembles a group from its parts. `data.len()` must equal
-    /// `rows * attrs.len()` and `attrs` must be non-empty and duplicate-free.
+    /// Assembles a group from a flat payload with the default segment size.
+    /// `data.len()` must equal `rows * attrs.len()` and `attrs` must be
+    /// non-empty and duplicate-free.
     pub fn from_parts(
         id: LayoutId,
         attrs: Vec<AttrId>,
         rows: usize,
         data: Vec<Value>,
     ) -> Result<Self, StorageError> {
+        Self::from_parts_with_shift(id, attrs, rows, data, DEFAULT_SEG_SHIFT)
+    }
+
+    /// [`Self::from_parts`] with an explicit segment size (`1 << seg_shift`
+    /// rows per segment). Small shifts exist for tests that want to
+    /// exercise many segments without huge relations; a shift large enough
+    /// that the whole relation fits one segment reproduces the monolithic
+    /// pre-segmentation behavior exactly.
+    pub fn from_parts_with_shift(
+        id: LayoutId,
+        attrs: Vec<AttrId>,
+        rows: usize,
+        data: Vec<Value>,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
+        let (offsets, attr_set) = Self::index_attrs(&attrs)?;
+        if data.len() != rows * attrs.len() {
+            // Both fields row-denominated (a partial trailing tuple rounds
+            // down — the message still pinpoints the mismatch).
+            return Err(StorageError::RowCountMismatch {
+                expected: rows,
+                got: data.len() / attrs.len(),
+            });
+        }
+        let cap_values = (1usize << seg_shift) * attrs.len();
+        let segments: Vec<Arc<Vec<Value>>> = if data.is_empty() {
+            Vec::new()
+        } else if data.len() <= cap_values {
+            // Common case (relation fits one segment): move, don't copy.
+            vec![Arc::new(data)]
+        } else {
+            data.chunks(cap_values)
+                .map(|c| Arc::new(c.to_vec()))
+                .collect()
+        };
+        Ok(ColumnGroup {
+            id,
+            attrs,
+            offsets,
+            attr_set,
+            rows,
+            seg_shift,
+            segments,
+        })
+    }
+
+    /// Assembles a group directly from pre-built segment payloads (the
+    /// zero-copy path for reorganization builders that emit sealed
+    /// segments). Every payload except the last must hold exactly
+    /// `1 << seg_shift` rows, the last must be non-empty, and together
+    /// they must hold `rows` tuples of `attrs.len()` values.
+    pub fn from_segments(
+        id: LayoutId,
+        attrs: Vec<AttrId>,
+        rows: usize,
+        payloads: Vec<Vec<Value>>,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
+        let (offsets, attr_set) = Self::index_attrs(&attrs)?;
+        let width = attrs.len();
+        let cap_rows = 1usize << seg_shift;
+        let cap_values = cap_rows * width;
+        for (i, p) in payloads.iter().enumerate() {
+            let interior = i + 1 < payloads.len();
+            let ok = p.len() % width == 0
+                && if interior {
+                    p.len() == cap_values
+                } else {
+                    !p.is_empty() && p.len() <= cap_values
+                };
+            if !ok {
+                return Err(StorageError::BadSegment {
+                    index: i,
+                    expected: cap_rows,
+                    got: p.len() / width,
+                });
+            }
+        }
+        let total: usize = payloads.iter().map(|p| p.len()).sum();
+        if total != rows * width {
+            return Err(StorageError::RowCountMismatch {
+                expected: rows,
+                got: total / width,
+            });
+        }
+        Ok(ColumnGroup {
+            id,
+            attrs,
+            offsets,
+            attr_set,
+            rows,
+            seg_shift,
+            segments: payloads.into_iter().map(Arc::new).collect(),
+        })
+    }
+
+    fn index_attrs(attrs: &[AttrId]) -> Result<(HashMap<AttrId, usize>, AttrSet), StorageError> {
         if attrs.is_empty() {
             return Err(StorageError::EmptyGroup);
         }
@@ -54,21 +202,7 @@ impl ColumnGroup {
             }
             attr_set.insert(a);
         }
-        let expected = rows * attrs.len();
-        if data.len() != expected {
-            return Err(StorageError::RowCountMismatch {
-                expected,
-                got: data.len() / attrs.len().max(1),
-            });
-        }
-        Ok(ColumnGroup {
-            id,
-            attrs,
-            offsets,
-            attr_set,
-            rows,
-            data,
-        })
+        Ok((offsets, attr_set))
     }
 
     /// The layout id assigned by the catalog.
@@ -115,13 +249,46 @@ impl ColumnGroup {
     /// Total payload size in bytes (feeds the I/O cost model).
     #[inline]
     pub fn bytes(&self) -> usize {
-        self.data.len() * VALUE_BYTES
+        self.rows * self.width() * VALUE_BYTES
     }
 
-    /// The raw strided payload. Kernels iterate this directly.
+    /// log2 of rows per segment.
     #[inline]
-    pub fn data(&self) -> &[Value] {
-        &self.data
+    pub fn seg_shift(&self) -> u32 {
+        self.seg_shift
+    }
+
+    /// Rows per (full) segment.
+    #[inline]
+    pub fn seg_rows(&self) -> usize {
+        1usize << self.seg_shift
+    }
+
+    /// Number of payload segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of full (sealed, immutable-from-now-on) segments.
+    pub fn sealed_segment_count(&self) -> usize {
+        let cap = self.seg_rows() * self.width();
+        self.segments.iter().filter(|s| s.len() == cap).count()
+    }
+
+    /// The raw per-segment payload slices, in row order. Kernels resolve
+    /// these once per scan and iterate contiguous segment runs.
+    pub fn segments(&self) -> impl Iterator<Item = &[Value]> {
+        self.segments.iter().map(|s| s.as_slice())
+    }
+
+    /// Flattens the payload into one contiguous vector (tests, oracles and
+    /// comparisons only — execution never needs the copy).
+    pub fn collect_values(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.rows * self.width());
+        for s in &self.segments {
+            out.extend_from_slice(s);
+        }
+        out
     }
 
     /// Whether the group stores `attr`.
@@ -144,17 +311,21 @@ impl ColumnGroup {
         })
     }
 
-    /// The `row`-th tuple as a contiguous slice of `width()` values.
+    /// The `row`-th tuple as a contiguous slice of `width()` values
+    /// (tuples never straddle segment boundaries).
     #[inline]
     pub fn tuple(&self, row: usize) -> &[Value] {
         let w = self.width();
-        &self.data[row * w..(row + 1) * w]
+        let seg = &self.segments[row >> self.seg_shift];
+        let base = (row & (self.seg_rows() - 1)) * w;
+        &seg[base..base + w]
     }
 
     /// A single cell.
     #[inline]
     pub fn value(&self, row: usize, offset: usize) -> Value {
-        self.data[row * self.width() + offset]
+        let seg = &self.segments[row >> self.seg_shift];
+        seg[(row & (self.seg_rows() - 1)) * self.width() + offset]
     }
 
     /// Reads attribute `attr` of tuple `row` (slow path; kernels resolve the
@@ -168,7 +339,11 @@ impl ColumnGroup {
     pub fn extract_column(&self, attr: AttrId) -> Result<Vec<Value>, StorageError> {
         let off = self.try_offset_of(attr)?;
         let w = self.width();
-        Ok((0..self.rows).map(|r| self.data[r * w + off]).collect())
+        let mut out = Vec::with_capacity(self.rows);
+        for seg in &self.segments {
+            out.extend(seg.chunks_exact(w).map(|t| t[off]));
+        }
+        Ok(out)
     }
 
     /// Appends one tuple, given the values of this group's attributes in
@@ -176,16 +351,53 @@ impl ColumnGroup {
     /// live group receives the projection of each inserted tuple, so all
     /// layouts stay row-aligned (see
     /// [`LayoutCatalog::append_row`](crate::catalog::LayoutCatalog::append_row)).
-    pub fn append_tuple(&mut self, values: &[Value]) -> Result<(), StorageError> {
-        if values.len() != self.width() {
-            return Err(StorageError::RowCountMismatch {
-                expected: self.width(),
+    ///
+    /// Copy-on-write granularity: if a published snapshot still shares the
+    /// *tail* segment, it is cloned once (at most one segment's bytes);
+    /// sealed segments are never touched. The returned [`AppendDelta`]
+    /// reports the bytes actually cloned and whether the tail sealed.
+    pub fn append_tuple(&mut self, values: &[Value]) -> Result<AppendDelta, StorageError> {
+        let w = self.width();
+        if values.len() != w {
+            return Err(StorageError::WidthMismatch {
+                expected: w,
                 got: values.len(),
             });
         }
-        self.data.extend_from_slice(values);
+        let cap_values = self.seg_rows() * w;
+        let mut delta = AppendDelta::default();
+        match self.segments.last_mut() {
+            Some(tail) if tail.len() < cap_values => {
+                if Arc::get_mut(tail).is_none() {
+                    delta.bytes_cloned = (tail.len() * VALUE_BYTES) as u64;
+                }
+                let t = Arc::make_mut(tail);
+                t.extend_from_slice(values);
+                if t.len() == cap_values {
+                    delta.segments_sealed = 1;
+                }
+            }
+            _ => {
+                // Tail full (or no segment yet): start a fresh segment.
+                // After sealing a segment the group is clearly under a
+                // sustained append workload, so reserve the whole next
+                // segment up front (one reallocation-free tail per group);
+                // a brand-new group starts small instead.
+                let cap = if self.segments.is_empty() {
+                    values.len()
+                } else {
+                    cap_values
+                };
+                let mut seg = Vec::with_capacity(cap);
+                seg.extend_from_slice(values);
+                self.segments.push(Arc::new(seg));
+                if cap_values == w {
+                    delta.segments_sealed = 1;
+                }
+            }
+        }
         self.rows += 1;
-        Ok(())
+        Ok(delta)
     }
 }
 
@@ -196,19 +408,34 @@ impl ColumnGroup {
 ///
 /// * [`GroupBuilder::push_tuple`] — row-at-a-time, used by the fused
 ///   reorganization operators that stitch a new group together *while
-///   scanning* (paper §3.2 "Data Reorganization");
+///   scanning* (paper §3.2 "Data Reorganization"); segments are sealed as
+///   they fill, so the finished group needs no re-chunking pass;
 /// * [`GroupBuilder::from_columns`] — bulk build from whole columns, used at
 ///   load time and by tests.
 #[derive(Debug)]
 pub struct GroupBuilder {
     attrs: Vec<AttrId>,
-    data: Vec<Value>,
+    seg_shift: u32,
+    /// Sealed (exactly full) segments.
+    sealed: Vec<Vec<Value>>,
+    /// The growing tail segment.
+    tail: Vec<Value>,
 }
 
 impl GroupBuilder {
     /// Starts a builder for a group storing `attrs` (in this physical
-    /// order). `rows_hint` pre-sizes the payload allocation.
+    /// order). `rows_hint` pre-sizes the tail allocation (capped at one
+    /// segment).
     pub fn new(attrs: Vec<AttrId>, rows_hint: usize) -> Result<Self, StorageError> {
+        Self::new_with_shift(attrs, rows_hint, DEFAULT_SEG_SHIFT)
+    }
+
+    /// [`Self::new`] with an explicit segment size.
+    pub fn new_with_shift(
+        attrs: Vec<AttrId>,
+        rows_hint: usize,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
         if attrs.is_empty() {
             return Err(StorageError::EmptyGroup);
         }
@@ -219,44 +446,74 @@ impl GroupBuilder {
             }
         }
         let width = attrs.len();
+        let hint = rows_hint.min(1usize << seg_shift) * width;
         Ok(GroupBuilder {
             attrs,
-            data: Vec::with_capacity(rows_hint * width),
+            seg_shift,
+            sealed: Vec::new(),
+            tail: Vec::with_capacity(hint),
         })
     }
 
-    /// Appends one tuple. `tuple` must have exactly the group's width; this
-    /// is a hot path for the reorganization kernels, so the check is a
-    /// `debug_assert`.
+    /// Appends one tuple, sealing the tail segment when it fills. `tuple`
+    /// must have exactly the group's width; this is a hot path for the
+    /// reorganization kernels, so the check is a `debug_assert`.
     #[inline]
     pub fn push_tuple(&mut self, tuple: &[Value]) {
         debug_assert_eq!(tuple.len(), self.attrs.len());
-        self.data.extend_from_slice(tuple);
+        self.tail.extend_from_slice(tuple);
+        if self.tail.len() == (1usize << self.seg_shift) * self.attrs.len() {
+            self.sealed.push(std::mem::take(&mut self.tail));
+        }
     }
 
     /// Number of tuples appended so far.
     pub fn rows(&self) -> usize {
-        self.data.len() / self.attrs.len()
+        (self.sealed.len() << self.seg_shift) + self.tail.len() / self.attrs.len()
     }
 
     /// Finishes the build. The id is a placeholder until the catalog admits
     /// the group (see [`LayoutCatalog::add_group`](crate::catalog::LayoutCatalog::add_group)).
-    pub fn finish(self) -> ColumnGroup {
-        let rows = self.data.len() / self.attrs.len();
-        ColumnGroup::from_parts(LayoutId(u32::MAX), self.attrs, rows, self.data)
-            .expect("builder maintains invariants")
+    pub fn finish(mut self) -> ColumnGroup {
+        let rows = self.rows();
+        if !self.tail.is_empty() {
+            self.sealed.push(self.tail);
+        }
+        ColumnGroup::from_segments(
+            LayoutId(u32::MAX),
+            self.attrs,
+            rows,
+            self.sealed,
+            self.seg_shift,
+        )
+        .expect("builder maintains invariants")
     }
 
-    /// Bulk-builds a group from per-attribute columns. All columns must have
-    /// the same length.
+    /// Bulk-builds a group from per-attribute columns (default segment
+    /// size). All columns must have the same length, and there must be
+    /// exactly one column per attribute.
     pub fn from_columns(
         attrs: Vec<AttrId>,
         columns: &[&[Value]],
     ) -> Result<ColumnGroup, StorageError> {
+        Self::from_columns_with_shift(attrs, columns, DEFAULT_SEG_SHIFT)
+    }
+
+    /// [`Self::from_columns`] with an explicit segment size.
+    pub fn from_columns_with_shift(
+        attrs: Vec<AttrId>,
+        columns: &[&[Value]],
+        seg_shift: u32,
+    ) -> Result<ColumnGroup, StorageError> {
         if attrs.is_empty() || columns.is_empty() {
             return Err(StorageError::EmptyGroup);
         }
-        assert_eq!(attrs.len(), columns.len(), "one column per attribute");
+        if attrs.len() != columns.len() {
+            return Err(StorageError::WidthMismatch {
+                expected: attrs.len(),
+                got: columns.len(),
+            });
+        }
         let rows = columns[0].len();
         for c in columns {
             if c.len() != rows {
@@ -267,13 +524,21 @@ impl GroupBuilder {
             }
         }
         let width = attrs.len();
-        let mut data = vec![0; rows * width];
-        for (off, col) in columns.iter().enumerate() {
-            for (r, &v) in col.iter().enumerate() {
-                data[r * width + off] = v;
+        let seg_rows = 1usize << seg_shift;
+        let mut payloads = Vec::with_capacity(rows.div_ceil(seg_rows.max(1)));
+        let mut start = 0usize;
+        while start < rows {
+            let end = (start + seg_rows).min(rows);
+            let mut seg = vec![0 as Value; (end - start) * width];
+            for (off, col) in columns.iter().enumerate() {
+                for (k, &v) in col[start..end].iter().enumerate() {
+                    seg[k * width + off] = v;
+                }
             }
+            payloads.push(seg);
+            start = end;
         }
-        ColumnGroup::from_parts(LayoutId(u32::MAX), attrs, rows, data)
+        ColumnGroup::from_segments(LayoutId(u32::MAX), attrs, rows, payloads, seg_shift)
     }
 }
 
@@ -300,6 +565,7 @@ mod tests {
         assert_eq!(g.bytes(), 48);
         assert!(g.contains(AttrId(4)));
         assert!(!g.contains(AttrId(0)));
+        assert_eq!(g.segment_count(), 1);
     }
 
     #[test]
@@ -319,6 +585,93 @@ mod tests {
     }
 
     #[test]
+    fn row_count_mismatch_is_row_denominated() {
+        // Three rows expected, four rows of width-2 data supplied: the
+        // message must speak in rows on both sides, not mix rows/values.
+        let err = ColumnGroup::from_parts(LayoutId(0), ids(&[0, 1]), 3, vec![0; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::RowCountMismatch {
+                expected: 3,
+                got: 4
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "row count mismatch: expected 3 rows, got 4"
+        );
+    }
+
+    #[test]
+    fn small_segments_shape_and_access() {
+        // shift 1 → 2 rows per segment; 5 rows → segments of 2,2,1.
+        let data: Vec<Value> = (0..10).collect();
+        let g = ColumnGroup::from_parts_with_shift(LayoutId(0), ids(&[0, 1]), 5, data.clone(), 1)
+            .unwrap();
+        assert_eq!(g.segment_count(), 3);
+        assert_eq!(g.sealed_segment_count(), 2);
+        assert_eq!(g.collect_values(), data);
+        for row in 0..5 {
+            assert_eq!(g.tuple(row), &[2 * row as Value, 2 * row as Value + 1]);
+            assert_eq!(g.value(row, 1), 2 * row as Value + 1);
+        }
+        assert_eq!(g.extract_column(AttrId(1)).unwrap(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn append_seals_and_reports_cow() {
+        let mut g = ColumnGroup::from_parts_with_shift(
+            LayoutId(0),
+            ids(&[0]),
+            1,
+            vec![7],
+            1, // 2 rows per segment
+        )
+        .unwrap();
+        // Unique tail: no clone; second row fills → seals.
+        let d = g.append_tuple(&[8]).unwrap();
+        assert_eq!(
+            d,
+            AppendDelta {
+                bytes_cloned: 0,
+                segments_sealed: 1
+            }
+        );
+        // Tail full → new segment, nothing cloned.
+        let d = g.append_tuple(&[9]).unwrap();
+        assert_eq!(d, AppendDelta::default());
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.segment_count(), 2);
+
+        // Share the group (as a snapshot would): the next append must clone
+        // only the one-row tail, never the sealed segment.
+        let snapshot = g.clone();
+        let d = g.append_tuple(&[10]).unwrap();
+        assert_eq!(d.bytes_cloned, VALUE_BYTES as u64);
+        assert_eq!(d.segments_sealed, 1);
+        assert_eq!(g.collect_values(), vec![7, 8, 9, 10]);
+        assert_eq!(
+            snapshot.collect_values(),
+            vec![7, 8, 9],
+            "snapshot isolated"
+        );
+    }
+
+    #[test]
+    fn append_wrong_width_is_width_mismatch() {
+        let mut g = ColumnGroup::from_parts(LayoutId(0), ids(&[0, 1]), 1, vec![1, 2]).unwrap();
+        let err = g.append_tuple(&[1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::WidthMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(g.rows(), 1, "failed append must not change state");
+    }
+
+    #[test]
     fn builder_push_tuples() {
         let mut b = GroupBuilder::new(ids(&[0, 2, 5]), 2).unwrap();
         b.push_tuple(&[1, 2, 3]);
@@ -328,6 +681,19 @@ mod tests {
         assert_eq!(g.rows(), 2);
         assert_eq!(g.tuple(0), &[1, 2, 3]);
         assert_eq!(g.tuple(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn builder_seals_segments_as_it_fills() {
+        let mut b = GroupBuilder::new_with_shift(ids(&[0]), 0, 2).unwrap(); // 4 rows/seg
+        for v in 0..10 {
+            b.push_tuple(&[v]);
+        }
+        assert_eq!(b.rows(), 10);
+        let g = b.finish();
+        assert_eq!(g.segment_count(), 3);
+        assert_eq!(g.sealed_segment_count(), 2);
+        assert_eq!(g.collect_values(), (0..10).collect::<Vec<_>>());
     }
 
     #[test]
@@ -363,10 +729,33 @@ mod tests {
     }
 
     #[test]
+    fn from_columns_attr_column_count_mismatch_is_an_error_not_a_panic() {
+        let c0 = [1, 2];
+        let err = GroupBuilder::from_columns(ids(&[0, 1]), &[&c0]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::WidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_columns_with_small_segments_matches_default() {
+        let cols: Vec<Vec<Value>> = vec![(0..23).collect(), (100..123).collect()];
+        let refs: Vec<&[Value]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mono = GroupBuilder::from_columns(ids(&[0, 1]), &refs).unwrap();
+        let seg = GroupBuilder::from_columns_with_shift(ids(&[0, 1]), &refs, 2).unwrap();
+        assert_eq!(seg.segment_count(), 6);
+        assert_eq!(mono.collect_values(), seg.collect_values());
+    }
+
+    #[test]
     fn width_one_group_is_a_column() {
         let g = GroupBuilder::from_columns(ids(&[3]), &[&[7, 8, 9]]).unwrap();
         assert_eq!(g.width(), 1);
-        assert_eq!(g.data(), &[7, 8, 9]);
+        assert_eq!(g.collect_values(), vec![7, 8, 9]);
     }
 
     #[test]
@@ -383,5 +772,46 @@ mod tests {
         let g = ColumnGroup::from_parts(LayoutId(1), ids(&[0, 1]), 0, vec![]).unwrap();
         assert_eq!(g.rows(), 0);
         assert_eq!(g.bytes(), 0);
+        assert_eq!(g.segment_count(), 0);
+        assert!(g.collect_values().is_empty());
+    }
+
+    #[test]
+    fn from_segments_validates_shapes() {
+        // Middle segment not full: a precise per-segment error, not a
+        // (self-contradictory) total-row-count mismatch.
+        assert_eq!(
+            ColumnGroup::from_segments(
+                LayoutId(0),
+                ids(&[0]),
+                5,
+                vec![vec![0, 1], vec![2], vec![3, 4]],
+                1,
+            )
+            .unwrap_err(),
+            StorageError::BadSegment {
+                index: 1,
+                expected: 2,
+                got: 1
+            }
+        );
+        // Totals off with well-formed segments: row-count mismatch.
+        assert_eq!(
+            ColumnGroup::from_segments(LayoutId(0), ids(&[0]), 5, vec![vec![0, 1]], 1).unwrap_err(),
+            StorageError::RowCountMismatch {
+                expected: 5,
+                got: 2
+            }
+        );
+        // Valid: 2,2,1 rows at shift 1.
+        let g = ColumnGroup::from_segments(
+            LayoutId(0),
+            ids(&[0]),
+            5,
+            vec![vec![0, 1], vec![2, 3], vec![4]],
+            1,
+        )
+        .unwrap();
+        assert_eq!(g.collect_values(), vec![0, 1, 2, 3, 4]);
     }
 }

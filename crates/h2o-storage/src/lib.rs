@@ -34,7 +34,7 @@ pub mod types;
 pub use attrset::AttrSet;
 pub use catalog::{CatalogSnapshot, GroupStats, LayoutCatalog};
 pub use error::StorageError;
-pub use group::{ColumnGroup, GroupBuilder};
+pub use group::{AppendDelta, ColumnGroup, GroupBuilder, DEFAULT_SEG_SHIFT};
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};
 pub use types::{AttrId, Epoch, LayoutId, Value, VALUE_BYTES};

@@ -42,11 +42,28 @@ impl Relation {
         columns: Vec<Vec<Value>>,
         partition: Vec<Vec<AttrId>>,
     ) -> Result<Self, StorageError> {
-        assert_eq!(
-            columns.len(),
-            schema.len(),
-            "one input column per schema attribute"
-        );
+        Self::partitioned_with_shift(schema, columns, partition, crate::group::DEFAULT_SEG_SHIFT)
+    }
+
+    /// [`Self::partitioned`] with an explicit segment size (`1 << seg_shift`
+    /// rows per payload segment). Small shifts let tests exercise many
+    /// segments on tiny relations; a shift large enough that the whole
+    /// relation fits one segment reproduces the monolithic
+    /// pre-segmentation storage exactly (the `fig17_write_throughput`
+    /// baseline).
+    pub fn partitioned_with_shift(
+        schema: Arc<Schema>,
+        columns: Vec<Vec<Value>>,
+        partition: Vec<Vec<AttrId>>,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
+        if columns.len() != schema.len() {
+            // One input column per schema attribute.
+            return Err(StorageError::WidthMismatch {
+                expected: schema.len(),
+                got: columns.len(),
+            });
+        }
         let rows = columns.first().map_or(0, |c| c.len());
         for c in &columns {
             if c.len() != rows {
@@ -77,10 +94,16 @@ impl Relation {
                 .iter()
                 .map(|a| columns[a.index()].as_slice())
                 .collect();
-            let g = GroupBuilder::from_columns(attrs, &refs)?;
+            let g = GroupBuilder::from_columns_with_shift(attrs, &refs, seg_shift)?;
             catalog.add_group(g, 0)?;
         }
         Ok(Relation { catalog })
+    }
+
+    /// Wraps an already-populated catalog (used by harnesses that build
+    /// layouts directly).
+    pub fn from_catalog(catalog: LayoutCatalog) -> Self {
+        Relation { catalog }
     }
 
     /// Builds a row-major relation from tuples (mostly for tests/examples).
@@ -89,7 +112,7 @@ impl Relation {
         let mut columns = vec![Vec::with_capacity(rows.len()); width];
         for (i, r) in rows.iter().enumerate() {
             if r.len() != width {
-                return Err(StorageError::RowCountMismatch {
+                return Err(StorageError::WidthMismatch {
                     expected: width,
                     got: r.len(),
                 });

@@ -177,15 +177,23 @@ fn parallel_reorganization_is_byte_identical() {
     for (pname, policy) in policies() {
         let (g, r) = reorg::reorg_and_execute_with(rel.catalog(), &targets, &q, &policy).unwrap();
         assert_eq!(
-            g.data(),
-            serial_group.data(),
+            g.collect_values(),
+            serial_group.collect_values(),
             "online group, policy {pname}"
         );
         assert_eq!(r, serial_result, "online result, policy {pname}");
         let off = reorg::materialize_with(rel.catalog(), &targets, &policy).unwrap();
-        assert_eq!(off.data(), serial_offline.data(), "offline, policy {pname}");
+        assert_eq!(
+            off.collect_values(),
+            serial_offline.collect_values(),
+            "offline, policy {pname}"
+        );
         let row = reorg::materialize_rowwise_with(rel.catalog(), &targets, &policy).unwrap();
-        assert_eq!(row.data(), serial_rowwise.data(), "rowwise, policy {pname}");
+        assert_eq!(
+            row.collect_values(),
+            serial_rowwise.collect_values(),
+            "rowwise, policy {pname}"
+        );
     }
     // Projection-shaped online reorg too.
     let qp = Query::project(
@@ -197,8 +205,8 @@ fn parallel_reorganization_is_byte_identical() {
     for (pname, policy) in policies() {
         let (g, r) = reorg::reorg_and_execute_with(rel.catalog(), &targets, &qp, &policy).unwrap();
         assert_eq!(
-            g.data(),
-            sg.data(),
+            g.collect_values(),
+            sg.collect_values(),
             "online projection group, policy {pname}"
         );
         assert_eq!(r, sr, "online projection result, policy {pname}");

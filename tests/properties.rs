@@ -110,7 +110,7 @@ proptest! {
         .unwrap();
         let (group, result) = reorg::reorg_and_execute(rel.catalog(), &attrs, &q).unwrap();
         let offline = reorg::materialize(rel.catalog(), &attrs).unwrap();
-        prop_assert_eq!(group.data(), offline.data());
+        prop_assert_eq!(group.collect_values(), offline.collect_values());
         let want = interpret(rel.catalog(), &q).unwrap();
         prop_assert_eq!(result.fingerprint(), want.fingerprint());
     }
@@ -126,7 +126,7 @@ proptest! {
         let attrs: Vec<AttrId> = (0..n).rev().map(AttrId::from).collect();
         let a = reorg::materialize(rel.catalog(), &attrs).unwrap();
         let b = reorg::materialize_rowwise(rel.catalog(), &attrs).unwrap();
-        prop_assert_eq!(a.data(), b.data());
+        prop_assert_eq!(a.collect_values(), b.collect_values());
     }
 
     /// Interpreting over a tailored single group equals interpreting over
