@@ -1,0 +1,196 @@
+//! CI perf-guardrail checker: consumes the JSON artifacts emitted by the
+//! `fig15`/`fig17`/`fig18` bench binaries and **fails** (non-zero exit)
+//! when a performance or determinism invariant regresses:
+//!
+//! * `--fig17 <path>` — segmented per-batch write cost must be at least
+//!   `--min-write-advantage` (default 10) times cheaper than the
+//!   monolithic baseline, measured at the largest relation size and the
+//!   smallest batch size present (the point where copy-on-write dominates);
+//! * `--fig18 <path>` — every grouped-aggregation point must be
+//!   fingerprint-identical across serial, parallel and the interpreter,
+//!   and across all three strategies per cardinality;
+//! * `--fig15 <path>` — every parallel-scaling point must report
+//!   `bit_identical` against its serial reference.
+//!
+//! Run locally to vet a change the same way CI will:
+//!
+//! ```sh
+//! cargo run --release -p h2o-bench --bin fig17_write_throughput -- \
+//!     --tuples 200000 --queries 16 > fig17.json
+//! cargo run --release -p h2o-bench --bin check_guardrail -- --fig17 fig17.json
+//! # Deliberately broken threshold (must fail):
+//! cargo run --release -p h2o-bench --bin check_guardrail -- \
+//!     --fig17 fig17.json --min-write-advantage 1000000
+//! ```
+
+use h2o_bench::json;
+
+struct Checker {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Checker {
+    fn assert(&mut self, ok: bool, what: String) {
+        self.checks += 1;
+        if ok {
+            eprintln!("guardrail: ok   {what}");
+        } else {
+            eprintln!("guardrail: FAIL {what}");
+            self.failures.push(what);
+        }
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("guardrail: cannot read {path}: {e}"))
+}
+
+fn check_fig17(doc: &str, min_advantage: f64, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig17: results array non-empty".into());
+    // The COW bound shows at the largest relation and the smallest batch.
+    let max_rows = results
+        .iter()
+        .filter_map(|o| json::num(o, "rows"))
+        .fold(0.0f64, f64::max);
+    let min_batch = results
+        .iter()
+        .filter_map(|o| json::num(o, "batch_rows"))
+        .fold(f64::INFINITY, f64::min);
+    let cost_of = |mode: &str| -> Option<f64> {
+        results.iter().find_map(|o| {
+            (json::string(o, "mode") == Some(mode)
+                && json::num(o, "rows") == Some(max_rows)
+                && json::num(o, "batch_rows") == Some(min_batch))
+            .then(|| json::num(o, "seconds_per_batch"))
+            .flatten()
+        })
+    };
+    match (cost_of("segmented"), cost_of("monolithic")) {
+        (Some(seg), Some(mono)) if seg > 0.0 => {
+            let advantage = mono / seg;
+            c.assert(
+                advantage >= min_advantage,
+                format!(
+                    "fig17: segmented write cost advantage {advantage:.1}x >= {min_advantage}x \
+                     at rows={max_rows} batch={min_batch} (seg {seg:.9}s, mono {mono:.9}s)"
+                ),
+            );
+        }
+        _ => c.assert(
+            false,
+            "fig17: segmented + monolithic entries present at the largest size".into(),
+        ),
+    }
+}
+
+fn check_fig18(doc: &str, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig18: results array non-empty".into());
+    let mut per_card: Vec<(f64, Vec<&str>)> = Vec::new();
+    for &obj in &results {
+        let card = json::num(obj, "cardinality").unwrap_or(-1.0);
+        let strategy = json::string(obj, "strategy").unwrap_or("?").to_string();
+        let serial = json::string(obj, "serial_fingerprint").unwrap_or("");
+        let par = json::string(obj, "parallel_fingerprint").unwrap_or("!");
+        let interp = json::string(obj, "interp_fingerprint").unwrap_or("!!");
+        c.assert(
+            json::boolean(obj, "parallel_identical") == Some(true),
+            format!("fig18: card={card} {strategy}: parallel bit-identical to serial"),
+        );
+        c.assert(
+            !serial.is_empty() && serial == par && serial == interp,
+            format!(
+                "fig18: card={card} {strategy}: fingerprints agree \
+                 (serial={serial}, parallel={par}, interp={interp})"
+            ),
+        );
+        match per_card.iter_mut().find(|(k, _)| *k == card) {
+            Some((_, v)) => v.push(obj),
+            None => per_card.push((card, vec![obj])),
+        }
+    }
+    for (card, objs) in &per_card {
+        let first = json::string(objs[0], "serial_fingerprint").unwrap_or("");
+        c.assert(
+            objs.iter()
+                .all(|o| json::string(o, "serial_fingerprint") == Some(first)),
+            format!("fig18: card={card}: all strategies fingerprint-identical"),
+        );
+    }
+}
+
+fn check_fig15(doc: &str, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig15: results array non-empty".into());
+    for obj in &results {
+        let threads = json::num(obj, "threads").unwrap_or(-1.0);
+        c.assert(
+            json::boolean(obj, "bit_identical") == Some(true),
+            format!("fig15: threads={threads}: parallel bit-identical to serial"),
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut fig15 = None;
+    let mut fig17 = None;
+    let mut fig18 = None;
+    let mut min_advantage = 10.0f64;
+    let mut i = 1;
+    while i < argv.len() {
+        // A guardrail that silently narrows its own coverage on a typo is
+        // worse than none: a flag without a value is a hard error.
+        assert!(
+            i + 1 < argv.len(),
+            "guardrail: flag {} is missing its value",
+            argv[i]
+        );
+        match argv[i].as_str() {
+            "--fig15" => fig15 = Some(argv[i + 1].clone()),
+            "--fig17" => fig17 = Some(argv[i + 1].clone()),
+            "--fig18" => fig18 = Some(argv[i + 1].clone()),
+            "--min-write-advantage" => {
+                min_advantage = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --min-write-advantage {}", argv[i + 1]));
+            }
+            other => panic!(
+                "unknown argument {other} (expected --fig15/--fig17/--fig18/--min-write-advantage)"
+            ),
+        }
+        i += 2;
+    }
+    let mut c = Checker {
+        failures: Vec::new(),
+        checks: 0,
+    };
+    if let Some(p) = &fig17 {
+        check_fig17(&read(p), min_advantage, &mut c);
+    }
+    if let Some(p) = &fig18 {
+        check_fig18(&read(p), &mut c);
+    }
+    if let Some(p) = &fig15 {
+        check_fig15(&read(p), &mut c);
+    }
+    assert!(
+        c.checks > 0,
+        "guardrail: nothing to check — pass --fig17/--fig18/--fig15"
+    );
+    if c.failures.is_empty() {
+        eprintln!("guardrail: all {} checks passed", c.checks);
+    } else {
+        eprintln!(
+            "guardrail: {}/{} checks FAILED:",
+            c.failures.len(),
+            c.checks
+        );
+        for f in &c.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -57,8 +57,9 @@ fn main() {
         };
         // Correctness first: the parallel result must be bit-identical.
         let got = execute_with_policy(rel.catalog(), &op, &policy).unwrap();
-        assert_eq!(
-            got, reference,
+        let bit_identical = got == reference;
+        assert!(
+            bit_identical,
             "parallel result diverged at {threads} threads"
         );
 
@@ -74,7 +75,8 @@ fn main() {
             "fig15: threads={threads:<2} {secs:.4}s  speedup {speedup:.2}x  {melems:.1} Melem/s"
         );
         entries.push(format!(
-            "{{\"threads\":{threads},\"seconds\":{secs:.6},\"speedup\":{speedup:.4},\"melem_per_s\":{melems:.2}}}"
+            "{{\"threads\":{threads},\"seconds\":{secs:.6},\"speedup\":{speedup:.4},\
+             \"melem_per_s\":{melems:.2},\"bit_identical\":{bit_identical}}}"
         ));
     }
 

@@ -188,6 +188,7 @@ mod tests {
             output_width: 2,
             select_ops: 2,
             is_aggregate: true,
+            is_grouped: false,
         };
         assert!(!w.observe(pat.clone()));
         assert!(!w.observe(pat.clone()));
@@ -215,6 +216,7 @@ mod tests {
                             output_width: 1,
                             select_ops: 1,
                             is_aggregate: false,
+                            is_grouped: false,
                         };
                         w.observe(pat);
                     }

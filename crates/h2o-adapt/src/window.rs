@@ -217,6 +217,7 @@ mod tests {
             output_width: attrs.len(),
             select_ops: attrs.len(),
             is_aggregate: true,
+            is_grouped: false,
         }
     }
 

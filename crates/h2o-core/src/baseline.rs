@@ -193,6 +193,12 @@ mod tests {
             )
             .unwrap(),
             Query::project([Expr::col(9u32)], Conjunction::always()).unwrap(),
+            Query::grouped(
+                [Expr::col(0u32)],
+                [Aggregate::sum(Expr::col(1u32)), Aggregate::count()],
+                Conjunction::of([Predicate::gt(2u32, 0)]),
+            )
+            .unwrap(),
         ];
         for q in &queries {
             let want = interpret(row.relation().catalog(), q).unwrap();

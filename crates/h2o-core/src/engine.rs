@@ -287,8 +287,10 @@ impl H2oEngine {
             }
         };
 
-        // Selectivity feedback (projection queries expose the match count).
-        if !q.is_aggregate() && snap.rows() > 0 && !q.filter().is_always_true() {
+        // Selectivity feedback (projection queries expose the match count;
+        // grouped queries do not — their row count is the distinct-key
+        // count, not the qualifying-tuple count).
+        if !q.is_aggregate() && !q.is_grouped() && snap.rows() > 0 && !q.filter().is_always_true() {
             let observed = result.rows() as f64 / snap.rows() as f64;
             let sig = Self::filter_signature(q);
             let mut hist = self.sel_history.lock();
@@ -950,6 +952,75 @@ mod tests {
         assert!(
             wide_used,
             "later queries should run on the new group: {report:?}"
+        );
+    }
+
+    /// A grouped query over a low-cardinality key column (values folded
+    /// into `card` buckets via the data, not the query).
+    fn grouped_engine(card: i64, n_attrs: usize, rows: usize, config: EngineConfig) -> H2oEngine {
+        let schema = Schema::with_width(n_attrs).into_shared();
+        let mut cols = columns(n_attrs, rows);
+        for v in &mut cols[0] {
+            *v = v.rem_euclid(card);
+        }
+        let rel = Relation::columnar(schema, cols).unwrap();
+        H2oEngine::new(rel, config)
+    }
+
+    #[test]
+    fn grouped_queries_match_interpreter_and_drive_adaptation() {
+        let mut cfg = EngineConfig::no_compile_latency();
+        cfg.window.initial = 8;
+        cfg.window.min = 4;
+        let e = grouped_engine(16, 20, 3000, cfg);
+        // A hot grouped workload: group by a0, aggregate over {1,2,3},
+        // filter on 4. Key + aggregate inputs form the hot select cluster.
+        for i in 0..40 {
+            let q = Query::grouped(
+                [Expr::col(0u32)],
+                [
+                    Aggregate::sum(Expr::sum_of([AttrId(1), AttrId(2)])),
+                    Aggregate::max(Expr::col(3u32)),
+                    Aggregate::count(),
+                ],
+                Conjunction::of([Predicate::lt(4u32, (i % 7) * 200 - 600)]),
+            )
+            .unwrap();
+            let want = interpret(&e.catalog(), &q).unwrap();
+            let got = e.execute(&q).unwrap();
+            assert_eq!(got, want, "grouped query {i} (bit-identical, sorted)");
+        }
+        let stats = e.stats();
+        assert!(stats.adaptations >= 1, "window must trigger adaptation");
+        assert!(
+            stats.layouts_created >= 1,
+            "grouped workload must materialize a layout; stats: {stats:?}"
+        );
+        // The adviser saw the group-key column as hot: some created layout
+        // covers the key together with aggregate inputs.
+        let hot: h2o_storage::AttrSet = [0usize, 1, 2, 3].into_iter().collect();
+        assert!(
+            e.catalog().find_superset(&hot).is_some(),
+            "expected a group covering key + aggregate inputs"
+        );
+    }
+
+    #[test]
+    fn grouped_selectivity_history_not_polluted() {
+        // Grouped row counts are distinct-key counts; they must not feed
+        // the selectivity EWMA.
+        let e = grouped_engine(4, 6, 1000, EngineConfig::no_compile_latency());
+        let q = Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::count()],
+            Conjunction::of([Predicate::gt(1u32, i64::MIN)]),
+        )
+        .unwrap();
+        e.execute(&q).unwrap();
+        assert_eq!(
+            e.observed_selectivity(&q),
+            None,
+            "grouped output cardinality must not be recorded as selectivity"
         );
     }
 

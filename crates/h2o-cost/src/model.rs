@@ -168,13 +168,26 @@ impl CostModel {
         let miss = p.cache_miss_seconds;
         let needed = pat.all_attrs();
 
-        // Output materialization (row-major result block, §3.3).
+        // Output materialization (row-major result block, §3.3). Grouped
+        // output has one row per distinct key; with no cardinality
+        // statistics the model prices the upper bound (`selected` rows).
         let out_bytes = if pat.is_aggregate {
             (pat.output_width * VALUE_BYTES) as f64
         } else {
             selected * (pat.output_width * VALUE_BYTES) as f64
         };
-        let out_cost = self.materialize(out_bytes);
+        // Grouped aggregation pays one hash-table probe (key hash + bucket
+        // compare + accumulator update) per qualifying tuple. The charge is
+        // strategy-independent — all three strategies fold through the same
+        // table — so relative plan choice stays driven by scan/gather
+        // costs, exactly as for scalar aggregates.
+        const HASH_PROBE_OPS: f64 = 8.0;
+        let group_cost = if pat.is_grouped {
+            selected * (HASH_PROBE_OPS + pat.output_width as f64) * p.cpu_op_seconds
+        } else {
+            0.0
+        };
+        let out_cost = self.materialize(out_bytes) + group_cost;
 
         match plan.strategy {
             Strategy::FusedVolcano => {
@@ -467,6 +480,7 @@ mod tests {
             output_width: 1,
             select_ops: select.len().max(1),
             is_aggregate: true,
+            is_grouped: false,
         }
     }
 
@@ -556,6 +570,25 @@ mod tests {
     }
 
     #[test]
+    fn grouped_queries_cost_more_than_scalar_but_choose_the_same_layouts() {
+        let m = CostModel::default();
+        let scalar = pattern(&[0, 1], &[2], 0.5);
+        let grouped = AccessPattern {
+            is_grouped: true,
+            is_aggregate: false,
+            output_width: 2,
+            ..scalar.clone()
+        };
+        let narrow = vec![spec(&[0, 1, 2])];
+        let wide = vec![spec(&(0..150).collect::<Vec<_>>())];
+        // The hash probe makes grouped strictly costlier on the same plan...
+        assert!(m.best_cost(&grouped, &narrow, ROWS) > m.best_cost(&scalar, &narrow, ROWS));
+        // ...but layout preference is unchanged: the charge is
+        // strategy/layout-independent.
+        assert!(m.best_cost(&grouped, &narrow, ROWS) < m.best_cost(&grouped, &wide, ROWS));
+    }
+
+    #[test]
     fn cost_monotone_in_rows() {
         let m = CostModel::default();
         let groups = vec![spec(&[0, 1])];
@@ -621,6 +654,7 @@ mod tests {
             output_width: 1,
             select_ops: 5, // a0 + a1 + a2 as a tree
             is_aggregate: false,
+            is_grouped: false,
         }
     }
 

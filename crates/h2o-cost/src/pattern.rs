@@ -22,9 +22,16 @@ pub struct AccessPattern {
     pub output_width: usize,
     /// Total expression opcodes in the select clause (compute-cost term).
     pub select_ops: usize,
-    /// Whether the query aggregates (output is one row) rather than
+    /// Whether the query aggregates to a **single** output row rather than
     /// projecting one row per qualifying tuple.
     pub is_aggregate: bool,
+    /// Whether the query is a grouped aggregation: output cardinality
+    /// scales with the number of distinct key vectors (bounded by the
+    /// qualifying-tuple count), and every qualifying tuple pays a hash
+    /// probe. Group-key attributes are part of [`Self::select`], so the
+    /// adaptation mechanism sees key columns as hot select-clause
+    /// attributes.
+    pub is_grouped: bool,
 }
 
 impl AccessPattern {
@@ -39,6 +46,7 @@ impl AccessPattern {
             output_width: query.output_width(),
             select_ops: query.select_node_count(),
             is_aggregate: query.is_aggregate(),
+            is_grouped: query.is_grouped(),
         }
     }
 
@@ -90,6 +98,22 @@ mod tests {
         assert!(!p.is_aggregate);
         assert!(p.has_filter());
         assert_eq!(p.all_attrs().len(), 3);
+    }
+
+    #[test]
+    fn grouped_pattern_marks_keys_hot() {
+        let q = Query::grouped(
+            [Expr::col(7u32)],
+            [Aggregate::sum(Expr::col(1u32))],
+            Conjunction::of([Predicate::lt(5u32, 3)]),
+        )
+        .unwrap();
+        let p = AccessPattern::of(&q, 0.5);
+        assert!(p.is_grouped);
+        assert!(!p.is_aggregate, "grouped output is not a single row");
+        // The key column is a select-clause attribute: the adviser sees it.
+        assert!(p.select.contains(h2o_storage::AttrId(7)));
+        assert_eq!(p.output_width, 2);
     }
 
     #[test]

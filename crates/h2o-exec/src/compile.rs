@@ -135,38 +135,42 @@ pub fn compile(
         .collect::<Result<Vec<_>, ExecError>>()?;
     let filter = CompiledFilter::new(preds);
 
-    let select = if query.is_aggregate() {
-        let mut aggs = Vec::with_capacity(query.aggregates().len());
-        for a in query.aggregates() {
-            let mut err = None;
-            let compiled = CompiledExpr::lower(&a.expr, |attr| {
-                bind_attr(&groups, attr).unwrap_or_else(|e| {
-                    err = Some(e);
-                    BoundAttr { slot: 0, offset: 0 }
-                })
-            });
-            if let Some(e) = err {
-                return Err(e);
-            }
-            aggs.push((a.func, compiled));
+    let lower = |e: &h2o_expr::Expr| -> Result<CompiledExpr, ExecError> {
+        let mut err = None;
+        let compiled = CompiledExpr::lower(e, |attr| {
+            bind_attr(&groups, attr).unwrap_or_else(|x| {
+                err = Some(x);
+                BoundAttr { slot: 0, offset: 0 }
+            })
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(compiled),
         }
-        SelectProgram::Aggregate(aggs)
+    };
+    let lower_aggs =
+        |aggs: &[h2o_expr::Aggregate]| -> Result<Vec<(AggFunc, CompiledExpr)>, ExecError> {
+            aggs.iter().map(|a| Ok((a.func, lower(&a.expr)?))).collect()
+        };
+    let select = if query.is_grouped() {
+        SelectProgram::Grouped {
+            keys: query
+                .group_by()
+                .iter()
+                .map(&lower)
+                .collect::<Result<_, _>>()?,
+            aggs: lower_aggs(query.aggregates())?,
+        }
+    } else if query.is_aggregate() {
+        SelectProgram::Aggregate(lower_aggs(query.aggregates())?)
     } else {
-        let mut exprs = Vec::with_capacity(query.projections().len());
-        for p in query.projections() {
-            let mut err = None;
-            let compiled = CompiledExpr::lower(p, |attr| {
-                bind_attr(&groups, attr).unwrap_or_else(|e| {
-                    err = Some(e);
-                    BoundAttr { slot: 0, offset: 0 }
-                })
-            });
-            if let Some(e) = err {
-                return Err(e);
-            }
-            exprs.push(compiled);
-        }
-        SelectProgram::Project(exprs)
+        SelectProgram::Project(
+            query
+                .projections()
+                .iter()
+                .map(&lower)
+                .collect::<Result<_, _>>()?,
+        )
     };
 
     Ok(CompiledOp {
@@ -235,6 +239,13 @@ pub fn execute_with_views_policy(
                     kernels::fused::aggregate_range(views, &op.filter, aggs, r)
                 }),
             ),
+            SelectProgram::Grouped { keys, aggs } => kernels::grouped::merge_and_finish(
+                keys,
+                aggs,
+                run_morsels(rows, policy, |r| {
+                    kernels::grouped::fused_range(views, &op.filter, keys, aggs, r)
+                }),
+            ),
         },
         Strategy::SelVector => {
             // Phase 1 splits by row range; phase 2 by qualifying-id chunk,
@@ -253,6 +264,13 @@ pub fn execute_with_views_policy(
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
                         kernels::selvector::aggregate_ids(views, ids, aggs)
+                    }),
+                ),
+                SelectProgram::Grouped { keys, aggs } => kernels::grouped::merge_and_finish(
+                    keys,
+                    aggs,
+                    run_chunks(sel.ids(), policy, |ids| {
+                        kernels::grouped::aggregate_ids(views, ids, keys, aggs)
                     }),
                 ),
             }
@@ -292,6 +310,13 @@ pub fn execute_with_views_policy(
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
                         kernels::colmajor::aggregate_ids_columnar(views, ids, aggs)
+                    }),
+                ),
+                SelectProgram::Grouped { keys, aggs } => kernels::grouped::merge_and_finish(
+                    keys,
+                    aggs,
+                    run_chunks(sel.ids(), policy, |ids| {
+                        kernels::grouped::aggregate_ids_columnar(views, ids, keys, aggs)
                     }),
                 ),
             }
@@ -374,6 +399,18 @@ mod tests {
             )
             .unwrap(),
             Query::aggregate([Aggregate::min(Expr::col(4u32))], Conjunction::always()).unwrap(),
+            Query::grouped(
+                [Expr::col(0u32)],
+                [Aggregate::sum(Expr::col(1u32)), Aggregate::count()],
+                Conjunction::of([Predicate::gt(2u32, 0)]),
+            )
+            .unwrap(),
+            Query::grouped(
+                [Expr::col(3u32).mul(Expr::lit(2)), Expr::col(4u32)],
+                [Aggregate::max(Expr::sum_of([AttrId(0), AttrId(5)]))],
+                Conjunction::always(),
+            )
+            .unwrap(),
         ]
     }
 

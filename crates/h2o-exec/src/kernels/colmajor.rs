@@ -161,6 +161,21 @@ fn eval_expr_columns(views: &GroupViews<'_>, ids: &[u32], expr: &CompiledExpr) -
     }
 }
 
+/// Materializes `expr` over the selected rows as one dense intermediate
+/// column (broadcast constants expanded to full length) — the §2.1
+/// materialization step, shared with the grouped-aggregation kernel
+/// ([`super::grouped::aggregate_ids_columnar`]).
+pub(crate) fn materialize_expr_column(
+    views: &GroupViews<'_>,
+    ids: &[u32],
+    expr: &CompiledExpr,
+) -> Vec<Value> {
+    match eval_expr_columns(views, ids, expr) {
+        ColVec::Mat(v) => v,
+        ColVec::Const(c) => vec![c; ids.len()],
+    }
+}
+
 /// Single-column aggregate without a where-clause over one row range: the
 /// tight contiguous loop that makes pure columns win Fig. 10(b), returning
 /// a mergeable partial.
@@ -285,6 +300,10 @@ pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgr
         SelectProgram::Project(exprs) => {
             let sel = build_selvec_columnar(views, filter);
             project_ids_columnar(views, sel.ids(), exprs)
+        }
+        SelectProgram::Grouped { keys, aggs } => {
+            let sel = build_selvec_columnar(views, filter);
+            super::grouped::aggregate_ids_columnar(views, sel.ids(), keys, aggs).finish()
         }
     }
 }

@@ -32,6 +32,9 @@ pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgr
             let states = aggregate_range(views, filter, aggs, 0..rows);
             finish_states(aggs.len(), &states)
         }
+        SelectProgram::Grouped { keys, aggs } => {
+            super::grouped::fused_range(views, filter, keys, aggs, 0..rows).finish()
+        }
     }
 }
 

@@ -1,0 +1,254 @@
+//! Hash-grouped aggregation kernels for all three execution strategies.
+//!
+//! Grouped aggregation is a query class the paper does not evaluate; this
+//! module extends each of the paper's execution strategies with it while
+//! preserving their cost structure:
+//!
+//! * **fused** ([`fused_range`]) — one pass, filter + key/aggregate-input
+//!   evaluation + hash update per qualifying tuple, no intermediates (the
+//!   Fig. 5 loop with a hash probe in place of the output append);
+//! * **selection-vector** ([`aggregate_ids`]) — phase 2 of the Fig. 6 pair:
+//!   walk an id chunk and gather keys/inputs from the select-clause
+//!   group(s), folding into the table;
+//! * **column-major** ([`aggregate_ids_columnar`]) — DSM-style: key and
+//!   aggregate-input columns are **materialized as intermediate columns**
+//!   first (one per expression, exactly like §2.1 expression evaluation),
+//!   then a single fold walks the materialized columns.
+//!
+//! Every kernel returns a [`GroupedAggs`] table, which is the morsel-local
+//! partial of parallel execution: the driver merges per-morsel tables
+//! ([`GroupedAggs::merge`] — associative and commutative per key, the
+//! `AggState::from_parts`-style bridge for grouped state) and finishes once,
+//! and because [`GroupedAggs::finish`] sorts by key vector, parallel
+//! execution is bit-identical to serial for every strategy.
+
+use crate::bind::GroupViews;
+use crate::filter::CompiledFilter;
+use crate::program::CompiledExpr;
+use h2o_expr::grouped::GroupedAggs;
+use h2o_expr::AggFunc;
+use h2o_storage::Value;
+use std::ops::Range;
+
+/// Fresh morsel-local table for a grouped program.
+pub fn table_for(keys: &[CompiledExpr], aggs: &[(AggFunc, CompiledExpr)]) -> GroupedAggs {
+    GroupedAggs::new(keys.len(), aggs.iter().map(|(f, _)| *f).collect())
+}
+
+/// Folds one stitched/sliced tuple into the table: evaluates the key and
+/// aggregate-input expressions against `tuple` through the caller's reused
+/// buffers. Shared by the fused single-group tier and the online
+/// reorganization operator (`crate::reorg`), so a change to grouped update
+/// semantics lands in one place.
+#[inline]
+pub(crate) fn update_from_tuple(
+    table: &mut GroupedAggs,
+    keys: &[CompiledExpr],
+    aggs: &[(AggFunc, CompiledExpr)],
+    key_buf: &mut [Value],
+    val_buf: &mut [Value],
+    tuple: &[Value],
+) {
+    for (slot, k) in key_buf.iter_mut().zip(keys) {
+        *slot = k.eval_tuple(tuple);
+    }
+    for (slot, (_, e)) in val_buf.iter_mut().zip(aggs) {
+        *slot = e.eval_tuple(tuple);
+    }
+    table.update(key_buf, val_buf);
+}
+
+/// Fused grouped aggregation over one row range, returning a mergeable
+/// per-range table. Single-group plans walk contiguous segment runs and
+/// evaluate keys/inputs against the sliced tuple (no per-access slot
+/// arithmetic); multi-group plans stitch tuple-at-a-time.
+pub fn fused_range(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    keys: &[CompiledExpr],
+    aggs: &[(AggFunc, CompiledExpr)],
+    range: Range<usize>,
+) -> GroupedAggs {
+    let mut table = table_for(keys, aggs);
+    let mut key: Vec<Value> = vec![0; keys.len()];
+    let mut vals: Vec<Value> = vec![0; aggs.len()];
+    if views.len() == 1 {
+        for run in views.runs(range) {
+            let (data, width) = run.view(0);
+            for tuple in data.chunks_exact(width) {
+                if filter.matches_tuple(tuple) {
+                    update_from_tuple(&mut table, keys, aggs, &mut key, &mut vals, tuple);
+                }
+            }
+        }
+        return table;
+    }
+    for row in range {
+        if filter.matches(views, row) {
+            for (slot, k) in key.iter_mut().zip(keys) {
+                *slot = k.eval(views, row);
+            }
+            for (slot, (_, e)) in vals.iter_mut().zip(aggs) {
+                *slot = e.eval(views, row);
+            }
+            table.update(&key, &vals);
+        }
+    }
+    table
+}
+
+/// Selection-vector phase-2 grouped aggregation over one contiguous chunk
+/// of qualifying ids: gather keys and aggregate inputs per id, fold into
+/// the chunk-local table.
+pub fn aggregate_ids(
+    views: &GroupViews<'_>,
+    ids: &[u32],
+    keys: &[CompiledExpr],
+    aggs: &[(AggFunc, CompiledExpr)],
+) -> GroupedAggs {
+    let mut table = table_for(keys, aggs);
+    let mut key: Vec<Value> = vec![0; keys.len()];
+    let mut vals: Vec<Value> = vec![0; aggs.len()];
+    for &row in ids {
+        let row = row as usize;
+        for (slot, k) in key.iter_mut().zip(keys) {
+            *slot = k.eval(views, row);
+        }
+        for (slot, (_, e)) in vals.iter_mut().zip(aggs) {
+            *slot = e.eval(views, row);
+        }
+        table.update(&key, &vals);
+    }
+    table
+}
+
+/// Column-at-a-time grouped aggregation over one id chunk: every key and
+/// aggregate-input expression is first materialized as an intermediate
+/// column over the selected rows (the §2.1 execution model), then one fold
+/// walks the columns row-wise into the table.
+pub fn aggregate_ids_columnar(
+    views: &GroupViews<'_>,
+    ids: &[u32],
+    keys: &[CompiledExpr],
+    aggs: &[(AggFunc, CompiledExpr)],
+) -> GroupedAggs {
+    let key_cols: Vec<Vec<Value>> = keys
+        .iter()
+        .map(|e| super::colmajor::materialize_expr_column(views, ids, e))
+        .collect();
+    let val_cols: Vec<Vec<Value>> = aggs
+        .iter()
+        .map(|(_, e)| super::colmajor::materialize_expr_column(views, ids, e))
+        .collect();
+    let mut table = table_for(keys, aggs);
+    let mut key: Vec<Value> = vec![0; keys.len()];
+    let mut vals: Vec<Value> = vec![0; aggs.len()];
+    for i in 0..ids.len() {
+        for (slot, col) in key.iter_mut().zip(&key_cols) {
+            *slot = col[i];
+        }
+        for (slot, col) in vals.iter_mut().zip(&val_cols) {
+            *slot = col[i];
+        }
+        table.update(&key, &vals);
+    }
+    table
+}
+
+/// Merges per-morsel tables in morsel order and finishes into the sorted
+/// result block.
+pub fn merge_and_finish(
+    keys: &[CompiledExpr],
+    aggs: &[(AggFunc, CompiledExpr)],
+    partials: Vec<GroupedAggs>,
+) -> h2o_expr::QueryResult {
+    let mut total = table_for(keys, aggs);
+    for partial in partials {
+        total.merge(partial);
+    }
+    total.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::BoundAttr;
+    use crate::filter::CompiledPred;
+    use h2o_expr::CmpOp;
+    use h2o_storage::{AttrId, GroupBuilder};
+
+    fn ba(offset: u32) -> BoundAttr {
+        BoundAttr { slot: 0, offset }
+    }
+
+    /// One wide group: key = [1,2,1,2,1], val = [10,20,30,40,50],
+    /// filter attr = [0,1,2,3,4].
+    fn sample() -> h2o_storage::ColumnGroup {
+        GroupBuilder::from_columns(
+            vec![AttrId(0), AttrId(1), AttrId(2)],
+            &[&[1, 2, 1, 2, 1], &[10, 20, 30, 40, 50], &[0, 1, 2, 3, 4]],
+        )
+        .unwrap()
+    }
+
+    fn program() -> (Vec<CompiledExpr>, Vec<(AggFunc, CompiledExpr)>) {
+        (
+            vec![CompiledExpr::Col(ba(0))],
+            vec![
+                (AggFunc::Sum, CompiledExpr::Col(ba(1))),
+                (AggFunc::Count, CompiledExpr::Col(ba(0))),
+            ],
+        )
+    }
+
+    #[test]
+    fn all_three_kernels_agree() {
+        let g = sample();
+        let views = GroupViews::from_groups(&[&g]);
+        let (keys, aggs) = program();
+        let filter = CompiledFilter::new(vec![CompiledPred {
+            attr: ba(2),
+            op: CmpOp::Lt,
+            value: 4,
+        }]);
+        // Qualifying rows 0..=3: key 1 -> {10, 30}, key 2 -> {20, 40}.
+        let fused = fused_range(&views, &filter, &keys, &aggs, 0..5).finish();
+        assert_eq!(fused.rows(), 2);
+        assert_eq!(fused.row(0), &[1, 40, 2]);
+        assert_eq!(fused.row(1), &[2, 60, 2]);
+        let ids: Vec<u32> = vec![0, 1, 2, 3];
+        let sel = aggregate_ids(&views, &ids, &keys, &aggs).finish();
+        let col = aggregate_ids_columnar(&views, &ids, &keys, &aggs).finish();
+        assert_eq!(sel, fused);
+        assert_eq!(col, fused);
+    }
+
+    #[test]
+    fn range_partials_merge_to_full_fold() {
+        let g = sample();
+        let views = GroupViews::from_groups(&[&g]);
+        let (keys, aggs) = program();
+        let full = fused_range(&views, &CompiledFilter::always(), &keys, &aggs, 0..5).finish();
+        let partials: Vec<GroupedAggs> = [0..2, 2..3, 3..5]
+            .into_iter()
+            .map(|r| fused_range(&views, &CompiledFilter::always(), &keys, &aggs, r))
+            .collect();
+        assert_eq!(merge_and_finish(&keys, &aggs, partials), full);
+    }
+
+    #[test]
+    fn multi_group_plans_stitch() {
+        let g1 = GroupBuilder::from_columns(vec![AttrId(0)], &[&[7, 7, 8]]).unwrap();
+        let g2 = GroupBuilder::from_columns(vec![AttrId(1)], &[&[1, 2, 3]]).unwrap();
+        let views = GroupViews::from_groups(&[&g1, &g2]);
+        let keys = vec![CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 })];
+        let aggs = vec![(
+            AggFunc::Max,
+            CompiledExpr::Col(BoundAttr { slot: 1, offset: 0 }),
+        )];
+        let out = fused_range(&views, &CompiledFilter::always(), &keys, &aggs, 0..3).finish();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0), &[7, 2]);
+        assert_eq!(out.row(1), &[8, 3]);
+    }
+}

@@ -11,10 +11,12 @@
 //!
 //! Kernels operate on [`GroupViews`](crate::bind::GroupViews) (raw slices)
 //! and offset-resolved programs; nothing in a per-tuple loop consults a
-//! schema, hash map or expression tree.
+//! schema or expression tree (grouped aggregation consults exactly one
+//! hash table, which is the operation itself).
 
 pub mod colmajor;
 pub mod fused;
+pub mod grouped;
 pub mod selvector;
 
 use crate::program::CompiledExpr;
@@ -27,6 +29,13 @@ pub enum SelectProgram {
     Project(Vec<CompiledExpr>),
     /// One output row total.
     Aggregate(Vec<(AggFunc, CompiledExpr)>),
+    /// One output row per distinct key vector, sorted ascending by key
+    /// (the grouped-aggregation determinism convention — see
+    /// [`h2o_expr::grouped::GroupedAggs`]).
+    Grouped {
+        keys: Vec<CompiledExpr>,
+        aggs: Vec<(AggFunc, CompiledExpr)>,
+    },
 }
 
 impl SelectProgram {
@@ -35,6 +44,7 @@ impl SelectProgram {
         match self {
             SelectProgram::Project(es) => es.len(),
             SelectProgram::Aggregate(aggs) => aggs.len(),
+            SelectProgram::Grouped { keys, aggs } => keys.len() + aggs.len(),
         }
     }
 
@@ -43,6 +53,9 @@ impl SelectProgram {
         match self {
             SelectProgram::Project(es) => Box::new(es.iter()),
             SelectProgram::Aggregate(aggs) => Box::new(aggs.iter().map(|(_, e)| e)),
+            SelectProgram::Grouped { keys, aggs } => {
+                Box::new(keys.iter().chain(aggs.iter().map(|(_, e)| e)))
+            }
         }
     }
 }

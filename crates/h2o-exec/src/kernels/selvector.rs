@@ -67,6 +67,9 @@ pub fn consume(views: &GroupViews<'_>, sel: &SelVec, select: &SelectProgram) -> 
             let states = aggregate_ids(views, sel.ids(), aggs);
             super::fused::finish_states(aggs.len(), &states)
         }
+        SelectProgram::Grouped { keys, aggs } => {
+            super::grouped::aggregate_ids(views, sel.ids(), keys, aggs).finish()
+        }
     }
 }
 

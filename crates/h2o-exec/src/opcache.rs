@@ -95,8 +95,11 @@ impl OperatorKey {
     pub fn new(query: &Query, plan: &AccessPlan) -> OperatorKey {
         let mut h = DefaultHasher::new();
         // Select-items: full structure (constants in select expressions are
-        // part of the generated code).
+        // part of the generated code). Group keys are part of the shape —
+        // a grouped and a scalar aggregation over the same aggregates must
+        // not share an operator.
         query.projections().hash(&mut h);
+        query.group_by().hash(&mut h);
         for a in query.aggregates() {
             a.func.hash(&mut h);
             a.expr.hash(&mut h);
@@ -131,7 +134,7 @@ const SHARDS: usize = 8;
 /// miss.
 ///
 /// The cache is `Send + Sync` by construction: the entry map is split into
-/// [`SHARDS`] independently locked shards keyed by the operator key's hash,
+/// `SHARDS` (8) independently locked shards keyed by the operator key's hash,
 /// and the counters are atomics — so concurrent lookups from parallel
 /// queries serialize only when they collide on a shard, never on a single
 /// global lock.

@@ -242,7 +242,20 @@ fn compile_against_tuple(
             None => Ok(c),
         }
     };
-    let select = if query.is_aggregate() {
+    let select = if query.is_grouped() {
+        SelectProgram::Grouped {
+            keys: query
+                .group_by()
+                .iter()
+                .map(&lower)
+                .collect::<Result<Vec<_>, ExecError>>()?,
+            aggs: query
+                .aggregates()
+                .iter()
+                .map(|a| Ok((a.func, lower(&a.expr)?)))
+                .collect::<Result<Vec<_>, ExecError>>()?,
+        }
+    } else if query.is_aggregate() {
         SelectProgram::Aggregate(
             query
                 .aggregates()
@@ -374,6 +387,30 @@ pub fn reorg_and_execute_with(
                 );
                 Ok((group, out))
             }
+            SelectProgram::Grouped { keys, aggs } => {
+                let parts: Vec<(Vec<Value>, h2o_expr::GroupedAggs)> =
+                    run_morsels(rows, &build, |range| {
+                        let mut table = crate::kernels::grouped::table_for(keys, aggs);
+                        let mut key = vec![0 as Value; keys.len()];
+                        let mut vals = vec![0 as Value; aggs.len()];
+                        let block = stitch_block(range, &mut |tuple| {
+                            if filter.matches_tuple(tuple) {
+                                crate::kernels::grouped::update_from_tuple(
+                                    &mut table, keys, aggs, &mut key, &mut vals, tuple,
+                                );
+                            }
+                        });
+                        (block, table)
+                    });
+                let mut total = crate::kernels::grouped::table_for(keys, aggs);
+                let mut blocks = Vec::with_capacity(parts.len());
+                for (block, table) in parts {
+                    total.merge(table);
+                    blocks.push(block);
+                }
+                let group = group_from_payloads(target_attrs, rows, blocks);
+                Ok((group, total.finish()))
+            }
         };
     }
 
@@ -478,6 +515,20 @@ pub fn reorg_and_execute_with(
             });
             Ok((builder.finish(), out))
         }
+        SelectProgram::Grouped { keys, aggs } => {
+            let mut table = crate::kernels::grouped::table_for(keys, aggs);
+            let mut key = vec![0 as Value; keys.len()];
+            let mut vals = vec![0 as Value; aggs.len()];
+            stitch_each(&views, &bindings, 0..rows, &mut tuple, &mut |t| {
+                builder.push_tuple(&t[..width]);
+                if filter.matches_tuple(t) {
+                    crate::kernels::grouped::update_from_tuple(
+                        &mut table, keys, aggs, &mut key, &mut vals, t,
+                    );
+                }
+            });
+            Ok((builder.finish(), table.finish()))
+        }
     }
 }
 
@@ -576,6 +627,35 @@ mod tests {
         assert_eq!(group.collect_values(), offline.collect_values());
         let want = interpret(r.catalog(), &q).unwrap();
         assert_eq!(result.fingerprint(), want.fingerprint());
+    }
+
+    #[test]
+    fn online_reorg_grouped_query() {
+        // A grouped query can trigger lazy materialization too: the fused
+        // reorganization operator folds each stitched tuple into the
+        // grouped hash state while storing the new group.
+        let r = rel(true);
+        let attrs = [AttrId(0), AttrId(2)];
+        let q = Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::sum(Expr::col(2u32)), Aggregate::count()],
+            Conjunction::of([Predicate::gt(2u32, -10)]),
+        )
+        .unwrap();
+        let (group, result) = reorg_and_execute(r.catalog(), &attrs, &q).unwrap();
+        let offline = materialize(r.catalog(), &attrs).unwrap();
+        assert_eq!(group.collect_values(), offline.collect_values());
+        let want = interpret(r.catalog(), &q).unwrap();
+        assert_eq!(result, want, "grouped rows sorted by key, bit-identical");
+        // Parallel online reorg agrees bit-for-bit as well.
+        let policy = crate::parallel::ExecPolicy {
+            parallelism: Some(4),
+            morsel_rows: 7,
+            serial_threshold: 0,
+        };
+        let (pg, pr) = reorg_and_execute_with(r.catalog(), &attrs, &q, &policy).unwrap();
+        assert_eq!(pg.collect_values(), group.collect_values());
+        assert_eq!(pr, result);
     }
 
     #[test]

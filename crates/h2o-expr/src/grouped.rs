@@ -1,0 +1,203 @@
+//! Grouped-aggregation state: the hash table every execution strategy
+//! folds qualifying tuples through.
+//!
+//! The engine-wide determinism convention for grouped queries mirrors the
+//! scalar one ([`AggState`]): each strategy — the
+//! interpreter, and every kernel in `h2o-exec`, serial or morsel-parallel —
+//! maintains one [`GroupedAggs`] (or one per morsel, merged through
+//! [`GroupedAggs::merge`]), and [`GroupedAggs::finish`] emits the output
+//! rows **sorted ascending by key vector**. Because per-key accumulation
+//! goes through the same associative/commutative [`AggState`] operations
+//! and the final order is a pure function of the key set, any partition of
+//! the input into morsels — and any strategy — yields a bit-identical
+//! [`QueryResult`].
+
+use crate::agg::{AggFunc, AggState};
+use crate::result::QueryResult;
+use h2o_storage::Value;
+use std::collections::HashMap;
+
+/// Running state of one grouped aggregation: `key vector → one
+/// [`AggState`] per aggregate`.
+#[derive(Debug, Clone)]
+pub struct GroupedAggs {
+    key_width: usize,
+    funcs: Vec<AggFunc>,
+    map: HashMap<Box<[Value]>, Vec<AggState>>,
+}
+
+impl GroupedAggs {
+    /// Fresh table for `key_width`-value keys and the given aggregate
+    /// functions (`funcs` may be empty — the distinct-keys degenerate).
+    pub fn new(key_width: usize, funcs: Vec<AggFunc>) -> Self {
+        assert!(key_width > 0, "grouped aggregation requires a key");
+        GroupedAggs {
+            key_width,
+            funcs,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Folds one qualifying tuple: `key` is its evaluated key vector,
+    /// `vals` the evaluated aggregate inputs (same order as the
+    /// constructor's `funcs`).
+    #[inline]
+    pub fn update(&mut self, key: &[Value], vals: &[Value]) {
+        debug_assert_eq!(key.len(), self.key_width);
+        debug_assert_eq!(vals.len(), self.funcs.len());
+        match self.map.get_mut(key) {
+            Some(states) => {
+                for (st, &v) in states.iter_mut().zip(vals) {
+                    st.update(v);
+                }
+            }
+            None => {
+                let mut states: Vec<AggState> =
+                    self.funcs.iter().map(|&f| AggState::new(f)).collect();
+                for (st, &v) in states.iter_mut().zip(vals) {
+                    st.update(v);
+                }
+                self.map.insert(key.into(), states);
+            }
+        }
+    }
+
+    /// Merges another table into this one — the combine step of parallel
+    /// execution. Per-key states merge through [`AggState::merge`], whose
+    /// operations are associative and commutative, so any merge order over
+    /// any morsel partition produces the same final table.
+    pub fn merge(&mut self, other: GroupedAggs) {
+        debug_assert_eq!(self.key_width, other.key_width);
+        debug_assert_eq!(self.funcs, other.funcs);
+        for (key, partial) in other.map {
+            match self.map.get_mut(&*key) {
+                Some(states) => {
+                    for (st, p) in states.iter_mut().zip(&partial) {
+                        st.merge(p);
+                    }
+                }
+                None => {
+                    self.map.insert(key, partial);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn groups(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no tuple has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Values per output row.
+    pub fn output_width(&self) -> usize {
+        self.key_width + self.funcs.len()
+    }
+
+    /// Finishes the aggregation into the result block: one row per distinct
+    /// key (`key ++ finished aggregates`), **sorted ascending by key
+    /// vector**. Grouping over an empty input yields zero rows (the SQL
+    /// convention, unlike scalar aggregates' single neutral row) — all
+    /// strategies agree on this.
+    pub fn finish(&self) -> QueryResult {
+        let mut keys: Vec<&[Value]> = self.map.keys().map(|k| &**k).collect();
+        keys.sort_unstable();
+        let mut out = QueryResult::with_capacity(self.output_width(), keys.len());
+        let mut row: Vec<Value> = vec![0; self.output_width()];
+        for key in keys {
+            row[..self.key_width].copy_from_slice(key);
+            let states = &self.map[key];
+            for (slot, st) in row[self.key_width..].iter_mut().zip(states) {
+                *slot = st.finish();
+            }
+            out.push_row(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> GroupedAggs {
+        GroupedAggs::new(1, vec![AggFunc::Sum, AggFunc::Count])
+    }
+
+    #[test]
+    fn groups_accumulate_and_sort() {
+        let mut t = table();
+        t.update(&[2], &[10, 1]);
+        t.update(&[1], &[5, 1]);
+        t.update(&[2], &[7, 1]);
+        assert_eq!(t.groups(), 2);
+        let out = t.finish();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0), &[1, 5, 1]); // sorted ascending by key
+        assert_eq!(out.row(1), &[2, 17, 2]);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_rows() {
+        let t = table();
+        assert!(t.is_empty());
+        let out = t.finish();
+        assert!(out.is_empty());
+        assert_eq!(out.width(), 3);
+    }
+
+    #[test]
+    fn merge_equals_single_fold_for_any_split() {
+        let tuples: Vec<(Value, Value)> = (0..40).map(|i| (i % 5, i * 3 - 20)).collect();
+        let mut whole = GroupedAggs::new(1, vec![AggFunc::Min, AggFunc::Avg]);
+        for &(k, v) in &tuples {
+            whole.update(&[k], &[v, v]);
+        }
+        let want = whole.finish();
+        for chunk in [1usize, 3, 7, 39, 64] {
+            let mut merged = GroupedAggs::new(1, vec![AggFunc::Min, AggFunc::Avg]);
+            for part in tuples.chunks(chunk) {
+                let mut partial = GroupedAggs::new(1, vec![AggFunc::Min, AggFunc::Avg]);
+                for &(k, v) in part {
+                    partial.update(&[k], &[v, v]);
+                }
+                merged.merge(partial);
+            }
+            assert_eq!(merged.finish(), want, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn multi_value_keys_sort_lexicographically() {
+        let mut t = GroupedAggs::new(2, vec![AggFunc::Max]);
+        t.update(&[1, 9], &[3]);
+        t.update(&[1, -2], &[4]);
+        t.update(&[0, 100], &[5]);
+        let out = t.finish();
+        assert_eq!(out.row(0), &[0, 100, 5]);
+        assert_eq!(out.row(1), &[1, -2, 4]);
+        assert_eq!(out.row(2), &[1, 9, 3]);
+    }
+
+    #[test]
+    fn distinct_degenerate_no_aggregates() {
+        let mut t = GroupedAggs::new(1, vec![]);
+        t.update(&[3], &[]);
+        t.update(&[3], &[]);
+        t.update(&[-1], &[]);
+        let out = t.finish();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.width(), 1);
+        assert_eq!(out.data(), &[-1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a key")]
+    fn zero_key_width_rejected() {
+        GroupedAggs::new(0, vec![AggFunc::Count]);
+    }
+}

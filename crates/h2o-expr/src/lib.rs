@@ -8,9 +8,15 @@
 //!   (`d < v1 and e > v2`),
 //! * [`Aggregate`] — `sum`/`min`/`max`/`count`/`avg` over expressions,
 //! * [`Query`] — the select-project-aggregate statement with the paper's
-//!   three templates (projection, aggregation, arithmetic expression),
+//!   three templates (projection, aggregation, arithmetic expression) plus
+//!   grouped aggregation ([`Query::grouped`], beyond the paper's
+//!   evaluation),
 //! * [`QueryResult`] — row-major output blocks ("all execution strategies
-//!   materialize the output results ... in a row-major layout", §3.3).
+//!   materialize the output results ... in a row-major layout", §3.3),
+//! * [`GroupedAggs`] — the grouped-aggregation hash
+//!   state every strategy folds through; output rows are emitted sorted
+//!   ascending by key vector so all strategies (and morsel-parallel
+//!   execution, which merges per-morsel tables) agree bit-for-bit.
 //!
 //! It also implements the **generic operator** ([`interp`]): a
 //! tuple-at-a-time interpreter that evaluates any query over any set of
@@ -25,6 +31,7 @@
 
 pub mod agg;
 pub mod expr;
+pub mod grouped;
 pub mod interp;
 pub mod predicate;
 pub mod query;
@@ -32,6 +39,7 @@ pub mod result;
 
 pub use agg::{AggFunc, Aggregate};
 pub use expr::{ArithOp, Expr};
+pub use grouped::GroupedAggs;
 pub use interp::interpret;
 pub use predicate::{CmpOp, Conjunction, Predicate};
 pub use query::{Query, QueryError};

@@ -1,10 +1,22 @@
-//! The select-project-aggregate query statement.
+//! The select-project-aggregate(-group) query statement.
 //!
-//! A [`Query`] is either a *projection* query (select-items are expressions,
-//! one output row per qualifying tuple) or an *aggregation* query (all
-//! select-items are aggregates, one output row total). These are the two
-//! shapes of the paper's evaluation (§2.2, §4.2.1 templates i–iii); mixing
-//! them would require group-by, which the paper does not evaluate.
+//! A [`Query`] has one of three shapes:
+//!
+//! * a *projection* query (select-items are expressions, one output row per
+//!   qualifying tuple);
+//! * a *scalar aggregation* query (all select-items are aggregates, one
+//!   output row total) — these two are the shapes of the paper's evaluation
+//!   (§2.2, §4.2.1 templates i–iii);
+//! * a *grouped aggregation* query ([`Query::grouped`]): group-key
+//!   expressions plus aggregates, one output row per distinct key vector.
+//!   The paper does not evaluate group-by; this reproduction adds it as a
+//!   first-class query class (see the workspace README's query-shape
+//!   section).
+//!
+//! Mixing plain projections and aggregates remains illegal **without** a
+//! grouping clause ([`QueryError::MixedSelect`]); with a grouping clause the
+//! group keys are exactly the non-aggregate select-items, which is the SQL
+//! rule this engine enforces by construction.
 
 use crate::agg::Aggregate;
 use crate::expr::Expr;
@@ -17,7 +29,9 @@ use std::fmt;
 pub enum QueryError {
     /// A query must select at least one item.
     EmptySelect,
-    /// Projections and aggregates cannot be mixed without group-by.
+    /// Projections and aggregates cannot be mixed without a grouping
+    /// clause. With one, the non-aggregate select-items *are* the group
+    /// keys — use [`Query::grouped`].
     MixedSelect,
 }
 
@@ -28,7 +42,8 @@ impl fmt::Display for QueryError {
             QueryError::MixedSelect => {
                 write!(
                     f,
-                    "cannot mix plain projections and aggregates without group-by"
+                    "cannot mix plain projections and aggregates without a grouping \
+                     clause (group-by queries take the keys through Query::grouped)"
                 )
             }
         }
@@ -37,11 +52,17 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// A validated select-project-aggregate query over the relation.
+/// A validated select-project-aggregate query over the relation, optionally
+/// grouped by key expressions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
     projections: Vec<Expr>,
     aggregates: Vec<Aggregate>,
+    /// Group-key expressions. Non-empty exactly for grouped queries; the
+    /// output row is then `keys ++ aggregates`, one row per distinct key
+    /// vector, in ascending key order (the engine-wide determinism
+    /// convention — see [`crate::grouped::GroupedAggs`]).
+    group_by: Vec<Expr>,
     filter: Conjunction,
 }
 
@@ -51,41 +72,82 @@ impl Query {
         exprs: I,
         filter: Conjunction,
     ) -> Result<Self, QueryError> {
-        let projections: Vec<Expr> = exprs.into_iter().collect();
-        if projections.is_empty() {
-            return Err(QueryError::EmptySelect);
-        }
-        Ok(Query {
-            projections,
-            aggregates: Vec::new(),
-            filter,
-        })
+        Self::select(exprs, [], filter)
     }
 
-    /// An aggregation query: `select <aggs> from R where <filter>`.
+    /// A scalar aggregation query: `select <aggs> from R where <filter>`.
     pub fn aggregate<I: IntoIterator<Item = Aggregate>>(
         aggs: I,
         filter: Conjunction,
     ) -> Result<Self, QueryError> {
+        Self::select([], aggs, filter)
+    }
+
+    /// The general ungrouped constructor: plain expressions *or* aggregates,
+    /// never both. This is where the [`QueryError::MixedSelect`] taxonomy
+    /// lives: a mixed select-list is only meaningful with a grouping clause
+    /// ([`Self::grouped`]).
+    pub fn select<P, A>(exprs: P, aggs: A, filter: Conjunction) -> Result<Self, QueryError>
+    where
+        P: IntoIterator<Item = Expr>,
+        A: IntoIterator<Item = Aggregate>,
+    {
+        let projections: Vec<Expr> = exprs.into_iter().collect();
         let aggregates: Vec<Aggregate> = aggs.into_iter().collect();
-        if aggregates.is_empty() {
+        if projections.is_empty() && aggregates.is_empty() {
             return Err(QueryError::EmptySelect);
         }
+        if !projections.is_empty() && !aggregates.is_empty() {
+            return Err(QueryError::MixedSelect);
+        }
         Ok(Query {
-            projections: Vec::new(),
+            projections,
             aggregates,
+            group_by: Vec::new(),
             filter,
         })
     }
 
-    /// The projection expressions (empty for aggregation queries).
+    /// A grouped aggregation query:
+    /// `select <keys>, <aggs> from R where <filter> group by <keys>`.
+    ///
+    /// Requires at least one key expression; `aggs` may be empty (the
+    /// `select distinct <keys>` degenerate). Output rows are `keys ++
+    /// aggregate values`, one per distinct key vector, **sorted ascending by
+    /// key vector** so every execution strategy (and the parallel driver)
+    /// produces bit-identical results.
+    pub fn grouped<K, A>(keys: K, aggs: A, filter: Conjunction) -> Result<Self, QueryError>
+    where
+        K: IntoIterator<Item = Expr>,
+        A: IntoIterator<Item = Aggregate>,
+    {
+        let group_by: Vec<Expr> = keys.into_iter().collect();
+        if group_by.is_empty() {
+            return Err(QueryError::EmptySelect);
+        }
+        Ok(Query {
+            projections: Vec::new(),
+            aggregates: aggs.into_iter().collect(),
+            group_by,
+            filter,
+        })
+    }
+
+    /// The projection expressions (empty for aggregation and grouped
+    /// queries).
     pub fn projections(&self) -> &[Expr] {
         &self.projections
     }
 
-    /// The aggregates (empty for projection queries).
+    /// The aggregates (empty for projection queries; possibly empty for
+    /// grouped queries — the distinct-keys degenerate).
     pub fn aggregates(&self) -> &[Aggregate] {
         &self.aggregates
+    }
+
+    /// The group-key expressions (empty unless [`Self::is_grouped`]).
+    pub fn group_by(&self) -> &[Expr] {
+        &self.group_by
     }
 
     /// The where-clause.
@@ -93,29 +155,41 @@ impl Query {
         &self.filter
     }
 
-    /// Whether this is an aggregation query.
+    /// Whether this is a **scalar** aggregation query (one output row
+    /// total). Grouped queries report `false` here — their output
+    /// cardinality scales with the number of distinct keys, not with 1.
     pub fn is_aggregate(&self) -> bool {
-        !self.aggregates.is_empty()
+        !self.aggregates.is_empty() && self.group_by.is_empty()
+    }
+
+    /// Whether this is a grouped aggregation query.
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty()
     }
 
     /// Number of output values per result row.
     pub fn output_width(&self) -> usize {
-        if self.is_aggregate() {
+        if self.is_grouped() {
+            self.group_by.len() + self.aggregates.len()
+        } else if self.is_aggregate() {
             self.aggregates.len()
         } else {
             self.projections.len()
         }
     }
 
-    /// The select-items' expressions (projection exprs or aggregate inputs).
+    /// The select-items' expressions (projection exprs, group keys, and
+    /// aggregate inputs).
     pub fn select_exprs(&self) -> impl Iterator<Item = &Expr> {
         self.projections
             .iter()
+            .chain(self.group_by.iter())
             .chain(self.aggregates.iter().map(|a| &a.expr))
     }
 
-    /// Attributes referenced in the **select clause**. The adaptation
-    /// mechanism keeps this separate from [`Self::where_attrs`]: "H2O
+    /// Attributes referenced in the **select clause** (group keys
+    /// included — the adaptation mechanism must see key columns as hot).
+    /// The mechanism keeps this separate from [`Self::where_attrs`]: "H2O
     /// considers attributes accessed together in the select and the where
     /// clause as different potential groups" (§3.2).
     pub fn select_attrs(&self) -> AttrSet {
@@ -146,24 +220,34 @@ impl Query {
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "select ")?;
-        if self.is_aggregate() {
-            for (i, a) in self.aggregates.iter().enumerate() {
-                if i > 0 {
-                    write!(f, ", ")?;
-                }
-                write!(f, "{a}")?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, ", ")?;
             }
-        } else {
-            for (i, e) in self.projections.iter().enumerate() {
-                if i > 0 {
-                    write!(f, ", ")?;
-                }
-                write!(f, "{e}")?;
-            }
+            first = false;
+            Ok(())
+        };
+        for e in self.group_by.iter().chain(&self.projections) {
+            sep(f)?;
+            write!(f, "{e}")?;
+        }
+        for a in &self.aggregates {
+            sep(f)?;
+            write!(f, "{a}")?;
         }
         write!(f, " from R")?;
         if !self.filter.is_always_true() {
             write!(f, " where {}", self.filter)?;
+        }
+        if self.is_grouped() {
+            write!(f, " group by ")?;
+            for (i, k) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}")?;
+            }
         }
         Ok(())
     }
@@ -172,6 +256,7 @@ impl fmt::Display for Query {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agg::AggFunc;
     use crate::predicate::Predicate;
     use h2o_storage::AttrId;
 
@@ -184,6 +269,7 @@ mod tests {
         )
         .unwrap();
         assert!(!q.is_aggregate());
+        assert!(!q.is_grouped());
         assert_eq!(q.output_width(), 1);
         assert_eq!(
             q.select_attrs().to_vec(),
@@ -214,6 +300,79 @@ mod tests {
     }
 
     #[test]
+    fn grouped_query_shape() {
+        // select a0, sum(a1), count(*) from R where a2 < 5 group by a0
+        let q = Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::sum(Expr::col(1u32)), Aggregate::count()],
+            Conjunction::of([Predicate::lt(2u32, 5)]),
+        )
+        .unwrap();
+        assert!(q.is_grouped());
+        assert!(!q.is_aggregate(), "grouped queries are not scalar");
+        assert_eq!(q.output_width(), 3);
+        assert_eq!(q.group_by().len(), 1);
+        // Key attrs count as select attrs (hot for the adviser).
+        assert_eq!(q.select_attrs().to_vec(), vec![AttrId(0), AttrId(1)]);
+        assert_eq!(q.all_attrs().len(), 3);
+        assert_eq!(
+            q.to_string(),
+            "select a0, sum(a1), count(1) from R where a2 < 5 group by a0"
+        );
+    }
+
+    #[test]
+    fn grouped_expression_keys_and_distinct_degenerate() {
+        let q = Query::grouped(
+            [Expr::col(0u32).add(Expr::col(1u32)), Expr::col(2u32)],
+            [Aggregate::new(AggFunc::Min, Expr::col(3u32))],
+            Conjunction::always(),
+        )
+        .unwrap();
+        assert_eq!(q.output_width(), 3);
+        assert_eq!(q.select_attrs().len(), 4);
+        // Distinct-keys degenerate: no aggregates is legal with grouping.
+        let d = Query::grouped([Expr::col(5u32)], [], Conjunction::always()).unwrap();
+        assert!(d.is_grouped());
+        assert_eq!(d.output_width(), 1);
+        assert_eq!(d.to_string(), "select a5 from R group by a5");
+        // ... but a grouped query still needs at least one key.
+        assert_eq!(
+            Query::grouped([], [Aggregate::count()], Conjunction::always()).unwrap_err(),
+            QueryError::EmptySelect
+        );
+    }
+
+    #[test]
+    fn mixed_select_rejected_without_grouping() {
+        // The taxonomy: mixing stays illegal only *without* a grouping
+        // clause.
+        let err = Query::select(
+            [Expr::col(0u32)],
+            [Aggregate::count()],
+            Conjunction::always(),
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::MixedSelect);
+        // Rendered-message regression: the text must direct users to the
+        // grouped constructor, not claim group-by is unsupported.
+        let msg = err.to_string();
+        assert_eq!(
+            msg,
+            "cannot mix plain projections and aggregates without a grouping \
+             clause (group-by queries take the keys through Query::grouped)"
+        );
+        assert!(!msg.contains("does not"), "must not claim unsupported");
+        // The same select-list *with* a grouping clause is legal.
+        let ok = Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::count()],
+            Conjunction::always(),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
     fn empty_select_rejected() {
         assert_eq!(
             Query::project([], Conjunction::always()).unwrap_err(),
@@ -221,6 +380,10 @@ mod tests {
         );
         assert_eq!(
             Query::aggregate([], Conjunction::always()).unwrap_err(),
+            QueryError::EmptySelect
+        );
+        assert_eq!(
+            Query::select([], [], Conjunction::always()).unwrap_err(),
             QueryError::EmptySelect
         );
     }
@@ -233,6 +396,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.select_node_count(), 4);
+        let g = Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::sum(Expr::col(1u32).add(Expr::col(2u32)))],
+            Conjunction::always(),
+        )
+        .unwrap();
+        assert_eq!(g.select_node_count(), 4); // key (1) + sum input (3)
     }
 
     #[test]

@@ -106,6 +106,7 @@ mod tests {
             output_width: 1,
             select_ops: (2 * select.len()).saturating_sub(1).max(1),
             is_aggregate: false,
+            is_grouped: false,
         }
     }
 

@@ -102,6 +102,7 @@ mod tests {
             output_width: 1,
             select_ops: 1,
             is_aggregate: true,
+            is_grouped: false,
         };
         let cost = partition_cost(&model, &[pat], &[aset(&[0])], 1000);
         assert!(cost.is_infinite());

@@ -7,7 +7,11 @@
 //!   with integers randomly distributed in [−10⁹, 10⁹]") and
 //!   selectivity-controlled predicates over them;
 //! * [`micro`] — the three §4.2.1 query templates: projections,
-//!   aggregations, arithmetic expressions, with and without where clauses;
+//!   aggregations, arithmetic expressions, with and without where clauses —
+//!   plus the grouped-aggregation template
+//!   ([`QueryGen::build_grouped`](micro::QueryGen::build_grouped), beyond
+//!   the paper) over low-cardinality key columns
+//!   ([`synth::gen_key_column`]);
 //! * [`sequence`] — the query *sequences* of the adaptation experiments:
 //!   the Fig. 7 class-pool workload, the Fig. 9 shifting workload, and an
 //!   oscillating stress sequence;
@@ -26,5 +30,10 @@ pub mod synth;
 
 pub use micro::{QueryGen, Template};
 pub use sequence::{fig7_sequence, fig9_sequence, oscillating_sequence, TimedQuery};
-pub use skyserver::{skyserver_schema, skyserver_workload, SkyServerSpec};
-pub use synth::{gen_columns, threshold_for_selectivity, VALUE_MAX, VALUE_MIN};
+pub use skyserver::{
+    skyserver_grouped_workload, skyserver_schema, skyserver_workload, SkyServerSpec,
+};
+pub use synth::{
+    gen_columns, gen_columns_with_keys, gen_key_column, threshold_for_selectivity, VALUE_MAX,
+    VALUE_MIN,
+};

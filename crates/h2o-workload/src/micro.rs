@@ -129,6 +129,52 @@ impl QueryGen {
         let filter_attrs: Vec<AttrId> = attrs.iter().copied().take(n_preds).collect();
         Self::build(template, &attrs, &filter_attrs, selectivity)
     }
+
+    /// The grouped-aggregation template (beyond the paper's i–iii):
+    /// `select <keys>, sum(a), ..., count(*) from R where <preds> group by
+    /// <keys>`. Key attributes should reference low-cardinality columns
+    /// (see [`crate::synth::gen_key_column`]) for the grouping to be
+    /// meaningful. Returns the query and the expected selectivity.
+    pub fn build_grouped(
+        key_attrs: &[AttrId],
+        agg_attrs: &[AttrId],
+        filter_attrs: &[AttrId],
+        selectivity: f64,
+    ) -> (Query, f64) {
+        assert!(!key_attrs.is_empty(), "grouped template needs a key");
+        let filter = Self::filter_with_selectivity(filter_attrs, selectivity);
+        let sel = if filter_attrs.is_empty() {
+            1.0
+        } else {
+            selectivity
+        };
+        let mut aggs: Vec<Aggregate> = agg_attrs
+            .iter()
+            .map(|&a| Aggregate::sum(Expr::Col(a)))
+            .collect();
+        aggs.push(Aggregate::count());
+        let q = Query::grouped(key_attrs.iter().map(|&a| Expr::Col(a)), aggs, filter).unwrap();
+        (q, sel)
+    }
+
+    /// Random grouped template: draws `k` aggregate attributes (reusing
+    /// `n_preds` of them as filter predicates) over the given key columns.
+    pub fn random_grouped(
+        &mut self,
+        key_attrs: &[AttrId],
+        k: usize,
+        n_preds: usize,
+        selectivity: f64,
+    ) -> (Query, f64) {
+        let attrs: Vec<AttrId> = self
+            .random_attrs(k + key_attrs.len())
+            .into_iter()
+            .filter(|a| !key_attrs.contains(a))
+            .take(k)
+            .collect();
+        let filter_attrs: Vec<AttrId> = attrs.iter().copied().take(n_preds).collect();
+        Self::build_grouped(key_attrs, &attrs, &filter_attrs, selectivity)
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +198,31 @@ mod tests {
         assert_eq!(e.output_width(), 1);
         assert_eq!(e.select_attrs().len(), 3);
         assert!((s - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_template_shape() {
+        let keys = [AttrId(0)];
+        let aggs = [AttrId(2), AttrId(4)];
+        let (q, s) = QueryGen::build_grouped(&keys, &aggs, &[AttrId(2)], 0.25);
+        assert!(q.is_grouped());
+        assert_eq!(q.group_by().len(), 1);
+        assert_eq!(q.aggregates().len(), 3, "sum per attr + count(*)");
+        assert_eq!(q.output_width(), 4);
+        assert!((s - 0.25).abs() < 1e-12);
+        // Keys are select-clause attributes (hot for the adviser).
+        assert!(q.select_attrs().contains(AttrId(0)));
+
+        let mut g = QueryGen::new(20, 11);
+        let (q, _) = g.random_grouped(&keys, 4, 2, 0.5);
+        assert!(q.is_grouped());
+        assert!(!q.select_attrs().is_empty());
+        assert!(
+            !q.aggregates()
+                .iter()
+                .any(|a| a.expr.attrs().contains(AttrId(0))),
+            "aggregate inputs avoid the key column"
+        );
     }
 
     #[test]

@@ -172,6 +172,132 @@ pub fn skyserver_workload(
     (spec, columns, out)
 }
 
+/// The [`skyserver_workload`] setup with **grouped analytics** mixed in
+/// (beyond the paper, which stops at select-project-aggregate): the flag
+/// columns (`type`, `status`, `clean`) are folded to realistic low
+/// cardinalities (8/16/2 — they are categorical in the real PhotoObjAll),
+/// and roughly 40% of the queries become grouped aggregations keyed on
+/// them (`select type, sum(...), count(*) ... group by type` — the
+/// canonical SkyServer object-class rollup). The rest of the drifting
+/// cluster structure is identical to the plain workload, so adaptation
+/// experiments compare directly.
+pub fn skyserver_grouped_workload(
+    rows: usize,
+    n_queries: usize,
+    seed: u64,
+) -> (SkyServerSpec, Vec<Vec<Value>>, Vec<TimedQuery>) {
+    let (spec, mut columns, plain) = skyserver_workload(rows, n_queries, seed);
+    // Categorical flag columns: fold the uniform data into buckets.
+    let cards: [(&str, i64); 3] = [("type", 8), ("status", 16), ("clean", 2)];
+    let mut key_attrs = Vec::new();
+    for (name, card) in cards {
+        let attr = spec.schema.attr_by_name(name).unwrap();
+        for v in &mut columns[attr.index()] {
+            *v = v.rem_euclid(card);
+        }
+        key_attrs.push(attr);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9209_6b65);
+    let out = plain
+        .into_iter()
+        .map(|tq| {
+            let tq = if rng.gen_bool(0.4) {
+                // Re-shape into a grouped rollup over the same hot
+                // attributes, keyed on one or two flag columns.
+                let mut keys = vec![*key_attrs.choose(&mut rng).unwrap()];
+                if rng.gen_bool(0.25) {
+                    let second = *key_attrs.choose(&mut rng).unwrap();
+                    if second != keys[0] {
+                        keys.push(second);
+                    }
+                }
+                let agg_attrs: Vec<AttrId> = tq
+                    .query
+                    .select_attrs()
+                    .iter()
+                    .filter(|a| !keys.contains(a))
+                    .take(6)
+                    .collect();
+                if agg_attrs.is_empty() {
+                    tq
+                } else {
+                    let filter: Vec<AttrId> = tq.query.where_attrs().to_vec();
+                    let (query, selectivity) =
+                        QueryGen::build_grouped(&keys, &agg_attrs, &filter, tq.selectivity);
+                    TimedQuery { query, selectivity }
+                }
+            } else {
+                tq
+            };
+            refit_folded_filters(tq, &spec, &cards)
+        })
+        .collect();
+    (spec, columns, out)
+}
+
+/// Rewrites a query's filter thresholds for predicates over the **folded**
+/// flag columns. The plain workload generates every threshold for the
+/// uniform `[−10⁹, 10⁹)` domain, which is always negative at the
+/// selectivities in use — against the folded `[0, card)` categorical data
+/// such a predicate would select *zero* rows, breaking both the workload
+/// semantics and the recorded selectivity. The uniform-domain threshold is
+/// mapped to the categorical one preserving its intended selectivity at
+/// bucket granularity (at least one bucket), and the `TimedQuery`
+/// selectivity metadata is recomputed accordingly.
+fn refit_folded_filters(tq: TimedQuery, spec: &SkyServerSpec, cards: &[(&str, i64)]) -> TimedQuery {
+    use h2o_expr::{Conjunction, Predicate, Query};
+    let card_of = |attr: AttrId| -> Option<i64> {
+        cards
+            .iter()
+            .find(|(name, _)| spec.schema.attr_by_name(name).ok() == Some(attr))
+            .map(|&(_, c)| c)
+    };
+    let preds = tq.query.filter().predicates();
+    if !preds.iter().any(|p| card_of(p.attr).is_some()) {
+        return tq;
+    }
+    let mut folded_sel = 1.0f64;
+    let mut all_folded = true;
+    let new_preds: Vec<Predicate> = preds
+        .iter()
+        .map(|p| match card_of(p.attr) {
+            Some(card) => {
+                let s = (p.value.saturating_sub(crate::synth::VALUE_MIN)) as f64
+                    / (crate::synth::VALUE_MAX - crate::synth::VALUE_MIN) as f64;
+                let t = ((s * card as f64).round() as Value).clamp(1, card);
+                folded_sel *= t as f64 / card as f64;
+                Predicate { value: t, ..*p }
+            }
+            None => {
+                all_folded = false;
+                *p
+            }
+        })
+        .collect();
+    let filter: Conjunction = new_preds.into_iter().collect();
+    let query = if tq.query.is_grouped() {
+        Query::grouped(
+            tq.query.group_by().to_vec(),
+            tq.query.aggregates().to_vec(),
+            filter,
+        )
+        .unwrap()
+    } else if tq.query.is_aggregate() {
+        Query::aggregate(tq.query.aggregates().to_vec(), filter).unwrap()
+    } else {
+        Query::project(tq.query.projections().to_vec(), filter).unwrap()
+    };
+    // The workload's filters are single-predicate, so the recomputed
+    // categorical selectivity is exact there; mixed conjunctions keep the
+    // original estimate (the folded part only widens it).
+    let selectivity = if all_folded {
+        folded_sel.clamp(0.0, 1.0)
+    } else {
+        tq.selectivity
+    };
+    TimedQuery { query, selectivity }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +355,80 @@ mod tests {
             late > early * 2,
             "drift expected: early {early}, late {late}"
         );
+    }
+
+    #[test]
+    fn grouped_workload_mixes_grouped_rollups() {
+        let (spec, cols, w) = skyserver_grouped_workload(500, 200, 13);
+        assert_eq!(w.len(), 200);
+        // Flag columns fold to their categorical cardinality.
+        let type_attr = spec.schema.attr_by_name("type").unwrap();
+        assert!(cols[type_attr.index()].iter().all(|&v| (0..8).contains(&v)));
+        let clean_attr = spec.schema.attr_by_name("clean").unwrap();
+        assert!(cols[clean_attr.index()]
+            .iter()
+            .all(|&v| (0..2).contains(&v)));
+        // A substantial fraction of the sequence is grouped, keyed on flags.
+        let grouped: Vec<_> = w.iter().filter(|tq| tq.query.is_grouped()).collect();
+        assert!(
+            grouped.len() >= 40 && grouped.len() <= 120,
+            "grouped share ~40%: {}",
+            grouped.len()
+        );
+        let status_attr = spec.schema.attr_by_name("status").unwrap();
+        let flags: h2o_storage::AttrSet =
+            [type_attr, clean_attr, status_attr].into_iter().collect();
+        for tq in &grouped {
+            for k in tq.query.group_by() {
+                assert!(k.attrs().is_subset(&flags), "keys come from flag columns");
+            }
+        }
+        // Filters over folded flag columns are refitted to the categorical
+        // domain — never the uniform-domain (always-negative) thresholds
+        // that would select zero rows.
+        let card_of = |a: h2o_storage::AttrId| match a {
+            _ if a == type_attr => Some(8),
+            _ if a == status_attr => Some(16),
+            _ if a == clean_attr => Some(2),
+            _ => None,
+        };
+        let mut refitted = 0;
+        for tq in &w {
+            for p in tq.query.filter().predicates() {
+                if let Some(card) = card_of(p.attr) {
+                    assert!(
+                        (1..=card).contains(&p.value),
+                        "flag filter in categorical domain: {p:?}"
+                    );
+                    refitted += 1;
+                }
+            }
+            assert!(tq.selectivity > 0.0 && tq.selectivity <= 1.0);
+        }
+        assert!(refitted > 50, "most filters hit flag columns: {refitted}");
+        // End-to-end: the workload actually selects rows against the
+        // folded data (the pre-fix behavior returned zero rows for ~75%
+        // of the queries).
+        let schema2 = spec.schema.clone();
+        let rel = h2o_storage::Relation::columnar(schema2, cols.clone()).unwrap();
+        let matching = w
+            .iter()
+            .take(40)
+            .filter(|tq| {
+                !h2o_expr::interpret(rel.catalog(), &tq.query)
+                    .unwrap()
+                    .is_empty()
+            })
+            .count();
+        assert!(
+            matching >= 25,
+            "most of the first 40 queries must select rows, got {matching}"
+        );
+        // Deterministic.
+        let (_, _, w2) = skyserver_grouped_workload(500, 200, 13);
+        for (a, b) in w.iter().zip(&w2) {
+            assert_eq!(a.query, b.query);
+        }
     }
 
     #[test]

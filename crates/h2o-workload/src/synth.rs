@@ -22,6 +22,33 @@ pub fn gen_columns(n_attrs: usize, rows: usize, seed: u64) -> Vec<Vec<Value>> {
         .collect()
 }
 
+/// Generates one group-**key** column: `rows` values uniformly distributed
+/// in `[0, cardinality)`, deterministically from `seed`. Uniform data in
+/// the paper's `[−10⁹, 10⁹)` range is effectively all-distinct, so grouped
+/// workloads draw their keys from dedicated low-cardinality columns.
+pub fn gen_key_column(rows: usize, cardinality: u64, seed: u64) -> Vec<Value> {
+    let card = cardinality.max(1) as Value;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6b65_7973); // "keys"
+    (0..rows).map(|_| rng.gen_range(0..card)).collect()
+}
+
+/// [`gen_columns`] with the first `key_attrs` columns replaced by
+/// low-cardinality key columns (`[0, cardinality)`); the remaining columns
+/// keep the paper's uniform `[−10⁹, 10⁹)` distribution.
+pub fn gen_columns_with_keys(
+    n_attrs: usize,
+    rows: usize,
+    seed: u64,
+    key_attrs: usize,
+    cardinality: u64,
+) -> Vec<Vec<Value>> {
+    let mut cols = gen_columns(n_attrs, rows, seed);
+    for (k, col) in cols.iter_mut().take(key_attrs).enumerate() {
+        *col = gen_key_column(rows, cardinality, seed.wrapping_add(k as u64));
+    }
+    cols
+}
+
 /// The threshold `v` such that `attr < v` has selectivity `s` over data
 /// uniform in `[VALUE_MIN, VALUE_MAX)`.
 pub fn threshold_for_selectivity(s: f64) -> Value {
@@ -56,6 +83,23 @@ mod tests {
             assert_eq!(col.len(), 100);
             assert!(col.iter().all(|&v| (VALUE_MIN..VALUE_MAX).contains(&v)));
         }
+    }
+
+    #[test]
+    fn key_columns_have_requested_cardinality() {
+        let col = gen_key_column(10_000, 16, 3);
+        assert!(col.iter().all(|&v| (0..16).contains(&v)));
+        let distinct: std::collections::HashSet<Value> = col.iter().copied().collect();
+        assert_eq!(distinct.len(), 16, "all 16 buckets hit at 10K rows");
+        assert_eq!(col, gen_key_column(10_000, 16, 3), "deterministic");
+        // Degenerate cardinalities clamp to one bucket.
+        assert!(gen_key_column(100, 0, 1).iter().all(|&v| v == 0));
+
+        let cols = gen_columns_with_keys(4, 500, 9, 2, 8);
+        assert!(cols[0].iter().all(|&v| (0..8).contains(&v)));
+        assert!(cols[1].iter().all(|&v| (0..8).contains(&v)));
+        assert!(cols[2].iter().any(|&v| v.abs() > 1_000_000));
+        assert_ne!(cols[0], cols[1], "key columns use distinct seeds");
     }
 
     #[test]

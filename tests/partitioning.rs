@@ -14,6 +14,7 @@ fn pattern(select: &[usize], where_: &[usize], sel: f64) -> AccessPattern {
         output_width: 1,
         select_ops: (2 * select.len()).saturating_sub(1).max(1),
         is_aggregate: false,
+        is_grouped: false,
     }
 }
 

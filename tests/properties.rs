@@ -170,6 +170,7 @@ proptest! {
             output_width: 1,
             select_ops: k,
             is_aggregate: true,
+            is_grouped: false,
         };
         let groups = vec![GroupSpec::new(attrs)];
         let c = model.best_cost(&pat, &groups, rows);

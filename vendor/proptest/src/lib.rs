@@ -1,7 +1,7 @@
 //! Minimal offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of the API this workspace's tests use: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`, range and tuple
 //! strategies, [`collection::vec`], [`any`], the
 //! [`ProptestConfig`](test_runner::ProptestConfig) case count, and the
 //! `proptest!`/`prop_assert*`/`prop_assume!` macros.
