@@ -32,10 +32,10 @@ use crate::stats::EngineStats;
 use h2o_adapt::{AdviceQueue, Adviser, SharedWindow};
 use h2o_cost::{AccessPattern, CostModel, GroupSpec, PlanSpec, Residence};
 use h2o_exec::{
-    execute_with_policy as exec_execute_with_policy, reorg, AccessPlan, ExecError, OperatorCache,
-    Strategy,
+    execute_with_policy_stats as exec_execute_with_policy_stats, reorg, AccessPlan, ExecError,
+    OperatorCache, Strategy,
 };
-use h2o_expr::{Query, QueryResult};
+use h2o_expr::{Query, QueryError, QueryResult};
 use h2o_storage::{
     AttrId, CatalogSnapshot, Epoch, LayoutCatalog, LayoutId, Relation, StorageError,
 };
@@ -53,6 +53,11 @@ use std::time::{Duration, Instant};
 pub enum EngineError {
     Exec(ExecError),
     Storage(StorageError),
+    /// The query failed plan-time validation against the schema — most
+    /// prominently [`QueryError::TypeMismatch`] for cross-type predicates
+    /// or arithmetic. Raised before planning, monitoring or adaptation see
+    /// the query.
+    Query(QueryError),
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +65,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Exec(e) => write!(f, "execution error: {e}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Query(e) => write!(f, "invalid query: {e}"),
         }
     }
 }
@@ -68,13 +74,24 @@ impl std::error::Error for EngineError {}
 
 impl From<ExecError> for EngineError {
     fn from(e: ExecError) -> Self {
-        EngineError::Exec(e)
+        // Surface plan-time validation failures uniformly as Query errors
+        // no matter which layer caught them.
+        match e {
+            ExecError::Query(q) => EngineError::Query(q),
+            other => EngineError::Exec(other),
+        }
     }
 }
 
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> Self {
         EngineError::Storage(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
     }
 }
 
@@ -261,6 +278,13 @@ impl H2oEngine {
         q: &Query,
         selectivity_hint: Option<f64>,
     ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
+        // Plan-time type gate: an ill-typed query (cross-type predicate or
+        // arithmetic, ordered dict comparison, dict measure) is rejected
+        // here, before planning, monitoring or adaptation observe it. The
+        // typing is threaded into operator-cache lookups so validation
+        // runs once per query, not once per layer.
+        let checked = h2o_expr::typecheck::check(q, self.catalog.read().schema())?;
+
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats.lock().queries += 1;
         let sel = self.estimate_selectivity(q, selectivity_hint);
@@ -271,7 +295,9 @@ impl H2oEngine {
             None => {
                 let snap = self.snapshot();
                 let (plan, cost) = self.plan_on(&snap, &pattern)?;
-                let op = self.opcache.get_or_compile(&snap, &plan, q)?;
+                let op = self
+                    .opcache
+                    .get_or_compile_checked(&snap, &plan, q, &checked)?;
                 for &id in &plan.layouts {
                     snap.note_use(id, epoch);
                 }
@@ -282,7 +308,11 @@ impl H2oEngine {
                     estimated_cost: cost,
                     selectivity_estimate: sel,
                 });
-                let r = exec_execute_with_policy(&snap, &op, &self.config.exec_policy())?;
+                let (r, exec_stats) =
+                    exec_execute_with_policy_stats(&snap, &op, &self.config.exec_policy())?;
+                if exec_stats.segments_skipped > 0 {
+                    self.stats.lock().segments_skipped += exec_stats.segments_skipped;
+                }
                 (snap, r)
             }
         };

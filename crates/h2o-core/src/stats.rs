@@ -28,6 +28,10 @@ pub struct EngineStats {
     /// Payload segments sealed (filled to capacity, immutable from then
     /// on) by the append path.
     pub segments_sealed: u64,
+    /// Sealed-segment runs skipped by zone-map pruning: scans consult the
+    /// per-attribute min/max statistics recorded when a segment seals and
+    /// skip whole segments no predicate of the conjunction can match in.
+    pub segments_skipped: u64,
     /// Workload shifts detected by the monitoring window.
     pub shifts_detected: u64,
     /// Reorganizations completed, by any path: fused-with-a-query, explicit
@@ -54,6 +58,7 @@ mod tests {
         assert_eq!(s.layouts_created, 0);
         assert_eq!(s.bytes_cloned_on_write, 0);
         assert_eq!(s.segments_sealed, 0);
+        assert_eq!(s.segments_skipped, 0);
         assert_eq!(s.reorgs_completed, 0);
         assert_eq!(s.snapshots_published, 0);
         assert_eq!(s.reorg_time, Duration::ZERO);

@@ -19,8 +19,12 @@
 //! [`SlotAccessor`], which add one shift, one mask and one extra indexed
 //! load per access.
 
-use h2o_storage::{ColumnGroup, LayoutCatalog, LayoutId, StorageError, Value, DEFAULT_SEG_SHIFT};
+use crate::filter::{CompiledFilter, CompiledPred};
+use h2o_storage::{
+    ColumnGroup, LayoutCatalog, LayoutId, SegStats, StorageError, Value, DEFAULT_SEG_SHIFT,
+};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A physically resolved attribute reference: the `slot`-th group of the
 /// access plan, at value-offset `offset` within each tuple of that group.
@@ -31,9 +35,11 @@ pub struct BoundAttr {
 }
 
 /// One bound group: its segment slices plus the shift/mask that maps a
-/// global row id to (segment, local row).
+/// global row id to (segment, local row), and the per-segment zone-map
+/// statistics (`None` for the mutable tail / unsealed segments).
 struct SlotView<'a> {
     segs: Vec<&'a [Value]>,
+    stats: Vec<Option<&'a SegStats>>,
     width: usize,
     shift: u32,
     mask: usize,
@@ -51,6 +57,9 @@ pub struct GroupViews<'a> {
     /// which nests inside every slot's boundaries (capacities are powers
     /// of two).
     min_shift: u32,
+    /// Segment runs skipped by zone-map pruning ([`Self::runs_pruned`]).
+    /// Relaxed: a statistic, shared by `&` across morsel workers.
+    skipped: AtomicU64,
 }
 
 // Compile-time proof that views may be shared across morsel workers.
@@ -62,6 +71,7 @@ const _: fn() = || {
 fn slot_of(g: &ColumnGroup) -> SlotView<'_> {
     SlotView {
         segs: g.segments().collect(),
+        stats: (0..g.segment_count()).map(|i| g.seg_stats(i)).collect(),
         width: g.width(),
         shift: g.seg_shift(),
         mask: g.seg_rows() - 1,
@@ -98,6 +108,7 @@ impl<'a> GroupViews<'a> {
             slots,
             rows,
             min_shift,
+            skipped: AtomicU64::new(0),
         }
     }
 
@@ -164,34 +175,84 @@ impl<'a> GroupViews<'a> {
             views: self,
             cur: range.start,
             end: range.end,
+            preds: &[],
         }
+    }
+
+    /// [`Self::runs`] with **zone-map pruning**: runs whose sealed-segment
+    /// statistics prove that some predicate of `filter` cannot match any
+    /// row are skipped entirely (and counted — [`Self::segments_skipped`]).
+    /// Sound for the whole conjunction even when a consumer evaluates the
+    /// predicates in phases: a run pruned by *any* predicate contributes
+    /// no qualifying rows. Runs over unsealed segments (the mutable tail,
+    /// monolithic groups) are never pruned.
+    pub fn runs_pruned<'v>(
+        &'v self,
+        range: Range<usize>,
+        filter: &'v CompiledFilter,
+    ) -> SegRuns<'v, 'a> {
+        debug_assert!(range.end <= self.rows);
+        SegRuns {
+            views: self,
+            cur: range.start,
+            end: range.end,
+            preds: filter.preds(),
+        }
+    }
+
+    /// Whether the run starting at `start` (contained in one segment of
+    /// every slot) is provably empty under `preds`.
+    fn run_prunable(&self, start: usize, preds: &[CompiledPred]) -> bool {
+        preds.iter().any(|p| {
+            let s = &self.slots[p.attr.slot as usize];
+            match s.stats[start >> s.shift] {
+                Some(stats) => !p.zone_can_match_stats(stats),
+                None => false,
+            }
+        })
+    }
+
+    /// Segment runs skipped by zone-map pruning over this view's lifetime
+    /// (summed across all scans and morsel workers that shared it).
+    pub fn segments_skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
     }
 }
 
-/// Iterator over the segment runs of a row range (see [`GroupViews::runs`]).
+/// Iterator over the segment runs of a row range (see [`GroupViews::runs`]
+/// and [`GroupViews::runs_pruned`]).
 pub struct SegRuns<'v, 'a> {
     views: &'v GroupViews<'a>,
     cur: usize,
     end: usize,
+    /// Zone-map pruning predicates (empty for unpruned iteration).
+    preds: &'v [CompiledPred],
 }
 
 impl<'v, 'a> Iterator for SegRuns<'v, 'a> {
     type Item = SegRun<'v, 'a>;
 
     fn next(&mut self) -> Option<SegRun<'v, 'a>> {
-        if self.cur >= self.end {
-            return None;
+        loop {
+            if self.cur >= self.end {
+                return None;
+            }
+            let gran = self.views.seg_rows();
+            let boundary = ((self.cur >> self.views.min_shift) + 1) * gran;
+            let stop = boundary.min(self.end);
+            if !self.preds.is_empty() && self.views.run_prunable(self.cur, self.preds) {
+                self.views.skipped.fetch_add(1, Ordering::Relaxed);
+                self.cur = stop;
+                continue;
+            }
+            let run = SegRun {
+                views: self.views,
+                start: self.cur,
+                end: stop,
+            };
+            self.cur = stop;
+            return Some(run);
         }
-        let gran = self.views.seg_rows();
-        let boundary = ((self.cur >> self.views.min_shift) + 1) * gran;
-        let stop = boundary.min(self.end);
-        let run = SegRun {
-            views: self.views,
-            start: self.cur,
-            end: stop,
-        };
-        self.cur = stop;
-        Some(run)
     }
 }
 

@@ -14,8 +14,9 @@ use crate::parallel::{run_chunks, run_morsels, ExecPolicy};
 use crate::plan::{AccessPlan, Strategy};
 use crate::program::CompiledExpr;
 use crate::selvec::SelVec;
-use h2o_expr::agg::AggState;
-use h2o_expr::{AggFunc, Query, QueryResult};
+use h2o_expr::agg::{AggOp, AggState};
+use h2o_expr::typecheck::{self, QueryTypes};
+use h2o_expr::{Query, QueryError, QueryResult};
 use h2o_storage::{AttrId, LayoutCatalog, LayoutId, StorageError, Value};
 use std::fmt;
 
@@ -26,6 +27,10 @@ pub enum ExecError {
     Storage(StorageError),
     /// The plan's layouts do not store an attribute the query needs.
     Unbound(AttrId),
+    /// The query failed plan-time validation against the schema —
+    /// typically [`QueryError::TypeMismatch`]. Nothing was compiled or
+    /// scanned.
+    Query(QueryError),
 }
 
 impl fmt::Display for ExecError {
@@ -35,6 +40,7 @@ impl fmt::Display for ExecError {
             ExecError::Unbound(a) => {
                 write!(f, "plan does not cover attribute {a} required by the query")
             }
+            ExecError::Query(e) => write!(f, "{e}"),
         }
     }
 }
@@ -45,6 +51,20 @@ impl From<StorageError> for ExecError {
     fn from(e: StorageError) -> Self {
         ExecError::Storage(e)
     }
+}
+
+impl From<QueryError> for ExecError {
+    fn from(e: QueryError) -> Self {
+        ExecError::Query(e)
+    }
+}
+
+/// Per-execution counters a caller can collect alongside the result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Segment runs skipped by zone-map pruning
+    /// ([`GroupViews::segments_skipped`]).
+    pub segments_skipped: u64,
 }
 
 /// A fully generated operator: offset-resolved filter and select programs,
@@ -85,7 +105,7 @@ impl CompiledOp {
     pub fn code_size(&self) -> usize {
         let expr_size = |e: &CompiledExpr| match e {
             CompiledExpr::Col(_) => 1,
-            CompiledExpr::SumCols(c) => c.len(),
+            CompiledExpr::SumCols(c) | CompiledExpr::SumColsF(c) => c.len(),
             CompiledExpr::Program { ops, .. } => ops.len(),
         };
         let select_size: usize = self.select.exprs().map(expr_size).sum();
@@ -109,11 +129,27 @@ fn bind_attr(
     Err(ExecError::Unbound(attr))
 }
 
-/// Generates the operator for `query` over `plan`.
+/// Generates the operator for `query` over `plan`. Type checks the query
+/// against the catalog's schema first ([`typecheck::check`]) and bakes the
+/// resulting types into the generated programs: typed comparators with
+/// key-mapped constants, typed arithmetic opcodes, typed aggregate ops,
+/// grouped key types — so no kernel inner loop ever consults a type.
 pub fn compile(
     catalog: &LayoutCatalog,
     plan: &AccessPlan,
     query: &Query,
+) -> Result<CompiledOp, ExecError> {
+    let checked = typecheck::check(query, catalog.schema())?;
+    compile_checked(catalog, plan, query, &checked)
+}
+
+/// [`compile`] with the plan-time typing already in hand (the operator
+/// cache computes it once per lookup for constant rebinding).
+pub fn compile_checked(
+    catalog: &LayoutCatalog,
+    plan: &AccessPlan,
+    query: &Query,
+    checked: &QueryTypes,
 ) -> Result<CompiledOp, ExecError> {
     let groups: Vec<(LayoutId, &h2o_storage::ColumnGroup)> = plan
         .layouts
@@ -125,50 +161,60 @@ pub fn compile(
         .filter()
         .predicates()
         .iter()
-        .map(|p| {
-            Ok(CompiledPred {
-                attr: bind_attr(&groups, p.attr)?,
-                op: p.op,
-                value: p.value,
-            })
+        .zip(&checked.predicates)
+        .map(|(p, tp)| {
+            Ok(CompiledPred::from_lane(
+                bind_attr(&groups, p.attr)?,
+                p.op,
+                tp.ty,
+                tp.lane,
+            ))
         })
         .collect::<Result<Vec<_>, ExecError>>()?;
     let filter = CompiledFilter::new(preds);
 
-    let lower = |e: &h2o_expr::Expr| -> Result<CompiledExpr, ExecError> {
-        let mut err = None;
-        let compiled = CompiledExpr::lower(e, |attr| {
-            bind_attr(&groups, attr).unwrap_or_else(|x| {
-                err = Some(x);
-                BoundAttr { slot: 0, offset: 0 }
-            })
-        });
-        match err {
-            Some(e) => Err(e),
-            None => Ok(compiled),
-        }
-    };
-    let lower_aggs =
-        |aggs: &[h2o_expr::Aggregate]| -> Result<Vec<(AggFunc, CompiledExpr)>, ExecError> {
-            aggs.iter().map(|a| Ok((a.func, lower(&a.expr)?))).collect()
+    let lower =
+        |e: &h2o_expr::Expr, ty: h2o_storage::LogicalType| -> Result<CompiledExpr, ExecError> {
+            let mut err = None;
+            let compiled = CompiledExpr::lower_typed(e, ty, |attr| {
+                bind_attr(&groups, attr).unwrap_or_else(|x| {
+                    err = Some(x);
+                    BoundAttr { slot: 0, offset: 0 }
+                })
+            });
+            match err {
+                Some(e) => Err(e),
+                None => Ok(compiled),
+            }
         };
+    let lower_aggs = || -> Result<Vec<(AggOp, CompiledExpr)>, ExecError> {
+        query
+            .aggregates()
+            .iter()
+            .zip(&checked.aggs)
+            .map(|(a, &op)| Ok((op, lower(&a.expr, op.ty)?)))
+            .collect()
+    };
     let select = if query.is_grouped() {
         SelectProgram::Grouped {
             keys: query
                 .group_by()
                 .iter()
-                .map(&lower)
+                .zip(&checked.keys)
+                .map(|(e, &ty)| lower(e, ty))
                 .collect::<Result<_, _>>()?,
-            aggs: lower_aggs(query.aggregates())?,
+            key_types: checked.keys.clone(),
+            aggs: lower_aggs()?,
         }
     } else if query.is_aggregate() {
-        SelectProgram::Aggregate(lower_aggs(query.aggregates())?)
+        SelectProgram::Aggregate(lower_aggs()?)
     } else {
         SelectProgram::Project(
             query
                 .projections()
                 .iter()
-                .map(&lower)
+                .zip(&checked.projections)
+                .map(|(e, &ty)| lower(e, ty))
                 .collect::<Result<_, _>>()?,
         )
     };
@@ -195,8 +241,24 @@ pub fn execute_with_policy(
     op: &CompiledOp,
     policy: &ExecPolicy,
 ) -> Result<QueryResult, ExecError> {
+    execute_with_policy_stats(catalog, op, policy).map(|(r, _)| r)
+}
+
+/// [`execute_with_policy`], also returning the execution counters (zone-map
+/// segment skips) — what the engine folds into `EngineStats`.
+pub fn execute_with_policy_stats(
+    catalog: &LayoutCatalog,
+    op: &CompiledOp,
+    policy: &ExecPolicy,
+) -> Result<(QueryResult, ExecStats), ExecError> {
     let views = GroupViews::resolve(catalog, &op.plan.layouts)?;
-    Ok(execute_with_views_policy(&views, op, policy))
+    let result = execute_with_views_policy(&views, op, policy);
+    Ok((
+        result,
+        ExecStats {
+            segments_skipped: views.segments_skipped(),
+        },
+    ))
 }
 
 /// Executes a compiled operator against pre-resolved views, serially (lets
@@ -239,11 +301,15 @@ pub fn execute_with_views_policy(
                     kernels::fused::aggregate_range(views, &op.filter, aggs, r)
                 }),
             ),
-            SelectProgram::Grouped { keys, aggs } => kernels::grouped::merge_and_finish(
+            SelectProgram::Grouped {
                 keys,
+                key_types,
+                aggs,
+            } => kernels::grouped::merge_and_finish(
+                key_types,
                 aggs,
                 run_morsels(rows, policy, |r| {
-                    kernels::grouped::fused_range(views, &op.filter, keys, aggs, r)
+                    kernels::grouped::fused_range(views, &op.filter, keys, key_types, aggs, r)
                 }),
             ),
         },
@@ -266,11 +332,15 @@ pub fn execute_with_views_policy(
                         kernels::selvector::aggregate_ids(views, ids, aggs)
                     }),
                 ),
-                SelectProgram::Grouped { keys, aggs } => kernels::grouped::merge_and_finish(
+                SelectProgram::Grouped {
                     keys,
+                    key_types,
+                    aggs,
+                } => kernels::grouped::merge_and_finish(
+                    key_types,
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
-                        kernels::grouped::aggregate_ids(views, ids, keys, aggs)
+                        kernels::grouped::aggregate_ids(views, ids, keys, key_types, aggs)
                     }),
                 ),
             }
@@ -312,11 +382,15 @@ pub fn execute_with_views_policy(
                         kernels::colmajor::aggregate_ids_columnar(views, ids, aggs)
                     }),
                 ),
-                SelectProgram::Grouped { keys, aggs } => kernels::grouped::merge_and_finish(
+                SelectProgram::Grouped {
                     keys,
+                    key_types,
+                    aggs,
+                } => kernels::grouped::merge_and_finish(
+                    key_types,
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
-                        kernels::grouped::aggregate_ids_columnar(views, ids, keys, aggs)
+                        kernels::grouped::aggregate_ids_columnar(views, ids, keys, key_types, aggs)
                     }),
                 ),
             }
@@ -347,7 +421,7 @@ fn stitch_selvecs(parts: Vec<SelVec>) -> SelVec {
 /// Merges per-morsel aggregate partials in morsel order and finishes them
 /// into the one-row result (shared with the parallel reorganization path).
 pub(crate) fn merge_and_finish(
-    aggs: &[(AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
     partials: Vec<Vec<AggState>>,
 ) -> QueryResult {
     let mut total: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();

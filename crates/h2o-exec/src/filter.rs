@@ -7,23 +7,80 @@
 //! where-clause in the paper's evaluation (`where d<v1 and e>v2`) — have
 //! dedicated unrolled paths, mirroring Fig. 5 line 10 where both predicates
 //! compile into a single `if`.
+//!
+//! # Typed comparison
+//!
+//! The generator bakes each predicate's [`LogicalType`] into the compiled
+//! form and stores its constant pre-mapped into **comparator-key space**
+//! ([`LogicalType::cmp_key`]). The per-tuple test is then one key-map of
+//! the loaded lane (identity for `I64`/`Dict`, three ALU ops for `F64`)
+//! plus a plain integer compare — no per-tuple type dispatch, and `F64`
+//! comparisons realize [`f64::total_cmp`] exactly. The key constant is
+//! also what zone-map pruning intersects against segment statistics
+//! ([`CompiledPred::zone_can_match`]), for every type with the same
+//! integer interval arithmetic.
 
 use crate::bind::{BoundAttr, GroupViews};
 use h2o_expr::CmpOp;
-use h2o_storage::Value;
+use h2o_storage::{LogicalType, SegStats, Value};
 
-/// One compiled predicate: `view[attr] op value`.
+/// One compiled predicate: `view[attr] op value`, with `value` stored in
+/// comparator-key space of `ty` (for `I64`/`Dict` the key *is* the lane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompiledPred {
     pub attr: BoundAttr,
     pub op: CmpOp,
+    pub ty: LogicalType,
+    /// The constant, as a comparator key.
     pub value: Value,
 }
 
 impl CompiledPred {
+    /// Compiles a predicate from a raw lane constant (maps it into key
+    /// space once, here at generation time).
+    pub fn from_lane(attr: BoundAttr, op: CmpOp, ty: LogicalType, lane: Value) -> CompiledPred {
+        CompiledPred {
+            attr,
+            op,
+            ty,
+            value: ty.cmp_key(lane),
+        }
+    }
+
     #[inline(always)]
     fn matches(&self, views: &GroupViews<'_>, row: usize) -> bool {
-        self.op.apply(views.get(self.attr, row), self.value)
+        self.op
+            .apply(self.ty.cmp_key(views.get(self.attr, row)), self.value)
+    }
+
+    /// Evaluates the predicate against one raw lane word.
+    #[inline(always)]
+    pub fn matches_lane(&self, lane: Value) -> bool {
+        self.op.apply(self.ty.cmp_key(lane), self.value)
+    }
+
+    /// Whether a segment whose values for this attribute span
+    /// `[min, max]` (comparator-key space, inclusive — a sealed segment's
+    /// zone-map entry) can possibly contain a matching row. `false` means
+    /// the whole segment is skippable.
+    #[inline]
+    pub fn zone_can_match(&self, (min, max): (Value, Value)) -> bool {
+        let c = self.value;
+        match self.op {
+            CmpOp::Lt => min < c,
+            CmpOp::Le => min <= c,
+            CmpOp::Gt => max > c,
+            CmpOp::Ge => max >= c,
+            CmpOp::Eq => min <= c && c <= max,
+            CmpOp::Ne => !(min == c && max == c),
+        }
+    }
+
+    /// [`Self::zone_can_match`] against a sealed segment's full statistics
+    /// vector (indexed by the attribute's offset in its group).
+    #[inline]
+    pub fn zone_can_match_stats(&self, stats: &SegStats) -> bool {
+        self.zone_can_match(stats[self.attr.offset as usize])
     }
 }
 
@@ -54,13 +111,17 @@ impl CompiledFilter {
         &self.preds
     }
 
-    /// Replaces the predicate constants in order (operator-cache reuse: the
-    /// cached operator is re-parameterized like the paper's generated code,
-    /// whose constants `val1`/`val2` are arguments — Fig. 5 line 6).
+    /// Replaces the predicate constants in order with new **raw lane**
+    /// values (operator-cache reuse: the cached operator is
+    /// re-parameterized like the paper's generated code, whose constants
+    /// `val1`/`val2` are arguments — Fig. 5 line 6). Each lane is mapped
+    /// into its predicate's comparator-key space here; the types
+    /// themselves are part of the cached operator's shape and cannot
+    /// change on rebind.
     pub fn rebind_constants(&mut self, values: &[Value]) {
         debug_assert_eq!(values.len(), self.preds.len());
         for (p, &v) in self.preds.iter_mut().zip(values) {
-            p.value = v;
+            p.value = p.ty.cmp_key(v);
         }
     }
 
@@ -83,7 +144,7 @@ impl CompiledFilter {
     pub fn matches_tuple(&self, tuple: &[Value]) -> bool {
         self.preds
             .iter()
-            .all(|p| p.op.apply(tuple[p.attr.offset as usize], p.value))
+            .all(|p| p.matches_lane(tuple[p.attr.offset as usize]))
     }
 }
 
@@ -106,11 +167,13 @@ mod tests {
             CompiledPred {
                 attr: BoundAttr { slot: 0, offset: 0 },
                 op: CmpOp::Lt,
+                ty: LogicalType::I64,
                 value: 6,
             },
             CompiledPred {
                 attr: BoundAttr { slot: 0, offset: 1 },
                 op: CmpOp::Gt,
+                ty: LogicalType::I64,
                 value: 4,
             },
         ]);
@@ -128,6 +191,7 @@ mod tests {
         let one = CompiledFilter::new(vec![CompiledPred {
             attr: a,
             op: CmpOp::Ge,
+            ty: LogicalType::I64,
             value: 5,
         }]);
         assert!(!one.matches(&views, 0));
@@ -136,16 +200,19 @@ mod tests {
             CompiledPred {
                 attr: a,
                 op: CmpOp::Gt,
+                ty: LogicalType::I64,
                 value: 0,
             },
             CompiledPred {
                 attr: a,
                 op: CmpOp::Lt,
+                ty: LogicalType::I64,
                 value: 10,
             },
             CompiledPred {
                 attr: a,
                 op: CmpOp::Ne,
+                ty: LogicalType::I64,
                 value: 3,
             },
         ]);
@@ -160,6 +227,7 @@ mod tests {
         let mut f = CompiledFilter::new(vec![CompiledPred {
             attr: BoundAttr { slot: 0, offset: 0 },
             op: CmpOp::Lt,
+            ty: LogicalType::I64,
             value: 0,
         }]);
         assert!(!f.matches(&views, 0));

@@ -34,9 +34,9 @@ use crate::bind::{BoundAttr, GroupViews};
 use crate::filter::CompiledFilter;
 use crate::program::{CompiledExpr, OpCode};
 use crate::selvec::SelVec;
-use h2o_expr::agg::AggState;
-use h2o_expr::{AggFunc, QueryResult};
-use h2o_storage::Value;
+use h2o_expr::agg::{AggOp, AggState};
+use h2o_expr::QueryResult;
+use h2o_storage::{f64_lane, lane_f64, Value};
 use std::ops::Range;
 
 /// A column-at-a-time operand: a materialized intermediate column or a
@@ -80,21 +80,24 @@ pub fn build_selvec_columnar_range(
     }
     let preds = filter.preds();
     let first = &preds[0];
+    // Zone maps prune with the *whole* conjunction: a segment no predicate
+    // can match in contributes nothing to the final refined vector, so
+    // skipping it before the first-column scan is sound.
     let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
-    for run in views.runs(range) {
+    for run in views.runs_pruned(range, filter) {
         let (data, width) = run.view(first.attr.slot);
         let off = first.attr.offset as usize;
         let base = run.start();
         if width == 1 {
             // Contiguous per-segment scan — the auto-vectorizable fast path.
             for (i, &v) in data.iter().enumerate() {
-                if first.op.apply(v, first.value) {
+                if first.matches_lane(v) {
                     sel.push((base + i) as u32);
                 }
             }
         } else {
             for (i, tuple) in data.chunks_exact(width).enumerate() {
-                if first.op.apply(tuple[off], first.value) {
+                if first.matches_lane(tuple[off]) {
                     sel.push((base + i) as u32);
                 }
             }
@@ -105,7 +108,7 @@ pub fn build_selvec_columnar_range(
         let candidates = gather_attr(views, p.attr, sel.ids());
         let mut next = SelVec::with_capacity(candidates.len());
         for (i, &v) in candidates.iter().enumerate() {
-            if p.op.apply(v, p.value) {
+            if p.matches_lane(v) {
                 next.push(sel.ids()[i]);
             }
         }
@@ -132,26 +135,43 @@ fn eval_expr_columns(views: &GroupViews<'_>, ids: &[u32], expr: &CompiledExpr) -
             }
             ColVec::Mat(acc)
         }
+        CompiledExpr::SumColsF(cols) => {
+            let mut acc = gather_attr(views, cols[0], ids);
+            for &c in &cols[1..] {
+                let operand = gather_attr(views, c, ids);
+                acc = acc
+                    .iter()
+                    .zip(&operand)
+                    .map(|(&l, &r)| f64_lane(lane_f64(l) + lane_f64(r)))
+                    .collect();
+            }
+            ColVec::Mat(acc)
+        }
         CompiledExpr::Program { ops, .. } => {
             let mut stack: Vec<ColVec> = Vec::with_capacity(4);
             for op in ops {
                 match op {
                     OpCode::Load(a) => stack.push(ColVec::Mat(gather_attr(views, *a, ids))),
                     OpCode::Const(v) => stack.push(ColVec::Const(*v)),
-                    OpCode::Arith(o) => {
+                    o @ (OpCode::Arith(_) | OpCode::ArithF(_)) => {
+                        let apply = |x: Value, y: Value| match o {
+                            OpCode::Arith(op) => op.apply(x, y),
+                            OpCode::ArithF(op) => op.apply_f64(x, y),
+                            _ => unreachable!(),
+                        };
                         let r = stack.pop().expect("well-formed program");
                         let l = stack.pop().expect("well-formed program");
                         stack.push(match (l, r) {
-                            (ColVec::Const(a), ColVec::Const(b)) => ColVec::Const(o.apply(a, b)),
+                            (ColVec::Const(a), ColVec::Const(b)) => ColVec::Const(apply(a, b)),
                             (ColVec::Mat(a), ColVec::Const(b)) => {
-                                ColVec::Mat(a.iter().map(|&x| o.apply(x, b)).collect())
+                                ColVec::Mat(a.iter().map(|&x| apply(x, b)).collect())
                             }
                             (ColVec::Const(a), ColVec::Mat(b)) => {
-                                ColVec::Mat(b.iter().map(|&x| o.apply(a, x)).collect())
+                                ColVec::Mat(b.iter().map(|&x| apply(a, x)).collect())
                             }
-                            (ColVec::Mat(a), ColVec::Mat(b)) => ColVec::Mat(
-                                a.iter().zip(&b).map(|(&x, &y)| o.apply(x, y)).collect(),
-                            ),
+                            (ColVec::Mat(a), ColVec::Mat(b)) => {
+                                ColVec::Mat(a.iter().zip(&b).map(|(&x, &y)| apply(x, y)).collect())
+                            }
                         });
                     }
                 }
@@ -182,7 +202,7 @@ pub(crate) fn materialize_expr_column(
 pub fn agg_full_column_range(
     views: &GroupViews<'_>,
     attr: BoundAttr,
-    func: AggFunc,
+    func: impl Into<AggOp>,
     range: Range<usize>,
 ) -> AggState {
     let off = attr.offset as usize;
@@ -202,7 +222,7 @@ pub fn agg_full_column_range(
     st
 }
 
-fn fold_colvec(cv: &ColVec, n: usize, func: AggFunc) -> AggState {
+fn fold_colvec(cv: &ColVec, n: usize, func: AggOp) -> AggState {
     let mut st = AggState::new(func);
     match cv {
         ColVec::Mat(vs) => {
@@ -233,7 +253,7 @@ pub(crate) fn is_streaming_aggregate(filter: &CompiledFilter, select: &SelectPro
 pub fn aggregate_ids_columnar(
     views: &GroupViews<'_>,
     ids: &[u32],
-    aggs: &[(AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
 ) -> Vec<AggState> {
     aggs.iter()
         .map(|(f, e)| {
@@ -301,9 +321,13 @@ pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgr
             let sel = build_selvec_columnar(views, filter);
             project_ids_columnar(views, sel.ids(), exprs)
         }
-        SelectProgram::Grouped { keys, aggs } => {
+        SelectProgram::Grouped {
+            keys,
+            key_types,
+            aggs,
+        } => {
             let sel = build_selvec_columnar(views, filter);
-            super::grouped::aggregate_ids_columnar(views, sel.ids(), keys, aggs).finish()
+            super::grouped::aggregate_ids_columnar(views, sel.ids(), keys, key_types, aggs).finish()
         }
     }
 }
@@ -312,7 +336,8 @@ pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgr
 mod tests {
     use super::*;
     use crate::filter::CompiledPred;
-    use h2o_expr::CmpOp;
+    use h2o_expr::{AggFunc, CmpOp};
+    use h2o_storage::LogicalType;
     use h2o_storage::{AttrId, GroupBuilder};
 
     fn columns() -> Vec<h2o_storage::ColumnGroup> {
@@ -338,16 +363,19 @@ mod tests {
             CompiledPred {
                 attr: ba(0),
                 op: CmpOp::Gt,
+                ty: LogicalType::I64,
                 value: 1,
             },
             CompiledPred {
                 attr: ba(1),
                 op: CmpOp::Eq,
+                ty: LogicalType::I64,
                 value: 5,
             },
             CompiledPred {
                 attr: ba(2),
                 op: CmpOp::Lt,
+                ty: LogicalType::I64,
                 value: 9,
             },
         ]);
@@ -372,9 +400,9 @@ mod tests {
         let refs: Vec<&_> = groups.iter().collect();
         let views = GroupViews::from_groups(&refs);
         let select = SelectProgram::Aggregate(vec![
-            (AggFunc::Max, CompiledExpr::Col(ba(0))),
-            (AggFunc::Min, CompiledExpr::Col(ba(2))),
-            (AggFunc::Sum, CompiledExpr::Col(ba(1))),
+            (AggFunc::Max.into(), CompiledExpr::Col(ba(0))),
+            (AggFunc::Min.into(), CompiledExpr::Col(ba(2))),
+            (AggFunc::Sum.into(), CompiledExpr::Col(ba(1))),
         ]);
         assert!(is_streaming_aggregate(&CompiledFilter::always(), &select));
         let out = run(&views, &CompiledFilter::always(), &select);
@@ -390,6 +418,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: ba(1),
             op: CmpOp::Eq,
+            ty: LogicalType::I64,
             value: 5,
         }]);
         let expr = CompiledExpr::Program {
@@ -400,7 +429,7 @@ mod tests {
             ],
             stack: 2,
         };
-        let select = SelectProgram::Aggregate(vec![(AggFunc::Sum, expr)]);
+        let select = SelectProgram::Aggregate(vec![(AggFunc::Sum.into(), expr)]);
         assert!(!is_streaming_aggregate(&filter, &select));
         let out = run(&views, &filter, &select);
         assert_eq!(out.row(0), &[49]);
@@ -414,6 +443,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: ba(0),
             op: CmpOp::Ge,
+            ty: LogicalType::I64,
             value: 3,
         }]);
         let select =
@@ -433,7 +463,7 @@ mod tests {
             ops: vec![OpCode::Const(7)],
             stack: 1,
         };
-        let select = SelectProgram::Aggregate(vec![(AggFunc::Sum, expr)]);
+        let select = SelectProgram::Aggregate(vec![(AggFunc::Sum.into(), expr)]);
         let out = run(&views, &CompiledFilter::always(), &select);
         assert_eq!(out.row(0), &[28]);
     }
@@ -449,6 +479,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: BoundAttr { slot: 0, offset: 0 },
             op: CmpOp::Gt,
+            ty: LogicalType::I64,
             value: 1,
         }]);
         let select =
@@ -466,11 +497,13 @@ mod tests {
             CompiledPred {
                 attr: ba(1),
                 op: CmpOp::Eq,
+                ty: LogicalType::I64,
                 value: 5,
             },
             CompiledPred {
                 attr: ba(2),
                 op: CmpOp::Lt,
+                ty: LogicalType::I64,
                 value: 9,
             },
         ]);
@@ -485,8 +518,11 @@ mod tests {
         assert_eq!(stitched.ids(), full.ids());
         // Aggregate phase by id chunk.
         let aggs = vec![
-            (AggFunc::Sum, CompiledExpr::SumCols(vec![ba(0), ba(2)])),
-            (AggFunc::Max, CompiledExpr::Col(ba(2))),
+            (
+                AggFunc::Sum.into(),
+                CompiledExpr::SumCols(vec![ba(0), ba(2)]),
+            ),
+            (AggFunc::Max.into(), CompiledExpr::Col(ba(2))),
         ];
         let want: Vec<Value> = aggregate_ids_columnar(&views, full.ids(), &aggs)
             .iter()

@@ -14,11 +14,11 @@
 //! morsel order), aggregates return per-range [`AggState`] partials (merged
 //! in morsel order). [`run`] executes the full range serially.
 
-use super::SelectProgram;
+use super::{upd_max, upd_min, upd_sum, SelectProgram};
 use crate::bind::GroupViews;
 use crate::filter::CompiledFilter;
 use crate::program::CompiledExpr;
-use h2o_expr::agg::AggState;
+use h2o_expr::agg::{AggOp, AggState};
 use h2o_expr::QueryResult;
 use h2o_storage::Value;
 use std::ops::Range;
@@ -32,9 +32,11 @@ pub fn run(views: &GroupViews<'_>, filter: &CompiledFilter, select: &SelectProgr
             let states = aggregate_range(views, filter, aggs, 0..rows);
             finish_states(aggs.len(), &states)
         }
-        SelectProgram::Grouped { keys, aggs } => {
-            super::grouped::fused_range(views, filter, keys, aggs, 0..rows).finish()
-        }
+        SelectProgram::Grouped {
+            keys,
+            key_types,
+            aggs,
+        } => super::grouped::fused_range(views, filter, keys, key_types, aggs, 0..rows).finish(),
     }
 }
 
@@ -62,7 +64,7 @@ pub fn project_range(
     let mut out = QueryResult::with_capacity(out_width, range.len() / 4);
     let mut row_buf: Vec<Value> = vec![0; out_width];
     if views.len() == 1 {
-        for run in views.runs(range) {
+        for run in views.runs_pruned(range, filter) {
             let (data, width) = run.view(0);
             match exprs {
                 [e] => {
@@ -86,23 +88,29 @@ pub fn project_range(
         }
         return out;
     }
+    // Multi-group stitching walks pruned segment runs too: a run some
+    // predicate's zone map excludes is skipped before any row is touched.
     match exprs {
         // The dominant single-expression template (e.g. `select a+b+c ...`):
         // keep the inner loop free of the per-expression loop.
         [e] => {
-            for row in range {
-                if filter.matches(views, row) {
-                    out.push1(e.eval(views, row));
+            for run in views.runs_pruned(range, filter) {
+                for row in run.range() {
+                    if filter.matches(views, row) {
+                        out.push1(e.eval(views, row));
+                    }
                 }
             }
         }
         _ => {
-            for row in range {
-                if filter.matches(views, row) {
-                    for (slot, e) in row_buf.iter_mut().zip(exprs) {
-                        *slot = e.eval(views, row);
+            for run in views.runs_pruned(range, filter) {
+                for row in run.range() {
+                    if filter.matches(views, row) {
+                        for (slot, e) in row_buf.iter_mut().zip(exprs) {
+                            *slot = e.eval(views, row);
+                        }
+                        out.push_row(&row_buf);
                     }
-                    out.push_row(&row_buf);
                 }
             }
         }
@@ -114,7 +122,7 @@ pub fn project_range(
 pub fn aggregate_range(
     views: &GroupViews<'_>,
     filter: &CompiledFilter,
-    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
     range: Range<usize>,
 ) -> Vec<AggState> {
     if views.len() == 1 {
@@ -137,7 +145,7 @@ pub fn aggregate_range(
                 .collect();
         }
         let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-        for run in views.runs(range) {
+        for run in views.runs_pruned(range, filter) {
             let (data, width) = run.view(0);
             for tuple in data.chunks_exact(width) {
                 if filter.matches_tuple(tuple) {
@@ -150,10 +158,12 @@ pub fn aggregate_range(
         return states;
     }
     let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-    for row in range {
-        if filter.matches(views, row) {
-            for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                st.update(e.eval(views, row));
+    for run in views.runs_pruned(range, filter) {
+        for row in run.range() {
+            if filter.matches(views, row) {
+                for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                    st.update(e.eval(views, row));
+                }
             }
         }
     }
@@ -171,21 +181,23 @@ fn aggregate_cols_specialized(
     views: &GroupViews<'_>,
     range: Range<usize>,
     filter: &CompiledFilter,
-    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
     offsets: &[usize],
 ) -> (Vec<Value>, u64) {
     use h2o_expr::AggFunc;
-    // (function, [(accumulator index, tuple offset)])
-    let mut groups: Vec<(AggFunc, Vec<(usize, usize)>)> = Vec::new();
+    // (typed op, [(accumulator index, tuple offset)])
+    let mut groups: Vec<(AggOp, Vec<(usize, usize)>)> = Vec::new();
     for (i, ((f, _), &off)) in aggs.iter().zip(offsets).enumerate() {
         match groups.iter_mut().find(|(gf, _)| gf == f) {
             Some((_, items)) => items.push((i, off)),
             None => groups.push((*f, vec![(i, off)])),
         }
     }
+    // Min/max accumulate in comparator-key space (identity for I64);
+    // sum/avg in the lane domain (0 is also +0.0's bit pattern).
     let mut acc: Vec<Value> = aggs
         .iter()
-        .map(|(f, _)| match f {
+        .map(|(f, _)| match f.func {
             AggFunc::Min => Value::MAX,
             AggFunc::Max => Value::MIN,
             _ => 0,
@@ -212,30 +224,26 @@ fn aggregate_cols_specialized(
         _ => None,
     };
     if let Some((f, base, k)) = dense {
-        for run in views.runs(range) {
+        for run in views.runs_pruned(range, filter) {
             let (data, width) = run.view(0);
             for tuple in data.chunks_exact(width) {
                 if filter.matches_tuple(tuple) {
                     matched += 1;
                     let vals = &tuple[base..base + k];
-                    match f {
+                    match f.func {
                         AggFunc::Max => {
                             for (a, &v) in acc.iter_mut().zip(vals) {
-                                if v > *a {
-                                    *a = v;
-                                }
+                                upd_max(f.ty, a, v);
                             }
                         }
                         AggFunc::Min => {
                             for (a, &v) in acc.iter_mut().zip(vals) {
-                                if v < *a {
-                                    *a = v;
-                                }
+                                upd_min(f.ty, a, v);
                             }
                         }
                         AggFunc::Sum | AggFunc::Avg => {
                             for (a, &v) in acc.iter_mut().zip(vals) {
-                                *a = a.wrapping_add(v);
+                                upd_sum(f.ty, a, v);
                             }
                         }
                         AggFunc::Count => {}
@@ -246,32 +254,26 @@ fn aggregate_cols_specialized(
         return (acc, matched);
     }
 
-    for run in views.runs(range) {
+    for run in views.runs_pruned(range, filter) {
         let (data, width) = run.view(0);
         for tuple in data.chunks_exact(width) {
             if filter.matches_tuple(tuple) {
                 matched += 1;
                 for (f, items) in &groups {
-                    match f {
+                    match f.func {
                         AggFunc::Max => {
                             for &(i, off) in items {
-                                let v = tuple[off];
-                                if v > acc[i] {
-                                    acc[i] = v;
-                                }
+                                upd_max(f.ty, &mut acc[i], tuple[off]);
                             }
                         }
                         AggFunc::Min => {
                             for &(i, off) in items {
-                                let v = tuple[off];
-                                if v < acc[i] {
-                                    acc[i] = v;
-                                }
+                                upd_min(f.ty, &mut acc[i], tuple[off]);
                             }
                         }
                         AggFunc::Sum | AggFunc::Avg => {
                             for &(i, off) in items {
-                                acc[i] = acc[i].wrapping_add(tuple[off]);
+                                upd_sum(f.ty, &mut acc[i], tuple[off]);
                             }
                         }
                         AggFunc::Count => {}
@@ -286,7 +288,7 @@ fn aggregate_cols_specialized(
 /// Finishes raw specialized accumulators into final values (used by the
 /// fused reorganization operator, which shares the dense-aggregate tier).
 pub(crate) fn finish_specialized(
-    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
     acc: &[Value],
     matched: u64,
 ) -> Vec<Value> {
@@ -302,6 +304,7 @@ mod tests {
     use crate::bind::BoundAttr;
     use crate::filter::CompiledPred;
     use h2o_expr::{AggFunc, CmpOp};
+    use h2o_storage::LogicalType;
     use h2o_storage::{AttrId, GroupBuilder};
 
     fn sample_group() -> h2o_storage::ColumnGroup {
@@ -325,6 +328,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: ba(2),
             op: CmpOp::Ge,
+            ty: LogicalType::I64,
             value: 2,
         }]);
         let select = SelectProgram::Project(vec![CompiledExpr::SumCols(vec![ba(0), ba(1)])]);
@@ -350,13 +354,14 @@ mod tests {
         let g = sample_group();
         let views = GroupViews::from_groups(&[&g]);
         let select = SelectProgram::Aggregate(vec![
-            (AggFunc::Sum, CompiledExpr::Col(ba(0))),
-            (AggFunc::Max, CompiledExpr::Col(ba(1))),
-            (AggFunc::Count, CompiledExpr::Col(ba(0))),
+            (AggFunc::Sum.into(), CompiledExpr::Col(ba(0))),
+            (AggFunc::Max.into(), CompiledExpr::Col(ba(1))),
+            (AggFunc::Count.into(), CompiledExpr::Col(ba(0))),
         ]);
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: ba(2),
             op: CmpOp::Lt,
+            ty: LogicalType::I64,
             value: 2,
         }]);
         let out = run(&views, &filter, &select);
@@ -373,6 +378,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: BoundAttr { slot: 1, offset: 0 },
             op: CmpOp::Eq,
+            ty: LogicalType::I64,
             value: 5,
         }]);
         let select = SelectProgram::Project(vec![CompiledExpr::Col(ba(0))]);
@@ -397,6 +403,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: ba(2),
             op: CmpOp::Ge,
+            ty: LogicalType::I64,
             value: 1,
         }]);
         // Projection: concatenating per-range blocks equals the full run.
@@ -411,9 +418,9 @@ mod tests {
         assert_eq!(stitched, full);
         // Aggregation: merging per-range partials equals the full fold.
         let aggs = vec![
-            (AggFunc::Sum, CompiledExpr::Col(ba(0))),
-            (AggFunc::Min, CompiledExpr::Col(ba(1))),
-            (AggFunc::Avg, CompiledExpr::Col(ba(0))),
+            (AggFunc::Sum.into(), CompiledExpr::Col(ba(0))),
+            (AggFunc::Min.into(), CompiledExpr::Col(ba(1))),
+            (AggFunc::Avg.into(), CompiledExpr::Col(ba(0))),
         ];
         let want = aggregate_range(&views, &filter, &aggs, 0..4);
         let mut merged: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();

@@ -25,14 +25,16 @@
 use crate::bind::GroupViews;
 use crate::filter::CompiledFilter;
 use crate::program::CompiledExpr;
+use h2o_expr::agg::AggOp;
 use h2o_expr::grouped::GroupedAggs;
-use h2o_expr::AggFunc;
-use h2o_storage::Value;
+use h2o_storage::{LogicalType, Value};
 use std::ops::Range;
 
-/// Fresh morsel-local table for a grouped program.
-pub fn table_for(keys: &[CompiledExpr], aggs: &[(AggFunc, CompiledExpr)]) -> GroupedAggs {
-    GroupedAggs::new(keys.len(), aggs.iter().map(|(f, _)| *f).collect())
+/// Fresh morsel-local table for a grouped program. Key types drive the
+/// typed ascending sort of [`GroupedAggs::finish`]; the table itself
+/// hashes raw lane bits.
+pub fn table_for(key_types: &[LogicalType], aggs: &[(AggOp, CompiledExpr)]) -> GroupedAggs {
+    GroupedAggs::new(key_types.to_vec(), aggs.iter().map(|(f, _)| *f).collect())
 }
 
 /// Folds one stitched/sliced tuple into the table: evaluates the key and
@@ -44,7 +46,7 @@ pub fn table_for(keys: &[CompiledExpr], aggs: &[(AggFunc, CompiledExpr)]) -> Gro
 pub(crate) fn update_from_tuple(
     table: &mut GroupedAggs,
     keys: &[CompiledExpr],
-    aggs: &[(AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
     key_buf: &mut [Value],
     val_buf: &mut [Value],
     tuple: &[Value],
@@ -66,14 +68,15 @@ pub fn fused_range(
     views: &GroupViews<'_>,
     filter: &CompiledFilter,
     keys: &[CompiledExpr],
-    aggs: &[(AggFunc, CompiledExpr)],
+    key_types: &[LogicalType],
+    aggs: &[(AggOp, CompiledExpr)],
     range: Range<usize>,
 ) -> GroupedAggs {
-    let mut table = table_for(keys, aggs);
+    let mut table = table_for(key_types, aggs);
     let mut key: Vec<Value> = vec![0; keys.len()];
     let mut vals: Vec<Value> = vec![0; aggs.len()];
     if views.len() == 1 {
-        for run in views.runs(range) {
+        for run in views.runs_pruned(range, filter) {
             let (data, width) = run.view(0);
             for tuple in data.chunks_exact(width) {
                 if filter.matches_tuple(tuple) {
@@ -83,15 +86,17 @@ pub fn fused_range(
         }
         return table;
     }
-    for row in range {
-        if filter.matches(views, row) {
-            for (slot, k) in key.iter_mut().zip(keys) {
-                *slot = k.eval(views, row);
+    for run in views.runs_pruned(range, filter) {
+        for row in run.range() {
+            if filter.matches(views, row) {
+                for (slot, k) in key.iter_mut().zip(keys) {
+                    *slot = k.eval(views, row);
+                }
+                for (slot, (_, e)) in vals.iter_mut().zip(aggs) {
+                    *slot = e.eval(views, row);
+                }
+                table.update(&key, &vals);
             }
-            for (slot, (_, e)) in vals.iter_mut().zip(aggs) {
-                *slot = e.eval(views, row);
-            }
-            table.update(&key, &vals);
         }
     }
     table
@@ -104,9 +109,10 @@ pub fn aggregate_ids(
     views: &GroupViews<'_>,
     ids: &[u32],
     keys: &[CompiledExpr],
-    aggs: &[(AggFunc, CompiledExpr)],
+    key_types: &[LogicalType],
+    aggs: &[(AggOp, CompiledExpr)],
 ) -> GroupedAggs {
-    let mut table = table_for(keys, aggs);
+    let mut table = table_for(key_types, aggs);
     let mut key: Vec<Value> = vec![0; keys.len()];
     let mut vals: Vec<Value> = vec![0; aggs.len()];
     for &row in ids {
@@ -130,7 +136,8 @@ pub fn aggregate_ids_columnar(
     views: &GroupViews<'_>,
     ids: &[u32],
     keys: &[CompiledExpr],
-    aggs: &[(AggFunc, CompiledExpr)],
+    key_types: &[LogicalType],
+    aggs: &[(AggOp, CompiledExpr)],
 ) -> GroupedAggs {
     let key_cols: Vec<Vec<Value>> = keys
         .iter()
@@ -140,7 +147,7 @@ pub fn aggregate_ids_columnar(
         .iter()
         .map(|(_, e)| super::colmajor::materialize_expr_column(views, ids, e))
         .collect();
-    let mut table = table_for(keys, aggs);
+    let mut table = table_for(key_types, aggs);
     let mut key: Vec<Value> = vec![0; keys.len()];
     let mut vals: Vec<Value> = vec![0; aggs.len()];
     for i in 0..ids.len() {
@@ -158,11 +165,11 @@ pub fn aggregate_ids_columnar(
 /// Merges per-morsel tables in morsel order and finishes into the sorted
 /// result block.
 pub fn merge_and_finish(
-    keys: &[CompiledExpr],
-    aggs: &[(AggFunc, CompiledExpr)],
+    key_types: &[LogicalType],
+    aggs: &[(AggOp, CompiledExpr)],
     partials: Vec<GroupedAggs>,
 ) -> h2o_expr::QueryResult {
-    let mut total = table_for(keys, aggs);
+    let mut total = table_for(key_types, aggs);
     for partial in partials {
         total.merge(partial);
     }
@@ -174,7 +181,8 @@ mod tests {
     use super::*;
     use crate::bind::BoundAttr;
     use crate::filter::CompiledPred;
-    use h2o_expr::CmpOp;
+    use h2o_expr::{AggFunc, CmpOp};
+    use h2o_storage::LogicalType;
     use h2o_storage::{AttrId, GroupBuilder};
 
     fn ba(offset: u32) -> BoundAttr {
@@ -191,12 +199,14 @@ mod tests {
         .unwrap()
     }
 
-    fn program() -> (Vec<CompiledExpr>, Vec<(AggFunc, CompiledExpr)>) {
+    const KT1: &[LogicalType] = &[LogicalType::I64];
+
+    fn program() -> (Vec<CompiledExpr>, Vec<(AggOp, CompiledExpr)>) {
         (
             vec![CompiledExpr::Col(ba(0))],
             vec![
-                (AggFunc::Sum, CompiledExpr::Col(ba(1))),
-                (AggFunc::Count, CompiledExpr::Col(ba(0))),
+                (AggFunc::Sum.into(), CompiledExpr::Col(ba(1))),
+                (AggFunc::Count.into(), CompiledExpr::Col(ba(0))),
             ],
         )
     }
@@ -209,16 +219,17 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: ba(2),
             op: CmpOp::Lt,
+            ty: LogicalType::I64,
             value: 4,
         }]);
         // Qualifying rows 0..=3: key 1 -> {10, 30}, key 2 -> {20, 40}.
-        let fused = fused_range(&views, &filter, &keys, &aggs, 0..5).finish();
+        let fused = fused_range(&views, &filter, &keys, KT1, &aggs, 0..5).finish();
         assert_eq!(fused.rows(), 2);
         assert_eq!(fused.row(0), &[1, 40, 2]);
         assert_eq!(fused.row(1), &[2, 60, 2]);
         let ids: Vec<u32> = vec![0, 1, 2, 3];
-        let sel = aggregate_ids(&views, &ids, &keys, &aggs).finish();
-        let col = aggregate_ids_columnar(&views, &ids, &keys, &aggs).finish();
+        let sel = aggregate_ids(&views, &ids, &keys, KT1, &aggs).finish();
+        let col = aggregate_ids_columnar(&views, &ids, &keys, KT1, &aggs).finish();
         assert_eq!(sel, fused);
         assert_eq!(col, fused);
     }
@@ -228,12 +239,12 @@ mod tests {
         let g = sample();
         let views = GroupViews::from_groups(&[&g]);
         let (keys, aggs) = program();
-        let full = fused_range(&views, &CompiledFilter::always(), &keys, &aggs, 0..5).finish();
+        let full = fused_range(&views, &CompiledFilter::always(), &keys, KT1, &aggs, 0..5).finish();
         let partials: Vec<GroupedAggs> = [0..2, 2..3, 3..5]
             .into_iter()
-            .map(|r| fused_range(&views, &CompiledFilter::always(), &keys, &aggs, r))
+            .map(|r| fused_range(&views, &CompiledFilter::always(), &keys, KT1, &aggs, r))
             .collect();
-        assert_eq!(merge_and_finish(&keys, &aggs, partials), full);
+        assert_eq!(merge_and_finish(KT1, &aggs, partials), full);
     }
 
     #[test]
@@ -243,10 +254,10 @@ mod tests {
         let views = GroupViews::from_groups(&[&g1, &g2]);
         let keys = vec![CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 })];
         let aggs = vec![(
-            AggFunc::Max,
+            AggFunc::Max.into(),
             CompiledExpr::Col(BoundAttr { slot: 1, offset: 0 }),
         )];
-        let out = fused_range(&views, &CompiledFilter::always(), &keys, &aggs, 0..3).finish();
+        let out = fused_range(&views, &CompiledFilter::always(), &keys, KT1, &aggs, 0..3).finish();
         assert_eq!(out.rows(), 2);
         assert_eq!(out.row(0), &[7, 2]);
         assert_eq!(out.row(1), &[8, 3]);

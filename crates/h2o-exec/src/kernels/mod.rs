@@ -20,21 +20,26 @@ pub mod grouped;
 pub mod selvector;
 
 use crate::program::CompiledExpr;
-use h2o_expr::AggFunc;
+use h2o_expr::agg::AggOp;
+use h2o_storage::{LogicalType, Value};
 
-/// The select-clause half of a compiled operator.
+/// The select-clause half of a compiled operator. Aggregates carry their
+/// typed op ([`AggOp`]) and grouped programs their key types — the types
+/// are baked in at generation time so the kernels' inner loops never
+/// consult a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SelectProgram {
     /// One output row per qualifying tuple.
     Project(Vec<CompiledExpr>),
     /// One output row total.
-    Aggregate(Vec<(AggFunc, CompiledExpr)>),
-    /// One output row per distinct key vector, sorted ascending by key
-    /// (the grouped-aggregation determinism convention — see
-    /// [`h2o_expr::grouped::GroupedAggs`]).
+    Aggregate(Vec<(AggOp, CompiledExpr)>),
+    /// One output row per distinct key vector, sorted ascending by key in
+    /// each key column's typed order (the grouped-aggregation determinism
+    /// convention — see [`h2o_expr::grouped::GroupedAggs`]).
     Grouped {
         keys: Vec<CompiledExpr>,
-        aggs: Vec<(AggFunc, CompiledExpr)>,
+        key_types: Vec<LogicalType>,
+        aggs: Vec<(AggOp, CompiledExpr)>,
     },
 }
 
@@ -44,7 +49,7 @@ impl SelectProgram {
         match self {
             SelectProgram::Project(es) => es.len(),
             SelectProgram::Aggregate(aggs) => aggs.len(),
-            SelectProgram::Grouped { keys, aggs } => keys.len() + aggs.len(),
+            SelectProgram::Grouped { keys, aggs, .. } => keys.len() + aggs.len(),
         }
     }
 
@@ -53,9 +58,42 @@ impl SelectProgram {
         match self {
             SelectProgram::Project(es) => Box::new(es.iter()),
             SelectProgram::Aggregate(aggs) => Box::new(aggs.iter().map(|(_, e)| e)),
-            SelectProgram::Grouped { keys, aggs } => {
+            SelectProgram::Grouped { keys, aggs, .. } => {
                 Box::new(keys.iter().chain(aggs.iter().map(|(_, e)| e)))
             }
         }
     }
+}
+
+/// Typed accumulator micro-ops shared by the specialized (flat-slot)
+/// aggregation tiers of every kernel. Each takes the loop-invariant
+/// [`LogicalType`] by value; the type dispatch is a single predictable
+/// branch the compiler unswitches out of the row loop, so the `I64` paths
+/// compile to exactly the pre-typed code. Min/max accumulators live in
+/// **comparator-key space** ([`LogicalType::cmp_key`] — identity for
+/// `I64`), matching what [`h2o_expr::agg::AggState::from_parts`] expects.
+#[inline(always)]
+pub(crate) fn upd_max(ty: LogicalType, acc: &mut Value, v: Value) {
+    let k = ty.cmp_key(v);
+    if k > *acc {
+        *acc = k;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn upd_min(ty: LogicalType, acc: &mut Value, v: Value) {
+    let k = ty.cmp_key(v);
+    if k < *acc {
+        *acc = k;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn upd_sum(ty: LogicalType, acc: &mut Value, v: Value) {
+    *acc = match ty {
+        LogicalType::F64 => {
+            h2o_storage::f64_lane(h2o_storage::lane_f64(*acc) + h2o_storage::lane_f64(v))
+        }
+        _ => acc.wrapping_add(v),
+    };
 }

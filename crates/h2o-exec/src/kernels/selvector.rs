@@ -15,12 +15,12 @@
 //! ([`project_ids`], [`aggregate_ids`]) so work is balanced by qualifying
 //! rows, not raw ranges.
 
-use super::SelectProgram;
+use super::{upd_max, upd_min, upd_sum, SelectProgram};
 use crate::bind::GroupViews;
 use crate::filter::CompiledFilter;
 use crate::program::CompiledExpr;
 use crate::selvec::SelVec;
-use h2o_expr::agg::AggState;
+use h2o_expr::agg::{AggOp, AggState};
 use h2o_expr::QueryResult;
 use h2o_storage::Value;
 use std::ops::Range;
@@ -50,10 +50,14 @@ pub fn build_selvec_range(
         return sel;
     }
     // Start with a modest capacity guess; the vector grows geometrically.
+    // Walking segment runs (rather than bare rows) lets zone maps skip
+    // whole sealed segments that cannot satisfy the conjunction.
     let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
-    for row in range {
-        if filter.matches(views, row) {
-            sel.push(row as u32);
+    for run in views.runs_pruned(range, filter) {
+        for row in run.range() {
+            if filter.matches(views, row) {
+                sel.push(row as u32);
+            }
         }
     }
     sel
@@ -67,9 +71,11 @@ pub fn consume(views: &GroupViews<'_>, sel: &SelVec, select: &SelectProgram) -> 
             let states = aggregate_ids(views, sel.ids(), aggs);
             super::fused::finish_states(aggs.len(), &states)
         }
-        SelectProgram::Grouped { keys, aggs } => {
-            super::grouped::aggregate_ids(views, sel.ids(), keys, aggs).finish()
-        }
+        SelectProgram::Grouped {
+            keys,
+            key_types,
+            aggs,
+        } => super::grouped::aggregate_ids(views, sel.ids(), keys, key_types, aggs).finish(),
     }
 }
 
@@ -101,7 +107,7 @@ pub fn project_ids(views: &GroupViews<'_>, ids: &[u32], exprs: &[CompiledExpr]) 
 pub fn aggregate_ids(
     views: &GroupViews<'_>,
     ids: &[u32],
-    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
 ) -> Vec<AggState> {
     // Specialization mirroring the fused kernel's: when every aggregate
     // input is a bare column, gather-and-fold with the dispatch hoisted out
@@ -135,13 +141,13 @@ pub fn aggregate_ids(
 fn aggregate_gather_specialized(
     views: &GroupViews<'_>,
     ids: &[u32],
-    aggs: &[(h2o_expr::AggFunc, CompiledExpr)],
+    aggs: &[(AggOp, CompiledExpr)],
     cols: &[crate::bind::BoundAttr],
 ) -> Vec<AggState> {
     use h2o_expr::AggFunc;
     struct Seg {
         slot: u32,
-        func: AggFunc,
+        func: AggOp,
         acc_base: usize,
         off_base: usize,
         len: usize,
@@ -166,9 +172,10 @@ fn aggregate_gather_specialized(
             }),
         }
     }
+    // Min/max accumulate in comparator-key space (identity for I64).
     let mut acc: Vec<Value> = aggs
         .iter()
-        .map(|(f, _)| match f {
+        .map(|(f, _)| match f.func {
             AggFunc::Min => Value::MAX,
             AggFunc::Max => Value::MIN,
             _ => 0,
@@ -182,24 +189,20 @@ fn aggregate_gather_specialized(
             let tuple = acc_slot.tuple(row);
             let vals = &tuple[seg.off_base..seg.off_base + seg.len];
             let accs = &mut acc[seg.acc_base..seg.acc_base + seg.len];
-            match seg.func {
+            match seg.func.func {
                 AggFunc::Max => {
                     for (a, &v) in accs.iter_mut().zip(vals) {
-                        if v > *a {
-                            *a = v;
-                        }
+                        upd_max(seg.func.ty, a, v);
                     }
                 }
                 AggFunc::Min => {
                     for (a, &v) in accs.iter_mut().zip(vals) {
-                        if v < *a {
-                            *a = v;
-                        }
+                        upd_min(seg.func.ty, a, v);
                     }
                 }
                 AggFunc::Sum | AggFunc::Avg => {
                     for (a, &v) in accs.iter_mut().zip(vals) {
-                        *a = a.wrapping_add(v);
+                        upd_sum(seg.func.ty, a, v);
                     }
                 }
                 AggFunc::Count => {}
@@ -225,6 +228,7 @@ mod tests {
     use crate::filter::CompiledPred;
     use crate::program::CompiledExpr;
     use h2o_expr::{AggFunc, CmpOp};
+    use h2o_storage::LogicalType;
     use h2o_storage::{AttrId, GroupBuilder};
 
     #[test]
@@ -243,11 +247,13 @@ mod tests {
             CompiledPred {
                 attr: BoundAttr { slot: 1, offset: 0 },
                 op: CmpOp::Lt,
+                ty: LogicalType::I64,
                 value: 6,
             },
             CompiledPred {
                 attr: BoundAttr { slot: 1, offset: 1 },
                 op: CmpOp::Gt,
+                ty: LogicalType::I64,
                 value: 3,
             },
         ]);
@@ -278,7 +284,7 @@ mod tests {
         let views = GroupViews::from_groups(&[&g]);
         let sel = SelVec::from_ids(vec![0, 3]);
         let select = SelectProgram::Aggregate(vec![(
-            AggFunc::Sum,
+            AggFunc::Sum.into(),
             CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 }),
         )]);
         let out = consume(&views, &sel, &select);
@@ -293,6 +299,7 @@ mod tests {
         let filter = CompiledFilter::new(vec![CompiledPred {
             attr: a,
             op: CmpOp::Gt,
+            ty: LogicalType::I64,
             value: 0,
         }]);
         let out = run(
@@ -308,7 +315,7 @@ mod tests {
         let g = GroupBuilder::from_columns(vec![AttrId(0)], &[&[1]]).unwrap();
         let views = GroupViews::from_groups(&[&g]);
         let select = SelectProgram::Aggregate(vec![(
-            AggFunc::Min,
+            AggFunc::Min.into(),
             CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 }),
         )]);
         let out = consume(&views, &SelVec::new(), &select);
@@ -324,6 +331,7 @@ mod tests {
             CompiledFilter::new(vec![CompiledPred {
                 attr: a,
                 op: CmpOp::Gt,
+                ty: LogicalType::I64,
                 value: 0,
             }]),
             CompiledFilter::always(),
@@ -350,11 +358,11 @@ mod tests {
         let ids: Vec<u32> = vec![0, 2, 3, 4];
         let aggs = vec![
             (
-                AggFunc::Sum,
+                AggFunc::Sum.into(),
                 CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 }),
             ),
             (
-                AggFunc::Min,
+                AggFunc::Min.into(),
                 CompiledExpr::Col(BoundAttr { slot: 0, offset: 1 }),
             ),
         ];

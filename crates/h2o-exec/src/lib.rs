@@ -79,8 +79,8 @@ pub mod selvec;
 
 pub use bind::{BoundAttr, GroupViews, SegRun, SlotAccessor};
 pub use compile::{
-    compile, execute, execute_with_policy, execute_with_views, execute_with_views_policy,
-    CompiledOp, ExecError,
+    compile, compile_checked, execute, execute_with_policy, execute_with_policy_stats,
+    execute_with_views, execute_with_views_policy, CompiledOp, ExecError, ExecStats,
 };
 pub use filter::CompiledFilter;
 pub use opcache::{CompileCostModel, OperatorCache, OperatorKey};

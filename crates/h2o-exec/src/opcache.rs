@@ -22,7 +22,7 @@
 //! size. It defaults to zero (pure library use); the engine and the
 //! benchmark harness enable it explicitly.
 
-use crate::compile::{compile, CompiledOp, ExecError};
+use crate::compile::{CompiledOp, ExecError};
 use crate::plan::AccessPlan;
 use h2o_expr::Query;
 use h2o_storage::{LayoutCatalog, Value};
@@ -183,27 +183,41 @@ impl OperatorCache {
 
     /// Returns the operator for `(query, plan)`, generating (and charging
     /// compile latency) on miss. The returned operator already carries this
-    /// query's predicate constants.
+    /// query's predicate constants. The query is type-checked against the
+    /// catalog's schema on every lookup (hit or miss) — the check is what
+    /// resolves typed constants (`f64`s, dictionary labels) into the lane
+    /// words a cached operator is re-parameterized with, and an ill-typed
+    /// query must be rejected even when its shape is cached.
     pub fn get_or_compile(
         &self,
         catalog: &LayoutCatalog,
         plan: &AccessPlan,
         query: &Query,
     ) -> Result<CompiledOp, ExecError> {
+        let checked =
+            h2o_expr::typecheck::check(query, catalog.schema()).map_err(ExecError::Query)?;
+        self.get_or_compile_checked(catalog, plan, query, &checked)
+    }
+
+    /// [`Self::get_or_compile`] with the plan-time typing already in hand —
+    /// callers that validated the query as their own admission gate (the
+    /// engine) pass the result through instead of re-checking per lookup.
+    pub fn get_or_compile_checked(
+        &self,
+        catalog: &LayoutCatalog,
+        plan: &AccessPlan,
+        query: &Query,
+        checked: &h2o_expr::QueryTypes,
+    ) -> Result<CompiledOp, ExecError> {
         let key = OperatorKey::new(query, plan);
-        let constants: Vec<Value> = query
-            .filter()
-            .predicates()
-            .iter()
-            .map(|p| p.value)
-            .collect();
+        let constants: Vec<Value> = checked.predicate_lanes();
         if let Some(cached) = self.shard(key).lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             let mut op = cached;
             op.rebind_constants(&constants);
             return Ok(op);
         }
-        let op = compile(catalog, plan, query)?;
+        let op = crate::compile::compile_checked(catalog, plan, query, checked)?;
         let charge = self.cost_model.cost(op.code_size());
         self.cost_model.charge(charge);
         self.misses.fetch_add(1, Ordering::Relaxed);

@@ -7,66 +7,111 @@
 //! generated code (Fig. 5 line 11):
 //!
 //! * [`CompiledExpr::Col`] — a bare projection,
-//! * [`CompiledExpr::SumCols`] — `a + b + ...` (templates i/iii),
+//! * [`CompiledExpr::SumCols`] / [`CompiledExpr::SumColsF`] — `a + b + ...`
+//!   (templates i/iii) over `i64` / `f64` lanes,
 //! * [`CompiledExpr::Program`] — arbitrary expressions, flattened into a
 //!   postfix opcode sequence evaluated on a small stack: no tree walk, no
 //!   recursion, but still general.
+//!
+//! Types are **baked in at lowering time** ([`CompiledExpr::lower_typed`]):
+//! an `f64` expression compiles into `SumColsF` / [`OpCode::ArithF`]
+//! opcodes and constants are resolved to lane words, so per-tuple
+//! evaluation never consults a type. (Cross-type expressions are rejected
+//! at plan time, so each compiled expression has one uniform numeric
+//! type.)
 
 use crate::bind::{BoundAttr, GroupViews};
 use h2o_expr::{ArithOp, Expr};
-use h2o_storage::Value;
+use h2o_storage::{f64_lane, lane_f64, LogicalType, Value};
 
 /// A postfix opcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpCode {
-    /// Push the value of a bound attribute.
+    /// Push the lane of a bound attribute.
     Load(BoundAttr),
-    /// Push a constant.
+    /// Push a constant lane.
     Const(Value),
-    /// Pop two, apply, push.
+    /// Pop two, apply as wrapping `i64`, push.
     Arith(ArithOp),
+    /// Pop two, apply as IEEE-754 `f64` (lanes are bit patterns), push.
+    ArithF(ArithOp),
+}
+
+impl OpCode {
+    #[inline(always)]
+    fn apply_arith(self, l: Value, r: Value) -> Value {
+        match self {
+            OpCode::Arith(o) => o.apply(l, r),
+            OpCode::ArithF(o) => o.apply_f64(l, r),
+            _ => unreachable!("not an arithmetic opcode"),
+        }
+    }
 }
 
 /// A compiled select expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompiledExpr {
-    /// A single attribute.
+    /// A single attribute (any type — a bare load).
     Col(BoundAttr),
-    /// A left-deep sum of attributes.
+    /// A left-deep wrapping `i64` sum of attributes.
     SumCols(Vec<BoundAttr>),
+    /// A left-deep `f64` sum of attributes (lanes are bit patterns;
+    /// addition folds left-to-right, the engine's ordered-sum convention).
+    SumColsF(Vec<BoundAttr>),
     /// General postfix program with its required stack depth.
     Program { ops: Vec<OpCode>, stack: usize },
 }
 
 impl CompiledExpr {
-    /// Lowers `expr`, resolving attributes through `bind`.
-    pub fn lower<F: FnMut(h2o_storage::AttrId) -> BoundAttr>(
+    /// Lowers `expr` as an **`i64`** expression, resolving attributes
+    /// through `bind` — the paper's all-integer setting; typed callers use
+    /// [`Self::lower_typed`].
+    pub fn lower<F: FnMut(h2o_storage::AttrId) -> BoundAttr>(expr: &Expr, bind: F) -> CompiledExpr {
+        Self::lower_typed(expr, LogicalType::I64, bind)
+    }
+
+    /// Lowers `expr` of (checked, uniform) type `ty`, baking the typed
+    /// arithmetic into the generated program: `F64` expressions get
+    /// [`CompiledExpr::SumColsF`] / [`OpCode::ArithF`] forms; constants
+    /// are resolved to lane words. `Dict`-typed expressions are bare
+    /// columns by construction (the checker rejects anything else) and
+    /// lower to [`CompiledExpr::Col`].
+    pub fn lower_typed<F: FnMut(h2o_storage::AttrId) -> BoundAttr>(
         expr: &Expr,
+        ty: LogicalType,
         mut bind: F,
     ) -> CompiledExpr {
         if let Some(a) = expr.as_col() {
             return CompiledExpr::Col(bind(a));
         }
         if let Some(cols) = expr.as_column_sum() {
-            return CompiledExpr::SumCols(cols.into_iter().map(bind).collect());
+            let bound = cols.into_iter().map(bind).collect();
+            return match ty {
+                LogicalType::F64 => CompiledExpr::SumColsF(bound),
+                _ => CompiledExpr::SumCols(bound),
+            };
         }
         let mut ops = Vec::with_capacity(expr.node_count());
         fn emit<F: FnMut(h2o_storage::AttrId) -> BoundAttr>(
             e: &Expr,
+            ty: LogicalType,
             ops: &mut Vec<OpCode>,
             bind: &mut F,
         ) {
             match e {
                 Expr::Col(a) => ops.push(OpCode::Load(bind(*a))),
-                Expr::Const(v) => ops.push(OpCode::Const(*v)),
+                Expr::Const(d) => ops.push(OpCode::Const(d.numeric_lane())),
                 Expr::Binary { op, lhs, rhs } => {
-                    emit(lhs, ops, bind);
-                    emit(rhs, ops, bind);
-                    ops.push(OpCode::Arith(*op));
+                    emit(lhs, ty, ops, bind);
+                    emit(rhs, ty, ops, bind);
+                    ops.push(match ty {
+                        LogicalType::F64 => OpCode::ArithF(*op),
+                        _ => OpCode::Arith(*op),
+                    });
                 }
             }
         }
-        emit(expr, &mut ops, &mut bind);
+        emit(expr, ty, &mut ops, &mut bind);
         // Stack depth: +1 per push, -1 per arith (pops 2, pushes 1).
         let mut depth = 0usize;
         let mut max = 0usize;
@@ -76,7 +121,7 @@ impl CompiledExpr {
                     depth += 1;
                     max = max.max(depth);
                 }
-                OpCode::Arith(_) => depth -= 1,
+                OpCode::Arith(_) | OpCode::ArithF(_) => depth -= 1,
             }
         }
         CompiledExpr::Program { ops, stack: max }
@@ -93,6 +138,13 @@ impl CompiledExpr {
                     acc = acc.wrapping_add(views.get(c, row));
                 }
                 acc
+            }
+            CompiledExpr::SumColsF(cols) => {
+                let mut acc = 0.0f64;
+                for &c in cols {
+                    acc += lane_f64(views.get(c, row));
+                }
+                f64_lane(acc)
             }
             CompiledExpr::Program { ops, stack } => {
                 // Small fixed stack; expressions in the evaluation never
@@ -123,6 +175,13 @@ impl CompiledExpr {
                 }
                 acc
             }
+            CompiledExpr::SumColsF(cols) => {
+                let mut acc = 0.0f64;
+                for c in cols {
+                    acc += lane_f64(tuple[c.offset as usize]);
+                }
+                f64_lane(acc)
+            }
             CompiledExpr::Program { ops, stack } => {
                 let mut buf = [0 as Value; 16];
                 if *stack <= buf.len() {
@@ -139,7 +198,7 @@ impl CompiledExpr {
     pub fn bound_attrs(&self) -> Vec<BoundAttr> {
         match self {
             CompiledExpr::Col(a) => vec![*a],
-            CompiledExpr::SumCols(cols) => cols.clone(),
+            CompiledExpr::SumCols(cols) | CompiledExpr::SumColsF(cols) => cols.clone(),
             CompiledExpr::Program { ops, .. } => ops
                 .iter()
                 .filter_map(|op| match op {
@@ -164,10 +223,10 @@ fn eval_program_tuple(ops: &[OpCode], tuple: &[Value], stack: &mut [Value]) -> V
                 stack[sp] = *v;
                 sp += 1;
             }
-            OpCode::Arith(o) => {
+            op @ (OpCode::Arith(_) | OpCode::ArithF(_)) => {
                 let r = stack[sp - 1];
                 let l = stack[sp - 2];
-                stack[sp - 2] = o.apply(l, r);
+                stack[sp - 2] = op.apply_arith(l, r);
                 sp -= 1;
             }
         }
@@ -189,10 +248,10 @@ fn eval_program(ops: &[OpCode], views: &GroupViews<'_>, row: usize, stack: &mut 
                 stack[sp] = *v;
                 sp += 1;
             }
-            OpCode::Arith(o) => {
+            op @ (OpCode::Arith(_) | OpCode::ArithF(_)) => {
                 let r = stack[sp - 1];
                 let l = stack[sp - 2];
-                stack[sp - 2] = o.apply(l, r);
+                stack[sp - 2] = op.apply_arith(l, r);
                 sp -= 1;
             }
         }

@@ -27,13 +27,16 @@
 use crate::bind::{BoundAttr, GroupViews};
 use crate::compile::ExecError;
 use crate::filter::{CompiledFilter, CompiledPred};
-use crate::kernels::SelectProgram;
+use crate::kernels::{upd_max, upd_min, upd_sum, SelectProgram};
 use crate::parallel::{run_morsels, ExecPolicy};
 use crate::program::CompiledExpr;
-use h2o_expr::agg::AggState;
+use h2o_expr::agg::{AggOp, AggState};
+use h2o_expr::typecheck;
 use h2o_expr::{Query, QueryResult};
 use h2o_storage::catalog::CoverPolicy;
-use h2o_storage::{AttrId, ColumnGroup, GroupBuilder, LayoutCatalog, Value, DEFAULT_SEG_SHIFT};
+use h2o_storage::{
+    AttrId, ColumnGroup, GroupBuilder, LayoutCatalog, LogicalType, Value, DEFAULT_SEG_SHIFT,
+};
 use std::ops::Range;
 
 /// Resolves, for each target attribute in order, where to read it from the
@@ -78,15 +81,23 @@ fn segment_build_policy(policy: &ExecPolicy) -> ExecPolicy {
     }
 }
 
-/// Wraps morsel-built segment payloads into the finished group.
+/// Wraps morsel-built segment payloads into the finished group, imprinting
+/// the schema's per-attribute types (zone-map statistics of the sealed
+/// segments are computed on adoption).
 fn group_from_payloads(
+    catalog: &LayoutCatalog,
     target_attrs: &[AttrId],
     rows: usize,
     payloads: Vec<Vec<Value>>,
 ) -> ColumnGroup {
-    ColumnGroup::from_segments(
+    let types = catalog
+        .schema()
+        .types_for(target_attrs)
+        .expect("reorg targets are schema attributes");
+    ColumnGroup::from_segments_typed(
         h2o_storage::LayoutId(u32::MAX),
         target_attrs.to_vec(),
+        types,
         rows,
         payloads,
         DEFAULT_SEG_SHIFT,
@@ -163,7 +174,7 @@ pub fn materialize_with(
         }
         block
     });
-    Ok(group_from_payloads(target_attrs, rows, payloads))
+    Ok(group_from_payloads(catalog, target_attrs, rows, payloads))
 }
 
 /// Offline reorganization through the **same row-wise stitch loop** the
@@ -198,15 +209,19 @@ pub fn materialize_rowwise_with(
         });
         block
     });
-    Ok(group_from_payloads(target_attrs, rows, payloads))
+    Ok(group_from_payloads(catalog, target_attrs, rows, payloads))
 }
 
 /// Lowers `query` so every attribute reference indexes a stitched tuple of
 /// `target_attrs` (slot is unused; offset = position in `target_attrs`).
+/// Type checks against the catalog schema and bakes the typed ops in,
+/// exactly as [`crate::compile::compile`] does for plan-bound operators.
 fn compile_against_tuple(
+    catalog: &LayoutCatalog,
     query: &Query,
     target_attrs: &[AttrId],
 ) -> Result<(CompiledFilter, SelectProgram), ExecError> {
+    let checked = typecheck::check(query, catalog.schema())?;
     let pos = |a: AttrId| -> Result<BoundAttr, ExecError> {
         target_attrs
             .iter()
@@ -221,17 +236,12 @@ fn compile_against_tuple(
         .filter()
         .predicates()
         .iter()
-        .map(|p| {
-            Ok(CompiledPred {
-                attr: pos(p.attr)?,
-                op: p.op,
-                value: p.value,
-            })
-        })
+        .zip(&checked.predicates)
+        .map(|(p, tp)| Ok(CompiledPred::from_lane(pos(p.attr)?, p.op, tp.ty, tp.lane)))
         .collect::<Result<Vec<_>, ExecError>>()?;
-    let lower = |e: &h2o_expr::Expr| -> Result<CompiledExpr, ExecError> {
+    let lower = |e: &h2o_expr::Expr, ty: LogicalType| -> Result<CompiledExpr, ExecError> {
         let mut err = None;
-        let c = CompiledExpr::lower(e, |a| {
+        let c = CompiledExpr::lower_typed(e, ty, |a| {
             pos(a).unwrap_or_else(|x| {
                 err = Some(x);
                 BoundAttr { slot: 0, offset: 0 }
@@ -242,33 +252,34 @@ fn compile_against_tuple(
             None => Ok(c),
         }
     };
+    let lower_aggs = || -> Result<Vec<(AggOp, CompiledExpr)>, ExecError> {
+        query
+            .aggregates()
+            .iter()
+            .zip(&checked.aggs)
+            .map(|(a, &op)| Ok((op, lower(&a.expr, op.ty)?)))
+            .collect()
+    };
     let select = if query.is_grouped() {
         SelectProgram::Grouped {
             keys: query
                 .group_by()
                 .iter()
-                .map(&lower)
+                .zip(&checked.keys)
+                .map(|(e, &ty)| lower(e, ty))
                 .collect::<Result<Vec<_>, ExecError>>()?,
-            aggs: query
-                .aggregates()
-                .iter()
-                .map(|a| Ok((a.func, lower(&a.expr)?)))
-                .collect::<Result<Vec<_>, ExecError>>()?,
+            key_types: checked.keys.clone(),
+            aggs: lower_aggs()?,
         }
     } else if query.is_aggregate() {
-        SelectProgram::Aggregate(
-            query
-                .aggregates()
-                .iter()
-                .map(|a| Ok((a.func, lower(&a.expr)?)))
-                .collect::<Result<Vec<_>, ExecError>>()?,
-        )
+        SelectProgram::Aggregate(lower_aggs()?)
     } else {
         SelectProgram::Project(
             query
                 .projections()
                 .iter()
-                .map(lower)
+                .zip(&checked.projections)
+                .map(|(e, &ty)| lower(e, ty))
                 .collect::<Result<Vec<_>, ExecError>>()?,
         )
     };
@@ -317,7 +328,7 @@ pub fn reorg_and_execute_with(
     }
     let (layouts, bindings) = source_bindings(catalog, &tuple_attrs)?;
     let views = GroupViews::resolve(catalog, &layouts)?;
-    let (filter, select) = compile_against_tuple(query, &tuple_attrs)?;
+    let (filter, select) = compile_against_tuple(catalog, query, &tuple_attrs)?;
     let rows = views.rows();
     let width = target_attrs.len();
 
@@ -354,6 +365,7 @@ pub fn reorg_and_execute_with(
                     parts.iter().map(|(_, states)| states.clone()).collect(),
                 );
                 let group = group_from_payloads(
+                    catalog,
                     target_attrs,
                     rows,
                     parts.into_iter().map(|(b, _)| b).collect(),
@@ -381,16 +393,21 @@ pub fn reorg_and_execute_with(
                     out.append(r);
                 }
                 let group = group_from_payloads(
+                    catalog,
                     target_attrs,
                     rows,
                     parts.into_iter().map(|(b, _)| b).collect(),
                 );
                 Ok((group, out))
             }
-            SelectProgram::Grouped { keys, aggs } => {
+            SelectProgram::Grouped {
+                keys,
+                key_types,
+                aggs,
+            } => {
                 let parts: Vec<(Vec<Value>, h2o_expr::GroupedAggs)> =
                     run_morsels(rows, &build, |range| {
-                        let mut table = crate::kernels::grouped::table_for(keys, aggs);
+                        let mut table = crate::kernels::grouped::table_for(key_types, aggs);
                         let mut key = vec![0 as Value; keys.len()];
                         let mut vals = vec![0 as Value; aggs.len()];
                         let block = stitch_block(range, &mut |tuple| {
@@ -402,19 +419,24 @@ pub fn reorg_and_execute_with(
                         });
                         (block, table)
                     });
-                let mut total = crate::kernels::grouped::table_for(keys, aggs);
+                let mut total = crate::kernels::grouped::table_for(key_types, aggs);
                 let mut blocks = Vec::with_capacity(parts.len());
                 for (block, table) in parts {
                     total.merge(table);
                     blocks.push(block);
                 }
-                let group = group_from_payloads(target_attrs, rows, blocks);
+                let group = group_from_payloads(catalog, target_attrs, rows, blocks);
                 Ok((group, total.finish()))
             }
         };
     }
 
-    let mut builder = GroupBuilder::new(target_attrs.to_vec(), rows).map_err(ExecError::Storage)?;
+    let target_types = catalog
+        .schema()
+        .types_for(target_attrs)
+        .map_err(ExecError::Storage)?;
+    let mut builder = GroupBuilder::typed(target_attrs.to_vec(), target_types, rows)
+        .map_err(ExecError::Storage)?;
     let mut tuple = vec![0 as Value; tuple_attrs.len()];
 
     match &select {
@@ -444,7 +466,7 @@ pub fn reorg_and_execute_with(
             if let Some((func, base, k)) = dense {
                 use h2o_expr::AggFunc;
                 let mut acc: Vec<Value> = vec![
-                    match func {
+                    match func.func {
                         AggFunc::Min => Value::MAX,
                         AggFunc::Max => Value::MIN,
                         _ => 0,
@@ -457,24 +479,20 @@ pub fn reorg_and_execute_with(
                     if filter.matches_tuple(t) {
                         matched += 1;
                         let vals = &t[base..base + k];
-                        match func {
+                        match func.func {
                             AggFunc::Max => {
                                 for (a, &v) in acc.iter_mut().zip(vals) {
-                                    if v > *a {
-                                        *a = v;
-                                    }
+                                    upd_max(func.ty, a, v);
                                 }
                             }
                             AggFunc::Min => {
                                 for (a, &v) in acc.iter_mut().zip(vals) {
-                                    if v < *a {
-                                        *a = v;
-                                    }
+                                    upd_min(func.ty, a, v);
                                 }
                             }
                             AggFunc::Sum | AggFunc::Avg => {
                                 for (a, &v) in acc.iter_mut().zip(vals) {
-                                    *a = a.wrapping_add(v);
+                                    upd_sum(func.ty, a, v);
                                 }
                             }
                             AggFunc::Count => {}
@@ -515,8 +533,12 @@ pub fn reorg_and_execute_with(
             });
             Ok((builder.finish(), out))
         }
-        SelectProgram::Grouped { keys, aggs } => {
-            let mut table = crate::kernels::grouped::table_for(keys, aggs);
+        SelectProgram::Grouped {
+            keys,
+            key_types,
+            aggs,
+        } => {
+            let mut table = crate::kernels::grouped::table_for(key_types, aggs);
             let mut key = vec![0 as Value; keys.len()];
             let mut vals = vec![0 as Value; aggs.len()];
             stitch_each(&views, &bindings, 0..rows, &mut tuple, &mut |t| {

@@ -5,7 +5,7 @@
 //! `select max(a), max(b), ... from R where <predicates>`.
 
 use crate::expr::Expr;
-use h2o_storage::Value;
+use h2o_storage::{f64_lane, lane_f64, LogicalType, Value};
 use std::fmt;
 
 /// An aggregate function.
@@ -78,79 +78,147 @@ impl fmt::Display for Aggregate {
     }
 }
 
+/// A fully typed aggregate operation: the function plus the logical type
+/// of its input lanes. This is what compiled programs carry — the kernels'
+/// inner loops dispatch on it once, outside the row loop.
+///
+/// `From<AggFunc>` supplies the `I64` default, so `AggState::new(AggFunc::
+/// Sum)` keeps meaning what it always did for the paper's all-integer
+/// relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AggOp {
+    pub func: AggFunc,
+    /// Type of the aggregate's *input* expression. Must be numeric except
+    /// for `count`, whose input is ignored.
+    pub ty: LogicalType,
+}
+
+impl AggOp {
+    /// Creates a typed aggregate op.
+    pub fn new(func: AggFunc, ty: LogicalType) -> Self {
+        AggOp { func, ty }
+    }
+
+    /// The logical type of the aggregate's **output** lane: `count` is
+    /// always `I64`; everything else preserves its input type.
+    pub fn output_type(self) -> LogicalType {
+        match self.func {
+            AggFunc::Count => LogicalType::I64,
+            _ => self.ty,
+        }
+    }
+}
+
+impl From<AggFunc> for AggOp {
+    fn from(func: AggFunc) -> Self {
+        AggOp {
+            func,
+            ty: LogicalType::I64,
+        }
+    }
+}
+
 /// Running state for one aggregate. Every execution strategy — interpreted,
 /// volcano, vectorized, fused kernels — folds tuples through this same
 /// accumulator, which is what guarantees identical results across layouts.
+///
+/// # Typed accumulation
+///
+/// `sum`/`avg` accumulate in the input's numeric domain (`i64` wrapping, or
+/// IEEE-754 `f64` in fold order). `min`/`max` accumulate **comparator
+/// keys** ([`LogicalType::cmp_key`]): the running extremum is kept in key
+/// space where comparison is one integer instruction for every type, and
+/// [`AggState::finish`] maps it back (the key function is an involution).
+/// For `F64` this realizes `total_cmp` min/max exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AggState {
-    func: AggFunc,
+    op: AggOp,
+    /// Sum accumulator in the input's lane domain (`f64` bit pattern for
+    /// `F64` inputs).
     sum: Value,
+    /// Running minimum in comparator-key space.
     min: Value,
+    /// Running maximum in comparator-key space.
     max: Value,
     count: u64,
 }
 
 impl AggState {
-    /// Fresh accumulator for `func`.
-    pub fn new(func: AggFunc) -> Self {
+    /// Fresh accumulator for `op` (a bare [`AggFunc`] defaults to `I64`
+    /// input lanes).
+    pub fn new<O: Into<AggOp>>(op: O) -> Self {
         AggState {
-            func,
-            sum: 0,
+            op: op.into(),
+            sum: 0, // 0i64, and also the bit pattern of +0.0f64
             min: Value::MAX,
             max: Value::MIN,
             count: 0,
         }
     }
 
-    /// Folds one input value. Only the fields the function needs are
+    /// Folds one input lane. Only the fields the function needs are
     /// maintained — this runs once per (aggregate, qualifying tuple) in
     /// every kernel's inner loop, so a `max(..)` must cost a compare, not
     /// a compare plus three unrelated updates.
     #[inline(always)]
     pub fn update(&mut self, v: Value) {
-        match self.func {
-            AggFunc::Sum => self.sum = self.sum.wrapping_add(v),
+        match self.op.func {
+            AggFunc::Sum => self.sum = self.add_to_sum(v),
             AggFunc::Min => {
-                self.min = self.min.min(v);
+                self.min = self.min.min(self.op.ty.cmp_key(v));
                 self.count += 1;
             }
             AggFunc::Max => {
-                self.max = self.max.max(v);
+                self.max = self.max.max(self.op.ty.cmp_key(v));
                 self.count += 1;
             }
             AggFunc::Count => self.count += 1,
             AggFunc::Avg => {
-                self.sum = self.sum.wrapping_add(v);
+                self.sum = self.add_to_sum(v);
                 self.count += 1;
             }
         }
     }
 
+    #[inline(always)]
+    fn add_to_sum(&self, v: Value) -> Value {
+        match self.op.ty {
+            LogicalType::F64 => f64_lane(lane_f64(self.sum) + lane_f64(v)),
+            _ => self.sum.wrapping_add(v),
+        }
+    }
+
     /// Merges another accumulator. This is the combine step of parallel
     /// execution: each morsel folds its rows into a private `AggState` and
-    /// the partials are merged in morsel order. All the merge operations —
-    /// wrapping sum, min, max, count addition — are associative and have
-    /// `AggState::new` as their identity, so any grouping of morsels yields
-    /// the same final state as a single sequential fold (the parallel
-    /// differential tests assert bit-identical results).
+    /// the partials are merged in morsel order. The integer merge
+    /// operations — wrapping sum, key-space min/max, count addition — are
+    /// associative with `AggState::new` as identity, so any grouping of
+    /// morsels yields the same final state as a single sequential fold.
+    /// `f64` sums are merged in morsel order (the engine-wide float
+    /// determinism convention: ordered sums within a morsel, merge order
+    /// pinned by the scheduler; the workload generators draw doubles from
+    /// dyadic grids so these sums are exact and association-independent —
+    /// the differential tests assert bit-identical results).
     pub fn merge(&mut self, other: &AggState) {
-        debug_assert_eq!(self.func, other.func);
-        self.sum = self.sum.wrapping_add(other.sum);
+        debug_assert_eq!(self.op, other.op);
+        self.sum = self.add_to_sum(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.count += other.count;
     }
 
-    /// Reconstructs an accumulator from a kernel's raw partial: `raw` is the
-    /// specialized loop's accumulator value (sum for `sum`/`avg`, the
-    /// extremum for `min`/`max`, ignored for `count`) and `count` the number
-    /// of folded values. Bridges the offset-specialized kernels — which
-    /// accumulate into flat `Value` slots rather than `AggState`s — into the
-    /// mergeable form the parallel driver combines.
-    pub fn from_parts(func: AggFunc, raw: Value, count: u64) -> AggState {
-        let mut st = AggState::new(func);
+    /// Reconstructs an accumulator from a kernel's raw partial: `raw` is
+    /// the specialized loop's accumulator value — the sum lane for
+    /// `sum`/`avg`, the extremum **in comparator-key space** for
+    /// `min`/`max` (identical to the raw lane for `I64`), ignored for
+    /// `count` — and `count` the number of folded values. Bridges the
+    /// offset-specialized kernels — which accumulate into flat `Value`
+    /// slots rather than `AggState`s — into the mergeable form the
+    /// parallel driver combines.
+    pub fn from_parts<O: Into<AggOp>>(op: O, raw: Value, count: u64) -> AggState {
+        let mut st = AggState::new(op);
         st.count = count;
-        match func {
+        match st.op.func {
             AggFunc::Sum | AggFunc::Avg => st.sum = raw,
             AggFunc::Min => st.min = raw,
             AggFunc::Max => st.max = raw,
@@ -159,32 +227,37 @@ impl AggState {
         st
     }
 
-    /// Finishes the aggregate. Empty-input results: `sum`/`count`/`avg` are
-    /// `0`, `min`/`max` are `0` (SQL would say NULL; the engine has no
-    /// nulls, and all strategies agree on this convention).
+    /// Finishes the aggregate into an output lane. Empty-input results are
+    /// the zero lane for every function and type (`0` / `0.0` — SQL would
+    /// say NULL; the engine has no nulls, and all strategies agree on this
+    /// convention).
     pub fn finish(&self) -> Value {
-        match self.func {
+        match self.op.func {
             AggFunc::Sum => self.sum,
             AggFunc::Count => self.count as Value,
             AggFunc::Min => {
                 if self.count == 0 {
                     0
                 } else {
-                    self.min
+                    // cmp_key is an involution: map the key back to a lane.
+                    self.op.ty.cmp_key(self.min)
                 }
             }
             AggFunc::Max => {
                 if self.count == 0 {
                     0
                 } else {
-                    self.max
+                    self.op.ty.cmp_key(self.max)
                 }
             }
             AggFunc::Avg => {
                 if self.count == 0 {
                     0
                 } else {
-                    self.sum.wrapping_div(self.count as Value)
+                    match self.op.ty {
+                        LogicalType::F64 => f64_lane(lane_f64(self.sum) / self.count as f64),
+                        _ => self.sum.wrapping_div(self.count as Value),
+                    }
                 }
             }
         }
@@ -202,6 +275,7 @@ mod tests {
     use super::*;
 
     fn fold(func: AggFunc, vals: &[Value]) -> Value {
+        // Bare-AggFunc construction pins the I64 default.
         let mut s = AggState::new(func);
         for &v in vals {
             s.update(v);
@@ -339,6 +413,77 @@ mod tests {
     #[test]
     fn avg_truncates_toward_zero() {
         assert_eq!(fold(AggFunc::Avg, &[-3, -4]), -3); // -7/2 = -3 (trunc)
+    }
+
+    fn fold_f64(func: AggFunc, vals: &[f64]) -> Value {
+        let mut s = AggState::new(AggOp::new(func, LogicalType::F64));
+        for &v in vals {
+            s.update(f64_lane(v));
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn f64_aggregates() {
+        let vals = [1.5, -2.25, 4.0, 0.25];
+        assert_eq!(lane_f64(fold_f64(AggFunc::Sum, &vals)), 3.5);
+        assert_eq!(lane_f64(fold_f64(AggFunc::Min, &vals)), -2.25);
+        assert_eq!(lane_f64(fold_f64(AggFunc::Max, &vals)), 4.0);
+        assert_eq!(fold_f64(AggFunc::Count, &vals), 4);
+        assert_eq!(lane_f64(fold_f64(AggFunc::Avg, &vals)), 0.875);
+        // Empty input: zero lane == +0.0 for every function.
+        for f in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            assert_eq!(fold_f64(f, &[]), 0, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn f64_min_max_follow_total_cmp() {
+        // total_cmp order: -NaN < -inf < -0.0 < +0.0 < +inf < +NaN.
+        let vals = [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN];
+        let min = lane_f64(fold_f64(AggFunc::Min, &vals));
+        let max = lane_f64(fold_f64(AggFunc::Max, &vals));
+        assert_eq!(min, f64::NEG_INFINITY);
+        assert!(max.is_nan(), "positive NaN is the total_cmp maximum");
+        // Signed zeros are distinguished.
+        let min0 = fold_f64(AggFunc::Min, &[0.0, -0.0]);
+        assert_eq!(lane_f64(min0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn f64_merge_matches_sequential_fold_on_dyadic_grid() {
+        // Dyadic-grid doubles (k * 2^-10): sums are exact, so any morsel
+        // split merges to the bit-identical total.
+        let vals: Vec<f64> = (0..100)
+            .map(|i| ((i * 37 % 83) as f64 - 41.0) / 1024.0)
+            .collect();
+        for f in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let want = fold_f64(f, &vals);
+            for chunk in [1usize, 3, 7, 64] {
+                let mut total = AggState::new(AggOp::new(f, LogicalType::F64));
+                for part in vals.chunks(chunk) {
+                    let mut p = AggState::new(AggOp::new(f, LogicalType::F64));
+                    for &v in part {
+                        p.update(f64_lane(v));
+                    }
+                    total.merge(&p);
+                }
+                assert_eq!(total.finish(), want, "{} chunk={chunk}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn agg_op_output_types() {
+        assert_eq!(
+            AggOp::new(AggFunc::Count, LogicalType::F64).output_type(),
+            LogicalType::I64
+        );
+        assert_eq!(
+            AggOp::new(AggFunc::Sum, LogicalType::F64).output_type(),
+            LogicalType::F64
+        );
+        assert_eq!(AggOp::from(AggFunc::Min).ty, LogicalType::I64);
     }
 
     #[test]

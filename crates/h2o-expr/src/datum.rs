@@ -1,0 +1,240 @@
+//! [`Datum`]: the typed value at the engine's API boundary.
+//!
+//! Inside the engine every value is a 64-bit lane word interpreted through
+//! its attribute's [`LogicalType`]; at the boundary — query constants,
+//! rendered results — values are `Datum`s. A `Datum` knows how to encode
+//! itself into a lane for a given attribute type ([`Datum::to_lane`]) and
+//! how to decode a lane back ([`Datum::from_lane`]).
+//!
+//! `Datum` implements `Eq`/`Hash` (doubles by bit pattern, consistent with
+//! the engine's `total_cmp` ordering convention) so queries containing
+//! typed constants stay hashable for the operator cache.
+
+use crate::query::QueryError;
+use h2o_storage::{f64_lane, lane_f64, Dictionary, LogicalType, Value};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A typed scalar value.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// A 64-bit integer.
+    I64(Value),
+    /// A double. Compared and hashed by bit pattern (`total_cmp` order).
+    F64(f64),
+    /// A string, matched against dictionary-encoded attributes.
+    Str(Arc<str>),
+}
+
+impl Datum {
+    /// The logical type this datum naturally has (`Str` ↦ `Dict`).
+    pub fn logical(&self) -> LogicalType {
+        match self {
+            Datum::I64(_) => LogicalType::I64,
+            Datum::F64(_) => LogicalType::F64,
+            Datum::Str(_) => LogicalType::Dict,
+        }
+    }
+
+    /// Encodes the datum as a lane word for an attribute of type `ty`.
+    ///
+    /// There are **no implicit coercions**: an `I64` datum against an `F64`
+    /// attribute (or any other cross-type pairing) is a
+    /// [`QueryError::TypeMismatch`]. A string against a `Dict` attribute is
+    /// looked up in the attribute's dictionary; an unknown label encodes as
+    /// a code that matches no stored row (`-1` — codes are non-negative),
+    /// so `= 'nope'` selects nothing and `<> 'nope'` everything, without
+    /// mutating the dictionary.
+    pub fn to_lane(&self, ty: LogicalType, dict: Option<&Dictionary>) -> Result<Value, QueryError> {
+        match (self, ty) {
+            (Datum::I64(v), LogicalType::I64) => Ok(*v),
+            (Datum::F64(x), LogicalType::F64) => Ok(f64_lane(*x)),
+            (Datum::Str(s), LogicalType::Dict) => {
+                Ok(dict.and_then(|d| d.code(s)).unwrap_or(UNKNOWN_LABEL_CODE))
+            }
+            _ => Err(QueryError::TypeMismatch(format!(
+                "constant {self} is {}, attribute expects {}",
+                self.logical().name(),
+                ty.name()
+            ))),
+        }
+    }
+
+    /// The lane word of a numeric datum, for contexts the type checker has
+    /// already proven numeric. Panics on `Str` — string literals are only
+    /// legal as predicate constants, which resolve through
+    /// [`Datum::to_lane`].
+    pub fn numeric_lane(&self) -> Value {
+        match self {
+            Datum::I64(v) => *v,
+            Datum::F64(x) => f64_lane(*x),
+            Datum::Str(_) => unreachable!("string literal outside a predicate (checked)"),
+        }
+    }
+
+    /// Decodes a lane word of type `ty` back into a datum (result
+    /// rendering). An orphaned dictionary code renders as `I64` so the raw
+    /// lane is never hidden.
+    pub fn from_lane(ty: LogicalType, lane: Value, dict: Option<&Dictionary>) -> Datum {
+        match ty {
+            LogicalType::I64 => Datum::I64(lane),
+            LogicalType::F64 => Datum::F64(lane_f64(lane)),
+            LogicalType::Dict => match dict.and_then(|d| d.label(lane)) {
+                Some(label) => Datum::Str(label),
+                None => Datum::I64(lane),
+            },
+        }
+    }
+}
+
+/// The lane value an unknown dictionary label encodes to (matches nothing).
+pub const UNKNOWN_LABEL_CODE: Value = -1;
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Datum::I64(a), Datum::I64(b)) => a == b,
+            (Datum::F64(a), Datum::F64(b)) => a.to_bits() == b.to_bits(),
+            (Datum::Str(a), Datum::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Datum {}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::I64(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Datum::F64(x) => {
+                1u8.hash(state);
+                x.to_bits().hash(state);
+            }
+            Datum::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::I64(v) => write!(f, "{v}"),
+            Datum::F64(x) => write!(f, "{x:?}"), // `{:?}` keeps `1.0` distinct from `1`
+            Datum::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::I64(v)
+    }
+}
+
+impl From<i32> for Datum {
+    fn from(v: i32) -> Self {
+        Datum::I64(v as i64)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(x: f64) -> Self {
+        Datum::F64(x)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(s: &str) -> Self {
+        Datum::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Datum {
+    fn from(s: String) -> Self {
+        Datum::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Datum::from(5i32), Datum::I64(5));
+        assert_eq!(Datum::from(5i64), Datum::I64(5));
+        assert_eq!(Datum::from(1.5), Datum::F64(1.5));
+        assert_eq!(Datum::from("x"), Datum::Str(Arc::from("x")));
+        assert_eq!(Datum::from(String::from("x")).to_string(), "\"x\"");
+        assert_eq!(Datum::from(1.0).to_string(), "1.0");
+        assert_eq!(Datum::from(7).to_string(), "7");
+    }
+
+    #[test]
+    fn to_lane_same_type_round_trips() {
+        assert_eq!(Datum::I64(-3).to_lane(LogicalType::I64, None).unwrap(), -3);
+        let lane = Datum::F64(2.5).to_lane(LogicalType::F64, None).unwrap();
+        assert_eq!(lane_f64(lane), 2.5);
+        let d = Dictionary::with_labels(["STAR", "GALAXY"]);
+        assert_eq!(
+            Datum::from("GALAXY")
+                .to_lane(LogicalType::Dict, Some(&d))
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            Datum::from("NOPE")
+                .to_lane(LogicalType::Dict, Some(&d))
+                .unwrap(),
+            UNKNOWN_LABEL_CODE
+        );
+        assert_eq!(d.len(), 2, "lookup must not intern");
+    }
+
+    #[test]
+    fn to_lane_rejects_cross_type() {
+        let err = Datum::I64(1).to_lane(LogicalType::F64, None).unwrap_err();
+        assert!(err.to_string().contains("i64"));
+        assert!(err.to_string().contains("f64"));
+        assert!(Datum::F64(1.0).to_lane(LogicalType::I64, None).is_err());
+        assert!(Datum::from("x").to_lane(LogicalType::I64, None).is_err());
+        assert!(Datum::I64(1).to_lane(LogicalType::Dict, None).is_err());
+    }
+
+    #[test]
+    fn from_lane_decodes() {
+        assert_eq!(Datum::from_lane(LogicalType::I64, 9, None), Datum::I64(9));
+        assert_eq!(
+            Datum::from_lane(LogicalType::F64, f64_lane(-0.5), None),
+            Datum::F64(-0.5)
+        );
+        let d = Dictionary::with_labels(["A"]);
+        assert_eq!(
+            Datum::from_lane(LogicalType::Dict, 0, Some(&d)),
+            Datum::from("A")
+        );
+        assert_eq!(
+            Datum::from_lane(LogicalType::Dict, 7, Some(&d)),
+            Datum::I64(7),
+            "orphan codes surface as raw lanes"
+        );
+    }
+
+    #[test]
+    fn eq_and_hash_use_bit_patterns() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Datum::F64(f64::NAN));
+        assert!(set.contains(&Datum::F64(f64::NAN)), "NaN == NaN by bits");
+        assert_ne!(Datum::F64(0.0), Datum::F64(-0.0), "signed zeros distinct");
+        assert_ne!(Datum::I64(1), Datum::F64(1.0), "no cross-type equality");
+    }
+}

@@ -1,10 +1,13 @@
 //! Arithmetic expressions over attributes.
 
-use h2o_storage::{AttrId, AttrSet, Value};
+use crate::datum::Datum;
+use crate::query::QueryError;
+use h2o_storage::{f64_lane, lane_f64, AttrId, AttrSet, LogicalType, Value};
 use std::fmt;
 
-/// A binary arithmetic operator. All arithmetic is wrapping so that every
-/// execution strategy in the engine agrees bit-for-bit (see crate docs).
+/// A binary arithmetic operator. Integer arithmetic is wrapping and `f64`
+/// arithmetic is IEEE-754 in evaluation order, so every execution strategy
+/// in the engine agrees bit-for-bit (see crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArithOp {
     Add,
@@ -13,13 +16,36 @@ pub enum ArithOp {
 }
 
 impl ArithOp {
-    /// Applies the operator.
+    /// Applies the operator on `i64` lanes (wrapping).
     #[inline]
     pub fn apply(self, l: Value, r: Value) -> Value {
         match self {
             ArithOp::Add => l.wrapping_add(r),
             ArithOp::Sub => l.wrapping_sub(r),
             ArithOp::Mul => l.wrapping_mul(r),
+        }
+    }
+
+    /// Applies the operator on `f64` lanes (bit patterns in, bit pattern
+    /// out).
+    #[inline]
+    pub fn apply_f64(self, l: Value, r: Value) -> Value {
+        let (l, r) = (lane_f64(l), lane_f64(r));
+        f64_lane(match self {
+            ArithOp::Add => l + r,
+            ArithOp::Sub => l - r,
+            ArithOp::Mul => l * r,
+        })
+    }
+
+    /// Applies the operator on lanes of numeric type `ty`. Cross-type
+    /// arithmetic is rejected at plan time, so an expression has one
+    /// uniform numeric type and the dispatch hoists out of inner loops.
+    #[inline]
+    pub fn apply_lane(self, ty: LogicalType, l: Value, r: Value) -> Value {
+        match ty {
+            LogicalType::F64 => self.apply_f64(l, r),
+            _ => self.apply(l, r),
         }
     }
 
@@ -39,8 +65,8 @@ impl ArithOp {
 pub enum Expr {
     /// A reference to an attribute of the relation.
     Col(AttrId),
-    /// A constant.
-    Const(Value),
+    /// A typed constant.
+    Const(Datum),
     /// A binary operation.
     Binary {
         op: ArithOp,
@@ -55,9 +81,9 @@ impl Expr {
         Expr::Col(a.into())
     }
 
-    /// Shorthand for a constant.
-    pub fn lit(v: Value) -> Expr {
-        Expr::Const(v)
+    /// Shorthand for a constant (`i64`, `f64` or string — see [`Datum`]).
+    pub fn lit<D: Into<Datum>>(v: D) -> Expr {
+        Expr::Const(v.into())
     }
 
     /// `self + rhs`.
@@ -128,14 +154,68 @@ impl Expr {
         }
     }
 
-    /// Evaluates the expression with attribute values supplied by `fetch`.
-    /// This *is* the interpretation overhead the paper's generated code
-    /// removes: one virtual walk of the tree per tuple.
+    /// Evaluates the expression over **`i64` lanes** with attribute values
+    /// supplied by `fetch` — shorthand for
+    /// [`eval_lane`](Self::eval_lane)`(LogicalType::I64, fetch)`, the
+    /// correct evaluator for the all-integer relations of the paper's
+    /// evaluation. Typed callers (the interpreter) resolve the
+    /// expression's type first and use [`Self::eval_lane`].
     pub fn eval<F: Fn(AttrId) -> Value + Copy>(&self, fetch: F) -> Value {
+        self.eval_lane(LogicalType::I64, fetch)
+    }
+
+    /// Evaluates the expression over lane words of the (uniform, already
+    /// type-checked) numeric type `ty`. This *is* the interpretation
+    /// overhead the paper's generated code removes: one virtual walk of
+    /// the tree per tuple.
+    pub fn eval_lane<F: Fn(AttrId) -> Value + Copy>(&self, ty: LogicalType, fetch: F) -> Value {
         match self {
             Expr::Col(a) => fetch(*a),
-            Expr::Const(v) => *v,
-            Expr::Binary { op, lhs, rhs } => op.apply(lhs.eval(fetch), rhs.eval(fetch)),
+            Expr::Const(d) => d.numeric_lane(),
+            Expr::Binary { op, lhs, rhs } => {
+                op.apply_lane(ty, lhs.eval_lane(ty, fetch), rhs.eval_lane(ty, fetch))
+            }
+        }
+    }
+
+    /// Infers the expression's [`LogicalType`] given per-attribute types,
+    /// rejecting everything the engine's strict typing forbids: cross-type
+    /// arithmetic (there are no implicit coercions), arithmetic over
+    /// dictionary-encoded attributes, and string literals outside
+    /// predicates. A pure-constant expression types as its constants.
+    pub fn type_of<F>(&self, ty_of: &F) -> Result<LogicalType, QueryError>
+    where
+        F: Fn(AttrId) -> Result<LogicalType, QueryError>,
+    {
+        match self {
+            Expr::Col(a) => ty_of(*a),
+            Expr::Const(d) => match d {
+                Datum::Str(_) => Err(QueryError::TypeMismatch(format!(
+                    "string literal {d} is only allowed as a predicate constant"
+                ))),
+                _ => Ok(d.logical()),
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = lhs.type_of(ty_of)?;
+                let rt = rhs.type_of(ty_of)?;
+                if lt != rt {
+                    return Err(QueryError::TypeMismatch(format!(
+                        "arithmetic ({lhs} {} {rhs}) mixes {} and {} operands \
+                         (the engine has no implicit casts)",
+                        op.symbol(),
+                        lt.name(),
+                        rt.name()
+                    )));
+                }
+                if !lt.is_numeric() {
+                    return Err(QueryError::TypeMismatch(format!(
+                        "arithmetic ({lhs} {} {rhs}) over dictionary-encoded \
+                         operands is undefined",
+                        op.symbol()
+                    )));
+                }
+                Ok(lt)
+            }
         }
     }
 

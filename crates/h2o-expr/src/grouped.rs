@@ -12,30 +12,52 @@
 //! the input into morsels — and any strategy — yields a bit-identical
 //! [`QueryResult`].
 
-use crate::agg::{AggFunc, AggState};
+use crate::agg::{AggOp, AggState};
 use crate::result::QueryResult;
-use h2o_storage::Value;
+use h2o_storage::{LogicalType, Value};
 use std::collections::HashMap;
 
 /// Running state of one grouped aggregation: `key vector → one
 /// [`AggState`] per aggregate`.
+///
+/// Keys are stored and hashed as **raw lane bits** (an `f64` key is its
+/// bit pattern, a `Dict` key its code) — grouping is bit-pattern equality,
+/// so e.g. `-0.0` and `+0.0` are distinct groups and every NaN bit
+/// pattern its own group, identically on every strategy. The per-column
+/// [`LogicalType`]s matter only in [`GroupedAggs::finish`], whose
+/// ascending-key sort compares through
+/// [`cmp_key`](LogicalType::cmp_key) (`total_cmp` order for `F64`).
 #[derive(Debug, Clone)]
 pub struct GroupedAggs {
-    key_width: usize,
-    funcs: Vec<AggFunc>,
+    key_types: Vec<LogicalType>,
+    ops: Vec<AggOp>,
     map: HashMap<Box<[Value]>, Vec<AggState>>,
 }
 
 impl GroupedAggs {
-    /// Fresh table for `key_width`-value keys and the given aggregate
-    /// functions (`funcs` may be empty — the distinct-keys degenerate).
-    pub fn new(key_width: usize, funcs: Vec<AggFunc>) -> Self {
-        assert!(key_width > 0, "grouped aggregation requires a key");
+    /// Fresh table for keys of the given per-column types and the given
+    /// typed aggregate ops (`ops` may be empty — the distinct-keys
+    /// degenerate).
+    pub fn new(key_types: Vec<LogicalType>, ops: Vec<AggOp>) -> Self {
+        assert!(!key_types.is_empty(), "grouped aggregation requires a key");
         GroupedAggs {
-            key_width,
-            funcs,
+            key_types,
+            ops,
             map: HashMap::new(),
         }
+    }
+
+    /// [`Self::new`] for all-`I64` keys and bare aggregate functions (the
+    /// paper's integer relations; used by tests).
+    pub fn untyped<O: Into<AggOp>, I: IntoIterator<Item = O>>(key_width: usize, ops: I) -> Self {
+        Self::new(
+            vec![LogicalType::I64; key_width],
+            ops.into_iter().map(Into::into).collect(),
+        )
+    }
+
+    fn key_width(&self) -> usize {
+        self.key_types.len()
     }
 
     /// Folds one qualifying tuple: `key` is its evaluated key vector,
@@ -43,8 +65,8 @@ impl GroupedAggs {
     /// constructor's `funcs`).
     #[inline]
     pub fn update(&mut self, key: &[Value], vals: &[Value]) {
-        debug_assert_eq!(key.len(), self.key_width);
-        debug_assert_eq!(vals.len(), self.funcs.len());
+        debug_assert_eq!(key.len(), self.key_width());
+        debug_assert_eq!(vals.len(), self.ops.len());
         match self.map.get_mut(key) {
             Some(states) => {
                 for (st, &v) in states.iter_mut().zip(vals) {
@@ -53,7 +75,7 @@ impl GroupedAggs {
             }
             None => {
                 let mut states: Vec<AggState> =
-                    self.funcs.iter().map(|&f| AggState::new(f)).collect();
+                    self.ops.iter().map(|&op| AggState::new(op)).collect();
                 for (st, &v) in states.iter_mut().zip(vals) {
                     st.update(v);
                 }
@@ -67,8 +89,8 @@ impl GroupedAggs {
     /// operations are associative and commutative, so any merge order over
     /// any morsel partition produces the same final table.
     pub fn merge(&mut self, other: GroupedAggs) {
-        debug_assert_eq!(self.key_width, other.key_width);
-        debug_assert_eq!(self.funcs, other.funcs);
+        debug_assert_eq!(self.key_types, other.key_types);
+        debug_assert_eq!(self.ops, other.ops);
         for (key, partial) in other.map {
             match self.map.get_mut(&*key) {
                 Some(states) => {
@@ -95,23 +117,36 @@ impl GroupedAggs {
 
     /// Values per output row.
     pub fn output_width(&self) -> usize {
-        self.key_width + self.funcs.len()
+        self.key_width() + self.ops.len()
     }
 
     /// Finishes the aggregation into the result block: one row per distinct
     /// key (`key ++ finished aggregates`), **sorted ascending by key
-    /// vector**. Grouping over an empty input yields zero rows (the SQL
-    /// convention, unlike scalar aggregates' single neutral row) — all
-    /// strategies agree on this.
+    /// vector** in each key column's typed order (`total_cmp` for `F64`
+    /// keys, code order for `Dict`, via [`LogicalType::cmp_key`]).
+    /// Grouping over an empty input yields zero rows (the SQL convention,
+    /// unlike scalar aggregates' single neutral row) — all strategies
+    /// agree on this.
     pub fn finish(&self) -> QueryResult {
         let mut keys: Vec<&[Value]> = self.map.keys().map(|k| &**k).collect();
-        keys.sort_unstable();
+        // Typed lexicographic order. cmp_key is the identity for I64/Dict,
+        // so all-integer keys sort exactly as before.
+        keys.sort_unstable_by(|a, b| {
+            for ((x, y), &ty) in a.iter().zip(b.iter()).zip(&self.key_types) {
+                let ord = ty.cmp_key(*x).cmp(&ty.cmp_key(*y));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let kw = self.key_width();
         let mut out = QueryResult::with_capacity(self.output_width(), keys.len());
         let mut row: Vec<Value> = vec![0; self.output_width()];
         for key in keys {
-            row[..self.key_width].copy_from_slice(key);
+            row[..kw].copy_from_slice(key);
             let states = &self.map[key];
-            for (slot, st) in row[self.key_width..].iter_mut().zip(states) {
+            for (slot, st) in row[kw..].iter_mut().zip(states) {
                 *slot = st.finish();
             }
             out.push_row(&row);
@@ -123,9 +158,11 @@ impl GroupedAggs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agg::AggFunc;
+    use h2o_storage::{f64_lane, lane_f64};
 
     fn table() -> GroupedAggs {
-        GroupedAggs::new(1, vec![AggFunc::Sum, AggFunc::Count])
+        GroupedAggs::untyped(1, [AggFunc::Sum, AggFunc::Count])
     }
 
     #[test]
@@ -153,15 +190,15 @@ mod tests {
     #[test]
     fn merge_equals_single_fold_for_any_split() {
         let tuples: Vec<(Value, Value)> = (0..40).map(|i| (i % 5, i * 3 - 20)).collect();
-        let mut whole = GroupedAggs::new(1, vec![AggFunc::Min, AggFunc::Avg]);
+        let mut whole = GroupedAggs::untyped(1, [AggFunc::Min, AggFunc::Avg]);
         for &(k, v) in &tuples {
             whole.update(&[k], &[v, v]);
         }
         let want = whole.finish();
         for chunk in [1usize, 3, 7, 39, 64] {
-            let mut merged = GroupedAggs::new(1, vec![AggFunc::Min, AggFunc::Avg]);
+            let mut merged = GroupedAggs::untyped(1, [AggFunc::Min, AggFunc::Avg]);
             for part in tuples.chunks(chunk) {
-                let mut partial = GroupedAggs::new(1, vec![AggFunc::Min, AggFunc::Avg]);
+                let mut partial = GroupedAggs::untyped(1, [AggFunc::Min, AggFunc::Avg]);
                 for &(k, v) in part {
                     partial.update(&[k], &[v, v]);
                 }
@@ -173,7 +210,7 @@ mod tests {
 
     #[test]
     fn multi_value_keys_sort_lexicographically() {
-        let mut t = GroupedAggs::new(2, vec![AggFunc::Max]);
+        let mut t = GroupedAggs::untyped(2, [AggFunc::Max]);
         t.update(&[1, 9], &[3]);
         t.update(&[1, -2], &[4]);
         t.update(&[0, 100], &[5]);
@@ -185,7 +222,7 @@ mod tests {
 
     #[test]
     fn distinct_degenerate_no_aggregates() {
-        let mut t = GroupedAggs::new(1, vec![]);
+        let mut t = GroupedAggs::untyped(1, Vec::<AggOp>::new());
         t.update(&[3], &[]);
         t.update(&[3], &[]);
         t.update(&[-1], &[]);
@@ -198,6 +235,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a key")]
     fn zero_key_width_rejected() {
-        GroupedAggs::new(0, vec![AggFunc::Count]);
+        GroupedAggs::untyped(0, [AggFunc::Count]);
+    }
+
+    #[test]
+    fn f64_keys_group_by_bits_and_sort_by_total_cmp() {
+        use crate::agg::AggOp;
+        let mut t = GroupedAggs::new(
+            vec![LogicalType::F64],
+            vec![AggOp::new(AggFunc::Sum, LogicalType::F64)],
+        );
+        t.update(&[f64_lane(1.5)], &[f64_lane(10.0)]);
+        t.update(&[f64_lane(-2.0)], &[f64_lane(1.0)]);
+        t.update(&[f64_lane(1.5)], &[f64_lane(0.5)]);
+        // Signed zeros are *distinct* groups (bit-pattern grouping)...
+        t.update(&[f64_lane(0.0)], &[f64_lane(1.0)]);
+        t.update(&[f64_lane(-0.0)], &[f64_lane(2.0)]);
+        let out = t.finish();
+        assert_eq!(out.rows(), 4);
+        // ... and the output sorts in total_cmp order: -2.0, -0.0, 0.0, 1.5.
+        let keys: Vec<f64> = (0..4).map(|i| lane_f64(out.row(i)[0])).collect();
+        assert_eq!(keys[0], -2.0);
+        assert_eq!(keys[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(keys[2].to_bits(), 0.0f64.to_bits());
+        assert_eq!(keys[3], 1.5);
+        assert_eq!(lane_f64(out.row(3)[1]), 10.5, "per-key f64 sums");
     }
 }

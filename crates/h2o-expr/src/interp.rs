@@ -11,19 +11,26 @@
 //! correctness oracle: every specialized kernel in `h2o-exec` is
 //! differential-tested against [`interpret`].
 
-use crate::agg::AggState;
+use crate::agg::{AggOp, AggState};
+use crate::datum::Datum;
+use crate::expr::Expr;
 use crate::grouped::GroupedAggs;
+use crate::predicate::CmpOp;
 use crate::query::Query;
 use crate::result::QueryResult;
 use h2o_storage::catalog::CoverPolicy;
-use h2o_storage::{AttrId, ColumnGroup, LayoutCatalog, StorageError, Value};
+use h2o_storage::{AttrId, ColumnGroup, LayoutCatalog, LogicalType, Schema, StorageError, Value};
 
 /// Resolves each referenced attribute to `(group index, offset in group)`
 /// once per query; per-tuple fetches then do two indexed loads. Kept dense
-/// (indexed by attribute id) so the per-tuple path has no hashing.
+/// (indexed by attribute id) so the per-tuple path has no hashing. The
+/// attribute's [`LogicalType`] is resolved alongside, from the storing
+/// group.
 struct Binding {
     /// `slots[attr] = Some((group_idx, offset))`.
     slots: Vec<Option<(u32, u32)>>,
+    /// `types[attr]`, parallel to `slots` (`I64` where unbound).
+    types: Vec<LogicalType>,
 }
 
 impl Binding {
@@ -31,11 +38,13 @@ impl Binding {
         let needed = q.all_attrs();
         let max = needed.iter().map(|a| a.index()).max().unwrap_or(0);
         let mut slots = vec![None; max + 1];
+        let mut types = vec![LogicalType::I64; max + 1];
         for attr in needed.iter() {
             let mut found = false;
             for (gi, g) in groups.iter().enumerate() {
                 if let Some(off) = g.offset_of(attr) {
                     slots[attr.index()] = Some((gi as u32, off as u32));
+                    types[attr.index()] = g.type_at(off);
                     found = true;
                     break;
                 }
@@ -44,7 +53,7 @@ impl Binding {
                 return Err(StorageError::NoCover(attr));
             }
         }
-        Ok(Binding { slots })
+        Ok(Binding { slots, types })
     }
 
     #[inline]
@@ -52,31 +61,125 @@ impl Binding {
         let (gi, off) = self.slots[attr.index()].expect("binding covers all query attrs");
         groups[gi as usize].value(row, off as usize)
     }
+
+    #[inline]
+    fn type_of(&self, attr: AttrId) -> LogicalType {
+        self.types.get(attr.index()).copied().unwrap_or_default()
+    }
+
+    /// The (uniform) type of `e` under this binding. Panics on an
+    /// ill-typed expression — the interpreter's contract is a query the
+    /// plan-time checker ([`crate::typecheck::check`]) has admitted.
+    fn expr_type(&self, e: &Expr) -> LogicalType {
+        e.type_of(&|a: AttrId| Ok(self.type_of(a)))
+            .expect("interpreter requires a type-checked query")
+    }
+}
+
+/// One plan-resolved predicate: the constant is pre-mapped into
+/// comparator-key space, so the per-row test is `cmp_key(lane) op key`.
+struct ResolvedPred {
+    attr: AttrId,
+    op: CmpOp,
+    ty: LogicalType,
+    key: Value,
+}
+
+impl ResolvedPred {
+    #[inline]
+    fn matches(&self, lane: Value) -> bool {
+        self.op.apply(self.ty.cmp_key(lane), self.key)
+    }
+}
+
+/// Resolves the where-clause constants to lanes. Numeric constants carry
+/// their own encoding; string constants need the attribute's dictionary,
+/// which lives in the schema — [`interpret`] has one, [`interpret_over`]
+/// does not (it panics on string constants, documented there).
+fn resolve_preds(q: &Query, binding: &Binding, schema: Option<&Schema>) -> Vec<ResolvedPred> {
+    q.filter()
+        .predicates()
+        .iter()
+        .map(|p| {
+            let ty = binding.type_of(p.attr);
+            let dict = match &p.value {
+                Datum::Str(_) => schema
+                    .expect(
+                        "string predicate constants resolve through the schema's \
+                         dictionaries — use `interpret`, not `interpret_over`",
+                    )
+                    .dictionary(p.attr)
+                    .map(|d| d.as_ref()),
+                _ => None,
+            };
+            let lane = p
+                .value
+                .to_lane(ty, dict)
+                .expect("interpreter requires a type-checked query");
+            ResolvedPred {
+                attr: p.attr,
+                op: p.op,
+                ty,
+                key: ty.cmp_key(lane),
+            }
+        })
+        .collect()
 }
 
 /// Evaluates `q` over an explicit set of column groups (the groups must
-/// jointly store every attribute the query references and must all have the
-/// same row count).
+/// jointly store every attribute the query references and must all have
+/// the same row count). Attribute types come from the groups themselves.
+///
+/// # Panics
+///
+/// On an ill-typed query (the interpreter is the oracle for queries the
+/// plan-time checker admits — validate with
+/// [`typecheck::check`](crate::typecheck::check) first), and on string
+/// predicate constants, whose dictionary lives in the schema — use
+/// [`interpret`] for those.
 pub fn interpret_over(groups: &[&ColumnGroup], q: &Query) -> Result<QueryResult, StorageError> {
+    interpret_impl(groups, q, None)
+}
+
+fn interpret_impl(
+    groups: &[&ColumnGroup],
+    q: &Query,
+    schema: Option<&Schema>,
+) -> Result<QueryResult, StorageError> {
     let rows = groups.first().map_or(0, |g| g.rows());
     debug_assert!(groups.iter().all(|g| g.rows() == rows));
     let binding = Binding::build(groups, q)?;
-    let filter = q.filter();
+    let preds = resolve_preds(q, &binding, schema);
+    let matches = |row: usize| {
+        preds
+            .iter()
+            .all(|p| p.matches(binding.fetch(groups, row, p.attr)))
+    };
 
     if q.is_grouped() {
+        let key_exprs: Vec<(&Expr, LogicalType)> = q
+            .group_by()
+            .iter()
+            .map(|e| (e, binding.expr_type(e)))
+            .collect();
+        let agg_ops: Vec<AggOp> = q
+            .aggregates()
+            .iter()
+            .map(|a| AggOp::new(a.func, binding.expr_type(&a.expr)))
+            .collect();
         let mut table = GroupedAggs::new(
-            q.group_by().len(),
-            q.aggregates().iter().map(|a| a.func).collect(),
+            key_exprs.iter().map(|(_, ty)| *ty).collect(),
+            agg_ops.clone(),
         );
         let mut key: Vec<Value> = vec![0; q.group_by().len()];
         let mut vals: Vec<Value> = vec![0; q.aggregates().len()];
         for row in 0..rows {
-            if filter.matches(|a| binding.fetch(groups, row, a)) {
-                for (slot, k) in key.iter_mut().zip(q.group_by()) {
-                    *slot = k.eval(|a| binding.fetch(groups, row, a));
+            if matches(row) {
+                for (slot, (k, ty)) in key.iter_mut().zip(&key_exprs) {
+                    *slot = k.eval_lane(*ty, |a| binding.fetch(groups, row, a));
                 }
-                for (slot, agg) in vals.iter_mut().zip(q.aggregates()) {
-                    *slot = agg.expr.eval(|a| binding.fetch(groups, row, a));
+                for (slot, (agg, op)) in vals.iter_mut().zip(q.aggregates().iter().zip(&agg_ops)) {
+                    *slot = agg.expr.eval_lane(op.ty, |a| binding.fetch(groups, row, a));
                 }
                 table.update(&key, &vals);
             }
@@ -84,15 +187,16 @@ pub fn interpret_over(groups: &[&ColumnGroup], q: &Query) -> Result<QueryResult,
         return Ok(table.finish());
     }
     if q.is_aggregate() {
-        let mut states: Vec<AggState> = q
+        let agg_ops: Vec<AggOp> = q
             .aggregates()
             .iter()
-            .map(|a| AggState::new(a.func))
+            .map(|a| AggOp::new(a.func, binding.expr_type(&a.expr)))
             .collect();
+        let mut states: Vec<AggState> = agg_ops.iter().map(|&op| AggState::new(op)).collect();
         for row in 0..rows {
-            if filter.matches(|a| binding.fetch(groups, row, a)) {
-                for (st, agg) in states.iter_mut().zip(q.aggregates()) {
-                    st.update(agg.expr.eval(|a| binding.fetch(groups, row, a)));
+            if matches(row) {
+                for ((st, agg), op) in states.iter_mut().zip(q.aggregates()).zip(&agg_ops) {
+                    st.update(agg.expr.eval_lane(op.ty, |a| binding.fetch(groups, row, a)));
                 }
             }
         }
@@ -101,13 +205,18 @@ pub fn interpret_over(groups: &[&ColumnGroup], q: &Query) -> Result<QueryResult,
         out.push_row(&row);
         Ok(out)
     } else {
+        let proj: Vec<(&Expr, LogicalType)> = q
+            .projections()
+            .iter()
+            .map(|e| (e, binding.expr_type(e)))
+            .collect();
         let mut out = QueryResult::new(q.output_width());
         let mut row_buf: Vec<Value> = Vec::with_capacity(q.output_width());
         for row in 0..rows {
-            if filter.matches(|a| binding.fetch(groups, row, a)) {
+            if matches(row) {
                 row_buf.clear();
-                for e in q.projections() {
-                    row_buf.push(e.eval(|a| binding.fetch(groups, row, a)));
+                for (e, ty) in &proj {
+                    row_buf.push(e.eval_lane(*ty, |a| binding.fetch(groups, row, a)));
                 }
                 out.push_row(&row_buf);
             }
@@ -118,14 +227,15 @@ pub fn interpret_over(groups: &[&ColumnGroup], q: &Query) -> Result<QueryResult,
 
 /// Evaluates `q` against a catalog, letting the catalog pick a covering set
 /// of groups (fewest-groups policy). This is the reference entry point used
-/// by tests and by the engine's fallback path.
+/// by tests and by the engine's fallback path. String predicate constants
+/// resolve through the schema's dictionaries.
 pub fn interpret(catalog: &LayoutCatalog, q: &Query) -> Result<QueryResult, StorageError> {
     let cover = catalog.cover(&q.all_attrs(), CoverPolicy::FewestGroups)?;
     let groups: Vec<&ColumnGroup> = cover
         .iter()
         .map(|(id, _)| catalog.group(*id))
         .collect::<Result<_, _>>()?;
-    interpret_over(&groups, q)
+    interpret_impl(&groups, q, Some(catalog.schema()))
 }
 
 #[cfg(test)]
@@ -307,6 +417,28 @@ mod tests {
             interpret_over(&only_group0, &q),
             Err(StorageError::NoCover(_))
         ));
+    }
+
+    #[test]
+    #[should_panic(expected = "use `interpret`, not `interpret_over`")]
+    fn interpret_over_panics_on_string_constants() {
+        // String constants resolve through the schema's dictionaries,
+        // which `interpret_over` does not have — it must refuse loudly
+        // rather than silently match nothing.
+        use h2o_storage::{GroupBuilder, LogicalType};
+        let g = GroupBuilder::from_columns_typed(
+            vec![AttrId(0)],
+            vec![LogicalType::Dict],
+            &[&[0, 1, 0]],
+            16,
+        )
+        .unwrap();
+        let q = Query::project(
+            [Expr::col(0u32)],
+            Conjunction::of([Predicate::eq(0u32, "STAR")]),
+        )
+        .unwrap();
+        let _ = interpret_over(&[&g], &q);
     }
 
     #[test]

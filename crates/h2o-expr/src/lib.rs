@@ -25,22 +25,40 @@
 //! interpretation overhead it embodies is exactly what the specialized
 //! kernels in `h2o-exec` remove.
 //!
-//! All engine arithmetic is wrapping (`i64`), so every execution strategy —
-//! interpreted, volcano, vectorized, fused — produces bit-identical results
-//! and can be differential-tested against this interpreter.
+//! # Typed values on a fixed lane
+//!
+//! Every value the engine stores or computes is a 64-bit lane word typed
+//! by the schema ([`h2o_storage::LogicalType`]): `i64`, `f64` (bit
+//! pattern) or a dictionary code. [`Datum`] is the typed boundary —
+//! constants in queries, decoded result cells — and [`typecheck::check`]
+//! is the plan-time gate that rejects cross-type predicates and
+//! arithmetic ([`QueryError::TypeMismatch`]): there are no implicit
+//! coercions anywhere in the engine.
+//!
+//! Determinism is engine-wide and typed: integer arithmetic is wrapping;
+//! `f64` comparisons, min/max and grouped-key ordering follow
+//! [`f64::total_cmp`] (via the comparator-key mapping in `h2o-storage`);
+//! `f64` sums fold in row order within a morsel and merge in morsel order.
+//! Every execution strategy — interpreted, volcano, vectorized, fused —
+//! therefore produces bit-identical results and can be
+//! differential-tested against this interpreter.
 
 pub mod agg;
+pub mod datum;
 pub mod expr;
 pub mod grouped;
 pub mod interp;
 pub mod predicate;
 pub mod query;
 pub mod result;
+pub mod typecheck;
 
-pub use agg::{AggFunc, Aggregate};
+pub use agg::{AggFunc, AggOp, Aggregate};
+pub use datum::Datum;
 pub use expr::{ArithOp, Expr};
 pub use grouped::GroupedAggs;
 pub use interp::interpret;
 pub use predicate::{CmpOp, Conjunction, Predicate};
 pub use query::{Query, QueryError};
 pub use result::QueryResult;
+pub use typecheck::{QueryTypes, TypedPredicate};

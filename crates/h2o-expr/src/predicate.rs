@@ -6,7 +6,8 @@
 //! models; it is also the shape the specialized kernels fuse into a single
 //! branch per tuple (Fig. 5, line 10).
 
-use h2o_storage::{AttrId, AttrSet, Value};
+use crate::datum::Datum;
+use h2o_storage::{AttrId, AttrSet, LogicalType, Value};
 use std::fmt;
 
 /// A comparison operator.
@@ -21,7 +22,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    /// Applies the comparison.
+    /// Applies the comparison on `i64` values — equivalently, on any pair
+    /// of **comparator keys** ([`LogicalType::cmp_key`]), which is how the
+    /// kernels compare every logical type with one integer instruction.
     #[inline]
     pub fn apply(self, l: Value, r: Value) -> bool {
         match self {
@@ -32,6 +35,22 @@ impl CmpOp {
             CmpOp::Eq => l == r,
             CmpOp::Ne => l != r,
         }
+    }
+
+    /// Applies the comparison on raw lane words of type `ty`, by mapping
+    /// both sides into key space first. For `F64` this is exactly
+    /// [`f64::total_cmp`] order (NaNs compare deterministically); for
+    /// `I64`/`Dict` the mapping is the identity.
+    #[inline]
+    pub fn apply_lane(self, ty: LogicalType, l: Value, r: Value) -> bool {
+        self.apply(ty.cmp_key(l), ty.cmp_key(r))
+    }
+
+    /// Whether the operator imposes an order (everything but `=`/`<>`).
+    /// Ordered comparisons are undefined over `Dict` attributes, whose
+    /// codes carry no semantic order.
+    pub fn is_ordering(self) -> bool {
+        !matches!(self, CmpOp::Eq | CmpOp::Ne)
     }
 
     /// The SQL spelling.
@@ -47,48 +66,57 @@ impl CmpOp {
     }
 }
 
-/// One predicate: `attr op constant`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// One predicate: `attr op constant`, with a typed constant. The constant's
+/// type must match the attribute's schema type exactly — no implicit
+/// coercions — which the planner enforces
+/// ([`QueryError::TypeMismatch`](crate::query::QueryError::TypeMismatch)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Predicate {
     pub attr: AttrId,
     pub op: CmpOp,
-    pub value: Value,
+    pub value: Datum,
 }
 
 impl Predicate {
-    /// Creates a predicate.
-    pub fn new<A: Into<AttrId>>(attr: A, op: CmpOp, value: Value) -> Self {
+    /// Creates a predicate. The constant may be an `i64`, `f64` or string
+    /// (see [`Datum`]).
+    pub fn new<A: Into<AttrId>, D: Into<Datum>>(attr: A, op: CmpOp, value: D) -> Self {
         Predicate {
             attr: attr.into(),
             op,
-            value,
+            value: value.into(),
         }
     }
 
     /// `attr < v`.
-    pub fn lt<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+    pub fn lt<A: Into<AttrId>, D: Into<Datum>>(attr: A, v: D) -> Self {
         Self::new(attr, CmpOp::Lt, v)
     }
 
     /// `attr > v`.
-    pub fn gt<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+    pub fn gt<A: Into<AttrId>, D: Into<Datum>>(attr: A, v: D) -> Self {
         Self::new(attr, CmpOp::Gt, v)
     }
 
     /// `attr <= v`.
-    pub fn le<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+    pub fn le<A: Into<AttrId>, D: Into<Datum>>(attr: A, v: D) -> Self {
         Self::new(attr, CmpOp::Le, v)
     }
 
     /// `attr = v`.
-    pub fn eq<A: Into<AttrId>>(attr: A, v: Value) -> Self {
+    pub fn eq<A: Into<AttrId>, D: Into<Datum>>(attr: A, v: D) -> Self {
         Self::new(attr, CmpOp::Eq, v)
     }
 
-    /// Evaluates the predicate against an attribute value.
+    /// Evaluates the predicate against a raw attribute lane, interpreting
+    /// the lane with the **constant's own type** (`i64` constant ⇒ integer
+    /// compare, `f64` constant ⇒ total-order double compare). Panics on a
+    /// string constant, whose lane encoding needs the attribute's
+    /// dictionary — resolved at plan time, not here.
     #[inline]
-    pub fn matches(&self, attr_value: Value) -> bool {
-        self.op.apply(attr_value, self.value)
+    pub fn matches(&self, attr_lane: Value) -> bool {
+        let ty = self.value.logical();
+        self.op.apply_lane(ty, attr_lane, self.value.numeric_lane())
     }
 }
 

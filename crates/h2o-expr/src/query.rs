@@ -24,7 +24,7 @@ use crate::predicate::Conjunction;
 use h2o_storage::AttrSet;
 use std::fmt;
 
-/// Validation errors for query construction.
+/// Validation errors for query construction and plan-time type checking.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// A query must select at least one item.
@@ -33,6 +33,15 @@ pub enum QueryError {
     /// clause. With one, the non-aggregate select-items *are* the group
     /// keys — use [`Query::grouped`].
     MixedSelect,
+    /// The query is ill-typed against the relation schema: a cross-type
+    /// predicate or arithmetic expression, an ordered comparison or
+    /// aggregate over a dictionary-encoded attribute, or a string literal
+    /// outside a predicate. The engine has **no implicit coercions**;
+    /// every rejection is raised at plan time
+    /// ([`typecheck::check`](crate::typecheck::check)), before any kernel
+    /// touches a lane. The payload is the rendered description of the
+    /// offending clause.
+    TypeMismatch(String),
 }
 
 impl fmt::Display for QueryError {
@@ -46,6 +55,7 @@ impl fmt::Display for QueryError {
                      clause (group-by queries take the keys through Query::grouped)"
                 )
             }
+            QueryError::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
         }
     }
 }

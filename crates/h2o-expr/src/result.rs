@@ -2,9 +2,16 @@
 //!
 //! Per the paper (§3.3): "All executions strategies materialize the output
 //! results in memory using contiguous memory blocks in a row-major layout."
-//! [`QueryResult`] is that block: a flat `Vec<Value>` with a fixed width.
+//! [`QueryResult`] is that block: a flat `Vec<Value>` of **lane words**
+//! with a fixed width. Lanes are what fingerprints and differential tests
+//! compare (bit-identical across strategies, `f64` bit patterns included);
+//! [`QueryResult::render`] decodes them into typed [`Datum`]s for display,
+//! given the output column types a plan-time
+//! [`typecheck::check`](crate::typecheck::check) reports.
 
-use h2o_storage::Value;
+use crate::datum::Datum;
+use h2o_storage::{Dictionary, LogicalType, Value};
+use std::sync::Arc;
 
 /// A materialized query result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +99,50 @@ impl QueryResult {
     /// Iterates over rows.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[Value]> {
         self.data.chunks_exact(self.width)
+    }
+
+    /// Decodes row `i` into typed [`Datum`]s. `types` gives the output
+    /// column types (from
+    /// [`QueryTypes::output_types`](crate::typecheck::QueryTypes::output_types));
+    /// `dicts` the per-column dictionary for `Dict` columns (`None`
+    /// entries — or a short slice — decode codes as raw integers).
+    pub fn row_datums(
+        &self,
+        i: usize,
+        types: &[LogicalType],
+        dicts: &[Option<Arc<Dictionary>>],
+    ) -> Vec<Datum> {
+        debug_assert_eq!(types.len(), self.width);
+        self.row(i)
+            .iter()
+            .zip(types)
+            .enumerate()
+            .map(|(c, (&lane, &ty))| {
+                Datum::from_lane(ty, lane, dicts.get(c).and_then(|d| d.as_deref()))
+            })
+            .collect()
+    }
+
+    /// Renders the whole result as text, one `(v1, v2, ...)` line per row,
+    /// decoding each column per `types`/`dicts` (see
+    /// [`Self::row_datums`]). The human-facing face of the lane block;
+    /// everything mechanical (fingerprints, differential tests) stays on
+    /// raw lanes.
+    pub fn render(&self, types: &[LogicalType], dicts: &[Option<Arc<Dictionary>>]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for i in 0..self.rows() {
+            let row = self.row_datums(i, types, dicts);
+            out.push('(');
+            for (c, d) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{d}");
+            }
+            out.push_str(")\n");
+        }
+        out
     }
 
     /// A stable fingerprint of the result **as a multiset of rows** (FNV-1a
@@ -201,5 +252,24 @@ mod tests {
     #[should_panic(expected = "zero-width")]
     fn zero_width_rejected() {
         QueryResult::new(0);
+    }
+
+    #[test]
+    fn typed_rendering_decodes_lanes() {
+        use h2o_storage::f64_lane;
+        let d = Dictionary::with_labels(["STAR", "GALAXY"]);
+        let mut r = QueryResult::new(3);
+        r.push_row(&[1, f64_lane(2.5), f64_lane(-0.5)]);
+        r.push_row(&[0, f64_lane(0.25), f64_lane(4.0)]);
+        let types = [LogicalType::Dict, LogicalType::F64, LogicalType::F64];
+        let dicts = [Some(Arc::new(d)), None, None];
+        assert_eq!(
+            r.row_datums(0, &types, &dicts),
+            vec![Datum::from("GALAXY"), Datum::F64(2.5), Datum::F64(-0.5)]
+        );
+        let text = r.render(&types, &dicts);
+        assert_eq!(text, "(\"GALAXY\", 2.5, -0.5)\n(\"STAR\", 0.25, 4.0)\n");
+        // Fingerprints stay on raw lanes: rendering is presentation only.
+        assert_eq!(r.fingerprint(), r.clone().fingerprint());
     }
 }

@@ -1,0 +1,317 @@
+//! Plan-time type checking: the single gate between the typed query
+//! surface ([`Datum`](crate::datum::Datum) constants, typed schema) and the lane-word kernels.
+//!
+//! [`check`] validates a [`Query`] against a [`Schema`] and, on success,
+//! returns everything operator generation needs to bake **typed** ops into
+//! programs: the lane-encoded predicate constants, each select-item's
+//! [`LogicalType`], and one [`AggOp`] per aggregate. The engine, the
+//! operator generator and the operator cache all call it; the reference
+//! interpreter re-derives the same types from the groups it scans (and so
+//! only ever sees queries this gate has admitted).
+//!
+//! The rules are strict — the engine has **no implicit coercions**:
+//!
+//! * a predicate constant must have exactly its attribute's type;
+//! * `Dict` attributes admit only `=` / `<>` predicates (codes carry no
+//!   semantic order) and cannot feed arithmetic or non-`count` aggregates;
+//! * arithmetic never mixes `i64` and `f64` operands;
+//! * string literals appear only as predicate constants.
+//!
+//! Violations surface as [`QueryError::TypeMismatch`] with a rendered
+//! description of the offending clause, *before* planning, compilation or
+//! any scan.
+
+use crate::agg::{AggFunc, AggOp};
+use crate::query::{Query, QueryError};
+use h2o_storage::{AttrId, LogicalType, Schema, Value};
+
+/// One plan-time-resolved predicate: the attribute's logical type and the
+/// constant encoded as a raw lane word (dictionary labels already resolved
+/// to codes; unknown labels to the matches-nothing code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypedPredicate {
+    pub ty: LogicalType,
+    pub lane: Value,
+}
+
+/// The typing of a checked query (see [`check`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTypes {
+    /// Per where-clause predicate, in clause order.
+    pub predicates: Vec<TypedPredicate>,
+    /// Type of each projection expression (empty unless a projection
+    /// query).
+    pub projections: Vec<LogicalType>,
+    /// Type of each group-key expression (empty unless grouped).
+    pub keys: Vec<LogicalType>,
+    /// Typed op per aggregate, in select order.
+    pub aggs: Vec<AggOp>,
+}
+
+impl QueryTypes {
+    /// The logical types of the query's output columns, in output order —
+    /// what a caller needs to render a
+    /// [`QueryResult`](crate::result::QueryResult)'s lanes.
+    pub fn output_types(&self) -> Vec<LogicalType> {
+        let aggs = self.aggs.iter().map(|a| a.output_type());
+        if !self.keys.is_empty() {
+            self.keys.iter().copied().chain(aggs).collect()
+        } else if !self.aggs.is_empty() {
+            aggs.collect()
+        } else {
+            self.projections.clone()
+        }
+    }
+
+    /// The raw lane constants of the predicates, in clause order (what the
+    /// operator cache re-parameterizes cached operators with).
+    pub fn predicate_lanes(&self) -> Vec<Value> {
+        self.predicates.iter().map(|p| p.lane).collect()
+    }
+}
+
+/// Looks an attribute's type up, defaulting to `I64` for ids outside the
+/// schema: *existence* errors keep their established taxonomy
+/// (`StorageError::NoCover` / `ExecError::Unbound` from the planner and
+/// binder); this gate reports only genuine type conflicts.
+fn type_or_default(schema: &Schema, attr: AttrId) -> LogicalType {
+    schema.type_of(attr).unwrap_or(LogicalType::I64)
+}
+
+/// Type-checks `q` against `schema` (see module docs).
+pub fn check(q: &Query, schema: &Schema) -> Result<QueryTypes, QueryError> {
+    let ty_of = |a: AttrId| -> Result<LogicalType, QueryError> { Ok(type_or_default(schema, a)) };
+
+    let mut predicates = Vec::with_capacity(q.filter().len());
+    for p in q.filter().predicates() {
+        let ty = type_or_default(schema, p.attr);
+        let const_ty = p.value.logical();
+        if const_ty != ty {
+            return Err(QueryError::TypeMismatch(format!(
+                "predicate {} {} {} compares {} attribute {} with {} constant \
+                 (the engine has no implicit casts)",
+                p.attr,
+                p.op.symbol(),
+                p.value,
+                ty.name(),
+                p.attr,
+                const_ty.name()
+            )));
+        }
+        if ty == LogicalType::Dict && p.op.is_ordering() {
+            return Err(QueryError::TypeMismatch(format!(
+                "predicate {} {} {}: dictionary-encoded attributes admit only \
+                 = and <> (codes carry no order)",
+                p.attr,
+                p.op.symbol(),
+                p.value
+            )));
+        }
+        let dict = schema.dictionary(p.attr).map(|d| d.as_ref());
+        let lane = p.value.to_lane(ty, dict)?;
+        predicates.push(TypedPredicate { ty, lane });
+    }
+
+    let projections = q
+        .projections()
+        .iter()
+        .map(|e| e.type_of(&ty_of))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let keys = q
+        .group_by()
+        .iter()
+        .map(|e| e.type_of(&ty_of))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut aggs = Vec::with_capacity(q.aggregates().len());
+    for a in q.aggregates() {
+        let ty = a.expr.type_of(&ty_of)?;
+        if a.func != AggFunc::Count && !ty.is_numeric() {
+            return Err(QueryError::TypeMismatch(format!(
+                "aggregate {a} requires a numeric input; {} is \
+                 dictionary-encoded (only count(..) admits dict inputs)",
+                a.expr
+            )));
+        }
+        aggs.push(AggOp::new(a.func, ty));
+    }
+
+    Ok(QueryTypes {
+        predicates,
+        projections,
+        keys,
+        aggs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::predicate::{CmpOp, Conjunction, Predicate};
+    use crate::Aggregate;
+    use h2o_storage::f64_lane;
+
+    fn schema() -> Schema {
+        Schema::typed([
+            ("n", LogicalType::I64),
+            ("x", LogicalType::F64),
+            ("class", LogicalType::Dict),
+        ])
+    }
+
+    #[test]
+    fn well_typed_query_resolves_lanes_and_output_types() {
+        let s = schema();
+        s.dictionary(AttrId(2)).unwrap().intern("STAR");
+        let q = Query::grouped(
+            [Expr::col(2u32)],
+            [
+                Aggregate::sum(Expr::col(1u32).add(Expr::lit(0.5))),
+                Aggregate::count(),
+            ],
+            Conjunction::of([
+                Predicate::lt(1u32, 3.25),
+                Predicate::eq(2u32, "STAR"),
+                Predicate::gt(0u32, 7),
+            ]),
+        )
+        .unwrap();
+        let t = check(&q, &s).unwrap();
+        assert_eq!(
+            t.predicates,
+            vec![
+                TypedPredicate {
+                    ty: LogicalType::F64,
+                    lane: f64_lane(3.25)
+                },
+                TypedPredicate {
+                    ty: LogicalType::Dict,
+                    lane: 0
+                },
+                TypedPredicate {
+                    ty: LogicalType::I64,
+                    lane: 7
+                },
+            ]
+        );
+        assert_eq!(t.keys, vec![LogicalType::Dict]);
+        assert_eq!(t.aggs[0], AggOp::new(AggFunc::Sum, LogicalType::F64));
+        assert_eq!(
+            t.output_types(),
+            vec![LogicalType::Dict, LogicalType::F64, LogicalType::I64]
+        );
+        assert_eq!(t.predicate_lanes(), vec![f64_lane(3.25), 0, 7]);
+    }
+
+    #[test]
+    fn unknown_label_resolves_to_matchless_code() {
+        let s = schema();
+        let q = Query::project(
+            [Expr::col(0u32)],
+            Conjunction::of([Predicate::eq(2u32, "NOT_INTERNED")]),
+        )
+        .unwrap();
+        let t = check(&q, &s).unwrap();
+        assert_eq!(t.predicates[0].lane, crate::datum::UNKNOWN_LABEL_CODE);
+    }
+
+    #[test]
+    fn cross_type_predicate_rejected_with_rendered_message() {
+        let s = schema();
+        let q = Query::project(
+            [Expr::col(0u32)],
+            Conjunction::of([Predicate::lt(1u32, 10)]), // i64 constant vs f64 attr
+        )
+        .unwrap();
+        let err = check(&q, &s).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "type mismatch: predicate a1 < 10 compares f64 attribute a1 with \
+             i64 constant (the engine has no implicit casts)"
+        );
+    }
+
+    #[test]
+    fn dict_range_predicate_rejected() {
+        let s = schema();
+        let q = Query::project(
+            [Expr::col(0u32)],
+            Conjunction::of([Predicate::new(2u32, CmpOp::Lt, "STAR")]),
+        )
+        .unwrap();
+        let err = check(&q, &s).unwrap_err();
+        assert!(err.to_string().contains("only = and <>"), "{err}");
+    }
+
+    #[test]
+    fn cross_type_arithmetic_rejected() {
+        let s = schema();
+        let q = Query::project(
+            [Expr::col(0u32).add(Expr::col(1u32))],
+            Conjunction::always(),
+        )
+        .unwrap();
+        let err = check(&q, &s).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "type mismatch: arithmetic (a0 + a1) mixes i64 and f64 operands \
+             (the engine has no implicit casts)"
+        );
+    }
+
+    #[test]
+    fn dict_measure_rejected_but_count_admitted() {
+        let s = schema();
+        let bad = Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::sum(Expr::col(2u32))],
+            Conjunction::always(),
+        )
+        .unwrap();
+        let err = check(&bad, &s).unwrap_err();
+        assert!(
+            err.to_string().contains("requires a numeric input"),
+            "{err}"
+        );
+        let ok = Query::grouped(
+            [Expr::col(2u32)],
+            [Aggregate::count()],
+            Conjunction::always(),
+        )
+        .unwrap();
+        let t = check(&ok, &s).unwrap();
+        assert_eq!(t.output_types(), vec![LogicalType::Dict, LogicalType::I64]);
+    }
+
+    #[test]
+    fn string_literal_outside_predicate_rejected() {
+        let s = schema();
+        let q = Query::project([Expr::lit("GALAXY")], Conjunction::always()).unwrap();
+        let err = check(&q, &s).unwrap_err();
+        assert!(err.to_string().contains("predicate constant"), "{err}");
+    }
+
+    #[test]
+    fn attributes_outside_the_schema_default_to_i64() {
+        // Existence errors keep their established taxonomy (NoCover /
+        // Unbound downstream); the gate only reports type conflicts.
+        let empty = Schema::new(Vec::<String>::new());
+        let q = Query::project(
+            [Expr::col(0u32).add(Expr::col(99u32))],
+            Conjunction::of([Predicate::lt(5u32, 3)]),
+        )
+        .unwrap();
+        let t = check(&q, &empty).unwrap();
+        assert_eq!(t.projections, vec![LogicalType::I64]);
+        assert_eq!(t.predicates[0].ty, LogicalType::I64);
+        // ... but a float constant against the implied i64 attr still fails.
+        let bad = Query::project(
+            [Expr::col(0u32)],
+            Conjunction::of([Predicate::lt(5u32, 0.5)]),
+        )
+        .unwrap();
+        assert!(check(&bad, &empty).is_err());
+    }
+}

@@ -134,9 +134,19 @@ impl LayoutCatalog {
                 got: group.rows(),
             });
         }
-        for &a in group.attrs() {
+        for (&a, &ty) in group.attrs().iter().zip(group.types()) {
             if !self.schema.contains(a) {
                 return Err(StorageError::UnknownAttr(a));
+            }
+            // Lane-type safety: a layout whose declared types contradict
+            // the schema would make kernels misinterpret lane words.
+            let expected = self.schema.type_of(a)?;
+            if ty != expected {
+                return Err(StorageError::GroupTypeMismatch {
+                    attr: a,
+                    expected,
+                    got: ty,
+                });
             }
         }
         let id = LayoutId(self.next_id);

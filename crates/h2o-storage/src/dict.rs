@@ -1,0 +1,157 @@
+//! Per-attribute string dictionaries for `Dict`-typed columns.
+//!
+//! A [`Dictionary`] maps string labels to dense non-negative codes (the
+//! lane words a `Dict` column stores) and back. One dictionary is attached
+//! to each `Dict` attribute of a [`Schema`](crate::schema::Schema) and
+//! `Arc`-shared by every layout that materializes the attribute — codes are
+//! therefore stable across reorganizations, snapshots and copy-on-write
+//! clones, and decoding a result row never needs the storing group.
+//!
+//! Codes are assigned in **first-appearance order** by [`Dictionary::intern`].
+//! That makes loading deterministic for a deterministic input stream, but
+//! gives codes no semantic order — which is why the planner only admits
+//! `=` / `<>` predicates over `Dict` attributes.
+
+use crate::types::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+#[derive(Default)]
+struct DictInner {
+    labels: Vec<Arc<str>>,
+    codes: HashMap<Arc<str>, Value>,
+}
+
+/// A shared, append-only string dictionary (see module docs).
+///
+/// Interior-mutable behind an `RwLock`: lookups from concurrent readers
+/// never block each other; `intern` takes the write lock only when it must
+/// admit a new label.
+#[derive(Default)]
+pub struct Dictionary {
+    inner: RwLock<DictInner>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Creates a dictionary pre-seeded with `labels` in code order
+    /// (label `i` gets code `i`). Duplicate labels keep their first code.
+    pub fn with_labels<S: AsRef<str>, I: IntoIterator<Item = S>>(labels: I) -> Self {
+        let d = Dictionary::new();
+        for l in labels {
+            d.intern(l.as_ref());
+        }
+        d
+    }
+
+    /// Returns the code of `label`, interning it (next dense code) if new.
+    pub fn intern(&self, label: &str) -> Value {
+        if let Some(code) = self.code(label) {
+            return code;
+        }
+        let mut inner = self.inner.write().expect("dictionary lock");
+        // Double-check under the write lock: another thread may have
+        // interned the same label between our read and write.
+        if let Some(&code) = inner.codes.get(label) {
+            return code;
+        }
+        let code = inner.labels.len() as Value;
+        let shared: Arc<str> = Arc::from(label);
+        inner.labels.push(shared.clone());
+        inner.codes.insert(shared, code);
+        code
+    }
+
+    /// The code of `label`, if already interned.
+    pub fn code(&self, label: &str) -> Option<Value> {
+        self.inner
+            .read()
+            .expect("dictionary lock")
+            .codes
+            .get(label)
+            .copied()
+    }
+
+    /// The label stored under `code`, if any.
+    pub fn label(&self, code: Value) -> Option<Arc<str>> {
+        let inner = self.inner.read().expect("dictionary lock");
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| inner.labels.get(i).cloned())
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("dictionary lock").labels.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wraps the dictionary for sharing.
+    pub fn into_shared(self) -> Arc<Dictionary> {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read().expect("dictionary lock");
+        f.debug_struct("Dictionary")
+            .field("len", &inner.labels.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes_in_first_appearance_order() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.intern("STAR"), 0);
+        assert_eq!(d.intern("GALAXY"), 1);
+        assert_eq!(d.intern("STAR"), 0, "re-interning keeps the code");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.code("GALAXY"), Some(1));
+        assert_eq!(d.code("QSO"), None);
+        assert_eq!(d.label(1).as_deref(), Some("GALAXY"));
+        assert_eq!(d.label(2), None);
+        assert_eq!(d.label(-1), None);
+    }
+
+    #[test]
+    fn with_labels_seeds_in_order() {
+        let d = Dictionary::with_labels(["a", "b", "a", "c"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code("c"), Some(2));
+        assert!(format!("{d:?}").contains("len"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let d = Arc::new(Dictionary::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let label = format!("label{}", i % 10);
+                        let code = d.intern(&label);
+                        assert_eq!(d.label(code).as_deref(), Some(label.as_str()));
+                    }
+                });
+            }
+        });
+        assert_eq!(d.len(), 10, "every label interned exactly once");
+    }
+}

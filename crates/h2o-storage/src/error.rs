@@ -1,6 +1,6 @@
 //! Error types for the storage layer.
 
-use crate::types::{AttrId, LayoutId};
+use crate::types::{AttrId, LayoutId, LogicalType};
 use std::fmt;
 
 /// Errors surfaced by storage-layer operations.
@@ -38,6 +38,14 @@ pub enum StorageError {
         expected: usize,
         got: usize,
     },
+    /// A group declares a lane type for an attribute that contradicts the
+    /// relation schema — admitting it would let kernels misinterpret lane
+    /// words (e.g. compare f64 bit patterns as integers).
+    GroupTypeMismatch {
+        attr: AttrId,
+        expected: LogicalType,
+        got: LogicalType,
+    },
     /// Dropping this group would leave some attribute with no layout at all.
     WouldUncover(AttrId),
     /// The existing groups do not cover the requested attribute set.
@@ -72,6 +80,18 @@ impl fmt::Display for StorageError {
                 got,
             } => {
                 write!(f, "segment {index} holds {got} rows, expected {expected}")
+            }
+            StorageError::GroupTypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "group stores attribute {attr} as {}, but the schema declares {}",
+                    got.name(),
+                    expected.name()
+                )
             }
             StorageError::WouldUncover(a) => {
                 write!(

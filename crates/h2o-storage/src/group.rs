@@ -31,10 +31,35 @@
 //! — see [`LayoutCatalog::append_row`](crate::catalog::LayoutCatalog::append_row).
 
 use crate::error::StorageError;
-use crate::types::{AttrId, LayoutId, Value, VALUE_BYTES};
+use crate::types::{AttrId, LayoutId, LogicalType, Value, VALUE_BYTES};
 use crate::AttrSet;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-attribute `(min, max)` lane statistics of one sealed segment, in
+/// **comparator-key space** ([`LogicalType::cmp_key`]) and indexed by the
+/// attribute's offset within the group. Zone-map pruning compares a
+/// predicate's key-mapped constant against these bounds with plain integer
+/// arithmetic, for every logical type.
+pub type SegStats = Vec<(Value, Value)>;
+
+/// Computes the per-offset key-space min/max of one segment payload.
+fn stats_of(seg: &[Value], width: usize, types: &[LogicalType]) -> Arc<SegStats> {
+    debug_assert_eq!(types.len(), width);
+    let mut stats: SegStats = vec![(Value::MAX, Value::MIN); width];
+    for tuple in seg.chunks_exact(width) {
+        for ((lo, hi), (&v, &ty)) in stats.iter_mut().zip(tuple.iter().zip(types)) {
+            let k = ty.cmp_key(v);
+            if k < *lo {
+                *lo = k;
+            }
+            if k > *hi {
+                *hi = k;
+            }
+        }
+    }
+    Arc::new(stats)
+}
 
 /// Default log2 of rows per segment: 65 536-row segments. Large enough
 /// that sequential scans are effectively contiguous (one boundary per 64K
@@ -70,6 +95,10 @@ pub struct ColumnGroup {
     /// Attributes in physical order; the position of an attribute in this
     /// vector is its byte-offset/`VALUE_BYTES` within a tuple of the group.
     attrs: Vec<AttrId>,
+    /// Logical type per attribute, parallel to `attrs`. Groups built by
+    /// the untyped constructors default to all-`I64`; the catalog verifies
+    /// group types against the schema on admission.
+    types: Vec<LogicalType>,
     /// Fast attribute → offset lookup.
     offsets: HashMap<AttrId, usize>,
     /// Same membership as `attrs`, as a bitset for coverage queries.
@@ -82,6 +111,11 @@ pub struct ColumnGroup {
     /// last is exactly full, the last is the append tail. Empty iff
     /// `rows == 0`.
     segments: Vec<Arc<Vec<Value>>>,
+    /// Zone-map statistics, parallel to `segments`: `Some` exactly for
+    /// sealed (full) segments, recorded when the segment seals; the
+    /// mutable tail has none. `Arc`-shared so copy-on-write catalog clones
+    /// copy only the pointer table.
+    seg_stats: Vec<Option<Arc<SegStats>>>,
 }
 
 impl ColumnGroup {
@@ -109,6 +143,27 @@ impl ColumnGroup {
         data: Vec<Value>,
         seg_shift: u32,
     ) -> Result<Self, StorageError> {
+        let types = vec![LogicalType::I64; attrs.len()];
+        Self::from_parts_typed(id, attrs, types, rows, data, seg_shift)
+    }
+
+    /// [`Self::from_parts_with_shift`] with explicit per-attribute logical
+    /// types (parallel to `attrs`). Sealed segments get their zone-map
+    /// statistics computed with the attribute types' comparator keys.
+    pub fn from_parts_typed(
+        id: LayoutId,
+        attrs: Vec<AttrId>,
+        types: Vec<LogicalType>,
+        rows: usize,
+        data: Vec<Value>,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
+        if types.len() != attrs.len() {
+            return Err(StorageError::WidthMismatch {
+                expected: attrs.len(),
+                got: types.len(),
+            });
+        }
         let (offsets, attr_set) = Self::index_attrs(&attrs)?;
         if data.len() != rows * attrs.len() {
             // Both fields row-denominated (a partial trailing tuple rounds
@@ -129,14 +184,21 @@ impl ColumnGroup {
                 .map(|c| Arc::new(c.to_vec()))
                 .collect()
         };
+        let width = attrs.len();
+        let seg_stats = segments
+            .iter()
+            .map(|s| (s.len() == cap_values).then(|| stats_of(s, width, &types)))
+            .collect();
         Ok(ColumnGroup {
             id,
             attrs,
+            types,
             offsets,
             attr_set,
             rows,
             seg_shift,
             segments,
+            seg_stats,
         })
     }
 
@@ -152,6 +214,41 @@ impl ColumnGroup {
         payloads: Vec<Vec<Value>>,
         seg_shift: u32,
     ) -> Result<Self, StorageError> {
+        let types = vec![LogicalType::I64; attrs.len()];
+        Self::from_segments_typed(id, attrs, types, rows, payloads, seg_shift)
+    }
+
+    /// [`Self::from_segments`] with explicit per-attribute logical types.
+    pub fn from_segments_typed(
+        id: LayoutId,
+        attrs: Vec<AttrId>,
+        types: Vec<LogicalType>,
+        rows: usize,
+        payloads: Vec<Vec<Value>>,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
+        Self::from_segments_with_stats(id, attrs, types, rows, payloads, None, seg_shift)
+    }
+
+    /// The full-control constructor: pre-built payloads plus (optionally)
+    /// pre-computed sealed-segment statistics, as [`GroupBuilder`] records
+    /// them while sealing. When `stats` is `None` the statistics of every
+    /// sealed segment are computed here.
+    fn from_segments_with_stats(
+        id: LayoutId,
+        attrs: Vec<AttrId>,
+        types: Vec<LogicalType>,
+        rows: usize,
+        payloads: Vec<Vec<Value>>,
+        stats: Option<Vec<Option<Arc<SegStats>>>>,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
+        if types.len() != attrs.len() {
+            return Err(StorageError::WidthMismatch {
+                expected: attrs.len(),
+                got: types.len(),
+            });
+        }
         let (offsets, attr_set) = Self::index_attrs(&attrs)?;
         let width = attrs.len();
         let cap_rows = 1usize << seg_shift;
@@ -179,14 +276,23 @@ impl ColumnGroup {
                 got: total / width,
             });
         }
+        let seg_stats = match stats {
+            Some(s) if s.len() == payloads.len() => s,
+            _ => payloads
+                .iter()
+                .map(|p| (p.len() == cap_values).then(|| stats_of(p, width, &types)))
+                .collect(),
+        };
         Ok(ColumnGroup {
             id,
             attrs,
+            types,
             offsets,
             attr_set,
             rows,
             seg_shift,
             segments: payloads.into_iter().map(Arc::new).collect(),
+            seg_stats,
         })
     }
 
@@ -220,6 +326,32 @@ impl ColumnGroup {
     #[inline]
     pub fn attrs(&self) -> &[AttrId] {
         &self.attrs
+    }
+
+    /// Logical type per attribute, parallel to [`Self::attrs`].
+    #[inline]
+    pub fn types(&self) -> &[LogicalType] {
+        &self.types
+    }
+
+    /// Logical type of the attribute stored at `offset`.
+    #[inline]
+    pub fn type_at(&self, offset: usize) -> LogicalType {
+        self.types[offset]
+    }
+
+    /// Logical type of `attr`, if stored in this group.
+    pub fn type_of_attr(&self, attr: AttrId) -> Option<LogicalType> {
+        self.offset_of(attr).map(|off| self.types[off])
+    }
+
+    /// The zone-map statistics of segment `seg`: per-offset `(min, max)`
+    /// bounds in comparator-key space, present exactly for sealed
+    /// segments. `None` means "cannot prune" (the mutable tail, or an
+    /// index past the payload).
+    #[inline]
+    pub fn seg_stats(&self, seg: usize) -> Option<&SegStats> {
+        self.seg_stats.get(seg).and_then(|s| s.as_deref())
     }
 
     /// Membership bitset.
@@ -375,6 +507,10 @@ impl ColumnGroup {
                 t.extend_from_slice(values);
                 if t.len() == cap_values {
                     delta.segments_sealed = 1;
+                    // Seal-time zone map: the segment is immutable from
+                    // here on, record its per-attribute bounds once.
+                    *self.seg_stats.last_mut().expect("stats parallel") =
+                        Some(stats_of(t, w, &self.types));
                 }
             }
             _ => {
@@ -390,8 +526,11 @@ impl ColumnGroup {
                 };
                 let mut seg = Vec::with_capacity(cap);
                 seg.extend_from_slice(values);
+                let sealed = cap_values == w;
+                self.seg_stats
+                    .push(sealed.then(|| stats_of(&seg, w, &self.types)));
                 self.segments.push(Arc::new(seg));
-                if cap_values == w {
+                if sealed {
                     delta.segments_sealed = 1;
                 }
             }
@@ -415,17 +554,23 @@ impl ColumnGroup {
 #[derive(Debug)]
 pub struct GroupBuilder {
     attrs: Vec<AttrId>,
+    types: Vec<LogicalType>,
     seg_shift: u32,
     /// Sealed (exactly full) segments.
     sealed: Vec<Vec<Value>>,
+    /// Zone-map statistics of the sealed segments, recorded as each seals.
+    sealed_stats: Vec<Option<Arc<SegStats>>>,
     /// The growing tail segment.
     tail: Vec<Value>,
+    /// Running per-offset key-space bounds of the tail, folded as tuples
+    /// arrive so sealing costs O(width), not a re-scan of the segment.
+    tail_stats: SegStats,
 }
 
 impl GroupBuilder {
-    /// Starts a builder for a group storing `attrs` (in this physical
-    /// order). `rows_hint` pre-sizes the tail allocation (capped at one
-    /// segment).
+    /// Starts a builder for an all-`I64` group storing `attrs` (in this
+    /// physical order). `rows_hint` pre-sizes the tail allocation (capped
+    /// at one segment).
     pub fn new(attrs: Vec<AttrId>, rows_hint: usize) -> Result<Self, StorageError> {
         Self::new_with_shift(attrs, rows_hint, DEFAULT_SEG_SHIFT)
     }
@@ -436,8 +581,35 @@ impl GroupBuilder {
         rows_hint: usize,
         seg_shift: u32,
     ) -> Result<Self, StorageError> {
+        let types = vec![LogicalType::I64; attrs.len()];
+        Self::typed_with_shift(attrs, types, rows_hint, seg_shift)
+    }
+
+    /// Starts a builder with explicit per-attribute logical types (the
+    /// path every schema-aware group construction takes).
+    pub fn typed(
+        attrs: Vec<AttrId>,
+        types: Vec<LogicalType>,
+        rows_hint: usize,
+    ) -> Result<Self, StorageError> {
+        Self::typed_with_shift(attrs, types, rows_hint, DEFAULT_SEG_SHIFT)
+    }
+
+    /// [`Self::typed`] with an explicit segment size.
+    pub fn typed_with_shift(
+        attrs: Vec<AttrId>,
+        types: Vec<LogicalType>,
+        rows_hint: usize,
+        seg_shift: u32,
+    ) -> Result<Self, StorageError> {
         if attrs.is_empty() {
             return Err(StorageError::EmptyGroup);
+        }
+        if types.len() != attrs.len() {
+            return Err(StorageError::WidthMismatch {
+                expected: attrs.len(),
+                got: types.len(),
+            });
         }
         let mut seen = AttrSet::new();
         for &a in &attrs {
@@ -448,22 +620,43 @@ impl GroupBuilder {
         let width = attrs.len();
         let hint = rows_hint.min(1usize << seg_shift) * width;
         Ok(GroupBuilder {
+            tail_stats: vec![(Value::MAX, Value::MIN); width],
             attrs,
+            types,
             seg_shift,
             sealed: Vec::new(),
+            sealed_stats: Vec::new(),
             tail: Vec::with_capacity(hint),
         })
     }
 
-    /// Appends one tuple, sealing the tail segment when it fills. `tuple`
+    /// Appends one tuple, sealing the tail segment when it fills (the
+    /// segment's zone-map statistics are recorded at that moment). `tuple`
     /// must have exactly the group's width; this is a hot path for the
     /// reorganization kernels, so the check is a `debug_assert`.
     #[inline]
     pub fn push_tuple(&mut self, tuple: &[Value]) {
         debug_assert_eq!(tuple.len(), self.attrs.len());
         self.tail.extend_from_slice(tuple);
+        for ((lo, hi), (&v, &ty)) in self
+            .tail_stats
+            .iter_mut()
+            .zip(tuple.iter().zip(&self.types))
+        {
+            let k = ty.cmp_key(v);
+            if k < *lo {
+                *lo = k;
+            }
+            if k > *hi {
+                *hi = k;
+            }
+        }
         if self.tail.len() == (1usize << self.seg_shift) * self.attrs.len() {
             self.sealed.push(std::mem::take(&mut self.tail));
+            let width = self.attrs.len();
+            let stats =
+                std::mem::replace(&mut self.tail_stats, vec![(Value::MAX, Value::MIN); width]);
+            self.sealed_stats.push(Some(Arc::new(stats)));
         }
     }
 
@@ -478,20 +671,26 @@ impl GroupBuilder {
         let rows = self.rows();
         if !self.tail.is_empty() {
             self.sealed.push(self.tail);
+            // A non-full final segment is the group's mutable tail: no
+            // zone map (appends would invalidate it). A final segment that
+            // is exactly full was already sealed above.
+            self.sealed_stats.push(None);
         }
-        ColumnGroup::from_segments(
+        ColumnGroup::from_segments_with_stats(
             LayoutId(u32::MAX),
             self.attrs,
+            self.types,
             rows,
             self.sealed,
+            Some(self.sealed_stats),
             self.seg_shift,
         )
         .expect("builder maintains invariants")
     }
 
-    /// Bulk-builds a group from per-attribute columns (default segment
-    /// size). All columns must have the same length, and there must be
-    /// exactly one column per attribute.
+    /// Bulk-builds an all-`I64` group from per-attribute columns (default
+    /// segment size). All columns must have the same length, and there
+    /// must be exactly one column per attribute.
     pub fn from_columns(
         attrs: Vec<AttrId>,
         columns: &[&[Value]],
@@ -502,6 +701,18 @@ impl GroupBuilder {
     /// [`Self::from_columns`] with an explicit segment size.
     pub fn from_columns_with_shift(
         attrs: Vec<AttrId>,
+        columns: &[&[Value]],
+        seg_shift: u32,
+    ) -> Result<ColumnGroup, StorageError> {
+        let types = vec![LogicalType::I64; attrs.len()];
+        Self::from_columns_typed(attrs, types, columns, seg_shift)
+    }
+
+    /// [`Self::from_columns_with_shift`] with explicit per-attribute
+    /// logical types.
+    pub fn from_columns_typed(
+        attrs: Vec<AttrId>,
+        types: Vec<LogicalType>,
         columns: &[&[Value]],
         seg_shift: u32,
     ) -> Result<ColumnGroup, StorageError> {
@@ -538,7 +749,14 @@ impl GroupBuilder {
             payloads.push(seg);
             start = end;
         }
-        ColumnGroup::from_segments(LayoutId(u32::MAX), attrs, rows, payloads, seg_shift)
+        ColumnGroup::from_segments_typed(
+            LayoutId(u32::MAX),
+            attrs,
+            types,
+            rows,
+            payloads,
+            seg_shift,
+        )
     }
 }
 
@@ -774,6 +992,78 @@ mod tests {
         assert_eq!(g.bytes(), 0);
         assert_eq!(g.segment_count(), 0);
         assert!(g.collect_values().is_empty());
+    }
+
+    #[test]
+    fn zone_maps_recorded_for_sealed_segments_only() {
+        // shift 1 → 2 rows/segment; 5 rows → sealed, sealed, tail.
+        let c0: Vec<Value> = vec![5, 1, 9, 3, 7];
+        let c1: Vec<Value> = vec![-2, -8, 0, 4, 6];
+        let g = GroupBuilder::from_columns_with_shift(ids(&[0, 1]), &[&c0, &c1], 1).unwrap();
+        assert_eq!(g.segment_count(), 3);
+        assert_eq!(g.seg_stats(0).unwrap(), &vec![(1, 5), (-8, -2)]);
+        assert_eq!(g.seg_stats(1).unwrap(), &vec![(3, 9), (0, 4)]);
+        assert!(g.seg_stats(2).is_none(), "tail has no zone map");
+        assert!(g.seg_stats(9).is_none());
+        // The incremental builder records identical stats at seal time.
+        let mut b = GroupBuilder::new_with_shift(ids(&[0, 1]), 0, 1).unwrap();
+        for (a, b_) in c0.iter().zip(&c1) {
+            b.push_tuple(&[*a, *b_]);
+        }
+        let g2 = b.finish();
+        assert_eq!(g2.seg_stats(0), g.seg_stats(0));
+        assert_eq!(g2.seg_stats(1), g.seg_stats(1));
+        assert!(g2.seg_stats(2).is_none());
+    }
+
+    #[test]
+    fn zone_maps_use_comparator_keys_for_f64() {
+        use crate::types::{f64_lane, LogicalType};
+        let vals = [3.5f64, -2.25, 0.5, 10.0];
+        let col: Vec<Value> = vals.iter().map(|&x| f64_lane(x)).collect();
+        let g = GroupBuilder::from_columns_typed(ids(&[0]), vec![LogicalType::F64], &[&col], 1)
+            .unwrap();
+        // Segment 0 holds {3.5, -2.25}: min key is -2.25's, max is 3.5's.
+        let (lo, hi) = g.seg_stats(0).unwrap()[0];
+        assert_eq!(lo, LogicalType::F64.cmp_key(f64_lane(-2.25)));
+        assert_eq!(hi, LogicalType::F64.cmp_key(f64_lane(3.5)));
+        assert!(lo < hi);
+        assert_eq!(g.type_at(0), LogicalType::F64);
+        assert_eq!(g.type_of_attr(AttrId(0)), Some(LogicalType::F64));
+        assert_eq!(g.type_of_attr(AttrId(9)), None);
+    }
+
+    #[test]
+    fn append_seals_record_zone_maps() {
+        let mut g =
+            ColumnGroup::from_parts_with_shift(LayoutId(0), ids(&[0]), 1, vec![7], 1).unwrap();
+        assert!(g.seg_stats(0).is_none(), "tail starts unsealed");
+        g.append_tuple(&[3]).unwrap(); // seals segment 0
+        assert_eq!(g.seg_stats(0).unwrap(), &vec![(3, 7)]);
+        g.append_tuple(&[100]).unwrap(); // new tail
+        assert!(g.seg_stats(1).is_none());
+        g.append_tuple(&[-5]).unwrap(); // seals segment 1
+        assert_eq!(g.seg_stats(1).unwrap(), &vec![(-5, 100)]);
+    }
+
+    #[test]
+    fn typed_constructor_rejects_mismatched_type_count() {
+        use crate::types::LogicalType;
+        assert!(matches!(
+            ColumnGroup::from_parts_typed(
+                LayoutId(0),
+                ids(&[0, 1]),
+                vec![LogicalType::I64],
+                1,
+                vec![1, 2],
+                4,
+            ),
+            Err(StorageError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            GroupBuilder::typed(ids(&[0]), vec![], 0),
+            Err(StorageError::WidthMismatch { .. })
+        ));
     }
 
     #[test]

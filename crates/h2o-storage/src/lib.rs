@@ -19,12 +19,17 @@
 //! the full schema, answers "which groups contain these attributes?", and
 //! tracks per-group usage statistics that feed the adaptation mechanism.
 //!
-//! All attributes are fixed-width 64-bit integers, matching the paper's
-//! evaluation setting ("each tuple contains N attributes with integer
-//! values"; §3.1: "we consider fixed length attributes").
+//! All attributes occupy a fixed-width 64-bit **lane word** (§3.1: "we
+//! consider fixed length attributes"), interpreted per the schema's
+//! [`LogicalType`]: `I64` integers (the paper's evaluation type), `F64`
+//! doubles stored as their bit patterns, and `Dict` dictionary-encoded
+//! strings ([`Dictionary`]) stored as dense codes. The fixed lane keeps
+//! strided tuple access, segment layout, copy-on-write accounting and the
+//! cache-miss cost model exact regardless of the mix of types.
 
 pub mod attrset;
 pub mod catalog;
+pub mod dict;
 pub mod error;
 pub mod group;
 pub mod relation;
@@ -33,8 +38,9 @@ pub mod types;
 
 pub use attrset::AttrSet;
 pub use catalog::{CatalogSnapshot, GroupStats, LayoutCatalog};
+pub use dict::Dictionary;
 pub use error::StorageError;
-pub use group::{AppendDelta, ColumnGroup, GroupBuilder, DEFAULT_SEG_SHIFT};
+pub use group::{AppendDelta, ColumnGroup, GroupBuilder, SegStats, DEFAULT_SEG_SHIFT};
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};
-pub use types::{AttrId, Epoch, LayoutId, Value, VALUE_BYTES};
+pub use types::{f64_lane, lane_f64, AttrId, Epoch, LayoutId, LogicalType, Value, VALUE_BYTES};

@@ -88,13 +88,14 @@ impl Relation {
             return Err(StorageError::NoCover(missing));
         }
 
-        let mut catalog = LayoutCatalog::new(schema, rows);
+        let mut catalog = LayoutCatalog::new(schema.clone(), rows);
         for attrs in partition {
             let refs: Vec<&[Value]> = attrs
                 .iter()
                 .map(|a| columns[a.index()].as_slice())
                 .collect();
-            let g = GroupBuilder::from_columns_with_shift(attrs, &refs, seg_shift)?;
+            let types = schema.types_for(&attrs)?;
+            let g = GroupBuilder::from_columns_typed(attrs, types, &refs, seg_shift)?;
             catalog.add_group(g, 0)?;
         }
         Ok(Relation { catalog })

@@ -1,15 +1,25 @@
-//! Relation schemas: named, fixed-width attributes.
+//! Relation schemas: named, typed, fixed-width attributes.
+//!
+//! Every attribute occupies one 64-bit lane word regardless of its
+//! [`LogicalType`]; the schema is where the engine learns how to interpret
+//! the lanes (integer, double bit pattern, or dictionary code). `Dict`
+//! attributes own an `Arc`-shared [`Dictionary`] that every layout storing
+//! the attribute decodes through.
 
+use crate::dict::Dictionary;
 use crate::error::StorageError;
-use crate::types::{AttrId, VALUE_BYTES};
+use crate::types::{AttrId, LogicalType, VALUE_BYTES};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One attribute of a relation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Attribute {
     name: String,
     id: AttrId,
+    ty: LogicalType,
+    /// The shared dictionary of a `Dict` attribute (`None` otherwise).
+    dict: Option<Arc<Dictionary>>,
 }
 
 impl Attribute {
@@ -23,17 +33,46 @@ impl Attribute {
         self.id
     }
 
+    /// The attribute's logical type.
+    pub fn ty(&self) -> LogicalType {
+        self.ty
+    }
+
+    /// The shared dictionary of a `Dict` attribute.
+    pub fn dictionary(&self) -> Option<&Arc<Dictionary>> {
+        self.dict.as_ref()
+    }
+
     /// Physical width in bytes. All H2O attributes are fixed-width 8-byte
-    /// values (see crate docs).
+    /// lane words regardless of logical type (see crate docs).
     pub fn width_bytes(&self) -> usize {
         VALUE_BYTES
     }
 }
 
+impl PartialEq for Attribute {
+    /// Dictionaries compare by identity: two attributes are "the same"
+    /// only if they decode through the same shared dictionary.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.id == other.id
+            && self.ty == other.ty
+            && match (&self.dict, &other.dict) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for Attribute {}
+
 /// The schema of a relation: an ordered list of attributes with unique names.
 ///
 /// Schemas are immutable once built and shared (`Arc`) between the catalog,
-/// the planner and the adaptation mechanism.
+/// the planner and the adaptation mechanism. (`Dict` attribute dictionaries
+/// are interiorly mutable — they grow as new labels are interned — but the
+/// attribute list and types are fixed.)
 #[derive(Debug, Clone)]
 pub struct Schema {
     attrs: Vec<Attribute>,
@@ -41,26 +80,37 @@ pub struct Schema {
 }
 
 impl Schema {
-    /// Builds a schema from attribute names. Panics on duplicate names —
-    /// schema construction happens at load time, where a duplicate is a
-    /// programming error, not a runtime condition.
+    /// Builds an all-`I64` schema from attribute names (the paper's
+    /// evaluation setting). Panics on duplicate names — schema construction
+    /// happens at load time, where a duplicate is a programming error, not
+    /// a runtime condition.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Self::typed(names.into_iter().map(|n| (n, LogicalType::I64)))
+    }
+
+    /// Builds a schema from `(name, type)` pairs. Each `Dict` attribute
+    /// gets a fresh empty [`Dictionary`]; use
+    /// [`Schema::dictionary`] (or [`Attribute::dictionary`]) to intern
+    /// labels while encoding data. Panics on duplicate names.
+    pub fn typed<S: Into<String>, I: IntoIterator<Item = (S, LogicalType)>>(cols: I) -> Self {
         let mut attrs = Vec::new();
         let mut by_name = HashMap::new();
-        for (i, name) in names.into_iter().enumerate() {
+        for (i, (name, ty)) in cols.into_iter().enumerate() {
             let name = name.into();
             let id = AttrId::from(i);
             assert!(
                 by_name.insert(name.clone(), id).is_none(),
                 "duplicate attribute name {name:?}"
             );
-            attrs.push(Attribute { name, id });
+            let dict = matches!(ty, LogicalType::Dict).then(|| Arc::new(Dictionary::new()));
+            attrs.push(Attribute { name, id, ty, dict });
         }
         Schema { attrs, by_name }
     }
 
-    /// Convenience constructor: `n` attributes named `a0..a{n-1}`, matching
-    /// the anonymous wide tables used throughout the paper's evaluation.
+    /// Convenience constructor: `n` `I64` attributes named `a0..a{n-1}`,
+    /// matching the anonymous wide tables used throughout the paper's
+    /// evaluation.
     pub fn with_width(n: usize) -> Self {
         Schema::new((0..n).map(|i| format!("a{i}")))
     }
@@ -93,6 +143,24 @@ impl Schema {
     /// Whether `id` belongs to this schema.
     pub fn contains(&self, id: AttrId) -> bool {
         id.index() < self.attrs.len()
+    }
+
+    /// The logical type of `id`.
+    pub fn type_of(&self, id: AttrId) -> Result<LogicalType, StorageError> {
+        self.attr(id).map(|a| a.ty)
+    }
+
+    /// The logical types of `attrs`, in the given order (errors on an
+    /// attribute outside the schema). The plumbing every group-construction
+    /// path uses to imprint schema types onto physical layouts.
+    pub fn types_for(&self, attrs: &[AttrId]) -> Result<Vec<LogicalType>, StorageError> {
+        attrs.iter().map(|&a| self.type_of(a)).collect()
+    }
+
+    /// The shared dictionary of a `Dict` attribute (`None` for numeric
+    /// attributes or ids outside the schema).
+    pub fn dictionary(&self, id: AttrId) -> Option<&Arc<Dictionary>> {
+        self.attrs.get(id.index()).and_then(|a| a.dict.as_ref())
     }
 
     /// Iterates over all attributes in schema order.
@@ -164,5 +232,42 @@ mod tests {
         let s = Schema::new(Vec::<String>::new());
         assert!(s.is_empty());
         assert_eq!(s.tuple_bytes(), 0);
+    }
+
+    #[test]
+    fn untyped_schemas_default_to_i64() {
+        let s = Schema::with_width(2);
+        assert_eq!(s.type_of(AttrId(0)).unwrap(), LogicalType::I64);
+        assert!(s.dictionary(AttrId(0)).is_none());
+        assert_eq!(
+            s.types_for(&[AttrId(1), AttrId(0)]).unwrap(),
+            vec![LogicalType::I64; 2]
+        );
+        assert!(matches!(
+            s.types_for(&[AttrId(7)]),
+            Err(StorageError::UnknownAttr(_))
+        ));
+    }
+
+    #[test]
+    fn typed_schema_carries_types_and_dictionaries() {
+        let s = Schema::typed([
+            ("ra", LogicalType::F64),
+            ("class", LogicalType::Dict),
+            ("run", LogicalType::I64),
+        ]);
+        assert_eq!(s.type_of(AttrId(0)).unwrap(), LogicalType::F64);
+        assert_eq!(s.type_of(AttrId(1)).unwrap(), LogicalType::Dict);
+        assert_eq!(s.attr(AttrId(1)).unwrap().ty(), LogicalType::Dict);
+        let d = s.dictionary(AttrId(1)).expect("dict attr has a dictionary");
+        assert_eq!(d.intern("STAR"), 0);
+        assert!(s.dictionary(AttrId(0)).is_none());
+        assert!(s.dictionary(AttrId(9)).is_none());
+        // Each attribute's width is one lane regardless of type.
+        assert!(s.iter().all(|a| a.width_bytes() == VALUE_BYTES));
+        // The dictionary is shared, not copied, across schema clones.
+        let s2 = s.clone();
+        assert_eq!(s2.dictionary(AttrId(1)).unwrap().code("STAR"), Some(0));
+        assert_eq!(s.attr(AttrId(1)).unwrap(), s2.attr(AttrId(1)).unwrap());
     }
 }

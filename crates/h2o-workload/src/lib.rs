@@ -31,9 +31,10 @@ pub mod synth;
 pub use micro::{QueryGen, Template};
 pub use sequence::{fig7_sequence, fig9_sequence, oscillating_sequence, TimedQuery};
 pub use skyserver::{
-    skyserver_grouped_workload, skyserver_schema, skyserver_workload, SkyServerSpec,
+    skyserver_grouped_workload, skyserver_schema, skyserver_workload, AttrDomain, SkyServerSpec,
+    TYPE_LABELS,
 };
 pub use synth::{
-    gen_columns, gen_columns_with_keys, gen_key_column, threshold_for_selectivity, VALUE_MAX,
-    VALUE_MIN,
+    f64_threshold_for_selectivity, gen_columns, gen_columns_with_keys, gen_dict_column,
+    gen_f64_column, gen_key_column, threshold_for_selectivity, F64_GRID, VALUE_MAX, VALUE_MIN,
 };

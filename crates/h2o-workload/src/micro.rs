@@ -251,7 +251,10 @@ mod tests {
         assert_eq!(c.len(), 3);
         // Each predicate should be ~0.5 selective: threshold near 0.
         for p in c.predicates() {
-            assert!(p.value.abs() < 10_000_000, "threshold {}", p.value);
+            let h2o_expr::Datum::I64(v) = p.value else {
+                panic!("synth filters are i64: {:?}", p.value)
+            };
+            assert!(v.abs() < 10_000_000, "threshold {v}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! A synthetic SkyServer ("PhotoObjAll") workload.
+//! A synthetic SkyServer ("PhotoObjAll") workload — with genuine types.
 //!
 //! Fig. 8 evaluates H2O against AutoPart on "a subset of the PhotoObjAll
 //! table which is the most commonly used and 250 of the SkyServer
@@ -12,18 +12,68 @@
 //! * **skewed cluster popularity** (a few hot clusters, a long tail);
 //! * **drift**: cluster popularity changes over the 250-query sequence, so
 //!   a single offline partitioning cannot be optimal throughout — the
-//!   effect Fig. 8 measures.
+//!   effect Fig. 8 measures;
+//! * **real attribute types**: the hot PhotoObjAll attributes are not
+//!   integers. Positions (`ra`, `dec`, direction cosines), magnitudes and
+//!   shape parameters are `F64` (drawn from realistic domains on the
+//!   dyadic grid of [`crate::synth`], so float sums stay exact and
+//!   bit-identical under any morsel split); the object classification
+//!   `type` is a dictionary-encoded label (`"STAR"`, `"GALAXY"`, ...);
+//!   `status`/`clean` are small integer flag domains. Queries are
+//!   generated type-consistently — `f64` thresholds against `f64`
+//!   attributes, label equality against `type`, same-type arithmetic — so
+//!   the engine's strict no-coercion typing admits every one of them.
 
-use crate::micro::{QueryGen, Template};
+use crate::micro::Template;
 use crate::sequence::TimedQuery;
-use crate::synth::gen_columns;
-use h2o_storage::{AttrId, Schema, Value};
+use crate::synth::{
+    f64_threshold_for_selectivity, gen_columns, gen_dict_column, gen_f64_column,
+    threshold_for_selectivity,
+};
+use h2o_expr::{Aggregate, Conjunction, Expr, Predicate, Query};
+use h2o_storage::{AttrId, LogicalType, Schema, Value};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// The synthetic PhotoObjAll schema plus its semantic clusters.
+/// The object-classification labels of the `type` column (PhotoObjAll's
+/// categorical object classes).
+pub const TYPE_LABELS: [&str; 6] = [
+    "UNKNOWN",
+    "STAR",
+    "GALAXY",
+    "COSMIC_RAY",
+    "GHOST",
+    "KNOWNOBJ",
+];
+
+/// The value domain one attribute's data is drawn from (and predicates
+/// are generated against).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrDomain {
+    /// Uniform `i64` in the paper's `[−10⁹, 10⁹)` range.
+    I64Uniform,
+    /// Small categorical integer domain `[0, card)` (flag columns).
+    I64Card(i64),
+    /// Dyadic-grid `f64` uniform in `[lo, hi)`.
+    F64Uniform(f64, f64),
+    /// Dictionary-encoded labels (uniform over [`TYPE_LABELS`]).
+    DictLabels,
+}
+
+impl AttrDomain {
+    fn logical(self) -> LogicalType {
+        match self {
+            AttrDomain::I64Uniform | AttrDomain::I64Card(_) => LogicalType::I64,
+            AttrDomain::F64Uniform(..) => LogicalType::F64,
+            AttrDomain::DictLabels => LogicalType::Dict,
+        }
+    }
+}
+
+/// The synthetic PhotoObjAll schema plus its semantic clusters and
+/// per-attribute domains.
 #[derive(Debug, Clone)]
 pub struct SkyServerSpec {
     pub schema: Arc<Schema>,
@@ -32,71 +82,166 @@ pub struct SkyServerSpec {
     /// Attributes commonly used in predicates (`type`, `status`, `clean`,
     /// `modelMag_r`).
     pub predicate_attrs: Vec<AttrId>,
+    /// Data/predicate domain per attribute, indexed by attribute id.
+    pub domains: Vec<AttrDomain>,
 }
 
-/// Builds the synthetic PhotoObjAll schema (64 attributes).
+impl SkyServerSpec {
+    /// The domain of `attr`.
+    pub fn domain(&self, attr: AttrId) -> AttrDomain {
+        self.domains[attr.index()]
+    }
+
+    /// Builds one `attr <op> constant` predicate of (approximately) the
+    /// requested selectivity, typed per the attribute's domain, plus the
+    /// selectivity it actually realizes. Label choice for dictionary
+    /// attributes draws from `rng`.
+    pub fn predicate_for(
+        &self,
+        attr: AttrId,
+        selectivity: f64,
+        rng: &mut SmallRng,
+    ) -> (Predicate, f64) {
+        match self.domain(attr) {
+            AttrDomain::I64Uniform => (
+                Predicate::lt(attr, threshold_for_selectivity(selectivity)),
+                selectivity,
+            ),
+            AttrDomain::I64Card(card) => {
+                // Bucket-granular: at least one bucket always qualifies.
+                let t = ((selectivity * card as f64).round() as Value).clamp(1, card);
+                (Predicate::lt(attr, t), t as f64 / card as f64)
+            }
+            AttrDomain::F64Uniform(lo, hi) => (
+                Predicate::lt(attr, f64_threshold_for_selectivity(selectivity, lo, hi)),
+                selectivity,
+            ),
+            AttrDomain::DictLabels => {
+                // Equality on one uniformly drawn label.
+                let label = *TYPE_LABELS.choose(rng).unwrap();
+                (Predicate::eq(attr, label), 1.0 / TYPE_LABELS.len() as f64)
+            }
+        }
+    }
+
+    /// Generates the relation's columns (lane-encoded per domain),
+    /// deterministically from `seed`. Dictionary labels are interned into
+    /// the schema's shared dictionaries.
+    pub fn gen_columns(&self, rows: usize, seed: u64) -> Vec<Vec<Value>> {
+        // One bulk i64 pass keeps the integer columns identical in
+        // distribution to the pre-typed generator; typed columns replace
+        // their slots.
+        let mut columns = gen_columns(self.schema.len(), rows, seed);
+        for (i, domain) in self.domains.iter().enumerate() {
+            let attr = AttrId::from(i);
+            let col_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+            match *domain {
+                AttrDomain::I64Uniform => {}
+                AttrDomain::I64Card(card) => {
+                    for v in &mut columns[i] {
+                        *v = v.rem_euclid(card);
+                    }
+                }
+                AttrDomain::F64Uniform(lo, hi) => {
+                    columns[i] = gen_f64_column(rows, lo, hi, col_seed);
+                }
+                AttrDomain::DictLabels => {
+                    let dict = self.schema.dictionary(attr).expect("dict attr");
+                    columns[i] = gen_dict_column(rows, dict, &TYPE_LABELS, col_seed);
+                }
+            }
+        }
+        columns
+    }
+}
+
+/// Builds the synthetic PhotoObjAll schema (64 attributes, typed).
 pub fn skyserver_schema() -> SkyServerSpec {
     let bands = ["u", "g", "r", "i", "z"];
-    let mut names: Vec<String> = Vec::new();
+    let mut cols: Vec<(String, AttrDomain)> = Vec::new();
     let mut clusters: Vec<(String, Vec<AttrId>)> = Vec::new();
 
-    let mut push_cluster = |label: &str, attrs: Vec<String>, names: &mut Vec<String>| {
-        let ids: Vec<AttrId> = attrs
-            .iter()
-            .map(|n| {
-                names.push(n.clone());
-                AttrId::from(names.len() - 1)
-            })
-            .collect();
-        clusters.push((label.to_string(), ids));
-    };
+    let mut push_cluster =
+        |label: &str, attrs: Vec<(String, AttrDomain)>, cols: &mut Vec<(String, AttrDomain)>| {
+            let ids: Vec<AttrId> = attrs
+                .into_iter()
+                .map(|(name, d)| {
+                    cols.push((name, d));
+                    AttrId::from(cols.len() - 1)
+                })
+                .collect();
+            clusters.push((label.to_string(), ids));
+        };
 
+    use AttrDomain::*;
+    let i64u = |n: &str| (n.to_string(), I64Uniform);
     push_cluster(
         "astrometry",
-        [
-            "objID", "run", "rerun", "camcol", "field", "obj", "mode", "ra", "dec", "raErr",
-            "decErr", "cx", "cy", "cz", "htmID",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect(),
-        &mut names,
+        vec![
+            i64u("objID"),
+            i64u("run"),
+            i64u("rerun"),
+            i64u("camcol"),
+            i64u("field"),
+            i64u("obj"),
+            i64u("mode"),
+            ("ra".into(), F64Uniform(0.0, 360.0)),
+            ("dec".into(), F64Uniform(-90.0, 90.0)),
+            ("raErr".into(), F64Uniform(0.0, 1.0)),
+            ("decErr".into(), F64Uniform(0.0, 1.0)),
+            ("cx".into(), F64Uniform(-1.0, 1.0)),
+            ("cy".into(), F64Uniform(-1.0, 1.0)),
+            ("cz".into(), F64Uniform(-1.0, 1.0)),
+            i64u("htmID"),
+        ],
+        &mut cols,
     );
     for band in bands {
         push_cluster(
             &format!("photometry_{band}"),
             vec![
-                format!("psfMag_{band}"),
-                format!("psfMagErr_{band}"),
-                format!("petroMag_{band}"),
-                format!("petroMagErr_{band}"),
-                format!("modelMag_{band}"),
-                format!("modelMagErr_{band}"),
+                (format!("psfMag_{band}"), F64Uniform(10.0, 30.0)),
+                (format!("psfMagErr_{band}"), F64Uniform(0.0, 1.0)),
+                (format!("petroMag_{band}"), F64Uniform(10.0, 30.0)),
+                (format!("petroMagErr_{band}"), F64Uniform(0.0, 1.0)),
+                (format!("modelMag_{band}"), F64Uniform(10.0, 30.0)),
+                (format!("modelMagErr_{band}"), F64Uniform(0.0, 1.0)),
             ],
-            &mut names,
+            &mut cols,
         );
     }
     for band in bands {
         push_cluster(
             &format!("shape_{band}"),
             vec![
-                format!("rowc_{band}"),
-                format!("colc_{band}"),
-                format!("petroRad_{band}"),
+                (format!("rowc_{band}"), F64Uniform(0.0, 2048.0)),
+                (format!("colc_{band}"), F64Uniform(0.0, 2048.0)),
+                (format!("petroRad_{band}"), F64Uniform(0.0, 30.0)),
             ],
-            &mut names,
+            &mut cols,
         );
     }
     push_cluster(
         "flags",
-        ["type", "status", "flags", "clean"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
-        &mut names,
+        vec![
+            ("type".into(), DictLabels),
+            ("status".into(), I64Card(16)),
+            i64u("flags"),
+            ("clean".into(), I64Card(2)),
+        ],
+        &mut cols,
     );
 
-    let schema = Schema::new(names).into_shared();
+    let domains: Vec<AttrDomain> = cols.iter().map(|(_, d)| *d).collect();
+    let schema = Schema::typed(cols.into_iter().map(|(n, d)| (n, d.logical()))).into_shared();
+    // Pre-intern the label set so predicates can reference any label even
+    // against an empty relation.
+    if let Ok(ty) = schema.attr_by_name("type") {
+        let dict = schema.dictionary(ty).expect("type is dictionary-encoded");
+        for l in TYPE_LABELS {
+            dict.intern(l);
+        }
+    }
     let predicate_attrs = vec![
         schema.attr_by_name("type").unwrap(),
         schema.attr_by_name("status").unwrap(),
@@ -107,7 +252,62 @@ pub fn skyserver_schema() -> SkyServerSpec {
         schema,
         clusters,
         predicate_attrs,
+        domains,
     }
+}
+
+/// Splits `attrs` into the largest same-numeric-type subset usable as an
+/// arithmetic expression (`f64` wins ties — it is the hot SkyServer case)
+/// and the full numeric subset (for aggregation templates).
+fn numeric_split(spec: &SkyServerSpec, attrs: &[AttrId]) -> (Vec<AttrId>, Vec<AttrId>) {
+    let mut ints = Vec::new();
+    let mut floats = Vec::new();
+    for &a in attrs {
+        match spec.domain(a).logical() {
+            LogicalType::I64 => ints.push(a),
+            LogicalType::F64 => floats.push(a),
+            LogicalType::Dict => {}
+        }
+    }
+    let expr_side = if floats.len() >= ints.len() {
+        floats.clone()
+    } else {
+        ints.clone()
+    };
+    let mut numeric = floats;
+    numeric.extend(ints);
+    numeric.sort_unstable();
+    (expr_side, numeric)
+}
+
+/// Instantiates a type-consistent template query over `attrs`, filtered by
+/// one predicate on `filter_attr`. Returns the query and its expected
+/// selectivity.
+fn build_typed(
+    spec: &SkyServerSpec,
+    template: Template,
+    attrs: &[AttrId],
+    filter_attr: AttrId,
+    selectivity: f64,
+    rng: &mut SmallRng,
+) -> (Query, f64) {
+    let (pred, sel) = spec.predicate_for(filter_attr, selectivity, rng);
+    let filter = Conjunction::of([pred]);
+    let (expr_attrs, numeric) = numeric_split(spec, attrs);
+    let q = match template {
+        // Arithmetic needs ≥2 same-type operands; fall through to
+        // aggregation, then projection, as the attribute mix allows.
+        Template::Expression if expr_attrs.len() >= 2 => {
+            Query::project([Expr::sum_of(expr_attrs)], filter)
+        }
+        Template::Aggregation | Template::Expression if !numeric.is_empty() => Query::aggregate(
+            numeric.iter().map(|&a| Aggregate::max(Expr::Col(a))),
+            filter,
+        ),
+        _ => Query::project(attrs.iter().map(|&a| Expr::Col(a)), filter),
+    }
+    .expect("generated query shape is valid");
+    (q, sel)
 }
 
 /// Generates the full Fig. 8 setup: schema, data columns, and a 250-query
@@ -122,7 +322,7 @@ pub fn skyserver_workload(
     seed: u64,
 ) -> (SkyServerSpec, Vec<Vec<Value>>, Vec<TimedQuery>) {
     let spec = skyserver_schema();
-    let columns = gen_columns(spec.schema.len(), rows, seed);
+    let columns = spec.gen_columns(rows, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_5eed);
 
     // Phase → (hot clusters, warm clusters).
@@ -165,158 +365,144 @@ pub fn skyserver_workload(
             _ => Template::Projection,
         };
         let selectivity = *[0.01, 0.05, 0.1, 0.3].choose(&mut rng).unwrap();
-        let filter = [*spec.predicate_attrs.choose(&mut rng).unwrap()];
-        let (query, selectivity) = QueryGen::build(template, &attrs, &filter, selectivity);
+        let filter_attr = *spec.predicate_attrs.choose(&mut rng).unwrap();
+        let (query, selectivity) =
+            build_typed(&spec, template, &attrs, filter_attr, selectivity, &mut rng);
         out.push(TimedQuery { query, selectivity });
     }
     (spec, columns, out)
 }
 
 /// The [`skyserver_workload`] setup with **grouped analytics** mixed in
-/// (beyond the paper, which stops at select-project-aggregate): the flag
-/// columns (`type`, `status`, `clean`) are folded to realistic low
-/// cardinalities (8/16/2 — they are categorical in the real PhotoObjAll),
-/// and roughly 40% of the queries become grouped aggregations keyed on
-/// them (`select type, sum(...), count(*) ... group by type` — the
-/// canonical SkyServer object-class rollup). The rest of the drifting
-/// cluster structure is identical to the plain workload, so adaptation
-/// experiments compare directly.
+/// (beyond the paper, which stops at select-project-aggregate): roughly
+/// 40% of the queries become grouped aggregations keyed on the categorical
+/// flag columns — the dictionary-encoded `type` (8→6 object classes),
+/// `status` (16 buckets) and `clean` (2) — rolling up the same hot numeric
+/// attributes (`select type, sum(modelMag_r), ..., count(*) ... group by
+/// type` — the canonical SkyServer object-class rollup). The rest of the
+/// drifting cluster structure is identical to the plain workload, so
+/// adaptation experiments compare directly.
 pub fn skyserver_grouped_workload(
     rows: usize,
     n_queries: usize,
     seed: u64,
 ) -> (SkyServerSpec, Vec<Vec<Value>>, Vec<TimedQuery>) {
-    let (spec, mut columns, plain) = skyserver_workload(rows, n_queries, seed);
-    // Categorical flag columns: fold the uniform data into buckets.
-    let cards: [(&str, i64); 3] = [("type", 8), ("status", 16), ("clean", 2)];
-    let mut key_attrs = Vec::new();
-    for (name, card) in cards {
-        let attr = spec.schema.attr_by_name(name).unwrap();
-        for v in &mut columns[attr.index()] {
-            *v = v.rem_euclid(card);
-        }
-        key_attrs.push(attr);
-    }
+    let (spec, columns, plain) = skyserver_workload(rows, n_queries, seed);
+    let key_attrs = [
+        spec.schema.attr_by_name("type").unwrap(),
+        spec.schema.attr_by_name("status").unwrap(),
+        spec.schema.attr_by_name("clean").unwrap(),
+    ];
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9209_6b65);
     let out = plain
         .into_iter()
         .map(|tq| {
-            let tq = if rng.gen_bool(0.4) {
-                // Re-shape into a grouped rollup over the same hot
-                // attributes, keyed on one or two flag columns.
-                let mut keys = vec![*key_attrs.choose(&mut rng).unwrap()];
-                if rng.gen_bool(0.25) {
-                    let second = *key_attrs.choose(&mut rng).unwrap();
-                    if second != keys[0] {
-                        keys.push(second);
-                    }
+            if !rng.gen_bool(0.4) {
+                return tq;
+            }
+            // Re-shape into a grouped rollup over the same hot attributes,
+            // keyed on one or two flag columns. Measures must be numeric
+            // (sum over a dictionary code is ill-typed by design).
+            let mut keys = vec![*key_attrs.choose(&mut rng).unwrap()];
+            if rng.gen_bool(0.25) {
+                let second = *key_attrs.choose(&mut rng).unwrap();
+                if second != keys[0] {
+                    keys.push(second);
                 }
-                let agg_attrs: Vec<AttrId> = tq
-                    .query
-                    .select_attrs()
-                    .iter()
-                    .filter(|a| !keys.contains(a))
-                    .take(6)
-                    .collect();
-                if agg_attrs.is_empty() {
-                    tq
-                } else {
-                    let filter: Vec<AttrId> = tq.query.where_attrs().to_vec();
-                    let (query, selectivity) =
-                        QueryGen::build_grouped(&keys, &agg_attrs, &filter, tq.selectivity);
-                    TimedQuery { query, selectivity }
-                }
-            } else {
-                tq
-            };
-            refit_folded_filters(tq, &spec, &cards)
+            }
+            let agg_attrs: Vec<AttrId> = tq
+                .query
+                .select_attrs()
+                .iter()
+                .filter(|a| !keys.contains(a) && spec.domain(*a).logical().is_numeric())
+                .take(6)
+                .collect();
+            if agg_attrs.is_empty() {
+                return tq;
+            }
+            let mut aggs: Vec<Aggregate> = agg_attrs
+                .iter()
+                .map(|&a| Aggregate::sum(Expr::Col(a)))
+                .collect();
+            aggs.push(Aggregate::count());
+            let query = Query::grouped(
+                keys.into_iter().map(Expr::Col),
+                aggs,
+                tq.query.filter().clone(),
+            )
+            .expect("grouped rollup is valid");
+            TimedQuery {
+                query,
+                selectivity: tq.selectivity,
+            }
         })
         .collect();
     (spec, columns, out)
 }
 
-/// Rewrites a query's filter thresholds for predicates over the **folded**
-/// flag columns. The plain workload generates every threshold for the
-/// uniform `[−10⁹, 10⁹)` domain, which is always negative at the
-/// selectivities in use — against the folded `[0, card)` categorical data
-/// such a predicate would select *zero* rows, breaking both the workload
-/// semantics and the recorded selectivity. The uniform-domain threshold is
-/// mapped to the categorical one preserving its intended selectivity at
-/// bucket granularity (at least one bucket), and the `TimedQuery`
-/// selectivity metadata is recomputed accordingly.
-fn refit_folded_filters(tq: TimedQuery, spec: &SkyServerSpec, cards: &[(&str, i64)]) -> TimedQuery {
-    use h2o_expr::{Conjunction, Predicate, Query};
-    let card_of = |attr: AttrId| -> Option<i64> {
-        cards
-            .iter()
-            .find(|(name, _)| spec.schema.attr_by_name(name).ok() == Some(attr))
-            .map(|&(_, c)| c)
-    };
-    let preds = tq.query.filter().predicates();
-    if !preds.iter().any(|p| card_of(p.attr).is_some()) {
-        return tq;
-    }
-    let mut folded_sel = 1.0f64;
-    let mut all_folded = true;
-    let new_preds: Vec<Predicate> = preds
-        .iter()
-        .map(|p| match card_of(p.attr) {
-            Some(card) => {
-                let s = (p.value.saturating_sub(crate::synth::VALUE_MIN)) as f64
-                    / (crate::synth::VALUE_MAX - crate::synth::VALUE_MIN) as f64;
-                let t = ((s * card as f64).round() as Value).clamp(1, card);
-                folded_sel *= t as f64 / card as f64;
-                Predicate { value: t, ..*p }
-            }
-            None => {
-                all_folded = false;
-                *p
-            }
-        })
-        .collect();
-    let filter: Conjunction = new_preds.into_iter().collect();
-    let query = if tq.query.is_grouped() {
-        Query::grouped(
-            tq.query.group_by().to_vec(),
-            tq.query.aggregates().to_vec(),
-            filter,
-        )
-        .unwrap()
-    } else if tq.query.is_aggregate() {
-        Query::aggregate(tq.query.aggregates().to_vec(), filter).unwrap()
-    } else {
-        Query::project(tq.query.projections().to_vec(), filter).unwrap()
-    };
-    // The workload's filters are single-predicate, so the recomputed
-    // categorical selectivity is exact there; mixed conjunctions keep the
-    // original estimate (the folded part only widens it).
-    let selectivity = if all_folded {
-        folded_sel.clamp(0.0, 1.0)
-    } else {
-        tq.selectivity
-    };
-    TimedQuery { query, selectivity }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use h2o_storage::lane_f64;
 
     #[test]
-    fn schema_shape() {
+    fn schema_shape_and_types() {
         let spec = skyserver_schema();
         assert_eq!(spec.schema.len(), 64);
         assert_eq!(spec.clusters.len(), 12);
         // Clusters partition the schema.
         let total: usize = spec.clusters.iter().map(|(_, a)| a.len()).sum();
         assert_eq!(total, 64);
-        assert!(spec.schema.attr_by_name("psfMag_r").is_ok());
-        assert!(spec.schema.attr_by_name("ra").is_ok());
         assert_eq!(spec.predicate_attrs.len(), 4);
+        // The hot attributes carry their real types.
+        let ty_of = |n: &str| {
+            spec.schema
+                .type_of(spec.schema.attr_by_name(n).unwrap())
+                .unwrap()
+        };
+        assert_eq!(ty_of("ra"), LogicalType::F64);
+        assert_eq!(ty_of("dec"), LogicalType::F64);
+        assert_eq!(ty_of("modelMag_r"), LogicalType::F64);
+        assert_eq!(ty_of("rowc_g"), LogicalType::F64);
+        assert_eq!(ty_of("type"), LogicalType::Dict);
+        assert_eq!(ty_of("status"), LogicalType::I64);
+        assert_eq!(ty_of("objID"), LogicalType::I64);
+        // The type dictionary is pre-seeded with every label.
+        let type_attr = spec.schema.attr_by_name("type").unwrap();
+        let dict = spec.schema.dictionary(type_attr).unwrap();
+        assert_eq!(dict.len(), TYPE_LABELS.len());
+        assert_eq!(dict.code("GALAXY"), Some(2));
     }
 
     #[test]
-    fn workload_is_deterministic_and_well_formed() {
+    fn generated_data_respects_domains() {
+        let spec = skyserver_schema();
+        let cols = spec.gen_columns(500, 7);
+        assert_eq!(cols.len(), 64);
+        let idx = |n: &str| spec.schema.attr_by_name(n).unwrap().index();
+        for &lane in &cols[idx("ra")] {
+            assert!((0.0..360.0).contains(&lane_f64(lane)));
+        }
+        for &lane in &cols[idx("dec")] {
+            assert!((-90.0..90.0).contains(&lane_f64(lane)));
+        }
+        for &code in &cols[idx("type")] {
+            assert!((0..TYPE_LABELS.len() as Value).contains(&code));
+        }
+        for &v in &cols[idx("status")] {
+            assert!((0..16).contains(&v));
+        }
+        for &v in &cols[idx("clean")] {
+            assert!((0..2).contains(&v));
+        }
+        // i64 columns keep the paper's wide uniform domain.
+        assert!(cols[idx("objID")].iter().any(|v| v.abs() > 1_000_000));
+        // Deterministic.
+        assert_eq!(cols, spec.gen_columns(500, 7));
+    }
+
+    #[test]
+    fn workload_is_deterministic_type_checked_and_well_formed() {
         let (spec, cols, w1) = skyserver_workload(1000, 250, 7);
         let (_, _, w2) = skyserver_workload(1000, 250, 7);
         assert_eq!(w1.len(), 250);
@@ -328,7 +514,50 @@ mod tests {
         for tq in &w1 {
             assert!(!tq.query.all_attrs().is_empty());
             assert!(tq.query.all_attrs().len() <= 15);
+            // Every generated query passes the engine's strict type gate.
+            h2o_expr::typecheck::check(&tq.query, &spec.schema)
+                .unwrap_or_else(|e| panic!("ill-typed generated query {}: {e}", tq.query));
+            assert!(tq.selectivity > 0.0 && tq.selectivity <= 1.0);
         }
+        // The workload genuinely exercises f64 filters and dict equality.
+        let f64_filters = w1
+            .iter()
+            .filter(|tq| {
+                tq.query
+                    .filter()
+                    .predicates()
+                    .iter()
+                    .any(|p| matches!(p.value, h2o_expr::Datum::F64(_)))
+            })
+            .count();
+        let dict_filters = w1
+            .iter()
+            .filter(|tq| {
+                tq.query
+                    .filter()
+                    .predicates()
+                    .iter()
+                    .any(|p| matches!(p.value, h2o_expr::Datum::Str(_)))
+            })
+            .count();
+        assert!(f64_filters > 30, "f64 filters: {f64_filters}");
+        assert!(dict_filters > 30, "dict filters: {dict_filters}");
+    }
+
+    #[test]
+    fn workload_queries_select_rows_against_generated_data() {
+        let (spec, cols, w) = skyserver_workload(800, 60, 13);
+        let rel = h2o_storage::Relation::columnar(spec.schema.clone(), cols).unwrap();
+        let matching = w
+            .iter()
+            .take(40)
+            .filter(|tq| {
+                !h2o_expr::interpret(rel.catalog(), &tq.query)
+                    .unwrap()
+                    .is_empty()
+            })
+            .count();
+        assert!(matching >= 25, "most queries select rows, got {matching}");
     }
 
     #[test]
@@ -358,16 +587,9 @@ mod tests {
     }
 
     #[test]
-    fn grouped_workload_mixes_grouped_rollups() {
+    fn grouped_workload_mixes_typed_rollups() {
         let (spec, cols, w) = skyserver_grouped_workload(500, 200, 13);
         assert_eq!(w.len(), 200);
-        // Flag columns fold to their categorical cardinality.
-        let type_attr = spec.schema.attr_by_name("type").unwrap();
-        assert!(cols[type_attr.index()].iter().all(|&v| (0..8).contains(&v)));
-        let clean_attr = spec.schema.attr_by_name("clean").unwrap();
-        assert!(cols[clean_attr.index()]
-            .iter()
-            .all(|&v| (0..2).contains(&v)));
         // A substantial fraction of the sequence is grouped, keyed on flags.
         let grouped: Vec<_> = w.iter().filter(|tq| tq.query.is_grouped()).collect();
         assert!(
@@ -375,55 +597,36 @@ mod tests {
             "grouped share ~40%: {}",
             grouped.len()
         );
+        let type_attr = spec.schema.attr_by_name("type").unwrap();
         let status_attr = spec.schema.attr_by_name("status").unwrap();
+        let clean_attr = spec.schema.attr_by_name("clean").unwrap();
         let flags: h2o_storage::AttrSet =
             [type_attr, clean_attr, status_attr].into_iter().collect();
+        let mut dict_keyed = 0;
         for tq in &grouped {
             for k in tq.query.group_by() {
                 assert!(k.attrs().is_subset(&flags), "keys come from flag columns");
-            }
-        }
-        // Filters over folded flag columns are refitted to the categorical
-        // domain — never the uniform-domain (always-negative) thresholds
-        // that would select zero rows.
-        let card_of = |a: h2o_storage::AttrId| match a {
-            _ if a == type_attr => Some(8),
-            _ if a == status_attr => Some(16),
-            _ if a == clean_attr => Some(2),
-            _ => None,
-        };
-        let mut refitted = 0;
-        for tq in &w {
-            for p in tq.query.filter().predicates() {
-                if let Some(card) = card_of(p.attr) {
-                    assert!(
-                        (1..=card).contains(&p.value),
-                        "flag filter in categorical domain: {p:?}"
-                    );
-                    refitted += 1;
+                if k.attrs().contains(type_attr) {
+                    dict_keyed += 1;
                 }
             }
-            assert!(tq.selectivity > 0.0 && tq.selectivity <= 1.0);
+            // Measures are numeric: every grouped query passes the type
+            // gate (sum over the dict column would be rejected).
+            h2o_expr::typecheck::check(&tq.query, &spec.schema).unwrap();
         }
-        assert!(refitted > 50, "most filters hit flag columns: {refitted}");
-        // End-to-end: the workload actually selects rows against the
-        // folded data (the pre-fix behavior returned zero rows for ~75%
-        // of the queries).
-        let schema2 = spec.schema.clone();
-        let rel = h2o_storage::Relation::columnar(schema2, cols.clone()).unwrap();
-        let matching = w
+        assert!(dict_keyed >= 10, "dict-keyed rollups: {dict_keyed}");
+        // End-to-end: the rollups select rows and produce per-class groups.
+        let rel = h2o_storage::Relation::columnar(spec.schema.clone(), cols).unwrap();
+        let non_empty = grouped
             .iter()
-            .take(40)
+            .take(20)
             .filter(|tq| {
                 !h2o_expr::interpret(rel.catalog(), &tq.query)
                     .unwrap()
                     .is_empty()
             })
             .count();
-        assert!(
-            matching >= 25,
-            "most of the first 40 queries must select rows, got {matching}"
-        );
+        assert!(non_empty >= 15, "rollups aggregate rows: {non_empty}");
         // Deterministic.
         let (_, _, w2) = skyserver_grouped_workload(500, 200, 13);
         for (a, b) in w.iter().zip(&w2) {
@@ -447,6 +650,6 @@ mod tests {
                 within += 1;
             }
         }
-        assert!(within >= 90, "cluster locality: {within}/100");
+        assert!(within >= 85, "cluster locality: {within}/100");
     }
 }

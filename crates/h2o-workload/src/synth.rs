@@ -1,6 +1,17 @@
 //! Synthetic relation generation and selectivity-controlled predicates.
+//!
+//! # Float domains are dyadic grids
+//!
+//! Every generated `f64` value is an integer multiple of [`F64_GRID`]
+//! (2⁻¹⁰). Values from such a grid with bounded magnitude sum **exactly**
+//! in `f64` (no rounding at any intermediate, for any association order up
+//! to ~2⁵³ total significand bits), so the engine's ordered-sum convention
+//! yields bit-identical results no matter how a scan is split into
+//! morsels — which is what the differential suites assert. Real
+//! instrument data (SkyServer's positions and magnitudes) is
+//! fixed-precision too, so the grid costs no realism.
 
-use h2o_storage::Value;
+use h2o_storage::{f64_lane, Dictionary, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -8,6 +19,41 @@ use rand::{Rng, SeedableRng};
 pub const VALUE_MIN: Value = -1_000_000_000;
 /// Upper bound of generated values (exclusive).
 pub const VALUE_MAX: Value = 1_000_000_000;
+
+/// Grid step of generated doubles: 2⁻¹⁰ (see module docs).
+pub const F64_GRID: f64 = 1.0 / 1024.0;
+
+/// Generates one `f64` column: `rows` lane-encoded doubles drawn uniformly
+/// from the dyadic grid `{lo + k·2⁻¹⁰ | k ≥ 0} ∩ [lo, hi)`,
+/// deterministically from `seed`. `lo` itself should sit on the grid
+/// (whole numbers and multiples of small powers of two do).
+pub fn gen_f64_column(rows: usize, lo: f64, hi: f64, seed: u64) -> Vec<Value> {
+    let steps = (((hi - lo) / F64_GRID) as u64).max(1);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6636_3464); // "f64d"
+    (0..rows)
+        .map(|_| f64_lane(lo + rng.gen_range(0..steps) as f64 * F64_GRID))
+        .collect()
+}
+
+/// Generates one dictionary-encoded column: `labels` are interned into
+/// `dict` (first-appearance order) and `rows` codes are drawn uniformly,
+/// deterministically from `seed`.
+pub fn gen_dict_column(rows: usize, dict: &Dictionary, labels: &[&str], seed: u64) -> Vec<Value> {
+    assert!(!labels.is_empty(), "dictionary column needs labels");
+    let codes: Vec<Value> = labels.iter().map(|l| dict.intern(l)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6469_6374); // "dict"
+    (0..rows)
+        .map(|_| codes[rng.gen_range(0..codes.len())])
+        .collect()
+}
+
+/// The grid-aligned threshold `v` such that `attr < v` has selectivity `s`
+/// over data uniform on the dyadic grid of `[lo, hi)`.
+pub fn f64_threshold_for_selectivity(s: f64, lo: f64, hi: f64) -> f64 {
+    let s = s.clamp(0.0, 1.0);
+    let steps = (((hi - lo) / F64_GRID) as u64).max(1);
+    lo + (s * steps as f64).round() * F64_GRID
+}
 
 /// Generates `n_attrs` columns of `rows` values uniformly distributed in
 /// `[VALUE_MIN, VALUE_MAX)`, deterministically from `seed`.
@@ -122,5 +168,55 @@ mod tests {
         let s = per_predicate_selectivity(0.25, 2);
         assert!((s * s - 0.25).abs() < 1e-12);
         assert_eq!(per_predicate_selectivity(0.5, 0), 1.0);
+    }
+
+    #[test]
+    fn f64_columns_sit_on_the_dyadic_grid() {
+        use h2o_storage::lane_f64;
+        let col = gen_f64_column(5000, 10.0, 30.0, 3);
+        assert_eq!(col, gen_f64_column(5000, 10.0, 30.0, 3), "deterministic");
+        for &lane in &col {
+            let x = lane_f64(lane);
+            assert!((10.0..30.0).contains(&x));
+            let k = (x - 10.0) / F64_GRID;
+            assert_eq!(k, k.round(), "grid-aligned: {x}");
+        }
+        // Exactness: summing in any chunking is bit-identical.
+        let serial: f64 = col.iter().map(|&l| lane_f64(l)).sum();
+        for chunk in [7usize, 64, 1024] {
+            let chunked: f64 = col
+                .chunks(chunk)
+                .map(|c| c.iter().map(|&l| lane_f64(l)).sum::<f64>())
+                .sum();
+            assert_eq!(serial.to_bits(), chunked.to_bits(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn f64_threshold_hits_requested_selectivity() {
+        use h2o_storage::lane_f64;
+        let col = gen_f64_column(100_000, 0.0, 360.0, 11);
+        for s in [0.05, 0.3, 0.8] {
+            let t = f64_threshold_for_selectivity(s, 0.0, 360.0);
+            let observed =
+                col.iter().filter(|&&l| lane_f64(l) < t).count() as f64 / col.len() as f64;
+            assert!((observed - s).abs() < 0.01, "requested {s}, got {observed}");
+        }
+        assert_eq!(f64_threshold_for_selectivity(0.0, -90.0, 90.0), -90.0);
+        assert_eq!(f64_threshold_for_selectivity(1.0, -90.0, 90.0), 90.0);
+    }
+
+    #[test]
+    fn dict_columns_intern_and_draw_uniformly() {
+        let d = Dictionary::new();
+        let labels = ["STAR", "GALAXY", "QSO"];
+        let col = gen_dict_column(3000, &d, &labels, 5);
+        assert_eq!(d.len(), 3);
+        assert!(col.iter().all(|&c| (0..3).contains(&c)));
+        for code in 0..3 {
+            let n = col.iter().filter(|&&c| c == code).count();
+            assert!(n > 700, "label {code} drawn {n} times");
+        }
+        assert_eq!(col, gen_dict_column(3000, &Dictionary::new(), &labels, 5));
     }
 }

@@ -10,35 +10,85 @@
 //!
 //! ```
 //! use h2o::prelude::*;
+//! use h2o::storage::LogicalType;
 //!
-//! // A 20-attribute relation, initially column-major.
-//! let schema = Schema::with_width(20).into_shared();
-//! let columns = h2o::workload::gen_columns(20, 10_000, 42);
-//! let relation = Relation::columnar(schema, columns).unwrap();
+//! // A mixed-type relation on the fixed 64-bit lane: a dictionary-encoded
+//! // object class, an integer run id, and two f64 sky coordinates.
+//! let schema = Schema::typed([
+//!     ("class", LogicalType::Dict),
+//!     ("run", LogicalType::I64),
+//!     ("ra", LogicalType::F64),
+//!     ("dec", LogicalType::F64),
+//! ]).into_shared();
+//! let dict = schema.dictionary(AttrId(0)).unwrap();
+//! let columns = vec![
+//!     h2o::workload::gen_dict_column(10_000, dict, &["STAR", "GALAXY"], 42),
+//!     h2o::workload::gen_key_column(10_000, 32, 42),
+//!     h2o::workload::gen_f64_column(10_000, 0.0, 360.0, 42),
+//!     h2o::workload::gen_f64_column(10_000, -90.0, 90.0, 42),
+//! ];
+//! let relation = Relation::columnar(schema.clone(), columns).unwrap();
 //! let engine = H2oEngine::new(relation, EngineConfig::default());
 //!
-//! // select sum(a0+a1+a2) from R where a3 < 0
+//! // select sum(ra+dec) from R where ra < 180.0 and class = 'GALAXY'
 //! let query = Query::aggregate(
-//!     [Aggregate::sum(Expr::sum_of([AttrId(0), AttrId(1), AttrId(2)]))],
-//!     Conjunction::of([Predicate::lt(3u32, 0)]),
+//!     [Aggregate::sum(Expr::sum_of([AttrId(2), AttrId(3)]))],
+//!     Conjunction::of([
+//!         Predicate::lt(2u32, 180.0),
+//!         Predicate::eq(0u32, "GALAXY"),
+//!     ]),
 //! ).unwrap();
-//!
 //! let result = engine.execute(&query).unwrap();
 //! assert_eq!(result.rows(), 1);
 //!
-//! // Grouped aggregation (beyond the paper's evaluation):
-//! // select a0, sum(a1), count(*) from R where a3 < 0 group by a0
+//! // Grouped rollup keyed on the dictionary column (beyond the paper):
+//! // select class, avg(dec), count(*) from R group by class
 //! let rollup = Query::grouped(
 //!     [Expr::col(0u32)],
-//!     [Aggregate::sum(Expr::col(1u32)), Aggregate::count()],
-//!     Conjunction::of([Predicate::lt(3u32, 0)]),
+//!     [Aggregate::avg(Expr::col(3u32)), Aggregate::count()],
+//!     Conjunction::always(),
 //! ).unwrap();
 //! let rolled = engine.execute(&rollup).unwrap();
-//! // One row per distinct key, sorted ascending by key vector — the
-//! // engine-wide determinism convention for grouped results.
-//! assert!(rolled.iter_rows().all(|r| r.len() == 3));
+//! // One row per distinct key, sorted ascending in the key's typed order —
+//! // the engine-wide determinism convention for grouped results.
+//! assert_eq!(rolled.rows(), 2);
+//! // Render decodes lanes through the output types: codes back to labels,
+//! // f64 bit patterns back to doubles.
+//! let types = h2o::expr::typecheck::check(&rollup, &schema).unwrap().output_types();
+//! let dicts = vec![schema.dictionary(AttrId(0)).cloned(), None, None];
+//! assert!(rolled.render(&types, &dicts).contains("\"STAR\""));
+//!
+//! // The engine has no implicit coercions: an i64 constant against the
+//! // f64 `ra` column is rejected at plan time, before any scan.
+//! let ill_typed = Query::project(
+//!     [Expr::col(2u32)],
+//!     Conjunction::of([Predicate::lt(2u32, 180)]),
+//! ).unwrap();
+//! assert!(engine.execute(&ill_typed).is_err());
 //! // Keep querying: the engine adapts its layouts to the workload.
 //! ```
+//!
+//! ## Typed columns on a fixed 64-bit lane
+//!
+//! Every value is one 64-bit lane word typed by the schema
+//! ([`storage::LogicalType`]): `I64` integers (the paper's evaluation
+//! type), `F64` doubles stored as bit patterns, and `Dict`
+//! dictionary-encoded strings ([`storage::Dictionary`], `Arc`-shared per
+//! attribute). The fixed lane keeps segment layout, copy-on-write
+//! accounting and the cost model type-oblivious; comparisons and
+//! arithmetic are typed and **baked into the generated operators** at
+//! plan time. Typing is strict — no implicit coercions; cross-type
+//! predicates/arithmetic, ordered dictionary comparisons and dictionary
+//! measures are rejected as
+//! [`QueryError::TypeMismatch`](h2o_expr::QueryError) by the plan-time
+//! checker ([`expr::typecheck`]). `f64` ordering follows
+//! [`f64::total_cmp`] on every path; `f64` sums fold in row order within
+//! a morsel and merge in morsel order, and the workload generators draw
+//! doubles from dyadic grids so sums are exact — serial, parallel and all
+//! three strategies stay bit-identical on mixed-type workloads
+//! (`tests/mixed_types.rs`, `fig19_mixed_types`). Sealed 64K-row segments
+//! carry min/max **zone maps**; scans skip segments that cannot satisfy a
+//! conjunctive predicate (`EngineStats::segments_skipped`).
 //!
 //! ## Grouped aggregation (deviation from the paper)
 //!
