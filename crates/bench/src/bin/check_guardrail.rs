@@ -17,7 +17,11 @@
 //!   non-zero sealed-segment skip count (zone maps actually pruning). The
 //!   mixed-vs-i64 runtime ratios are informational (printed, not
 //!   asserted — CI machines are too noisy to gate on a 1.15x target, which
-//!   the committed full-size runs document instead).
+//!   the committed full-size runs document instead);
+//! * `--fig22 <path>` — the summed guarded/baseline fault-tolerance
+//!   overhead (live cancellation token + disabled failpoints on the hot
+//!   path) must stay within `--max-fault-overhead` (default 1.03), and
+//!   every guarded result must be bit-identical to its baseline.
 //!
 //! Run locally to vet a change the same way CI will:
 //!
@@ -196,13 +200,48 @@ fn check_fig15(doc: &str, c: &mut Checker) {
     }
 }
 
+fn check_fig22(doc: &str, max_overhead: f64, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig22: results array non-empty".into());
+    let mut total_seen = false;
+    for obj in &results {
+        let shape = json::string(obj, "shape").unwrap_or("?").to_string();
+        c.assert(
+            json::boolean(obj, "identical") == Some(true),
+            format!("fig22: {shape}: guarded result bit-identical to baseline"),
+        );
+        let overhead = json::num(obj, "overhead").unwrap_or(f64::INFINITY);
+        if shape == "total" {
+            total_seen = true;
+            c.assert(
+                json::num(obj, "baseline_s").unwrap_or(0.0) > 0.0,
+                "fig22: total baseline time positive".into(),
+            );
+            // Only the summed total is gated: per-shape ratios are printed
+            // but too noisy to fail CI on individually.
+            c.assert(
+                overhead <= max_overhead,
+                format!(
+                    "fig22: cancellation + disabled-failpoint overhead \
+                     {overhead:.4}x <= {max_overhead}x"
+                ),
+            );
+        } else {
+            eprintln!("guardrail: info fig22: {shape} overhead {overhead:.4}x");
+        }
+    }
+    c.assert(total_seen, "fig22: total entry present".into());
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut fig15 = None;
     let mut fig17 = None;
     let mut fig18 = None;
     let mut fig19 = None;
+    let mut fig22 = None;
     let mut min_advantage = 10.0f64;
+    let mut max_fault_overhead = 1.03f64;
     let mut i = 1;
     while i < argv.len() {
         // A guardrail that silently narrows its own coverage on a typo is
@@ -217,14 +256,21 @@ fn main() {
             "--fig17" => fig17 = Some(argv[i + 1].clone()),
             "--fig18" => fig18 = Some(argv[i + 1].clone()),
             "--fig19" => fig19 = Some(argv[i + 1].clone()),
+            "--fig22" => fig22 = Some(argv[i + 1].clone()),
             "--min-write-advantage" => {
                 min_advantage = argv[i + 1]
                     .parse()
                     .unwrap_or_else(|_| panic!("bad --min-write-advantage {}", argv[i + 1]));
             }
+            "--max-fault-overhead" => {
+                max_fault_overhead = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --max-fault-overhead {}", argv[i + 1]));
+            }
             other => panic!(
                 "unknown argument {other} \
-                 (expected --fig15/--fig17/--fig18/--fig19/--min-write-advantage)"
+                 (expected --fig15/--fig17/--fig18/--fig19/--fig22/\
+                 --min-write-advantage/--max-fault-overhead)"
             ),
         }
         i += 2;
@@ -245,9 +291,12 @@ fn main() {
     if let Some(p) = &fig19 {
         check_fig19(&read(p), &mut c);
     }
+    if let Some(p) = &fig22 {
+        check_fig22(&read(p), max_fault_overhead, &mut c);
+    }
     assert!(
         c.checks > 0,
-        "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19"
+        "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19/--fig22"
     );
     if c.failures.is_empty() {
         eprintln!("guardrail: all {} checks passed", c.checks);

@@ -132,7 +132,9 @@ fn main() {
 
     for readers in [1usize, 2, 4, 8] {
         let engine = build_engine(rows, attrs, args.seed, true);
-        let reorganizer = engine.spawn_reorganizer(Duration::from_millis(2));
+        let mut reorganizer = engine
+            .spawn_reorganizer(Duration::from_millis(2))
+            .expect("spawn reorganizer");
 
         // Writer churn for the whole measured interval.
         let stop = Arc::new(AtomicBool::new(false));

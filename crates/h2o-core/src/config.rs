@@ -4,6 +4,7 @@ use h2o_adapt::{AdviserConfig, WindowConfig};
 use h2o_cost::HardwareParams;
 use h2o_exec::parallel::{DEFAULT_MORSEL_ROWS, DEFAULT_SERIAL_THRESHOLD};
 use h2o_exec::{CompileCostModel, ExecPolicy};
+use std::time::Duration;
 
 /// All tuning knobs of the adaptive engine in one place. The defaults
 /// reproduce the paper's setup scaled to this environment — with one
@@ -63,6 +64,16 @@ pub struct EngineConfig {
     /// — which builds new groups from a snapshot and atomically publishes
     /// them while in-flight queries keep reading their own snapshots.
     pub background_reorg: bool,
+    /// Default per-query deadline. When set, every
+    /// [`H2oEngine::execute`](crate::H2oEngine::execute) call runs under an
+    /// implicit [`CancelToken`](h2o_exec::CancelToken) armed with this
+    /// timeout and fails with
+    /// [`EngineError::Timeout`](crate::EngineError::Timeout) once it
+    /// expires. Callers that pass their own token
+    /// ([`H2oEngine::execute_cancellable`](crate::H2oEngine::execute_cancellable))
+    /// opt out of the implicit deadline. `None` (the default) never times
+    /// queries out.
+    pub query_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +91,7 @@ impl Default for EngineConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             parallel_row_threshold: DEFAULT_SERIAL_THRESHOLD,
             background_reorg: false,
+            query_deadline: None,
         }
     }
 }
@@ -143,6 +155,7 @@ mod tests {
         assert!(c.adaptive);
         assert_eq!(c.window.initial, 20);
         assert!(c.default_selectivity > 0.0 && c.default_selectivity <= 1.0);
+        assert_eq!(c.query_deadline, None, "no implicit deadline by default");
     }
 
     #[test]

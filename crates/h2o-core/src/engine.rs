@@ -32,18 +32,22 @@ use crate::stats::EngineStats;
 use h2o_adapt::{AdviceQueue, Adviser, SharedWindow};
 use h2o_cost::{AccessPattern, CostModel, GroupSpec, PlanSpec, Residence};
 use h2o_exec::{
-    execute_with_policy_stats as exec_execute_with_policy_stats, reorg, AccessPlan, ExecError,
-    OperatorCache, Strategy,
+    execute_with_policy_cancel as exec_execute_with_policy_cancel,
+    execute_with_policy_stats as exec_execute_with_policy_stats, reorg, AccessPlan, CancelToken,
+    ExecError, OperatorCache, Strategy,
 };
 use h2o_expr::{Query, QueryError, QueryResult};
 use h2o_storage::{
-    AttrId, CatalogSnapshot, Epoch, LayoutCatalog, LayoutId, Relation, StorageError,
+    failpoints, AttrId, CatalogSnapshot, Epoch, LayoutCatalog, LayoutId, Relation, StorageError,
 };
 use parking_lot::{Mutex, RwLock};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,6 +62,31 @@ pub enum EngineError {
     /// or arithmetic. Raised before planning, monitoring or adaptation see
     /// the query.
     Query(QueryError),
+    /// Query execution panicked. The panic was caught at the engine
+    /// boundary (it never crosses into the caller and never aborts the
+    /// process); `payload` is the stringified panic message. The engine
+    /// stays fully usable — no lock is poisoned (the vendored
+    /// `parking_lot` recovers poisoned state) and no partial catalog
+    /// version was published (copy-on-write mutations are simply
+    /// abandoned).
+    ExecutionPanicked {
+        /// The panic message, best-effort stringified.
+        payload: String,
+    },
+    /// The query's [`CancelToken`] was cancelled before it finished. No
+    /// partial result, catalog version, cached operator or statistics
+    /// feedback is ever published from a cancelled query.
+    Cancelled,
+    /// The query's deadline (explicit via
+    /// [`H2oEngine::execute_with_deadline`], or implicit via
+    /// [`EngineConfig::query_deadline`]) expired before it finished. Same
+    /// no-partial-effects guarantee as [`EngineError::Cancelled`].
+    Timeout,
+    /// The OS refused to spawn a background thread
+    /// ([`H2oEngine::spawn_reorganizer`]). Recoverable: the engine keeps
+    /// working, callers can degrade to pumping
+    /// [`H2oEngine::maintain`] inline.
+    Spawn(String),
 }
 
 impl fmt::Display for EngineError {
@@ -66,6 +95,12 @@ impl fmt::Display for EngineError {
             EngineError::Exec(e) => write!(f, "execution error: {e}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Query(e) => write!(f, "invalid query: {e}"),
+            EngineError::ExecutionPanicked { payload } => {
+                write!(f, "query execution panicked: {payload}")
+            }
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Timeout => write!(f, "query deadline expired"),
+            EngineError::Spawn(e) => write!(f, "failed to spawn engine thread: {e}"),
         }
     }
 }
@@ -74,12 +109,27 @@ impl std::error::Error for EngineError {}
 
 impl From<ExecError> for EngineError {
     fn from(e: ExecError) -> Self {
-        // Surface plan-time validation failures uniformly as Query errors
+        // Surface plan-time validation failures uniformly as Query errors,
+        // and cooperative-stop outcomes as their own first-class variants,
         // no matter which layer caught them.
         match e {
             ExecError::Query(q) => EngineError::Query(q),
+            ExecError::Cancelled => EngineError::Cancelled,
+            ExecError::DeadlineExpired => EngineError::Timeout,
             other => EngineError::Exec(other),
         }
+    }
+}
+
+/// Best-effort stringification of a caught panic payload (`&str` and
+/// `String` payloads cover `panic!`/`assert!`/`expect` in practice).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -199,6 +249,7 @@ impl H2oEngine {
 
     /// Swaps in a new catalog version. Callers must hold the writer lock.
     fn publish(&self, new_catalog: LayoutCatalog) -> CatalogSnapshot {
+        failpoints::hit("catalog_publish");
         let arc = Arc::new(new_catalog);
         *self.catalog.write() = arc.clone();
         self.stats.lock().snapshots_published += 1;
@@ -278,6 +329,89 @@ impl H2oEngine {
         q: &Query,
         selectivity_hint: Option<f64>,
     ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
+        self.execute_snapshot_inner(q, selectivity_hint, None)
+    }
+
+    /// Executes a query under a caller-owned [`CancelToken`]. Any thread
+    /// holding a clone of the token can call
+    /// [`CancelToken::cancel`] to stop the query
+    /// cooperatively; the call then fails with [`EngineError::Cancelled`]
+    /// (or [`EngineError::Timeout`] if the token carried a deadline that
+    /// expired first) and publishes **nothing** — no result rows, no
+    /// catalog version, no statistics feedback. Passing an explicit token
+    /// opts out of [`EngineConfig::query_deadline`].
+    pub fn execute_cancellable(
+        &self,
+        q: &Query,
+        token: &CancelToken,
+    ) -> Result<QueryResult, EngineError> {
+        self.execute_snapshot_inner(q, None, Some(token))
+            .map(|(_, r)| r)
+    }
+
+    /// Executes a query that fails with [`EngineError::Timeout`] unless it
+    /// completes within `timeout`. Sugar for [`Self::execute_cancellable`]
+    /// with a deadline-armed token.
+    pub fn execute_with_deadline(
+        &self,
+        q: &Query,
+        timeout: Duration,
+    ) -> Result<QueryResult, EngineError> {
+        let token = CancelToken::with_deadline(timeout);
+        self.execute_snapshot_inner(q, None, Some(&token))
+            .map(|(_, r)| r)
+    }
+
+    /// The shared execution entry: arms the implicit config deadline when
+    /// the caller brought no token, isolates panics, and keeps the failure
+    /// counters.
+    fn execute_snapshot_inner(
+        &self,
+        q: &Query,
+        selectivity_hint: Option<f64>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
+        let implicit;
+        let cancel = match (cancel, self.config.query_deadline) {
+            (Some(t), _) => Some(t),
+            (None, Some(deadline)) => {
+                implicit = CancelToken::with_deadline(deadline);
+                Some(&implicit)
+            }
+            (None, None) => None,
+        };
+        // Panic isolation: a kernel or reorganization panic is caught here
+        // — below any engine lock acquisition (the vendored `parking_lot`
+        // recovers poisoned state anyway) and above the caller — and
+        // surfaced as a typed error. Copy-on-write discipline means an
+        // unwound mutation left no trace: the catalog swap happens only
+        // after a build fully succeeds.
+        let out = match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_attempt(q, selectivity_hint, cancel)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(EngineError::ExecutionPanicked {
+                payload: panic_message(payload.as_ref()),
+            }),
+        };
+        if let Err(e) = &out {
+            let mut s = self.stats.lock();
+            match e {
+                EngineError::ExecutionPanicked { .. } => s.queries_panicked += 1,
+                EngineError::Cancelled => s.queries_cancelled += 1,
+                EngineError::Timeout => s.queries_timed_out += 1,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn execute_attempt(
+        &self,
+        q: &Query,
+        selectivity_hint: Option<f64>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
         // Plan-time type gate: an ill-typed query (cross-type predicate or
         // arithmetic, ordered dict comparison, dict measure) is rejected
         // here, before planning, monitoring or adaptation observe it. The
@@ -290,7 +424,7 @@ impl H2oEngine {
         let sel = self.estimate_selectivity(q, selectivity_hint);
         let pattern = AccessPattern::of(q, sel);
 
-        let (snap, result) = match self.try_pending(q, &pattern, epoch) {
+        let (snap, result) = match self.try_pending(q, &pattern, epoch, cancel) {
             Some(r) => r?,
             None => {
                 let snap = self.snapshot();
@@ -308,8 +442,15 @@ impl H2oEngine {
                     estimated_cost: cost,
                     selectivity_estimate: sel,
                 });
-                let (r, exec_stats) =
-                    exec_execute_with_policy_stats(&snap, &op, &self.config.exec_policy())?;
+                let (r, exec_stats) = match cancel {
+                    Some(token) => exec_execute_with_policy_cancel(
+                        &snap,
+                        &op,
+                        &self.config.exec_policy(),
+                        token,
+                    )?,
+                    None => exec_execute_with_policy_stats(&snap, &op, &self.config.exec_policy())?,
+                };
                 if exec_stats.segments_skipped > 0 {
                     self.stats.lock().segments_skipped += exec_stats.segments_skipped;
                 }
@@ -416,6 +557,7 @@ impl H2oEngine {
         q: &Query,
         pattern: &AccessPattern,
         epoch: Epoch,
+        cancel: Option<&CancelToken>,
     ) -> Option<Result<(CatalogSnapshot, QueryResult), EngineError>> {
         if !self.config.adaptive || self.config.background_reorg || self.pending.is_empty() {
             return None;
@@ -492,9 +634,18 @@ impl H2oEngine {
         self.opcache.cost_model().charge(charge);
 
         let t0 = Instant::now();
-        let out = reorg::reorg_and_execute_with(&new_cat, &attrs, q, &self.config.exec_policy());
+        let out = reorg::reorg_and_execute_cancellable(
+            &new_cat,
+            &attrs,
+            q,
+            &self.config.exec_policy(),
+            cancel,
+        );
         let (group, result) = match out {
             Ok(v) => v,
+            // Includes cooperative stops: a cancelled fused reorganization
+            // abandons `new_cat` (copy-on-write — never published) and the
+            // advice stays pending for a later query.
             Err(e) => return Some(Err(e.into())),
         };
         let id = match new_cat.add_group(group, epoch) {
@@ -578,10 +729,19 @@ impl H2oEngine {
             self.pending.retain(|g| snap.find_exact(&g.attrs).is_none());
             return report;
         }
-        while let Some(spec) = self.pending.pop() {
+        // Peek-build-remove (not pop-build): the spec is retired from the
+        // advice queue only after its build round *returned*. If a build
+        // panics mid-round, the unwind skips the `remove` and the spec is
+        // still pending when the supervised reorganizer restarts the pump,
+        // so recovery completes the interrupted round instead of silently
+        // dropping the recommendation.
+        while let Some(spec) = self.pending.get().into_iter().next() {
             if self.build_pending_group(&spec) {
                 report.layouts_built += 1;
             }
+            // A concurrent `replace` may have retired the spec already;
+            // removal is by value and simply no-ops then.
+            self.pending.remove(&spec);
         }
         report
     }
@@ -685,28 +845,79 @@ impl H2oEngine {
         s.reorgs_completed += 1;
     }
 
-    /// Spawns a dedicated reorganizer thread that pumps
+    /// Spawns a **supervised** reorganizer thread that pumps
     /// [`Self::maintain`] every `poll` until the returned handle is
     /// dropped or [`ReorganizerHandle::stop`] is called.
-    pub fn spawn_reorganizer(self: &Arc<Self>, poll: Duration) -> ReorganizerHandle {
+    ///
+    /// Each maintenance round runs under `catch_unwind`: a panicking round
+    /// never kills the thread. The supervisor counts the panic
+    /// ([`EngineStats::reorg_panics`]), sleeps an exponentially growing
+    /// backoff (base [`REORG_BACKOFF_BASE`], doubled per consecutive
+    /// panic, capped at [`REORG_BACKOFF_CAP`], plus deterministic jitter),
+    /// then resumes pumping ([`EngineStats::reorg_restarts`]). A round
+    /// that completes resets the backoff. Because `maintain` retires
+    /// advice only *after* a build round returns, the recovery round picks
+    /// the interrupted spec back up.
+    ///
+    /// Thread creation itself can fail (OS resource exhaustion); that is
+    /// surfaced as recoverable [`EngineError::Spawn`] — degrade to pumping
+    /// [`Self::maintain`] inline.
+    pub fn spawn_reorganizer(
+        self: &Arc<Self>,
+        poll: Duration,
+    ) -> Result<ReorganizerHandle, EngineError> {
         let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(SupervisorState::default());
         let engine = Arc::clone(self);
         let flag = Arc::clone(&stop);
+        let sup = Arc::clone(&state);
+        // Deterministic per-engine jitter stream: decorrelates multiple
+        // engines' retry storms without consulting a clock.
+        let mut rng = SmallRng::seed_from_u64(Arc::as_ptr(self) as u64);
         let thread = std::thread::Builder::new()
             .name("h2o-reorganizer".into())
             .spawn(move || {
+                let mut backoff = REORG_BACKOFF_BASE;
                 while !flag.load(Ordering::Acquire) {
-                    engine.maintain();
-                    std::thread::park_timeout(poll);
+                    match catch_unwind(AssertUnwindSafe(|| engine.maintain())) {
+                        Ok(_) => {
+                            sup.rounds.fetch_add(1, Ordering::Relaxed);
+                            backoff = REORG_BACKOFF_BASE;
+                            std::thread::park_timeout(poll);
+                        }
+                        Err(_) => {
+                            sup.panics.fetch_add(1, Ordering::Relaxed);
+                            engine.stats.lock().reorg_panics += 1;
+                            let jitter_us =
+                                rng.gen_range(0..=(backoff.as_micros() as u64 / 4).max(1));
+                            let sleep = backoff + Duration::from_micros(jitter_us);
+                            sup.last_backoff_us
+                                .store(sleep.as_micros() as u64, Ordering::Relaxed);
+                            // park_timeout, not sleep: stop() can interrupt
+                            // even a capped backoff promptly.
+                            std::thread::park_timeout(sleep);
+                            backoff = (backoff * 2).min(REORG_BACKOFF_CAP);
+                            if flag.load(Ordering::Acquire) {
+                                break;
+                            }
+                            sup.restarts.fetch_add(1, Ordering::Relaxed);
+                            engine.stats.lock().reorg_restarts += 1;
+                        }
+                    }
                 }
-                // Final pump so advice queued right before stop still lands.
-                engine.maintain();
+                // Final pump so advice queued right before stop still
+                // lands; a panic here is counted but not retried.
+                if catch_unwind(AssertUnwindSafe(|| engine.maintain())).is_err() {
+                    sup.panics.fetch_add(1, Ordering::Relaxed);
+                    engine.stats.lock().reorg_panics += 1;
+                }
             })
-            .expect("spawn reorganizer thread");
-        ReorganizerHandle {
+            .map_err(|e| EngineError::Spawn(e.to_string()))?;
+        Ok(ReorganizerHandle {
             stop,
             thread: Some(thread),
-        }
+            state,
+        })
     }
 
     /// Materializes a layout *offline* (separate pass, no query). Used by
@@ -763,18 +974,33 @@ impl H2oEngine {
         if tuples.is_empty() {
             return Ok(());
         }
-        let _w = self.writer.lock();
-        let snap = self.snapshot();
-        let mut new_cat = (*snap).clone();
-        let delta = new_cat.append_rows(tuples)?;
-        {
-            let mut s = self.stats.lock();
-            s.rows_appended += tuples.len() as u64;
-            s.bytes_cloned_on_write += delta.bytes_cloned;
-            s.segments_sealed += delta.segments_sealed;
+        // The mutation section is panic-isolated like the query path: an
+        // unwound append abandons the copy-on-write clone before the
+        // publish swap, so readers keep the old version and the engine
+        // stays consistent and usable.
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            let _w = self.writer.lock();
+            let snap = self.snapshot();
+            let mut new_cat = (*snap).clone();
+            let delta = new_cat.append_rows(tuples)?;
+            {
+                let mut s = self.stats.lock();
+                s.rows_appended += tuples.len() as u64;
+                s.bytes_cloned_on_write += delta.bytes_cloned;
+                s.segments_sealed += delta.segments_sealed;
+            }
+            self.publish(new_cat);
+            Ok(())
+        }));
+        match out {
+            Ok(r) => r,
+            Err(payload) => {
+                self.stats.lock().queries_panicked += 1;
+                Err(EngineError::ExecutionPanicked {
+                    payload: panic_message(payload.as_ref()),
+                })
+            }
         }
-        self.publish(new_cat);
-        Ok(())
     }
 
     /// A human-readable description of the plan the engine would choose
@@ -854,32 +1080,93 @@ impl H2oEngine {
     }
 }
 
+/// Base backoff after a panicking maintenance round; doubled per
+/// consecutive panic.
+pub const REORG_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Backoff ceiling — a persistently faulty round retries at this cadence
+/// forever rather than spinning or giving up.
+pub const REORG_BACKOFF_CAP: Duration = Duration::from_secs(1);
+/// Longest a shutdown waits for the reorganizer thread to finish its
+/// current round before detaching it.
+const REORG_JOIN_WAIT: Duration = Duration::from_secs(10);
+
+/// Shared health counters of one supervised reorganizer thread.
+#[derive(Debug, Default)]
+struct SupervisorState {
+    rounds: AtomicU64,
+    panics: AtomicU64,
+    restarts: AtomicU64,
+    last_backoff_us: AtomicU64,
+}
+
+/// Point-in-time health of a supervised reorganizer thread
+/// ([`ReorganizerHandle::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorganizerStatus {
+    /// Maintenance rounds completed without panicking.
+    pub rounds: u64,
+    /// Maintenance rounds that panicked (each was caught).
+    pub panics: u64,
+    /// Times the supervisor resumed pumping after a panic + backoff.
+    pub restarts: u64,
+    /// The most recent backoff slept after a panic (zero if none yet).
+    pub last_backoff: Duration,
+    /// Whether the supervised thread is still running.
+    pub alive: bool,
+}
+
 /// Guard for a running background reorganizer thread. Dropping it (or
 /// calling [`Self::stop`]) stops the thread after one final `maintain()`
-/// pump and joins it.
+/// pump and joins it with a bounded wait. Stopping is idempotent: `stop`
+/// after `stop`, or a drop after `stop`, is a no-op.
 pub struct ReorganizerHandle {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
+    state: Arc<SupervisorState>,
 }
 
 impl ReorganizerHandle {
-    /// Stops and joins the reorganizer thread.
-    pub fn stop(mut self) {
+    /// Stops and joins the reorganizer thread (bounded wait; see
+    /// [`ReorganizerHandle`]). Safe to call more than once.
+    pub fn stop(&mut self) {
         self.shutdown();
     }
 
     /// Asks the reorganizer to pump `maintain()` soon (without waiting for
-    /// the poll interval).
+    /// the poll interval or a pending backoff).
     pub fn nudge(&self) {
         if let Some(t) = &self.thread {
             t.thread().unpark();
         }
     }
 
+    /// Health of the supervised thread: completed rounds, caught panics,
+    /// restarts, and the most recent backoff.
+    pub fn status(&self) -> ReorganizerStatus {
+        ReorganizerStatus {
+            rounds: self.state.rounds.load(Ordering::Relaxed),
+            panics: self.state.panics.load(Ordering::Relaxed),
+            restarts: self.state.restarts.load(Ordering::Relaxed),
+            last_backoff: Duration::from_micros(self.state.last_backoff_us.load(Ordering::Relaxed)),
+            alive: self.thread.as_ref().is_some_and(|t| !t.is_finished()),
+        }
+    }
+
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.thread.take() {
+        let Some(t) = self.thread.take() else {
+            return; // already stopped: idempotent
+        };
+        t.thread().unpark();
+        // Bounded join: wait for the final pump, but never hang shutdown
+        // on a wedged round — detach instead (the thread holds only an
+        // `Arc` of the engine and exits on its next stop-flag check).
+        let waited = Instant::now();
+        while !t.is_finished() && waited.elapsed() < REORG_JOIN_WAIT {
             t.thread().unpark();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if t.is_finished() {
             let _ = t.join();
         }
     }
@@ -1115,7 +1402,7 @@ mod tests {
         cfg.window.initial = 6;
         cfg.window.min = 4;
         let e = Arc::new(engine(20, 1500, cfg));
-        let handle = e.spawn_reorganizer(Duration::from_millis(1));
+        let mut handle = e.spawn_reorganizer(Duration::from_millis(1)).unwrap();
         for i in 0..60 {
             let q = expr_query(&[0, 1, 2], 3, (i % 5) * 100 - 200);
             let want = interpret(&e.catalog(), &q).unwrap();
@@ -1342,5 +1629,209 @@ mod tests {
         let e = engine(3, 100, EngineConfig::no_compile_latency());
         let q = Query::project([Expr::col(99u32)], Conjunction::always()).unwrap();
         assert!(e.execute(&q).is_err());
+    }
+
+    #[test]
+    fn fault_error_messages_are_stable() {
+        // Rendered-message regression pins (the repo's error-display
+        // convention): harnesses match on these strings.
+        assert_eq!(
+            EngineError::ExecutionPanicked {
+                payload: "boom".into()
+            }
+            .to_string(),
+            "query execution panicked: boom"
+        );
+        assert_eq!(EngineError::Cancelled.to_string(), "query cancelled");
+        assert_eq!(EngineError::Timeout.to_string(), "query deadline expired");
+        assert_eq!(
+            EngineError::Spawn("os says no".into()).to_string(),
+            "failed to spawn engine thread: os says no"
+        );
+    }
+
+    #[test]
+    fn cancelled_query_is_typed_counted_and_side_effect_free() {
+        let e = engine(6, 500, EngineConfig::no_compile_latency());
+        let q = expr_query(&[0, 1], 2, 100);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            e.execute_cancellable(&q, &token),
+            Err(EngineError::Cancelled)
+        );
+        assert_eq!(e.stats().queries_cancelled, 1);
+        // A cancelled run must publish nothing — not even selectivity
+        // feedback.
+        assert_eq!(e.observed_selectivity(&q), None);
+        // The engine stays fully usable; a live token completes normally
+        // and is bit-identical to the oracle.
+        let want = interpret(&e.catalog(), &q).unwrap();
+        let got = e.execute_cancellable(&q, &CancelToken::new()).unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        let s = e.stats();
+        assert_eq!(s.queries_cancelled, 1);
+        assert_eq!(s.queries_timed_out, 0);
+        assert_eq!(s.queries_panicked, 0);
+    }
+
+    #[test]
+    fn deadlines_time_out_explicitly_and_implicitly() {
+        let e = engine(6, 500, EngineConfig::no_compile_latency());
+        let q = expr_query(&[0, 1], 2, 100);
+        assert_eq!(
+            e.execute_with_deadline(&q, Duration::ZERO),
+            Err(EngineError::Timeout)
+        );
+        assert_eq!(e.stats().queries_timed_out, 1);
+        let want = interpret(&e.catalog(), &q).unwrap();
+        let got = e
+            .execute_with_deadline(&q, Duration::from_secs(3600))
+            .unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        assert_eq!(e.stats().queries_timed_out, 1);
+
+        // The config-level deadline applies implicitly to plain execute()…
+        let mut cfg = EngineConfig::no_compile_latency();
+        cfg.query_deadline = Some(Duration::ZERO);
+        let e2 = engine(6, 500, cfg);
+        assert_eq!(e2.execute(&q), Err(EngineError::Timeout));
+        assert_eq!(e2.stats().queries_timed_out, 1);
+        // …and an explicit caller token opts out of it.
+        let got = e2.execute_cancellable(&q, &CancelToken::new()).unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        assert_eq!(e2.stats().queries_timed_out, 1);
+    }
+
+    #[test]
+    fn reorganizer_stop_is_idempotent_and_status_reports() {
+        let e = Arc::new(engine(8, 300, EngineConfig::background()));
+        let mut h = e.spawn_reorganizer(Duration::from_millis(1)).unwrap();
+        let st = h.status();
+        assert!(st.alive, "freshly spawned supervisor must be running");
+        assert_eq!(st.panics, 0);
+        assert_eq!(st.restarts, 0);
+        assert_eq!(st.last_backoff, Duration::ZERO);
+        h.stop();
+        assert!(!h.status().alive, "stop() must join the thread");
+        h.stop(); // double stop: clean no-op
+        drop(h); // drop after stop: clean no-op
+        assert_eq!(e.stats().reorg_panics, 0);
+    }
+
+    /// Fault-injection coverage for the engine layer. Failpoint state is
+    /// process-global, so everything runs in one combined test (the chaos
+    /// CI job runs fault-enabled test binaries single-threaded).
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_faults_are_isolated_and_recovered() {
+        use h2o_storage::failpoints as fp;
+        fp::disarm_all();
+
+        // 1. A worker panic mid-query surfaces as ExecutionPanicked — the
+        //    process does not abort and the counter moves.
+        let mut cfg = EngineConfig::no_compile_latency();
+        cfg.parallelism = Some(2);
+        cfg.parallel_row_threshold = 0; // force the morsel scheduler…
+        cfg.morsel_rows = 64; // …with several morsels over 500 rows
+        let e = engine(8, 500, cfg);
+        let q = expr_query(&[0, 1, 2], 3, 100);
+        let want = interpret(&e.catalog(), &q).unwrap();
+        fp::arm_nth("morsel_start", 1);
+        match e.execute(&q) {
+            Err(EngineError::ExecutionPanicked { payload }) => {
+                assert!(payload.starts_with(fp::PANIC_PREFIX), "got {payload:?}");
+            }
+            other => panic!("expected ExecutionPanicked, got {other:?}"),
+        }
+        assert_eq!(e.stats().queries_panicked, 1);
+        // The engine is fully usable afterwards (the nth-hit failpoint
+        // disarmed itself when it fired).
+        let got = e.execute(&q).unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        assert_eq!(e.stats().queries_panicked, 1);
+
+        // 2. A panic at the publish point leaves the catalog untorn: the
+        //    insert fails typed, readers keep the old version.
+        let rows_before = e.catalog().rows();
+        fp::arm_nth("catalog_publish", 1);
+        let err = e.insert(&[vec![1; 8]]);
+        assert!(
+            matches!(err, Err(EngineError::ExecutionPanicked { .. })),
+            "publish fault must be typed: {err:?}"
+        );
+        assert_eq!(e.catalog().rows(), rows_before, "no torn publish");
+        assert!(e.catalog().covers_schema());
+        e.insert(&[vec![2; 8]]).unwrap();
+        assert_eq!(e.catalog().rows(), rows_before + 1);
+        fp::disarm_all();
+
+        // 3. maintain() retires advice only after a build round returns: a
+        //    build-phase panic keeps the spec pending, and the retry after
+        //    recovery completes the round.
+        let mut cfg = EngineConfig::background();
+        cfg.window.initial = 8;
+        cfg.window.min = 4;
+        let e = engine(24, 2000, cfg);
+        for i in 0..30 {
+            let q = expr_query(&[0, 1, 2, 3], 4, (i % 5) * 100 - 200);
+            e.execute(&q).unwrap();
+        }
+        fp::arm_nth("reorg_build", 1);
+        let panicked = catch_unwind(AssertUnwindSafe(|| e.maintain()));
+        assert!(panicked.is_err(), "armed build phase must panic");
+        assert!(
+            !e.pending().is_empty(),
+            "interrupted spec must survive the panic as pending advice"
+        );
+        let mut built = 0;
+        for _ in 0..4 {
+            built += e.maintain().layouts_built;
+        }
+        assert!(built >= 1, "recovery round must complete the build");
+        assert!(e.pending().is_empty());
+        assert!(e.stats().reorgs_completed >= 1);
+
+        // 4. The supervised reorganizer absorbs the same fault on its own
+        //    thread: panic counted, backoff taken, pump resumed, round
+        //    completed.
+        let mut cfg = EngineConfig::background();
+        cfg.window.initial = 8;
+        cfg.window.min = 4;
+        let e = Arc::new(engine(24, 2000, cfg));
+        let mut h = e.spawn_reorganizer(Duration::from_millis(1)).unwrap();
+        // Arm before the workload: the supervisor polls concurrently and
+        // must hit the fault on its *first* build of the recommended
+        // layout (background-mode queries never reach reorg_build).
+        fp::arm_nth("reorg_build", 1);
+        for i in 0..30 {
+            let q = expr_query(&[10, 11, 12, 13], 14, (i % 5) * 100 - 200);
+            e.execute(&q).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while (h.status().panics < 1 || e.stats().reorgs_completed < 1) && Instant::now() < deadline
+        {
+            h.nudge();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let st = h.status();
+        h.stop();
+        fp::disarm_all();
+        assert!(
+            st.panics >= 1,
+            "supervisor must have caught the panic: {st:?}"
+        );
+        assert!(
+            e.stats().reorgs_completed >= 1,
+            "supervisor must resume and finish the round: {:?}",
+            e.stats()
+        );
+        let s = e.stats();
+        assert!(s.reorg_panics >= 1, "stats: {s:?}");
+        assert!(s.reorg_restarts >= 1, "stats: {s:?}");
+        assert!(
+            st.restarts >= 1 && st.last_backoff >= REORG_BACKOFF_BASE,
+            "{st:?}"
+        );
     }
 }

@@ -30,5 +30,9 @@ pub mod stats;
 
 pub use baseline::{StaticEngine, StaticKind};
 pub use config::EngineConfig;
-pub use engine::{EngineError, H2oEngine, MaintenanceReport, QueryReport, ReorganizerHandle};
+pub use engine::{
+    EngineError, H2oEngine, MaintenanceReport, QueryReport, ReorganizerHandle, ReorganizerStatus,
+    REORG_BACKOFF_BASE, REORG_BACKOFF_CAP,
+};
+pub use h2o_exec::{CancelReason, CancelToken};
 pub use stats::EngineStats;

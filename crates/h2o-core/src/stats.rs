@@ -45,6 +45,23 @@ pub struct EngineStats {
     pub reorg_time: Duration,
     /// Wall-clock time spent running the adviser.
     pub advise_time: Duration,
+    /// Queries whose execution panicked. The panic is isolated — caught at
+    /// the engine boundary and surfaced as
+    /// [`EngineError::ExecutionPanicked`](crate::EngineError) — so the
+    /// engine stays fully usable afterwards.
+    pub queries_panicked: u64,
+    /// Queries stopped early because their
+    /// [`CancelToken`](h2o_exec::CancelToken) was cancelled.
+    pub queries_cancelled: u64,
+    /// Queries stopped early because their deadline expired
+    /// ([`EngineError::Timeout`](crate::EngineError)).
+    pub queries_timed_out: u64,
+    /// Maintenance rounds that panicked inside the supervised reorganizer
+    /// thread (each is caught; the thread never dies).
+    pub reorg_panics: u64,
+    /// Times the supervised reorganizer resumed pumping after a panic
+    /// (post-backoff restarts).
+    pub reorg_restarts: u64,
 }
 
 #[cfg(test)]
@@ -62,5 +79,10 @@ mod tests {
         assert_eq!(s.reorgs_completed, 0);
         assert_eq!(s.snapshots_published, 0);
         assert_eq!(s.reorg_time, Duration::ZERO);
+        assert_eq!(s.queries_panicked, 0);
+        assert_eq!(s.queries_cancelled, 0);
+        assert_eq!(s.queries_timed_out, 0);
+        assert_eq!(s.reorg_panics, 0);
+        assert_eq!(s.reorg_restarts, 0);
     }
 }

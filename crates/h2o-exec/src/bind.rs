@@ -19,6 +19,7 @@
 //! [`SlotAccessor`], which add one shift, one mask and one extra indexed
 //! load per access.
 
+use crate::cancel::{CancelToken, CANCEL_CHECK_ROWS};
 use crate::filter::{CompiledFilter, CompiledPred};
 use h2o_storage::{
     ColumnGroup, LayoutCatalog, LayoutId, SegStats, StorageError, Value, DEFAULT_SEG_SHIFT,
@@ -60,6 +61,11 @@ pub struct GroupViews<'a> {
     /// Segment runs skipped by zone-map pruning ([`Self::runs_pruned`]).
     /// Relaxed: a statistic, shared by `&` across morsel workers.
     skipped: AtomicU64,
+    /// Cooperative cancellation: when set, segment-run iteration caps runs
+    /// at [`CANCEL_CHECK_ROWS`] rows and polls the token between runs, so
+    /// every kernel strategy observes cancellation without changing its
+    /// tight loops. `None` (the default) costs nothing.
+    cancel: Option<CancelToken>,
 }
 
 // Compile-time proof that views may be shared across morsel workers.
@@ -109,7 +115,28 @@ impl<'a> GroupViews<'a> {
             rows,
             min_shift,
             skipped: AtomicU64::new(0),
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token: subsequent scans over these views
+    /// poll it every [`CANCEL_CHECK_ROWS`] rows (see [`SegRuns`]). A
+    /// kernel running over cancelled views drains quickly and returns a
+    /// partial result; the execution driver must check the token and
+    /// discard that result (see
+    /// [`execute_with_policy_cancel`](crate::compile::execute_with_policy_cancel)).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the attached token (if any) has requested a stop. Drivers
+    /// use this to short-circuit selection-vector consumers between
+    /// chunks.
+    #[inline]
+    pub fn cancel_stopped(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|t| t.should_stop().is_some())
     }
 
     /// Number of tuples (identical across groups of one relation).
@@ -237,14 +264,34 @@ impl<'v, 'a> Iterator for SegRuns<'v, 'a> {
             if self.cur >= self.end {
                 return None;
             }
+            // Cooperative cancellation: poll between runs and stop
+            // yielding. The consumer's partial result is discarded by the
+            // driver, so "stop early" is always sound.
+            if let Some(token) = self.views.cancel.as_ref() {
+                if token.should_stop().is_some() {
+                    self.cur = self.end;
+                    return None;
+                }
+            }
             let gran = self.views.seg_rows();
             let boundary = ((self.cur >> self.views.min_shift) + 1) * gran;
-            let stop = boundary.min(self.end);
+            let seg_stop = boundary.min(self.end);
             if !self.preds.is_empty() && self.views.run_prunable(self.cur, self.preds) {
+                // Pruning decisions and the skip counter stay per-segment:
+                // jump the whole segment regardless of the cancel cap.
                 self.views.skipped.fetch_add(1, Ordering::Relaxed);
-                self.cur = stop;
+                self.cur = seg_stop;
                 continue;
             }
+            // With a token attached, cap runs so the poll above happens at
+            // least every `CANCEL_CHECK_ROWS` rows even inside one huge
+            // segment. Results are bit-identical for any run shape: every
+            // consumer folds runs in row order.
+            let stop = if self.views.cancel.is_some() {
+                seg_stop.min(self.cur + CANCEL_CHECK_ROWS)
+            } else {
+                seg_stop
+            };
             let run = SegRun {
                 views: self.views,
                 start: self.cur,

@@ -8,6 +8,7 @@
 //! runs the kernel's loops.
 
 use crate::bind::{BoundAttr, GroupViews};
+use crate::cancel::{CancelReason, CancelToken};
 use crate::filter::{CompiledFilter, CompiledPred};
 use crate::kernels::{self, SelectProgram};
 use crate::parallel::{run_chunks, run_morsels, ExecPolicy};
@@ -31,6 +32,12 @@ pub enum ExecError {
     /// typically [`QueryError::TypeMismatch`]. Nothing was compiled or
     /// scanned.
     Query(QueryError),
+    /// The query's [`CancelToken`] was cancelled mid-scan. The partial
+    /// result was discarded; nothing observable happened.
+    Cancelled,
+    /// The query's [`CancelToken`] deadline passed mid-scan. The partial
+    /// result was discarded; nothing observable happened.
+    DeadlineExpired,
 }
 
 impl fmt::Display for ExecError {
@@ -41,6 +48,17 @@ impl fmt::Display for ExecError {
                 write!(f, "plan does not cover attribute {a} required by the query")
             }
             ExecError::Query(e) => write!(f, "{e}"),
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExpired => write!(f, "query deadline expired"),
+        }
+    }
+}
+
+impl From<CancelReason> for ExecError {
+    fn from(r: CancelReason) -> Self {
+        match r {
+            CancelReason::Cancelled => ExecError::Cancelled,
+            CancelReason::DeadlineExpired => ExecError::DeadlineExpired,
         }
     }
 }
@@ -261,6 +279,42 @@ pub fn execute_with_policy_stats(
     ))
 }
 
+/// [`execute_with_policy_stats`] under cooperative cancellation: the
+/// token is attached to the resolved views, so every kernel strategy
+/// polls it at morsel boundaries and every
+/// [`CANCEL_CHECK_ROWS`](crate::cancel::CANCEL_CHECK_ROWS) rows inside
+/// segment-run loops. When the token trips — before, during or after the
+/// scan — the partial result is **discarded** and the matching
+/// [`ExecError::Cancelled`] / [`ExecError::DeadlineExpired`] is returned;
+/// a token that never trips yields results bit-identical to
+/// [`execute_with_policy_stats`].
+pub fn execute_with_policy_cancel(
+    catalog: &LayoutCatalog,
+    op: &CompiledOp,
+    policy: &ExecPolicy,
+    token: &CancelToken,
+) -> Result<(QueryResult, ExecStats), ExecError> {
+    // Pre-check: an already-tripped token runs nothing.
+    if let Some(reason) = token.should_stop() {
+        return Err(reason.into());
+    }
+    let mut views = GroupViews::resolve(catalog, &op.plan.layouts)?;
+    views.set_cancel(token.clone());
+    let result = execute_with_views_policy(&views, op, policy);
+    // Post-check before anything escapes: kernels running over a tripped
+    // token drain early and return garbage partials, which must never be
+    // observable.
+    if let Some(reason) = token.should_stop() {
+        return Err(reason.into());
+    }
+    Ok((
+        result,
+        ExecStats {
+            segments_skipped: views.segments_skipped(),
+        },
+    ))
+}
+
 /// Executes a compiled operator against pre-resolved views, serially (lets
 /// callers hoist view resolution out of timing loops).
 pub fn execute_with_views(views: &GroupViews<'_>, op: &CompiledOp) -> QueryResult {
@@ -319,16 +373,26 @@ pub fn execute_with_views_policy(
             let sel = stitch_selvecs(run_morsels(rows, policy, |r| {
                 kernels::selvector::build_selvec_range(views, &op.filter, r)
             }));
+            // Phase-2 consumers walk ids, not segment runs, so their
+            // cancellation poll happens here at chunk (morsel) boundaries;
+            // a tripped token yields identity partials the driver's caller
+            // discards.
             match &op.select {
                 SelectProgram::Project(exprs) => concat_blocks(
                     exprs.len(),
                     run_chunks(sel.ids(), policy, |ids| {
+                        if views.cancel_stopped() {
+                            return QueryResult::with_capacity(exprs.len(), 0);
+                        }
                         kernels::selvector::project_ids(views, ids, exprs)
                     }),
                 ),
                 SelectProgram::Aggregate(aggs) => merge_and_finish(
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
+                        if views.cancel_stopped() {
+                            return aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+                        }
                         kernels::selvector::aggregate_ids(views, ids, aggs)
                     }),
                 ),
@@ -340,6 +404,9 @@ pub fn execute_with_views_policy(
                     key_types,
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
+                        if views.cancel_stopped() {
+                            return kernels::grouped::table_for(key_types, aggs);
+                        }
                         kernels::grouped::aggregate_ids(views, ids, keys, key_types, aggs)
                     }),
                 ),
@@ -373,12 +440,18 @@ pub fn execute_with_views_policy(
                 SelectProgram::Project(exprs) => concat_blocks(
                     exprs.len(),
                     run_chunks(sel.ids(), policy, |ids| {
+                        if views.cancel_stopped() {
+                            return QueryResult::with_capacity(exprs.len(), 0);
+                        }
                         kernels::colmajor::project_ids_columnar(views, ids, exprs)
                     }),
                 ),
                 SelectProgram::Aggregate(aggs) => merge_and_finish(
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
+                        if views.cancel_stopped() {
+                            return aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+                        }
                         kernels::colmajor::aggregate_ids_columnar(views, ids, aggs)
                     }),
                 ),
@@ -390,6 +463,9 @@ pub fn execute_with_views_policy(
                     key_types,
                     aggs,
                     run_chunks(sel.ids(), policy, |ids| {
+                        if views.cancel_stopped() {
+                            return kernels::grouped::table_for(key_types, aggs);
+                        }
                         kernels::grouped::aggregate_ids_columnar(views, ids, keys, key_types, aggs)
                     }),
                 ),
@@ -517,6 +593,98 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cancel_token_discards_results_and_types_the_error() {
+        let rel = relation(vec![(0u32..6).map(AttrId::from).collect()]);
+        let layouts = rel.catalog().layout_ids();
+        let policy = ExecPolicy::serial();
+        for q in queries() {
+            let want = interpret(rel.catalog(), &q).unwrap();
+            for strategy in Strategy::ALL {
+                let plan = AccessPlan::new(layouts.clone(), strategy);
+                let op = compile(rel.catalog(), &plan, &q).unwrap();
+                // A live token that never trips: bit-identical results.
+                let live = CancelToken::new();
+                let (got, _) =
+                    execute_with_policy_cancel(rel.catalog(), &op, &policy, &live).unwrap();
+                assert_eq!(got.fingerprint(), want.fingerprint());
+                // Pre-cancelled: typed error, nothing runs.
+                let cancelled = CancelToken::new();
+                cancelled.cancel();
+                assert_eq!(
+                    execute_with_policy_cancel(rel.catalog(), &op, &policy, &cancelled)
+                        .unwrap_err(),
+                    ExecError::Cancelled
+                );
+                // Expired deadline: the other typed error.
+                let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+                assert_eq!(
+                    execute_with_policy_cancel(rel.catalog(), &op, &policy, &expired).unwrap_err(),
+                    ExecError::DeadlineExpired
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mid_scan_cancellation_is_observed_per_run() {
+        // Cancel from inside the scan via a predicate view: arm a token,
+        // then flip it after the first segment run by cancelling from
+        // another thread while the scan spins. Deterministic variant:
+        // trip the token, then verify a *fresh* scan still matches —
+        // i.e. cancellation never corrupts shared state.
+        let rel = relation(vec![(0u32..6).map(AttrId::from).collect()]);
+        let q = &queries()[0];
+        let plan = AccessPlan::new(rel.catalog().layout_ids(), Strategy::FusedVolcano);
+        let op = compile(rel.catalog(), &plan, q).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let policy = ExecPolicy::serial();
+        assert!(execute_with_policy_cancel(rel.catalog(), &op, &policy, &token).is_err());
+        let want = interpret(rel.catalog(), q).unwrap();
+        let (got, _) = execute_with_policy_stats(rel.catalog(), &op, &policy).unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint());
+    }
+
+    #[test]
+    fn cancelled_reorg_never_yields_a_group() {
+        use crate::reorg;
+        let rel = relation(vec![(0u32..6).map(AttrId::from).collect()]);
+        let q = Query::aggregate(
+            [Aggregate::sum(Expr::col(1u32))],
+            Conjunction::of([Predicate::gt(0u32, -100)]),
+        )
+        .unwrap();
+        let attrs = [AttrId(0), AttrId(1)];
+        for policy in [ExecPolicy::serial(), ExecPolicy::with_threads(4)] {
+            let token = CancelToken::new();
+            token.cancel();
+            let err = reorg::reorg_and_execute_cancellable(
+                rel.catalog(),
+                &attrs,
+                &q,
+                &policy,
+                Some(&token),
+            )
+            .unwrap_err();
+            assert_eq!(err, ExecError::Cancelled);
+            // A live token builds the identical group to the uncancelled path.
+            let live = CancelToken::new();
+            let (g, r) = reorg::reorg_and_execute_cancellable(
+                rel.catalog(),
+                &attrs,
+                &q,
+                &policy,
+                Some(&live),
+            )
+            .unwrap();
+            let (g0, r0) =
+                reorg::reorg_and_execute_with(rel.catalog(), &attrs, &q, &policy).unwrap();
+            assert_eq!(g.collect_values(), g0.collect_values());
+            assert_eq!(r.fingerprint(), r0.fingerprint());
         }
     }
 

@@ -67,6 +67,7 @@
 //! piggybacked query's partials merge exactly as above.
 
 pub mod bind;
+pub mod cancel;
 pub mod compile;
 pub mod filter;
 pub mod kernels;
@@ -78,9 +79,11 @@ pub mod reorg;
 pub mod selvec;
 
 pub use bind::{BoundAttr, GroupViews, SegRun, SlotAccessor};
+pub use cancel::{CancelReason, CancelToken, CANCEL_CHECK_ROWS};
 pub use compile::{
-    compile, compile_checked, execute, execute_with_policy, execute_with_policy_stats,
-    execute_with_views, execute_with_views_policy, CompiledOp, ExecError, ExecStats,
+    compile, compile_checked, execute, execute_with_policy, execute_with_policy_cancel,
+    execute_with_policy_stats, execute_with_views, execute_with_views_policy, CompiledOp,
+    ExecError, ExecStats,
 };
 pub use filter::CompiledFilter;
 pub use opcache::{CompileCostModel, OperatorCache, OperatorKey};

@@ -21,8 +21,12 @@
 //! [`ExecPolicy`] carries the knobs: worker count, morsel size, and a serial
 //! fallback threshold so tiny relations never pay fork/join overhead.
 
+use h2o_storage::failpoints;
+use parking_lot::Mutex;
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Default rows per morsel. Large enough that per-morsel overhead (one
@@ -145,6 +149,19 @@ impl Default for ExecPolicy {
 /// multi-millisecond scans parallelism targets; a shared work-stealing
 /// pool (e.g. rayon) would amortize it further and can replace this
 /// scheduler behind the same signature.
+///
+/// ## Panic containment
+///
+/// A panic inside `f` never aborts the process. Each worker runs every
+/// morsel under [`catch_unwind`]; the first panic payload is captured, a
+/// shared poison flag stops the other workers from claiming further
+/// morsels, and every worker then returns normally so the scoped-thread
+/// teardown is an ordinary join. After the scope closes, the captured
+/// payload is re-raised with [`resume_unwind`] **on the calling thread**,
+/// where the engine converts it into a typed
+/// `EngineError::ExecutionPanicked` — identical behavior to a panic on
+/// the serial path. Partial results are discarded; the work-stealing
+/// counter and the scope leave no dangling state.
 pub fn run_morsels<T, F>(rows: usize, policy: &ExecPolicy, f: F) -> Vec<T>
 where
     T: Send,
@@ -152,21 +169,50 @@ where
 {
     let n = policy.morsel_count(rows);
     if policy.is_serial_for(rows) || n <= 1 {
-        return (0..n).map(|i| f(policy.morsel(rows, i))).collect();
+        // Serial path: a panic propagates on the calling thread directly,
+        // which is exactly where the parallel path re-raises it.
+        return (0..n)
+            .map(|i| {
+                failpoints::hit("morsel_start");
+                f(policy.morsel(rows, i))
+            })
+            .collect();
     }
     let workers = policy.threads().min(n);
     let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(policy.morsel(rows, i))));
+                        // `AssertUnwindSafe`: the closure only reads
+                        // snapshot-immutable state (`GroupViews` slices),
+                        // and its partial result is discarded on panic, so
+                        // no torn state crosses the unwind boundary.
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            failpoints::hit("morsel_start");
+                            f(policy.morsel(rows, i))
+                        })) {
+                            Ok(v) => local.push((i, v)),
+                            Err(payload) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                let mut slot = first_panic.lock();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
+                        }
                     }
                     local
                 })
@@ -174,9 +220,12 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("morsel worker panicked"))
+            .flat_map(|h| h.join().expect("workers catch their own panics"))
             .collect()
     });
+    if let Some(payload) = first_panic.into_inner() {
+        resume_unwind(payload);
+    }
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, v)| v).collect()
 }
@@ -289,6 +338,41 @@ mod tests {
         // Degenerate granularities: untouched.
         assert_eq!(policy(4, 100).aligned_to(1).morsel_rows, 100);
         assert_eq!(policy(4, 100).aligned_to(0).morsel_rows, 100);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_aborting() {
+        let p = policy(4, 10);
+        // A panic in one morsel must surface as an ordinary panic on the
+        // calling thread (catchable), not a process abort, and the first
+        // payload must win.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_morsels(1_000, &p, |r| {
+                if r.contains(&500) {
+                    panic!("boom in morsel {}", r.start);
+                }
+                r.len()
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = caught.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "boom in morsel 500");
+
+        // The scheduler is reusable afterwards: same policy, same closure
+        // shape, no poisoned global state.
+        let ok: usize = run_morsels(1_000, &p, |r| r.len()).into_iter().sum();
+        assert_eq!(ok, 1_000);
+    }
+
+    #[test]
+    fn serial_panic_propagates_on_calling_thread() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_morsels(10, &ExecPolicy::serial(), |_| -> usize {
+                panic!("serial boom")
+            })
+        }))
+        .expect_err("panic must propagate");
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "serial boom");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! published. In-flight queries on older snapshots are never involved.
 
 use crate::bind::{BoundAttr, GroupViews};
+use crate::cancel::CancelToken;
 use crate::compile::ExecError;
 use crate::filter::{CompiledFilter, CompiledPred};
 use crate::kernels::{upd_max, upd_min, upd_sum, SelectProgram};
@@ -35,9 +36,20 @@ use h2o_expr::typecheck;
 use h2o_expr::{Query, QueryResult};
 use h2o_storage::catalog::CoverPolicy;
 use h2o_storage::{
-    AttrId, ColumnGroup, GroupBuilder, LayoutCatalog, LogicalType, Value, DEFAULT_SEG_SHIFT,
+    failpoints, AttrId, ColumnGroup, GroupBuilder, LayoutCatalog, LogicalType, Value,
+    DEFAULT_SEG_SHIFT,
 };
 use std::ops::Range;
+
+/// Returns the matching error if `cancel` has tripped. Build paths call
+/// this before assembling any output from (possibly truncated) stitched
+/// blocks, so a cancelled reorganization never yields a malformed group.
+fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), ExecError> {
+    match cancel.and_then(|t| t.should_stop()) {
+        Some(reason) => Err(reason.into()),
+        None => Ok(()),
+    }
+}
 
 /// Resolves, for each target attribute in order, where to read it from the
 /// chosen source groups: `(slot, offset)` pairs in plan-slot space.
@@ -155,6 +167,7 @@ pub fn materialize_with(
 ) -> Result<ColumnGroup, ExecError> {
     let (layouts, bindings) = source_bindings(catalog, target_attrs)?;
     let views = GroupViews::resolve(catalog, &layouts)?;
+    failpoints::hit("reorg_build");
     let rows = views.rows();
     let width = target_attrs.len();
     // Column-wise fill: for each target attribute, stride through its
@@ -199,6 +212,7 @@ pub fn materialize_rowwise_with(
 ) -> Result<ColumnGroup, ExecError> {
     let (layouts, bindings) = source_bindings(catalog, target_attrs)?;
     let views = GroupViews::resolve(catalog, &layouts)?;
+    failpoints::hit("reorg_build");
     let rows = views.rows();
     let width = target_attrs.len();
     let payloads = run_morsels(rows, &segment_build_policy(policy), |range| {
@@ -318,6 +332,22 @@ pub fn reorg_and_execute_with(
     query: &Query,
     policy: &ExecPolicy,
 ) -> Result<(ColumnGroup, QueryResult), ExecError> {
+    reorg_and_execute_cancellable(catalog, target_attrs, query, policy, None)
+}
+
+/// [`reorg_and_execute_with`] under cooperative cancellation. A tripped
+/// token abandons the build: the half-stitched group is dropped (it was
+/// never admitted to any catalog — copy-on-write publish discipline) and
+/// [`ExecError::Cancelled`] / [`ExecError::DeadlineExpired`] is returned.
+/// With `None` (or a token that never trips) the behavior is identical to
+/// [`reorg_and_execute_with`].
+pub fn reorg_and_execute_cancellable(
+    catalog: &LayoutCatalog,
+    target_attrs: &[AttrId],
+    query: &Query,
+    policy: &ExecPolicy,
+    cancel: Option<&CancelToken>,
+) -> Result<(ColumnGroup, QueryResult), ExecError> {
     // Working-tuple layout: the target attributes first (these are stored),
     // then any extra attributes the query needs (evaluation only).
     let mut tuple_attrs: Vec<AttrId> = target_attrs.to_vec();
@@ -327,7 +357,12 @@ pub fn reorg_and_execute_with(
         }
     }
     let (layouts, bindings) = source_bindings(catalog, &tuple_attrs)?;
-    let views = GroupViews::resolve(catalog, &layouts)?;
+    let mut views = GroupViews::resolve(catalog, &layouts)?;
+    if let Some(token) = cancel {
+        views.set_cancel(token.clone());
+    }
+    check_cancel(cancel)?;
+    failpoints::hit("reorg_build");
     let (filter, select) = compile_against_tuple(catalog, query, &tuple_attrs)?;
     let rows = views.rows();
     let width = target_attrs.len();
@@ -360,6 +395,7 @@ pub fn reorg_and_execute_with(
                     });
                     (block, states)
                 });
+                check_cancel(cancel)?;
                 let out = crate::compile::merge_and_finish(
                     aggs,
                     parts.iter().map(|(_, states)| states.clone()).collect(),
@@ -387,6 +423,7 @@ pub fn reorg_and_execute_with(
                     });
                     (block, out)
                 });
+                check_cancel(cancel)?;
                 let total_rows: usize = parts.iter().map(|(_, r)| r.rows()).sum();
                 let mut out = QueryResult::with_capacity(out_width, total_rows);
                 for (_, r) in &parts {
@@ -419,6 +456,7 @@ pub fn reorg_and_execute_with(
                         });
                         (block, table)
                     });
+                check_cancel(cancel)?;
                 let mut total = crate::kernels::grouped::table_for(key_types, aggs);
                 let mut blocks = Vec::with_capacity(parts.len());
                 for (block, table) in parts {
@@ -499,6 +537,7 @@ pub fn reorg_and_execute_with(
                         }
                     }
                 });
+                check_cancel(cancel)?;
                 let row = crate::kernels::fused::finish_specialized(aggs, &acc, matched);
                 let mut out = QueryResult::new(aggs.len());
                 out.push_row(&row);
@@ -513,6 +552,7 @@ pub fn reorg_and_execute_with(
                     }
                 }
             });
+            check_cancel(cancel)?;
             let mut out = QueryResult::new(aggs.len());
             let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
             out.push_row(&row);
@@ -531,6 +571,7 @@ pub fn reorg_and_execute_with(
                     out.push_row(&row_buf);
                 }
             });
+            check_cancel(cancel)?;
             Ok((builder.finish(), out))
         }
         SelectProgram::Grouped {
@@ -549,6 +590,7 @@ pub fn reorg_and_execute_with(
                     );
                 }
             });
+            check_cancel(cancel)?;
             Ok((builder.finish(), table.finish()))
         }
     }

@@ -501,11 +501,13 @@ impl ColumnGroup {
         match self.segments.last_mut() {
             Some(tail) if tail.len() < cap_values => {
                 if Arc::get_mut(tail).is_none() {
+                    crate::failpoints::hit("cow_clone");
                     delta.bytes_cloned = (tail.len() * VALUE_BYTES) as u64;
                 }
                 let t = Arc::make_mut(tail);
                 t.extend_from_slice(values);
                 if t.len() == cap_values {
+                    crate::failpoints::hit("segment_seal");
                     delta.segments_sealed = 1;
                     // Seal-time zone map: the segment is immutable from
                     // here on, record its per-attribute bounds once.
@@ -527,6 +529,9 @@ impl ColumnGroup {
                 let mut seg = Vec::with_capacity(cap);
                 seg.extend_from_slice(values);
                 let sealed = cap_values == w;
+                if sealed {
+                    crate::failpoints::hit("segment_seal");
+                }
                 self.seg_stats
                     .push(sealed.then(|| stats_of(&seg, w, &self.types)));
                 self.segments.push(Arc::new(seg));
@@ -652,6 +657,7 @@ impl GroupBuilder {
             }
         }
         if self.tail.len() == (1usize << self.seg_shift) * self.attrs.len() {
+            crate::failpoints::hit("segment_seal");
             self.sealed.push(std::mem::take(&mut self.tail));
             let width = self.attrs.len();
             let stats =

@@ -31,6 +31,7 @@ pub mod attrset;
 pub mod catalog;
 pub mod dict;
 pub mod error;
+pub mod failpoints;
 pub mod group;
 pub mod relation;
 pub mod schema;

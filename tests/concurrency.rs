@@ -168,7 +168,9 @@ fn background_reorganizer_stress_is_differentially_correct() {
     cfg.window.initial = 8;
     cfg.window.min = 4;
     let engine = shared_engine(cfg);
-    let reorganizer = engine.spawn_reorganizer(Duration::from_millis(1));
+    let mut reorganizer = engine
+        .spawn_reorganizer(Duration::from_millis(1))
+        .expect("spawn reorganizer");
     std::thread::scope(|s| {
         let engine = &engine;
         s.spawn(move || writer_loop(engine));

@@ -1,0 +1,445 @@
+//! Chaos differential suite: seeded fault injection against the whole
+//! engine stack (`--features failpoints`).
+//!
+//! The fault-tolerance contract under test:
+//!
+//! * the process **never aborts** — injected panics surface as typed
+//!   [`EngineError::ExecutionPanicked`] at the engine boundary;
+//! * every query that *completes* is bit-identical to the interpreter on
+//!   the snapshot it ran against, no matter which faults fired around it;
+//! * the published catalog is never torn — after any fault, every group
+//!   still covers the schema and is row-aligned;
+//! * pending advice never describes an already-materialized layout once
+//!   the engine is quiescent;
+//! * the supervised reorganizer resumes pumping after every panic.
+//!
+//! The fault schedule is a pure function of `H2O_FAULT_SEED` (default
+//! below) and per-site hit indices, so a CI failure replays locally with
+//! the same seed. Failpoint state is process-global: every test in this
+//! binary serializes on one lock and disarms on entry.
+
+#![cfg(feature = "failpoints")]
+
+use h2o_core::{CancelToken, EngineConfig, EngineError, H2oEngine};
+use h2o_cost::AccessPattern;
+use h2o_exec::{compile, execute_with_policy_cancel, AccessPlan, ExecError, ExecPolicy, Strategy};
+use h2o_expr::{interpret, Aggregate, Conjunction, Expr, Predicate, Query};
+use h2o_storage::failpoints as fp;
+use h2o_storage::{AttrId, CatalogSnapshot, Relation, Schema};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Deterministic seed for the fault schedule; override with
+/// `H2O_FAULT_SEED` to explore other schedules (CI pins one).
+fn fault_seed() -> u64 {
+    std::env::var("H2O_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0xFA17_5EED)
+}
+
+/// Failpoint state is process-global; tests serialize on this.
+fn chaos_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Silences the panic hook for *injected* faults (they are the point of
+/// this suite and would otherwise print hundreds of backtraces) while
+/// passing every genuine panic — including test assertions — through to
+/// the default hook.
+fn install_filtering_hook() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let msg = p
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| p.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains(fp::PANIC_PREFIX) {
+                default(info);
+            }
+        }));
+    });
+}
+
+const ATTRS: usize = 16;
+
+fn chaos_engine(rows: usize, mut cfg: EngineConfig) -> H2oEngine {
+    // Small morsels + zero serial threshold: every query exercises the
+    // morsel scheduler (and its panic isolation), not just big ones.
+    cfg.parallelism = Some(3);
+    cfg.morsel_rows = 256;
+    cfg.parallel_row_threshold = 0;
+    cfg.window.initial = 8;
+    cfg.window.min = 4;
+    let schema = Schema::with_width(ATTRS).into_shared();
+    let cols: Vec<Vec<i64>> = (0..ATTRS)
+        .map(|k| {
+            (0..rows)
+                .map(|r| {
+                    let v = (((k * 131 + r * 31) % 2001) as i64) - 1000;
+                    if k == 0 {
+                        v.rem_euclid(8) // low-cardinality group key
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    H2oEngine::new(Relation::columnar(schema, cols).unwrap(), cfg)
+}
+
+fn random_query(rng: &mut SmallRng) -> Query {
+    let attr = |rng: &mut SmallRng| rng.gen_range(0..ATTRS as u32);
+    let bound = rng.gen_range(-900i64..900);
+    let (a1, a2, a3) = (attr(rng), attr(rng), attr(rng));
+    match rng.gen_range(0u32..3) {
+        0 => Query::project(
+            [Expr::sum_of([AttrId(a1), AttrId(a2)])],
+            Conjunction::of([Predicate::lt(a3, bound)]),
+        )
+        .unwrap(),
+        1 => Query::aggregate(
+            [Aggregate::sum(Expr::col(a1)), Aggregate::count()],
+            Conjunction::of([Predicate::gt(a2, bound)]),
+        )
+        .unwrap(),
+        _ => Query::grouped(
+            [Expr::col(0u32)],
+            [Aggregate::max(Expr::col(a1)), Aggregate::count()],
+            Conjunction::of([Predicate::lt(a2, bound)]),
+        )
+        .unwrap(),
+    }
+}
+
+fn assert_untorn(snap: &CatalogSnapshot, ctx: &str) {
+    assert!(
+        snap.covers_schema(),
+        "{ctx}: catalog no longer covers schema"
+    );
+    for g in snap.groups() {
+        assert_eq!(
+            g.rows(),
+            snap.rows(),
+            "{ctx}: torn catalog — group out of row alignment"
+        );
+    }
+}
+
+/// Asserts an engine failure is one of the *typed* fault outcomes; any
+/// other error (or an uncaught panic) fails the suite.
+fn assert_typed_fault(e: &EngineError, ctx: &str) {
+    match e {
+        EngineError::ExecutionPanicked { payload } => assert!(
+            payload.starts_with(fp::PANIC_PREFIX),
+            "{ctx}: panic was not an injected fault: {payload:?}"
+        ),
+        EngineError::Cancelled | EngineError::Timeout => {}
+        other => panic!("{ctx}: untyped failure under fault injection: {other}"),
+    }
+}
+
+/// One mixed operation against the engine. Returns whether a differential
+/// query completed.
+fn chaos_step(e: &H2oEngine, rng: &mut SmallRng, ctx: &str) -> bool {
+    let mut completed = false;
+    match rng.gen_range(0u32..10) {
+        // Differential read: a completed query must match the interpreter
+        // on its own snapshot bit-for-bit.
+        0..=5 => {
+            let q = random_query(rng);
+            match e.execute_snapshot(&q) {
+                Ok((snap, got)) => {
+                    let want = interpret(&snap, &q).unwrap();
+                    assert_eq!(
+                        got.fingerprint(),
+                        want.fingerprint(),
+                        "{ctx}: completed query diverged from oracle: {q}"
+                    );
+                    completed = true;
+                }
+                Err(err) => assert_typed_fault(&err, ctx),
+            }
+        }
+        // Cancellation: a pre-cancelled token yields Cancelled (or an
+        // injected panic that struck before the first poll).
+        6 => {
+            let q = random_query(rng);
+            let t = CancelToken::new();
+            t.cancel();
+            match e.execute_cancellable(&q, &t) {
+                Ok(_) => panic!("{ctx}: pre-cancelled token returned a result"),
+                Err(EngineError::Cancelled) => {}
+                Err(err) => assert_typed_fault(&err, ctx),
+            }
+        }
+        // Deadline expiry: an already-expired deadline yields Timeout.
+        7 => {
+            let q = random_query(rng);
+            match e.execute_with_deadline(&q, Duration::ZERO) {
+                Ok(_) => panic!("{ctx}: zero deadline returned a result"),
+                Err(EngineError::Timeout) => {}
+                Err(err) => assert_typed_fault(&err, ctx),
+            }
+        }
+        // Write: a failed batch must be invisible (COW abandoned).
+        _ => {
+            let rows_before = e.catalog().rows();
+            let batch: Vec<Vec<i64>> = (0..rng.gen_range(1usize..40))
+                .map(|_| (0..ATTRS).map(|_| rng.gen_range(-1000i64..1000)).collect())
+                .collect();
+            match e.insert(&batch) {
+                Ok(()) => {}
+                Err(err) => {
+                    assert_typed_fault(&err, ctx);
+                    assert_eq!(
+                        e.catalog().rows(),
+                        rows_before,
+                        "{ctx}: failed insert published rows"
+                    );
+                }
+            }
+        }
+    }
+    assert_untorn(&e.snapshot(), ctx);
+    completed
+}
+
+/// After the storm: engine quiescent, faults disarmed. The catalog is
+/// untorn, pending advice describes only absent layouts, and the engine
+/// still answers correctly.
+fn assert_quiescent_invariants(e: &H2oEngine, rng: &mut SmallRng, ctx: &str) {
+    e.maintain();
+    let snap = e.snapshot();
+    assert_untorn(&snap, ctx);
+    for spec in e.pending() {
+        assert!(
+            snap.find_exact(&spec.attrs).is_none(),
+            "{ctx}: pending advice for an already-materialized layout {spec:?}"
+        );
+    }
+    for i in 0..10 {
+        let q = random_query(rng);
+        let (snap, got) = e.execute_snapshot(&q).unwrap();
+        let want = interpret(&snap, &q).unwrap();
+        assert_eq!(
+            got.fingerprint(),
+            want.fingerprint(),
+            "{ctx}: post-chaos query {i} diverged: {q}"
+        );
+    }
+}
+
+/// Lazy-adaptation engine (reorganization fused onto the query path)
+/// under a probabilistic storm across every failpoint site.
+#[test]
+fn chaos_lazy_engine_differential() {
+    let _g = chaos_lock().lock().unwrap_or_else(|p| p.into_inner());
+    install_filtering_hook();
+    fp::disarm_all();
+    let seed = fault_seed();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let e = chaos_engine(4000, EngineConfig::no_compile_latency());
+    fp::arm_all_probability(seed, 0.004);
+
+    let mut completed = 0u64;
+    let mut iters = 0u64;
+    while fp::fired_total() < 60 && iters < 4000 {
+        iters += 1;
+        if chaos_step(&e, &mut rng, "lazy chaos") {
+            completed += 1;
+        }
+    }
+    let injected = fp::fired_total();
+    fp::disarm_all();
+    eprintln!(
+        "lazy chaos: seed={seed:#x} iters={iters} completed={completed} faults={injected} \
+         stats={:?}",
+        e.stats()
+    );
+    assert!(
+        injected >= 60,
+        "storm must actually inject faults (got {injected} in {iters} ops)"
+    );
+    assert!(completed >= 50, "storm must also complete queries");
+    let s = e.stats();
+    assert!(s.queries_panicked >= 1, "panics must be counted: {s:?}");
+    assert_quiescent_invariants(&e, &mut rng, "lazy chaos");
+}
+
+/// Background-reorg engine with the supervised reorganizer thread under
+/// the same storm, then a deterministic build-phase panic: the supervisor
+/// must absorb every panic and finish the interrupted round.
+#[test]
+fn chaos_supervised_reorganizer_recovers() {
+    let _g = chaos_lock().lock().unwrap_or_else(|p| p.into_inner());
+    install_filtering_hook();
+    fp::disarm_all();
+    let seed = fault_seed() ^ 0x0B5E_55ED;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let e = Arc::new(chaos_engine(4000, EngineConfig::background()));
+    let mut h = e.spawn_reorganizer(Duration::from_millis(1)).unwrap();
+
+    // Phase 1: probabilistic storm with the supervisor pumping alongside.
+    fp::arm_all_probability(seed, 0.004);
+    let mut iters = 0u64;
+    while fp::fired_total() < 60 && iters < 4000 {
+        iters += 1;
+        chaos_step(&e, &mut rng, "supervised chaos");
+        h.nudge();
+    }
+    let injected = fp::fired_total();
+    assert!(
+        injected >= 60,
+        "storm must actually inject faults (got {injected} in {iters} ops)"
+    );
+    fp::disarm_all();
+
+    // Phase 2: a deterministic panic in the *next* background build. The
+    // nth-hit failpoint self-disarms when it fires, so the retry after the
+    // supervisor's backoff must complete the round.
+    let panics_before = h.status().panics;
+    let built_before = e.stats().reorgs_completed;
+    fp::arm_nth("reorg_build", 1);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'drive: loop {
+        for i in 0..30 {
+            let q = Query::project(
+                [Expr::sum_of([AttrId(9), AttrId(10), AttrId(11)])],
+                Conjunction::of([Predicate::lt(12u32, (i % 5) * 100 - 200)]),
+            )
+            .unwrap();
+            match e.execute(&q) {
+                Ok(_) | Err(EngineError::ExecutionPanicked { .. }) => {}
+                Err(other) => panic!("drive query failed: {other}"),
+            }
+            h.nudge();
+        }
+        let st = h.status();
+        if st.panics > panics_before && e.stats().reorgs_completed > built_before {
+            break 'drive;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "supervisor did not recover in time: {st:?} stats={:?}",
+            e.stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let st = h.status();
+    assert!(st.alive, "supervisor thread must still be running: {st:?}");
+    assert!(
+        st.restarts >= st.panics.saturating_sub(1),
+        "supervisor must resume after every panic: {st:?}"
+    );
+    let s = e.stats();
+    assert!(s.reorg_panics >= st.panics.min(1), "stats: {s:?}");
+    h.stop();
+    assert!(!h.status().alive);
+    fp::disarm_all();
+    assert_quiescent_invariants(&e, &mut rng, "supervised chaos");
+}
+
+/// Strategy-pinned sweep: all three kernel strategies, serial and
+/// parallel, under morsel-level faults, cancellation and deadlines. Every
+/// completed run is bit-identical to the interpreter.
+#[test]
+fn chaos_all_strategies_cancel_and_panic() {
+    let _g = chaos_lock().lock().unwrap_or_else(|p| p.into_inner());
+    install_filtering_hook();
+    fp::disarm_all();
+    let seed = fault_seed() ^ 0x57A7_E61E;
+    let e = chaos_engine(30_000, EngineConfig::non_adaptive());
+    let snap = e.snapshot();
+    let q = Query::project(
+        [Expr::sum_of([AttrId(1), AttrId(2), AttrId(3)])],
+        Conjunction::of([Predicate::lt(4u32, 250)]),
+    )
+    .unwrap();
+    let want = interpret(&snap, &q).unwrap();
+    let (base_plan, _) = e.plan(&AccessPattern::of(&q, 0.5)).unwrap();
+    let policies = [
+        ExecPolicy {
+            parallelism: Some(1),
+            morsel_rows: 256,
+            serial_threshold: usize::MAX,
+        },
+        ExecPolicy {
+            parallelism: Some(4),
+            morsel_rows: 256,
+            serial_threshold: 0,
+        },
+    ];
+    let mut injected = 0u64;
+    let mut completed = 0u64;
+    for strategy in Strategy::ALL {
+        let plan = AccessPlan::new(base_plan.layouts.clone(), strategy);
+        let op = match compile(&snap, &plan, &q) {
+            Ok(op) => op,
+            Err(_) => continue, // strategy not applicable to this cover
+        };
+        for policy in &policies {
+            // Cooperative stops are typed per reason.
+            let cancelled = CancelToken::new();
+            cancelled.cancel();
+            assert_eq!(
+                execute_with_policy_cancel(&snap, &op, policy, &cancelled).unwrap_err(),
+                ExecError::Cancelled,
+                "{} cancelled",
+                strategy.name()
+            );
+            let expired = CancelToken::with_deadline(Duration::ZERO);
+            assert_eq!(
+                execute_with_policy_cancel(&snap, &op, policy, &expired).unwrap_err(),
+                ExecError::DeadlineExpired,
+                "{} expired",
+                strategy.name()
+            );
+            // Probabilistic morsel faults: completed runs stay
+            // bit-identical, fired runs panic with the injected prefix.
+            fp::disarm_all();
+            fp::arm_probability("morsel_start", seed ^ strategy as u64, 0.05);
+            for _ in 0..30 {
+                let live = CancelToken::new();
+                match catch_unwind(AssertUnwindSafe(|| {
+                    execute_with_policy_cancel(&snap, &op, policy, &live)
+                })) {
+                    Ok(Ok((got, _))) => {
+                        completed += 1;
+                        assert_eq!(
+                            got.fingerprint(),
+                            want.fingerprint(),
+                            "{} completed run diverged",
+                            strategy.name()
+                        );
+                    }
+                    Ok(Err(err)) => panic!("{}: unexpected error {err}", strategy.name()),
+                    Err(payload) => {
+                        injected += 1;
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .unwrap_or_default();
+                        assert!(
+                            msg.starts_with(fp::PANIC_PREFIX),
+                            "{}: genuine panic {msg:?}",
+                            strategy.name()
+                        );
+                    }
+                }
+            }
+            fp::disarm_all();
+        }
+    }
+    eprintln!("strategy chaos: completed={completed} injected={injected}");
+    assert!(injected >= 10, "morsel faults must fire ({injected})");
+    assert!(completed >= 20, "runs must also complete ({completed})");
+}
