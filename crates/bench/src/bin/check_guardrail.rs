@@ -18,6 +18,13 @@
 //!   mixed-vs-i64 runtime ratios are informational (printed, not
 //!   asserted — CI machines are too noisy to gate on a 1.15x target, which
 //!   the committed full-size runs document instead);
+//! * `--fig20 <path>` — every vectorized-scan point must be
+//!   fingerprint-identical across serial, parallel and the interpreter,
+//!   and the selection-vector build at selectivity <= 0.1 must be at
+//!   least `--min-simd-speedup` (default 2) times faster than its scalar
+//!   reference loop (the other strategies' factors are informational:
+//!   their scalar baselines are already tight, so gating them would make
+//!   CI flaky for no signal);
 //! * `--fig22 <path>` — the summed guarded/baseline fault-tolerance
 //!   overhead (live cancellation token + disabled failpoints on the hot
 //!   path) must stay within `--max-fault-overhead` (default 1.03), and
@@ -200,6 +207,47 @@ fn check_fig15(doc: &str, c: &mut Checker) {
     }
 }
 
+fn check_fig20(doc: &str, min_speedup: f64, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig20: results array non-empty".into());
+    let mut gated = 0;
+    for obj in &results {
+        let strategy = json::string(obj, "strategy").unwrap_or("?").to_string();
+        let sel = json::num(obj, "selectivity").unwrap_or(-1.0);
+        let serial = json::string(obj, "serial_fingerprint").unwrap_or("");
+        let par = json::string(obj, "parallel_fingerprint").unwrap_or("!");
+        let interp = json::string(obj, "interp_fingerprint").unwrap_or("!!");
+        c.assert(
+            json::boolean(obj, "parallel_identical") == Some(true),
+            format!("fig20: sel={sel} {strategy}: parallel bit-identical to serial"),
+        );
+        c.assert(
+            !serial.is_empty() && serial == par && serial == interp,
+            format!(
+                "fig20: sel={sel} {strategy}: fingerprints agree \
+                 (serial={serial}, parallel={par}, interp={interp})"
+            ),
+        );
+        let speedup = json::num(obj, "speedup").unwrap_or(0.0);
+        if strategy == "selvec" && sel <= 0.1 {
+            gated += 1;
+            c.assert(
+                speedup >= min_speedup,
+                format!(
+                    "fig20: sel={sel} {strategy}: vectorized build \
+                     {speedup:.2}x >= {min_speedup}x over scalar reference"
+                ),
+            );
+        } else {
+            eprintln!("guardrail: info fig20: sel={sel} {strategy} speedup {speedup:.2}x");
+        }
+    }
+    c.assert(
+        gated >= 2,
+        format!("fig20: selective selection-vector points gated ({gated} >= 2)"),
+    );
+}
+
 fn check_fig22(doc: &str, max_overhead: f64, c: &mut Checker) {
     let results = json::results(doc);
     c.assert(!results.is_empty(), "fig22: results array non-empty".into());
@@ -239,8 +287,10 @@ fn main() {
     let mut fig17 = None;
     let mut fig18 = None;
     let mut fig19 = None;
+    let mut fig20 = None;
     let mut fig22 = None;
     let mut min_advantage = 10.0f64;
+    let mut min_simd_speedup = 2.0f64;
     let mut max_fault_overhead = 1.03f64;
     let mut i = 1;
     while i < argv.len() {
@@ -256,11 +306,17 @@ fn main() {
             "--fig17" => fig17 = Some(argv[i + 1].clone()),
             "--fig18" => fig18 = Some(argv[i + 1].clone()),
             "--fig19" => fig19 = Some(argv[i + 1].clone()),
+            "--fig20" => fig20 = Some(argv[i + 1].clone()),
             "--fig22" => fig22 = Some(argv[i + 1].clone()),
             "--min-write-advantage" => {
                 min_advantage = argv[i + 1]
                     .parse()
                     .unwrap_or_else(|_| panic!("bad --min-write-advantage {}", argv[i + 1]));
+            }
+            "--min-simd-speedup" => {
+                min_simd_speedup = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --min-simd-speedup {}", argv[i + 1]));
             }
             "--max-fault-overhead" => {
                 max_fault_overhead = argv[i + 1]
@@ -269,8 +325,8 @@ fn main() {
             }
             other => panic!(
                 "unknown argument {other} \
-                 (expected --fig15/--fig17/--fig18/--fig19/--fig22/\
-                 --min-write-advantage/--max-fault-overhead)"
+                 (expected --fig15/--fig17/--fig18/--fig19/--fig20/--fig22/\
+                 --min-write-advantage/--min-simd-speedup/--max-fault-overhead)"
             ),
         }
         i += 2;
@@ -291,12 +347,15 @@ fn main() {
     if let Some(p) = &fig19 {
         check_fig19(&read(p), &mut c);
     }
+    if let Some(p) = &fig20 {
+        check_fig20(&read(p), min_simd_speedup, &mut c);
+    }
     if let Some(p) = &fig22 {
         check_fig22(&read(p), max_fault_overhead, &mut c);
     }
     assert!(
         c.checks > 0,
-        "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19/--fig22"
+        "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19/--fig20/--fig22"
     );
     if c.failures.is_empty() {
         eprintln!("guardrail: all {} checks passed", c.checks);

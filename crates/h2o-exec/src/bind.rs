@@ -86,10 +86,17 @@ fn slot_of(g: &ColumnGroup) -> SlotView<'_> {
 
 impl<'a> GroupViews<'a> {
     /// Resolves `layouts` (plan slot order) against the catalog.
+    ///
+    /// Re-checks the engine-wide row-id capacity
+    /// ([`h2o_storage::MAX_ROWS`]) before binding: every execution entry
+    /// point funnels through here, so a relation too large for 32-bit
+    /// selection-vector ids surfaces as a typed
+    /// [`StorageError::RelationFull`] instead of a wrapped id downstream.
     pub fn resolve(
         catalog: &'a LayoutCatalog,
         layouts: &[LayoutId],
     ) -> Result<GroupViews<'a>, StorageError> {
+        h2o_storage::check_row_capacity(catalog.rows())?;
         let mut slots = Vec::with_capacity(layouts.len());
         for &id in layouts {
             slots.push(slot_of(catalog.group(id)?));
@@ -346,6 +353,28 @@ impl<'a> SegRun<'_, 'a> {
         let lo = (self.start & s.mask) * s.width;
         let hi = lo + (self.end - self.start) * s.width;
         (&seg[lo..hi], s.width)
+    }
+
+    /// One bound attribute of the run as an **aligned strided lane view**
+    /// `(data, stride)`: local row `k`'s value is `data[k * stride]`.
+    ///
+    /// For single-column groups the stride is 1 and the slice is exactly
+    /// the run's contiguous lane array — the shape the vectorized kernels
+    /// ([`crate::kernels::simd`]) chew through in fixed `[Value; 8]`
+    /// chunks. Wider groups yield a strided view whose chunk loads the
+    /// compiler lowers to gathers.
+    #[inline]
+    pub fn attr_view(&self, attr: BoundAttr) -> (&'a [Value], usize) {
+        let s = &self.views.slots[attr.slot as usize];
+        let n = self.end - self.start;
+        if n == 0 {
+            return (&[], s.width);
+        }
+        let seg = s.segs[self.start >> s.shift];
+        let lo = (self.start & s.mask) * s.width + attr.offset as usize;
+        // Tight bound: the last element the view may touch is local row
+        // n-1, i.e. `lo + (n-1)*width`.
+        (&seg[lo..lo + (n - 1) * s.width + 1], s.width)
     }
 }
 

@@ -59,6 +59,18 @@ impl CompiledPred {
         self.op.apply(self.ty.cmp_key(lane), self.value)
     }
 
+    /// The branch-free form of [`LogicalType::cmp_key`] for this
+    /// predicate's type, as a mask: `-1` (all ones) for `F64`, `0`
+    /// otherwise. The vectorized kernels map a lane to its comparator key
+    /// as `lane ^ ((((lane >> 63) as u64) >> 1) as Value & mask)` — the
+    /// identity when the mask is `0` — so one uniform lane loop serves
+    /// every type with no per-chunk dispatch (see
+    /// [`crate::kernels::simd`]).
+    #[inline(always)]
+    pub fn key_mask(&self) -> Value {
+        crate::kernels::simd::key_mask(self.ty)
+    }
+
     /// Whether a segment whose values for this attribute span
     /// `[min, max]` (comparator-key space, inclusive — a sealed segment's
     /// zone-map entry) can possibly contain a matching row. `false` means

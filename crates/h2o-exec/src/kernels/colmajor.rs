@@ -29,7 +29,7 @@
 //! materializes its own (proportionally smaller) intermediate columns, so
 //! the strategy's cost structure is preserved per morsel.
 
-use super::SelectProgram;
+use super::{simd, SelectProgram};
 use crate::bind::{BoundAttr, GroupViews};
 use crate::filter::CompiledFilter;
 use crate::program::{CompiledExpr, OpCode};
@@ -66,6 +66,13 @@ pub fn build_selvec_columnar(views: &GroupViews<'_>, filter: &CompiledFilter) ->
 
 /// Columnar filter evaluation over one row range; per-range outputs stitch
 /// by concatenation exactly as [`build_selvec_columnar`]'s full vector.
+///
+/// Both phases are vectorized with the shared chunk primitives
+/// ([`super::simd`]): the first predicate's per-run scan builds 8-row
+/// match masks over the run's lane slices and decodes them into ids; each
+/// refining predicate masks its gathered (contiguous) candidate column
+/// the same way. Tails take the scalar path; output is identical to
+/// [`build_selvec_columnar_range_scalar`].
 pub fn build_selvec_columnar_range(
     views: &GroupViews<'_>,
     filter: &CompiledFilter,
@@ -84,12 +91,74 @@ pub fn build_selvec_columnar_range(
     // can match in contributes nothing to the final refined vector, so
     // skipping it before the first-column scan is sound.
     let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
+    let mut masks: Vec<u8> = Vec::new();
+    for run in views.runs_pruned(range, filter) {
+        let col = simd::RunCol::of(&run, first.attr);
+        let n = run.len();
+        let full = n / simd::LANES;
+        masks.resize(full, 0);
+        masks.fill(0xff);
+        simd::and_pred_masks(&col, first, &mut masks);
+        simd::push_mask_ids(&masks, run.start(), &mut sel);
+        for i in full * simd::LANES..n {
+            if first.matches_lane(col.get(i)) {
+                sel.push((run.start() + i) as u32);
+            }
+        }
+    }
+    for p in &preds[1..] {
+        // Intermediate materialization of the candidate values, then a
+        // contiguous masked refine over it.
+        let candidates = gather_attr(views, p.attr, sel.ids());
+        let col = simd::RunCol::contiguous(&candidates);
+        let full = candidates.len() / simd::LANES;
+        masks.resize(full, 0);
+        masks.fill(0xff);
+        simd::and_pred_masks(&col, p, &mut masks);
+        let mut next = SelVec::with_capacity(candidates.len());
+        for (k, &m) in masks.iter().enumerate() {
+            let mut bits = m as u32;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                next.push(sel.ids()[k * simd::LANES + j]);
+            }
+        }
+        let tail = full * simd::LANES;
+        for (i, &v) in candidates.iter().enumerate().skip(tail) {
+            if p.matches_lane(v) {
+                next.push(sel.ids()[i]);
+            }
+        }
+        sel = next;
+    }
+    sel
+}
+
+/// The scalar reference for [`build_selvec_columnar_range`] — the exact
+/// pre-vectorization body (per-lane branch in the first-column scan,
+/// per-value refine). Kept for differential tests and the
+/// `fig20_simd_scan` benchmark.
+pub fn build_selvec_columnar_range_scalar(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    range: Range<usize>,
+) -> SelVec {
+    if filter.is_always_true() {
+        let mut sel = SelVec::with_capacity(range.len());
+        for row in range {
+            sel.push(row as u32);
+        }
+        return sel;
+    }
+    let preds = filter.preds();
+    let first = &preds[0];
+    let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
     for run in views.runs_pruned(range, filter) {
         let (data, width) = run.view(first.attr.slot);
         let off = first.attr.offset as usize;
         let base = run.start();
         if width == 1 {
-            // Contiguous per-segment scan — the auto-vectorizable fast path.
             for (i, &v) in data.iter().enumerate() {
                 if first.matches_lane(v) {
                     sel.push((base + i) as u32);
@@ -104,7 +173,6 @@ pub fn build_selvec_columnar_range(
         }
     }
     for p in &preds[1..] {
-        // Intermediate materialization of the candidate values.
         let candidates = gather_attr(views, p.attr, sel.ids());
         let mut next = SelVec::with_capacity(candidates.len());
         for (i, &v) in candidates.iter().enumerate() {
@@ -199,7 +267,48 @@ pub(crate) fn materialize_expr_column(
 /// Single-column aggregate without a where-clause over one row range: the
 /// tight contiguous loop that makes pure columns win Fig. 10(b), returning
 /// a mergeable partial.
+///
+/// The fold runs on the chunked lane primitives ([`super::simd`]):
+/// integer sums and key-space min/max lane-split across `[Value; 8]`
+/// chunks (associative+commutative, so bit-identical to the sequential
+/// fold), `F64` sums stay one in-order scalar chain per the fold-order
+/// contract ([`h2o_expr::agg::AggState`]), and run tails are scalar.
 pub fn agg_full_column_range(
+    views: &GroupViews<'_>,
+    attr: BoundAttr,
+    func: impl Into<AggOp>,
+    range: Range<usize>,
+) -> AggState {
+    use h2o_expr::AggFunc;
+    let op: AggOp = func.into();
+    let mut acc: Value = match op.func {
+        AggFunc::Min => Value::MAX,
+        AggFunc::Max => Value::MIN,
+        _ => 0,
+    };
+    let mut count: u64 = 0;
+    for run in views.runs(range) {
+        let col = simd::RunCol::of(&run, attr);
+        let n = run.len();
+        count += n as u64;
+        match op.func {
+            AggFunc::Sum | AggFunc::Avg => simd::fold_sum_run(op.ty, &mut acc, &col, n),
+            AggFunc::Min => simd::fold_minmax_run(false, op.ty, &mut acc, &col, n),
+            AggFunc::Max => simd::fold_minmax_run(true, op.ty, &mut acc, &col, n),
+            AggFunc::Count => {}
+        }
+    }
+    // A bare `sum` never maintains its count (mirrors AggState::update),
+    // so the reconstructed partial is field-identical to the scalar fold.
+    if op.func == AggFunc::Sum {
+        count = 0;
+    }
+    AggState::from_parts(op, acc, count)
+}
+
+/// The scalar reference for [`agg_full_column_range`]: per-value
+/// [`AggState::update`], the exact pre-vectorization body.
+pub fn agg_full_column_range_scalar(
     views: &GroupViews<'_>,
     attr: BoundAttr,
     func: impl Into<AggOp>,
@@ -486,6 +595,55 @@ mod tests {
             SelectProgram::Project(vec![CompiledExpr::Col(BoundAttr { slot: 0, offset: 1 })]);
         let out = run(&views, &filter, &select);
         assert_eq!(out.data(), &[20, 30]);
+    }
+
+    #[test]
+    fn vectorized_paths_match_scalar_references() {
+        // 27 rows, segment shift 3 (8-row segments), width-2 group so the
+        // first-pred scan exercises the strided load path.
+        let c0: Vec<Value> = (0..27).map(|i| (i * 11) % 23 - 6).collect();
+        let c1: Vec<Value> = (0..27).map(|i| (i * 7) % 19 - 3).collect();
+        let g = GroupBuilder::from_columns_with_shift(vec![AttrId(0), AttrId(1)], &[&c0, &c1], 3)
+            .unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        let filter = CompiledFilter::new(vec![
+            CompiledPred {
+                attr: BoundAttr { slot: 0, offset: 0 },
+                op: CmpOp::Gt,
+                ty: LogicalType::I64,
+                value: 0,
+            },
+            CompiledPred {
+                attr: BoundAttr { slot: 0, offset: 1 },
+                op: CmpOp::Le,
+                ty: LogicalType::I64,
+                value: 9,
+            },
+        ]);
+        for range in [0..27, 0..8, 5..27, 9..17, 26..27] {
+            assert_eq!(
+                build_selvec_columnar_range(&views, &filter, range.clone()),
+                build_selvec_columnar_range_scalar(&views, &filter, range.clone()),
+                "filter over {range:?}"
+            );
+        }
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            for range in [0..27, 3..22, 8..16] {
+                let a = BoundAttr { slot: 0, offset: 1 };
+                assert_eq!(
+                    agg_full_column_range(&views, a, f, range.clone()),
+                    agg_full_column_range_scalar(&views, a, f, range.clone()),
+                    "{} over {range:?}",
+                    f.name()
+                );
+            }
+        }
     }
 
     #[test]

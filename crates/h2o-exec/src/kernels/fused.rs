@@ -14,7 +14,7 @@
 //! morsel order), aggregates return per-range [`AggState`] partials (merged
 //! in morsel order). [`run`] executes the full range serially.
 
-use super::{upd_max, upd_min, upd_sum, SelectProgram};
+use super::{simd, upd_max, upd_min, upd_sum, SelectProgram};
 use crate::bind::GroupViews;
 use crate::filter::CompiledFilter;
 use crate::program::CompiledExpr;
@@ -170,6 +170,72 @@ pub fn aggregate_range(
     states
 }
 
+/// Scalar reference for [`aggregate_range`]: identical dispatch, but the
+/// single-group bare-column specialization runs the exact
+/// pre-vectorization per-tuple loop ([`CompiledFilter::matches_tuple`]
+/// plus `upd_*` per value). Kept for differential tests and the
+/// `fig20_simd_scan` benchmark.
+pub fn aggregate_range_scalar(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    aggs: &[(AggOp, CompiledExpr)],
+    range: Range<usize>,
+) -> Vec<AggState> {
+    use h2o_expr::AggFunc;
+    if views.len() == 1 {
+        let col_offsets: Option<Vec<usize>> = aggs
+            .iter()
+            .map(|(_, e)| match e {
+                CompiledExpr::Col(a) => Some(a.offset as usize),
+                _ => None,
+            })
+            .collect();
+        if let Some(offsets) = col_offsets {
+            let mut acc: Vec<Value> = aggs
+                .iter()
+                .map(|(f, _)| match f.func {
+                    AggFunc::Min => Value::MAX,
+                    AggFunc::Max => Value::MIN,
+                    _ => 0,
+                })
+                .collect();
+            let mut matched: u64 = 0;
+            for run in views.runs_pruned(range, filter) {
+                let (data, width) = run.view(0);
+                for tuple in data.chunks_exact(width) {
+                    if filter.matches_tuple(tuple) {
+                        matched += 1;
+                        for ((a, (f, _)), &off) in acc.iter_mut().zip(aggs).zip(&offsets) {
+                            match f.func {
+                                AggFunc::Max => upd_max(f.ty, a, tuple[off]),
+                                AggFunc::Min => upd_min(f.ty, a, tuple[off]),
+                                AggFunc::Sum | AggFunc::Avg => upd_sum(f.ty, a, tuple[off]),
+                                AggFunc::Count => {}
+                            }
+                        }
+                    }
+                }
+            }
+            return aggs
+                .iter()
+                .zip(&acc)
+                .map(|((f, _), &raw)| AggState::from_parts(*f, raw, matched))
+                .collect();
+        }
+    }
+    let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+    for run in views.runs_pruned(range, filter) {
+        for row in run.range() {
+            if filter.matches(views, row) {
+                for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                    st.update(e.eval(views, row));
+                }
+            }
+        }
+    }
+    states
+}
+
 /// The tightest generated loop for `select f(a), f(b), ... from <group>`
 /// (template ii over one group): aggregates are grouped by function so the
 /// inner loop contains no dispatch at all, and a single shared counter
@@ -224,9 +290,31 @@ fn aggregate_cols_specialized(
         _ => None,
     };
     if let Some((f, base, k)) = dense {
+        // Vectorized: the conjunction is evaluated into 8-row chunk masks
+        // once per run (shared by every aggregate column), then each
+        // column folds its masked chunks with the shared lane primitives —
+        // integer sums/min/max lane-split, F64 sums stay one in-order
+        // chain per the fold-order contract ([`h2o_expr::agg::AggState`]).
+        // The `len % 8` tail of each run takes the original scalar path.
+        let mut masks: Vec<u8> = Vec::new();
         for run in views.runs_pruned(range, filter) {
             let (data, width) = run.view(0);
-            for tuple in data.chunks_exact(width) {
+            let n = run.len();
+            let full = n / simd::LANES;
+            let rf = simd::RunFilter::resolve(&run, filter);
+            masks.resize(full, 0);
+            rf.fill_masks(&mut masks);
+            matched += simd::popcount(&masks);
+            for (c, a) in acc.iter_mut().enumerate() {
+                let col = simd::RunCol::strided(&data[base + c..], width);
+                match f.func {
+                    AggFunc::Max => simd::fold_minmax_masked(true, f.ty, a, &col, &masks),
+                    AggFunc::Min => simd::fold_minmax_masked(false, f.ty, a, &col, &masks),
+                    AggFunc::Sum | AggFunc::Avg => simd::fold_sum_masked(f.ty, a, &col, &masks),
+                    AggFunc::Count => {}
+                }
+            }
+            for tuple in data[full * simd::LANES * width..n * width].chunks_exact(width) {
                 if filter.matches_tuple(tuple) {
                     matched += 1;
                     let vals = &tuple[base..base + k];
@@ -394,6 +482,62 @@ mod tests {
         let select = SelectProgram::Project(vec![CompiledExpr::Col(ba(0))]);
         let out = run(&views, &CompiledFilter::always(), &select);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vectorized_dense_tier_matches_scalar_reference() {
+        use h2o_storage::{f64_lane, LogicalType};
+        // 27 rows of (i64, f64, f64) across 8-row segments — exercises the
+        // masked chunk folds, strided loads, and run tails.
+        let c0: Vec<Value> = (0..27).map(|i| (i * 13) % 19 - 4).collect();
+        let c1: Vec<Value> = (0..27)
+            .map(|i| f64_lane(((i * 7) % 11) as f64 / 4.0 - 1.0))
+            .collect();
+        let c2: Vec<Value> = (0..27)
+            .map(|i| f64_lane(((i * 5) % 13) as f64 / 8.0))
+            .collect();
+        let g = GroupBuilder::from_columns_typed(
+            vec![AttrId(0), AttrId(1), AttrId(2)],
+            vec![LogicalType::I64, LogicalType::F64, LogicalType::F64],
+            &[&c0, &c1, &c2],
+            3,
+        )
+        .unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        let filters = [
+            CompiledFilter::always(),
+            CompiledFilter::new(vec![CompiledPred {
+                attr: ba(0),
+                op: CmpOp::Gt,
+                ty: LogicalType::I64,
+                value: 3,
+            }]),
+            CompiledFilter::new(vec![
+                CompiledPred {
+                    attr: ba(0),
+                    op: CmpOp::Gt,
+                    ty: LogicalType::I64,
+                    value: 0,
+                },
+                CompiledPred::from_lane(ba(1), CmpOp::Lt, LogicalType::F64, f64_lane(1.0)),
+            ]),
+        ];
+        for filter in &filters {
+            for f in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+                // Dense shape: one function over offsets 1..=2 (both F64).
+                let aggs = vec![
+                    (AggOp::new(f, LogicalType::F64), CompiledExpr::Col(ba(1))),
+                    (AggOp::new(f, LogicalType::F64), CompiledExpr::Col(ba(2))),
+                ];
+                for range in [0..27, 0..8, 5..23, 24..27] {
+                    let vec_states = aggregate_range(&views, filter, &aggs, range.clone());
+                    let ref_states = aggregate_range_scalar(&views, filter, &aggs, range.clone());
+                    let vec_row: Vec<Value> = vec_states.iter().map(|s| s.finish()).collect();
+                    let ref_row: Vec<Value> = ref_states.iter().map(|s| s.finish()).collect();
+                    assert_eq!(vec_row, ref_row, "{} over {range:?}", f.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! and because [`GroupedAggs::finish`] sorts by key vector, parallel
 //! execution is bit-identical to serial for every strategy.
 
+use super::simd;
 use crate::bind::GroupViews;
 use crate::filter::CompiledFilter;
 use crate::program::CompiledExpr;
@@ -76,9 +77,44 @@ pub fn fused_range(
     let mut key: Vec<Value> = vec![0; keys.len()];
     let mut vals: Vec<Value> = vec![0; aggs.len()];
     if views.len() == 1 {
+        // With a where-clause, the filter is evaluated into 8-row chunk
+        // masks per run (the vectorized scan — [`super::simd`]); only
+        // surviving rows load their key/input tuple and probe the hash
+        // table, in ascending row order so per-group F64 sums keep the
+        // scalar fold order. Without one, every tuple probes: masks would
+        // be pure overhead.
+        if filter.is_always_true() {
+            for run in views.runs_pruned(range, filter) {
+                let (data, width) = run.view(0);
+                for tuple in data.chunks_exact(width) {
+                    update_from_tuple(&mut table, keys, aggs, &mut key, &mut vals, tuple);
+                }
+            }
+            return table;
+        }
+        let mut masks: Vec<u8> = Vec::new();
         for run in views.runs_pruned(range, filter) {
             let (data, width) = run.view(0);
-            for tuple in data.chunks_exact(width) {
+            let n = run.len();
+            let full = n / simd::LANES;
+            let rf = simd::RunFilter::resolve(&run, filter);
+            masks.resize(full, 0);
+            rf.fill_masks(&mut masks);
+            for (k, &m) in masks.iter().enumerate() {
+                if m == 0 {
+                    continue;
+                }
+                let base = k * simd::LANES;
+                let mut bits = m as u32;
+                while bits != 0 {
+                    let i = base + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let tuple = &data[i * width..(i + 1) * width];
+                    update_from_tuple(&mut table, keys, aggs, &mut key, &mut vals, tuple);
+                }
+            }
+            for i in full * simd::LANES..n {
+                let tuple = &data[i * width..(i + 1) * width];
                 if filter.matches_tuple(tuple) {
                     update_from_tuple(&mut table, keys, aggs, &mut key, &mut vals, tuple);
                 }

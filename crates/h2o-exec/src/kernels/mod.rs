@@ -9,6 +9,11 @@
 //! * [`colmajor`] — the pure column-store execution model of §2.1, with
 //!   per-operator intermediate materialization.
 //!
+//! [`simd`] holds the chunked lane primitives (masked compares, masked
+//! folds, id emission) the three strategies' inner loops share; see its
+//! docs for the lane/tail contract that keeps vectorized results
+//! bit-identical to scalar ones.
+//!
 //! Kernels operate on [`GroupViews`](crate::bind::GroupViews) (raw slices)
 //! and offset-resolved programs; nothing in a per-tuple loop consults a
 //! schema or expression tree (grouped aggregation consults exactly one
@@ -18,6 +23,7 @@ pub mod colmajor;
 pub mod fused;
 pub mod grouped;
 pub mod selvector;
+pub mod simd;
 
 use crate::program::CompiledExpr;
 use h2o_expr::agg::AggOp;

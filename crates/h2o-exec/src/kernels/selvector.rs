@@ -15,7 +15,7 @@
 //! ([`project_ids`], [`aggregate_ids`]) so work is balanced by qualifying
 //! rows, not raw ranges.
 
-use super::{upd_max, upd_min, upd_sum, SelectProgram};
+use super::{simd, upd_max, upd_min, upd_sum, SelectProgram};
 use crate::bind::GroupViews;
 use crate::filter::CompiledFilter;
 use crate::program::CompiledExpr;
@@ -37,6 +37,14 @@ pub fn build_selvec(views: &GroupViews<'_>, filter: &CompiledFilter) -> SelVec {
 /// Phase 1 over one row range: the qualifying ids within `range`, in
 /// ascending order. Concatenating consecutive ranges' outputs yields
 /// exactly [`build_selvec`]'s vector.
+///
+/// The body is the vectorized scan: each segment run resolves the filter
+/// into raw strided slices once (`simd::RunFilter`), evaluates the
+/// conjunction over `[Value; 8]` chunks into bit masks, and decodes set
+/// bits into ids; the `len % 8` tail of each run takes the scalar path.
+/// The chunked and scalar paths select exactly the same rows, so the
+/// output is identical to [`build_selvec_range_scalar`] — the
+/// pre-vectorization body, kept as the differential/benchmark reference.
 pub fn build_selvec_range(
     views: &GroupViews<'_>,
     filter: &CompiledFilter,
@@ -52,6 +60,40 @@ pub fn build_selvec_range(
     // Start with a modest capacity guess; the vector grows geometrically.
     // Walking segment runs (rather than bare rows) lets zone maps skip
     // whole sealed segments that cannot satisfy the conjunction.
+    let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
+    let mut masks: Vec<u8> = Vec::new();
+    for run in views.runs_pruned(range, filter) {
+        let rf = simd::RunFilter::resolve(&run, filter);
+        let n = run.len();
+        let full = n / simd::LANES;
+        masks.resize(full, 0);
+        rf.fill_masks(&mut masks);
+        simd::push_mask_ids(&masks, run.start(), &mut sel);
+        for i in full * simd::LANES..n {
+            if rf.matches_row(i) {
+                sel.push((run.start() + i) as u32);
+            }
+        }
+    }
+    sel
+}
+
+/// The scalar reference for [`build_selvec_range`]: per-row
+/// [`CompiledFilter::matches`] through the segment-resolving accessor.
+/// This is the exact pre-vectorization kernel body; the differential
+/// tests and the `fig20_simd_scan` benchmark compare against it.
+pub fn build_selvec_range_scalar(
+    views: &GroupViews<'_>,
+    filter: &CompiledFilter,
+    range: Range<usize>,
+) -> SelVec {
+    if filter.is_always_true() {
+        let mut sel = SelVec::with_capacity(range.len());
+        for row in range {
+            sel.push(row as u32);
+        }
+        return sel;
+    }
     let mut sel = SelVec::with_capacity(range.len() / 8 + 16);
     for run in views.runs_pruned(range, filter) {
         for row in run.range() {
@@ -344,6 +386,31 @@ mod tests {
                 }
             }
             assert_eq!(stitched.ids(), full.ids());
+        }
+    }
+
+    #[test]
+    fn vectorized_build_matches_scalar_reference() {
+        // 2 segments of 8 rows (shift 3) + partial third: runs end both on
+        // and off lane boundaries; ranges start mid-chunk.
+        let col: Vec<i64> = (0..21).map(|i| (i * 13) % 17 - 5).collect();
+        let g = GroupBuilder::from_columns_with_shift(vec![AttrId(0)], &[&col], 3).unwrap();
+        let views = GroupViews::from_groups(&[&g]);
+        let a = BoundAttr { slot: 0, offset: 0 };
+        for op in [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            let filter = CompiledFilter::new(vec![CompiledPred {
+                attr: a,
+                op,
+                ty: LogicalType::I64,
+                value: 4,
+            }]);
+            for range in [0..21, 0..8, 3..19, 7..9, 5..5, 16..21] {
+                assert_eq!(
+                    build_selvec_range(&views, &filter, range.clone()),
+                    build_selvec_range_scalar(&views, &filter, range.clone()),
+                    "{op:?} over {range:?}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,574 @@
+//! Chunked (auto-vectorizable) lane primitives shared by every kernel.
+//!
+//! The hot inner loops of the engine — predicate evaluation, selection-
+//! vector build, and the flat aggregation folds — all operate on the fixed
+//! 64-bit lane arrays that segments store. This module rewrites those loops
+//! in a *portable-SIMD style*: fixed-width `[Value; 8]` chunks
+//! ([`LANES`]) with the bounds checks hoisted into a single up-front
+//! `assert!` per run, so the compiler proves the chunk loop in-bounds and
+//! autovectorizes it (AVX2: one 256-bit compare per 4 lanes; NEON/SSE2:
+//! per 2). No `std::simd`/intrinsics are used — the generated code is
+//! portable and falls back to excellent scalar code on any target.
+//!
+//! # The lane/tail contract
+//!
+//! Every run of rows splits into `len / LANES` full chunks plus a scalar
+//! tail of `len % LANES` rows. Chunks are processed with branch-free
+//! masked arithmetic; the tail re-uses the same scalar predicate/fold the
+//! interpreter semantics define. Because the engine's accumulators are
+//! either **associative and commutative in their lane domain** (wrapping
+//! `i64` sums, comparator-key min/max, counts) or **kept in row order**
+//! (`F64` sums — see below), the chunked result is *bit-identical* to the
+//! all-scalar result for every type, every mask, every split.
+//!
+//! # Why `F64` sums stay in fold order
+//!
+//! IEEE-754 addition is not associative: `(1e16 + 1.0) + 1.0 ≠ 1e16 +
+//! (1.0 + 1.0)`. Splitting an `F64` sum across lanes would reassociate it
+//! and change low-order bits between the vectorized and scalar paths —
+//! and between serial and parallel runs, which the engine promises are
+//! bit-identical (see [`h2o_expr::agg::AggState`]'s fold-order contract).
+//! So `fold_sum_masked` vectorizes the *gather* (mask scan, position
+//! decode) but performs the `F64` additions one at a time in ascending
+//! row order — exactly the order the scalar kernel uses. Integer sums
+//! wrap ([`i64::wrapping_add`]) and are reassociated freely.
+//!
+//! # Branch-free key mapping
+//!
+//! Ordering is always evaluated in **comparator-key space**
+//! ([`LogicalType::cmp_key`]). The chunk loops use its branch-free form:
+//! `key = lane ^ ((((lane >> 63) as u64) >> 1) as Value & kmask)` where
+//! `kmask` ([`key_mask`]) is `-1` for `F64` and `0` otherwise — the
+//! identity map costs two ALU ops that vectorize with the compare, so one
+//! uniform loop serves every [`LogicalType`] with no per-chunk dispatch.
+
+use crate::bind::SegRun;
+use crate::filter::{CompiledFilter, CompiledPred};
+use h2o_expr::CmpOp;
+use h2o_storage::{lane_f64, LogicalType, Value};
+
+/// Fixed chunk width of the vectorized loops, in lanes.
+///
+/// Eight 64-bit lanes span two AVX2 vectors (or four SSE2/NEON vectors) —
+/// wide enough to keep the ports busy, narrow enough that the per-run
+/// scalar tail stays at most 7 rows.
+pub const LANES: usize = 8;
+
+/// The branch-free comparator-key mask for a type: `-1` for `F64`
+/// (apply the sign-magnitude fix-up), `0` otherwise (identity). See the
+/// module docs.
+#[inline(always)]
+pub fn key_mask(ty: LogicalType) -> Value {
+    match ty {
+        LogicalType::F64 => -1,
+        _ => 0,
+    }
+}
+
+/// Maps one lane word to its comparator key with the mask form —
+/// equals [`LogicalType::cmp_key`] for the type `kmask` encodes.
+#[inline(always)]
+fn lane_key(lane: Value, kmask: Value) -> Value {
+    lane ^ ((((lane >> 63) as u64) >> 1) as Value & kmask)
+}
+
+/// One attribute of a [`SegRun`] as a strided lane view: local row `k`'s
+/// value is `data[k * stride]` (`stride == 1` ⇒ contiguous — the case the
+/// chunk loops load directly). Produced by
+/// [`SegRun::attr_view`](crate::bind::SegRun::attr_view).
+#[derive(Clone, Copy)]
+pub(crate) struct RunCol<'a> {
+    data: &'a [Value],
+    stride: usize,
+}
+
+impl<'a> RunCol<'a> {
+    /// Resolves attribute `attr` of `run` into a strided view.
+    #[inline]
+    pub fn of(run: &SegRun<'_, 'a>, attr: crate::bind::BoundAttr) -> RunCol<'a> {
+        let (data, stride) = run.attr_view(attr);
+        RunCol { data, stride }
+    }
+
+    /// Wraps a contiguous lane slice (stride 1) — e.g. a gathered
+    /// intermediate column.
+    #[inline]
+    pub fn contiguous(data: &'a [Value]) -> RunCol<'a> {
+        RunCol { data, stride: 1 }
+    }
+
+    /// Wraps a pre-offset strided lane view: element `k` is
+    /// `data[k * stride]` (e.g. one attribute of a row-major run payload,
+    /// with `data` already sliced to start at the attribute's offset).
+    #[inline]
+    pub fn strided(data: &'a [Value], stride: usize) -> RunCol<'a> {
+        RunCol { data, stride }
+    }
+
+    /// Local row `i`'s lane word (the scalar-tail accessor).
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> Value {
+        self.data[i * self.stride]
+    }
+
+    /// Loads the 8 lanes of chunk `k` (local rows `k*8..k*8+8`).
+    #[inline(always)]
+    fn load(&self, k: usize) -> [Value; LANES] {
+        let base = k * LANES;
+        if self.stride == 1 {
+            // Contiguous fast path: one in-bounds slice copy.
+            self.data[base..base + LANES].try_into().unwrap()
+        } else {
+            let mut lanes = [0; LANES];
+            for (j, l) in lanes.iter_mut().enumerate() {
+                *l = self.data[(base + j) * self.stride];
+            }
+            lanes
+        }
+    }
+
+    /// Asserts once that chunks `0..full` are in bounds, so the chunk
+    /// loops' indexing is provably checked and the compiler drops the
+    /// per-element checks.
+    #[inline]
+    fn check(&self, full: usize) {
+        if full > 0 {
+            let last = (full * LANES - 1) * self.stride;
+            assert!(
+                last < self.data.len(),
+                "run view of {} lanes (stride {}) too short for {} chunks",
+                self.data.len(),
+                self.stride,
+                full
+            );
+        }
+    }
+}
+
+/// Computes the 8-bit match mask of one chunk: bit `j` is set iff
+/// `cmp(key(lanes[j]), c)` holds. `cmp` is monomorphized per operator so
+/// the 8-lane loop is branch-free.
+#[inline(always)]
+fn chunk_mask<F: Fn(Value, Value) -> bool + Copy>(
+    lanes: &[Value; LANES],
+    kmask: Value,
+    c: Value,
+    cmp: F,
+) -> u8 {
+    let mut m = 0u32;
+    for (j, &lane) in lanes.iter().enumerate() {
+        m |= (cmp(lane_key(lane, kmask), c) as u32) << j;
+    }
+    m as u8
+}
+
+/// ANDs predicate `pred`'s per-chunk match masks into `masks` (one `u8`
+/// per [`LANES`]-row chunk of the run, chunk `k` covering local rows
+/// `k*8..k*8+8`). `masks` must already hold the conjunction so far
+/// (`0xff`-filled for the first predicate).
+///
+/// The operator dispatch happens once per run, outside the chunk loop;
+/// each arm is a tight compare-into-mask loop the compiler vectorizes.
+pub(crate) fn and_pred_masks(col: &RunCol<'_>, pred: &CompiledPred, masks: &mut [u8]) {
+    col.check(masks.len());
+    let kmask = pred.key_mask();
+    let c = pred.value;
+    macro_rules! run {
+        ($cmp:expr) => {
+            for (k, m) in masks.iter_mut().enumerate() {
+                // Skip dead chunks: once the conjunction so far is empty
+                // no later predicate can revive it.
+                if *m != 0 {
+                    *m &= chunk_mask(&col.load(k), kmask, c, $cmp);
+                }
+            }
+        };
+    }
+    match pred.op {
+        CmpOp::Lt => run!(|a, b| a < b),
+        CmpOp::Le => run!(|a, b| a <= b),
+        CmpOp::Gt => run!(|a, b| a > b),
+        CmpOp::Ge => run!(|a, b| a >= b),
+        CmpOp::Eq => run!(|a, b| a == b),
+        CmpOp::Ne => run!(|a, b| a != b),
+    }
+}
+
+/// A [`CompiledFilter`] resolved against one [`SegRun`]: every predicate's
+/// attribute becomes a strided [`RunCol`] over the run's lanes, so both
+/// the chunked mask build and the scalar tail touch raw slices with no
+/// per-row segment lookup (the win over
+/// [`CompiledFilter::matches`], which re-resolves the segment and offset
+/// shift/mask arithmetic on every row).
+pub(crate) struct RunFilter<'a> {
+    preds: Vec<(RunCol<'a>, CompiledPred)>,
+}
+
+impl<'a> RunFilter<'a> {
+    /// Resolves `filter` against `run`. An always-true filter resolves to
+    /// zero predicates: masks stay `0xff` and every tail row matches.
+    pub fn resolve(run: &SegRun<'_, 'a>, filter: &CompiledFilter) -> RunFilter<'a> {
+        RunFilter {
+            preds: filter
+                .preds()
+                .iter()
+                .map(|p| (RunCol::of(run, p.attr), *p))
+                .collect(),
+        }
+    }
+
+    /// Fills `masks` with the conjunction's per-chunk match masks for the
+    /// first `masks.len() * LANES` rows of the run.
+    pub fn fill_masks(&self, masks: &mut [u8]) {
+        masks.fill(0xff);
+        for (col, p) in &self.preds {
+            and_pred_masks(col, p, masks);
+        }
+    }
+
+    /// Scalar conjunction for local row `i` — the tail path, semantically
+    /// identical to the chunked masks.
+    #[inline(always)]
+    pub fn matches_row(&self, i: usize) -> bool {
+        self.preds.iter().all(|(col, p)| p.matches_lane(col.get(i)))
+    }
+}
+
+/// Appends the global row ids of every set mask bit to `sel`, in
+/// ascending order (`base` is the run's first global row id). Set bits
+/// are walked with `trailing_zeros` / clear-lowest, so sparse chunks cost
+/// one test and dense chunks no branches per id.
+pub(crate) fn push_mask_ids(masks: &[u8], base: usize, sel: &mut crate::selvec::SelVec) {
+    for (k, &m) in masks.iter().enumerate() {
+        if m == 0 {
+            continue;
+        }
+        let row0 = (base + k * LANES) as u32;
+        let mut bits = m as u32;
+        while bits != 0 {
+            sel.push(row0 + bits.trailing_zeros());
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Total set bits across the chunk masks (qualifying rows in the chunked
+/// prefix of a run).
+#[inline]
+pub(crate) fn popcount(masks: &[u8]) -> u64 {
+    masks.iter().map(|&m| m.count_ones() as u64).sum()
+}
+
+/// Masked sum of `col`'s chunked prefix folded into `acc`, bit-identical
+/// to scalar [`upd_sum`](super::upd_sum) over the same qualifying rows in
+/// row order.
+///
+/// Integer sums wrap and are associative+commutative, so they lane-split:
+/// 8 independent accumulators, each adding `v & keep` (where `keep` is
+/// the bit's sign-extended mask), reduced at the end. `F64` sums must
+/// keep the scalar fold order (module docs), so only the qualifying-row
+/// *scan* is vectorized; additions run one at a time, ascending.
+pub(crate) fn fold_sum_masked(ty: LogicalType, acc: &mut Value, col: &RunCol<'_>, masks: &[u8]) {
+    col.check(masks.len());
+    if ty == LogicalType::F64 {
+        let mut a = lane_f64(*acc);
+        for (k, &m) in masks.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            let base = k * LANES;
+            let mut bits = m as u32;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                a += lane_f64(col.get(base + j));
+            }
+        }
+        *acc = h2o_storage::f64_lane(a);
+        return;
+    }
+    let mut lanes = [0 as Value; LANES];
+    for (k, &m) in masks.iter().enumerate() {
+        let vs = col.load(k);
+        for (j, l) in lanes.iter_mut().enumerate() {
+            let keep = -(((m >> j) & 1) as Value);
+            *l = l.wrapping_add(vs[j] & keep);
+        }
+    }
+    for l in lanes {
+        *acc = acc.wrapping_add(l);
+    }
+}
+
+/// Masked comparator-key min/max of `col`'s chunked prefix folded into
+/// `acc` (which lives in key space, like every min/max accumulator —
+/// see [`h2o_expr::agg::AggState::from_parts`]). Lane-split is exact:
+/// min/max are associative, commutative and idempotent.
+///
+/// Non-qualifying lanes are replaced branch-free with the fold identity
+/// (`i64::MAX` for min, `i64::MIN` for max) before the compare.
+pub(crate) fn fold_minmax_masked(
+    is_max: bool,
+    ty: LogicalType,
+    acc: &mut Value,
+    col: &RunCol<'_>,
+    masks: &[u8],
+) {
+    col.check(masks.len());
+    let kmask = key_mask(ty);
+    let ident = if is_max { Value::MIN } else { Value::MAX };
+    let mut lanes = [ident; LANES];
+    for (k, &m) in masks.iter().enumerate() {
+        if m == 0 {
+            continue;
+        }
+        let vs = col.load(k);
+        for (j, l) in lanes.iter_mut().enumerate() {
+            let keep = -(((m >> j) & 1) as Value);
+            let key = (lane_key(vs[j], kmask) & keep) | (ident & !keep);
+            *l = if is_max { key.max(*l) } else { key.min(*l) };
+        }
+    }
+    for l in lanes {
+        if is_max {
+            *acc = (*acc).max(l);
+        } else {
+            *acc = (*acc).min(l);
+        }
+    }
+}
+
+/// Unmasked sum over the first `n` rows of a run, folded into `acc` —
+/// the no-filter streaming-aggregate path. Chunks lane-split for integer
+/// types; `F64` stays a plain in-order scalar fold (its reduction cannot
+/// be reassociated — module docs), and the `n % LANES` tail is scalar.
+pub(crate) fn fold_sum_run(ty: LogicalType, acc: &mut Value, col: &RunCol<'_>, n: usize) {
+    if ty == LogicalType::F64 {
+        let mut a = lane_f64(*acc);
+        for i in 0..n {
+            a += lane_f64(col.get(i));
+        }
+        *acc = h2o_storage::f64_lane(a);
+        return;
+    }
+    let full = n / LANES;
+    col.check(full);
+    let mut lanes = [0 as Value; LANES];
+    for k in 0..full {
+        let vs = col.load(k);
+        for (j, l) in lanes.iter_mut().enumerate() {
+            *l = l.wrapping_add(vs[j]);
+        }
+    }
+    for l in lanes {
+        *acc = acc.wrapping_add(l);
+    }
+    for i in full * LANES..n {
+        *acc = acc.wrapping_add(col.get(i));
+    }
+}
+
+/// Unmasked comparator-key min/max over the first `n` rows of a run,
+/// folded into `acc` (key space). Chunked main loop, scalar tail.
+pub(crate) fn fold_minmax_run(
+    is_max: bool,
+    ty: LogicalType,
+    acc: &mut Value,
+    col: &RunCol<'_>,
+    n: usize,
+) {
+    let kmask = key_mask(ty);
+    let full = n / LANES;
+    col.check(full);
+    let ident = if is_max { Value::MIN } else { Value::MAX };
+    let mut lanes = [ident; LANES];
+    for k in 0..full {
+        let vs = col.load(k);
+        for (j, l) in lanes.iter_mut().enumerate() {
+            let key = lane_key(vs[j], kmask);
+            *l = if is_max { key.max(*l) } else { key.min(*l) };
+        }
+    }
+    for l in lanes {
+        if is_max {
+            *acc = (*acc).max(l);
+        } else {
+            *acc = (*acc).min(l);
+        }
+    }
+    for i in full * LANES..n {
+        let key = lane_key(col.get(i), kmask);
+        *acc = if is_max {
+            (*acc).max(key)
+        } else {
+            (*acc).min(key)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::BoundAttr;
+    use crate::selvec::SelVec;
+    use h2o_storage::f64_lane;
+
+    #[test]
+    fn lane_key_matches_cmp_key_for_every_type() {
+        let samples = [
+            0,
+            1,
+            -1,
+            i64::MAX,
+            i64::MIN,
+            f64_lane(0.0),
+            f64_lane(-0.0),
+            f64_lane(3.5),
+            f64_lane(-3.5),
+            f64_lane(f64::NAN),
+            f64_lane(f64::NEG_INFINITY),
+        ];
+        for ty in [LogicalType::I64, LogicalType::F64, LogicalType::Dict] {
+            for &v in &samples {
+                assert_eq!(lane_key(v, key_mask(ty)), ty.cmp_key(v), "{ty:?} {v}");
+            }
+        }
+    }
+
+    fn pred(op: CmpOp, ty: LogicalType, lane_const: Value) -> CompiledPred {
+        CompiledPred::from_lane(BoundAttr { slot: 0, offset: 0 }, op, ty, lane_const)
+    }
+
+    #[test]
+    fn chunk_masks_agree_with_scalar_for_all_ops() {
+        // 24 lanes (3 chunks), values engineered around the constant 10.
+        let data: Vec<Value> = (0..24).map(|i| (i * 7) % 23 - 3).collect();
+        let col = RunCol::contiguous(&data);
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            let p = pred(op, LogicalType::I64, 10);
+            let mut masks = vec![0xffu8; 3];
+            and_pred_masks(&col, &p, &mut masks);
+            for (i, &v) in data.iter().enumerate() {
+                let bit = masks[i / LANES] >> (i % LANES) & 1 == 1;
+                assert_eq!(bit, p.matches_lane(v), "{op:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_masks_agree_with_scalar_for_f64_and_strided() {
+        let vals = [1.5, -0.0, 0.0, f64::NAN, -7.0, 2.5, f64::INFINITY, -1.0];
+        // width-3 tuples, attribute at offset 1 ⇒ stride 3.
+        let mut data = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            data.extend_from_slice(&[i as Value, f64_lane(v), 0]);
+        }
+        let col = RunCol {
+            data: &data[1..],
+            stride: 3,
+        };
+        let p = pred(CmpOp::Lt, LogicalType::F64, f64_lane(1.0));
+        let mut masks = vec![0xffu8; 1];
+        and_pred_masks(&col, &p, &mut masks);
+        for (i, &v) in vals.iter().enumerate() {
+            let bit = masks[0] >> i & 1 == 1;
+            assert_eq!(bit, p.matches_lane(f64_lane(v)), "row {i} ({v})");
+        }
+    }
+
+    #[test]
+    fn push_mask_ids_decodes_every_bit_ascending() {
+        let masks = [0b1000_0001u8, 0, 0b0101_0000];
+        let mut sel = SelVec::new();
+        push_mask_ids(&masks, 100, &mut sel);
+        assert_eq!(sel.ids(), &[100, 107, 120, 122]);
+        assert_eq!(popcount(&masks), 4);
+    }
+
+    #[test]
+    fn masked_i64_sum_matches_scalar_fold() {
+        let data: Vec<Value> = (0..19).map(|i| i * i - 40).collect();
+        let col = RunCol::contiguous(&data);
+        let masks = [0b1011_0110u8, 0b0000_1111];
+        let mut acc = 7;
+        fold_sum_masked(LogicalType::I64, &mut acc, &col, &masks);
+        let mut want = 7;
+        for i in 0..16 {
+            if masks[i / 8] >> (i % 8) & 1 == 1 {
+                want += data[i];
+            }
+        }
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn masked_f64_sum_keeps_row_fold_order() {
+        // 1e16 absorbs a single 1.0; summed in row order the result is
+        // exactly 1e16 + 2.0 only if additions happen one at a time in
+        // ascending row order.
+        let vals = [1e16, 1.0, 1.0, 5.0, 1.0, 1.0, 1.0, 1.0];
+        let data: Vec<Value> = vals.iter().map(|&v| f64_lane(v)).collect();
+        let col = RunCol::contiguous(&data);
+        let masks = [0b0000_0111u8]; // rows 0, 1, 2
+        let mut acc = f64_lane(0.0);
+        fold_sum_masked(LogicalType::F64, &mut acc, &col, &masks);
+        let want = ((0.0 + 1e16) + 1.0) + 1.0;
+        assert_eq!(acc, f64_lane(want), "must match the scalar fold bits");
+    }
+
+    #[test]
+    fn masked_minmax_matches_scalar_fold() {
+        let vals = [-2.0, f64::NAN, 3.5, -0.0, 0.0, 9.0, -9.0, 1.0];
+        let data: Vec<Value> = vals.iter().map(|&v| f64_lane(v)).collect();
+        let col = RunCol::contiguous(&data);
+        let masks = [0b1101_1011u8];
+        let (mut mn, mut mx) = (Value::MAX, Value::MIN);
+        fold_minmax_masked(false, LogicalType::F64, &mut mn, &col, &masks);
+        fold_minmax_masked(true, LogicalType::F64, &mut mx, &col, &masks);
+        let (mut smn, mut smx) = (Value::MAX, Value::MIN);
+        for (i, &v) in data.iter().enumerate() {
+            if masks[0] >> i & 1 == 1 {
+                super::super::upd_min(LogicalType::F64, &mut smn, v);
+                super::super::upd_max(LogicalType::F64, &mut smx, v);
+            }
+        }
+        assert_eq!(mn, smn);
+        assert_eq!(mx, smx);
+    }
+
+    #[test]
+    fn unmasked_folds_cover_tails() {
+        // n = 21: two full chunks + 5-row tail.
+        let data: Vec<Value> = (0..21).map(|i| 1000 - 13 * i).collect();
+        let col = RunCol::contiguous(&data);
+        let mut sum = 0;
+        fold_sum_run(LogicalType::I64, &mut sum, &col, 21);
+        assert_eq!(sum, data.iter().sum::<Value>());
+        let (mut mn, mut mx) = (Value::MAX, Value::MIN);
+        fold_minmax_run(false, LogicalType::I64, &mut mn, &col, 21);
+        fold_minmax_run(true, LogicalType::I64, &mut mx, &col, 21);
+        assert_eq!(mn, *data.iter().min().unwrap());
+        assert_eq!(mx, *data.iter().max().unwrap());
+    }
+
+    #[test]
+    fn dead_chunk_skip_preserves_conjunction() {
+        let data: Vec<Value> = (0..16).collect();
+        let col = RunCol::contiguous(&data);
+        let mut masks = vec![0xffu8; 2];
+        // First predicate kills chunk 0 entirely.
+        and_pred_masks(&col, &pred(CmpOp::Ge, LogicalType::I64, 8), &mut masks);
+        assert_eq!(masks[0], 0);
+        // Second predicate must leave the dead chunk dead.
+        and_pred_masks(&col, &pred(CmpOp::Lt, LogicalType::I64, 12), &mut masks);
+        assert_eq!(masks[0], 0);
+        assert_eq!(masks[1], 0b0000_1111);
+    }
+}

@@ -7,7 +7,7 @@
 //! intermediate result whose materialization cost the paper charges to the
 //! column-style plans.
 
-use h2o_storage::Value;
+use h2o_storage::{Value, MAX_ROWS};
 
 /// A sorted list of qualifying row ids.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -29,14 +29,38 @@ impl SelVec {
     }
 
     /// The identity selection `0..rows` (no where-clause).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds [`MAX_ROWS`]: row ids are `u32`, and
+    /// `rows as u32` would otherwise wrap silently and enumerate the wrong
+    /// ids. Storage enforces the same cap at append time
+    /// ([`h2o_storage::check_row_capacity`]) and execution re-checks it when
+    /// binding views, so a relation admitted by the engine can never trip
+    /// this; the assert is the last line of defense for direct callers.
     pub fn identity(rows: usize) -> Self {
+        assert!(
+            rows <= MAX_ROWS,
+            "identity selection over {rows} rows exceeds the {MAX_ROWS}-row \
+             engine capacity (row ids are 32-bit)"
+        );
         SelVec {
             ids: (0..rows as u32).collect(),
         }
     }
 
-    /// Wraps a pre-built id list (must be sorted ascending).
+    /// Wraps a pre-built id list (must be sorted strictly ascending).
+    ///
+    /// Sortedness is what lets [`Self::extend_from`] stitch morsel results
+    /// by concatenation and lets consumers walk segments monotonically. The
+    /// invariant is checked with `debug_assert!` in normal release builds
+    /// (the check is O(n) on a hot construction path); under the
+    /// `failpoints` validation feature — the build CI runs the fault-matrix
+    /// suite with — it is promoted to a hard release-mode `assert!`.
     pub fn from_ids(ids: Vec<u32>) -> Self {
+        #[cfg(feature = "failpoints")]
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        #[cfg(not(feature = "failpoints"))]
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
         SelVec { ids }
     }
@@ -51,15 +75,22 @@ impl SelVec {
     /// filter phases: per-range selection vectors (each ascending, over
     /// disjoint consecutive ranges) concatenate in morsel order into the
     /// exact vector a serial pass would build.
+    ///
+    /// Like [`Self::from_ids`], the ascending-stitch invariant is a
+    /// `debug_assert!` normally and a hard `assert!` under the `failpoints`
+    /// feature (the check here is O(1), but it only guards the seam — full
+    /// validation lives in construction).
     #[inline]
     pub fn extend_from(&mut self, other: &SelVec) {
-        debug_assert!(
-            self.ids
-                .last()
-                .zip(other.ids.first())
-                .is_none_or(|(&a, &b)| a < b),
-            "stitched selection vectors must stay ascending"
-        );
+        let ascending = self
+            .ids
+            .last()
+            .zip(other.ids.first())
+            .is_none_or(|(&a, &b)| a < b);
+        #[cfg(feature = "failpoints")]
+        assert!(ascending, "stitched selection vectors must stay ascending");
+        #[cfg(not(feature = "failpoints"))]
+        debug_assert!(ascending, "stitched selection vectors must stay ascending");
         self.ids.extend_from_slice(&other.ids);
     }
 
@@ -91,8 +122,28 @@ impl SelVec {
 
     /// Gathers `column[id]` for every selected id into a fresh intermediate
     /// column — the materialization step of DSM processing (paper §2.1).
+    ///
+    /// The loop is written over fixed `[u32; 8]` id chunks with the bounds
+    /// check hoisted to one `assert!` on the maximum id (ids are sorted, so
+    /// the last id is the maximum), letting the compiler vectorize the
+    /// index arithmetic and keep the loads unchecked.
     pub fn gather(&self, column: &[Value]) -> Vec<Value> {
-        self.ids.iter().map(|&i| column[i as usize]).collect()
+        let Some(&max_id) = self.ids.last() else {
+            return Vec::new();
+        };
+        assert!(
+            (max_id as usize) < column.len(),
+            "gather id {max_id} out of bounds for column of {} rows",
+            column.len()
+        );
+        let mut out = Vec::with_capacity(self.ids.len());
+        let mut chunks = self.ids.chunks_exact(8);
+        for ch in &mut chunks {
+            let ids: [u32; 8] = ch.try_into().unwrap();
+            out.extend(ids.map(|i| column[i as usize]));
+        }
+        out.extend(chunks.remainder().iter().map(|&i| column[i as usize]));
+        out
     }
 
     /// Footprint in bytes (an intermediate-result term for the cost model).
@@ -252,6 +303,49 @@ mod tests {
         let col = [10, 20, 30, 40];
         let s = SelVec::from_ids(vec![0, 2, 3]);
         assert_eq!(s.gather(&col), vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn gather_crosses_chunk_boundaries() {
+        // 19 ids: two full 8-id chunks plus a 3-id tail.
+        let col: Vec<Value> = (0..40).map(|i| i * 100).collect();
+        let ids: Vec<u32> = (0..19).map(|i| i * 2).collect();
+        let s = SelVec::from_ids(ids.clone());
+        let expect: Vec<Value> = ids.iter().map(|&i| col[i as usize]).collect();
+        assert_eq!(s.gather(&col), expect);
+        assert_eq!(SelVec::new().gather(&col), Vec::<Value>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "engine capacity")]
+    fn identity_rejects_rows_beyond_u32() {
+        // Would previously truncate `rows as u32` and build a wrapped,
+        // wrong id sequence. The guard fires before any allocation.
+        let _ = SelVec::identity(1usize << 33);
+    }
+
+    #[test]
+    fn identity_accepts_max_rows_boundary_types() {
+        // The cap itself is fine (can't allocate 16 GiB here, but the
+        // guard must compare with <=, not <): probe the predicate directly.
+        assert!(MAX_ROWS <= u32::MAX as usize);
+        let s = SelVec::identity(3);
+        assert_eq!(s.ids(), &[0, 1, 2]);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    #[should_panic(expected = "ids must be sorted")]
+    fn from_ids_rejects_unsorted_under_failpoints() {
+        let _ = SelVec::from_ids(vec![3, 1, 2]);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    #[should_panic(expected = "must stay ascending")]
+    fn extend_from_rejects_overlap_under_failpoints() {
+        let mut s = SelVec::from_ids(vec![5, 9]);
+        s.extend_from(&SelVec::from_ids(vec![7]));
     }
 
     #[test]

@@ -130,6 +130,22 @@ impl From<AggFunc> for AggOp {
 /// space where comparison is one integer instruction for every type, and
 /// [`AggState::finish`] maps it back (the key function is an involution).
 /// For `F64` this realizes `total_cmp` min/max exactly.
+///
+/// # The fold-order contract
+///
+/// Every accumulator except the `F64` sum is **associative and
+/// commutative** in its lane domain — wrapping `i64` addition, key-space
+/// `min`/`max`, counting — so kernels may fold qualifying values in any
+/// order (including split across SIMD lanes) and still produce the exact
+/// state a sequential row-order fold would. The `F64` sum is the one
+/// exception: IEEE-754 addition does not associate (`(1e16 + 1.0) + 1.0 ≠
+/// 1e16 + (1.0 + 1.0)`), so its fold order is pinned to **ascending row
+/// order within a morsel, morsel order across morsels**. Vectorized
+/// kernels therefore lane-split integer sums and min/max freely but keep
+/// `F64` sums as one in-order scalar chain per morsel, vectorizing only
+/// the qualifying-row scan around them (see `h2o-exec`'s
+/// `kernels::simd`). The `f64_sum_fold_order_is_pinned` test nails the
+/// contract down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AggState {
     op: AggOp,
@@ -471,6 +487,25 @@ mod tests {
                 assert_eq!(total.finish(), want, "{} chunk={chunk}", f.name());
             }
         }
+    }
+
+    #[test]
+    fn f64_sum_fold_order_is_pinned() {
+        // 1e16 absorbs a lone 1.0 (1e16 + 1.0 == 1e16 in f64), but not
+        // 2.0. A row-order fold of [1e16, 1.0, 1.0] must therefore yield
+        // exactly 1e16, while the reassociated 1e16 + (1.0 + 1.0) would
+        // yield 1e16 + 2. Any kernel that lane-splits an F64 sum breaks
+        // this assertion — which is why none may (fold-order contract).
+        let row_order = fold_f64(AggFunc::Sum, &[1e16, 1.0, 1.0]);
+        assert_eq!(lane_f64(row_order), 1e16);
+        let reassociated = 1e16 + (1.0 + 1.0);
+        assert_ne!(lane_f64(row_order), reassociated);
+        // Wrapping i64 sums, by contrast, are order-free: any permutation
+        // and grouping gives the same bits.
+        assert_eq!(
+            fold(AggFunc::Sum, &[i64::MAX, 1, 5]),
+            fold(AggFunc::Sum, &[5, 1, i64::MAX]),
+        );
     }
 
     #[test]

@@ -231,10 +231,19 @@ fn interpret_impl(
 /// resolve through the schema's dictionaries.
 pub fn interpret(catalog: &LayoutCatalog, q: &Query) -> Result<QueryResult, StorageError> {
     let cover = catalog.cover(&q.all_attrs(), CoverPolicy::FewestGroups)?;
-    let groups: Vec<&ColumnGroup> = cover
+    let mut groups: Vec<&ColumnGroup> = cover
         .iter()
         .map(|(id, _)| catalog.group(*id))
         .collect::<Result<_, _>>()?;
+    if groups.is_empty() {
+        // A query whose expressions reference no attribute at all — plain
+        // `select count(*)` — gets an empty cover, but it still scans the
+        // relation: anchor on any group so the row count is the relation's,
+        // not zero.
+        if let Some(id) = catalog.layout_ids().first() {
+            groups.push(catalog.group(*id)?);
+        }
+    }
     interpret_impl(&groups, q, Some(catalog.schema()))
 }
 
@@ -314,6 +323,18 @@ mod tests {
         .unwrap();
         let out = interpret(r.catalog(), &q).unwrap();
         assert_eq!(out.row(0), &[103]);
+    }
+
+    #[test]
+    fn bare_count_star_scans_the_relation() {
+        // `count(*)` references no attribute, so the covering-group set is
+        // empty — the interpreter must still anchor the scan on a group
+        // rather than seeing a zero-row relation.
+        let r = test_relation(true);
+        let q = Query::aggregate([Aggregate::count()], Conjunction::always()).unwrap();
+        let out = interpret(r.catalog(), &q).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0), &[6]);
     }
 
     #[test]

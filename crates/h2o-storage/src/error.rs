@@ -46,6 +46,10 @@ pub enum StorageError {
         expected: LogicalType,
         got: LogicalType,
     },
+    /// The relation would exceed the engine-wide row-id capacity
+    /// ([`MAX_ROWS`](crate::types::MAX_ROWS)): selection vectors store row
+    /// ids as `u32`, so admitting more rows would let them silently wrap.
+    RelationFull { rows: usize, max: usize },
     /// Dropping this group would leave some attribute with no layout at all.
     WouldUncover(AttrId),
     /// The existing groups do not cover the requested attribute set.
@@ -91,6 +95,13 @@ impl fmt::Display for StorageError {
                     "group stores attribute {attr} as {}, but the schema declares {}",
                     got.name(),
                     expected.name()
+                )
+            }
+            StorageError::RelationFull { rows, max } => {
+                write!(
+                    f,
+                    "relation would hold {rows} rows, exceeding the {max}-row \
+                     engine capacity (row ids are 32-bit)"
                 )
             }
             StorageError::WouldUncover(a) => {
@@ -145,6 +156,18 @@ mod tests {
             width.to_string(),
             "tuple width mismatch: expected 2 values, got 5"
         );
+    }
+
+    #[test]
+    fn relation_full_renders_both_counts() {
+        let e = StorageError::RelationFull {
+            rows: 4_294_967_296,
+            max: 4_294_967_295,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("4294967296"), "{msg}");
+        assert!(msg.contains("4294967295"), "{msg}");
+        assert!(msg.contains("32-bit"), "{msg}");
     }
 
     #[test]

@@ -38,10 +38,12 @@ pub mod schema;
 pub mod types;
 
 pub use attrset::AttrSet;
-pub use catalog::{CatalogSnapshot, GroupStats, LayoutCatalog};
+pub use catalog::{check_row_capacity, CatalogSnapshot, GroupStats, LayoutCatalog};
 pub use dict::Dictionary;
 pub use error::StorageError;
 pub use group::{AppendDelta, ColumnGroup, GroupBuilder, SegStats, DEFAULT_SEG_SHIFT};
 pub use relation::Relation;
 pub use schema::{Attribute, Schema};
-pub use types::{f64_lane, lane_f64, AttrId, Epoch, LayoutId, LogicalType, Value, VALUE_BYTES};
+pub use types::{
+    f64_lane, lane_f64, AttrId, Epoch, LayoutId, LogicalType, Value, MAX_ROWS, VALUE_BYTES,
+};

@@ -21,6 +21,17 @@ pub type Value = i64;
 /// Width of one stored value in bytes (used by the cost model).
 pub const VALUE_BYTES: usize = std::mem::size_of::<Value>();
 
+/// Maximum number of rows a relation may hold.
+///
+/// Selection vectors (`h2o-exec`'s `SelVec`) store row ids as `u32` —
+/// half the footprint of `usize`, an intermediate-result cost the paper
+/// charges to the column-style plans — so the engine-wide row-id domain is
+/// `0..=u32::MAX - 1`. The cap is enforced at append time
+/// ([`check_row_capacity`](crate::catalog::check_row_capacity)) and again
+/// when execution binds views, so a relation can never silently wrap a
+/// 32-bit row id and return wrong rows.
+pub const MAX_ROWS: usize = u32::MAX as usize;
+
 /// Re-encodes an `f64` as its lane word (the IEEE-754 bit pattern).
 #[inline(always)]
 pub fn f64_lane(x: f64) -> Value {

@@ -90,6 +90,29 @@
 //! carry min/max **zone maps**; scans skip segments that cannot satisfy a
 //! conjunctive predicate (`EngineStats::segments_skipped`).
 //!
+//! ## Vectorized kernel inner loops (deviation from the paper)
+//!
+//! The paper's generated operators are scalar; this reproduction runs the
+//! hot inner loops — predicate evaluation, selection-vector build and
+//! id-gather, and the fused/column-major aggregate folds — in
+//! portable-SIMD style over the 64-bit comparator-key lanes
+//! (`h2o_exec::kernels::simd`). The **lane/tail contract**: every segment
+//! run is processed as fixed-width 8-lane chunks (bounds checks hoisted
+//! into one up-front assert so the chunk loop autovectorizes) plus a
+//! scalar tail for the remaining `rows % 8`, and both paths must be
+//! bit-identical to the retained `*_scalar` reference bodies — pinned by
+//! the `tests/simd.rs` differential suite. Associative accumulators
+//! (wrapping integer sums, comparator-key `min`/`max`, counts) may split
+//! across the eight lanes; **`f64` sums stay in fold order** — one
+//! in-row-order reduction chain with only the surrounding scan
+//! vectorized — because float addition is not associative and the
+//! engine's determinism convention pins `f64` sums to row order within a
+//! morsel (the fold-order contract on
+//! [`AggState`](h2o_expr::agg::AggState)). The `fig20_simd_scan` binary
+//! measures vectorized vs scalar rows/sec per strategy, and the CI
+//! guardrail pins a ≥ 2x speedup on selective selection-vector scans
+//! plus fingerprint identity.
+//!
 //! ## Grouped aggregation (deviation from the paper)
 //!
 //! The paper's evaluation stops at select-project-aggregate; this

@@ -1,0 +1,299 @@
+//! Differential suite for the vectorized (chunked-SIMD) kernel loops.
+//!
+//! The `kernels::simd` rewrite must be **bit-identical** to the scalar
+//! reference bodies it replaced, across every place results could diverge:
+//! lane-chunk boundaries (`rows % 8`), segment-run boundaries, zone-map
+//! pruned runs, all three execution strategies, serial vs morsel-parallel
+//! execution, `F64` fold order (including non-dyadic values whose sums are
+//! inexact), and the capped runs a cancellation token induces at
+//! `CANCEL_CHECK_ROWS` boundaries.
+
+use h2o::exec::kernels::{colmajor, fused, selvector};
+use h2o::exec::{
+    compile, execute, execute_with_policy, execute_with_policy_cancel, AccessPlan, BoundAttr,
+    CancelToken, ExecPolicy, GroupViews, Strategy,
+};
+use h2o::expr::agg::AggOp;
+use h2o::expr::{interpret, AggFunc, CmpOp};
+use h2o::prelude::*;
+use h2o::storage::{f64_lane, GroupBuilder, LogicalType};
+use h2o_exec::filter::{CompiledFilter, CompiledPred};
+use h2o_exec::program::CompiledExpr;
+use proptest::prelude::*;
+
+/// A two-attribute (I64, F64) group with a small segment shift so even
+/// tiny relations span several sealed segments (and their zone maps).
+fn build_group(rows: usize, shift: u32, seed: u64) -> h2o::storage::ColumnGroup {
+    let c0: Vec<Value> = (0..rows)
+        .map(|i| ((i as u64).wrapping_mul(seed | 1).wrapping_add(seed) % 37) as Value - 11)
+        .collect();
+    // Non-dyadic doubles: /10 is inexact in binary, so sums depend on fold
+    // order — exactly what the F64 contract must survive.
+    let c1: Vec<Value> = (0..rows)
+        .map(|i| {
+            let k = ((i as u64).wrapping_mul(seed ^ 0x9e37).wrapping_add(1) % 41) as i64 - 17;
+            f64_lane(k as f64 / 10.0)
+        })
+        .collect();
+    GroupBuilder::from_columns_typed(
+        vec![AttrId(0), AttrId(1)],
+        vec![LogicalType::I64, LogicalType::F64],
+        &[&c0, &c1],
+        shift,
+    )
+    .unwrap()
+}
+
+fn pred(offset: u32, op: CmpOp, ty: LogicalType, lane: Value) -> CompiledPred {
+    CompiledPred::from_lane(BoundAttr { slot: 0, offset }, op, ty, lane)
+}
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Eq,
+    CmpOp::Ne,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Selection-vector and columnar filter builds agree with their scalar
+    /// references over arbitrary sub-ranges — including ranges that start
+    /// and end mid-chunk, mid-segment, and on empty slices.
+    #[test]
+    fn filter_builds_match_scalar(
+        rows in 1usize..300,
+        shift in 3u32..6,
+        seed in 0u64..5000,
+        op_i in 0usize..6,
+        op_f in 0usize..6,
+        c_i in -12i64..12,
+        c_f in -180i64..180,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+        two_preds in 0usize..2,
+    ) {
+        let g = build_group(rows, shift, seed);
+        let views = GroupViews::from_groups(&[&g]);
+        let mut preds = vec![pred(0, OPS[op_i], LogicalType::I64, c_i)];
+        if two_preds == 1 {
+            preds.push(pred(1, OPS[op_f], LogicalType::F64, f64_lane(c_f as f64 / 10.0)));
+        }
+        let filter = CompiledFilter::new(preds);
+        let lo = (lo_frac * rows as f64) as usize;
+        let hi = lo + (hi_frac * (rows - lo) as f64) as usize;
+        for range in [0..rows, lo..hi.min(rows)] {
+            prop_assert_eq!(
+                selvector::build_selvec_range(&views, &filter, range.clone()),
+                selvector::build_selvec_range_scalar(&views, &filter, range.clone()),
+                "selvector over {:?}", range
+            );
+            prop_assert_eq!(
+                colmajor::build_selvec_columnar_range(&views, &filter, range.clone()),
+                colmajor::build_selvec_columnar_range_scalar(&views, &filter, range.clone()),
+                "colmajor over {:?}", range
+            );
+        }
+    }
+
+    /// Fused specialized aggregation and the columnar streaming fold agree
+    /// bit-for-bit with their scalar references for every aggregate
+    /// function over both lane types.
+    #[test]
+    fn aggregate_folds_match_scalar(
+        rows in 1usize..300,
+        shift in 3u32..6,
+        seed in 0u64..5000,
+        op_i in 0usize..6,
+        c_i in -12i64..12,
+        func_i in 0usize..5,
+    ) {
+        let funcs = [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg];
+        let f = funcs[func_i];
+        let g = build_group(rows, shift, seed);
+        let views = GroupViews::from_groups(&[&g]);
+        for filter in [
+            CompiledFilter::always(),
+            CompiledFilter::new(vec![pred(0, OPS[op_i], LogicalType::I64, c_i)]),
+        ] {
+            let aggs = vec![
+                (AggOp::new(f, LogicalType::I64), CompiledExpr::Col(BoundAttr { slot: 0, offset: 0 })),
+                (AggOp::new(f, LogicalType::F64), CompiledExpr::Col(BoundAttr { slot: 0, offset: 1 })),
+            ];
+            let vec_fin: Vec<Value> = fused::aggregate_range(&views, &filter, &aggs, 0..rows)
+                .iter().map(|s| s.finish()).collect();
+            let ref_fin: Vec<Value> = fused::aggregate_range_scalar(&views, &filter, &aggs, 0..rows)
+                .iter().map(|s| s.finish()).collect();
+            prop_assert_eq!(vec_fin, ref_fin, "fused {} filtered={}", f.name(), !filter.is_always_true());
+        }
+        // Streaming columnar fold (no filter): full AggState equality, not
+        // just the finished lane.
+        for (off, ty) in [(0u32, LogicalType::I64), (1u32, LogicalType::F64)] {
+            let a = BoundAttr { slot: 0, offset: off };
+            prop_assert_eq!(
+                colmajor::agg_full_column_range(&views, a, AggOp::new(f, ty), 0..rows),
+                colmajor::agg_full_column_range_scalar(&views, a, AggOp::new(f, ty), 0..rows),
+                "colmajor stream {} {:?}", f.name(), ty
+            );
+        }
+    }
+}
+
+/// Relation whose filter column is *sorted*, so sealed-segment zone maps
+/// prune aggressively. `denom` scales the F64 column: a power of two keeps
+/// every value (and every partial sum) on the dyadic grid where float
+/// addition is exact in any order — required when asserting parallel
+/// bit-identity, since morsel merges reassociate F64 sums. A non-dyadic
+/// denominator (e.g. 10) makes sums fold-order-sensitive, which is exactly
+/// what the serial-only bit-identity test wants to stress.
+fn pruned_relation(rows: usize, denom: f64) -> Relation {
+    let schema = Schema::typed([
+        ("k", LogicalType::I64),
+        ("x", LogicalType::F64),
+        ("v", LogicalType::I64),
+    ])
+    .into_shared();
+    let k: Vec<Value> = (0..rows as Value).collect();
+    let x: Vec<Value> = (0..rows)
+        .map(|i| f64_lane((i % 97) as f64 / denom))
+        .collect();
+    let v: Vec<Value> = (0..rows).map(|i| ((i * 31) % 101) as Value - 50).collect();
+    Relation::partitioned_with_shift(
+        schema,
+        vec![k, x, v],
+        vec![vec![AttrId(0), AttrId(1), AttrId(2)]],
+        7,
+    )
+    .unwrap()
+}
+
+fn queries(rows: usize) -> Vec<Query> {
+    let sel = |frac: f64| Conjunction::of([Predicate::lt(0u32, (rows as f64 * frac) as Value)]);
+    vec![
+        // Selective scans: most segments zone-pruned, chunk masks sparse.
+        Query::aggregate([Aggregate::sum(Expr::col(2u32))], sel(0.01)).unwrap(),
+        Query::aggregate(
+            [
+                Aggregate::sum(Expr::col(1u32)),
+                Aggregate::min(Expr::col(1u32)),
+                Aggregate::max(Expr::col(2u32)),
+            ],
+            sel(0.37),
+        )
+        .unwrap(),
+        Query::project([Expr::col(2u32)], sel(0.11)).unwrap(),
+        Query::grouped(
+            [Expr::col(2u32).add(Expr::lit(1))],
+            [Aggregate::sum(Expr::col(1u32))],
+            sel(0.53),
+        )
+        .unwrap(),
+        Query::aggregate([Aggregate::count()], Conjunction::always()).unwrap(),
+    ]
+}
+
+/// All three strategies, serial and parallel, against the interpreter —
+/// over a relation where zone maps prune most runs and the floats are
+/// non-dyadic (so any fold-order deviation in an F64 sum shows up as a
+/// fingerprint mismatch).
+#[test]
+fn strategies_agree_on_pruned_segmented_relation() {
+    let rows = 4_000;
+    let rel = pruned_relation(rows, 16.0);
+    let layouts = rel.catalog().layout_ids();
+    let policy = ExecPolicy {
+        parallelism: Some(4),
+        morsel_rows: 513,
+        serial_threshold: 0,
+    };
+    for (qi, q) in queries(rows).iter().enumerate() {
+        let want = interpret(rel.catalog(), q).unwrap();
+        for strategy in Strategy::ALL {
+            let plan = AccessPlan::new(layouts.clone(), strategy);
+            let op = compile(rel.catalog(), &plan, q).unwrap();
+            let serial = execute(rel.catalog(), &op).unwrap();
+            assert_eq!(
+                serial.fingerprint(),
+                want.fingerprint(),
+                "serial {} query {qi}",
+                strategy.name()
+            );
+            let parallel = execute_with_policy(rel.catalog(), &op, &policy).unwrap();
+            assert_eq!(parallel, serial, "parallel {} query {qi}", strategy.name());
+        }
+    }
+}
+
+/// A live (never-tripping) cancellation token caps segment runs at
+/// `CANCEL_CHECK_ROWS` rows, exercising the vectorized loops over run
+/// boundaries that don't align with segments or chunks. Results must stay
+/// bit-identical to uncancelled execution. Uses a monolithic layout (one
+/// huge segment) so the cap is what actually splits the scan.
+#[test]
+fn capped_runs_under_live_cancel_token_are_identical() {
+    let rows = 100_000; // > CANCEL_CHECK_ROWS, not a multiple of it
+    let schema = Schema::typed([("k", LogicalType::I64), ("x", LogicalType::F64)]).into_shared();
+    let k: Vec<Value> = (0..rows).map(|i| ((i * 7) % 1000) as Value).collect();
+    let x: Vec<Value> = (0..rows)
+        .map(|i| f64_lane((i % 89) as f64 / 10.0))
+        .collect();
+    let rel =
+        Relation::partitioned_with_shift(schema, vec![k, x], vec![vec![AttrId(0), AttrId(1)]], 30)
+            .unwrap();
+    let layouts = rel.catalog().layout_ids();
+    let policy = ExecPolicy {
+        parallelism: Some(1),
+        morsel_rows: rows,
+        serial_threshold: 0,
+    };
+    let q = Query::aggregate(
+        [
+            Aggregate::sum(Expr::col(1u32)),
+            Aggregate::max(Expr::col(0u32)),
+            Aggregate::count(),
+        ],
+        Conjunction::of([Predicate::lt(0u32, 100)]),
+    )
+    .unwrap();
+    for strategy in Strategy::ALL {
+        let plan = AccessPlan::new(layouts.clone(), strategy);
+        let op = compile(rel.catalog(), &plan, &q).unwrap();
+        let plain = execute(rel.catalog(), &op).unwrap();
+        let live = CancelToken::new();
+        let (capped, _) = execute_with_policy_cancel(rel.catalog(), &op, &policy, &live).unwrap();
+        assert_eq!(capped, plain, "strategy {}", strategy.name());
+    }
+}
+
+/// Serial F64 sums are bit-identical across all three strategies and the
+/// interpreter even for non-dyadic inputs, where only exact row-order
+/// folding can agree (the fold-order contract pins this).
+#[test]
+fn f64_sum_bit_identity_on_non_dyadic_values() {
+    let rows = 3_001; // odd: chunk tails everywhere
+    let rel = pruned_relation(rows, 10.0);
+    let layouts = rel.catalog().layout_ids();
+    let q = Query::aggregate(
+        [
+            Aggregate::sum(Expr::col(1u32)),
+            Aggregate::avg(Expr::col(1u32)),
+        ],
+        Conjunction::of([Predicate::gt(2u32, 0)]),
+    )
+    .unwrap();
+    let want = interpret(rel.catalog(), &q).unwrap();
+    for strategy in Strategy::ALL {
+        let plan = AccessPlan::new(layouts.clone(), strategy);
+        let op = compile(rel.catalog(), &plan, &q).unwrap();
+        let got = execute(rel.catalog(), &op).unwrap();
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "bit-level f64 divergence in {}",
+            strategy.name()
+        );
+    }
+}
