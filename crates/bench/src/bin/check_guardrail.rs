@@ -25,6 +25,14 @@
 //!   reference loop (the other strategies' factors are informational:
 //!   their scalar baselines are already tight, so gating them would make
 //!   CI flaky for no signal);
+//! * `--fig21 <path>` — every hash-join point must be
+//!   fingerprint-identical across serial, parallel and the interpreter
+//!   (and, for the engine-level ordering entries, across the greedy and
+//!   the forced worst build order), and the summed worst-order time must
+//!   be at least `--min-greedy-advantage` (default 1) times the summed
+//!   greedy time — the selectivity-driven ordering must never lose to
+//!   the worst order overall (per-point ratios are informational: at
+//!   near-symmetric cardinalities the two orders legitimately converge);
 //! * `--fig22 <path>` — the summed guarded/baseline fault-tolerance
 //!   overhead (live cancellation token + disabled failpoints on the hot
 //!   path) must stay within `--max-fault-overhead` (default 1.03), and
@@ -248,6 +256,71 @@ fn check_fig20(doc: &str, min_speedup: f64, c: &mut Checker) {
     );
 }
 
+fn check_fig21(doc: &str, min_greedy_advantage: f64, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig21: results array non-empty".into());
+    let (mut execs, mut orders) = (0, 0);
+    let (mut greedy_total, mut worst_total) = (0.0f64, 0.0f64);
+    for obj in &results {
+        let kind = json::string(obj, "kind").unwrap_or("?").to_string();
+        let dim = json::num(obj, "dim_rows").unwrap_or(-1.0);
+        let sel = json::num(obj, "selectivity").unwrap_or(-1.0);
+        let interp = json::string(obj, "interp_fingerprint").unwrap_or("!!");
+        match kind.as_str() {
+            "exec" => {
+                execs += 1;
+                let strategy = json::string(obj, "strategy").unwrap_or("?").to_string();
+                let serial = json::string(obj, "serial_fingerprint").unwrap_or("");
+                let par = json::string(obj, "parallel_fingerprint").unwrap_or("!");
+                c.assert(
+                    json::boolean(obj, "parallel_identical") == Some(true),
+                    format!("fig21: dim={dim} sel={sel} {strategy}: parallel bit-identical"),
+                );
+                c.assert(
+                    !serial.is_empty() && serial == par && serial == interp,
+                    format!(
+                        "fig21: dim={dim} sel={sel} {strategy}: fingerprints agree \
+                         (serial={serial}, parallel={par}, interp={interp})"
+                    ),
+                );
+            }
+            "order" => {
+                orders += 1;
+                let greedy = json::string(obj, "greedy_fingerprint").unwrap_or("");
+                let worst = json::string(obj, "worst_fingerprint").unwrap_or("!");
+                c.assert(
+                    !greedy.is_empty() && greedy == worst && greedy == interp,
+                    format!(
+                        "fig21: dim={dim} sel={sel}: both build orders match the \
+                         interpreter (greedy={greedy}, worst={worst}, interp={interp})"
+                    ),
+                );
+                greedy_total += json::num(obj, "greedy_s").unwrap_or(f64::INFINITY);
+                worst_total += json::num(obj, "worst_s").unwrap_or(0.0);
+                let ratio = json::num(obj, "greedy_over_worst").unwrap_or(0.0);
+                eprintln!("guardrail: info fig21: dim={dim} sel={sel} greedy/worst {ratio:.2}x");
+            }
+            _ => c.assert(false, format!("fig21: known entry kind ({kind})")),
+        }
+    }
+    c.assert(
+        execs >= 6,
+        format!("fig21: strategies x join configs present ({execs} >= 6)"),
+    );
+    c.assert(
+        orders >= 2,
+        format!("fig21: ordering entries present ({orders} >= 2)"),
+    );
+    let total_ratio = worst_total / greedy_total;
+    c.assert(
+        total_ratio >= min_greedy_advantage,
+        format!(
+            "fig21: greedy ordering total advantage {total_ratio:.2}x >= \
+             {min_greedy_advantage}x (greedy {greedy_total:.4}s, worst {worst_total:.4}s)"
+        ),
+    );
+}
+
 fn check_fig22(doc: &str, max_overhead: f64, c: &mut Checker) {
     let results = json::results(doc);
     c.assert(!results.is_empty(), "fig22: results array non-empty".into());
@@ -288,9 +361,11 @@ fn main() {
     let mut fig18 = None;
     let mut fig19 = None;
     let mut fig20 = None;
+    let mut fig21 = None;
     let mut fig22 = None;
     let mut min_advantage = 10.0f64;
     let mut min_simd_speedup = 2.0f64;
+    let mut min_greedy_advantage = 1.0f64;
     let mut max_fault_overhead = 1.03f64;
     let mut i = 1;
     while i < argv.len() {
@@ -307,6 +382,7 @@ fn main() {
             "--fig18" => fig18 = Some(argv[i + 1].clone()),
             "--fig19" => fig19 = Some(argv[i + 1].clone()),
             "--fig20" => fig20 = Some(argv[i + 1].clone()),
+            "--fig21" => fig21 = Some(argv[i + 1].clone()),
             "--fig22" => fig22 = Some(argv[i + 1].clone()),
             "--min-write-advantage" => {
                 min_advantage = argv[i + 1]
@@ -318,6 +394,11 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| panic!("bad --min-simd-speedup {}", argv[i + 1]));
             }
+            "--min-greedy-advantage" => {
+                min_greedy_advantage = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --min-greedy-advantage {}", argv[i + 1]));
+            }
             "--max-fault-overhead" => {
                 max_fault_overhead = argv[i + 1]
                     .parse()
@@ -325,8 +406,9 @@ fn main() {
             }
             other => panic!(
                 "unknown argument {other} \
-                 (expected --fig15/--fig17/--fig18/--fig19/--fig20/--fig22/\
-                 --min-write-advantage/--min-simd-speedup/--max-fault-overhead)"
+                 (expected --fig15/--fig17/--fig18/--fig19/--fig20/--fig21/--fig22/\
+                 --min-write-advantage/--min-simd-speedup/--min-greedy-advantage/\
+                 --max-fault-overhead)"
             ),
         }
         i += 2;
@@ -350,12 +432,16 @@ fn main() {
     if let Some(p) = &fig20 {
         check_fig20(&read(p), min_simd_speedup, &mut c);
     }
+    if let Some(p) = &fig21 {
+        check_fig21(&read(p), min_greedy_advantage, &mut c);
+    }
     if let Some(p) = &fig22 {
         check_fig22(&read(p), max_fault_overhead, &mut c);
     }
     assert!(
         c.checks > 0,
-        "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19/--fig20/--fig22"
+        "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19/--fig20/\
+         --fig21/--fig22"
     );
     if c.failures.is_empty() {
         eprintln!("guardrail: all {} checks passed", c.checks);

@@ -30,15 +30,17 @@
 use crate::config::EngineConfig;
 use crate::stats::EngineStats;
 use h2o_adapt::{AdviceQueue, Adviser, SharedWindow};
-use h2o_cost::{AccessPattern, CostModel, GroupSpec, PlanSpec, Residence};
+use h2o_cost::{AccessPattern, CostModel, GroupSpec, JoinRole, PlanSpec, Residence};
 use h2o_exec::{
+    execute_join_with_policy as exec_execute_join_with_policy,
     execute_with_policy_cancel as exec_execute_with_policy_cancel,
     execute_with_policy_stats as exec_execute_with_policy_stats, reorg, AccessPlan, CancelToken,
-    ExecError, OperatorCache, Strategy,
+    ExecError, JoinExecStats, OperatorCache, Strategy,
 };
-use h2o_expr::{Query, QueryError, QueryResult};
+use h2o_expr::{JoinQuery, Query, QueryError, QueryResult, Side};
 use h2o_storage::{
-    failpoints, AttrId, CatalogSnapshot, Epoch, LayoutCatalog, LayoutId, Relation, StorageError,
+    failpoints, AttrId, CatalogSnapshot, Epoch, LayoutCatalog, LayoutId, Relation, Schema,
+    StorageError,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -87,6 +89,11 @@ pub enum EngineError {
     /// working, callers can degrade to pumping
     /// [`H2oEngine::maintain`] inline.
     Spawn(String),
+    /// A relation-binding operation was invalid — e.g.
+    /// [`H2oEngine::add_relation`] with the reserved primary name.
+    /// (Resolving a name the engine does not hold is
+    /// [`QueryError::UnknownRelation`] under [`EngineError::Query`].)
+    Relation(String),
 }
 
 impl fmt::Display for EngineError {
@@ -101,6 +108,7 @@ impl fmt::Display for EngineError {
             EngineError::Cancelled => write!(f, "query cancelled"),
             EngineError::Timeout => write!(f, "query deadline expired"),
             EngineError::Spawn(e) => write!(f, "failed to spawn engine thread: {e}"),
+            EngineError::Relation(e) => write!(f, "relation binding error: {e}"),
         }
     }
 }
@@ -163,6 +171,76 @@ pub struct QueryReport {
     pub selectivity_estimate: f64,
 }
 
+/// The reserved name of the engine's primary relation — the one passed to
+/// [`H2oEngine::new`] and served by the single-relation query path. Join
+/// queries bind it by this name; [`H2oEngine::add_relation`] cannot rebind
+/// it.
+pub const PRIMARY_RELATION: &str = "R";
+
+/// A consistent point-in-time view of every relation the engine serves:
+/// the primary relation's published catalog version plus the published
+/// version of each named secondary relation. A join resolves **both** of
+/// its sides against one `DbSnapshot`, so the two sides can never see
+/// catalog versions from different points of the same relation's history —
+/// the multi-relation extension of the engine's snapshot isolation.
+#[derive(Clone)]
+pub struct DbSnapshot {
+    primary: CatalogSnapshot,
+    named: Arc<HashMap<String, CatalogSnapshot>>,
+}
+
+impl DbSnapshot {
+    /// The primary relation's catalog version.
+    pub fn primary(&self) -> &CatalogSnapshot {
+        &self.primary
+    }
+
+    /// Resolves a relation name ([`PRIMARY_RELATION`] or a name bound via
+    /// [`H2oEngine::add_relation`]) to its catalog version.
+    pub fn relation(&self, name: &str) -> Result<&CatalogSnapshot, QueryError> {
+        if name == PRIMARY_RELATION {
+            return Ok(&self.primary);
+        }
+        self.named
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownRelation(name.to_string()))
+    }
+
+    /// Every relation name this snapshot can resolve, primary first, the
+    /// rest sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.named.keys().cloned().collect();
+        names.sort();
+        names.insert(0, PRIMARY_RELATION.to_string());
+        names
+    }
+}
+
+/// What the engine did for the most recent join query — build-side choice,
+/// per-side plans and selectivity estimates, and the executed join's
+/// cardinality counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinReport {
+    /// Whether the left relation was the hash-table build side.
+    pub build_is_left: bool,
+    /// Strategy of the left side's qualifying-row scan.
+    pub left_strategy: Strategy,
+    /// Strategy of the right side's qualifying-row scan.
+    pub right_strategy: Strategy,
+    /// Layouts the left side's plan read.
+    pub left_layouts: Vec<LayoutId>,
+    /// Layouts the right side's plan read.
+    pub right_layouts: Vec<LayoutId>,
+    /// The cost model's estimate for the chosen order (build + probe).
+    pub estimated_cost: f64,
+    /// Selectivity estimate used for the left side.
+    pub left_selectivity_estimate: f64,
+    /// Selectivity estimate used for the right side.
+    pub right_selectivity_estimate: f64,
+    /// Observed per-side cardinalities of the executed join.
+    pub exec: JoinExecStats,
+}
+
 /// What one [`H2oEngine::maintain`] pump did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintenanceReport {
@@ -178,9 +256,16 @@ pub struct H2oEngine {
     model: CostModel,
     adviser: Adviser,
     opcache: OperatorCache,
-    /// The publish point: the currently visible catalog version. Readers
-    /// clone the `Arc` (snapshot isolation); writers swap in a new version.
+    /// The publish point: the currently visible catalog version of the
+    /// primary relation. Readers clone the `Arc` (snapshot isolation);
+    /// writers swap in a new version.
     catalog: RwLock<CatalogSnapshot>,
+    /// Named secondary relations ([`H2oEngine::add_relation`]), published
+    /// as one immutable map behind its own swap point. Mutations
+    /// (add/append) run behind the same `writer` lock as primary-catalog
+    /// mutations, clone the map, and swap — readers holding a
+    /// [`DbSnapshot`] keep the old map.
+    secondary: RwLock<Arc<HashMap<String, CatalogSnapshot>>>,
     /// Serializes every catalog mutation (append / reorganize / drop).
     /// Readers never take it.
     writer: Mutex<()>,
@@ -201,6 +286,7 @@ pub struct H2oEngine {
     /// Observed selectivity per filter signature (exponentially smoothed).
     sel_history: Mutex<HashMap<u64, f64>>,
     last_report: Mutex<Option<QueryReport>>,
+    last_join_report: Mutex<Option<JoinReport>>,
 }
 
 // Compile-time proof the engine may be shared across client threads.
@@ -221,6 +307,7 @@ impl H2oEngine {
             model,
             opcache: OperatorCache::new(config.opcache_capacity, config.compile_cost),
             catalog: RwLock::new(Arc::new(relation.into_catalog())),
+            secondary: RwLock::new(Arc::new(HashMap::new())),
             writer: Mutex::new(()),
             config,
             pending: AdviceQueue::new(),
@@ -230,6 +317,7 @@ impl H2oEngine {
             stats: Mutex::new(EngineStats::default()),
             sel_history: Mutex::new(HashMap::new()),
             last_report: Mutex::new(None),
+            last_join_report: Mutex::new(None),
         }
     }
 
@@ -245,6 +333,77 @@ impl H2oEngine {
     /// sites.
     pub fn catalog(&self) -> CatalogSnapshot {
         self.snapshot()
+    }
+
+    /// A consistent point-in-time view of every relation the engine serves
+    /// (primary + named secondaries). Joins resolve both sides against one
+    /// such snapshot.
+    pub fn db_snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            primary: self.catalog.read().clone(),
+            named: self.secondary.read().clone(),
+        }
+    }
+
+    /// Binds a named secondary relation. Rebinding an existing name
+    /// replaces it atomically (in-flight snapshots keep the old version);
+    /// binding the reserved primary name ([`PRIMARY_RELATION`]) is an
+    /// error. Secondary relations are served by the multi-relation query
+    /// path ([`Self::execute_join`]) and [`Self::insert_into`]; the
+    /// adaptation mechanism observes and reorganizes only the primary.
+    pub fn add_relation(&self, name: &str, relation: Relation) -> Result<(), EngineError> {
+        if name == PRIMARY_RELATION {
+            return Err(EngineError::Relation(format!(
+                "{PRIMARY_RELATION:?} is the reserved primary relation name"
+            )));
+        }
+        let _w = self.writer.lock();
+        let mut map = (**self.secondary.read()).clone();
+        map.insert(name.to_string(), Arc::new(relation.into_catalog()));
+        *self.secondary.write() = Arc::new(map);
+        Ok(())
+    }
+
+    /// The published catalog version of a named relation
+    /// ([`PRIMARY_RELATION`] or a bound secondary).
+    pub fn relation_snapshot(&self, name: &str) -> Result<CatalogSnapshot, EngineError> {
+        Ok(self.db_snapshot().relation(name)?.clone())
+    }
+
+    /// Appends tuples to a named relation: [`Self::insert`] semantics
+    /// (atomic publish, every coexisting layout receives the rows),
+    /// addressed by name. The primary relation's name routes to
+    /// [`Self::insert`].
+    pub fn insert_into(
+        &self,
+        name: &str,
+        tuples: &[Vec<h2o_storage::Value>],
+    ) -> Result<(), EngineError> {
+        if name == PRIMARY_RELATION {
+            return self.insert(tuples);
+        }
+        if tuples.is_empty() {
+            self.db_snapshot().relation(name)?; // still validate the name
+            return Ok(());
+        }
+        let _w = self.writer.lock();
+        let map = self.secondary.read().clone();
+        let snap = map
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownRelation(name.to_string()))?;
+        let mut new_cat = (**snap).clone();
+        let delta = new_cat.append_rows(tuples)?;
+        {
+            let mut s = self.stats.lock();
+            s.rows_appended += tuples.len() as u64;
+            s.bytes_cloned_on_write += delta.bytes_cloned;
+            s.segments_sealed += delta.segments_sealed;
+            s.snapshots_published += 1;
+        }
+        let mut new_map = (*map).clone();
+        new_map.insert(name.to_string(), Arc::new(new_cat));
+        *self.secondary.write() = Arc::new(new_map);
+        Ok(())
     }
 
     /// Swaps in a new catalog version. Callers must hold the writer lock.
@@ -360,6 +519,301 @@ impl H2oEngine {
         let token = CancelToken::with_deadline(timeout);
         self.execute_snapshot_inner(q, None, Some(&token))
             .map(|(_, r)| r)
+    }
+
+    /// Executes a two-relation hash join, adapting as a side effect. The
+    /// query names its relations ([`PRIMARY_RELATION`] and/or secondaries
+    /// bound via [`Self::add_relation`]); both sides are resolved against
+    /// one [`DbSnapshot`]. The build side is chosen **greedily from
+    /// observed per-predicate selectivity** — the side with fewer
+    /// estimated post-filter rows (its physical row count scaled by the
+    /// smoothed selectivity history of its residual filter) builds the
+    /// hash table; no cardinality statistics are kept. Sides bound to the
+    /// primary relation feed the monitoring window, so a join workload
+    /// drives the adviser toward key+payload column groups.
+    ///
+    /// Joins do not currently support cancellation or deadlines (see
+    /// `h2o_exec::join`).
+    pub fn execute_join(&self, q: &JoinQuery) -> Result<QueryResult, EngineError> {
+        self.execute_join_snapshot(q).map(|(_, r)| r)
+    }
+
+    /// [`Self::execute_join`] returning also the [`DbSnapshot`] the join
+    /// ran against — the hook differential tests use to check the result
+    /// against the interpreter oracle *on the same data*.
+    pub fn execute_join_snapshot(
+        &self,
+        q: &JoinQuery,
+    ) -> Result<(DbSnapshot, QueryResult), EngineError> {
+        self.execute_join_inner(q, None)
+    }
+
+    /// [`Self::execute_join`] with the build side forced instead of chosen
+    /// greedily — the harness hook the bench guardrail uses to compare the
+    /// greedy order against the worst order.
+    pub fn execute_join_with_build_side(
+        &self,
+        q: &JoinQuery,
+        build_is_left: bool,
+    ) -> Result<QueryResult, EngineError> {
+        self.execute_join_inner(q, Some(build_is_left))
+            .map(|(_, r)| r)
+    }
+
+    /// What the engine did for the most recent join query (racy under
+    /// concurrent clients, like [`Self::last_report`]).
+    pub fn last_join_report(&self) -> Option<JoinReport> {
+        self.last_join_report.lock().clone()
+    }
+
+    /// The exponentially smoothed selectivity the engine has observed for
+    /// `side`'s residual filter of join queries shaped like `q`, if any.
+    pub fn observed_join_selectivity(&self, q: &JoinQuery, side: Side) -> Option<f64> {
+        if q.filter(side).is_always_true() {
+            return None;
+        }
+        self.sel_history
+            .lock()
+            .get(&Self::join_side_signature(q, side))
+            .copied()
+    }
+
+    /// Panic-isolation wrapper of the join path, mirroring
+    /// [`Self::execute_snapshot_inner`].
+    fn execute_join_inner(
+        &self,
+        q: &JoinQuery,
+        forced_build_is_left: Option<bool>,
+    ) -> Result<(DbSnapshot, QueryResult), EngineError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_join_attempt(q, forced_build_is_left)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.stats.lock().queries_panicked += 1;
+                Err(EngineError::ExecutionPanicked {
+                    payload: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    fn execute_join_attempt(
+        &self,
+        q: &JoinQuery,
+        forced_build_is_left: Option<bool>,
+    ) -> Result<(DbSnapshot, QueryResult), EngineError> {
+        // Plan-time type gate, as on the single-relation path: join keys
+        // must share a logical type, dict keys join on codes only when the
+        // dictionaries are shared, measures must be typed.
+        let checked = h2o_expr::check_join(q)?;
+        let db = self.db_snapshot();
+        let left = db.relation(q.left().name())?.clone();
+        let right = db.relation(q.right().name())?.clone();
+        Self::check_schema_binding(q, Side::Left, left.schema())?;
+        Self::check_schema_binding(q, Side::Right, right.schema())?;
+
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.lock().queries += 1;
+
+        // Per-side patterns with selectivity from observed history.
+        let lsel = self.estimate_join_selectivity(q, Side::Left);
+        let rsel = self.estimate_join_selectivity(q, Side::Right);
+        let lpat = AccessPattern::of_join_side(q, Side::Left, lsel);
+        let rpat = AccessPattern::of_join_side(q, Side::Right, rsel);
+        let (lplan, _) = self.plan_on(&left, &lpat)?;
+        let (rplan, _) = self.plan_on(&right, &rpat)?;
+
+        // Greedy selectivity-driven ordering: build over the side with
+        // fewer estimated post-filter rows — physical row count (a
+        // property of the snapshot, not a statistic) scaled by observed
+        // selectivity. Ties build left.
+        let l_est = left.rows() as f64 * lsel;
+        let r_est = right.rows() as f64 * rsel;
+        let build_is_left = forced_build_is_left.unwrap_or(l_est <= r_est);
+
+        let (lrole, rrole) = if build_is_left {
+            (JoinRole::Build, JoinRole::Probe)
+        } else {
+            (JoinRole::Probe, JoinRole::Build)
+        };
+        let cost = self.model.join_side_cost(
+            &lpat,
+            &PlanSpec {
+                strategy: lplan.strategy,
+                groups: Self::plan_groups(&left, &lplan)?,
+                residence: Residence::Memory,
+            },
+            left.rows(),
+            lrole,
+        ) + self.model.join_side_cost(
+            &rpat,
+            &PlanSpec {
+                strategy: rplan.strategy,
+                groups: Self::plan_groups(&right, &rplan)?,
+                residence: Residence::Memory,
+            },
+            right.rows(),
+            rrole,
+        );
+
+        let op = self.opcache.get_or_compile_join(
+            &left,
+            &right,
+            &lplan,
+            &rplan,
+            q,
+            &checked,
+            build_is_left,
+        )?;
+        for &id in &lplan.layouts {
+            left.note_use(id, epoch);
+        }
+        for &id in &rplan.layouts {
+            right.note_use(id, epoch);
+        }
+        let (result, exec) =
+            exec_execute_join_with_policy(&left, &right, &op, &self.config.exec_policy())?;
+        if exec.segments_skipped > 0 {
+            self.stats.lock().segments_skipped += exec.segments_skipped;
+        }
+
+        // Per-side selectivity feedback from the executed join's observed
+        // post-filter cardinalities. An early-exited probe side (empty
+        // build) scanned nothing and reports nothing.
+        let ratio = |rows: usize, input: usize| (input > 0).then(|| rows as f64 / input as f64);
+        let (l_obs, r_obs) = if exec.build_is_left {
+            (
+                ratio(exec.build_rows, exec.build_input_rows),
+                ratio(exec.probe_rows, exec.probe_input_rows),
+            )
+        } else {
+            (
+                ratio(exec.probe_rows, exec.probe_input_rows),
+                ratio(exec.build_rows, exec.build_input_rows),
+            )
+        };
+        for (side, obs) in [(Side::Left, l_obs), (Side::Right, r_obs)] {
+            if q.filter(side).is_always_true() {
+                continue;
+            }
+            let Some(observed) = obs else { continue };
+            let sig = Self::join_side_signature(q, side);
+            let mut hist = self.sel_history.lock();
+            let entry = hist.entry(sig).or_insert(observed);
+            *entry = 0.5 * *entry + 0.5 * observed;
+        }
+
+        // Monitoring: sides bound to the primary relation are observed as
+        // access patterns (key + payload = select, residual filter =
+        // where), so the adviser learns join-shaped column groups.
+        // Secondary relations are static this PR — observing their
+        // patterns into the primary's window would only pollute it.
+        let mut adapt_now = false;
+        for (side, pat) in [(Side::Left, &lpat), (Side::Right, &rpat)] {
+            if q.rel(side).name() == PRIMARY_RELATION {
+                adapt_now |= self.window.observe(pat.clone());
+            }
+        }
+        if adapt_now && self.config.adaptive {
+            if self.config.background_reorg {
+                self.adapt_due.store(true, Ordering::Release);
+            } else if !self.adapt_running.swap(true, Ordering::AcqRel) {
+                self.adapt();
+                self.adapt_running.store(false, Ordering::Release);
+            }
+        }
+        // Lazy materialization, join flavour: the fused reorg-and-execute
+        // operator only answers single-relation shapes, so instead of
+        // materializing *while* answering (the `try_pending` path), the
+        // join path materializes a beneficial pending group right after
+        // answering — the next join over this shape runs on the improved
+        // layout.
+        if self.config.adaptive && !self.config.background_reorg {
+            for (side, pat) in [(Side::Left, &lpat), (Side::Right, &rpat)] {
+                if q.rel(side).name() == PRIMARY_RELATION {
+                    self.materialize_pending_for(pat);
+                }
+            }
+        }
+
+        *self.last_join_report.lock() = Some(JoinReport {
+            build_is_left,
+            left_strategy: lplan.strategy,
+            right_strategy: rplan.strategy,
+            left_layouts: lplan.layouts.clone(),
+            right_layouts: rplan.layouts.clone(),
+            estimated_cost: cost,
+            left_selectivity_estimate: lsel,
+            right_selectivity_estimate: rsel,
+            exec,
+        });
+        Ok((db, result))
+    }
+
+    /// The abstract group specs a plan's layouts read on `catalog`.
+    fn plan_groups(
+        catalog: &LayoutCatalog,
+        plan: &AccessPlan,
+    ) -> Result<Vec<GroupSpec>, EngineError> {
+        plan.layouts
+            .iter()
+            .map(|&id| {
+                catalog
+                    .group(id)
+                    .map(|g| GroupSpec::new(g.attr_set().clone()))
+                    .map_err(EngineError::from)
+            })
+            .collect()
+    }
+
+    /// Rejects a join whose relation binding was typed against a schema
+    /// other than the engine's — binding is by name, and a stale or
+    /// foreign schema would make attribute ids (and dictionary codes)
+    /// silently mean the wrong thing.
+    fn check_schema_binding(
+        q: &JoinQuery,
+        side: Side,
+        actual: &Arc<Schema>,
+    ) -> Result<(), EngineError> {
+        let bound = q.rel(side).schema();
+        let same = Arc::ptr_eq(bound, actual)
+            || (bound.len() == actual.len()
+                && (0..bound.len()).all(|i| {
+                    bound.attr(AttrId::from(i)).ok() == actual.attr(AttrId::from(i)).ok()
+                }));
+        if same {
+            Ok(())
+        } else {
+            Err(EngineError::Query(QueryError::TypeMismatch(format!(
+                "join query was typed against a different schema for relation {}",
+                q.rel(side).name()
+            ))))
+        }
+    }
+
+    fn estimate_join_selectivity(&self, q: &JoinQuery, side: Side) -> f64 {
+        if q.filter(side).is_always_true() {
+            return 1.0;
+        }
+        self.sel_history
+            .lock()
+            .get(&Self::join_side_signature(q, side))
+            .copied()
+            .unwrap_or(self.config.default_selectivity)
+    }
+
+    /// Signature of one join side's residual filter mixed with its
+    /// relation name — the selectivity-history key. The name is part of
+    /// the key because the same filter shape can be arbitrarily more or
+    /// less selective on a different relation's data.
+    fn join_side_signature(q: &JoinQuery, side: Side) -> u64 {
+        let mut h = DefaultHasher::new();
+        q.rel(side).name().hash(&mut h);
+        for p in q.filter(side).predicates() {
+            p.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// The shared execution entry: arms the implicit config deadline when
@@ -809,6 +1263,50 @@ impl H2oEngine {
             return true;
         }
         false
+    }
+
+    /// Materializes the pending group that most improves `pattern`'s best
+    /// plan on the primary, if any does — the join path's analogue of
+    /// [`Self::try_pending`]'s per-query "can benefit" check (§3.2), run
+    /// after answering instead of fused into the answer.
+    fn materialize_pending_for(&self, pattern: &AccessPattern) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let needed = pattern.all_attrs();
+        let snap = self.snapshot();
+        let Ok((_, current_cost)) = self.plan_on(&snap, pattern) else {
+            return;
+        };
+        let mut best: Option<(GroupSpec, f64)> = None;
+        for g in self.pending.get() {
+            if !needed.intersects(&g.attrs) || snap.find_exact(&g.attrs).is_some() {
+                continue;
+            }
+            // Hypothetically add the pending group, cover the remainder
+            // from existing layouts, and compare against the current best.
+            let remaining = needed.difference(&g.attrs);
+            let mut groups = vec![g.clone()];
+            if !remaining.is_empty() {
+                let Ok(cover) = snap.cover(
+                    &remaining,
+                    h2o_storage::catalog::CoverPolicy::LeastExcessWidth,
+                ) else {
+                    continue; // uncoverable remainder: not a candidate
+                };
+                for (id, _) in cover {
+                    let Ok(src) = snap.group(id) else { continue };
+                    groups.push(GroupSpec::new(src.attr_set().clone()));
+                }
+            }
+            let cost = self.model.best_cost(pattern, &groups, snap.rows());
+            if cost < current_cost && best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((g, cost));
+            }
+        }
+        let Some((g, _)) = best else { return };
+        self.build_pending_group(&g);
+        self.pending.remove(&g);
     }
 
     /// Evicts least-recently-used redundant layouts from `new_cat` until a
@@ -1832,6 +2330,259 @@ mod tests {
         assert!(
             st.restarts >= 1 && st.last_backoff >= REORG_BACKOFF_BASE,
             "{st:?}"
+        );
+    }
+
+    // ---- multi-relation queries ----
+
+    use h2o_expr::interpret_join;
+    use h2o_storage::LogicalType;
+
+    /// Engine whose primary is a fact relation `R(fk, v0, v1)` joined to a
+    /// secondary `dim(k, tag)`. `fk = i % dim_rows`; `v1 = (i * 31) % 1000`
+    /// scatters values so zone maps cannot prune (scanned-row counts stay
+    /// exact for selectivity-feedback assertions).
+    fn join_engine(
+        fact_rows: usize,
+        dim_rows: usize,
+        config: EngineConfig,
+    ) -> (H2oEngine, Arc<Schema>, Arc<Schema>) {
+        let fact_schema = Schema::typed([
+            ("fk", LogicalType::I64),
+            ("v0", LogicalType::I64),
+            ("v1", LogicalType::I64),
+        ])
+        .into_shared();
+        let fact = Relation::columnar(
+            fact_schema.clone(),
+            vec![
+                (0..fact_rows)
+                    .map(|i| (i % dim_rows.max(1)) as Value)
+                    .collect(),
+                (0..fact_rows).map(|i| ((i * 7) % 1000) as Value).collect(),
+                (0..fact_rows).map(|i| ((i * 31) % 1000) as Value).collect(),
+            ],
+        )
+        .unwrap();
+        let dim_schema =
+            Schema::typed([("k", LogicalType::I64), ("tag", LogicalType::I64)]).into_shared();
+        let dim = Relation::columnar(
+            dim_schema.clone(),
+            vec![
+                (0..dim_rows).map(|i| i as Value).collect(),
+                (0..dim_rows).map(|i| (i as Value) * 10).collect(),
+            ],
+        )
+        .unwrap();
+        let e = H2oEngine::new(fact, config);
+        e.add_relation("dim", dim).unwrap();
+        (e, fact_schema, dim_schema)
+    }
+
+    #[test]
+    fn join_matches_interpreter_on_one_snapshot() {
+        let (e, fs, ds) = join_engine(400, 16, EngineConfig::no_compile_latency());
+        let b = Query::join(("R", fs.clone()), ("dim", ds.clone()));
+        let v0 = b.col("v0").unwrap();
+        let tag = b.col("tag").unwrap();
+        let q = b
+            .on("fk", "k")
+            .unwrap()
+            .filter_left(Conjunction::of([Predicate::lt(1u32, 500)]))
+            .project([v0, tag])
+            .unwrap();
+        let (db, got) = e.execute_join_snapshot(&q).unwrap();
+        let want =
+            interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        let rep = e.last_join_report().unwrap();
+        assert_eq!(rep.exec.output_pairs, got.rows());
+        assert_eq!(e.stats().queries, 1);
+
+        // A grouped rollup over the same join, same oracle.
+        let b = Query::join(("R", fs), ("dim", ds));
+        let v0 = b.col("v0").unwrap();
+        let tag = b.col("tag").unwrap();
+        let q = b
+            .on("fk", "k")
+            .unwrap()
+            .grouped([tag], [Aggregate::sum(v0), Aggregate::count()])
+            .unwrap();
+        let (db, got) = e.execute_join_snapshot(&q).unwrap();
+        let want =
+            interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
+        assert_eq!(got, want, "grouped join output is sorted: bit-identical");
+    }
+
+    #[test]
+    fn greedy_build_side_learns_from_observed_selectivity() {
+        // Left: 1000 rows with a filter matching exactly 10 (sel 0.01).
+        // Right: 100 rows, no filter (sel 1.0). The first run only has the
+        // default estimate (0.5) for the left side — 500 estimated rows
+        // against 100 — so it builds over the right. Execution observes
+        // the true 0.01, and the second run flips the build side.
+        let (e, fs, ds) = join_engine(1000, 100, EngineConfig::no_compile_latency());
+        let b = Query::join(("R", fs), ("dim", ds));
+        let v0 = b.col("v0").unwrap();
+        let tag = b.col("tag").unwrap();
+        let q = b
+            .on("fk", "k")
+            .unwrap()
+            .filter_left(Conjunction::of([Predicate::lt(2u32, 10)]))
+            .project([v0, tag])
+            .unwrap();
+
+        let first = e.execute_join(&q).unwrap();
+        let r1 = e.last_join_report().unwrap();
+        assert!(
+            !r1.build_is_left,
+            "default estimate must build right: {r1:?}"
+        );
+        assert!((r1.left_selectivity_estimate - 0.5).abs() < 1e-12);
+        let obs = e.observed_join_selectivity(&q, Side::Left).unwrap();
+        assert!((obs - 0.01).abs() < 1e-9, "observed {obs}");
+        assert_eq!(
+            e.observed_join_selectivity(&q, Side::Right),
+            None,
+            "no filter, no history"
+        );
+
+        let second = e.execute_join(&q).unwrap();
+        let r2 = e.last_join_report().unwrap();
+        assert!(
+            r2.build_is_left,
+            "observed selectivity must flip the build side: {r2:?}"
+        );
+        assert!((r2.left_selectivity_estimate - 0.01).abs() < 1e-9);
+        // Build-side choice is invisible in the result.
+        assert_eq!(first.fingerprint(), second.fingerprint());
+    }
+
+    #[test]
+    fn forced_build_side_is_bit_identical_and_reported() {
+        let (e, fs, ds) = join_engine(300, 8, EngineConfig::no_compile_latency());
+        let b = Query::join(("R", fs), ("dim", ds));
+        let v1 = b.col("v1").unwrap();
+        let tag = b.col("tag").unwrap();
+        let q = b
+            .on("fk", "k")
+            .unwrap()
+            .filter_right(Conjunction::of([Predicate::lt(0u32, 6)]))
+            .project([v1, tag])
+            .unwrap();
+        let a = e.execute_join_with_build_side(&q, true).unwrap();
+        assert!(e.last_join_report().unwrap().exec.build_is_left);
+        let bres = e.execute_join_with_build_side(&q, false).unwrap();
+        assert!(!e.last_join_report().unwrap().exec.build_is_left);
+        assert_eq!(a.fingerprint(), bres.fingerprint());
+    }
+
+    #[test]
+    fn join_error_messages_are_stable() {
+        let (e, fs, ds) = join_engine(50, 4, EngineConfig::no_compile_latency());
+        // Unknown relation name, resolved at execution time.
+        let b = Query::join(("R", fs.clone()), ("nope", ds.clone()));
+        let v0 = b.col("v0").unwrap();
+        let q = b.on("fk", "k").unwrap().project([v0]).unwrap();
+        assert_eq!(
+            e.execute_join(&q).unwrap_err().to_string(),
+            "invalid query: unknown relation: nope"
+        );
+        // The reserved primary name cannot be rebound.
+        let dim = Relation::columnar(ds.clone(), vec![vec![], vec![]]).unwrap();
+        assert_eq!(
+            e.add_relation(PRIMARY_RELATION, dim)
+                .unwrap_err()
+                .to_string(),
+            "relation binding error: \"R\" is the reserved primary relation name"
+        );
+        // A query typed against a schema other than the engine's binding.
+        let other = Schema::typed([
+            ("fk", LogicalType::I64),
+            ("v0", LogicalType::F64),
+            ("v1", LogicalType::I64),
+        ])
+        .into_shared();
+        let b = Query::join(("R", other), ("dim", ds));
+        let v1 = b.col("v1").unwrap();
+        let q = b.on("fk", "k").unwrap().project([v1]).unwrap();
+        let err = e.execute_join(&q).unwrap_err().to_string();
+        assert!(
+            err.contains("typed against a different schema for relation R"),
+            "{err}"
+        );
+        let _ = fs;
+    }
+
+    #[test]
+    fn secondary_relations_are_snapshot_isolated() {
+        let (e, _fs, _ds) = join_engine(100, 8, EngineConfig::no_compile_latency());
+        assert_eq!(e.db_snapshot().relation_names(), vec!["R", "dim"]);
+        let before = e.db_snapshot();
+        e.insert_into("dim", &[vec![100, 1000], vec![101, 1010]])
+            .unwrap();
+        // The pre-insert snapshot still sees the old version; a fresh
+        // resolution sees the new rows.
+        assert_eq!(before.relation("dim").unwrap().rows(), 8);
+        assert_eq!(e.relation_snapshot("dim").unwrap().rows(), 10);
+        // Inserting into an unbound name is an error; into the primary
+        // name, an alias for `insert`.
+        assert!(e.insert_into("nope", &[vec![1, 2]]).is_err());
+        e.insert_into(PRIMARY_RELATION, &[vec![0, 0, 0]]).unwrap();
+        assert_eq!(e.snapshot().rows(), 101);
+    }
+
+    #[test]
+    fn join_workload_drives_adviser_to_key_payload_group() {
+        // A join-heavy workload over the primary must make the adviser
+        // materialize a group covering the key + payload columns it
+        // gathers, exactly as a grouped workload does for its keys.
+        let mut cfg = EngineConfig::no_compile_latency();
+        cfg.window.initial = 8;
+        cfg.window.min = 4;
+        let fact_schema = Schema::with_width(20).into_shared();
+        let mut cols = columns(20, 3000);
+        for v in &mut cols[0] {
+            *v = v.rem_euclid(16);
+        }
+        let fact = Relation::columnar(fact_schema.clone(), cols).unwrap();
+        let e = H2oEngine::new(fact, cfg);
+        let dim_schema =
+            Schema::typed([("k", LogicalType::I64), ("tag", LogicalType::I64)]).into_shared();
+        let dim = Relation::columnar(
+            dim_schema.clone(),
+            vec![(0..16).collect(), (0..16).map(|i| i * 10).collect()],
+        )
+        .unwrap();
+        e.add_relation("dim", dim).unwrap();
+
+        for i in 0..40i64 {
+            let b = Query::join(("R", fact_schema.clone()), ("dim", dim_schema.clone()));
+            let p1 = b.lcol("a1").unwrap();
+            let p2 = b.lcol("a2").unwrap();
+            let tag = b.rcol("tag").unwrap();
+            let q = b
+                .on("a0", "k")
+                .unwrap()
+                .filter_left(Conjunction::of([Predicate::lt(3u32, (i % 7) * 200 - 600)]))
+                .project([p1, p2, tag])
+                .unwrap();
+            let (db, got) = e.execute_join_snapshot(&q).unwrap();
+            let want =
+                interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
+            assert_eq!(got.fingerprint(), want.fingerprint(), "join query {i}");
+        }
+        let stats = e.stats();
+        assert!(stats.adaptations >= 1, "window must trigger adaptation");
+        assert!(
+            stats.layouts_created >= 1,
+            "join workload must materialize a layout; stats: {stats:?}"
+        );
+        // Key {0} + payload {1,2} form the hot select cluster.
+        let hot: h2o_storage::AttrSet = [0usize, 1, 2].into_iter().collect();
+        assert!(
+            e.catalog().find_superset(&hot).is_some(),
+            "expected a group covering join key + payload"
         );
     }
 }

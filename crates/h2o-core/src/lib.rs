@@ -31,8 +31,8 @@ pub mod stats;
 pub use baseline::{StaticEngine, StaticKind};
 pub use config::EngineConfig;
 pub use engine::{
-    EngineError, H2oEngine, MaintenanceReport, QueryReport, ReorganizerHandle, ReorganizerStatus,
-    REORG_BACKOFF_BASE, REORG_BACKOFF_CAP,
+    DbSnapshot, EngineError, H2oEngine, JoinReport, MaintenanceReport, QueryReport,
+    ReorganizerHandle, ReorganizerStatus, PRIMARY_RELATION, REORG_BACKOFF_BASE, REORG_BACKOFF_CAP,
 };
 pub use h2o_exec::{CancelReason, CancelToken};
 pub use stats::EngineStats;

@@ -23,6 +23,6 @@ pub mod model;
 pub mod params;
 pub mod pattern;
 
-pub use model::{CostModel, GroupSpec, PlanSpec, Residence};
+pub use model::{CostModel, GroupSpec, JoinRole, PlanSpec, Residence};
 pub use params::HardwareParams;
 pub use pattern::AccessPattern;

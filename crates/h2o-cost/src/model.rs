@@ -48,6 +48,24 @@ pub struct PlanSpec {
     pub residence: Residence,
 }
 
+/// Which role a relation plays in a hash join. The build side is scanned
+/// once into a hash table (insert + payload copy per qualifying tuple); the
+/// probe side streams against that table (one probe per qualifying tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRole {
+    Build,
+    Probe,
+}
+
+/// Hash-table probe: key hash + bucket compare. Shared by grouped
+/// aggregation (every qualifying tuple folds through a table) and the
+/// probe side of a hash join.
+const HASH_PROBE_OPS: f64 = 8.0;
+
+/// Hash-table insert: the probe work plus bucket append and amortized
+/// growth. Charged per qualifying build-side tuple.
+const HASH_INSERT_OPS: f64 = 12.0;
+
 /// The H2O cost model.
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {
@@ -181,7 +199,6 @@ impl CostModel {
         // strategy-independent — all three strategies fold through the same
         // table — so relative plan choice stays driven by scan/gather
         // costs, exactly as for scalar aggregates.
-        const HASH_PROBE_OPS: f64 = 8.0;
         let group_cost = if pat.is_grouped {
             selected * (HASH_PROBE_OPS + pat.output_width as f64) * p.cpu_op_seconds
         } else {
@@ -299,6 +316,59 @@ impl CostModel {
                 total + out_cost
             }
         }
+    }
+
+    /// Estimated cost of one **side** of a hash join executed with `plan`:
+    /// the side's scan/filter/gather cost ([`Self::plan_cost`] over the
+    /// side pattern — see [`AccessPattern::of_join_side`]) plus the
+    /// role-specific hash work per qualifying tuple. The build side pays a
+    /// table insert and the payload copy (the pattern's `output_width`
+    /// values); the probe side pays a table probe. Output materialization
+    /// of the *joined* result is already inside `plan_cost`'s output term.
+    ///
+    /// The asymmetry (insert + copy > probe) is what makes pricing both
+    /// orders worthwhile: building on the smaller post-filter side wins,
+    /// which is exactly the greedy selectivity-driven ordering the engine
+    /// applies — no cardinality statistics, only observed selectivity.
+    pub fn join_side_cost(
+        &self,
+        pat: &AccessPattern,
+        plan: &PlanSpec,
+        rows: usize,
+        role: JoinRole,
+    ) -> f64 {
+        let selected = rows as f64 * pat.selectivity;
+        let hash_ops = match role {
+            JoinRole::Build => HASH_INSERT_OPS + pat.output_width as f64,
+            JoinRole::Probe => HASH_PROBE_OPS,
+        };
+        self.plan_cost(pat, plan, rows) + selected * hash_ops * self.params.cpu_op_seconds
+    }
+
+    /// The best (minimum) join-side cost over all strategies for a fixed
+    /// group set — the join counterpart of [`Self::best_cost`].
+    pub fn best_join_side_cost(
+        &self,
+        pat: &AccessPattern,
+        groups: &[GroupSpec],
+        rows: usize,
+        role: JoinRole,
+    ) -> f64 {
+        Strategy::ALL
+            .iter()
+            .map(|&strategy| {
+                self.join_side_cost(
+                    pat,
+                    &PlanSpec {
+                        strategy,
+                        groups: groups.to_vec(),
+                        residence: Residence::Memory,
+                    },
+                    rows,
+                    role,
+                )
+            })
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The best (minimum) plan cost over all strategies for a fixed group
@@ -633,6 +703,65 @@ mod tests {
         let t_big = m.transform_cost(ROWS, &(spec(&(0..50).collect::<Vec<_>>())), &sources);
         assert!(t_big > t_small);
         assert!(t_small > 0.0);
+    }
+
+    #[test]
+    fn join_build_costs_more_than_probe() {
+        // Same side, same plan: the build role pays insert + payload copy,
+        // the probe role only the table probe.
+        let m = CostModel::default();
+        let pat = pattern(&[0, 1], &[2], 0.5);
+        let groups = vec![spec(&[0, 1, 2])];
+        let plan = PlanSpec {
+            strategy: Strategy::SelVector,
+            groups,
+            residence: Residence::Memory,
+        };
+        let build = m.join_side_cost(&pat, &plan, ROWS, JoinRole::Build);
+        let probe = m.join_side_cost(&pat, &plan, ROWS, JoinRole::Probe);
+        assert!(
+            build > probe,
+            "build {build} must exceed probe {probe} on the same side"
+        );
+    }
+
+    #[test]
+    fn join_ordering_prefers_selective_build_side() {
+        // Two sides with very different observed selectivity: pricing both
+        // orders must prefer building on the selective (small post-filter)
+        // side — the greedy ordering rule the engine applies.
+        let m = CostModel::default();
+        let selective = pattern(&[0, 1], &[2], 0.05);
+        let broad = pattern(&[0, 1], &[2], 0.8);
+        let groups = vec![spec(&[0, 1, 2])];
+        let order_a = m.best_join_side_cost(&selective, &groups, ROWS, JoinRole::Build)
+            + m.best_join_side_cost(&broad, &groups, ROWS, JoinRole::Probe);
+        let order_b = m.best_join_side_cost(&broad, &groups, ROWS, JoinRole::Build)
+            + m.best_join_side_cost(&selective, &groups, ROWS, JoinRole::Probe);
+        assert!(
+            order_a < order_b,
+            "selective build {order_a} must beat broad build {order_b}"
+        );
+    }
+
+    #[test]
+    fn join_side_cost_prefers_key_payload_group() {
+        // A join side reading keys {0} + payload {1} behind a filter on {2}:
+        // a tailored key+payload group must beat the wide row-major group —
+        // this is the gradient the adviser follows toward join-shaped
+        // column groups.
+        let m = CostModel::default();
+        let pat = pattern(&[0, 1], &[2], 0.2);
+        let tailored = vec![spec(&[0, 1, 2])];
+        let wide = vec![spec(&(0..150).collect::<Vec<_>>())];
+        for role in [JoinRole::Build, JoinRole::Probe] {
+            let narrow_cost = m.best_join_side_cost(&pat, &tailored, ROWS, role);
+            let wide_cost = m.best_join_side_cost(&pat, &wide, ROWS, role);
+            assert!(
+                narrow_cost < wide_cost,
+                "{role:?}: {narrow_cost} vs {wide_cost}"
+            );
+        }
     }
 
     #[test]

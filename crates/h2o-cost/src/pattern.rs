@@ -5,7 +5,7 @@
 //! where clause reads, and how selective the filter is. The adaptation
 //! mechanism never looks at predicates or expressions, only at patterns.
 
-use h2o_expr::Query;
+use h2o_expr::{JoinQuery, Query, Side};
 use h2o_storage::AttrSet;
 
 /// The layout-relevant footprint of one query.
@@ -47,6 +47,33 @@ impl AccessPattern {
             select_ops: query.select_node_count(),
             is_aggregate: query.is_aggregate(),
             is_grouped: query.is_grouped(),
+        }
+    }
+
+    /// Derives the pattern of one **side** of a join: the side's join keys
+    /// and payload are its select clause (they are gathered for the hash
+    /// table on the build side and for tuple stitching on the probe side),
+    /// its residual filter is the where clause. This is both what the
+    /// model prices ([`crate::CostModel::join_side_cost`]) and what the
+    /// engine feeds the monitoring window — so the adviser sees join
+    /// key+payload column groups as hot select-clause attributes, exactly
+    /// as it sees group-by keys.
+    pub fn of_join_side(query: &JoinQuery, side: Side, selectivity: f64) -> AccessPattern {
+        let mut select = query.payload_attrs(side);
+        for k in query.key_attrs(side) {
+            select.insert(k);
+        }
+        let width = select.len();
+        AccessPattern {
+            select,
+            where_: query.filter(side).attrs(),
+            selectivity: selectivity.clamp(0.0, 1.0),
+            // One materialized value per key/payload attribute of every
+            // qualifying tuple (the hash-table entry or stitched half).
+            output_width: width,
+            select_ops: width,
+            is_aggregate: false,
+            is_grouped: false,
         }
     }
 
@@ -114,6 +141,42 @@ mod tests {
         // The key column is a select-clause attribute: the adviser sees it.
         assert!(p.select.contains(h2o_storage::AttrId(7)));
         assert_eq!(p.output_width, 2);
+    }
+
+    #[test]
+    fn join_side_pattern_marks_keys_and_payload_hot() {
+        let photo = h2o_storage::Schema::typed([
+            ("objID", h2o_storage::LogicalType::I64),
+            ("ra", h2o_storage::LogicalType::F64),
+            ("flags", h2o_storage::LogicalType::I64),
+        ])
+        .into_shared();
+        let spec = h2o_storage::Schema::typed([
+            ("bestObjID", h2o_storage::LogicalType::I64),
+            ("z", h2o_storage::LogicalType::F64),
+        ])
+        .into_shared();
+        let b = Query::join(("photo", photo), ("spec", spec));
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        let q = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .filter_left(Conjunction::of([Predicate::lt(2u32, 4)]))
+            .project([ra, z])
+            .unwrap();
+        let left = AccessPattern::of_join_side(&q, Side::Left, 0.3);
+        // Key {0} and payload {1} are the select footprint; filter {2} is
+        // the where footprint — the adviser sees key+payload as one hot
+        // group.
+        assert_eq!(left.select.to_vec(), vec![AttrId(0), AttrId(1)]);
+        assert_eq!(left.where_.to_vec(), vec![AttrId(2)]);
+        assert_eq!(left.output_width, 2);
+        assert!(!left.is_aggregate && !left.is_grouped);
+        assert!((left.selectivity - 0.3).abs() < 1e-12);
+        let right = AccessPattern::of_join_side(&q, Side::Right, 1.0);
+        assert_eq!(right.select.to_vec(), vec![AttrId(0), AttrId(1)]);
+        assert!(right.where_.is_empty());
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl CompiledOp {
 }
 
 /// Resolves `attr` to the first plan slot whose group stores it.
-fn bind_attr(
+pub(crate) fn bind_attr(
     groups: &[(LayoutId, &h2o_storage::ColumnGroup)],
     attr: AttrId,
 ) -> Result<BoundAttr, ExecError> {
@@ -475,7 +475,7 @@ pub fn execute_with_views_policy(
 }
 
 /// Concatenates per-morsel projection blocks in morsel order.
-fn concat_blocks(width: usize, blocks: Vec<QueryResult>) -> QueryResult {
+pub(crate) fn concat_blocks(width: usize, blocks: Vec<QueryResult>) -> QueryResult {
     let total: usize = blocks.iter().map(|b| b.rows()).sum();
     let mut out = QueryResult::with_capacity(width, total);
     for b in &blocks {
@@ -485,7 +485,7 @@ fn concat_blocks(width: usize, blocks: Vec<QueryResult>) -> QueryResult {
 }
 
 /// Stitches per-range selection vectors in morsel order.
-fn stitch_selvecs(parts: Vec<SelVec>) -> SelVec {
+pub(crate) fn stitch_selvecs(parts: Vec<SelVec>) -> SelVec {
     let total: usize = parts.iter().map(|p| p.len()).sum();
     let mut out = SelVec::with_capacity(total);
     for p in &parts {

@@ -1,0 +1,922 @@
+//! Hash-join execution: morsel-parallel build + probe over segment runs,
+//! specialized per execution strategy.
+//!
+//! The paper's evaluation is single-relation; this module extends each of
+//! its three execution strategies (§3.3) to the two-table equi-join shape
+//! ([`h2o_expr::JoinQuery`]) while preserving their cost structure:
+//!
+//! * **fused** — qualifying rows of each side are found by the one-pass
+//!   scan (filter fused into the segment-run loop, no selection vector);
+//!   the probe is fused with the residual filter and the select-items, so
+//!   a matched pair goes straight from hash lookup to output append;
+//! * **selection-vector** — each side's where-clause materializes a
+//!   per-morsel selection vector first (the Fig. 6 phase split), and the
+//!   build gather / probe walk consume ids;
+//! * **column-major** — ids come from the DSM column-at-a-time filter.
+//!
+//! Both sides reuse the single-relation machinery end-to-end: zone-map
+//! pruning via [`GroupViews::runs_pruned`], the vectorized selection
+//! kernels, and the same per-morsel partial merges (blocks concatenated,
+//! [`AggState`] partials merged, grouped tables merged — all in morsel
+//! order), so parallel join execution is bit-identical to serial for a
+//! fixed build side.
+//!
+//! # Build, probe, and determinism
+//!
+//! [`execute_join_with_policy`] hash-partitions the **build** side: each
+//! morsel gathers its qualifying rows' key and payload lanes in row order,
+//! and the per-morsel parts are inserted into one hash table sequentially
+//! in morsel order — identical to a serial row-order build. Keys hash and
+//! compare as **raw lane bits** (`f64` keys by bit pattern, dictionary
+//! keys by code — the join gate guarantees a shared dictionary), matching
+//! [`h2o_expr::interp::interpret_join`]. The probe side then streams: per
+//! qualifying probe row, one hash lookup; per matched build row, the
+//! combined tuple is stitched into a flat buffer and the select program
+//! runs against it ([`CompiledExpr::eval_tuple`]).
+//!
+//! Which side builds is the **caller's** choice ([`compile_join`]'s
+//! `build_is_left`): the engine picks the side it observes to be smaller
+//! after filtering (greedy, statistics-free — see
+//! `h2o_core::H2oEngine::execute_join`), and an empty build side
+//! short-circuits the probe scan entirely. Output *row order* depends on
+//! the build side (pairs stream in probe-row order), so cross-build-side
+//! comparisons use the order-independent
+//! [`QueryResult::fingerprint`]; for a fixed build side, results are
+//! bit-identical serial vs parallel, segmented vs monolithic.
+//!
+//! Joins do not yet participate in cooperative cancellation
+//! ([`crate::cancel`]): a join runs to completion once started.
+
+use crate::bind::{BoundAttr, GroupViews};
+use crate::compile::{bind_attr, concat_blocks, merge_and_finish, ExecError};
+use crate::filter::{CompiledFilter, CompiledPred};
+use crate::kernels::{self, SelectProgram};
+use crate::parallel::{run_morsels, ExecPolicy};
+use crate::plan::{AccessPlan, Strategy};
+use crate::program::CompiledExpr;
+use h2o_expr::agg::{AggOp, AggState};
+use h2o_expr::typecheck::{JoinTypes, TypedPredicate};
+use h2o_expr::{JoinQuery, QueryResult, Side};
+use h2o_storage::{AttrId, LayoutCatalog, LayoutId, Value};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One compiled side of a join: which groups to scan (the side's access
+/// plan), the side's residual filter, and the offset-resolved key and
+/// payload references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledJoinSide {
+    plan: AccessPlan,
+    filter: CompiledFilter,
+    /// Bound key attributes, in `on` order.
+    keys: Vec<BoundAttr>,
+    /// `(bound attribute, combined-tuple position)` per payload value this
+    /// side contributes to the stitched output tuple.
+    payload: Vec<(BoundAttr, u32)>,
+}
+
+impl CompiledJoinSide {
+    /// The side's access plan.
+    pub fn plan(&self) -> &AccessPlan {
+        &self.plan
+    }
+
+    /// The side's compiled residual filter.
+    pub fn filter(&self) -> &CompiledFilter {
+        &self.filter
+    }
+
+    /// Collects this side's qualifying row ids for `range` according to
+    /// its plan's strategy, invoking `f` per qualifying row in ascending
+    /// row order; returns the qualifying count. This is the per-side
+    /// "find the rows" half of both build and probe.
+    fn for_qualifying<F: FnMut(usize)>(
+        &self,
+        views: &GroupViews<'_>,
+        range: Range<usize>,
+        mut f: F,
+    ) -> usize {
+        match self.plan.strategy {
+            Strategy::FusedVolcano => {
+                let mut n = 0usize;
+                for run in views.runs_pruned(range, &self.filter) {
+                    for row in run.range() {
+                        if self.filter.matches(views, row) {
+                            n += 1;
+                            f(row);
+                        }
+                    }
+                }
+                n
+            }
+            Strategy::SelVector => {
+                let sel = kernels::selvector::build_selvec_range(views, &self.filter, range);
+                for &id in sel.ids() {
+                    f(id as usize);
+                }
+                sel.len()
+            }
+            Strategy::ColumnMajor => {
+                let sel =
+                    kernels::colmajor::build_selvec_columnar_range(views, &self.filter, range);
+                for &id in sel.ids() {
+                    f(id as usize);
+                }
+                sel.len()
+            }
+        }
+    }
+}
+
+/// A fully generated join operator: two compiled sides (already assigned
+/// build/probe roles), plus the select program lowered against the
+/// **combined tuple buffer** — every select expression's attributes are
+/// resolved to positions in the stitched tuple, so the probe's inner loop
+/// never consults a side or a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledJoinOp {
+    build: CompiledJoinSide,
+    probe: CompiledJoinSide,
+    /// Whether the build side is the query's *left* relation.
+    build_is_left: bool,
+    select: SelectProgram,
+    /// Width of the stitched combined tuple (= number of distinct
+    /// combined-space attributes the select clause reads).
+    tuple_width: usize,
+}
+
+impl CompiledJoinOp {
+    /// The build side.
+    pub fn build(&self) -> &CompiledJoinSide {
+        &self.build
+    }
+
+    /// The probe side.
+    pub fn probe(&self) -> &CompiledJoinSide {
+        &self.probe
+    }
+
+    /// Whether the build side is the query's left relation.
+    pub fn build_is_left(&self) -> bool {
+        self.build_is_left
+    }
+
+    /// The compiled side bound to the query's `side` relation.
+    pub fn side(&self, side: Side) -> &CompiledJoinSide {
+        let build_side = if self.build_is_left {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        if side == build_side {
+            &self.build
+        } else {
+            &self.probe
+        }
+    }
+
+    /// The compiled select program (combined-tuple offsets).
+    pub fn select(&self) -> &SelectProgram {
+        &self.select
+    }
+
+    /// Re-parameterizes both sides' residual-filter constants (raw lane
+    /// words, in each side's clause order) — operator-cache reuse, exactly
+    /// as [`CompiledOp::rebind_constants`](crate::CompiledOp::rebind_constants).
+    pub fn rebind_constants(&mut self, left: &[Value], right: &[Value]) {
+        let (b, p) = if self.build_is_left {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.build.filter.rebind_constants(b);
+        self.probe.filter.rebind_constants(p);
+    }
+
+    /// Rough size of the generated "code" (opcode count) for the simulated
+    /// compile-latency model, mirroring
+    /// [`CompiledOp::code_size`](crate::CompiledOp::code_size) plus the
+    /// join's key-hash ops.
+    pub fn code_size(&self) -> usize {
+        let expr_size = |e: &CompiledExpr| match e {
+            CompiledExpr::Col(_) => 1,
+            CompiledExpr::SumCols(c) | CompiledExpr::SumColsF(c) => c.len(),
+            CompiledExpr::Program { ops, .. } => ops.len(),
+        };
+        let select_size: usize = self.select.exprs().map(expr_size).sum();
+        select_size
+            + self.build.filter.preds().len()
+            + self.probe.filter.preds().len()
+            + self.build.keys.len()
+            + self.probe.keys.len()
+    }
+}
+
+/// Per-join execution counters: the post-filter cardinalities the engine
+/// feeds back into its selectivity estimates (the greedy join-ordering
+/// signal), plus zone-map skips across both sides.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinExecStats {
+    /// Rows scanned on the build side.
+    pub build_input_rows: usize,
+    /// Build-side rows that survived the residual filter (hash-table
+    /// entries).
+    pub build_rows: usize,
+    /// Rows scanned on the probe side.
+    pub probe_input_rows: usize,
+    /// Probe-side rows that survived the residual filter.
+    pub probe_rows: usize,
+    /// Matched (build row, probe row) pairs — the join's pre-aggregation
+    /// output cardinality.
+    pub output_pairs: usize,
+    /// Segment runs skipped by zone-map pruning, both sides.
+    pub segments_skipped: u64,
+    /// Whether the build side was the query's left relation.
+    pub build_is_left: bool,
+}
+
+/// Compiles one side: resolves its filter predicates, join keys and
+/// payload attributes against the side's plan groups.
+fn compile_side(
+    catalog: &LayoutCatalog,
+    plan: &AccessPlan,
+    q: &JoinQuery,
+    side: Side,
+    preds: &[TypedPredicate],
+    pos: &HashMap<AttrId, u32>,
+) -> Result<CompiledJoinSide, ExecError> {
+    let groups: Vec<(LayoutId, &h2o_storage::ColumnGroup)> = plan
+        .layouts
+        .iter()
+        .map(|&id| catalog.group(id).map(|g| (id, g)))
+        .collect::<Result<_, _>>()?;
+    let filter = CompiledFilter::new(
+        q.filter(side)
+            .predicates()
+            .iter()
+            .zip(preds)
+            .map(|(p, tp)| {
+                Ok(CompiledPred::from_lane(
+                    bind_attr(&groups, p.attr)?,
+                    p.op,
+                    tp.ty,
+                    tp.lane,
+                ))
+            })
+            .collect::<Result<Vec<_>, ExecError>>()?,
+    );
+    let keys = q
+        .key_attrs(side)
+        .iter()
+        .map(|&k| bind_attr(&groups, k))
+        .collect::<Result<Vec<_>, _>>()?;
+    // Combined-tuple positions are assigned over the sorted combined
+    // attribute set, so they are identical for either build-side choice.
+    let mut payload = Vec::new();
+    for (&combined, &p) in pos {
+        let (s, local) = q.side_of(combined);
+        if s == side {
+            payload.push((bind_attr(&groups, local)?, p));
+        }
+    }
+    payload.sort_by_key(|&(_, p)| p);
+    Ok(CompiledJoinSide {
+        plan: plan.clone(),
+        filter,
+        keys,
+        payload,
+    })
+}
+
+/// Generates the join operator for `q` over one access plan per side.
+/// `checked` is the join's plan-time typing ([`h2o_expr::check_join`]);
+/// `build_is_left` assigns the build role (the caller's greedy ordering
+/// decision). Results are invariant under `build_is_left` up to row order.
+pub fn compile_join(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    left_plan: &AccessPlan,
+    right_plan: &AccessPlan,
+    q: &JoinQuery,
+    checked: &JoinTypes,
+    build_is_left: bool,
+) -> Result<CompiledJoinOp, ExecError> {
+    let select_attrs = q.select_attrs();
+    let tuple_width = select_attrs.len();
+    let pos: HashMap<AttrId, u32> = select_attrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a, i as u32))
+        .collect();
+
+    let lhs = compile_side(
+        left,
+        left_plan,
+        q,
+        Side::Left,
+        &checked.left_predicates,
+        &pos,
+    )?;
+    let rhs = compile_side(
+        right,
+        right_plan,
+        q,
+        Side::Right,
+        &checked.right_predicates,
+        &pos,
+    )?;
+
+    // Lower select expressions against combined-tuple positions: the
+    // bound `offset` indexes the stitched buffer, `slot` is unused
+    // (`CompiledExpr::eval_tuple` semantics).
+    let lower = |e: &h2o_expr::Expr, ty: h2o_storage::LogicalType| -> CompiledExpr {
+        CompiledExpr::lower_typed(e, ty, |attr| BoundAttr {
+            slot: 0,
+            offset: pos[&attr],
+        })
+    };
+    let lower_aggs = || -> Vec<(AggOp, CompiledExpr)> {
+        q.aggregates()
+            .iter()
+            .zip(&checked.aggs)
+            .map(|(a, &op)| (op, lower(&a.expr, op.ty)))
+            .collect()
+    };
+    let select = if q.is_grouped() {
+        SelectProgram::Grouped {
+            keys: q
+                .group_by()
+                .iter()
+                .zip(&checked.keys)
+                .map(|(e, &ty)| lower(e, ty))
+                .collect(),
+            key_types: checked.keys.clone(),
+            aggs: lower_aggs(),
+        }
+    } else if q.is_aggregate() {
+        SelectProgram::Aggregate(lower_aggs())
+    } else {
+        SelectProgram::Project(
+            q.projections()
+                .iter()
+                .zip(&checked.projections)
+                .map(|(e, &ty)| lower(e, ty))
+                .collect(),
+        )
+    };
+
+    let (build, probe) = if build_is_left {
+        (lhs, rhs)
+    } else {
+        (rhs, lhs)
+    };
+    Ok(CompiledJoinOp {
+        build,
+        probe,
+        build_is_left,
+        select,
+        tuple_width,
+    })
+}
+
+/// The build-side hash table: raw-lane key vectors to build-row indices,
+/// with the qualifying rows' payload lanes stored row-major alongside.
+struct JoinTable {
+    map: HashMap<Box<[Value]>, Vec<u32>>,
+    /// Payload lanes of qualifying build rows, `width` per row, in
+    /// insertion (= build row) order.
+    rows: Vec<Value>,
+    width: usize,
+    len: u32,
+}
+
+impl JoinTable {
+    fn new(key_width: usize, payload_width: usize) -> JoinTable {
+        debug_assert!(key_width > 0, "joins always have at least one key");
+        JoinTable {
+            map: HashMap::new(),
+            rows: Vec::new(),
+            width: payload_width,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, key: &[Value], payload: &[Value]) {
+        let idx = self.len;
+        self.len += 1;
+        self.rows.extend_from_slice(payload);
+        match self.map.get_mut(key) {
+            Some(ids) => ids.push(idx),
+            None => {
+                self.map.insert(key.into(), vec![idx]);
+            }
+        }
+    }
+
+    #[inline]
+    fn payload(&self, idx: u32) -> &[Value] {
+        let base = idx as usize * self.width;
+        &self.rows[base..base + self.width]
+    }
+}
+
+/// Executes a compiled join serially.
+pub fn execute_join(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    op: &CompiledJoinOp,
+) -> Result<QueryResult, ExecError> {
+    execute_join_with_policy(left, right, op, &ExecPolicy::serial()).map(|(r, _)| r)
+}
+
+/// Executes a compiled join under a parallelism policy, returning the
+/// result and the per-side cardinality counters.
+///
+/// Build and probe each split into morsels independently; per-morsel
+/// partials are re-assembled in morsel order (see the module docs), so for
+/// a fixed `build_is_left` the result is bit-identical to serial
+/// execution.
+pub fn execute_join_with_policy(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    op: &CompiledJoinOp,
+    policy: &ExecPolicy,
+) -> Result<(QueryResult, JoinExecStats), ExecError> {
+    let (build_cat, probe_cat) = if op.build_is_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let build_views = GroupViews::resolve(build_cat, &op.build.plan.layouts)?;
+    let probe_views = GroupViews::resolve(probe_cat, &op.probe.plan.layouts)?;
+
+    // Phase 1 — build: per-morsel gather of qualifying (key, payload)
+    // lanes in row order, then a sequential morsel-order insert (identical
+    // to a serial row-order build, so the table — and every downstream
+    // result — is independent of the parallelism policy).
+    let key_width = op.build.keys.len();
+    let payload_width = op.build.payload.len();
+    let build_rows_total = build_views.rows();
+    let parts: Vec<(Vec<Value>, Vec<Value>, usize)> = run_morsels(
+        build_rows_total,
+        &policy.aligned_to(build_views.seg_rows()),
+        |r| {
+            let mut keys: Vec<Value> = Vec::new();
+            let mut pays: Vec<Value> = Vec::new();
+            let n = op.build.for_qualifying(&build_views, r, |row| {
+                for &k in &op.build.keys {
+                    keys.push(build_views.get(k, row));
+                }
+                for &(a, _) in &op.build.payload {
+                    pays.push(build_views.get(a, row));
+                }
+            });
+            (keys, pays, n)
+        },
+    );
+    let build_qualifying: usize = parts.iter().map(|(_, _, n)| n).sum();
+    let mut table = JoinTable::new(key_width, payload_width);
+    table.rows.reserve(build_qualifying * payload_width);
+    for (keys, pays, n) in &parts {
+        for i in 0..*n {
+            table.push(
+                &keys[i * key_width..(i + 1) * key_width],
+                &pays[i * payload_width..(i + 1) * payload_width],
+            );
+        }
+    }
+    drop(parts);
+
+    let mut stats = JoinExecStats {
+        build_input_rows: build_rows_total,
+        build_rows: build_qualifying,
+        probe_input_rows: probe_views.rows(),
+        probe_rows: 0,
+        output_pairs: 0,
+        segments_skipped: 0,
+        build_is_left: op.build_is_left,
+    };
+
+    // Phase 2 — probe, fused with the select program. An empty build side
+    // short-circuits the probe scan entirely (greedy early-exit): the
+    // empty-match result shapes below coincide with the interpreter's
+    // conventions (empty projection block, neutral aggregate row, zero
+    // grouped rows).
+    let result = if table.len == 0 {
+        match &op.select {
+            SelectProgram::Project(exprs) => QueryResult::with_capacity(exprs.len(), 0),
+            SelectProgram::Aggregate(aggs) => merge_and_finish(aggs, Vec::new()),
+            SelectProgram::Grouped {
+                key_types, aggs, ..
+            } => kernels::grouped::merge_and_finish(key_types, aggs, Vec::new()),
+        }
+    } else {
+        match &op.select {
+            SelectProgram::Project(exprs) => {
+                let width = exprs.len();
+                let (parts, qual, pairs) = probe_parts(
+                    &probe_views,
+                    op,
+                    &table,
+                    policy,
+                    || {
+                        (
+                            QueryResult::with_capacity(width, 0),
+                            vec![0 as Value; width],
+                        )
+                    },
+                    |(out, row), tuple| {
+                        for (slot, e) in row.iter_mut().zip(exprs) {
+                            *slot = e.eval_tuple(tuple);
+                        }
+                        out.push_row(row);
+                    },
+                );
+                stats.probe_rows = qual;
+                stats.output_pairs = pairs;
+                concat_blocks(width, parts.into_iter().map(|(out, _)| out).collect())
+            }
+            SelectProgram::Aggregate(aggs) => {
+                let (parts, qual, pairs) = probe_parts(
+                    &probe_views,
+                    op,
+                    &table,
+                    policy,
+                    || -> Vec<AggState> { aggs.iter().map(|(f, _)| AggState::new(*f)).collect() },
+                    |states, tuple| {
+                        for (st, (_, e)) in states.iter_mut().zip(aggs) {
+                            st.update(e.eval_tuple(tuple));
+                        }
+                    },
+                );
+                stats.probe_rows = qual;
+                stats.output_pairs = pairs;
+                merge_and_finish(aggs, parts)
+            }
+            SelectProgram::Grouped {
+                keys,
+                key_types,
+                aggs,
+            } => {
+                let (parts, qual, pairs) = probe_parts(
+                    &probe_views,
+                    op,
+                    &table,
+                    policy,
+                    || {
+                        (
+                            kernels::grouped::table_for(key_types, aggs),
+                            vec![0 as Value; keys.len()],
+                            vec![0 as Value; aggs.len()],
+                        )
+                    },
+                    |(t, kb, vb), tuple| {
+                        kernels::grouped::update_from_tuple(t, keys, aggs, kb, vb, tuple)
+                    },
+                );
+                stats.probe_rows = qual;
+                stats.output_pairs = pairs;
+                kernels::grouped::merge_and_finish(
+                    key_types,
+                    aggs,
+                    parts.into_iter().map(|(t, _, _)| t).collect(),
+                )
+            }
+        }
+    };
+    stats.segments_skipped = build_views.segments_skipped() + probe_views.segments_skipped();
+    Ok((result, stats))
+}
+
+/// The probe driver: splits the probe side into morsels; per qualifying
+/// probe row, one hash lookup; per matched build row, stitches the
+/// combined tuple buffer and invokes `fold` on the morsel-local
+/// accumulator from `make`. Returns per-morsel accumulators in morsel
+/// order plus the qualifying-row and matched-pair totals.
+fn probe_parts<T, M, F>(
+    views: &GroupViews<'_>,
+    op: &CompiledJoinOp,
+    table: &JoinTable,
+    policy: &ExecPolicy,
+    make: M,
+    fold: F,
+) -> (Vec<T>, usize, usize)
+where
+    T: Send,
+    M: Fn() -> T + Sync,
+    F: Fn(&mut T, &[Value]) + Sync,
+{
+    let parts = run_morsels(views.rows(), &policy.aligned_to(views.seg_rows()), |r| {
+        let mut acc = make();
+        let mut pairs = 0usize;
+        let mut key: Vec<Value> = vec![0; op.probe.keys.len()];
+        let mut buf: Vec<Value> = vec![0; op.tuple_width];
+        let qual = op.probe.for_qualifying(views, r, |row| {
+            for (slot, &k) in key.iter_mut().zip(&op.probe.keys) {
+                *slot = views.get(k, row);
+            }
+            let Some(idxs) = table.map.get(key.as_slice()) else {
+                return;
+            };
+            // Probe-side lanes are loop-invariant across this row's
+            // matches; build-side lanes are re-stitched per matched row.
+            for &(a, p) in &op.probe.payload {
+                buf[p as usize] = views.get(a, row);
+            }
+            for &idx in idxs {
+                for (&v, &(_, p)) in table.payload(idx).iter().zip(&op.build.payload) {
+                    buf[p as usize] = v;
+                }
+                pairs += 1;
+                fold(&mut acc, &buf);
+            }
+        });
+        (acc, qual, pairs)
+    });
+    let mut accs = Vec::with_capacity(parts.len());
+    let (mut qual, mut pairs) = (0usize, 0usize);
+    for (a, q, p) in parts {
+        accs.push(a);
+        qual += q;
+        pairs += p;
+    }
+    (accs, qual, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_expr::{check_join, interpret_join, Aggregate, Conjunction, Predicate, Query};
+    use h2o_storage::{f64_lane, LogicalType, Relation, Schema};
+    use std::sync::Arc;
+
+    fn photo_schema() -> Arc<Schema> {
+        Schema::typed([
+            ("objID", LogicalType::I64),
+            ("ra", LogicalType::F64),
+            ("flags", LogicalType::I64),
+        ])
+        .into_shared()
+    }
+
+    fn spec_schema() -> Arc<Schema> {
+        Schema::typed([
+            ("specObjID", LogicalType::I64),
+            ("bestObjID", LogicalType::I64),
+            ("z", LogicalType::F64),
+        ])
+        .into_shared()
+    }
+
+    /// photo: 40 rows, objID = i % 8 (duplicate keys), ra dyadic f64,
+    /// flags ∈ 0..4. spec: 30 rows, bestObjID = i % 12 (4 dangle past the
+    /// photo key domain), z dyadic f64.
+    fn fixture(segmented: bool) -> (Relation, Relation) {
+        let shift = if segmented { 3 } else { 20 };
+        let photo_cols: Vec<Vec<Value>> = vec![
+            (0..40).map(|i| i % 8).collect(),
+            (0..40).map(|i| f64_lane(i as f64 * 0.25)).collect(),
+            (0..40).map(|i| (i * 7) % 4).collect(),
+        ];
+        let spec_cols: Vec<Vec<Value>> = vec![
+            (0..30).map(|i| 1000 + i).collect(),
+            (0..30).map(|i| i % 12).collect(),
+            (0..30).map(|i| f64_lane(i as f64 * 0.5 - 4.0)).collect(),
+        ];
+        let photo = Relation::partitioned_with_shift(
+            photo_schema(),
+            photo_cols,
+            vec![vec![AttrId(0)], vec![AttrId(1), AttrId(2)]],
+            shift,
+        )
+        .unwrap();
+        let spec = Relation::partitioned_with_shift(
+            spec_schema(),
+            spec_cols,
+            vec![(0u32..3).map(AttrId::from).collect()],
+            shift,
+        )
+        .unwrap();
+        (photo, spec)
+    }
+
+    fn queries() -> Vec<JoinQuery> {
+        let b = || Query::join(("photo", photo_schema()), ("spec", spec_schema()));
+        let mut qs = Vec::new();
+        // Projection with per-side filters.
+        {
+            let jb = b();
+            let ra = jb.col("ra").unwrap();
+            let z = jb.col("z").unwrap();
+            qs.push(
+                jb.on("objID", "bestObjID")
+                    .unwrap()
+                    .filter_left(Conjunction::of([Predicate::lt(2u32, 3)]))
+                    .filter_right(Conjunction::of([Predicate::gt(0u32, 1004)]))
+                    .project([ra, z])
+                    .unwrap(),
+            );
+        }
+        // Scalar aggregation over the join.
+        {
+            let jb = b();
+            let ra = jb.col("ra").unwrap();
+            let z = jb.col("z").unwrap();
+            let flags = jb.col("flags").unwrap();
+            qs.push(
+                jb.on("objID", "bestObjID")
+                    .unwrap()
+                    .aggregate([
+                        Aggregate::sum(ra.add(z)),
+                        Aggregate::max(flags),
+                        Aggregate::count(),
+                    ])
+                    .unwrap(),
+            );
+        }
+        // Grouped rollup over a join with a filter.
+        {
+            let jb = b();
+            let flags = jb.col("flags").unwrap();
+            let z = jb.col("z").unwrap();
+            qs.push(
+                jb.on("objID", "bestObjID")
+                    .unwrap()
+                    .filter_right(Conjunction::of([Predicate::le(1u32, 9)]))
+                    .grouped([flags], [Aggregate::sum(z), Aggregate::count()])
+                    .unwrap(),
+            );
+        }
+        qs
+    }
+
+    fn par_policy() -> ExecPolicy {
+        ExecPolicy {
+            parallelism: Some(4),
+            morsel_rows: 8,
+            serial_threshold: 0,
+        }
+    }
+
+    #[test]
+    fn differential_all_strategies_build_sides_and_policies() {
+        for segmented in [false, true] {
+            let (photo, spec) = fixture(segmented);
+            for q in queries() {
+                let checked = check_join(&q).unwrap();
+                let want = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+                for strategy in Strategy::ALL {
+                    let lp = AccessPlan::new(photo.catalog().layout_ids(), strategy);
+                    let rp = AccessPlan::new(spec.catalog().layout_ids(), strategy);
+                    for build_is_left in [true, false] {
+                        let op = compile_join(
+                            photo.catalog(),
+                            spec.catalog(),
+                            &lp,
+                            &rp,
+                            &q,
+                            &checked,
+                            build_is_left,
+                        )
+                        .unwrap();
+                        let serial = execute_join(photo.catalog(), spec.catalog(), &op).unwrap();
+                        assert_eq!(
+                            serial.fingerprint(),
+                            want.fingerprint(),
+                            "strategy {} build_is_left {build_is_left} segmented {segmented} \
+                             query {q}",
+                            strategy.name()
+                        );
+                        // Parallel is bit-identical (not just fingerprint-
+                        // equal) for a fixed build side.
+                        let (par, _) = execute_join_with_policy(
+                            photo.catalog(),
+                            spec.catalog(),
+                            &op,
+                            &par_policy(),
+                        )
+                        .unwrap();
+                        assert_eq!(par.data(), serial.data());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_post_filter_cardinalities() {
+        let (photo, spec) = fixture(false);
+        let q = &queries()[0]; // photo.flags < 3, spec.specObjID > 1004
+        let checked = check_join(q).unwrap();
+        let lp = AccessPlan::new(photo.catalog().layout_ids(), Strategy::FusedVolcano);
+        let rp = AccessPlan::new(spec.catalog().layout_ids(), Strategy::FusedVolcano);
+        let op =
+            compile_join(photo.catalog(), spec.catalog(), &lp, &rp, q, &checked, true).unwrap();
+        let (_, stats) =
+            execute_join_with_policy(photo.catalog(), spec.catalog(), &op, &ExecPolicy::serial())
+                .unwrap();
+        assert!(stats.build_is_left);
+        assert_eq!(stats.build_input_rows, 40);
+        assert_eq!(stats.build_rows, 30); // flags ∈ {0,1,2} on 3 of 4 rows
+        assert_eq!(stats.probe_input_rows, 30);
+        assert_eq!(stats.probe_rows, 25); // specObjID > 1004 drops 5
+                                          // Same query, roles flipped: pair count is invariant.
+        let flipped = compile_join(
+            photo.catalog(),
+            spec.catalog(),
+            &lp,
+            &rp,
+            q,
+            &checked,
+            false,
+        )
+        .unwrap();
+        let (_, fstats) = execute_join_with_policy(
+            photo.catalog(),
+            spec.catalog(),
+            &flipped,
+            &ExecPolicy::serial(),
+        )
+        .unwrap();
+        assert_eq!(fstats.output_pairs, stats.output_pairs);
+        assert_eq!(fstats.build_rows, stats.probe_rows);
+        assert!(stats.output_pairs > 0);
+    }
+
+    #[test]
+    fn empty_build_side_short_circuits_with_interpreter_shapes() {
+        let (photo, spec) = fixture(false);
+        let jb = || {
+            Query::join(("photo", photo_schema()), ("spec", spec_schema()))
+                .on("objID", "bestObjID")
+                .unwrap()
+                // No photo row matches: flags < 0 is empty.
+                .filter_left(Conjunction::of([Predicate::lt(2u32, -1)]))
+        };
+        let ra = Query::join(("photo", photo_schema()), ("spec", spec_schema()))
+            .col("ra")
+            .unwrap();
+        let z = Query::join(("photo", photo_schema()), ("spec", spec_schema()))
+            .col("z")
+            .unwrap();
+        let shapes = [
+            jb().project([ra.clone()]).unwrap(),
+            jb().aggregate([Aggregate::sum(z.clone()), Aggregate::count()])
+                .unwrap(),
+            jb().grouped([ra], [Aggregate::count()]).unwrap(),
+        ];
+        for q in &shapes {
+            let checked = check_join(q).unwrap();
+            let want = interpret_join(photo.catalog(), spec.catalog(), q).unwrap();
+            let lp = AccessPlan::new(photo.catalog().layout_ids(), Strategy::SelVector);
+            let rp = AccessPlan::new(spec.catalog().layout_ids(), Strategy::SelVector);
+            let op =
+                compile_join(photo.catalog(), spec.catalog(), &lp, &rp, q, &checked, true).unwrap();
+            let (got, stats) = execute_join_with_policy(
+                photo.catalog(),
+                spec.catalog(),
+                &op,
+                &ExecPolicy::serial(),
+            )
+            .unwrap();
+            assert_eq!(got.fingerprint(), want.fingerprint(), "query {q}");
+            assert_eq!(stats.build_rows, 0);
+            // Early exit: the probe side was never scanned.
+            assert_eq!(stats.probe_rows, 0);
+            assert_eq!(stats.output_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn rebind_constants_reparameterizes_both_sides() {
+        let (photo, spec) = fixture(false);
+        let q = &queries()[0];
+        let checked = check_join(q).unwrap();
+        let lp = AccessPlan::new(photo.catalog().layout_ids(), Strategy::ColumnMajor);
+        let rp = AccessPlan::new(spec.catalog().layout_ids(), Strategy::ColumnMajor);
+        let mut op =
+            compile_join(photo.catalog(), spec.catalog(), &lp, &rp, q, &checked, true).unwrap();
+        let before = execute_join(photo.catalog(), spec.catalog(), &op).unwrap();
+        // Widen both filters to always-true ranges: more pairs survive.
+        op.rebind_constants(&[i64::MAX], &[i64::MIN]);
+        let after = execute_join(photo.catalog(), spec.catalog(), &op).unwrap();
+        assert!(after.rows() > before.rows());
+        // And rebinding back restores the original result exactly.
+        op.rebind_constants(&[3], &[1004]);
+        let again = execute_join(photo.catalog(), spec.catalog(), &op).unwrap();
+        assert_eq!(again.data(), before.data());
+        assert!(op.code_size() > 0);
+    }
+
+    #[test]
+    fn unbound_side_attr_is_reported() {
+        let (photo, spec) = fixture(false);
+        let q = &queries()[0];
+        let checked = check_join(q).unwrap();
+        let lp = AccessPlan::new(vec![], Strategy::FusedVolcano);
+        let rp = AccessPlan::new(spec.catalog().layout_ids(), Strategy::FusedVolcano);
+        let err =
+            compile_join(photo.catalog(), spec.catalog(), &lp, &rp, q, &checked, true).unwrap_err();
+        assert!(matches!(err, ExecError::Unbound(_)));
+    }
+}

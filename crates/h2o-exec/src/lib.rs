@@ -70,6 +70,7 @@ pub mod bind;
 pub mod cancel;
 pub mod compile;
 pub mod filter;
+pub mod join;
 pub mod kernels;
 pub mod opcache;
 pub mod parallel;
@@ -86,6 +87,10 @@ pub use compile::{
     ExecError, ExecStats,
 };
 pub use filter::CompiledFilter;
+pub use join::{
+    compile_join, execute_join, execute_join_with_policy, CompiledJoinOp, CompiledJoinSide,
+    JoinExecStats,
+};
 pub use opcache::{CompileCostModel, OperatorCache, OperatorKey};
 pub use parallel::ExecPolicy;
 pub use plan::{AccessPlan, Strategy};

@@ -23,8 +23,9 @@
 //! benchmark harness enable it explicitly.
 
 use crate::compile::{CompiledOp, ExecError};
+use crate::join::CompiledJoinOp;
 use crate::plan::AccessPlan;
-use h2o_expr::Query;
+use h2o_expr::{JoinQuery, Query, Side};
 use h2o_storage::{LayoutCatalog, Value};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
@@ -113,6 +114,45 @@ impl OperatorKey {
         plan.strategy.hash(&mut h);
         OperatorKey(h.finish())
     }
+
+    /// Builds the key for a join `(query, side plans, build role)`. Shape
+    /// means: relation names (layout ids are per-catalog, so the names
+    /// disambiguate operators cached across relations), key pairs, per-side
+    /// filter shapes (constants excluded, as for single-relation keys), the
+    /// full select structure, both plans, and the build-side choice (the
+    /// build role changes the generated operator, not just its
+    /// parameters).
+    pub fn for_join(
+        query: &JoinQuery,
+        left_plan: &AccessPlan,
+        right_plan: &AccessPlan,
+        build_is_left: bool,
+    ) -> OperatorKey {
+        let mut h = DefaultHasher::new();
+        query.left().name().hash(&mut h);
+        query.right().name().hash(&mut h);
+        query.on().hash(&mut h);
+        for side in [Side::Left, Side::Right] {
+            for p in query.filter(side).predicates() {
+                p.attr.hash(&mut h);
+                p.op.hash(&mut h);
+            }
+            // Delimit the two sides so predicates cannot slide between them.
+            u64::MAX.hash(&mut h);
+        }
+        query.projections().hash(&mut h);
+        query.group_by().hash(&mut h);
+        for a in query.aggregates() {
+            a.func.hash(&mut h);
+            a.expr.hash(&mut h);
+        }
+        for plan in [left_plan, right_plan] {
+            plan.layouts.hash(&mut h);
+            plan.strategy.hash(&mut h);
+        }
+        build_is_left.hash(&mut h);
+        OperatorKey(h.finish())
+    }
 }
 
 /// Cache statistics.
@@ -141,6 +181,9 @@ const SHARDS: usize = 8;
 #[derive(Debug)]
 pub struct OperatorCache {
     shards: [Mutex<HashMap<OperatorKey, CompiledOp>>; SHARDS],
+    /// Join operators, sharded the same way. A separate map because the
+    /// two operator types are different sizes and never alias keys.
+    join_shards: [Mutex<HashMap<OperatorKey, CompiledJoinOp>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     /// Total simulated compile latency charged, in nanoseconds.
@@ -164,6 +207,7 @@ impl OperatorCache {
     pub fn new(capacity: usize, cost_model: CompileCostModel) -> Self {
         OperatorCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            join_shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
@@ -223,13 +267,67 @@ impl OperatorCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.compile_nanos
             .fetch_add(charge.as_nanos() as u64, Ordering::Relaxed);
+        self.evict_to_capacity(key);
+        self.shard(key).lock().insert(key, op.clone());
+        Ok(op)
+    }
+
+    /// Returns the join operator for `(query, side plans, build role)`,
+    /// generating (and charging compile latency) on miss — the join
+    /// counterpart of [`Self::get_or_compile_checked`]. The caller's
+    /// plan-time typing provides the constants a cached operator is
+    /// re-parameterized with.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_compile_join(
+        &self,
+        left: &LayoutCatalog,
+        right: &LayoutCatalog,
+        left_plan: &AccessPlan,
+        right_plan: &AccessPlan,
+        query: &JoinQuery,
+        checked: &h2o_expr::JoinTypes,
+        build_is_left: bool,
+    ) -> Result<CompiledJoinOp, ExecError> {
+        let key = OperatorKey::for_join(query, left_plan, right_plan, build_is_left);
+        let left_lanes: Vec<Value> = checked.predicate_lanes(Side::Left);
+        let right_lanes: Vec<Value> = checked.predicate_lanes(Side::Right);
+        if let Some(cached) = self.join_shard(key).lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let mut op = cached;
+            op.rebind_constants(&left_lanes, &right_lanes);
+            return Ok(op);
+        }
+        let op = crate::join::compile_join(
+            left,
+            right,
+            left_plan,
+            right_plan,
+            query,
+            checked,
+            build_is_left,
+        )?;
+        let charge = self.cost_model.cost(op.code_size());
+        self.cost_model.charge(charge);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compile_nanos
+            .fetch_add(charge.as_nanos() as u64, Ordering::Relaxed);
+        self.evict_to_capacity(key);
+        self.join_shard(key).lock().insert(key, op.clone());
+        Ok(op)
+    }
+
+    fn join_shard(&self, key: OperatorKey) -> &Mutex<HashMap<OperatorKey, CompiledJoinOp>> {
+        &self.join_shards[key.0 as usize % SHARDS]
+    }
+
+    /// Simple random-ish eviction: drop an arbitrary entry (from the
+    /// target shard if it has one, else from any non-empty shard, then the
+    /// join shards). The paper does not specify an eviction policy;
+    /// capacity pressure only arises in adversarial workloads.
+    fn evict_to_capacity(&self, incoming: OperatorKey) {
         while self.len() >= self.capacity {
-            // Simple random-ish eviction: drop an arbitrary entry (from the
-            // target shard if it has one, else from any non-empty shard).
-            // The paper does not specify an eviction policy; capacity
-            // pressure only arises in adversarial workloads.
             let mut evicted = false;
-            for shard in std::iter::once(self.shard(key)).chain(&self.shards) {
+            for shard in std::iter::once(self.shard(incoming)).chain(&self.shards) {
                 let mut entries = shard.lock();
                 if let Some(&victim) = entries.keys().next() {
                     entries.remove(&victim);
@@ -238,20 +336,35 @@ impl OperatorCache {
                 }
             }
             if !evicted {
+                for shard in &self.join_shards {
+                    let mut entries = shard.lock();
+                    if let Some(&victim) = entries.keys().next() {
+                        entries.remove(&victim);
+                        evicted = true;
+                        break;
+                    }
+                }
+            }
+            if !evicted {
                 break;
             }
         }
-        self.shard(key).lock().insert(key, op.clone());
-        Ok(op)
     }
 
     /// Drops every operator whose plan reads `layout` — required when a
-    /// layout is dropped from the catalog.
+    /// layout is dropped from the catalog. Join operators are dropped when
+    /// *either* side's plan reads it.
     pub fn invalidate_layout(&self, layout: h2o_storage::LayoutId) {
         for shard in &self.shards {
             shard
                 .lock()
                 .retain(|_, op| !op.plan().layouts.contains(&layout));
+        }
+        for shard in &self.join_shards {
+            shard.lock().retain(|_, op| {
+                !op.build().plan().layouts.contains(&layout)
+                    && !op.probe().plan().layouts.contains(&layout)
+            });
         }
     }
 
@@ -260,11 +373,19 @@ impl OperatorCache {
         for shard in &self.shards {
             shard.lock().clear();
         }
+        for shard in &self.join_shards {
+            shard.lock().clear();
+        }
     }
 
-    /// Number of cached operators.
+    /// Number of cached operators (single-relation and join).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().len()).sum::<usize>()
+            + self
+                .join_shards
+                .iter()
+                .map(|s| s.lock().len())
+                .sum::<usize>()
     }
 
     /// Whether the cache is empty.
@@ -434,6 +555,131 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, (threads * per_thread) as u64);
         assert_eq!(cache.len(), 3, "one operator per strategy");
+    }
+
+    fn join_fixture() -> (Relation, Relation) {
+        let dim = Schema::typed([
+            ("k", h2o_storage::LogicalType::I64),
+            ("tag", h2o_storage::LogicalType::I64),
+        ])
+        .into_shared();
+        let fact = Schema::typed([
+            ("fk", h2o_storage::LogicalType::I64),
+            ("v", h2o_storage::LogicalType::I64),
+        ])
+        .into_shared();
+        let dim_rel = Relation::columnar(
+            dim,
+            vec![
+                (0..8).collect(),
+                (0..8).map(|i| (i * 10) as Value).collect(),
+            ],
+        )
+        .unwrap();
+        let fact_rel = Relation::columnar(
+            fact,
+            vec![(0..32).map(|i| i % 8).collect(), (0..32).collect()],
+        )
+        .unwrap();
+        (dim_rel, fact_rel)
+    }
+
+    fn join_count_below(dim: &Relation, fact: &Relation, v: i64) -> h2o_expr::JoinQuery {
+        Query::join(
+            ("dim", dim.catalog().schema().clone()),
+            ("fact", fact.catalog().schema().clone()),
+        )
+        .on("k", "fk")
+        .unwrap()
+        .filter_right(Conjunction::of([Predicate::lt(1u32, v)]))
+        .aggregate([Aggregate::count()])
+        .unwrap()
+    }
+
+    #[test]
+    fn join_same_shape_different_constants_hits() {
+        let (dim, fact) = join_fixture();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let dplan = AccessPlan::new(dim.catalog().layout_ids(), Strategy::SelVector);
+        let fplan = AccessPlan::new(fact.catalog().layout_ids(), Strategy::SelVector);
+        let q1 = join_count_below(&dim, &fact, 5);
+        let c1 = h2o_expr::check_join(&q1).unwrap();
+        let op1 = cache
+            .get_or_compile_join(
+                dim.catalog(),
+                fact.catalog(),
+                &dplan,
+                &fplan,
+                &q1,
+                &c1,
+                true,
+            )
+            .unwrap();
+        let q2 = join_count_below(&dim, &fact, 11);
+        let c2 = h2o_expr::check_join(&q2).unwrap();
+        let op2 = cache
+            .get_or_compile_join(
+                dim.catalog(),
+                fact.catalog(),
+                &dplan,
+                &fplan,
+                &q2,
+                &c2,
+                true,
+            )
+            .unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // And the per-side rebinding is effective: every fact row matches a
+        // dim row, so the count is the number of rows below the cutoff.
+        let r1 = crate::execute_join(dim.catalog(), fact.catalog(), &op1).unwrap();
+        let r2 = crate::execute_join(dim.catalog(), fact.catalog(), &op2).unwrap();
+        assert_eq!(r1.row(0), &[5]);
+        assert_eq!(r2.row(0), &[11]);
+    }
+
+    #[test]
+    fn join_flipped_build_side_misses() {
+        let (dim, fact) = join_fixture();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let dplan = AccessPlan::new(dim.catalog().layout_ids(), Strategy::SelVector);
+        let fplan = AccessPlan::new(fact.catalog().layout_ids(), Strategy::SelVector);
+        let q = join_count_below(&dim, &fact, 5);
+        let c = h2o_expr::check_join(&q).unwrap();
+        for build_is_left in [true, false] {
+            cache
+                .get_or_compile_join(
+                    dim.catalog(),
+                    fact.catalog(),
+                    &dplan,
+                    &fplan,
+                    &q,
+                    &c,
+                    build_is_left,
+                )
+                .unwrap();
+        }
+        // The build role changes the generated operator, not just its
+        // parameters — flipping it must not hit.
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_layout_drops_join_dependents_on_either_side() {
+        let (dim, fact) = join_fixture();
+        let cache = OperatorCache::new(16, CompileCostModel::ZERO);
+        let dplan = AccessPlan::new(dim.catalog().layout_ids(), Strategy::SelVector);
+        let fplan = AccessPlan::new(fact.catalog().layout_ids(), Strategy::SelVector);
+        let q = join_count_below(&dim, &fact, 5);
+        let c = h2o_expr::check_join(&q).unwrap();
+        cache
+            .get_or_compile_join(dim.catalog(), fact.catalog(), &dplan, &fplan, &q, &c, true)
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        // Invalidating a probe-side (fact) layout must drop the join op too.
+        cache.invalidate_layout(fact.catalog().layout_ids()[0]);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -35,7 +35,13 @@ struct Binding {
 
 impl Binding {
     fn build(groups: &[&ColumnGroup], q: &Query) -> Result<Binding, StorageError> {
-        let needed = q.all_attrs();
+        Self::build_for(groups, &q.all_attrs())
+    }
+
+    fn build_for(
+        groups: &[&ColumnGroup],
+        needed: &h2o_storage::AttrSet,
+    ) -> Result<Binding, StorageError> {
         let max = needed.iter().map(|a| a.index()).max().unwrap_or(0);
         let mut slots = vec![None; max + 1];
         let mut types = vec![LogicalType::I64; max + 1];
@@ -96,8 +102,12 @@ impl ResolvedPred {
 /// their own encoding; string constants need the attribute's dictionary,
 /// which lives in the schema — [`interpret`] has one, [`interpret_over`]
 /// does not (it panics on string constants, documented there).
-fn resolve_preds(q: &Query, binding: &Binding, schema: Option<&Schema>) -> Vec<ResolvedPred> {
-    q.filter()
+fn resolve_preds(
+    filter: &crate::predicate::Conjunction,
+    binding: &Binding,
+    schema: Option<&Schema>,
+) -> Vec<ResolvedPred> {
+    filter
         .predicates()
         .iter()
         .map(|p| {
@@ -149,7 +159,7 @@ fn interpret_impl(
     let rows = groups.first().map_or(0, |g| g.rows());
     debug_assert!(groups.iter().all(|g| g.rows() == rows));
     let binding = Binding::build(groups, q)?;
-    let preds = resolve_preds(q, &binding, schema);
+    let preds = resolve_preds(q.filter(), &binding, schema);
     let matches = |row: usize| {
         preds
             .iter()
@@ -245,6 +255,173 @@ pub fn interpret(catalog: &LayoutCatalog, q: &Query) -> Result<QueryResult, Stor
         }
     }
     interpret_impl(&groups, q, Some(catalog.schema()))
+}
+
+/// Evaluates a two-relation equi-join against two catalogs — the
+/// **differential oracle** every hash-join kernel in `h2o-exec` is tested
+/// against, exactly as [`interpret`] anchors the single-relation kernels.
+///
+/// The algorithm is a straightforward hash join: filter the left side and
+/// build a multimap from its key vectors (raw lane words — join-key
+/// identity is bit-pattern equality, the same identity grouped-aggregation
+/// keys use), then probe with the right side's qualifying rows in row
+/// order, visiting each right row's matches in left-row order. Output
+/// order is therefore deterministic, but callers comparing against the
+/// engine (which may build on either side) should compare *fingerprints*
+/// ([`QueryResult::fingerprint`]) — the multiset is order-independent.
+///
+/// # Panics
+///
+/// On an ill-typed join — validate with
+/// [`typecheck::check_join`](crate::typecheck::check_join) first.
+pub fn interpret_join(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    q: &crate::join::JoinQuery,
+) -> Result<QueryResult, StorageError> {
+    use crate::join::Side;
+    use std::collections::HashMap;
+
+    fn resolve<'a>(
+        catalog: &'a LayoutCatalog,
+        needed: &h2o_storage::AttrSet,
+    ) -> Result<Vec<&'a ColumnGroup>, StorageError> {
+        let cover = catalog.cover(needed, CoverPolicy::FewestGroups)?;
+        cover
+            .iter()
+            .map(|(id, _)| catalog.group(*id))
+            .collect::<Result<_, _>>()
+    }
+    let lgroups = resolve(left, &q.side_attrs(Side::Left))?;
+    let rgroups = resolve(right, &q.side_attrs(Side::Right))?;
+    let lbind = Binding::build_for(&lgroups, &q.side_attrs(Side::Left))?;
+    let rbind = Binding::build_for(&rgroups, &q.side_attrs(Side::Right))?;
+    let lpreds = resolve_preds(q.filter(Side::Left), &lbind, Some(left.schema()));
+    let rpreds = resolve_preds(q.filter(Side::Right), &rbind, Some(right.schema()));
+    let lrows = lgroups.first().map_or(0, |g| g.rows());
+    let rrows = rgroups.first().map_or(0, |g| g.rows());
+
+    // Build over the (filtered) left side: key vector -> left row ids, in
+    // row order.
+    let lkeys = q.key_attrs(Side::Left);
+    let rkeys = q.key_attrs(Side::Right);
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for row in 0..lrows {
+        if lpreds
+            .iter()
+            .all(|p| p.matches(lbind.fetch(&lgroups, row, p.attr)))
+        {
+            let key: Vec<Value> = lkeys
+                .iter()
+                .map(|&a| lbind.fetch(&lgroups, row, a))
+                .collect();
+            table.entry(key).or_default().push(row);
+        }
+    }
+
+    // Combined-space type and value resolution: an attribute resolves
+    // through its side's binding.
+    let ctype = |a: AttrId| -> LogicalType {
+        let (side, local) = q.side_of(a);
+        match side {
+            Side::Left => lbind.type_of(local),
+            Side::Right => rbind.type_of(local),
+        }
+    };
+    let expr_type = |e: &Expr| -> LogicalType {
+        e.type_of(&|a: AttrId| Ok(ctype(a)))
+            .expect("join interpreter requires a type-checked query")
+    };
+
+    enum Out {
+        Project(QueryResult),
+        Aggregate(Vec<AggState>),
+        Grouped(GroupedAggs),
+    }
+    let proj: Vec<(&Expr, LogicalType)> =
+        q.projections().iter().map(|e| (e, expr_type(e))).collect();
+    let key_exprs: Vec<(&Expr, LogicalType)> =
+        q.group_by().iter().map(|e| (e, expr_type(e))).collect();
+    let agg_ops: Vec<AggOp> = q
+        .aggregates()
+        .iter()
+        .map(|a| AggOp::new(a.func, expr_type(&a.expr)))
+        .collect();
+    let mut out = if q.is_grouped() {
+        Out::Grouped(GroupedAggs::new(
+            key_exprs.iter().map(|(_, ty)| *ty).collect(),
+            agg_ops.clone(),
+        ))
+    } else if q.is_aggregate() {
+        Out::Aggregate(agg_ops.iter().map(|&op| AggState::new(op)).collect())
+    } else {
+        Out::Project(QueryResult::new(q.output_width()))
+    };
+
+    // Probe with the right side, in row order; matches in left-row order.
+    let mut key_buf: Vec<Value> = vec![0; q.on().len()];
+    let mut row_buf: Vec<Value> = Vec::with_capacity(q.output_width());
+    let mut vals: Vec<Value> = vec![0; q.aggregates().len()];
+    for rrow in 0..rrows {
+        if !rpreds
+            .iter()
+            .all(|p| p.matches(rbind.fetch(&rgroups, rrow, p.attr)))
+        {
+            continue;
+        }
+        for (slot, &a) in key_buf.iter_mut().zip(&rkeys) {
+            *slot = rbind.fetch(&rgroups, rrow, a);
+        }
+        let Some(matches) = table.get(&key_buf) else {
+            continue;
+        };
+        for &lrow in matches {
+            let fetch = |a: AttrId| -> Value {
+                let (side, local) = q.side_of(a);
+                match side {
+                    Side::Left => lbind.fetch(&lgroups, lrow, local),
+                    Side::Right => rbind.fetch(&rgroups, rrow, local),
+                }
+            };
+            match &mut out {
+                Out::Project(res) => {
+                    row_buf.clear();
+                    for (e, ty) in &proj {
+                        row_buf.push(e.eval_lane(*ty, fetch));
+                    }
+                    res.push_row(&row_buf);
+                }
+                Out::Aggregate(states) => {
+                    for ((st, agg), op) in states.iter_mut().zip(q.aggregates()).zip(&agg_ops) {
+                        st.update(agg.expr.eval_lane(op.ty, fetch));
+                    }
+                }
+                Out::Grouped(tbl) => {
+                    let mut key: Vec<Value> = Vec::with_capacity(key_exprs.len());
+                    for (k, ty) in &key_exprs {
+                        key.push(k.eval_lane(*ty, fetch));
+                    }
+                    for (slot, (agg, op)) in
+                        vals.iter_mut().zip(q.aggregates().iter().zip(&agg_ops))
+                    {
+                        *slot = agg.expr.eval_lane(op.ty, fetch);
+                    }
+                    tbl.update(&key, &vals);
+                }
+            }
+        }
+    }
+
+    Ok(match out {
+        Out::Project(res) => res,
+        Out::Aggregate(states) => {
+            let mut res = QueryResult::new(q.output_width());
+            let row: Vec<Value> = states.iter().map(|s| s.finish()).collect();
+            res.push_row(&row);
+            res
+        }
+        Out::Grouped(tbl) => tbl.finish(),
+    })
 }
 
 #[cfg(test)]
@@ -460,6 +637,157 @@ mod tests {
         )
         .unwrap();
         let _ = interpret_over(&[&g], &q);
+    }
+
+    /// photo(objID, ra, flags) × spec(bestObjID, z) with a skewed FK:
+    /// objID = 0..5, spec rows reference objID r/2 (so objID 0..2 have two
+    /// spec rows each, 3..5 none) plus one dangling key.
+    fn join_fixture() -> (Relation, Relation, crate::join::JoinQuery) {
+        let photo_schema = Schema::new(["objID", "ra", "flags"]).into_shared();
+        let photo = Relation::columnar(
+            photo_schema.clone(),
+            vec![
+                vec![0, 1, 2, 3, 4, 5],
+                vec![100, 110, 120, 130, 140, 150],
+                vec![0, 1, 0, 1, 0, 1],
+            ],
+        )
+        .unwrap();
+        let spec_schema = Schema::new(["specObjID", "bestObjID", "z"]).into_shared();
+        let spec = Relation::columnar(
+            spec_schema.clone(),
+            vec![
+                vec![1000, 1001, 1002, 1003, 1004, 1005, 1006],
+                vec![0, 0, 1, 1, 2, 2, 99], // 99 matches nothing
+                vec![7, 8, 9, 10, 11, 12, 13],
+            ],
+        )
+        .unwrap();
+        let b = Query::join(("photo", photo_schema), ("spec", spec_schema));
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        let q = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .project([ra, z])
+            .unwrap();
+        (photo, spec, q)
+    }
+
+    #[test]
+    fn join_projection_emits_all_matches() {
+        let (photo, spec, q) = join_fixture();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+        // 6 spec rows match (the dangling 99 does not): probe order is
+        // right-row order.
+        assert_eq!(out.rows(), 6);
+        assert_eq!(out.row(0), &[100, 7]);
+        assert_eq!(out.row(1), &[100, 8]);
+        assert_eq!(out.row(2), &[110, 9]);
+        assert_eq!(out.row(5), &[120, 12]);
+    }
+
+    #[test]
+    fn join_filters_apply_per_side() {
+        let (photo, spec, _) = join_fixture();
+        let b = Query::join(
+            ("photo", photo.catalog().schema().clone()),
+            ("spec", spec.catalog().schema().clone()),
+        );
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        // flags = 1 keeps photo rows 1,3,5 (objID 1,3,5); z > 8 keeps spec
+        // rows 2.. — matches: spec rows with bestObjID=1 and z>8: (110,9),(110,10).
+        let q = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .filter_left(Conjunction::of([Predicate::eq(2u32, 1)]))
+            .filter_right(Conjunction::of([Predicate::gt(2u32, 8)]))
+            .project([ra, z])
+            .unwrap();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0), &[110, 9]);
+        assert_eq!(out.row(1), &[110, 10]);
+    }
+
+    #[test]
+    fn join_aggregate_and_grouped_shapes() {
+        let (photo, spec, _) = join_fixture();
+        let b = Query::join(
+            ("photo", photo.catalog().schema().clone()),
+            ("spec", spec.catalog().schema().clone()),
+        );
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        let flags = b.col("flags").unwrap();
+        let q = b
+            .clone()
+            .on("objID", "bestObjID")
+            .unwrap()
+            .aggregate([
+                Aggregate::sum(z.clone()),
+                Aggregate::count(),
+                Aggregate::max(ra.clone()),
+            ])
+            .unwrap();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+        assert_eq!(out.rows(), 1);
+        // z sums 7+8+9+10+11+12 = 57 over 6 matches; max ra = 120.
+        assert_eq!(out.row(0), &[57, 6, 120]);
+        // Grouped by photo.flags: flags 0 → objID 0,2 → 4 matches (z
+        // 7+8+11+12=38); flags 1 → objID 1 → 2 matches (z 19).
+        let g = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .grouped([flags], [Aggregate::sum(z), Aggregate::count()])
+            .unwrap();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &g).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0), &[0, 38, 4]);
+        assert_eq!(out.row(1), &[1, 19, 2]);
+    }
+
+    #[test]
+    fn join_empty_sides_follow_aggregate_conventions() {
+        let (photo, spec, _) = join_fixture();
+        let b = Query::join(
+            ("photo", photo.catalog().schema().clone()),
+            ("spec", spec.catalog().schema().clone()),
+        );
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        // A left filter nothing satisfies: projection → empty; scalar
+        // aggregate → neutral row; grouped → zero rows.
+        let none = Conjunction::of([Predicate::gt(1u32, 1_000_000)]);
+        let q = b
+            .clone()
+            .on("objID", "bestObjID")
+            .unwrap()
+            .filter_left(none.clone())
+            .project([ra.clone()])
+            .unwrap();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+        assert!(out.is_empty());
+        let q = b
+            .clone()
+            .on("objID", "bestObjID")
+            .unwrap()
+            .filter_left(none.clone())
+            .aggregate([Aggregate::sum(z.clone()), Aggregate::count()])
+            .unwrap();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0), &[0, 0]);
+        let q = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .filter_left(none)
+            .grouped([ra], [Aggregate::count()])
+            .unwrap();
+        let out = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.width(), 2);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod datum;
 pub mod expr;
 pub mod grouped;
 pub mod interp;
+pub mod join;
 pub mod predicate;
 pub mod query;
 pub mod result;
@@ -57,8 +58,9 @@ pub use agg::{AggFunc, AggOp, Aggregate};
 pub use datum::Datum;
 pub use expr::{ArithOp, Expr};
 pub use grouped::GroupedAggs;
-pub use interp::interpret;
+pub use interp::{interpret, interpret_join};
+pub use join::{JoinBuilder, JoinQuery, RelRef, Side};
 pub use predicate::{CmpOp, Conjunction, Predicate};
 pub use query::{Query, QueryError};
 pub use result::QueryResult;
-pub use typecheck::{QueryTypes, TypedPredicate};
+pub use typecheck::{check_join, JoinTypes, QueryTypes, TypedPredicate};

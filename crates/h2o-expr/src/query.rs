@@ -42,6 +42,21 @@ pub enum QueryError {
     /// touches a lane. The payload is the rendered description of the
     /// offending clause.
     TypeMismatch(String),
+    /// A multi-relation query names a relation the engine does not hold.
+    /// Raised when a [`JoinQuery`](crate::join::JoinQuery)'s relation
+    /// bindings are resolved against the database snapshot.
+    UnknownRelation(String),
+    /// An unqualified column name in a join resolves on **both** sides;
+    /// the reference must be qualified
+    /// ([`JoinBuilder::lcol`](crate::join::JoinBuilder::lcol) /
+    /// [`JoinBuilder::rcol`](crate::join::JoinBuilder::rcol)).
+    AmbiguousAttr(String),
+    /// A column name resolves on neither side of a join.
+    UnknownColumn(String),
+    /// A join was built without any equi-join key pair. Cross products are
+    /// not a supported query shape; every join declares at least one key
+    /// through [`JoinBuilder::on`](crate::join::JoinBuilder::on).
+    NoJoinKeys,
 }
 
 impl fmt::Display for QueryError {
@@ -56,6 +71,19 @@ impl fmt::Display for QueryError {
                 )
             }
             QueryError::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
+            QueryError::UnknownRelation(name) => write!(f, "unknown relation: {name}"),
+            QueryError::AmbiguousAttr(name) => write!(
+                f,
+                "ambiguous attribute {name}: both join sides define it \
+                 (qualify with JoinBuilder::lcol / JoinBuilder::rcol)"
+            ),
+            QueryError::UnknownColumn(name) => {
+                write!(f, "unknown column: {name} (neither join side defines it)")
+            }
+            QueryError::NoJoinKeys => write!(
+                f,
+                "join requires at least one equi-join key pair (JoinBuilder::on)"
+            ),
         }
     }
 }
@@ -141,6 +169,19 @@ impl Query {
             group_by,
             filter,
         })
+    }
+
+    /// Starts a two-relation equi-join query against named relation
+    /// bindings; see [`JoinQuery`](crate::join::JoinQuery). The returned
+    /// builder resolves column names per side, collects join keys and
+    /// per-side filters, and finishes into a join query through
+    /// `project`/`aggregate`/`grouped` — the same three shapes as the
+    /// single-relation constructors above.
+    pub fn join(
+        left: (&str, std::sync::Arc<h2o_storage::Schema>),
+        right: (&str, std::sync::Arc<h2o_storage::Schema>),
+    ) -> crate::join::JoinBuilder {
+        crate::join::JoinQuery::builder(left, right)
     }
 
     /// The projection expressions (empty for aggregation and grouped

@@ -21,9 +21,12 @@
 //! description of the offending clause, *before* planning, compilation or
 //! any scan.
 
-use crate::agg::{AggFunc, AggOp};
+use crate::agg::{AggFunc, AggOp, Aggregate};
+use crate::join::{JoinQuery, Side};
+use crate::predicate::Conjunction;
 use crate::query::{Query, QueryError};
 use h2o_storage::{AttrId, LogicalType, Schema, Value};
+use std::sync::Arc;
 
 /// One plan-time-resolved predicate: the attribute's logical type and the
 /// constant encoded as a raw lane word (dictionary labels already resolved
@@ -78,12 +81,15 @@ fn type_or_default(schema: &Schema, attr: AttrId) -> LogicalType {
     schema.type_of(attr).unwrap_or(LogicalType::I64)
 }
 
-/// Type-checks `q` against `schema` (see module docs).
-pub fn check(q: &Query, schema: &Schema) -> Result<QueryTypes, QueryError> {
-    let ty_of = |a: AttrId| -> Result<LogicalType, QueryError> { Ok(type_or_default(schema, a)) };
-
-    let mut predicates = Vec::with_capacity(q.filter().len());
-    for p in q.filter().predicates() {
+/// Type-checks one conjunction of predicates against a schema — the
+/// shared predicate gate of [`check`] (the single relation's where-clause)
+/// and [`check_join`] (each side's residual filter).
+fn check_predicates(
+    filter: &Conjunction,
+    schema: &Schema,
+) -> Result<Vec<TypedPredicate>, QueryError> {
+    let mut predicates = Vec::with_capacity(filter.len());
+    for p in filter.predicates() {
         let ty = type_or_default(schema, p.attr);
         let const_ty = p.value.logical();
         if const_ty != ty {
@@ -111,22 +117,36 @@ pub fn check(q: &Query, schema: &Schema) -> Result<QueryTypes, QueryError> {
         let lane = p.value.to_lane(ty, dict)?;
         predicates.push(TypedPredicate { ty, lane });
     }
+    Ok(predicates)
+}
 
-    let projections = q
-        .projections()
+/// The typed select clause: projection types, group-key types, and the
+/// typed aggregate ops, in clause order.
+type SelectTypes = (Vec<LogicalType>, Vec<LogicalType>, Vec<AggOp>);
+
+/// Types the select clause (projections, group keys, aggregates) under a
+/// per-attribute type oracle — shared by the single-relation and join
+/// gates, which differ only in how `ty_of` resolves an attribute.
+fn check_select<F>(
+    projections: &[crate::expr::Expr],
+    group_by: &[crate::expr::Expr],
+    aggregates: &[Aggregate],
+    ty_of: &F,
+) -> Result<SelectTypes, QueryError>
+where
+    F: Fn(AttrId) -> Result<LogicalType, QueryError>,
+{
+    let proj = projections
         .iter()
-        .map(|e| e.type_of(&ty_of))
+        .map(|e| e.type_of(ty_of))
         .collect::<Result<Vec<_>, _>>()?;
-
-    let keys = q
-        .group_by()
+    let keys = group_by
         .iter()
-        .map(|e| e.type_of(&ty_of))
+        .map(|e| e.type_of(ty_of))
         .collect::<Result<Vec<_>, _>>()?;
-
-    let mut aggs = Vec::with_capacity(q.aggregates().len());
-    for a in q.aggregates() {
-        let ty = a.expr.type_of(&ty_of)?;
+    let mut aggs = Vec::with_capacity(aggregates.len());
+    for a in aggregates {
+        let ty = a.expr.type_of(ty_of)?;
         if a.func != AggFunc::Count && !ty.is_numeric() {
             return Err(QueryError::TypeMismatch(format!(
                 "aggregate {a} requires a numeric input; {} is \
@@ -136,9 +156,127 @@ pub fn check(q: &Query, schema: &Schema) -> Result<QueryTypes, QueryError> {
         }
         aggs.push(AggOp::new(a.func, ty));
     }
+    Ok((proj, keys, aggs))
+}
 
+/// Type-checks `q` against `schema` (see module docs).
+pub fn check(q: &Query, schema: &Schema) -> Result<QueryTypes, QueryError> {
+    let ty_of = |a: AttrId| -> Result<LogicalType, QueryError> { Ok(type_or_default(schema, a)) };
+    let predicates = check_predicates(q.filter(), schema)?;
+    let (projections, keys, aggs) =
+        check_select(q.projections(), q.group_by(), q.aggregates(), &ty_of)?;
     Ok(QueryTypes {
         predicates,
+        projections,
+        keys,
+        aggs,
+    })
+}
+
+/// The typing of a checked join query (see [`check_join`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTypes {
+    /// Per left-filter predicate, in clause order.
+    pub left_predicates: Vec<TypedPredicate>,
+    /// Per right-filter predicate, in clause order.
+    pub right_predicates: Vec<TypedPredicate>,
+    /// The shared logical type of each equi-join key pair, in `on` order.
+    pub key_types: Vec<LogicalType>,
+    /// Type of each projection expression (combined space).
+    pub projections: Vec<LogicalType>,
+    /// Type of each group-key expression.
+    pub keys: Vec<LogicalType>,
+    /// Typed op per aggregate, in select order.
+    pub aggs: Vec<AggOp>,
+}
+
+impl JoinTypes {
+    /// The logical types of the join's output columns, in output order.
+    pub fn output_types(&self) -> Vec<LogicalType> {
+        let aggs = self.aggs.iter().map(|a| a.output_type());
+        if !self.keys.is_empty() {
+            self.keys.iter().copied().chain(aggs).collect()
+        } else if !self.aggs.is_empty() {
+            aggs.collect()
+        } else {
+            self.projections.clone()
+        }
+    }
+
+    /// The raw lane constants of `side`'s filter, in clause order.
+    pub fn predicate_lanes(&self, side: Side) -> Vec<Value> {
+        let preds = match side {
+            Side::Left => &self.left_predicates,
+            Side::Right => &self.right_predicates,
+        };
+        preds.iter().map(|p| p.lane).collect()
+    }
+}
+
+/// Type-checks a [`JoinQuery`] against its bound schemas.
+///
+/// Beyond the per-side filter and select rules of [`check`], the join
+/// gate enforces the key rules: each equi-join key pair must share one
+/// [`LogicalType`], and dictionary-encoded keys are joinable only when
+/// both sides bind the **same** dictionary (`Arc` identity — codes are
+/// only comparable within one dictionary; cross-dictionary label joins
+/// would need a translation table the engine does not build).
+pub fn check_join(q: &JoinQuery) -> Result<JoinTypes, QueryError> {
+    let ls = q.left().schema();
+    let rs = q.right().schema();
+
+    let mut key_types = Vec::with_capacity(q.on().len());
+    for &(l, r) in q.on() {
+        let lt = type_or_default(ls, l);
+        let rt = type_or_default(rs, r);
+        if lt != rt {
+            return Err(QueryError::TypeMismatch(format!(
+                "join key {}.{} = {}.{} joins {} with {} \
+                 (join keys must share a logical type; the engine has no implicit casts)",
+                q.left().name(),
+                l,
+                q.right().name(),
+                r,
+                lt.name(),
+                rt.name()
+            )));
+        }
+        if lt == LogicalType::Dict {
+            let shared = match (ls.dictionary(l), rs.dictionary(r)) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            };
+            if !shared {
+                return Err(QueryError::TypeMismatch(format!(
+                    "join key {}.{} = {}.{}: dictionary-encoded keys join on codes, \
+                     which requires both sides to share one dictionary",
+                    q.left().name(),
+                    l,
+                    q.right().name(),
+                    r
+                )));
+            }
+        }
+        key_types.push(lt);
+    }
+
+    let left_predicates = check_predicates(q.filter(Side::Left), ls)?;
+    let right_predicates = check_predicates(q.filter(Side::Right), rs)?;
+
+    // Select-clause expressions live in the combined space: resolve each
+    // attribute through its side's schema (never through a merged schema —
+    // the sides stay independently typed).
+    let ty_of = |a: AttrId| -> Result<LogicalType, QueryError> {
+        let (side, local) = q.side_of(a);
+        Ok(type_or_default(q.rel(side).schema(), local))
+    };
+    let (projections, keys, aggs) =
+        check_select(q.projections(), q.group_by(), q.aggregates(), &ty_of)?;
+
+    Ok(JoinTypes {
+        left_predicates,
+        right_predicates,
+        key_types,
         projections,
         keys,
         aggs,
@@ -291,6 +429,126 @@ mod tests {
         let q = Query::project([Expr::lit("GALAXY")], Conjunction::always()).unwrap();
         let err = check(&q, &s).unwrap_err();
         assert!(err.to_string().contains("predicate constant"), "{err}");
+    }
+
+    fn join_schemas() -> (std::sync::Arc<Schema>, std::sync::Arc<Schema>) {
+        let photo = Schema::typed([
+            ("objID", LogicalType::I64),
+            ("ra", LogicalType::F64),
+            ("class", LogicalType::Dict),
+        ])
+        .into_shared();
+        let spec = Schema::typed([
+            ("bestObjID", LogicalType::I64),
+            ("z", LogicalType::F64),
+            ("sclass", LogicalType::Dict),
+        ])
+        .into_shared();
+        (photo, spec)
+    }
+
+    #[test]
+    fn join_keys_type_and_filters_resolve_per_side() {
+        let (photo, spec) = join_schemas();
+        let b = Query::join(("photo", photo), ("spec", spec));
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        let q = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .filter_left(Conjunction::of([Predicate::lt(1u32, 2.5)]))
+            .filter_right(Conjunction::of([Predicate::gt(1u32, 0.25)]))
+            .grouped([ra], [Aggregate::sum(z), Aggregate::count()])
+            .unwrap();
+        let t = check_join(&q).unwrap();
+        assert_eq!(t.key_types, vec![LogicalType::I64]);
+        assert_eq!(t.left_predicates[0].ty, LogicalType::F64);
+        assert_eq!(t.right_predicates[0].ty, LogicalType::F64);
+        assert_eq!(t.keys, vec![LogicalType::F64]);
+        assert_eq!(t.aggs[0], AggOp::new(AggFunc::Sum, LogicalType::F64));
+        assert_eq!(
+            t.output_types(),
+            vec![LogicalType::F64, LogicalType::F64, LogicalType::I64]
+        );
+        assert_eq!(
+            t.predicate_lanes(crate::join::Side::Left),
+            vec![f64_lane(2.5)]
+        );
+        assert_eq!(
+            t.predicate_lanes(crate::join::Side::Right),
+            vec![f64_lane(0.25)]
+        );
+    }
+
+    #[test]
+    fn join_key_type_mismatch_rejected_with_rendered_message() {
+        let (photo, spec) = join_schemas();
+        let b = Query::join(("photo", photo), ("spec", spec));
+        let ra = b.col("ra").unwrap();
+        // objID (i64) against z (f64): rejected at the gate.
+        let q = b.on("objID", "z").unwrap().project([ra]).unwrap();
+        let err = check_join(&q).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "type mismatch: join key photo.a0 = spec.a1 joins i64 with f64 \
+             (join keys must share a logical type; the engine has no implicit casts)"
+        );
+    }
+
+    #[test]
+    fn dict_join_keys_require_a_shared_dictionary() {
+        // Same-type Dict keys with *independent* dictionaries: rejected —
+        // codes are only comparable within one dictionary.
+        let (photo, spec) = join_schemas();
+        let b = Query::join(("photo", photo.clone()), ("spec", spec));
+        let ra = b.col("ra").unwrap();
+        let q = b.on("class", "sclass").unwrap().project([ra]).unwrap();
+        let err = check_join(&q).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "type mismatch: join key photo.a2 = spec.a2: dictionary-encoded keys \
+             join on codes, which requires both sides to share one dictionary"
+        );
+        // With one shared dictionary the same join shape is admitted.
+        let class_dict = photo.dictionary(AttrId(2)).unwrap().clone();
+        let spec_shared = Schema::typed([
+            ("bestObjID", LogicalType::I64),
+            ("sclass", LogicalType::Dict),
+        ])
+        .with_shared_dictionary("sclass", class_dict)
+        .into_shared();
+        let b = Query::join(("photo", photo), ("spec", spec_shared));
+        let ra = b.col("ra").unwrap();
+        let q = b.on("class", "sclass").unwrap().project([ra]).unwrap();
+        let t = check_join(&q).unwrap();
+        assert_eq!(t.key_types, vec![LogicalType::Dict]);
+    }
+
+    #[test]
+    fn join_select_types_through_the_combined_space() {
+        let (photo, spec) = join_schemas();
+        let b = Query::join(("photo", photo), ("spec", spec));
+        let ra = b.col("ra").unwrap();
+        let z = b.col("z").unwrap();
+        // ra (left f64) + z (right f64) is well-typed across the seam...
+        let q = b
+            .clone()
+            .on("objID", "bestObjID")
+            .unwrap()
+            .project([ra.clone().add(z)])
+            .unwrap();
+        assert_eq!(check_join(&q).unwrap().projections, vec![LogicalType::F64]);
+        // ...but ra + bestObjID (right i64) mixes types and is rejected.
+        let best = b.col("bestObjID").unwrap();
+        let q = b
+            .on("objID", "bestObjID")
+            .unwrap()
+            .project([ra.add(best)])
+            .unwrap();
+        assert!(check_join(&q)
+            .unwrap_err()
+            .to_string()
+            .contains("mixes f64 and i64"));
     }
 
     #[test]

@@ -178,6 +178,26 @@ impl Schema {
         self.attrs.len() * VALUE_BYTES
     }
 
+    /// Rebinds a `Dict` attribute to an existing shared dictionary. This
+    /// is how two relations come to share one dictionary — which is what
+    /// makes their dictionary-encoded attributes joinable on codes (codes
+    /// are only comparable within one dictionary; `h2o-expr`'s join gate
+    /// enforces sharing by `Arc` identity). Panics if `name` is unknown
+    /// or not a `Dict` attribute — schema construction happens at load
+    /// time, where either is a programming error.
+    pub fn with_shared_dictionary(mut self, name: &str, dict: Arc<Dictionary>) -> Self {
+        let id = self
+            .attr_by_name(name)
+            .expect("with_shared_dictionary: unknown attribute");
+        let a = &mut self.attrs[id.index()];
+        assert!(
+            matches!(a.ty, LogicalType::Dict),
+            "with_shared_dictionary: attribute {name:?} is not dictionary-encoded"
+        );
+        a.dict = Some(dict);
+        self
+    }
+
     /// Wraps the schema into an `Arc` for sharing.
     pub fn into_shared(self) -> Arc<Schema> {
         Arc::new(self)
@@ -269,5 +289,27 @@ mod tests {
         let s2 = s.clone();
         assert_eq!(s2.dictionary(AttrId(1)).unwrap().code("STAR"), Some(0));
         assert_eq!(s.attr(AttrId(1)).unwrap(), s2.attr(AttrId(1)).unwrap());
+    }
+
+    #[test]
+    fn shared_dictionary_rebinding() {
+        let a = Schema::typed([("class", LogicalType::Dict)]);
+        a.dictionary(AttrId(0)).unwrap().intern("STAR");
+        let shared = a.dictionary(AttrId(0)).unwrap().clone();
+        let b = Schema::typed([("n", LogicalType::I64), ("sclass", LogicalType::Dict)])
+            .with_shared_dictionary("sclass", shared);
+        // Identity, not equality: both schemas decode through one dict.
+        assert!(Arc::ptr_eq(
+            a.dictionary(AttrId(0)).unwrap(),
+            b.dictionary(AttrId(1)).unwrap()
+        ));
+        assert_eq!(b.dictionary(AttrId(1)).unwrap().code("STAR"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not dictionary-encoded")]
+    fn shared_dictionary_requires_dict_attr() {
+        let d = Arc::new(Dictionary::new());
+        let _ = Schema::typed([("n", LogicalType::I64)]).with_shared_dictionary("n", d);
     }
 }

@@ -18,7 +18,10 @@
 //! * [`skyserver`] — a synthetic stand-in for the SDSS SkyServer
 //!   "PhotoObjAll" workload of Fig. 8 (wide table, clustered skewed
 //!   access, drift), since the real data/query logs are not redistributable
-//!   (see DESIGN.md, substitution table).
+//!   (see DESIGN.md, substitution table) — plus the photo↔spec **join**
+//!   workload ([`skyserver::skyserver_join_workload`], beyond the paper)
+//!   over foreign-key columns with controllable match rate and skew
+//!   ([`synth::gen_fk_column`]).
 //!
 //! Every generator takes an explicit seed; identical seeds produce
 //! identical workloads across runs and platforms.
@@ -31,10 +34,11 @@ pub mod synth;
 pub use micro::{QueryGen, Template};
 pub use sequence::{fig7_sequence, fig9_sequence, oscillating_sequence, TimedQuery};
 pub use skyserver::{
-    skyserver_grouped_workload, skyserver_schema, skyserver_workload, AttrDomain, SkyServerSpec,
-    TYPE_LABELS,
+    skyserver_grouped_workload, skyserver_join_workload, skyserver_schema, skyserver_workload,
+    specobj_schema, AttrDomain, SkyServerJoin, SkyServerSpec, TYPE_LABELS,
 };
 pub use synth::{
     f64_threshold_for_selectivity, gen_columns, gen_columns_with_keys, gen_dict_column,
-    gen_f64_column, gen_key_column, threshold_for_selectivity, F64_GRID, VALUE_MAX, VALUE_MIN,
+    gen_f64_column, gen_fk_column, gen_key_column, threshold_for_selectivity, F64_GRID, VALUE_MAX,
+    VALUE_MIN,
 };

@@ -30,7 +30,7 @@ use crate::synth::{
     f64_threshold_for_selectivity, gen_columns, gen_dict_column, gen_f64_column,
     threshold_for_selectivity,
 };
-use h2o_expr::{Aggregate, Conjunction, Expr, Predicate, Query};
+use h2o_expr::{Aggregate, Conjunction, Expr, JoinQuery, Predicate, Query};
 use h2o_storage::{AttrId, LogicalType, Schema, Value};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -440,6 +440,127 @@ pub fn skyserver_grouped_workload(
     (spec, columns, out)
 }
 
+/// The synthetic "SpecObjAll" companion table of the join workload: the
+/// spectroscopic catalog whose `bestObjID` column is a foreign key into
+/// PhotoObjAll's `objID` ([`crate::synth::gen_fk_column`] — controllable
+/// match rate and skew), plus the hot spectro measures (redshift `z` and
+/// its error, velocity dispersion) and a small `specClass` flag domain.
+pub fn specobj_schema() -> Arc<Schema> {
+    Schema::typed([
+        ("specObjID", LogicalType::I64),
+        ("bestObjID", LogicalType::I64),
+        ("z", LogicalType::F64),
+        ("zErr", LogicalType::F64),
+        ("velDisp", LogicalType::F64),
+        ("specClass", LogicalType::I64),
+    ])
+    .into_shared()
+}
+
+/// The full SkyServer **join** workload: the PhotoObjAll stand-in (bound
+/// under the engine's primary relation name `"R"`), a SpecObjAll stand-in
+/// (bound as `"spec"`), and a query sequence of photo↔spec two-table
+/// lookups plus grouped rollups over the join.
+#[derive(Debug, Clone)]
+pub struct SkyServerJoin {
+    /// The photo side (schema, clusters, domains) — see
+    /// [`skyserver_schema`].
+    pub photo: SkyServerSpec,
+    /// PhotoObjAll columns, lane-encoded per domain.
+    pub photo_columns: Vec<Vec<Value>>,
+    /// The spec side's schema ([`specobj_schema`]).
+    pub spec_schema: Arc<Schema>,
+    /// SpecObjAll columns; `bestObjID` references `photo_columns`'s
+    /// `objID` values.
+    pub spec_columns: Vec<Vec<Value>>,
+    /// The join queries, type-consistent against both schemas.
+    pub queries: Vec<JoinQuery>,
+}
+
+/// Generates the photo↔spec join workload: `n_queries` joins on
+/// `objID = bestObjID`, ~35% grouped rollups (`group by type, sum(z),
+/// count(*)` — the canonical object-class × redshift rollup), the rest
+/// two-table lookups projecting hot photo attributes next to the matched
+/// redshift, filtered on one side at a time so per-side selectivities
+/// differ (which is what exercises the greedy build-side choice).
+/// `match_rate`/`skew` parameterize the foreign-key column.
+pub fn skyserver_join_workload(
+    photo_rows: usize,
+    spec_rows: usize,
+    n_queries: usize,
+    match_rate: f64,
+    skew: f64,
+    seed: u64,
+) -> SkyServerJoin {
+    let photo = skyserver_schema();
+    let photo_columns = photo.gen_columns(photo_rows, seed);
+    let obj_id = photo.schema.attr_by_name("objID").unwrap();
+
+    let spec_schema = specobj_schema();
+    let mut spec_columns = crate::synth::gen_columns(spec_schema.len(), spec_rows, seed ^ 0x5bec);
+    spec_columns[1] = crate::synth::gen_fk_column(
+        spec_rows,
+        &photo_columns[obj_id.index()],
+        match_rate,
+        skew,
+        seed,
+    );
+    spec_columns[2] = gen_f64_column(spec_rows, 0.0, 7.0, seed ^ 2);
+    spec_columns[3] = gen_f64_column(spec_rows, 0.0, 1.0, seed ^ 3);
+    spec_columns[4] = gen_f64_column(spec_rows, 0.0, 850.0, seed ^ 4);
+    for v in &mut spec_columns[5] {
+        *v = v.rem_euclid(6);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a6f_696e); // "join"
+    let z_attr = spec_schema.attr_by_name("z").unwrap();
+    let mut queries = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        let b = JoinQuery::builder(("R", photo.schema.clone()), ("spec", spec_schema.clone()));
+        let selectivity = *[0.01, 0.05, 0.1, 0.3].choose(&mut rng).unwrap();
+        let q = if rng.gen_bool(0.35) {
+            // Grouped rollup over the join, keyed on the photo object
+            // class, rolling up the matched spectra.
+            let key = b.lcol("type").unwrap();
+            let z = b.rcol("z").unwrap();
+            let filter_attr = *photo.predicate_attrs.choose(&mut rng).unwrap();
+            let (pred, _) = photo.predicate_for(filter_attr, selectivity, &mut rng);
+            b.on("objID", "bestObjID")
+                .unwrap()
+                .filter_left(Conjunction::of([pred]))
+                .grouped([key], [Aggregate::sum(z), Aggregate::count()])
+                .unwrap()
+        } else {
+            // Two-table lookup: hot photo attributes next to the matched
+            // redshift, filtered on one side at a time.
+            let ra = b.lcol("ra").unwrap();
+            let dec = b.lcol("dec").unwrap();
+            let mag = b.lcol("modelMag_r").unwrap();
+            let z = b.rcol("z").unwrap();
+            let b = b.on("objID", "bestObjID").unwrap();
+            let b = if rng.gen_bool(0.5) {
+                let filter_attr = *photo.predicate_attrs.choose(&mut rng).unwrap();
+                let (pred, _) = photo.predicate_for(filter_attr, selectivity, &mut rng);
+                b.filter_left(Conjunction::of([pred]))
+            } else {
+                b.filter_right(Conjunction::of([Predicate::lt(
+                    z_attr,
+                    f64_threshold_for_selectivity(selectivity, 0.0, 7.0),
+                )]))
+            };
+            b.project([ra, dec, mag, z]).unwrap()
+        };
+        queries.push(q);
+    }
+    SkyServerJoin {
+        photo,
+        photo_columns,
+        spec_schema,
+        spec_columns,
+        queries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,6 +753,76 @@ mod tests {
         for (a, b) in w.iter().zip(&w2) {
             assert_eq!(a.query, b.query);
         }
+    }
+
+    #[test]
+    fn join_workload_is_deterministic_typed_and_joins_rows() {
+        let w = skyserver_join_workload(600, 400, 80, 0.8, 0.3, 7);
+        assert_eq!(w.queries.len(), 80);
+        assert_eq!(w.photo_columns.len(), w.photo.schema.len());
+        assert_eq!(w.spec_columns.len(), w.spec_schema.len());
+        // Deterministic. (Compare query structure, not relation bindings —
+        // `Schema`'s Debug includes a name map with unordered iteration.)
+        let w2 = skyserver_join_workload(600, 400, 80, 0.8, 0.3, 7);
+        let shape = |q: &JoinQuery| {
+            format!(
+                "{:?} {:?} {:?} {:?} {:?} {:?}",
+                q.on(),
+                q.filter(h2o_expr::Side::Left),
+                q.filter(h2o_expr::Side::Right),
+                q.projections(),
+                q.aggregates(),
+                q.group_by(),
+            )
+        };
+        for (a, b) in w.queries.iter().zip(&w2.queries) {
+            assert_eq!(shape(a), shape(b));
+        }
+        assert_eq!(w.photo_columns, w2.photo_columns);
+        assert_eq!(w.spec_columns, w2.spec_columns);
+        // Every query passes the join type gate, binds the expected
+        // relation names, and joins on objID = bestObjID.
+        let obj_id = w.photo.schema.attr_by_name("objID").unwrap();
+        let best = w.spec_schema.attr_by_name("bestObjID").unwrap();
+        let mut grouped = 0;
+        let mut right_filtered = 0;
+        for q in &w.queries {
+            h2o_expr::check_join(q).unwrap_or_else(|e| panic!("ill-typed join: {e}"));
+            assert_eq!(q.left().name(), "R");
+            assert_eq!(q.right().name(), "spec");
+            assert_eq!(q.on(), &[(obj_id, best)]);
+            if q.is_grouped() {
+                grouped += 1;
+            }
+            if !q.filter(h2o_expr::Side::Right).is_always_true() {
+                right_filtered += 1;
+            }
+        }
+        assert!(
+            (15..=45).contains(&grouped),
+            "grouped share ~35%: {grouped}"
+        );
+        assert!(
+            right_filtered >= 15,
+            "spec-side filters occur: {right_filtered}"
+        );
+        // End-to-end: the joins produce rows against the generated data.
+        let photo_rel =
+            h2o_storage::Relation::columnar(w.photo.schema.clone(), w.photo_columns.clone())
+                .unwrap();
+        let spec_rel =
+            h2o_storage::Relation::columnar(w.spec_schema.clone(), w.spec_columns.clone()).unwrap();
+        let non_empty = w
+            .queries
+            .iter()
+            .take(20)
+            .filter(|q| {
+                !h2o_expr::interpret_join(photo_rel.catalog(), spec_rel.catalog(), q)
+                    .unwrap()
+                    .is_empty()
+            })
+            .count();
+        assert!(non_empty >= 12, "joins select rows: {non_empty}");
     }
 
     #[test]

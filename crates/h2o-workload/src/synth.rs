@@ -78,6 +78,48 @@ pub fn gen_key_column(rows: usize, cardinality: u64, seed: u64) -> Vec<Value> {
     (0..rows).map(|_| rng.gen_range(0..card)).collect()
 }
 
+/// Generates one foreign-**key** column referencing `parent` key values,
+/// with controllable match rate and skew — the join-workload companion of
+/// [`gen_key_column`].
+///
+/// Each of the `rows` values is, with probability `match_rate`, drawn from
+/// `parent` (so it joins); otherwise it is a *miss* — a sentinel distinct
+/// from every parent value (`2·10⁹ + i`, outside the generated
+/// [`VALUE_MIN`]`..`[`VALUE_MAX`] domain), so the realized match rate of
+/// an equi-join on this column is `match_rate` exactly in expectation.
+/// Matching draws are skewed toward a *hot* prefix of `parent` (its first
+/// ~10%): with probability `skew` the draw comes from the hot prefix,
+/// otherwise uniformly from all of `parent`. `skew = 0.0` is uniform;
+/// `skew = 1.0` hammers the hot keys only — the knob for testing
+/// hash-join behaviour under heavy key repetition.
+pub fn gen_fk_column(
+    rows: usize,
+    parent: &[Value],
+    match_rate: f64,
+    skew: f64,
+    seed: u64,
+) -> Vec<Value> {
+    assert!(!parent.is_empty(), "foreign keys need parent keys");
+    let match_rate = match_rate.clamp(0.0, 1.0);
+    let skew = skew.clamp(0.0, 1.0);
+    let hot = parent.len().div_ceil(10);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x666b_6579); // "fkey"
+    (0..rows)
+        .map(|i| {
+            if rng.gen_bool(match_rate) {
+                let idx = if rng.gen_bool(skew) {
+                    rng.gen_range(0..hot)
+                } else {
+                    rng.gen_range(0..parent.len())
+                };
+                parent[idx]
+            } else {
+                2_000_000_000 + i as Value
+            }
+        })
+        .collect()
+}
+
 /// [`gen_columns`] with the first `key_attrs` columns replaced by
 /// low-cardinality key columns (`[0, cardinality)`); the remaining columns
 /// keep the paper's uniform `[−10⁹, 10⁹)` distribution.
@@ -146,6 +188,42 @@ mod tests {
         assert!(cols[1].iter().all(|&v| (0..8).contains(&v)));
         assert!(cols[2].iter().any(|&v| v.abs() > 1_000_000));
         assert_ne!(cols[0], cols[1], "key columns use distinct seeds");
+    }
+
+    #[test]
+    fn fk_columns_respect_match_rate_and_skew() {
+        let parent: Vec<Value> = (0..1000).map(|i| i * 7 - 3500).collect();
+        let parents: std::collections::HashSet<Value> = parent.iter().copied().collect();
+        let fk = gen_fk_column(20_000, &parent, 0.8, 0.0, 11);
+        assert_eq!(
+            fk,
+            gen_fk_column(20_000, &parent, 0.8, 0.0, 11),
+            "deterministic"
+        );
+        let matched = fk.iter().filter(|v| parents.contains(v)).count() as f64 / fk.len() as f64;
+        assert!((matched - 0.8).abs() < 0.02, "match rate: {matched}");
+        // Misses are sentinels no parent can collide with.
+        assert!(fk
+            .iter()
+            .filter(|v| !parents.contains(v))
+            .all(|&v| v >= 2_000_000_000));
+
+        // Skew concentrates the matches on the hot 10% prefix of the
+        // parent keys.
+        let hot: std::collections::HashSet<Value> = parent[..100].iter().copied().collect();
+        let hot_share = |skew: f64| {
+            let fk = gen_fk_column(20_000, &parent, 1.0, skew, 5);
+            fk.iter().filter(|v| hot.contains(v)).count() as f64 / fk.len() as f64
+        };
+        assert!((hot_share(0.0) - 0.1).abs() < 0.02, "uniform baseline");
+        assert!(hot_share(0.9) > 0.85, "skewed draws hit the hot prefix");
+        // Edge cases: no matches, and everything matches one parent.
+        assert!(gen_fk_column(100, &parent, 0.0, 0.5, 1)
+            .iter()
+            .all(|&v| v >= 2_000_000_000));
+        assert!(gen_fk_column(100, &[42], 1.0, 1.0, 1)
+            .iter()
+            .all(|&v| v == 42));
     }
 
     #[test]

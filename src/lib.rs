@@ -131,6 +131,89 @@
 //! `fig18_grouped_agg` bench binary measures rows/sec versus group
 //! cardinality per strategy.
 //!
+//! ## Multi-relation queries (deviation from the paper)
+//!
+//! The paper's prototype is single-relation; this reproduction answers
+//! **two-table hash equi-joins** end-to-end.
+//! [`Query::join`](h2o_expr::Query::join) binds two named relations and
+//! builds the shape — equi-join key pairs, an independent residual
+//! filter per side, and cross-relation projections, aggregates or
+//! grouped rollups over the combined tuple — typed through
+//! [`check_join`](h2o_expr::check_join) (join keys must share a
+//! [`LogicalType`](h2o_storage::LogicalType); ambiguous names are
+//! rejected unless qualified with `lcol`/`rcol`):
+//!
+//! ```
+//! use h2o::prelude::*;
+//! use h2o::storage::LogicalType;
+//!
+//! let photo = Schema::typed([
+//!     ("objID", LogicalType::I64),
+//!     ("mag", LogicalType::I64),
+//! ]).into_shared();
+//! let spec = Schema::typed([
+//!     ("bestObjID", LogicalType::I64),
+//!     ("z", LogicalType::I64),
+//! ]).into_shared();
+//!
+//! // The engine's primary relation is bound as "R"; secondaries are
+//! // registered by name and join against the same catalog snapshot.
+//! let engine = H2oEngine::new(
+//!     Relation::columnar(photo.clone(), vec![
+//!         (0..1000).collect(),                     // objID
+//!         (0..1000).map(|i| i % 30).collect(),     // mag
+//!     ]).unwrap(),
+//!     EngineConfig::default(),
+//! );
+//! engine.add_relation("spec", Relation::columnar(spec.clone(), vec![
+//!     (0..500).map(|i| i * 2).collect(),           // bestObjID
+//!     (0..500).map(|i| i % 7).collect(),           // z
+//! ]).unwrap()).unwrap();
+//!
+//! // select mag, z from R join spec on objID = bestObjID where mag < 3
+//! let b = Query::join(("R", photo), ("spec", spec))
+//!     .on("objID", "bestObjID").unwrap();
+//! let (mag, z) = (b.lcol("mag").unwrap(), b.rcol("z").unwrap());
+//! let q = b
+//!     .filter_left(Conjunction::of([Predicate::lt(1u32, 3)]))
+//!     .project([mag, z]).unwrap();
+//!
+//! let (db, result) = engine.execute_join_snapshot(&q).unwrap();
+//! // Differential oracle on the very snapshot the engine answered from:
+//! let want = h2o::expr::interpret_join(
+//!     db.relation("R").unwrap(), db.relation("spec").unwrap(), &q,
+//! ).unwrap();
+//! assert_eq!(result.fingerprint(), want.fingerprint());
+//! assert!(result.rows() > 0);
+//! ```
+//!
+//! Execution reuses the whole single-relation machinery: all three
+//! strategies implement the hash join over segment runs — a
+//! morsel-parallel build (partitioned tables merged in morsel order),
+//! a probe fused with the residual filter and select program, SIMD
+//! mask/selection-vector reuse and zone-map pruning on both sides, an
+//! early exit when the build side is empty — so for a fixed build side
+//! results are bit-identical across strategies, layouts and
+//! serial/parallel execution (`tests/joins.rs` pins this against the
+//! interpreter).
+//!
+//! **Greedy selectivity-driven join ordering.** The engine keeps no
+//! cardinality statistics. Instead, each side's residual-filter
+//! selectivity is *observed*: every join execution reports how many
+//! build/probe rows survived the filters, and an EWMA keyed by
+//! (relation, predicate shape) — the join flavour of
+//! [`observed_selectivity`](h2o_core::H2oEngine::observed_selectivity) —
+//! feeds the next plan. The side with the smaller estimated post-filter
+//! row count builds the hash table (ties build left); forcing the other
+//! side via
+//! [`execute_join_with_build_side`](h2o_core::H2oEngine::execute_join_with_build_side)
+//! is how the `fig21_join` guardrail demonstrates the greedy order
+//! beats the worst order. Join sides bound to the primary relation also
+//! feed the monitoring window as key + payload access patterns, so a
+//! join workload converges the physical layout to the join's column
+//! group (`examples/join_analytics.rs`). Joins do not yet support
+//! cancellation or deadlines.
+//!
 //! ## Parallel execution (deviation from the paper)
 //!
 //! The paper's prototype executes each query on one thread. This
@@ -213,13 +296,13 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`storage`] | column groups, layout catalog (Data Layout Manager) |
-//! | [`expr`] | queries, expressions, the interpreted generic operator |
-//! | [`exec`] | execution strategies, specialized kernels, operator cache |
-//! | [`cost`] | Eq. 1 / Eq. 2 cost model (cache-miss CPU model) |
+//! | [`expr`] | queries (single-relation and join), expressions, the interpreted generic + join operators |
+//! | [`exec`] | execution strategies, specialized kernels (incl. hash join), operator cache |
+//! | [`cost`] | Eq. 1 / Eq. 2 cost model (cache-miss CPU model) + join build/probe pricing |
 //! | [`adapt`] | monitoring window, affinity matrices, candidate adviser |
 //! | [`partition`] | AutoPart offline baseline, brute-force oracle |
-//! | [`core`] | the adaptive engine, static baselines, optimal oracle |
-//! | [`workload`] | benchmark data/query generators (incl. synthetic SkyServer) |
+//! | [`core`] | the adaptive multi-relation engine, static baselines, optimal oracle |
+//! | [`workload`] | benchmark data/query generators (incl. synthetic SkyServer + join workload) |
 
 pub use h2o_adapt as adapt;
 pub use h2o_core as core;
