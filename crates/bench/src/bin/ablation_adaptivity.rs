@@ -18,7 +18,7 @@
 
 use h2o_adapt::WindowConfig;
 use h2o_bench::{csv_header, fmt_s, time, Args};
-use h2o_core::{EngineConfig, H2oEngine};
+use h2o_core::{EngineConfig, H2oEngine, Request};
 use h2o_storage::{Relation, Schema};
 use h2o_workload::sequence::fig7_sequence;
 use h2o_workload::synth::gen_columns;
@@ -68,8 +68,9 @@ fn main() {
         for tq in &workload {
             let (r, t) = time(|| {
                 engine
-                    .execute_with_hint(&tq.query, Some(tq.selectivity))
+                    .run(Request::query(&tq.query).hint(tq.selectivity))
                     .unwrap()
+                    .result
             });
             total += t;
             prints.push(r.fingerprint());

@@ -36,7 +36,15 @@
 //! * `--fig22 <path>` — the summed guarded/baseline fault-tolerance
 //!   overhead (live cancellation token + disabled failpoints on the hot
 //!   path) must stay within `--max-fault-overhead` (default 1.03), and
-//!   every guarded result must be bit-identical to its baseline.
+//!   every guarded result must be bit-identical to its baseline;
+//! * `--fig23 <path>` — every serving point must answer all its
+//!   requests (`errors == 0`), carry interpreter-checked responses
+//!   (`checked > 0`) with zero fingerprint `mismatches`, keep p99
+//!   latency under `--max-p99-ms` (default 2000 — a liveness bound,
+//!   not a perf target: CI machines are too noisy for tight serving
+//!   SLOs), and shed nothing at the lowest client count (admission is
+//!   sized above the closed-loop client counts, so any shedding there
+//!   is a regression).
 //!
 //! Run locally to vet a change the same way CI will:
 //!
@@ -354,6 +362,53 @@ fn check_fig22(doc: &str, max_overhead: f64, c: &mut Checker) {
     c.assert(total_seen, "fig22: total entry present".into());
 }
 
+fn check_fig23(doc: &str, max_p99_ms: f64, c: &mut Checker) {
+    let results = json::results(doc);
+    c.assert(!results.is_empty(), "fig23: results array non-empty".into());
+    let min_clients = results
+        .iter()
+        .filter_map(|o| json::num(o, "clients"))
+        .fold(f64::INFINITY, f64::min);
+    for obj in &results {
+        let clients = json::num(obj, "clients").unwrap_or(-1.0);
+        let executed = json::num(obj, "executed").unwrap_or(0.0);
+        c.assert(
+            executed > 0.0,
+            format!("fig23: clients={clients}: executed {executed} > 0"),
+        );
+        c.assert(
+            json::num(obj, "errors") == Some(0.0),
+            format!("fig23: clients={clients}: zero error responses"),
+        );
+        let checked = json::num(obj, "checked").unwrap_or(0.0);
+        c.assert(
+            checked > 0.0,
+            format!("fig23: clients={clients}: interpreter-checked responses present"),
+        );
+        c.assert(
+            json::num(obj, "mismatches") == Some(0.0),
+            format!(
+                "fig23: clients={clients}: {checked} checked responses fingerprint-identical \
+                 to the interpreter"
+            ),
+        );
+        let p99 = json::num(obj, "p99_ms").unwrap_or(f64::INFINITY);
+        c.assert(
+            p99 <= max_p99_ms,
+            format!("fig23: clients={clients}: p99 {p99:.2}ms <= {max_p99_ms}ms"),
+        );
+        let shed = json::num(obj, "shed").unwrap_or(f64::INFINITY);
+        if clients == min_clients {
+            c.assert(
+                shed == 0.0,
+                format!("fig23: clients={clients}: zero shed at the lowest concurrency"),
+            );
+        } else {
+            eprintln!("guardrail: info fig23: clients={clients} shed {shed}");
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut fig15 = None;
@@ -363,10 +418,12 @@ fn main() {
     let mut fig20 = None;
     let mut fig21 = None;
     let mut fig22 = None;
+    let mut fig23 = None;
     let mut min_advantage = 10.0f64;
     let mut min_simd_speedup = 2.0f64;
     let mut min_greedy_advantage = 1.0f64;
     let mut max_fault_overhead = 1.03f64;
+    let mut max_p99_ms = 2000.0f64;
     let mut i = 1;
     while i < argv.len() {
         // A guardrail that silently narrows its own coverage on a typo is
@@ -384,6 +441,7 @@ fn main() {
             "--fig20" => fig20 = Some(argv[i + 1].clone()),
             "--fig21" => fig21 = Some(argv[i + 1].clone()),
             "--fig22" => fig22 = Some(argv[i + 1].clone()),
+            "--fig23" => fig23 = Some(argv[i + 1].clone()),
             "--min-write-advantage" => {
                 min_advantage = argv[i + 1]
                     .parse()
@@ -404,11 +462,16 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| panic!("bad --max-fault-overhead {}", argv[i + 1]));
             }
+            "--max-p99-ms" => {
+                max_p99_ms = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --max-p99-ms {}", argv[i + 1]));
+            }
             other => panic!(
                 "unknown argument {other} \
-                 (expected --fig15/--fig17/--fig18/--fig19/--fig20/--fig21/--fig22/\
+                 (expected --fig15/--fig17/--fig18/--fig19/--fig20/--fig21/--fig22/--fig23/\
                  --min-write-advantage/--min-simd-speedup/--min-greedy-advantage/\
-                 --max-fault-overhead)"
+                 --max-fault-overhead/--max-p99-ms)"
             ),
         }
         i += 2;
@@ -438,10 +501,13 @@ fn main() {
     if let Some(p) = &fig22 {
         check_fig22(&read(p), max_fault_overhead, &mut c);
     }
+    if let Some(p) = &fig23 {
+        check_fig23(&read(p), max_p99_ms, &mut c);
+    }
     assert!(
         c.checks > 0,
         "guardrail: nothing to check — pass --fig17/--fig18/--fig15/--fig19/--fig20/\
-         --fig21/--fig22"
+         --fig21/--fig22/--fig23"
     );
     if c.failures.is_empty() {
         eprintln!("guardrail: all {} checks passed", c.checks);

@@ -14,7 +14,7 @@
 #![allow(clippy::field_reassign_with_default)] // configs are tweaked from defaults on purpose
 
 use h2o_bench::{csv_header, fmt_s, time, Args};
-use h2o_core::{oracle, EngineConfig, H2oEngine, StaticEngine, StaticKind};
+use h2o_core::{oracle, EngineConfig, H2oEngine, Request, StaticEngine, StaticKind};
 use h2o_exec::CompileCostModel;
 use h2o_storage::{Relation, Schema};
 use h2o_workload::sequence::fig7_sequence;
@@ -74,8 +74,9 @@ fn main() {
     let (mut sum_h2o, mut sum_col, mut sum_row, mut sum_opt) = (0.0, 0.0, 0.0, 0.0);
     for (i, tq) in workload.iter().enumerate() {
         let (r_h2o, t_h2o) = time(|| {
-            h2o.execute_with_hint(&tq.query, Some(tq.selectivity))
+            h2o.run(Request::query(&tq.query).hint(tq.selectivity))
                 .unwrap()
+                .result
         });
         let (r_col, t_col) = time(|| col_engine.execute(&tq.query).unwrap());
         let (r_row, t_row) = time(|| row_engine.execute(&tq.query).unwrap());

@@ -13,7 +13,7 @@
 //! workload we can optimize performance even more than an offline tool."
 
 use h2o_bench::{csv_header, fmt_s, time, Args};
-use h2o_core::{EngineConfig, H2oEngine};
+use h2o_core::{EngineConfig, H2oEngine, Request};
 use h2o_cost::AccessPattern;
 use h2o_partition::AutoPart;
 use h2o_storage::Relation;
@@ -58,8 +58,9 @@ fn main() {
     for tq in &workload {
         let (r, t) = time(|| {
             ap_engine
-                .execute_with_hint(&tq.query, Some(tq.selectivity))
+                .run(Request::query(&tq.query).hint(tq.selectivity))
                 .unwrap()
+                .result
         });
         t_ap_exec += t;
         ap_results.push(r.fingerprint());
@@ -71,8 +72,9 @@ fn main() {
     let mut t_h2o_total = 0.0;
     for (i, tq) in workload.iter().enumerate() {
         let (r, t) = time(|| {
-            h2o.execute_with_hint(&tq.query, Some(tq.selectivity))
+            h2o.run(Request::query(&tq.query).hint(tq.selectivity))
                 .unwrap()
+                .result
         });
         t_h2o_total += t;
         assert_eq!(r.fingerprint(), ap_results[i], "engines disagree at {i}");

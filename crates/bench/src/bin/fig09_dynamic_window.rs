@@ -14,7 +14,7 @@
 
 use h2o_adapt::WindowConfig;
 use h2o_bench::{csv_header, fmt_s, time, Args};
-use h2o_core::{EngineConfig, H2oEngine};
+use h2o_core::{EngineConfig, H2oEngine, Request};
 use h2o_storage::{Relation, Schema};
 use h2o_workload::sequence::fig9_sequence;
 use h2o_workload::synth::gen_columns;
@@ -58,13 +58,15 @@ fn main() {
     for (i, tq) in workload.iter().enumerate() {
         let (rs, ts) = time(|| {
             static_engine
-                .execute_with_hint(&tq.query, Some(tq.selectivity))
+                .run(Request::query(&tq.query).hint(tq.selectivity))
                 .unwrap()
+                .result
         });
         let (rd, td) = time(|| {
             dynamic_engine
-                .execute_with_hint(&tq.query, Some(tq.selectivity))
+                .run(Request::query(&tq.query).hint(tq.selectivity))
                 .unwrap()
+                .result
         });
         assert_eq!(
             rs.fingerprint(),

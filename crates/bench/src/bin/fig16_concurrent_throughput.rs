@@ -17,7 +17,7 @@
 //! all thread counts collapse to ~1×.
 
 use h2o_bench::Args;
-use h2o_core::{EngineConfig, H2oEngine};
+use h2o_core::{EngineConfig, H2oEngine, Request};
 use h2o_expr::{interpret, Aggregate, Conjunction, Expr, Predicate, Query};
 use h2o_storage::{AttrId, Relation, Schema};
 use h2o_workload::synth::{gen_columns, threshold_for_selectivity, VALUE_MAX, VALUE_MIN};
@@ -90,7 +90,8 @@ fn run_readers(
                 let attrs = engine.snapshot().schema().len();
                 for i in 0..per_thread {
                     let q = mixed_query(&mut rng, attrs);
-                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    let out = engine.run(Request::query(&q)).unwrap();
+                    let (snap, got) = (out.snapshot.primary().clone(), out.result);
                     if i % 16 == 0 {
                         let want = interpret(&snap, &q).unwrap();
                         assert_eq!(

@@ -26,9 +26,9 @@
 //! gates the sum rather than each point.
 
 use h2o_bench::{time_hot, Args};
-use h2o_core::{EngineConfig, H2oEngine};
+use h2o_core::{EngineConfig, H2oEngine, Request};
 use h2o_exec::{compile_join, execute_join_with_policy, AccessPlan, ExecPolicy, Strategy};
-use h2o_expr::{check_join, interpret_join, Conjunction, JoinQuery, Predicate};
+use h2o_expr::{check_join, interpret_join, Conjunction, JoinQuery, Predicate, Side};
 use h2o_storage::{LogicalType, Relation, Schema, Value};
 use h2o_workload::{gen_columns, gen_fk_column, threshold_for_selectivity};
 
@@ -160,18 +160,25 @@ fn main() {
                     Relation::columnar(dim_schema(), dim_columns.clone()).unwrap(),
                 )
                 .unwrap();
-            let _warm = engine.execute_join(&q).unwrap();
-            let greedy_s = time_hot(reps, || engine.execute_join(&q).unwrap());
-            let greedy = engine.execute_join(&q).unwrap();
+            let _warm = engine.run(Request::join(&q)).unwrap();
+            let greedy_s = time_hot(reps, || engine.run(Request::join(&q)).unwrap().result);
+            let greedy = engine.run(Request::join(&q)).unwrap().result;
             let report = engine.last_join_report().expect("join just ran");
+            let worst_side = if report.build_is_left {
+                Side::Right
+            } else {
+                Side::Left
+            };
             let worst_s = time_hot(reps, || {
                 engine
-                    .execute_join_with_build_side(&q, !report.build_is_left)
+                    .run(Request::join(&q).build_side(worst_side))
                     .unwrap()
+                    .result
             });
             let worst = engine
-                .execute_join_with_build_side(&q, !report.build_is_left)
-                .unwrap();
+                .run(Request::join(&q).build_side(worst_side))
+                .unwrap()
+                .result;
             let ratio = worst_s / greedy_s;
             eprintln!(
                 "fig21: dim={dim_rows:<7} sel={sel:<4} order: greedy builds {} \

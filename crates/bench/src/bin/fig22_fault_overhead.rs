@@ -20,7 +20,7 @@
 //! not an overhead.
 
 use h2o_bench::{time_hot, Args};
-use h2o_core::{CancelToken, EngineConfig, H2oEngine};
+use h2o_core::{CancelToken, EngineConfig, H2oEngine, Request};
 use h2o_expr::{Aggregate, Conjunction, Expr, Predicate, Query};
 use h2o_storage::{AttrId, Relation, Schema};
 use h2o_workload::synth::{gen_columns, threshold_for_selectivity};
@@ -74,10 +74,14 @@ fn main() {
     let mut total_base = 0.0f64;
     let mut total_guarded = 0.0f64;
     for (name, q) in shapes(attrs) {
-        let base_fp = engine.execute(&q).unwrap().fingerprint();
+        let base_fp = engine.run(Request::query(&q)).unwrap().result.fingerprint();
         let guarded_fp = {
             let t = CancelToken::new();
-            engine.execute_cancellable(&q, &t).unwrap().fingerprint()
+            engine
+                .run(Request::query(&q).cancel(&t))
+                .unwrap()
+                .result
+                .fingerprint()
         };
         let identical = base_fp == guarded_fp;
         // Best of two interleaved rounds per side: a scheduler hiccup in
@@ -85,10 +89,12 @@ fn main() {
         let mut baseline_s = f64::INFINITY;
         let mut guarded_s = f64::INFINITY;
         for _ in 0..2 {
-            baseline_s = baseline_s.min(time_hot(reps, || engine.execute(&q).unwrap()));
+            baseline_s = baseline_s.min(time_hot(reps, || {
+                engine.run(Request::query(&q)).unwrap().result
+            }));
             guarded_s = guarded_s.min(time_hot(reps, || {
                 let t = CancelToken::new();
-                engine.execute_cancellable(&q, &t).unwrap()
+                engine.run(Request::query(&q).cancel(&t)).unwrap().result
             }));
         }
         let overhead = guarded_s / baseline_s;

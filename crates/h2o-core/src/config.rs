@@ -65,14 +65,14 @@ pub struct EngineConfig {
     /// them while in-flight queries keep reading their own snapshots.
     pub background_reorg: bool,
     /// Default per-query deadline. When set, every
-    /// [`H2oEngine::execute`](crate::H2oEngine::execute) call runs under an
+    /// [`H2oEngine::run`](crate::H2oEngine::run) call runs under an
     /// implicit [`CancelToken`](h2o_exec::CancelToken) armed with this
     /// timeout and fails with
     /// [`EngineError::Timeout`](crate::EngineError::Timeout) once it
-    /// expires. Callers that pass their own token
-    /// ([`H2oEngine::execute_cancellable`](crate::H2oEngine::execute_cancellable))
-    /// opt out of the implicit deadline. `None` (the default) never times
-    /// queries out.
+    /// expires. Requests that set any stop-control option themselves — a
+    /// deadline, a cancel token or a morsel budget
+    /// ([`ExecOptions`](crate::ExecOptions)) — opt out of the implicit
+    /// deadline. `None` (the default) never times queries out.
     pub query_deadline: Option<Duration>,
 }
 

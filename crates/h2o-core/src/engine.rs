@@ -5,7 +5,7 @@
 //!
 //! The engine is queried through `&self` and is `Send + Sync`: wrap it in an
 //! `Arc` (or borrow it into scoped threads) and any number of clients can
-//! call [`H2oEngine::execute`] at once.
+//! call [`H2oEngine::run`] at once.
 //!
 //! * **Snapshot-isolated reads.** The layout catalog is published as an
 //!   [`CatalogSnapshot`] (`Arc<LayoutCatalog>`) behind a single swap point.
@@ -28,11 +28,13 @@
 //!   skips the lazy path for that query).
 
 use crate::config::EngineConfig;
+use crate::request::{ExecOptions, ExecSnapshot, Outcome, Request, RequestKind};
 use crate::stats::EngineStats;
 use h2o_adapt::{AdviceQueue, Adviser, SharedWindow};
 use h2o_cost::{AccessPattern, CostModel, GroupSpec, JoinRole, PlanSpec, Residence};
 use h2o_exec::{
     execute_join_with_policy as exec_execute_join_with_policy,
+    execute_join_with_policy_cancel as exec_execute_join_with_policy_cancel,
     execute_with_policy_cancel as exec_execute_with_policy_cancel,
     execute_with_policy_stats as exec_execute_with_policy_stats, reorg, AccessPlan, CancelToken,
     ExecError, JoinExecStats, OperatorCache, Strategy,
@@ -80,10 +82,16 @@ pub enum EngineError {
     /// feedback is ever published from a cancelled query.
     Cancelled,
     /// The query's deadline (explicit via
-    /// [`H2oEngine::execute_with_deadline`], or implicit via
-    /// [`EngineConfig::query_deadline`]) expired before it finished. Same
-    /// no-partial-effects guarantee as [`EngineError::Cancelled`].
+    /// [`ExecOptions::deadline`](crate::ExecOptions::deadline), or
+    /// implicit via [`EngineConfig::query_deadline`]) expired before it
+    /// finished. Same no-partial-effects guarantee as
+    /// [`EngineError::Cancelled`].
     Timeout,
+    /// The query's morsel budget
+    /// ([`ExecOptions::budget`](crate::ExecOptions::budget)) ran out
+    /// before it finished. Same no-partial-effects guarantee as
+    /// [`EngineError::Cancelled`].
+    BudgetExhausted,
     /// The OS refused to spawn a background thread
     /// ([`H2oEngine::spawn_reorganizer`]). Recoverable: the engine keeps
     /// working, callers can degrade to pumping
@@ -107,6 +115,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Cancelled => write!(f, "query cancelled"),
             EngineError::Timeout => write!(f, "query deadline expired"),
+            EngineError::BudgetExhausted => write!(f, "query morsel budget exhausted"),
             EngineError::Spawn(e) => write!(f, "failed to spawn engine thread: {e}"),
             EngineError::Relation(e) => write!(f, "relation binding error: {e}"),
         }
@@ -124,6 +133,7 @@ impl From<ExecError> for EngineError {
             ExecError::Query(q) => EngineError::Query(q),
             ExecError::Cancelled => EngineError::Cancelled,
             ExecError::DeadlineExpired => EngineError::Timeout,
+            ExecError::BudgetExhausted => EngineError::BudgetExhausted,
             other => EngineError::Exec(other),
         }
     }
@@ -183,7 +193,7 @@ pub const PRIMARY_RELATION: &str = "R";
 /// its sides against one `DbSnapshot`, so the two sides can never see
 /// catalog versions from different points of the same relation's history —
 /// the multi-relation extension of the engine's snapshot isolation.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct DbSnapshot {
     primary: CatalogSnapshot,
     named: Arc<HashMap<String, CatalogSnapshot>>,
@@ -250,7 +260,7 @@ pub struct MaintenanceReport {
     pub layouts_built: usize,
 }
 
-/// The adaptive engine, shareable across threads (`execute(&self)`).
+/// The adaptive engine, shareable across threads (`run(&self, ...)`).
 pub struct H2oEngine {
     config: EngineConfig,
     model: CostModel,
@@ -349,8 +359,9 @@ impl H2oEngine {
     /// replaces it atomically (in-flight snapshots keep the old version);
     /// binding the reserved primary name ([`PRIMARY_RELATION`]) is an
     /// error. Secondary relations are served by the multi-relation query
-    /// path ([`Self::execute_join`]) and [`Self::insert_into`]; the
-    /// adaptation mechanism observes and reorganizes only the primary.
+    /// path ([`Request::join`] through [`Self::run`]) and
+    /// [`Self::insert_into`]; the adaptation mechanism observes and
+    /// reorganizes only the primary.
     pub fn add_relation(&self, name: &str, relation: Relation) -> Result<(), EngineError> {
         if name == PRIMARY_RELATION {
             return Err(EngineError::Relation(format!(
@@ -455,109 +466,168 @@ impl H2oEngine {
             .copied()
     }
 
-    /// Executes a query, adapting as a side effect.
-    pub fn execute(&self, q: &Query) -> Result<QueryResult, EngineError> {
-        self.execute_with_hint(q, None)
+    /// Executes one [`Request`] — **the** engine entry point. The request
+    /// carries the query shape (single-relation or join) and its
+    /// composable [`ExecOptions`] (selectivity hint, deadline, cancel
+    /// token, morsel budget, forced build side).
+    ///
+    /// Single-relation queries adapt as a side effect: the access pattern
+    /// feeds the monitoring window, and (in lazy mode) a beneficial
+    /// pending layout is materialized fused with the answer. Join
+    /// requests resolve both sides against one [`DbSnapshot`]; the build
+    /// side is chosen **greedily from observed per-predicate
+    /// selectivity** — the side with fewer estimated post-filter rows
+    /// builds the hash table — unless the request forces it. Sides bound
+    /// to the primary relation feed the monitoring window, so a join
+    /// workload drives the adviser toward key+payload column groups.
+    ///
+    /// A stopped request (cancelled, past its deadline, over its morsel
+    /// budget) fails with the matching typed error and publishes
+    /// **nothing** — no result rows, no catalog version, no cached
+    /// operator, no statistics feedback. Setting any stop-control option
+    /// opts out of the implicit [`EngineConfig::query_deadline`].
+    ///
+    /// The returned [`Outcome`] carries the result rows *and* the
+    /// snapshot they were computed against, so callers can check the
+    /// answer against an oracle on the exact same data.
+    pub fn run(&self, req: Request<'_>) -> Result<Outcome, EngineError> {
+        match req.kind {
+            RequestKind::Query(q) => {
+                let (snap, result) = self.execute_snapshot_inner(q, &req.opts)?;
+                Ok(Outcome {
+                    result,
+                    snapshot: ExecSnapshot::Relation(snap),
+                })
+            }
+            RequestKind::Join(q) => {
+                let (db, result) = self.execute_join_inner(q, &req.opts)?;
+                Ok(Outcome {
+                    result,
+                    snapshot: ExecSnapshot::Db(db),
+                })
+            }
+        }
     }
 
-    /// Executes a query with an explicit selectivity hint for planning
-    /// (benchmark harnesses that control the workload know the true
-    /// selectivity; without a hint the engine uses observed history).
+    /// Executes a query, adapting as a side effect.
+    #[deprecated(since = "0.2.0", note = "use `run(Request::query(q))`")]
+    pub fn execute(&self, q: &Query) -> Result<QueryResult, EngineError> {
+        self.run(Request::query(q)).map(Outcome::into_result)
+    }
+
+    /// Executes a query with an explicit selectivity hint for planning.
+    #[deprecated(since = "0.2.0", note = "use `run(Request::query(q).hint(sel))`")]
     pub fn execute_with_hint(
         &self,
         q: &Query,
         selectivity_hint: Option<f64>,
     ) -> Result<QueryResult, EngineError> {
-        self.execute_snapshot_with_hint(q, selectivity_hint)
-            .map(|(_, r)| r)
+        let mut req = Request::query(q);
+        if let Some(sel) = selectivity_hint {
+            req = req.hint(sel);
+        }
+        self.run(req).map(Outcome::into_result)
     }
 
     /// Executes a query and also returns the catalog snapshot the result
-    /// was computed against — the hook differential tests use to check a
-    /// concurrent result against the serial oracle *on the same data*.
+    /// was computed against.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(Request::query(q))` — the `Outcome` carries the snapshot"
+    )]
     pub fn execute_snapshot(
         &self,
         q: &Query,
     ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
-        self.execute_snapshot_with_hint(q, None)
+        self.run(Request::query(q))
+            .map(|o| (o.snapshot.primary().clone(), o.result))
     }
 
-    /// [`Self::execute_snapshot`] with an explicit selectivity hint.
+    /// Snapshot-returning execution with an explicit selectivity hint.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(Request::query(q).hint(sel))` — the `Outcome` carries the snapshot"
+    )]
     pub fn execute_snapshot_with_hint(
         &self,
         q: &Query,
         selectivity_hint: Option<f64>,
     ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
-        self.execute_snapshot_inner(q, selectivity_hint, None)
+        let mut req = Request::query(q);
+        if let Some(sel) = selectivity_hint {
+            req = req.hint(sel);
+        }
+        self.run(req)
+            .map(|o| (o.snapshot.primary().clone(), o.result))
     }
 
-    /// Executes a query under a caller-owned [`CancelToken`]. Any thread
-    /// holding a clone of the token can call
-    /// [`CancelToken::cancel`] to stop the query
-    /// cooperatively; the call then fails with [`EngineError::Cancelled`]
-    /// (or [`EngineError::Timeout`] if the token carried a deadline that
-    /// expired first) and publishes **nothing** — no result rows, no
-    /// catalog version, no statistics feedback. Passing an explicit token
-    /// opts out of [`EngineConfig::query_deadline`].
+    /// Executes a query under a caller-owned [`CancelToken`].
+    #[deprecated(since = "0.2.0", note = "use `run(Request::query(q).cancel(token))`")]
     pub fn execute_cancellable(
         &self,
         q: &Query,
         token: &CancelToken,
     ) -> Result<QueryResult, EngineError> {
-        self.execute_snapshot_inner(q, None, Some(token))
-            .map(|(_, r)| r)
+        self.run(Request::query(q).cancel(token))
+            .map(Outcome::into_result)
     }
 
     /// Executes a query that fails with [`EngineError::Timeout`] unless it
-    /// completes within `timeout`. Sugar for [`Self::execute_cancellable`]
-    /// with a deadline-armed token.
+    /// completes within `timeout`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(Request::query(q).deadline(timeout))`"
+    )]
     pub fn execute_with_deadline(
         &self,
         q: &Query,
         timeout: Duration,
     ) -> Result<QueryResult, EngineError> {
-        let token = CancelToken::with_deadline(timeout);
-        self.execute_snapshot_inner(q, None, Some(&token))
-            .map(|(_, r)| r)
+        self.run(Request::query(q).deadline(timeout))
+            .map(Outcome::into_result)
     }
 
-    /// Executes a two-relation hash join, adapting as a side effect. The
-    /// query names its relations ([`PRIMARY_RELATION`] and/or secondaries
-    /// bound via [`Self::add_relation`]); both sides are resolved against
-    /// one [`DbSnapshot`]. The build side is chosen **greedily from
-    /// observed per-predicate selectivity** — the side with fewer
-    /// estimated post-filter rows (its physical row count scaled by the
-    /// smoothed selectivity history of its residual filter) builds the
-    /// hash table; no cardinality statistics are kept. Sides bound to the
-    /// primary relation feed the monitoring window, so a join workload
-    /// drives the adviser toward key+payload column groups.
-    ///
-    /// Joins do not currently support cancellation or deadlines (see
-    /// `h2o_exec::join`).
+    /// Executes a two-relation hash join, adapting as a side effect.
+    #[deprecated(since = "0.2.0", note = "use `run(Request::join(q))`")]
     pub fn execute_join(&self, q: &JoinQuery) -> Result<QueryResult, EngineError> {
-        self.execute_join_snapshot(q).map(|(_, r)| r)
+        self.run(Request::join(q)).map(Outcome::into_result)
     }
 
-    /// [`Self::execute_join`] returning also the [`DbSnapshot`] the join
-    /// ran against — the hook differential tests use to check the result
-    /// against the interpreter oracle *on the same data*.
+    /// Join execution returning also the [`DbSnapshot`] the join ran
+    /// against.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(Request::join(q))` — the `Outcome` carries the snapshot"
+    )]
     pub fn execute_join_snapshot(
         &self,
         q: &JoinQuery,
     ) -> Result<(DbSnapshot, QueryResult), EngineError> {
-        self.execute_join_inner(q, None)
+        self.run(Request::join(q)).map(|o| {
+            let db = o
+                .snapshot
+                .db()
+                .cloned()
+                .expect("join outcomes carry a DbSnapshot");
+            (db, o.result)
+        })
     }
 
-    /// [`Self::execute_join`] with the build side forced instead of chosen
-    /// greedily — the harness hook the bench guardrail uses to compare the
-    /// greedy order against the worst order.
+    /// Join execution with the build side forced instead of chosen
+    /// greedily.
+    #[deprecated(since = "0.2.0", note = "use `run(Request::join(q).build_side(side))`")]
     pub fn execute_join_with_build_side(
         &self,
         q: &JoinQuery,
         build_is_left: bool,
     ) -> Result<QueryResult, EngineError> {
-        self.execute_join_inner(q, Some(build_is_left))
-            .map(|(_, r)| r)
+        let side = if build_is_left {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        self.run(Request::join(q).build_side(side))
+            .map(Outcome::into_result)
     }
 
     /// What the engine did for the most recent join query (racy under
@@ -578,30 +648,65 @@ impl H2oEngine {
             .copied()
     }
 
+    /// Resolves a request's options into the execution token: the
+    /// caller's token (armed with the request's deadline/budget) when any
+    /// stop-control option is set, else the engine's implicit
+    /// [`EngineConfig::query_deadline`] token, else none.
+    fn resolve_token(&self, opts: &ExecOptions) -> Option<CancelToken> {
+        if opts.has_stop_control() {
+            let token = opts.cancel.clone().unwrap_or_default();
+            if let Some(d) = opts.deadline {
+                token.arm_deadline(d);
+            }
+            if let Some(b) = opts.morsel_budget {
+                token.set_budget(b);
+            }
+            Some(token)
+        } else {
+            self.config.query_deadline.map(CancelToken::with_deadline)
+        }
+    }
+
+    /// Bumps the failure counter matching a typed error outcome.
+    fn count_failure(&self, e: &EngineError) {
+        let mut s = self.stats.lock();
+        match e {
+            EngineError::ExecutionPanicked { .. } => s.queries_panicked += 1,
+            EngineError::Cancelled => s.queries_cancelled += 1,
+            EngineError::Timeout => s.queries_timed_out += 1,
+            EngineError::BudgetExhausted => s.queries_budget_exhausted += 1,
+            _ => {}
+        }
+    }
+
     /// Panic-isolation wrapper of the join path, mirroring
     /// [`Self::execute_snapshot_inner`].
     fn execute_join_inner(
         &self,
         q: &JoinQuery,
-        forced_build_is_left: Option<bool>,
+        opts: &ExecOptions,
     ) -> Result<(DbSnapshot, QueryResult), EngineError> {
-        match catch_unwind(AssertUnwindSafe(|| {
-            self.execute_join_attempt(q, forced_build_is_left)
+        let forced_build_is_left = opts.build_side.map(|s| s == Side::Left);
+        let token = self.resolve_token(opts);
+        let out = match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_join_attempt(q, forced_build_is_left, token.as_ref())
         })) {
             Ok(r) => r,
-            Err(payload) => {
-                self.stats.lock().queries_panicked += 1;
-                Err(EngineError::ExecutionPanicked {
-                    payload: panic_message(payload.as_ref()),
-                })
-            }
+            Err(payload) => Err(EngineError::ExecutionPanicked {
+                payload: panic_message(payload.as_ref()),
+            }),
+        };
+        if let Err(e) = &out {
+            self.count_failure(e);
         }
+        out
     }
 
     fn execute_join_attempt(
         &self,
         q: &JoinQuery,
         forced_build_is_left: Option<bool>,
+        cancel: Option<&CancelToken>,
     ) -> Result<(DbSnapshot, QueryResult), EngineError> {
         // Plan-time type gate, as on the single-relation path: join keys
         // must share a logical type, dict keys join on codes only when the
@@ -672,8 +777,16 @@ impl H2oEngine {
         for &id in &rplan.layouts {
             right.note_use(id, epoch);
         }
-        let (result, exec) =
-            exec_execute_join_with_policy(&left, &right, &op, &self.config.exec_policy())?;
+        let (result, exec) = match cancel {
+            Some(token) => exec_execute_join_with_policy_cancel(
+                &left,
+                &right,
+                &op,
+                &self.config.exec_policy(),
+                token,
+            )?,
+            None => exec_execute_join_with_policy(&left, &right, &op, &self.config.exec_policy())?,
+        };
         if exec.segments_skipped > 0 {
             self.stats.lock().segments_skipped += exec.segments_skipped;
         }
@@ -822,18 +935,9 @@ impl H2oEngine {
     fn execute_snapshot_inner(
         &self,
         q: &Query,
-        selectivity_hint: Option<f64>,
-        cancel: Option<&CancelToken>,
+        opts: &ExecOptions,
     ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
-        let implicit;
-        let cancel = match (cancel, self.config.query_deadline) {
-            (Some(t), _) => Some(t),
-            (None, Some(deadline)) => {
-                implicit = CancelToken::with_deadline(deadline);
-                Some(&implicit)
-            }
-            (None, None) => None,
-        };
+        let token = self.resolve_token(opts);
         // Panic isolation: a kernel or reorganization panic is caught here
         // — below any engine lock acquisition (the vendored `parking_lot`
         // recovers poisoned state anyway) and above the caller — and
@@ -841,7 +945,7 @@ impl H2oEngine {
         // unwound mutation left no trace: the catalog swap happens only
         // after a build fully succeeds.
         let out = match catch_unwind(AssertUnwindSafe(|| {
-            self.execute_attempt(q, selectivity_hint, cancel)
+            self.execute_attempt(q, opts.selectivity_hint, token.as_ref())
         })) {
             Ok(r) => r,
             Err(payload) => Err(EngineError::ExecutionPanicked {
@@ -849,13 +953,7 @@ impl H2oEngine {
             }),
         };
         if let Err(e) = &out {
-            let mut s = self.stats.lock();
-            match e {
-                EngineError::ExecutionPanicked { .. } => s.queries_panicked += 1,
-                EngineError::Cancelled => s.queries_cancelled += 1,
-                EngineError::Timeout => s.queries_timed_out += 1,
-                _ => {}
-            }
+            self.count_failure(e);
         }
         out
     }
@@ -1720,7 +1818,7 @@ mod tests {
         ];
         for q in &queries {
             let want = interpret(&e.catalog(), q).unwrap();
-            let got = e.execute(q).unwrap();
+            let got = e.run(Request::query(q)).unwrap().result;
             assert_eq!(got.fingerprint(), want.fingerprint(), "{q}");
         }
         assert_eq!(e.stats().queries, 3);
@@ -1736,7 +1834,7 @@ mod tests {
         for i in 0..40 {
             let q = expr_query(&[0, 1, 2, 3, 4], 5, (i % 7) * 100 - 300);
             let want = interpret(&e.catalog(), &q).unwrap();
-            let got = e.execute(&q).unwrap();
+            let got = e.run(Request::query(&q)).unwrap().result;
             assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
         }
         let stats = e.stats();
@@ -1802,7 +1900,7 @@ mod tests {
             )
             .unwrap();
             let want = interpret(&e.catalog(), &q).unwrap();
-            let got = e.execute(&q).unwrap();
+            let got = e.run(Request::query(&q)).unwrap().result;
             assert_eq!(got, want, "grouped query {i} (bit-identical, sorted)");
         }
         let stats = e.stats();
@@ -1831,7 +1929,7 @@ mod tests {
             Conjunction::of([Predicate::gt(1u32, i64::MIN)]),
         )
         .unwrap();
-        e.execute(&q).unwrap();
+        e.run(Request::query(&q)).unwrap();
         assert_eq!(
             e.observed_selectivity(&q),
             None,
@@ -1854,7 +1952,7 @@ mod tests {
             for i in 0..25 {
                 let q = expr_query(select, w, (i % 11) * 50 - 250);
                 let want = interpret(&e.catalog(), &q).unwrap();
-                let got = e.execute(&q).unwrap();
+                let got = e.run(Request::query(&q)).unwrap().result;
                 assert_eq!(got.fingerprint(), want.fingerprint(), "query {qid}");
                 qid += 1;
             }
@@ -1871,7 +1969,7 @@ mod tests {
         for i in 0..30 {
             let q = expr_query(&[0, 1, 2, 3], 4, (i % 5) * 100 - 200);
             let want = interpret(&e.catalog(), &q).unwrap();
-            let got = e.execute(&q).unwrap();
+            let got = e.run(Request::query(&q)).unwrap().result;
             assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
         }
         assert_eq!(
@@ -1890,7 +1988,10 @@ mod tests {
         for i in 0..10 {
             let q = expr_query(&[0, 1, 2, 3], 4, (i % 5) * 100 - 200);
             let want = interpret(&e.catalog(), &q).unwrap();
-            assert_eq!(e.execute(&q).unwrap().fingerprint(), want.fingerprint());
+            assert_eq!(
+                e.run(Request::query(&q)).unwrap().result.fingerprint(),
+                want.fingerprint()
+            );
         }
     }
 
@@ -1904,7 +2005,10 @@ mod tests {
         for i in 0..60 {
             let q = expr_query(&[0, 1, 2], 3, (i % 5) * 100 - 200);
             let want = interpret(&e.catalog(), &q).unwrap();
-            assert_eq!(e.execute(&q).unwrap().fingerprint(), want.fingerprint());
+            assert_eq!(
+                e.run(Request::query(&q)).unwrap().result.fingerprint(),
+                want.fingerprint()
+            );
             handle.nudge();
         }
         handle.stop();
@@ -1924,7 +2028,7 @@ mod tests {
         let e = engine(12, 800, cfg);
         for i in 0..30 {
             let q = expr_query(&[0, 1, 2], 3, i * 10);
-            e.execute(&q).unwrap();
+            e.run(Request::query(&q)).unwrap();
         }
         assert_eq!(e.stats().layouts_created, 0);
         assert_eq!(e.stats().adaptations, 0);
@@ -1957,7 +2061,7 @@ mod tests {
         );
         // Execute and verify.
         let want = interpret(&e.catalog(), &q).unwrap();
-        assert_eq!(e.execute(&q).unwrap(), want);
+        assert_eq!(e.run(Request::query(&q)).unwrap().result, want);
     }
 
     #[test]
@@ -1968,10 +2072,10 @@ mod tests {
         let e = engine(6, 1000, cfg);
         let q = expr_query(&[0, 1], 2, -900); // very selective
         assert_eq!(e.observed_selectivity(&q), None);
-        e.execute(&q).unwrap();
+        e.run(Request::query(&q)).unwrap();
         let first_est = e.last_report().unwrap().selectivity_estimate;
         assert!((first_est - 0.5).abs() < 1e-9, "first run uses the default");
-        e.execute(&q).unwrap();
+        e.run(Request::query(&q)).unwrap();
         let second_est = e.last_report().unwrap().selectivity_estimate;
         assert!(
             second_est < 0.3,
@@ -1985,7 +2089,7 @@ mod tests {
     fn hint_overrides_history() {
         let e = engine(6, 500, EngineConfig::no_compile_latency());
         let q = expr_query(&[0], 1, 0);
-        e.execute_with_hint(&q, Some(0.05)).unwrap();
+        e.run(Request::query(&q).hint(0.05)).unwrap();
         assert!((e.last_report().unwrap().selectivity_estimate - 0.05).abs() < 1e-9);
     }
 
@@ -2014,10 +2118,10 @@ mod tests {
             Conjunction::always(),
         )
         .unwrap();
-        let before = e.execute(&q).unwrap();
+        let before = e.run(Request::query(&q)).unwrap().result;
         e.insert(&[vec![1, i64::MAX, 3, 4, 5, 6], vec![0; 6]])
             .unwrap();
-        let after = e.execute(&q).unwrap();
+        let after = e.run(Request::query(&q)).unwrap().result;
         assert_eq!(after.row(0)[0], before.row(0)[0] + 2);
         assert_eq!(after.row(0)[1], i64::MAX, "new max must be visible");
         assert_eq!(e.stats().rows_appended, 2);
@@ -2025,7 +2129,7 @@ mod tests {
         assert!(e.catalog().groups().all(|g| g.rows() == 102));
         // Differential check post-insert.
         let want = interpret(&e.catalog(), &q).unwrap();
-        assert_eq!(e.execute(&q).unwrap(), want);
+        assert_eq!(e.run(Request::query(&q)).unwrap().result, want);
     }
 
     #[test]
@@ -2090,7 +2194,7 @@ mod tests {
             let base = (i / 10 % 3) * 10;
             let q = expr_query(&[base, base + 1, base + 2, base + 3], base + 4, 0);
             let want = interpret(&e.catalog(), &q).unwrap();
-            let got = e.execute(&q).unwrap();
+            let got = e.run(Request::query(&q)).unwrap().result;
             assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
             assert!(
                 e.catalog().total_bytes() <= cfg.space_budget_bytes.unwrap(),
@@ -2110,7 +2214,7 @@ mod tests {
         assert!(text.contains("estimated cost:"), "{text}");
         assert!(text.contains("scan L"), "{text}");
         // Still executable afterwards.
-        e.execute(&q).unwrap();
+        e.run(Request::query(&q)).unwrap();
     }
 
     #[test]
@@ -2119,14 +2223,14 @@ mod tests {
         let rel = Relation::columnar(schema, vec![vec![], vec![], vec![]]).unwrap();
         let e = H2oEngine::new(rel, EngineConfig::no_compile_latency());
         let q = Query::project([Expr::col(0u32)], Conjunction::always()).unwrap();
-        assert!(e.execute(&q).unwrap().is_empty());
+        assert!(e.run(Request::query(&q)).unwrap().result.is_empty());
     }
 
     #[test]
     fn unknown_attribute_is_an_error() {
         let e = engine(3, 100, EngineConfig::no_compile_latency());
         let q = Query::project([Expr::col(99u32)], Conjunction::always()).unwrap();
-        assert!(e.execute(&q).is_err());
+        assert!(e.run(Request::query(&q)).is_err());
     }
 
     #[test]
@@ -2155,7 +2259,8 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         assert_eq!(
-            e.execute_cancellable(&q, &token),
+            e.run(Request::query(&q).cancel(&token))
+                .map(Outcome::into_result),
             Err(EngineError::Cancelled)
         );
         assert_eq!(e.stats().queries_cancelled, 1);
@@ -2165,7 +2270,10 @@ mod tests {
         // The engine stays fully usable; a live token completes normally
         // and is bit-identical to the oracle.
         let want = interpret(&e.catalog(), &q).unwrap();
-        let got = e.execute_cancellable(&q, &CancelToken::new()).unwrap();
+        let got = e
+            .run(Request::query(&q).cancel(&CancelToken::new()))
+            .unwrap()
+            .result;
         assert_eq!(got.fingerprint(), want.fingerprint());
         let s = e.stats();
         assert_eq!(s.queries_cancelled, 1);
@@ -2178,14 +2286,16 @@ mod tests {
         let e = engine(6, 500, EngineConfig::no_compile_latency());
         let q = expr_query(&[0, 1], 2, 100);
         assert_eq!(
-            e.execute_with_deadline(&q, Duration::ZERO),
+            e.run(Request::query(&q).deadline(Duration::ZERO))
+                .map(Outcome::into_result),
             Err(EngineError::Timeout)
         );
         assert_eq!(e.stats().queries_timed_out, 1);
         let want = interpret(&e.catalog(), &q).unwrap();
         let got = e
-            .execute_with_deadline(&q, Duration::from_secs(3600))
-            .unwrap();
+            .run(Request::query(&q).deadline(Duration::from_secs(3600)))
+            .unwrap()
+            .result;
         assert_eq!(got.fingerprint(), want.fingerprint());
         assert_eq!(e.stats().queries_timed_out, 1);
 
@@ -2193,12 +2303,103 @@ mod tests {
         let mut cfg = EngineConfig::no_compile_latency();
         cfg.query_deadline = Some(Duration::ZERO);
         let e2 = engine(6, 500, cfg);
-        assert_eq!(e2.execute(&q), Err(EngineError::Timeout));
+        assert_eq!(
+            e2.run(Request::query(&q)).map(Outcome::into_result),
+            Err(EngineError::Timeout)
+        );
         assert_eq!(e2.stats().queries_timed_out, 1);
         // …and an explicit caller token opts out of it.
-        let got = e2.execute_cancellable(&q, &CancelToken::new()).unwrap();
+        let got = e2
+            .run(Request::query(&q).cancel(&CancelToken::new()))
+            .unwrap()
+            .result;
         assert_eq!(got.fingerprint(), want.fingerprint());
         assert_eq!(e2.stats().queries_timed_out, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_counted_and_side_effect_free() {
+        let e = engine(6, 500, EngineConfig::no_compile_latency());
+        let q = expr_query(&[0, 1], 2, 100);
+        assert_eq!(
+            e.run(Request::query(&q).budget(0))
+                .map(Outcome::into_result),
+            Err(EngineError::BudgetExhausted)
+        );
+        assert_eq!(e.stats().queries_budget_exhausted, 1);
+        // An over-budget run publishes nothing — not even selectivity
+        // feedback.
+        assert_eq!(e.observed_selectivity(&q), None);
+        // A generous budget completes normally, bit-identical to the oracle.
+        let want = interpret(&e.catalog(), &q).unwrap();
+        let got = e.run(Request::query(&q).budget(1 << 20)).unwrap().result;
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        assert_eq!(e.stats().queries_budget_exhausted, 1);
+        // Rendered-message regression pin.
+        assert_eq!(
+            EngineError::BudgetExhausted.to_string(),
+            "query morsel budget exhausted"
+        );
+    }
+
+    #[test]
+    fn options_compose_on_one_request() {
+        // Hint + deadline + cancel token + budget on one request — a
+        // spelling the old nine-method surface could not express.
+        let e = engine(6, 500, EngineConfig::no_compile_latency());
+        let q = expr_query(&[0], 1, 0);
+        let want = interpret(&e.catalog(), &q).unwrap();
+        let token = CancelToken::new();
+        let got = e
+            .run(
+                Request::query(&q)
+                    .hint(0.05)
+                    .deadline(Duration::from_secs(3600))
+                    .cancel(&token)
+                    .budget(1 << 20),
+            )
+            .unwrap()
+            .result;
+        assert_eq!(got.fingerprint(), want.fingerprint());
+        assert!((e.last_report().unwrap().selectivity_estimate - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_stop_controls_publish_nothing() {
+        let (e, fs, ds) = join_engine(400, 16, EngineConfig::no_compile_latency());
+        let b = Query::join(("R", fs.clone()), ("dim", ds.clone()));
+        let v0 = b.col("v0").unwrap();
+        let tag = b.col("tag").unwrap();
+        let q = b
+            .on("fk", "k")
+            .unwrap()
+            .filter_left(Conjunction::of([Predicate::lt(1u32, 500)]))
+            .project([v0, tag])
+            .unwrap();
+        // An expired deadline stops the join with a typed error and
+        // publishes nothing: no report, no selectivity feedback.
+        assert_eq!(
+            e.run(Request::join(&q).deadline(Duration::ZERO))
+                .map(Outcome::into_result),
+            Err(EngineError::Timeout)
+        );
+        assert_eq!(e.stats().queries_timed_out, 1);
+        assert!(e.last_join_report().is_none());
+        assert_eq!(e.observed_join_selectivity(&q, Side::Left), None);
+        // A zero morsel budget runs out inside the join (build phase).
+        assert_eq!(
+            e.run(Request::join(&q).budget(0)).map(Outcome::into_result),
+            Err(EngineError::BudgetExhausted)
+        );
+        assert_eq!(e.stats().queries_budget_exhausted, 1);
+        assert!(e.last_join_report().is_none());
+        // The engine stays fully usable; the unrestricted answer matches
+        // the interpreter on the outcome's own snapshot.
+        let out = e.run(Request::join(&q)).unwrap();
+        let db = out.snapshot.db().unwrap();
+        let want =
+            interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
+        assert_eq!(out.result.fingerprint(), want.fingerprint());
     }
 
     #[test]
@@ -2236,7 +2437,7 @@ mod tests {
         let q = expr_query(&[0, 1, 2], 3, 100);
         let want = interpret(&e.catalog(), &q).unwrap();
         fp::arm_nth("morsel_start", 1);
-        match e.execute(&q) {
+        match e.run(Request::query(&q)).map(Outcome::into_result) {
             Err(EngineError::ExecutionPanicked { payload }) => {
                 assert!(payload.starts_with(fp::PANIC_PREFIX), "got {payload:?}");
             }
@@ -2245,7 +2446,7 @@ mod tests {
         assert_eq!(e.stats().queries_panicked, 1);
         // The engine is fully usable afterwards (the nth-hit failpoint
         // disarmed itself when it fired).
-        let got = e.execute(&q).unwrap();
+        let got = e.run(Request::query(&q)).unwrap().result;
         assert_eq!(got.fingerprint(), want.fingerprint());
         assert_eq!(e.stats().queries_panicked, 1);
 
@@ -2273,7 +2474,7 @@ mod tests {
         let e = engine(24, 2000, cfg);
         for i in 0..30 {
             let q = expr_query(&[0, 1, 2, 3], 4, (i % 5) * 100 - 200);
-            e.execute(&q).unwrap();
+            e.run(Request::query(&q)).unwrap();
         }
         fp::arm_nth("reorg_build", 1);
         let panicked = catch_unwind(AssertUnwindSafe(|| e.maintain()));
@@ -2304,7 +2505,7 @@ mod tests {
         fp::arm_nth("reorg_build", 1);
         for i in 0..30 {
             let q = expr_query(&[10, 11, 12, 13], 14, (i % 5) * 100 - 200);
-            e.execute(&q).unwrap();
+            e.run(Request::query(&q)).unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(20);
         while (h.status().panics < 1 || e.stats().reorgs_completed < 1) && Instant::now() < deadline
@@ -2391,7 +2592,8 @@ mod tests {
             .filter_left(Conjunction::of([Predicate::lt(1u32, 500)]))
             .project([v0, tag])
             .unwrap();
-        let (db, got) = e.execute_join_snapshot(&q).unwrap();
+        let out = e.run(Request::join(&q)).unwrap();
+        let (db, got) = (out.snapshot.db().unwrap(), out.result);
         let want =
             interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
         assert_eq!(got.fingerprint(), want.fingerprint());
@@ -2408,7 +2610,8 @@ mod tests {
             .unwrap()
             .grouped([tag], [Aggregate::sum(v0), Aggregate::count()])
             .unwrap();
-        let (db, got) = e.execute_join_snapshot(&q).unwrap();
+        let out = e.run(Request::join(&q)).unwrap();
+        let (db, got) = (out.snapshot.db().unwrap(), out.result);
         let want =
             interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
         assert_eq!(got, want, "grouped join output is sorted: bit-identical");
@@ -2432,7 +2635,7 @@ mod tests {
             .project([v0, tag])
             .unwrap();
 
-        let first = e.execute_join(&q).unwrap();
+        let first = e.run(Request::join(&q)).unwrap().result;
         let r1 = e.last_join_report().unwrap();
         assert!(
             !r1.build_is_left,
@@ -2447,7 +2650,7 @@ mod tests {
             "no filter, no history"
         );
 
-        let second = e.execute_join(&q).unwrap();
+        let second = e.run(Request::join(&q)).unwrap().result;
         let r2 = e.last_join_report().unwrap();
         assert!(
             r2.build_is_left,
@@ -2470,9 +2673,15 @@ mod tests {
             .filter_right(Conjunction::of([Predicate::lt(0u32, 6)]))
             .project([v1, tag])
             .unwrap();
-        let a = e.execute_join_with_build_side(&q, true).unwrap();
+        let a = e
+            .run(Request::join(&q).build_side(Side::Left))
+            .unwrap()
+            .result;
         assert!(e.last_join_report().unwrap().exec.build_is_left);
-        let bres = e.execute_join_with_build_side(&q, false).unwrap();
+        let bres = e
+            .run(Request::join(&q).build_side(Side::Right))
+            .unwrap()
+            .result;
         assert!(!e.last_join_report().unwrap().exec.build_is_left);
         assert_eq!(a.fingerprint(), bres.fingerprint());
     }
@@ -2485,7 +2694,7 @@ mod tests {
         let v0 = b.col("v0").unwrap();
         let q = b.on("fk", "k").unwrap().project([v0]).unwrap();
         assert_eq!(
-            e.execute_join(&q).unwrap_err().to_string(),
+            e.run(Request::join(&q)).unwrap_err().to_string(),
             "invalid query: unknown relation: nope"
         );
         // The reserved primary name cannot be rebound.
@@ -2506,7 +2715,7 @@ mod tests {
         let b = Query::join(("R", other), ("dim", ds));
         let v1 = b.col("v1").unwrap();
         let q = b.on("fk", "k").unwrap().project([v1]).unwrap();
-        let err = e.execute_join(&q).unwrap_err().to_string();
+        let err = e.run(Request::join(&q)).unwrap_err().to_string();
         assert!(
             err.contains("typed against a different schema for relation R"),
             "{err}"
@@ -2567,7 +2776,8 @@ mod tests {
                 .filter_left(Conjunction::of([Predicate::lt(3u32, (i % 7) * 200 - 600)]))
                 .project([p1, p2, tag])
                 .unwrap();
-            let (db, got) = e.execute_join_snapshot(&q).unwrap();
+            let out = e.run(Request::join(&q)).unwrap();
+            let (db, got) = (out.snapshot.db().unwrap(), out.result);
             let want =
                 interpret_join(db.relation("R").unwrap(), db.relation("dim").unwrap(), &q).unwrap();
             assert_eq!(got.fingerprint(), want.fingerprint(), "join query {i}");

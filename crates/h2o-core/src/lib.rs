@@ -3,7 +3,7 @@
 //! The top of the stack: the engine of Fig. 3 in the paper, wiring together
 //!
 //! * the **Data Layout Manager** (`h2o-storage`'s catalog),
-//! * the **Query Processor** ([`engine::H2oEngine::execute`]): per query it
+//! * the **Query Processor** ([`engine::H2oEngine::run`]): per query it
 //!   enumerates `(covering layout set, execution strategy)` alternatives,
 //!   prices them with the Eq. 2 cost model, and runs the winner through the
 //!   **Operator Generator** (`h2o-exec`'s compile + operator cache),
@@ -26,6 +26,7 @@ pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod oracle;
+pub mod request;
 pub mod stats;
 
 pub use baseline::{StaticEngine, StaticKind};
@@ -35,4 +36,5 @@ pub use engine::{
     ReorganizerHandle, ReorganizerStatus, PRIMARY_RELATION, REORG_BACKOFF_BASE, REORG_BACKOFF_CAP,
 };
 pub use h2o_exec::{CancelReason, CancelToken};
+pub use request::{ExecOptions, ExecSnapshot, Outcome, Request};
 pub use stats::EngineStats;

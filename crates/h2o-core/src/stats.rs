@@ -56,6 +56,9 @@ pub struct EngineStats {
     /// Queries stopped early because their deadline expired
     /// ([`EngineError::Timeout`](crate::EngineError)).
     pub queries_timed_out: u64,
+    /// Queries stopped early because their morsel budget ran out
+    /// ([`EngineError::BudgetExhausted`](crate::EngineError)).
+    pub queries_budget_exhausted: u64,
     /// Maintenance rounds that panicked inside the supervised reorganizer
     /// thread (each is caught; the thread never dies).
     pub reorg_panics: u64,

@@ -251,6 +251,28 @@ impl<'a> GroupViews<'a> {
     pub fn segments_skipped(&self) -> u64 {
         self.skipped.load(Ordering::Relaxed)
     }
+
+    /// Charges `rows` rows of scan-equivalent work against the attached
+    /// token's morsel budget, in [`CANCEL_CHECK_ROWS`]-row units. Fast
+    /// paths that bypass segment-run iteration (identity selection
+    /// vectors for always-true filters) call this so budgeted queries
+    /// account for their gather work too. Returns `false` once the
+    /// budget is exhausted — the caller should drain quickly; the
+    /// execution driver discards the partial and reports the typed
+    /// error.
+    pub fn charge_scan(&self, rows: usize) -> bool {
+        let Some(token) = self.cancel.as_ref() else {
+            return true;
+        };
+        if rows == 0 || !token.has_budget() {
+            return true;
+        }
+        let mut ok = true;
+        for _ in 0..rows.div_ceil(CANCEL_CHECK_ROWS) {
+            ok &= token.charge_unit();
+        }
+        ok
+    }
 }
 
 /// Iterator over the segment runs of a row range (see [`GroupViews::runs`]
@@ -293,11 +315,18 @@ impl<'v, 'a> Iterator for SegRuns<'v, 'a> {
             // With a token attached, cap runs so the poll above happens at
             // least every `CANCEL_CHECK_ROWS` rows even inside one huge
             // segment. Results are bit-identical for any run shape: every
-            // consumer folds runs in row order.
-            let stop = if self.views.cancel.is_some() {
-                seg_stop.min(self.cur + CANCEL_CHECK_ROWS)
-            } else {
-                seg_stop
+            // consumer folds runs in row order. Each yielded run also
+            // charges one unit against the token's morsel budget (pruned
+            // segments are free — no rows were scanned).
+            let stop = match self.views.cancel.as_ref() {
+                Some(token) => {
+                    if !token.charge_unit() {
+                        self.cur = self.end;
+                        return None;
+                    }
+                    seg_stop.min(self.cur + CANCEL_CHECK_ROWS)
+                }
+                None => seg_stop,
             };
             let run = SegRun {
                 views: self.views,

@@ -23,7 +23,7 @@
 //! version, no cached operator, no statistics feedback — is ever
 //! published from a cancelled query.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -38,6 +38,10 @@ pub const CANCEL_CHECK_ROWS: usize = 65_536;
 const LIVE: u8 = 0;
 const CANCELLED: u8 = 1;
 const EXPIRED: u8 = 2;
+const EXHAUSTED: u8 = 3;
+
+/// Sentinel for "no morsel budget set" — effectively unbounded.
+const UNBOUNDED: i64 = i64::MAX;
 
 /// Why a query stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,13 +50,28 @@ pub enum CancelReason {
     Cancelled,
     /// The token's armed deadline passed.
     DeadlineExpired,
+    /// The token's morsel budget ran out.
+    BudgetExhausted,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     state: AtomicU8,
     /// Armed at most once; checked lazily by [`CancelToken::should_stop`].
     deadline: OnceLock<Instant>,
+    /// Remaining morsel budget in segment-run units (each at most
+    /// [`CANCEL_CHECK_ROWS`] rows). `UNBOUNDED` means no budget is set.
+    budget: AtomicI64,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            state: AtomicU8::new(LIVE),
+            deadline: OnceLock::new(),
+            budget: AtomicI64::new(UNBOUNDED),
+        }
+    }
 }
 
 /// A shared cancellation handle for one query (or one family of queries —
@@ -79,6 +98,47 @@ impl CancelToken {
     /// deadline: the first armed wins, later calls return `false`.
     pub fn arm_deadline(&self, timeout: Duration) -> bool {
         self.inner.deadline.set(Instant::now() + timeout).is_ok()
+    }
+
+    /// Sets a morsel budget: the total number of segment-run units (each
+    /// at most [`CANCEL_CHECK_ROWS`] rows) the query may scan before it
+    /// is stopped with [`CancelReason::BudgetExhausted`]. Like
+    /// deadlines, the first budget set wins; later calls return `false`.
+    pub fn set_budget(&self, units: u64) -> bool {
+        let units = i64::try_from(units)
+            .unwrap_or(UNBOUNDED - 1)
+            .min(UNBOUNDED - 1);
+        self.inner
+            .budget
+            .compare_exchange(UNBOUNDED, units, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Whether a morsel budget has been set on this token.
+    pub fn has_budget(&self) -> bool {
+        self.inner.budget.load(Ordering::Relaxed) != UNBOUNDED
+    }
+
+    /// Charges one segment-run unit against the budget. Returns `false`
+    /// — and latches the token into the exhausted state — when the
+    /// budget is spent; tokens without a budget always return `true`.
+    /// Called by the scan layer immediately before yielding a run, so a
+    /// budget of `n` permits exactly `n` guarded runs.
+    #[inline]
+    pub fn charge_unit(&self) -> bool {
+        if !self.has_budget() {
+            return true;
+        }
+        if self.inner.budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+            let _ = self.inner.state.compare_exchange(
+                LIVE,
+                EXHAUSTED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            return false;
+        }
+        true
     }
 
     /// Requests cancellation. Idempotent; a token that already expired
@@ -110,6 +170,7 @@ impl CancelToken {
         match self.inner.state.load(Ordering::Relaxed) {
             CANCELLED => Some(CancelReason::Cancelled),
             EXPIRED => Some(CancelReason::DeadlineExpired),
+            EXHAUSTED => Some(CancelReason::BudgetExhausted),
             _ => match self.inner.deadline.get() {
                 Some(dl) if Instant::now() >= *dl => {
                     let _ = self.inner.state.compare_exchange(
@@ -169,5 +230,36 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::from_secs(3600));
         t.cancel();
         assert_eq!(t.should_stop(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn budget_charges_then_latches_exhausted() {
+        let t = CancelToken::new();
+        // No budget: charging is free forever.
+        assert!(!t.has_budget());
+        assert!(t.charge_unit());
+        assert!(t.set_budget(2));
+        // First budget wins.
+        assert!(!t.set_budget(100));
+        assert!(t.charge_unit());
+        assert!(t.charge_unit());
+        assert!(t.should_stop().is_none());
+        // Third unit exceeds the budget of 2.
+        assert!(!t.charge_unit());
+        assert_eq!(t.should_stop(), Some(CancelReason::BudgetExhausted));
+        assert!(t.is_triggered());
+        // Latched: a later cancel cannot rewrite the reason.
+        t.cancel();
+        assert_eq!(t.should_stop(), Some(CancelReason::BudgetExhausted));
+        // Clones share the budget state.
+        assert_eq!(t.clone().should_stop(), Some(CancelReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_budget_stops_on_first_charge() {
+        let t = CancelToken::new();
+        assert!(t.set_budget(0));
+        assert!(!t.charge_unit());
+        assert_eq!(t.should_stop(), Some(CancelReason::BudgetExhausted));
     }
 }

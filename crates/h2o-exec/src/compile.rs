@@ -38,6 +38,9 @@ pub enum ExecError {
     /// The query's [`CancelToken`] deadline passed mid-scan. The partial
     /// result was discarded; nothing observable happened.
     DeadlineExpired,
+    /// The query's [`CancelToken`] morsel budget ran out mid-scan. The
+    /// partial result was discarded; nothing observable happened.
+    BudgetExhausted,
 }
 
 impl fmt::Display for ExecError {
@@ -50,6 +53,7 @@ impl fmt::Display for ExecError {
             ExecError::Query(e) => write!(f, "{e}"),
             ExecError::Cancelled => write!(f, "query cancelled"),
             ExecError::DeadlineExpired => write!(f, "query deadline expired"),
+            ExecError::BudgetExhausted => write!(f, "query morsel budget exhausted"),
         }
     }
 }
@@ -59,6 +63,7 @@ impl From<CancelReason> for ExecError {
         match r {
             CancelReason::Cancelled => ExecError::Cancelled,
             CancelReason::DeadlineExpired => ExecError::DeadlineExpired,
+            CancelReason::BudgetExhausted => ExecError::BudgetExhausted,
         }
     }
 }
@@ -625,6 +630,19 @@ mod tests {
                     execute_with_policy_cancel(rel.catalog(), &op, &policy, &expired).unwrap_err(),
                     ExecError::DeadlineExpired
                 );
+                // Zero morsel budget: stopped before the first run.
+                let broke = CancelToken::new();
+                broke.set_budget(0);
+                assert_eq!(
+                    execute_with_policy_cancel(rel.catalog(), &op, &policy, &broke).unwrap_err(),
+                    ExecError::BudgetExhausted
+                );
+                // A generous budget never trips: bit-identical results.
+                let rich = CancelToken::new();
+                rich.set_budget(1 << 20);
+                let (got, _) =
+                    execute_with_policy_cancel(rel.catalog(), &op, &policy, &rich).unwrap();
+                assert_eq!(got.fingerprint(), want.fingerprint());
             }
         }
     }

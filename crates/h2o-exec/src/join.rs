@@ -36,18 +36,25 @@
 //!
 //! Which side builds is the **caller's** choice ([`compile_join`]'s
 //! `build_is_left`): the engine picks the side it observes to be smaller
-//! after filtering (greedy, statistics-free — see
-//! `h2o_core::H2oEngine::execute_join`), and an empty build side
+//! after filtering (greedy, statistics-free — see the join path behind
+//! `h2o_core::H2oEngine::run`), and an empty build side
 //! short-circuits the probe scan entirely. Output *row order* depends on
 //! the build side (pairs stream in probe-row order), so cross-build-side
 //! comparisons use the order-independent
 //! [`QueryResult::fingerprint`]; for a fixed build side, results are
 //! bit-identical serial vs parallel, segmented vs monolithic.
 //!
-//! Joins do not yet participate in cooperative cancellation
-//! ([`crate::cancel`]): a join runs to completion once started.
+//! Joins participate in cooperative cancellation like single-relation
+//! scans ([`crate::cancel`]): [`execute_join_with_policy_cancel`]
+//! attaches the token to **both** the build and the probe views, so a
+//! cancel, deadline expiry, or morsel-budget exhaustion is observed at
+//! segment-run granularity in either phase. As everywhere else, the
+//! contract is result-level: partials are drained and discarded, and the
+//! driver returns a typed [`ExecError`] — nothing observable is
+//! published from a stopped join.
 
 use crate::bind::{BoundAttr, GroupViews};
+use crate::cancel::CancelToken;
 use crate::compile::{bind_attr, concat_blocks, merge_and_finish, ExecError};
 use crate::filter::{CompiledFilter, CompiledPred};
 use crate::kernels::{self, SelectProgram};
@@ -442,13 +449,50 @@ pub fn execute_join_with_policy(
     op: &CompiledJoinOp,
     policy: &ExecPolicy,
 ) -> Result<(QueryResult, JoinExecStats), ExecError> {
+    join_with_policy_inner(left, right, op, policy, None)
+}
+
+/// [`execute_join_with_policy`] under a [`CancelToken`]: the token is
+/// attached to both the build and the probe scan, each of which polls it
+/// per segment run (capped at [`crate::cancel::CANCEL_CHECK_ROWS`] rows)
+/// and charges the token's morsel budget, if one is set. On a triggered
+/// token the partial build table / probe accumulators are discarded and
+/// the typed [`ExecError`] for the stop reason is returned.
+pub fn execute_join_with_policy_cancel(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    op: &CompiledJoinOp,
+    policy: &ExecPolicy,
+    token: &CancelToken,
+) -> Result<(QueryResult, JoinExecStats), ExecError> {
+    if let Some(reason) = token.should_stop() {
+        return Err(reason.into());
+    }
+    let out = join_with_policy_inner(left, right, op, policy, Some(token))?;
+    if let Some(reason) = token.should_stop() {
+        return Err(reason.into());
+    }
+    Ok(out)
+}
+
+fn join_with_policy_inner(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    op: &CompiledJoinOp,
+    policy: &ExecPolicy,
+    cancel: Option<&CancelToken>,
+) -> Result<(QueryResult, JoinExecStats), ExecError> {
     let (build_cat, probe_cat) = if op.build_is_left {
         (left, right)
     } else {
         (right, left)
     };
-    let build_views = GroupViews::resolve(build_cat, &op.build.plan.layouts)?;
-    let probe_views = GroupViews::resolve(probe_cat, &op.probe.plan.layouts)?;
+    let mut build_views = GroupViews::resolve(build_cat, &op.build.plan.layouts)?;
+    let mut probe_views = GroupViews::resolve(probe_cat, &op.probe.plan.layouts)?;
+    if let Some(token) = cancel {
+        build_views.set_cancel(token.clone());
+        probe_views.set_cancel(token.clone());
+    }
 
     // Phase 1 — build: per-morsel gather of qualifying (key, payload)
     // lanes in row order, then a sequential morsel-order insert (identical
@@ -906,6 +950,79 @@ mod tests {
         let again = execute_join(photo.catalog(), spec.catalog(), &op).unwrap();
         assert_eq!(again.data(), before.data());
         assert!(op.code_size() > 0);
+    }
+
+    #[test]
+    fn cancel_token_stops_the_join_and_types_the_error() {
+        for segmented in [false, true] {
+            let (photo, spec) = fixture(segmented);
+            for q in queries() {
+                let checked = check_join(&q).unwrap();
+                let want = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+                for strategy in Strategy::ALL {
+                    let lp = AccessPlan::new(photo.catalog().layout_ids(), strategy);
+                    let rp = AccessPlan::new(spec.catalog().layout_ids(), strategy);
+                    let op = compile_join(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &lp,
+                        &rp,
+                        &q,
+                        &checked,
+                        true,
+                    )
+                    .unwrap();
+                    // A live token that never trips: bit-identical results.
+                    let live = CancelToken::new();
+                    let (got, _) = execute_join_with_policy_cancel(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &op,
+                        &par_policy(),
+                        &live,
+                    )
+                    .unwrap();
+                    assert_eq!(got.fingerprint(), want.fingerprint());
+                    // Pre-cancelled: typed error, nothing runs.
+                    let cancelled = CancelToken::new();
+                    cancelled.cancel();
+                    let err = execute_join_with_policy_cancel(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &op,
+                        &par_policy(),
+                        &cancelled,
+                    )
+                    .unwrap_err();
+                    assert_eq!(err, ExecError::Cancelled);
+                    // Expired deadline observed mid-join (first poll is in
+                    // the build scan): typed error.
+                    let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+                    let err = execute_join_with_policy_cancel(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &op,
+                        &par_policy(),
+                        &expired,
+                    )
+                    .unwrap_err();
+                    assert_eq!(err, ExecError::DeadlineExpired);
+                    // A budget of one run covers (part of) the build but
+                    // never the probe: exhausted mid-join, typed error.
+                    let broke = CancelToken::new();
+                    broke.set_budget(1);
+                    let err = execute_join_with_policy_cancel(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &op,
+                        &ExecPolicy::serial(),
+                        &broke,
+                    )
+                    .unwrap_err();
+                    assert_eq!(err, ExecError::BudgetExhausted);
+                }
+            }
+        }
     }
 
     #[test]

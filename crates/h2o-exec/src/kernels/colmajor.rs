@@ -59,6 +59,9 @@ fn gather_attr(views: &GroupViews<'_>, attr: BoundAttr, ids: &[u32]) -> Vec<Valu
 pub fn build_selvec_columnar(views: &GroupViews<'_>, filter: &CompiledFilter) -> SelVec {
     let rows = views.rows();
     if filter.is_always_true() {
+        if !views.charge_scan(rows) {
+            return SelVec::with_capacity(0);
+        }
         return SelVec::identity(rows);
     }
     build_selvec_columnar_range(views, filter, 0..rows)
@@ -79,6 +82,9 @@ pub fn build_selvec_columnar_range(
     range: Range<usize>,
 ) -> SelVec {
     if filter.is_always_true() {
+        if !views.charge_scan(range.len()) {
+            return SelVec::with_capacity(0);
+        }
         let mut sel = SelVec::with_capacity(range.len());
         for row in range {
             sel.push(row as u32);
@@ -145,6 +151,9 @@ pub fn build_selvec_columnar_range_scalar(
     range: Range<usize>,
 ) -> SelVec {
     if filter.is_always_true() {
+        if !views.charge_scan(range.len()) {
+            return SelVec::with_capacity(0);
+        }
         let mut sel = SelVec::with_capacity(range.len());
         for row in range {
             sel.push(row as u32);

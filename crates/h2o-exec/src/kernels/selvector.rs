@@ -29,6 +29,9 @@ use std::ops::Range;
 pub fn build_selvec(views: &GroupViews<'_>, filter: &CompiledFilter) -> SelVec {
     let rows = views.rows();
     if filter.is_always_true() {
+        if !views.charge_scan(rows) {
+            return SelVec::with_capacity(0);
+        }
         return SelVec::identity(rows);
     }
     build_selvec_range(views, filter, 0..rows)
@@ -51,6 +54,9 @@ pub fn build_selvec_range(
     range: Range<usize>,
 ) -> SelVec {
     if filter.is_always_true() {
+        if !views.charge_scan(range.len()) {
+            return SelVec::with_capacity(0);
+        }
         let mut sel = SelVec::with_capacity(range.len());
         for row in range {
             sel.push(row as u32);
@@ -88,6 +94,9 @@ pub fn build_selvec_range_scalar(
     range: Range<usize>,
 ) -> SelVec {
     if filter.is_always_true() {
+        if !views.charge_scan(range.len()) {
+            return SelVec::with_capacity(0);
+        }
         let mut sel = SelVec::with_capacity(range.len());
         for row in range {
             sel.push(row as u32);

@@ -88,8 +88,8 @@ pub use compile::{
 };
 pub use filter::CompiledFilter;
 pub use join::{
-    compile_join, execute_join, execute_join_with_policy, CompiledJoinOp, CompiledJoinSide,
-    JoinExecStats,
+    compile_join, execute_join, execute_join_with_policy, execute_join_with_policy_cancel,
+    CompiledJoinOp, CompiledJoinSide, JoinExecStats,
 };
 pub use opcache::{CompileCostModel, OperatorCache, OperatorKey};
 pub use parallel::ExecPolicy;

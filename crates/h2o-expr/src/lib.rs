@@ -53,6 +53,7 @@ pub mod predicate;
 pub mod query;
 pub mod result;
 pub mod typecheck;
+pub mod wire;
 
 pub use agg::{AggFunc, AggOp, Aggregate};
 pub use datum::Datum;
@@ -64,3 +65,6 @@ pub use predicate::{CmpOp, Conjunction, Predicate};
 pub use query::{Query, QueryError};
 pub use result::QueryResult;
 pub use typecheck::{check_join, JoinTypes, QueryTypes, TypedPredicate};
+pub use wire::{
+    join_from_json, join_to_json, query_from_json, query_to_json, result_to_json, Json, WireError,
+};

@@ -1,0 +1,158 @@
+//! Admission control: a counting gate bounding concurrent execution.
+//!
+//! The serving tier must not let an open set of TCP clients multiply
+//! into an open set of in-flight queries — morsel-parallel execution
+//! already saturates the cores at small in-flight counts, and past that
+//! point extra concurrency only grows tail latency. The gate admits up
+//! to `max_inflight` queries immediately, parks up to `max_queued` more
+//! on a condvar, and **sheds** anything beyond that with a typed
+//! [`ServerError::Overloaded`] so clients see an explicit fast failure
+//! instead of an unbounded queue.
+
+use crate::error::ServerError;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The shared gate. Cheap to clone through an [`Arc`]; every admitted
+/// request holds a [`Permit`] whose drop frees the slot.
+pub struct Admission {
+    max_inflight: usize,
+    max_queued: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// An occupied execution slot; dropping it wakes one queued waiter.
+pub struct Permit {
+    gate: Arc<Admission>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Admission {
+    /// A gate admitting `max_inflight` concurrent queries (clamped to at
+    /// least 1) with room for `max_queued` waiters.
+    pub fn new(max_inflight: usize, max_queued: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            max_inflight: max_inflight.max(1),
+            max_queued,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Admits one query: immediately when a slot is free and nobody is
+    /// queued ahead, after blocking when the queue has room, or sheds
+    /// with [`ServerError::Overloaded`] when it does not.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, ServerError> {
+        let mut st = self.state.lock().unwrap();
+        if st.queued == 0 && st.inflight < self.max_inflight {
+            st.inflight += 1;
+            return Ok(Permit { gate: self.clone() });
+        }
+        if st.queued >= self.max_queued {
+            return Err(ServerError::Overloaded {
+                inflight: st.inflight,
+                queued: st.queued,
+            });
+        }
+        st.queued += 1;
+        while st.inflight >= self.max_inflight {
+            st = self.freed.wait(st).unwrap();
+        }
+        st.queued -= 1;
+        st.inflight += 1;
+        Ok(Permit { gate: self.clone() })
+    }
+
+    /// Queries currently holding a slot.
+    pub fn inflight(&self) -> usize {
+        self.state.lock().unwrap().inflight
+    }
+
+    /// Requests currently parked waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().queued
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().unwrap();
+        st.inflight -= 1;
+        drop(st);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn slots_admit_immediately_and_free_on_drop() {
+        let gate = Admission::new(2, 0);
+        let a = gate.admit().unwrap();
+        let _b = gate.admit().unwrap();
+        assert_eq!(gate.inflight(), 2);
+        assert!(matches!(
+            gate.admit(),
+            Err(ServerError::Overloaded {
+                inflight: 2,
+                queued: 0
+            })
+        ));
+        drop(a);
+        let _c = gate.admit().unwrap();
+        assert_eq!(gate.inflight(), 2);
+    }
+
+    #[test]
+    fn overloaded_renders_with_both_counts() {
+        let gate = Admission::new(1, 0);
+        let _a = gate.admit().unwrap();
+        let err = gate.admit().unwrap_err();
+        assert_eq!(err.kind(), "overloaded");
+        assert_eq!(
+            err.to_string(),
+            "server overloaded: 1 queries in flight, 0 queued"
+        );
+    }
+
+    #[test]
+    fn queued_waiter_proceeds_when_a_slot_frees() {
+        let gate = Admission::new(1, 1);
+        let held = gate.admit().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let gate2 = gate.clone();
+        let waiter = thread::spawn(move || {
+            let permit = gate2.admit().unwrap();
+            tx.send(()).unwrap();
+            drop(permit);
+        });
+        // The waiter must be parked, not shed.
+        while gate.queued() == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(rx.try_recv().is_err());
+        // With the queue full, a second overflow request sheds.
+        assert!(matches!(gate.admit(), Err(ServerError::Overloaded { .. })));
+        drop(held);
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        waiter.join().unwrap();
+        assert_eq!(gate.inflight(), 0);
+        assert_eq!(gate.queued(), 0);
+    }
+}

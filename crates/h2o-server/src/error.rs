@@ -1,0 +1,86 @@
+//! The server-side error taxonomy.
+//!
+//! Every error a client can observe is rendered from exactly one place
+//! here: [`ServerError::kind`] gives the machine-readable discriminant
+//! for the wire's `"err":{"kind":...}` field, and the [`std::fmt::Display`]
+//! implementation reuses the rendered-message taxonomy of the layers
+//! below ([`WireError`], [`EngineError`]) verbatim, so a message a
+//! client sees over TCP is byte-identical to the one an embedding
+//! application would get from the engine API.
+
+use h2o_core::EngineError;
+use h2o_expr::WireError;
+use std::fmt;
+
+/// Anything that turns a request into an `"err"` response.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Admission control shed the query: every execution slot is busy
+    /// and the wait queue is full.
+    Overloaded {
+        /// Queries executing when the request was shed.
+        inflight: usize,
+        /// Requests already waiting for a slot.
+        queued: usize,
+    },
+    /// The request line failed to decode (malformed JSON, bad shape, or
+    /// an invalid query against the current schemas).
+    Wire(WireError),
+    /// The engine rejected or aborted the admitted query.
+    Engine(EngineError),
+    /// `"exec"` named a statement this session never prepared.
+    UnknownStatement(String),
+    /// A request combination the protocol does not support (e.g.
+    /// preparing a join).
+    Unsupported(&'static str),
+}
+
+impl ServerError {
+    /// The stable machine-readable discriminant for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::Wire(WireError::Query(_)) => "invalid",
+            ServerError::Wire(_) => "malformed",
+            ServerError::Engine(EngineError::Query(_)) => "invalid",
+            ServerError::Engine(EngineError::Timeout) => "timeout",
+            ServerError::Engine(EngineError::Cancelled) => "cancelled",
+            ServerError::Engine(EngineError::BudgetExhausted) => "budget",
+            ServerError::Engine(EngineError::ExecutionPanicked { .. }) => "panicked",
+            ServerError::Engine(_) => "internal",
+            ServerError::UnknownStatement(_) => "unknown_statement",
+            ServerError::Unsupported(_) => "unsupported",
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { inflight, queued } => write!(
+                f,
+                "server overloaded: {inflight} queries in flight, {queued} queued"
+            ),
+            ServerError::Wire(e) => write!(f, "{e}"),
+            ServerError::Engine(e) => write!(f, "{e}"),
+            ServerError::UnknownStatement(name) => {
+                write!(f, "unknown prepared statement: {name}")
+            }
+            ServerError::Unsupported(what) => write!(f, "unsupported request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> ServerError {
+        ServerError::Wire(e)
+    }
+}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> ServerError {
+        ServerError::Engine(e)
+    }
+}

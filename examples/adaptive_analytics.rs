@@ -59,7 +59,7 @@ fn main() {
         for i in 0..60i64 {
             let q = phase_query(base, i);
             let t = Instant::now();
-            let a = h2o_engine.execute(&q).unwrap();
+            let a = h2o_engine.run(Request::query(&q)).unwrap().result;
             t_h2o += t.elapsed().as_secs_f64();
             let t = Instant::now();
             let b = row_store.execute(&q).unwrap();

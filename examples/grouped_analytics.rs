@@ -58,7 +58,7 @@ fn main() {
         let mut checked = 0;
         for i in 0..25 {
             let q = rollup(0.1 * ((batch * 25 + i) % 9 + 1) as f64);
-            let got = engine.execute(&q).unwrap();
+            let got = engine.run(Request::query(&q)).unwrap().result;
             // Differential check on a sample of the stream.
             if i % 8 == 0 {
                 let want = interpret(&engine.catalog(), &q).unwrap();
@@ -92,7 +92,7 @@ fn main() {
 
     // And the rollup itself, sorted ascending by category key (the
     // engine-wide grouped determinism convention).
-    let out = engine.execute(&rollup(0.5)).unwrap();
+    let out = engine.run(Request::query(&rollup(0.5))).unwrap().result;
     println!("\ncategory  sum(a1)        sum(a2)        max(a3)     count");
     for row in out.iter_rows().take(6) {
         println!(

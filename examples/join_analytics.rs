@@ -51,7 +51,8 @@ fn main() {
         let t0 = Instant::now();
         let mut checked = 0;
         for (i, q) in chunk.iter().enumerate() {
-            let (db, got) = engine.execute_join_snapshot(q).unwrap();
+            let out = engine.run(Request::join(q)).unwrap();
+            let (db, got) = (out.snapshot.db().unwrap(), out.result);
             // Differential check on a sample of the stream, against the
             // interpreter on the very snapshot the engine answered from.
             if i % 10 == 0 {
@@ -98,7 +99,7 @@ fn main() {
 
     // A sample rollup over the join: object class x summed redshift.
     let rollup = w.queries.iter().find(|q| q.is_grouped()).unwrap();
-    let out = engine.execute_join(rollup).unwrap();
+    let out = engine.run(Request::join(rollup)).unwrap().result;
     let report = engine.last_join_report().unwrap();
     println!(
         "\nsample rollup (greedy build side: {}, estimated selectivities \

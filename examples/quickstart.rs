@@ -27,7 +27,7 @@ fn main() {
     )
     .unwrap();
 
-    let result = engine.execute(&q1).unwrap();
+    let result = engine.run(Request::query(&q1)).unwrap().result;
     println!("Q1 returned {} rows (showing 3):", result.rows());
     for row in result.iter_rows().take(3) {
         println!("  {row:?}");
@@ -44,7 +44,7 @@ fn main() {
         Conjunction::of([Predicate::lt(3u32, 0)]),
     )
     .unwrap();
-    let agg = engine.execute(&q2).unwrap();
+    let agg = engine.run(Request::query(&q2)).unwrap().result;
     println!(
         "Q2 -> max(a0)={} min(a1)={} avg(a2)={} count={}",
         agg.row(0)[0],
@@ -63,7 +63,7 @@ fn main() {
             Conjunction::of([Predicate::lt(3u32, (i - 10) * 50_000_000)]),
         )
         .unwrap();
-        engine.execute(&q).unwrap();
+        engine.run(Request::query(&q)).unwrap();
         if let Some(report) = engine.last_report() {
             if let Some(layout) = report.created_layout {
                 println!(

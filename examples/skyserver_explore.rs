@@ -30,7 +30,7 @@ fn main() {
     for (i, tq) in workload.iter().enumerate() {
         let t = Instant::now();
         engine
-            .execute_with_hint(&tq.query, Some(tq.selectivity))
+            .run(Request::query(&tq.query).hint(tq.selectivity))
             .unwrap();
         phase_time += t.elapsed().as_secs_f64();
 

@@ -65,7 +65,7 @@ fn main() {
         let mut c = None;
         for _ in 0..3 {
             let t = Instant::now();
-            c = Some(h2o_engine.execute_with_hint(&q, Some(sel)).unwrap());
+            c = Some(h2o_engine.run(Request::query(&q).hint(sel)).unwrap().result);
             t_h2o = t.elapsed().as_secs_f64();
         }
         let c = c.unwrap();

@@ -38,7 +38,7 @@
 //!         Predicate::eq(0u32, "GALAXY"),
 //!     ]),
 //! ).unwrap();
-//! let result = engine.execute(&query).unwrap();
+//! let result = engine.run(Request::query(&query)).unwrap().result;
 //! assert_eq!(result.rows(), 1);
 //!
 //! // Grouped rollup keyed on the dictionary column (beyond the paper):
@@ -48,7 +48,7 @@
 //!     [Aggregate::avg(Expr::col(3u32)), Aggregate::count()],
 //!     Conjunction::always(),
 //! ).unwrap();
-//! let rolled = engine.execute(&rollup).unwrap();
+//! let rolled = engine.run(Request::query(&rollup)).unwrap().result;
 //! // One row per distinct key, sorted ascending in the key's typed order —
 //! // the engine-wide determinism convention for grouped results.
 //! assert_eq!(rolled.rows(), 2);
@@ -64,7 +64,7 @@
 //!     [Expr::col(2u32)],
 //!     Conjunction::of([Predicate::lt(2u32, 180)]),
 //! ).unwrap();
-//! assert!(engine.execute(&ill_typed).is_err());
+//! assert!(engine.run(Request::query(&ill_typed)).is_err());
 //! // Keep querying: the engine adapts its layouts to the workload.
 //! ```
 //!
@@ -178,13 +178,14 @@
 //!     .filter_left(Conjunction::of([Predicate::lt(1u32, 3)]))
 //!     .project([mag, z]).unwrap();
 //!
-//! let (db, result) = engine.execute_join_snapshot(&q).unwrap();
+//! let out = engine.run(Request::join(&q)).unwrap();
 //! // Differential oracle on the very snapshot the engine answered from:
+//! let db = out.snapshot.db().unwrap();
 //! let want = h2o::expr::interpret_join(
 //!     db.relation("R").unwrap(), db.relation("spec").unwrap(), &q,
 //! ).unwrap();
-//! assert_eq!(result.fingerprint(), want.fingerprint());
-//! assert!(result.rows() > 0);
+//! assert_eq!(out.result.fingerprint(), want.fingerprint());
+//! assert!(out.result.rows() > 0);
 //! ```
 //!
 //! Execution reuses the whole single-relation machinery: all three
@@ -206,13 +207,62 @@
 //! feeds the next plan. The side with the smaller estimated post-filter
 //! row count builds the hash table (ties build left); forcing the other
 //! side via
-//! [`execute_join_with_build_side`](h2o_core::H2oEngine::execute_join_with_build_side)
+//! [`ExecOptions::build_side`](h2o_core::ExecOptions::build_side)
 //! is how the `fig21_join` guardrail demonstrates the greedy order
 //! beats the worst order. Join sides bound to the primary relation also
 //! feed the monitoring window as key + payload access patterns, so a
 //! join workload converges the physical layout to the join's column
-//! group (`examples/join_analytics.rs`). Joins do not yet support
-//! cancellation or deadlines.
+//! group (`examples/join_analytics.rs`). Joins honor the same
+//! stop-control options as single-relation queries: the cancel token,
+//! deadline and morsel budget thread through both the build and probe
+//! phases.
+//!
+//! ## One entry point: `run` and `ExecOptions`
+//!
+//! Every query — single-relation or join, plain or hinted, bounded or
+//! not — goes through one method:
+//! [`H2oEngine::run`](h2o_core::H2oEngine::run) takes a
+//! [`Request`](h2o_core::Request) (a query shape plus composable
+//! [`ExecOptions`](h2o_core::ExecOptions)) and returns an
+//! [`Outcome`](h2o_core::Outcome): the result rows plus the exact
+//! snapshot they were computed from. Options compose freely — the old
+//! `execute_*` method-per-combination family survives only as deprecated
+//! wrappers:
+//!
+//! ```
+//! use h2o::prelude::*;
+//! use std::time::Duration;
+//!
+//! let relation = Relation::columnar(
+//!     Schema::with_width(3).into_shared(),
+//!     vec![(0..1000).collect(), (0..1000).rev().collect(), vec![7; 1000]],
+//! ).unwrap();
+//! let engine = H2oEngine::new(relation, EngineConfig::default());
+//!
+//! let q = Query::project(
+//!     [Expr::col(1u32)],
+//!     Conjunction::of([Predicate::lt(0u32, 100)]),
+//! ).unwrap();
+//!
+//! // A selectivity hint *and* a deadline *and* a morsel budget on the
+//! // same request — the options compose.
+//! let out = engine
+//!     .run(Request::query(&q)
+//!         .hint(0.1)
+//!         .deadline(Duration::from_secs(5))
+//!         .budget(1 << 20))
+//!     .unwrap();
+//! assert_eq!(out.result.rows(), 100);
+//!
+//! // The outcome carries the snapshot the answer came from, so any
+//! // caller can re-derive it differentially:
+//! let want = h2o::expr::interpret(out.snapshot.primary(), &q).unwrap();
+//! assert_eq!(out.result.fingerprint(), want.fingerprint());
+//! ```
+//!
+//! This is also the server's API: the `h2o-server` crate speaks a
+//! line-delimited JSON protocol whose per-request `opts` object mirrors
+//! `ExecOptions` field-for-field (see the README's "Serving" section).
 //!
 //! ## Parallel execution (deviation from the paper)
 //!
@@ -239,7 +289,7 @@
 //!
 //! ## Concurrent serving (deviation from the paper)
 //!
-//! The engine is shared: [`H2oEngine::execute`](h2o_core::H2oEngine::execute)
+//! The engine is shared: [`H2oEngine::run`](h2o_core::H2oEngine::run)
 //! takes `&self`, so any number of client threads can query one engine
 //! (wrap it in an `Arc` or borrow it into scoped threads). Reads are
 //! **snapshot-isolated**: each query pins the currently published
@@ -272,14 +322,14 @@
 //! engine stays fully usable, since a failing operation abandons its
 //! private copy-on-write clone before anything is published. Queries are
 //! cooperatively cancellable
-//! ([`H2oEngine::execute_cancellable`](h2o_core::H2oEngine::execute_cancellable)
-//! with a shared [`CancelToken`](h2o_core::CancelToken)) and
-//! deadline-bounded
-//! ([`H2oEngine::execute_with_deadline`](h2o_core::H2oEngine::execute_with_deadline)
-//! or the engine-wide
-//! [`EngineConfig::query_deadline`](h2o_core::EngineConfig)), returning
-//! `EngineError::Cancelled` / `EngineError::Timeout` without publishing
-//! any partial state. The background reorganizer is supervised:
+//! ([`ExecOptions::cancel`](h2o_core::ExecOptions::cancel) with a shared
+//! [`CancelToken`](h2o_core::CancelToken)), deadline-bounded
+//! ([`ExecOptions::deadline`](h2o_core::ExecOptions::deadline) or the
+//! engine-wide [`EngineConfig::query_deadline`](h2o_core::EngineConfig))
+//! and work-bounded
+//! ([`ExecOptions::budget`](h2o_core::ExecOptions::budget)), returning
+//! `EngineError::Cancelled` / `EngineError::Timeout` /
+//! `EngineError::BudgetExhausted` without publishing any partial state. The background reorganizer is supervised:
 //! [`H2oEngine::spawn_reorganizer`](h2o_core::H2oEngine::spawn_reorganizer)
 //! restarts a panicked maintenance round with capped exponential backoff
 //! and reports health through
@@ -302,6 +352,7 @@
 //! | [`adapt`] | monitoring window, affinity matrices, candidate adviser |
 //! | [`partition`] | AutoPart offline baseline, brute-force oracle |
 //! | [`core`] | the adaptive multi-relation engine, static baselines, optimal oracle |
+//! | [`server`] | TCP serving front end: line-delimited JSON over `run(Request)`, admission control, prepared statements, graceful drain |
 //! | [`workload`] | benchmark data/query generators (incl. synthetic SkyServer + join workload) |
 
 pub use h2o_adapt as adapt;
@@ -310,14 +361,15 @@ pub use h2o_cost as cost;
 pub use h2o_exec as exec;
 pub use h2o_expr as expr;
 pub use h2o_partition as partition;
+pub use h2o_server as server;
 pub use h2o_storage as storage;
 pub use h2o_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use h2o_core::{
-        EngineConfig, EngineStats, H2oEngine, MaintenanceReport, ReorganizerHandle, StaticEngine,
-        StaticKind,
+        CancelToken, EngineConfig, EngineStats, ExecOptions, ExecSnapshot, H2oEngine,
+        MaintenanceReport, Outcome, ReorganizerHandle, Request, StaticEngine, StaticKind,
     };
     pub use h2o_expr::{
         Aggregate, ArithOp, CmpOp, Conjunction, Expr, Predicate, Query, QueryResult,

@@ -31,8 +31,9 @@ fn drive(engine: H2oEngine, workload: &[h2o::workload::TimedQuery]) -> H2oEngine
     for (i, tq) in workload.iter().enumerate() {
         let want = interpret(&engine.catalog(), &tq.query).unwrap();
         let got = engine
-            .execute_with_hint(&tq.query, Some(tq.selectivity))
-            .unwrap();
+            .run(Request::query(&tq.query).hint(tq.selectivity))
+            .unwrap()
+            .result;
         assert_eq!(got.fingerprint(), want.fingerprint(), "query {i} diverged");
     }
     engine
@@ -147,7 +148,7 @@ fn pending_layouts_are_lazy() {
             Conjunction::of([Predicate::lt(10u32, i * 100_000_000)]),
         )
         .unwrap();
-        engine.execute_with_hint(&q, Some(0.5)).unwrap();
+        engine.run(Request::query(&q).hint(0.5)).unwrap();
     }
     let pending_after_adapt = engine.pending().len();
     let created_before = engine.stats().layouts_created;
@@ -157,7 +158,7 @@ fn pending_layouts_are_lazy() {
         Conjunction::of([Predicate::gt(30u32, 0)]),
     )
     .unwrap();
-    engine.execute(&q).unwrap();
+    engine.run(Request::query(&q)).unwrap();
     assert_eq!(
         engine.stats().layouts_created,
         created_before,
@@ -180,7 +181,7 @@ fn drop_and_rematerialize_race_with_pending_advice() {
             Conjunction::of([Predicate::lt(10u32, i * 100_000_000)]),
         )
         .unwrap();
-        engine.execute_with_hint(&q, Some(0.5)).unwrap();
+        engine.run(Request::query(&q).hint(0.5)).unwrap();
     }
     let pending = engine.pending();
     assert!(
@@ -212,7 +213,7 @@ fn drop_and_rematerialize_race_with_pending_advice() {
         )
         .unwrap();
         let want = interpret(&engine.catalog(), &q).unwrap();
-        let got = engine.execute_with_hint(&q, Some(0.5)).unwrap();
+        let got = engine.run(Request::query(&q).hint(0.5)).unwrap().result;
         assert_eq!(got.fingerprint(), want.fingerprint(), "post-drop query {i}");
     }
     // The catalog is whole: full coverage, all groups row-aligned.

@@ -131,7 +131,8 @@ fn readers_writer_and_lazy_adaptation_are_differentially_correct() {
                 let mut rng = SmallRng::seed_from_u64(stress_seed() ^ (t as u64 + 1));
                 for i in 0..QUERIES_PER_READER {
                     let q = mixed_query(&mut rng);
-                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    let out = engine.run(Request::query(&q)).unwrap();
+                    let (snap, got) = (out.snapshot.primary().clone(), out.result);
                     assert_untorn(&snap, &format!("reader {t} query {i}"));
                     let want = interpret(&snap, &q).unwrap();
                     assert_eq!(
@@ -179,7 +180,8 @@ fn background_reorganizer_stress_is_differentially_correct() {
                 let mut rng = SmallRng::seed_from_u64(stress_seed() ^ (0x8000 + t as u64));
                 for i in 0..QUERIES_PER_READER {
                     let q = mixed_query(&mut rng);
-                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    let out = engine.run(Request::query(&q)).unwrap();
+                    let (snap, got) = (out.snapshot.primary().clone(), out.result);
                     assert_untorn(&snap, &format!("bg reader {t} query {i}"));
                     let want = interpret(&snap, &q).unwrap();
                     assert_eq!(
@@ -284,7 +286,8 @@ fn explicit_materialize_and_drop_race_readers_safely() {
                 let mut i = 0;
                 while !stop.load(Ordering::Acquire) || i < 20 {
                     let q = mixed_query(&mut rng);
-                    let (snap, got) = engine.execute_snapshot(&q).unwrap();
+                    let out = engine.run(Request::query(&q)).unwrap();
+                    let (snap, got) = (out.snapshot.primary().clone(), out.result);
                     assert_untorn(&snap, &format!("admin-race reader {t} query {i}"));
                     let want = interpret(&snap, &q).unwrap();
                     assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}: {q}");

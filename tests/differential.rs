@@ -56,7 +56,7 @@ fn all_engines_agree_across_a_long_adaptive_run() {
             .unwrap()
             .fingerprint();
         assert_eq!(
-            h2o.execute(&q).unwrap().fingerprint(),
+            h2o.run(Request::query(&q)).unwrap().result.fingerprint(),
             want,
             "H2O diverged at query {i}: {q}"
         );
@@ -88,13 +88,13 @@ fn agreement_survives_explicit_reorganizations() {
     )
     .unwrap();
     let want = interpret(col.relation().catalog(), &q).unwrap();
-    assert_eq!(h2o.execute(&q).unwrap(), want);
+    assert_eq!(h2o.run(Request::query(&q)).unwrap().result, want);
     // Materialize several overlapping layouts by hand; answers must hold.
     h2o.materialize_now(&[AttrId(0), AttrId(1), AttrId(2), AttrId(3)])
         .unwrap();
-    assert_eq!(h2o.execute(&q).unwrap(), want);
+    assert_eq!(h2o.run(Request::query(&q)).unwrap().result, want);
     h2o.materialize_now(&[AttrId(3), AttrId(2)]).unwrap();
-    assert_eq!(h2o.execute(&q).unwrap(), want);
+    assert_eq!(h2o.run(Request::query(&q)).unwrap().result, want);
     // Same data now lives in three formats simultaneously.
     assert!(h2o.catalog().group_count() >= 14);
 }
@@ -118,7 +118,7 @@ proptest! {
         let mut gen = QueryGen::new(n_attrs, seed ^ 0xdead);
         let (q, _) = gen.random(Template::ALL[template_idx], k, n_preds.min(k), sel);
         let want = interpret(col.relation().catalog(), &q).unwrap().fingerprint();
-        prop_assert_eq!(h2o.execute(&q).unwrap().fingerprint(), want);
+        prop_assert_eq!(h2o.run(Request::query(&q)).unwrap().result.fingerprint(), want);
         prop_assert_eq!(row.execute(&q).unwrap().fingerprint(), want);
         prop_assert_eq!(col.execute(&q).unwrap().fingerprint(), want);
     }

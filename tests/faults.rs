@@ -20,7 +20,7 @@
 
 #![cfg(feature = "failpoints")]
 
-use h2o_core::{CancelToken, EngineConfig, EngineError, H2oEngine};
+use h2o_core::{CancelToken, EngineConfig, EngineError, H2oEngine, Request};
 use h2o_cost::AccessPattern;
 use h2o_exec::{compile, execute_with_policy_cancel, AccessPlan, ExecError, ExecPolicy, Strategy};
 use h2o_expr::{interpret, Aggregate, Conjunction, Expr, Predicate, Query};
@@ -156,9 +156,10 @@ fn chaos_step(e: &H2oEngine, rng: &mut SmallRng, ctx: &str) -> bool {
         // on its own snapshot bit-for-bit.
         0..=5 => {
             let q = random_query(rng);
-            match e.execute_snapshot(&q) {
-                Ok((snap, got)) => {
-                    let want = interpret(&snap, &q).unwrap();
+            match e.run(Request::query(&q)) {
+                Ok(out) => {
+                    let (snap, got) = (out.snapshot.primary(), out.result);
+                    let want = interpret(snap, &q).unwrap();
                     assert_eq!(
                         got.fingerprint(),
                         want.fingerprint(),
@@ -175,7 +176,7 @@ fn chaos_step(e: &H2oEngine, rng: &mut SmallRng, ctx: &str) -> bool {
             let q = random_query(rng);
             let t = CancelToken::new();
             t.cancel();
-            match e.execute_cancellable(&q, &t) {
+            match e.run(Request::query(&q).cancel(&t)) {
                 Ok(_) => panic!("{ctx}: pre-cancelled token returned a result"),
                 Err(EngineError::Cancelled) => {}
                 Err(err) => assert_typed_fault(&err, ctx),
@@ -184,7 +185,7 @@ fn chaos_step(e: &H2oEngine, rng: &mut SmallRng, ctx: &str) -> bool {
         // Deadline expiry: an already-expired deadline yields Timeout.
         7 => {
             let q = random_query(rng);
-            match e.execute_with_deadline(&q, Duration::ZERO) {
+            match e.run(Request::query(&q).deadline(Duration::ZERO)) {
                 Ok(_) => panic!("{ctx}: zero deadline returned a result"),
                 Err(EngineError::Timeout) => {}
                 Err(err) => assert_typed_fault(&err, ctx),
@@ -228,8 +229,9 @@ fn assert_quiescent_invariants(e: &H2oEngine, rng: &mut SmallRng, ctx: &str) {
     }
     for i in 0..10 {
         let q = random_query(rng);
-        let (snap, got) = e.execute_snapshot(&q).unwrap();
-        let want = interpret(&snap, &q).unwrap();
+        let out = e.run(Request::query(&q)).unwrap();
+        let (snap, got) = (out.snapshot.primary(), out.result);
+        let want = interpret(snap, &q).unwrap();
         assert_eq!(
             got.fingerprint(),
             want.fingerprint(),
@@ -317,7 +319,7 @@ fn chaos_supervised_reorganizer_recovers() {
                 Conjunction::of([Predicate::lt(12u32, (i % 5) * 100 - 200)]),
             )
             .unwrap();
-            match e.execute(&q) {
+            match e.run(Request::query(&q)) {
                 Ok(_) | Err(EngineError::ExecutionPanicked { .. }) => {}
                 Err(other) => panic!("drive query failed: {other}"),
             }

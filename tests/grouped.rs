@@ -194,7 +194,7 @@ fn grouped_engine_stays_correct_through_adaptation() {
         )
         .unwrap();
         let want = interpret(&engine.catalog(), &q).unwrap();
-        let got = engine.execute(&q).unwrap();
+        let got = engine.run(Request::query(&q)).unwrap().result;
         assert_eq!(got, want, "grouped query {i} through the adaptive engine");
     }
     assert!(

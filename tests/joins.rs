@@ -277,17 +277,18 @@ fn engine_agrees(
                 jb.project(q.projections().to_vec()).unwrap()
             }
         };
-        let (db, got) = e.execute_join_snapshot(&q).unwrap();
+        let out = e.run(Request::join(&q)).unwrap();
+        let (db, got) = (out.snapshot.db().unwrap(), out.result);
         let want = interpret_join(db.relation("R").unwrap(), db.relation("spec").unwrap(), &q)
             .unwrap()
             .fingerprint();
         assert_eq!(got.fingerprint(), want, "shape {shape} greedy ({ctx})");
-        for build_is_left in [true, false] {
-            let forced = e.execute_join_with_build_side(&q, build_is_left).unwrap();
+        for side in [Side::Left, Side::Right] {
+            let forced = e.run(Request::join(&q).build_side(side)).unwrap().result;
             assert_eq!(
                 forced.fingerprint(),
                 want,
-                "shape {shape} forced build_is_left={build_is_left} ({ctx})"
+                "shape {shape} forced build side {side:?} ({ctx})"
             );
         }
     }
@@ -353,7 +354,8 @@ fn join_workload_converges_to_key_payload_group() {
     )
     .unwrap();
     for (i, q) in w.queries.iter().enumerate() {
-        let (db, got) = e.execute_join_snapshot(q).unwrap();
+        let out = e.run(Request::join(q)).unwrap();
+        let (db, got) = (out.snapshot.db().unwrap(), out.result);
         let want =
             interpret_join(db.relation("R").unwrap(), db.relation("spec").unwrap(), q).unwrap();
         assert_eq!(got.fingerprint(), want.fingerprint(), "workload query {i}");
@@ -376,4 +378,88 @@ fn join_workload_converges_to_key_payload_group() {
         key_payload_group,
         "expected a multi-attribute group containing the join key"
     );
+}
+
+/// A deadline that expires while a join is executing (past the entry
+/// pre-check, during build/probe work) must surface as
+/// [`EngineError::Timeout`] and publish nothing — no join report, no
+/// layout advice from the aborted run. Deadlines are found adaptively:
+/// start from the measured unrestricted runtime and halve until one
+/// trips mid-run, asserting every completed run along the way stays
+/// bit-identical. The floor (50µs) cannot complete a 30k×30k join, so
+/// the loop always terminates in a timeout without ever flaking.
+#[test]
+fn join_deadline_expiring_mid_run_types_timeout_and_publishes_nothing() {
+    use h2o::core::EngineError;
+    use std::time::{Duration, Instant};
+
+    let (photo_cols, spec_cols) = photo_spec_columns(30_000, 30_000, 0.9, 0.5, 77);
+    let e = H2oEngine::new(
+        Relation::columnar(photo_schema(), photo_cols).unwrap(),
+        EngineConfig::no_compile_latency(),
+    );
+    e.add_relation(
+        "spec",
+        Relation::columnar(spec_schema(), spec_cols).unwrap(),
+    )
+    .unwrap();
+    let q = {
+        let b = JoinQuery::builder(("R", photo_schema()), ("spec", spec_schema()));
+        let flags = b.col("flags").unwrap();
+        let cls = b.col("specClass").unwrap();
+        let z = b.col("z").unwrap();
+        b.on("objID", "bestObjID")
+            .unwrap()
+            .grouped([flags, cls], [Aggregate::sum(z), Aggregate::count()])
+            .unwrap()
+    };
+
+    let t0 = Instant::now();
+    let want = e.run(Request::join(&q)).unwrap().result.fingerprint();
+    let full = t0.elapsed();
+
+    let floor = Duration::from_micros(50);
+    let mut deadline = (full / 2).max(floor);
+    let mut timed_out = false;
+    for _ in 0..64 {
+        let report_before = e.last_join_report();
+        let timeouts_before = e.stats().queries_timed_out;
+        match e.run(Request::join(&q).deadline(deadline)) {
+            Ok(out) => assert_eq!(
+                out.result.fingerprint(),
+                want,
+                "a run that beats its deadline must stay exact"
+            ),
+            Err(EngineError::Timeout) => {
+                timed_out = true;
+                assert_eq!(
+                    e.stats().queries_timed_out,
+                    timeouts_before + 1,
+                    "timeout must be typed and counted"
+                );
+                assert_eq!(
+                    e.last_join_report(),
+                    report_before,
+                    "a timed-out join must publish nothing"
+                );
+                break;
+            }
+            Err(other) => panic!("expected Timeout, got: {other}"),
+        }
+        deadline = (deadline / 2).max(floor);
+    }
+    assert!(
+        timed_out,
+        "halving deadlines must eventually expire mid-join"
+    );
+
+    // The engine is unharmed: an unrestricted rerun still matches the
+    // nested-loop interpreter bit-for-bit.
+    let out = e.run(Request::join(&q)).unwrap();
+    let db = out.snapshot.db().unwrap();
+    let oracle = interpret_join(db.relation("R").unwrap(), db.relation("spec").unwrap(), &q)
+        .unwrap()
+        .fingerprint();
+    assert_eq!(out.result.fingerprint(), want);
+    assert_eq!(out.result.fingerprint(), oracle);
 }

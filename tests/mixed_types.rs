@@ -318,7 +318,7 @@ fn zone_maps_skip_sealed_segments_and_preserve_results() {
     )
     .unwrap();
     let want = interpret(rel.catalog(), &q).unwrap();
-    let got = engine.execute(&q).unwrap();
+    let got = engine.run(Request::query(&q)).unwrap().result;
     assert_eq!(got, want, "pruned scan is bit-identical");
     assert_eq!(got.row(0)[0], (1 << DEFAULT_SEG_SHIFT) / 2);
     let skipped = engine.stats().segments_skipped;
@@ -341,7 +341,7 @@ fn type_mismatch_rendered_messages_at_the_engine() {
         EngineConfig::no_compile_latency(),
     );
     let expect_msg = |q: &Query, needle: &str, full: &str| {
-        let err = engine.execute(q).unwrap_err();
+        let err = engine.run(Request::query(q)).unwrap_err();
         let EngineError::Query(QueryError::TypeMismatch(_)) = &err else {
             panic!("expected TypeMismatch for {q}, got {err:?}");
         };
@@ -392,7 +392,7 @@ fn type_mismatch_rendered_messages_at_the_engine() {
         Conjunction::of([Predicate::lt(0u32, "STAR")]),
     )
     .unwrap();
-    let msg = engine.execute(&q).unwrap_err().to_string();
+    let msg = engine.run(Request::query(&q)).unwrap_err().to_string();
     assert!(msg.contains("admit only = and <>"), "{msg}");
     // Nothing was executed or recorded for any rejected query.
     assert_eq!(engine.stats().queries, 0);
@@ -410,10 +410,11 @@ fn adaptive_engine_matches_interpreter_on_mixed_skyserver_workload() {
     cfg.window.min = 4;
     let engine = H2oEngine::new(rel, cfg);
     for (i, tq) in queries.iter().enumerate() {
-        let (snap, got) = engine
-            .execute_snapshot_with_hint(&tq.query, Some(tq.selectivity))
+        let out = engine
+            .run(Request::query(&tq.query).hint(tq.selectivity))
             .unwrap();
-        let want = interpret(&snap, &tq.query).unwrap();
+        let (snap, got) = (out.snapshot.primary(), out.result);
+        let want = interpret(snap, &tq.query).unwrap();
         assert_eq!(got, want, "query {i}: {}", tq.query);
     }
     let stats = engine.stats();
@@ -430,7 +431,7 @@ fn adaptive_engine_matches_interpreter_on_mixed_skyserver_workload() {
     )
     .unwrap();
     let types = typecheck::check(&q, &spec.schema).unwrap().output_types();
-    let out = engine.execute(&q).unwrap();
+    let out = engine.run(Request::query(&q)).unwrap().result;
     let dicts = vec![
         spec.schema
             .dictionary(spec.schema.attr_by_name("type").unwrap())

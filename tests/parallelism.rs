@@ -238,7 +238,7 @@ fn parallel_engine_agrees_with_interpreter_through_adaptation() {
         )
         .unwrap();
         let want = interpret(&engine.catalog(), &q).unwrap();
-        let got = engine.execute(&q).unwrap();
+        let got = engine.run(Request::query(&q)).unwrap().result;
         assert_eq!(got, want, "query {i}");
     }
     assert!(

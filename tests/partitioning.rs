@@ -120,5 +120,5 @@ fn autopart_partition_usable_as_relation_layout() {
     )
     .unwrap();
     let want = interpret(&engine.catalog(), &q).unwrap();
-    assert_eq!(engine.execute(&q).unwrap(), want);
+    assert_eq!(engine.run(Request::query(&q)).unwrap().result, want);
 }

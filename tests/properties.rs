@@ -262,7 +262,7 @@ mod selectivity_feedback {
             let e = engine_from(&columns);
             let q = filter_query(n, attr, threshold);
             // Phase A seeds the history with the pre-shift selectivity.
-            e.execute(&q).unwrap();
+            e.run(Request::query(&q)).unwrap();
             // Phase B: appended tuples change the true selectivity.
             let batch: Vec<Vec<i64>> = shift
                 .iter()
@@ -276,7 +276,7 @@ mod selectivity_feedback {
                 interpret(&snap, &q).unwrap().rows() as f64 / snap.rows() as f64;
             let mut err = (e.observed_selectivity(&q).unwrap() - truth).abs();
             for i in 0..reps {
-                e.execute(&q).unwrap();
+                e.run(Request::query(&q)).unwrap();
                 let est = e.observed_selectivity(&q).unwrap();
                 let new_err = (est - truth).abs();
                 prop_assert!(
@@ -306,8 +306,12 @@ mod selectivity_feedback {
                 } else {
                     let q = filter_query(n, attr, threshold);
                     // Out-of-range hints must be clamped, not stored raw.
-                    let hint = if hint.is_finite() { Some(hint) } else { None };
-                    e.execute_with_hint(&q, hint).unwrap();
+                    let req = if hint.is_finite() {
+                        Request::query(&q).hint(hint)
+                    } else {
+                        Request::query(&q)
+                    };
+                    e.run(req).unwrap();
                     let report = e.last_report().unwrap();
                     prop_assert!(
                         (0.0..=1.0).contains(&report.selectivity_estimate),

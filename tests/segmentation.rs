@@ -121,7 +121,7 @@ fn multi_segment_scans_match_the_interpreter_for_every_strategy() {
     for q in &queries {
         let want = interpret(&snap, q).unwrap();
         assert_eq!(
-            e.execute(q).unwrap().fingerprint(),
+            e.run(Request::query(q)).unwrap().result.fingerprint(),
             want.fingerprint(),
             "{q}"
         );

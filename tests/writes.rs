@@ -43,7 +43,7 @@ fn interleaved_reads_writes_and_adaptation_stay_consistent() {
         }
         let q = hot_query(rng.gen_range(-1_000_000_000..1_000_000_000));
         let want = interpret(&e.catalog(), &q).unwrap();
-        let got = e.execute(&q).unwrap();
+        let got = e.run(Request::query(&q)).unwrap().result;
         assert_eq!(got.fingerprint(), want.fingerprint(), "query {i}");
         assert_eq!(e.catalog().rows(), expected_rows);
         // Every layout must stay row-aligned, including adaptively created
@@ -59,9 +59,9 @@ fn count_reflects_appends_through_any_layout() {
     // Force a tailored layout, then append, then count through it.
     e.materialize_now(&[AttrId(0), AttrId(4)]).unwrap();
     let q = Query::aggregate([Aggregate::count()], Conjunction::always()).unwrap();
-    assert_eq!(e.execute(&q).unwrap().row(0)[0], 100);
+    assert_eq!(e.run(Request::query(&q)).unwrap().result.row(0)[0], 100);
     e.insert(&vec![vec![0; 8]; 7]).unwrap();
-    assert_eq!(e.execute(&q).unwrap().row(0)[0], 107);
+    assert_eq!(e.run(Request::query(&q)).unwrap().result.row(0)[0], 107);
 }
 
 proptest! {
