@@ -32,7 +32,14 @@
 //!   be at least `--min-greedy-advantage` (default 1) times the summed
 //!   greedy time — the selectivity-driven ordering must never lose to
 //!   the worst order overall (per-point ratios are informational: at
-//!   near-symmetric cardinalities the two orders legitimately converge);
+//!   near-symmetric cardinalities the two orders legitimately converge).
+//!   Its `bloom` entries (low-match-rate probes, in-domain misses) must
+//!   show a filter-on/filter-off speedup of at least
+//!   `--min-bloom-speedup` (default 1.5) with a non-zero reject count,
+//!   and its `fusion` entries (grouped rollup over a duplicate-key
+//!   build side) a fused/two-phase speedup of at least
+//!   `--min-fusion-speedup` (default 1.3) — both fingerprint-identical
+//!   across serial, parallel and the interpreter, fast path on;
 //! * `--fig22 <path>` — the summed guarded/baseline fault-tolerance
 //!   overhead (live cancellation token + disabled failpoints on the hot
 //!   path) must stay within `--max-fault-overhead` (default 1.03), and
@@ -264,10 +271,16 @@ fn check_fig20(doc: &str, min_speedup: f64, c: &mut Checker) {
     );
 }
 
-fn check_fig21(doc: &str, min_greedy_advantage: f64, c: &mut Checker) {
+fn check_fig21(
+    doc: &str,
+    min_greedy_advantage: f64,
+    min_bloom_speedup: f64,
+    min_fusion_speedup: f64,
+    c: &mut Checker,
+) {
     let results = json::results(doc);
     c.assert(!results.is_empty(), "fig21: results array non-empty".into());
-    let (mut execs, mut orders) = (0, 0);
+    let (mut execs, mut orders, mut blooms, mut fusions) = (0, 0, 0, 0);
     let (mut greedy_total, mut worst_total) = (0.0f64, 0.0f64);
     for obj in &results {
         let kind = json::string(obj, "kind").unwrap_or("?").to_string();
@@ -308,6 +321,41 @@ fn check_fig21(doc: &str, min_greedy_advantage: f64, c: &mut Checker) {
                 let ratio = json::num(obj, "greedy_over_worst").unwrap_or(0.0);
                 eprintln!("guardrail: info fig21: dim={dim} sel={sel} greedy/worst {ratio:.2}x");
             }
+            "bloom" | "fusion" => {
+                let gate = if kind == "bloom" {
+                    blooms += 1;
+                    min_bloom_speedup
+                } else {
+                    fusions += 1;
+                    min_fusion_speedup
+                };
+                let strategy = json::string(obj, "strategy").unwrap_or("?").to_string();
+                let serial = json::string(obj, "serial_fingerprint").unwrap_or("");
+                let par = json::string(obj, "parallel_fingerprint").unwrap_or("!");
+                c.assert(
+                    json::boolean(obj, "parallel_identical") == Some(true),
+                    format!("fig21: {kind} {strategy}: parallel bit-identical, fast path on"),
+                );
+                c.assert(
+                    !serial.is_empty() && serial == par && serial == interp,
+                    format!(
+                        "fig21: {kind} {strategy}: fast-path fingerprints agree \
+                         (serial={serial}, parallel={par}, interp={interp})"
+                    ),
+                );
+                let speedup = json::num(obj, "speedup").unwrap_or(0.0);
+                c.assert(
+                    speedup >= gate,
+                    format!("fig21: {kind} {strategy}: speedup {speedup:.2}x >= {gate}x"),
+                );
+                if kind == "bloom" {
+                    let rejects = json::num(obj, "bloom_rejects").unwrap_or(0.0);
+                    c.assert(
+                        rejects > 0.0,
+                        format!("fig21: bloom {strategy}: filter rejected {rejects} probes (> 0)"),
+                    );
+                }
+            }
             _ => c.assert(false, format!("fig21: known entry kind ({kind})")),
         }
     }
@@ -318,6 +366,14 @@ fn check_fig21(doc: &str, min_greedy_advantage: f64, c: &mut Checker) {
     c.assert(
         orders >= 2,
         format!("fig21: ordering entries present ({orders} >= 2)"),
+    );
+    c.assert(
+        blooms >= 3,
+        format!("fig21: bloom fast-path entries present ({blooms} >= 3)"),
+    );
+    c.assert(
+        fusions >= 3,
+        format!("fig21: fusion fast-path entries present ({fusions} >= 3)"),
     );
     let total_ratio = worst_total / greedy_total;
     c.assert(
@@ -422,6 +478,8 @@ fn main() {
     let mut min_advantage = 10.0f64;
     let mut min_simd_speedup = 2.0f64;
     let mut min_greedy_advantage = 1.0f64;
+    let mut min_bloom_speedup = 1.5f64;
+    let mut min_fusion_speedup = 1.3f64;
     let mut max_fault_overhead = 1.03f64;
     let mut max_p99_ms = 2000.0f64;
     let mut i = 1;
@@ -457,6 +515,16 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| panic!("bad --min-greedy-advantage {}", argv[i + 1]));
             }
+            "--min-bloom-speedup" => {
+                min_bloom_speedup = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --min-bloom-speedup {}", argv[i + 1]));
+            }
+            "--min-fusion-speedup" => {
+                min_fusion_speedup = argv[i + 1]
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --min-fusion-speedup {}", argv[i + 1]));
+            }
             "--max-fault-overhead" => {
                 max_fault_overhead = argv[i + 1]
                     .parse()
@@ -471,6 +539,7 @@ fn main() {
                 "unknown argument {other} \
                  (expected --fig15/--fig17/--fig18/--fig19/--fig20/--fig21/--fig22/--fig23/\
                  --min-write-advantage/--min-simd-speedup/--min-greedy-advantage/\
+                 --min-bloom-speedup/--min-fusion-speedup/\
                  --max-fault-overhead/--max-p99-ms)"
             ),
         }
@@ -496,7 +565,13 @@ fn main() {
         check_fig20(&read(p), min_simd_speedup, &mut c);
     }
     if let Some(p) = &fig21 {
-        check_fig21(&read(p), min_greedy_advantage, &mut c);
+        check_fig21(
+            &read(p),
+            min_greedy_advantage,
+            min_bloom_speedup,
+            min_fusion_speedup,
+            &mut c,
+        );
     }
     if let Some(p) = &fig22 {
         check_fig22(&read(p), max_fault_overhead, &mut c);

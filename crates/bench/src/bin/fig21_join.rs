@@ -17,6 +17,17 @@
 //!   must be fingerprint-identical to the interpreter; `check_guardrail
 //!   --fig21` gates the summed greedy time against the summed worst-order
 //!   time (greedy throughput >= worst-order throughput overall).
+//! * **bloom** entries — a low-match-rate probe (1% of fact foreign keys
+//!   hit the dimension; the misses sit *between* real keys, so the exact
+//!   `[min,max]` range check cannot reject them) with the build-side
+//!   join filter on vs off. `check_guardrail --min-bloom-speedup` gates
+//!   the ratio: skipping the hash lookup for provably-absent keys must
+//!   pay for building and testing the filter.
+//! * **fusion** entries — a grouped join-rollup over a duplicate-key
+//!   dimension (each probe hit matches `dup` build rows) with the fused
+//!   probe loop on vs off. Fusion collapses the `dup` identical
+//!   aggregate updates per probe row into one multiplicity-weighted
+//!   update; `check_guardrail --min-fusion-speedup` gates the ratio.
 //!
 //! Interpreting the numbers: the ordering gap is widest where the sides
 //! are most asymmetric (selectivity 0.5 against a small dimension — the
@@ -27,10 +38,16 @@
 
 use h2o_bench::{time_hot, Args};
 use h2o_core::{EngineConfig, H2oEngine, Request};
-use h2o_exec::{compile_join, execute_join_with_policy, AccessPlan, ExecPolicy, Strategy};
-use h2o_expr::{check_join, interpret_join, Conjunction, JoinQuery, Predicate, Side};
+use h2o_exec::{
+    compile_join, execute_join_with_policy, execute_join_with_policy_opts, AccessPlan, ExecPolicy,
+    JoinOptions, Strategy,
+};
+use h2o_expr::{check_join, interpret_join, Aggregate, Conjunction, JoinQuery, Predicate, Side};
 use h2o_storage::{LogicalType, Relation, Schema, Value};
-use h2o_workload::{gen_columns, gen_fk_column, threshold_for_selectivity};
+use h2o_workload::{
+    gen_columns, gen_fk_column, gen_fk_column_in_domain, gen_sparse_key_column,
+    threshold_for_selectivity,
+};
 
 const SELECTIVITIES: [f64; 3] = [0.01, 0.1, 0.5];
 
@@ -197,6 +214,203 @@ fn main() {
                 greedy.fingerprint(),
                 worst.fingerprint(),
                 reference.fingerprint(),
+            ));
+        }
+    }
+
+    // Bloom sweep: 1% match rate with in-domain misses — every probe row
+    // qualifies (no residual filter), so the filter's hash-lookup skips
+    // are the entire difference between the two timings. The dimension is
+    // deliberately small (rows/64): the timed execution includes the
+    // build phase, which both arms pay identically, so a small build
+    // keeps that shared cost from diluting the probe-side ratio.
+    {
+        let dim_rows = rows.div_ceil(64).max(1);
+        let keys = gen_sparse_key_column(dim_rows, (dim_rows as u64) * 4, args.seed ^ 0xb100);
+        let tags: Vec<Value> = keys.iter().map(|k| k.wrapping_mul(3) + 1).collect();
+        let fk = gen_fk_column_in_domain(rows, &keys, 0.01, 0.2, args.seed ^ 0xb101);
+        let fact = Relation::columnar(
+            fact_schema(),
+            vec![fk, fact_rest[0].clone(), fact_rest[1].clone()],
+        )
+        .unwrap();
+        let dim = Relation::columnar(dim_schema(), vec![keys, tags]).unwrap();
+
+        let jb = JoinQuery::builder(("R", fact_schema()), ("dim", dim_schema()))
+            .on("fk", "k")
+            .unwrap();
+        let v1 = jb.lcol("v1").unwrap();
+        let tag = jb.rcol("tag").unwrap();
+        let q = jb.project([v1, tag]).unwrap();
+        let checked = check_join(&q).unwrap();
+        let reference = interpret_join(fact.catalog(), dim.catalog(), &q).unwrap();
+
+        for strategy in Strategy::ALL {
+            let lp = AccessPlan::new(fact.catalog().layout_ids(), strategy);
+            let rp = AccessPlan::new(dim.catalog().layout_ids(), strategy);
+            // The dimension builds: the fact side is the low-match probe.
+            let op =
+                compile_join(fact.catalog(), dim.catalog(), &lp, &rp, &q, &checked, false).unwrap();
+            let off = JoinOptions {
+                bloom: false,
+                fuse: false,
+            };
+            let on = JoinOptions {
+                bloom: true,
+                fuse: false,
+            };
+            // Best of two interleaved rounds per arm: a scheduler hiccup
+            // in one round cannot fake a speedup (or hide one) in the
+            // ratio.
+            let mut base_s = f64::INFINITY;
+            let mut bloom_s = f64::INFINITY;
+            for _ in 0..2 {
+                base_s = base_s.min(time_hot(reps, || {
+                    execute_join_with_policy_opts(
+                        fact.catalog(),
+                        dim.catalog(),
+                        &op,
+                        &ExecPolicy::serial(),
+                        off,
+                    )
+                    .unwrap()
+                }));
+                bloom_s = bloom_s.min(time_hot(reps, || {
+                    execute_join_with_policy_opts(
+                        fact.catalog(),
+                        dim.catalog(),
+                        &op,
+                        &ExecPolicy::serial(),
+                        on,
+                    )
+                    .unwrap()
+                }));
+            }
+            let (serial, stats) = execute_join_with_policy_opts(
+                fact.catalog(),
+                dim.catalog(),
+                &op,
+                &ExecPolicy::serial(),
+                on,
+            )
+            .unwrap();
+            let (par, _) =
+                execute_join_with_policy_opts(fact.catalog(), dim.catalog(), &op, &parallel, on)
+                    .unwrap();
+            let speedup = base_s / bloom_s;
+            eprintln!(
+                "fig21: bloom {:<11} 1% match: off {base_s:.4}s vs on {bloom_s:.4}s \
+                 = {speedup:.2}x ({} rejects)",
+                strategy.name(),
+                stats.probe_bloom_rejects,
+            );
+            entries.push(format!(
+                "{{\"kind\":\"bloom\",\"strategy\":\"{}\",\"dim_rows\":{dim_rows},\
+                 \"match_rate\":0.01,\"base_s\":{base_s:.6},\"bloom_s\":{bloom_s:.6},\
+                 \"speedup\":{speedup:.4},\"bloom_rejects\":{},\
+                 \"serial_fingerprint\":\"{:x}\",\"parallel_fingerprint\":\"{:x}\",\
+                 \"interp_fingerprint\":\"{:x}\",\"parallel_identical\":{}}}",
+                strategy.name(),
+                stats.probe_bloom_rejects,
+                serial.fingerprint(),
+                par.fingerprint(),
+                reference.fingerprint(),
+                par == serial,
+            ));
+        }
+    }
+
+    // Fusion sweep: a grouped rollup reading only fact attributes over a
+    // dimension whose every key appears `dup` times — each probe hit
+    // matches `dup` build rows, and the fused loop folds them as one
+    // multiplicity-weighted update instead of `dup` identical ones.
+    {
+        let dup = 32usize;
+        let distinct = rows.div_ceil(256).max(1);
+        let dim_rows = distinct * dup;
+        let uniq: Vec<Value> = (0..distinct).map(|i| (i as Value) * 7 - 1000).collect();
+        let keys: Vec<Value> = (0..dim_rows).map(|i| uniq[i % distinct]).collect();
+        let tags: Vec<Value> = keys.iter().map(|k| k.wrapping_mul(3) + 1).collect();
+        let fk = gen_fk_column(rows, &uniq, 0.9, 0.2, args.seed ^ 0xf5ed);
+        let grp: Vec<Value> = (0..rows).map(|i| ((i * 13) % 64) as Value).collect();
+        let fact = Relation::columnar(fact_schema(), vec![fk, fact_rest[0].clone(), grp]).unwrap();
+        let dim = Relation::columnar(dim_schema(), vec![keys, tags]).unwrap();
+
+        let jb = JoinQuery::builder(("R", fact_schema()), ("dim", dim_schema()))
+            .on("fk", "k")
+            .unwrap();
+        let g = jb.lcol("v1").unwrap();
+        let v0 = jb.lcol("v0").unwrap();
+        let q = jb
+            .grouped([g], [Aggregate::sum(v0), Aggregate::count()])
+            .unwrap();
+        let checked = check_join(&q).unwrap();
+        let reference = interpret_join(fact.catalog(), dim.catalog(), &q).unwrap();
+
+        for strategy in Strategy::ALL {
+            let lp = AccessPlan::new(fact.catalog().layout_ids(), strategy);
+            let rp = AccessPlan::new(dim.catalog().layout_ids(), strategy);
+            // The dimension builds; its payload is empty (the rollup reads
+            // only fact attributes), so the probe loop fuses.
+            let op =
+                compile_join(fact.catalog(), dim.catalog(), &lp, &rp, &q, &checked, false).unwrap();
+            assert!(op.fused(), "empty build payload must enable fusion");
+            let off = JoinOptions {
+                bloom: false,
+                fuse: false,
+            };
+            let on = JoinOptions {
+                bloom: true,
+                fuse: true,
+            };
+            let base_s = time_hot(reps, || {
+                execute_join_with_policy_opts(
+                    fact.catalog(),
+                    dim.catalog(),
+                    &op,
+                    &ExecPolicy::serial(),
+                    off,
+                )
+                .unwrap()
+            });
+            let fused_s = time_hot(reps, || {
+                execute_join_with_policy_opts(
+                    fact.catalog(),
+                    dim.catalog(),
+                    &op,
+                    &ExecPolicy::serial(),
+                    on,
+                )
+                .unwrap()
+            });
+            let (serial, _) = execute_join_with_policy_opts(
+                fact.catalog(),
+                dim.catalog(),
+                &op,
+                &ExecPolicy::serial(),
+                on,
+            )
+            .unwrap();
+            let (par, _) =
+                execute_join_with_policy_opts(fact.catalog(), dim.catalog(), &op, &parallel, on)
+                    .unwrap();
+            let speedup = base_s / fused_s;
+            eprintln!(
+                "fig21: fusion {:<11} dup={dup}: two-phase {base_s:.4}s vs fused \
+                 {fused_s:.4}s = {speedup:.2}x",
+                strategy.name(),
+            );
+            entries.push(format!(
+                "{{\"kind\":\"fusion\",\"strategy\":\"{}\",\"dim_rows\":{dim_rows},\
+                 \"dup\":{dup},\"base_s\":{base_s:.6},\"fused_s\":{fused_s:.6},\
+                 \"speedup\":{speedup:.4},\
+                 \"serial_fingerprint\":\"{:x}\",\"parallel_fingerprint\":\"{:x}\",\
+                 \"interp_fingerprint\":\"{:x}\",\"parallel_identical\":{}}}",
+                strategy.name(),
+                serial.fingerprint(),
+                par.fingerprint(),
+                reference.fingerprint(),
+                par == serial,
             ));
         }
     }

@@ -3,11 +3,13 @@
 //!
 //! Measures the same query mix two ways on one non-adaptive engine:
 //!
-//! * **baseline** — plain `execute()`: no cancellation token, and (in the
-//!   default build) every failpoint site compiled to nothing;
-//! * **guarded** — `execute_cancellable()` with a live never-tripping
-//!   token: the morsel scheduler polls it at every morsel boundary and the
-//!   serial kernels poll it every `CANCEL_CHECK_ROWS` rows.
+//! * **baseline** — a plain `run(Request::query(..))`: no cancellation
+//!   token, and (in the default build) every failpoint site compiled to
+//!   nothing;
+//! * **guarded** — the same request with a live never-tripping token
+//!   (`Request::cancel`): the morsel scheduler polls it at every morsel
+//!   boundary and the serial kernels poll it every `CANCEL_CHECK_ROWS`
+//!   rows.
 //!
 //! Build with `--features failpoints` to additionally price the
 //! sites-compiled-but-disarmed configuration (`failpoints_compiled` in

@@ -509,127 +509,6 @@ impl H2oEngine {
         }
     }
 
-    /// Executes a query, adapting as a side effect.
-    #[deprecated(since = "0.2.0", note = "use `run(Request::query(q))`")]
-    pub fn execute(&self, q: &Query) -> Result<QueryResult, EngineError> {
-        self.run(Request::query(q)).map(Outcome::into_result)
-    }
-
-    /// Executes a query with an explicit selectivity hint for planning.
-    #[deprecated(since = "0.2.0", note = "use `run(Request::query(q).hint(sel))`")]
-    pub fn execute_with_hint(
-        &self,
-        q: &Query,
-        selectivity_hint: Option<f64>,
-    ) -> Result<QueryResult, EngineError> {
-        let mut req = Request::query(q);
-        if let Some(sel) = selectivity_hint {
-            req = req.hint(sel);
-        }
-        self.run(req).map(Outcome::into_result)
-    }
-
-    /// Executes a query and also returns the catalog snapshot the result
-    /// was computed against.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(Request::query(q))` — the `Outcome` carries the snapshot"
-    )]
-    pub fn execute_snapshot(
-        &self,
-        q: &Query,
-    ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
-        self.run(Request::query(q))
-            .map(|o| (o.snapshot.primary().clone(), o.result))
-    }
-
-    /// Snapshot-returning execution with an explicit selectivity hint.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(Request::query(q).hint(sel))` — the `Outcome` carries the snapshot"
-    )]
-    pub fn execute_snapshot_with_hint(
-        &self,
-        q: &Query,
-        selectivity_hint: Option<f64>,
-    ) -> Result<(CatalogSnapshot, QueryResult), EngineError> {
-        let mut req = Request::query(q);
-        if let Some(sel) = selectivity_hint {
-            req = req.hint(sel);
-        }
-        self.run(req)
-            .map(|o| (o.snapshot.primary().clone(), o.result))
-    }
-
-    /// Executes a query under a caller-owned [`CancelToken`].
-    #[deprecated(since = "0.2.0", note = "use `run(Request::query(q).cancel(token))`")]
-    pub fn execute_cancellable(
-        &self,
-        q: &Query,
-        token: &CancelToken,
-    ) -> Result<QueryResult, EngineError> {
-        self.run(Request::query(q).cancel(token))
-            .map(Outcome::into_result)
-    }
-
-    /// Executes a query that fails with [`EngineError::Timeout`] unless it
-    /// completes within `timeout`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(Request::query(q).deadline(timeout))`"
-    )]
-    pub fn execute_with_deadline(
-        &self,
-        q: &Query,
-        timeout: Duration,
-    ) -> Result<QueryResult, EngineError> {
-        self.run(Request::query(q).deadline(timeout))
-            .map(Outcome::into_result)
-    }
-
-    /// Executes a two-relation hash join, adapting as a side effect.
-    #[deprecated(since = "0.2.0", note = "use `run(Request::join(q))`")]
-    pub fn execute_join(&self, q: &JoinQuery) -> Result<QueryResult, EngineError> {
-        self.run(Request::join(q)).map(Outcome::into_result)
-    }
-
-    /// Join execution returning also the [`DbSnapshot`] the join ran
-    /// against.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(Request::join(q))` — the `Outcome` carries the snapshot"
-    )]
-    pub fn execute_join_snapshot(
-        &self,
-        q: &JoinQuery,
-    ) -> Result<(DbSnapshot, QueryResult), EngineError> {
-        self.run(Request::join(q)).map(|o| {
-            let db = o
-                .snapshot
-                .db()
-                .cloned()
-                .expect("join outcomes carry a DbSnapshot");
-            (db, o.result)
-        })
-    }
-
-    /// Join execution with the build side forced instead of chosen
-    /// greedily.
-    #[deprecated(since = "0.2.0", note = "use `run(Request::join(q).build_side(side))`")]
-    pub fn execute_join_with_build_side(
-        &self,
-        q: &JoinQuery,
-        build_is_left: bool,
-    ) -> Result<QueryResult, EngineError> {
-        let side = if build_is_left {
-            Side::Left
-        } else {
-            Side::Right
-        };
-        self.run(Request::join(q).build_side(side))
-            .map(Outcome::into_result)
-    }
-
     /// What the engine did for the most recent join query (racy under
     /// concurrent clients, like [`Self::last_report`]).
     pub fn last_join_report(&self) -> Option<JoinReport> {
@@ -787,8 +666,11 @@ impl H2oEngine {
             )?,
             None => exec_execute_join_with_policy(&left, &right, &op, &self.config.exec_policy())?,
         };
-        if exec.segments_skipped > 0 {
-            self.stats.lock().segments_skipped += exec.segments_skipped;
+        let skipped = exec.build_segments_skipped + exec.probe_segments_skipped;
+        if skipped > 0 || exec.probe_bloom_rejects > 0 {
+            let mut stats = self.stats.lock();
+            stats.segments_skipped += skipped;
+            stats.probe_bloom_rejects += exec.probe_bloom_rejects;
         }
 
         // Per-side selectivity feedback from the executed join's observed

@@ -32,6 +32,10 @@ pub struct EngineStats {
     /// per-attribute min/max statistics recorded when a segment seals and
     /// skip whole segments no predicate of the conjunction can match in.
     pub segments_skipped: u64,
+    /// Qualifying join-probe rows whose hash lookup was skipped because
+    /// the build-side join filter (blocked bloom + exact key range)
+    /// proved the key absent.
+    pub probe_bloom_rejects: u64,
     /// Workload shifts detected by the monitoring window.
     pub shifts_detected: u64,
     /// Reorganizations completed, by any path: fused-with-a-query, explicit
@@ -79,6 +83,7 @@ mod tests {
         assert_eq!(s.bytes_cloned_on_write, 0);
         assert_eq!(s.segments_sealed, 0);
         assert_eq!(s.segments_skipped, 0);
+        assert_eq!(s.probe_bloom_rejects, 0);
         assert_eq!(s.reorgs_completed, 0);
         assert_eq!(s.snapshots_published, 0);
         assert_eq!(s.reorg_time, Duration::ZERO);

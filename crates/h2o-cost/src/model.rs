@@ -66,6 +66,18 @@ const HASH_PROBE_OPS: f64 = 8.0;
 /// growth. Charged per qualifying build-side tuple.
 const HASH_INSERT_OPS: f64 = 12.0;
 
+/// Join-filter build: one hash of the key lanes plus a blocked-bloom word
+/// OR and the range min/max fold. Charged per qualifying build-side tuple
+/// (the filter is derived from the same gathered parts the table is built
+/// from, so there is no extra scan).
+const BLOOM_BUILD_OPS: f64 = 2.0;
+
+/// Join-filter test: the range compares plus one blocked-bloom word
+/// probe, paid per qualifying probe-side tuple *before* the hash lookup.
+/// Deliberately priced below [`HASH_PROBE_OPS`]: the filter touches one
+/// cache-resident word where the table probe takes a random access.
+const BLOOM_TEST_OPS: f64 = 2.0;
+
 /// The H2O cost model.
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {
@@ -322,9 +334,10 @@ impl CostModel {
     /// the side's scan/filter/gather cost ([`Self::plan_cost`] over the
     /// side pattern — see [`AccessPattern::of_join_side`]) plus the
     /// role-specific hash work per qualifying tuple. The build side pays a
-    /// table insert and the payload copy (the pattern's `output_width`
-    /// values); the probe side pays a table probe. Output materialization
-    /// of the *joined* result is already inside `plan_cost`'s output term.
+    /// table insert, the payload copy (the pattern's `output_width`
+    /// values), and the join-filter build; the probe side pays the
+    /// join-filter test plus a table probe. Output materialization of the
+    /// *joined* result is already inside `plan_cost`'s output term.
     ///
     /// The asymmetry (insert + copy > probe) is what makes pricing both
     /// orders worthwhile: building on the smaller post-filter side wins,
@@ -339,8 +352,8 @@ impl CostModel {
     ) -> f64 {
         let selected = rows as f64 * pat.selectivity;
         let hash_ops = match role {
-            JoinRole::Build => HASH_INSERT_OPS + pat.output_width as f64,
-            JoinRole::Probe => HASH_PROBE_OPS,
+            JoinRole::Build => HASH_INSERT_OPS + BLOOM_BUILD_OPS + pat.output_width as f64,
+            JoinRole::Probe => HASH_PROBE_OPS + BLOOM_TEST_OPS,
         };
         self.plan_cost(pat, plan, rows) + selected * hash_ops * self.params.cpu_op_seconds
     }

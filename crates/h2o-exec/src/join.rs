@@ -52,19 +52,59 @@
 //! contract is result-level: partials are drained and discarded, and the
 //! driver returns a typed [`ExecError`] — nothing observable is
 //! published from a stopped join.
+//!
+//! # The probe fast path
+//!
+//! Two optimizations (both on by default, [`JoinOptions`]) attack the
+//! probe loop's dominant costs without changing a single output bit:
+//!
+//! * **Bloom-filtered probes** — when the build finishes, its qualifying
+//!   keys derive a [`JoinFilter`]: a blocked
+//!   bloom filter plus the exact `[min, max]` key range, built
+//!   morsel-parallel over the gathered build parts and OR-merged
+//!   deterministically, and **sized from the observed post-prune build
+//!   cardinality** (the hash table reserves the same count). Qualifying
+//!   probe rows test the filter *before* the hash table — single-key
+//!   probes batch eight keys and range-test them with the vectorized
+//!   mask kernels ([`kernels::simd`]), survivors take one blocked-bloom
+//!   word probe; multi-key probes test scalar. A filter miss proves the
+//!   key has no build match, so low-match-rate probes skip the
+//!   random-access lookup entirely ([`JoinExecStats::probe_bloom_rejects`]
+//!   counts them). The filter has no false negatives and rejected rows
+//!   fold nothing, so results are bit-identical with the filter on or
+//!   off.
+//! * **Join-aggregate fusion** — when the build side contributes no
+//!   select-clause attribute (its payload is empty), every build match
+//!   of a probe row stitches the *same* combined tuple, so a scalar or
+//!   grouped aggregate over the join folds the tuple once with the match
+//!   count as a multiplicity ([`AggState::update_n`] /
+//!   [`GroupedAggs::update_n`](h2o_expr::grouped::GroupedAggs::update_n))
+//!   instead of once per pair — factorized aggregation: the joined
+//!   stream is never materialized, and a row matching a thousand build
+//!   entries costs one hash-table update. The multiplicity update is
+//!   bit-identical to the repeated fold by construction (`F64` sums
+//!   apply `n` sequential adds in row order), preserving the
+//!   serial ≡ parallel ≡ interpreter fingerprint contract.
+//!
+//! Build-side zone-map pruning needs no switch: all three strategies
+//! already scan via [`GroupViews::runs_pruned`], so segment runs the
+//! build filter's zone maps disprove are never read —
+//! [`JoinExecStats::build_segments_skipped`] /
+//! [`JoinExecStats::probe_segments_skipped`] report the per-side skips.
 
 use crate::bind::{BoundAttr, GroupViews};
+use crate::bloom::JoinFilter;
 use crate::cancel::CancelToken;
 use crate::compile::{bind_attr, concat_blocks, merge_and_finish, ExecError};
 use crate::filter::{CompiledFilter, CompiledPred};
-use crate::kernels::{self, SelectProgram};
-use crate::parallel::{run_morsels, ExecPolicy};
+use crate::kernels::{self, simd, SelectProgram};
+use crate::parallel::{run_chunks, run_morsels, ExecPolicy};
 use crate::plan::{AccessPlan, Strategy};
 use crate::program::CompiledExpr;
 use h2o_expr::agg::{AggOp, AggState};
 use h2o_expr::typecheck::{JoinTypes, TypedPredicate};
-use h2o_expr::{JoinQuery, QueryResult, Side};
-use h2o_storage::{AttrId, LayoutCatalog, LayoutId, Value};
+use h2o_expr::{CmpOp, JoinQuery, QueryResult, Side};
+use h2o_storage::{AttrId, LayoutCatalog, LayoutId, LogicalType, Value};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -150,6 +190,14 @@ pub struct CompiledJoinOp {
     /// Width of the stitched combined tuple (= number of distinct
     /// combined-space attributes the select clause reads).
     tuple_width: usize,
+    /// Shared key type per `on` pair (drives the probe prefilter's
+    /// comparator-key range tests).
+    key_types: Vec<LogicalType>,
+    /// Whether this operator is eligible for join-aggregate fusion: an
+    /// aggregate/grouped select whose build side contributes no payload,
+    /// so a probe row's matches collapse to one multiplicity update (see
+    /// the module docs).
+    fused: bool,
 }
 
 impl CompiledJoinOp {
@@ -185,6 +233,12 @@ impl CompiledJoinOp {
     /// The compiled select program (combined-tuple offsets).
     pub fn select(&self) -> &SelectProgram {
         &self.select
+    }
+
+    /// Whether this operator folds probe matches with a multiplicity
+    /// (join-aggregate fusion) when [`JoinOptions::fuse`] is on.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     /// Re-parameterizes both sides' residual-filter constants (raw lane
@@ -236,8 +290,13 @@ pub struct JoinExecStats {
     /// Matched (build row, probe row) pairs — the join's pre-aggregation
     /// output cardinality.
     pub output_pairs: usize,
-    /// Segment runs skipped by zone-map pruning, both sides.
-    pub segments_skipped: u64,
+    /// Build-side segment runs skipped by zone-map pruning.
+    pub build_segments_skipped: u64,
+    /// Probe-side segment runs skipped by zone-map pruning.
+    pub probe_segments_skipped: u64,
+    /// Qualifying probe rows whose hash lookup was skipped because the
+    /// build filter (range or bloom) proved the key absent.
+    pub probe_bloom_rejects: u64,
     /// Whether the build side was the query's left relation.
     pub build_is_left: bool,
 }
@@ -377,12 +436,21 @@ pub fn compile_join(
     } else {
         (rhs, lhs)
     };
+    // Fusion eligibility: an empty build payload means no select
+    // expression reads a build-side attribute (group keys included), so a
+    // probe row's matches are identical tuples and an aggregate/grouped
+    // select folds them as one multiplicity update. Derived purely from
+    // the compiled shape, so a cached operator carries the same flag for
+    // every execution.
+    let fused = build.payload.is_empty() && !matches!(select, SelectProgram::Project(_));
     Ok(CompiledJoinOp {
         build,
         probe,
         build_is_left,
         select,
         tuple_width,
+        key_types: checked.key_types.clone(),
+        fused,
     })
 }
 
@@ -398,10 +466,13 @@ struct JoinTable {
 }
 
 impl JoinTable {
-    fn new(key_width: usize, payload_width: usize) -> JoinTable {
+    /// `capacity` is the observed post-prune build cardinality — sizing
+    /// the map up front avoids rehash churn during the morsel-order
+    /// insert (distinct keys can only be fewer).
+    fn new(key_width: usize, payload_width: usize, capacity: usize) -> JoinTable {
         debug_assert!(key_width > 0, "joins always have at least one key");
         JoinTable {
-            map: HashMap::new(),
+            map: HashMap::with_capacity(capacity),
             rows: Vec::new(),
             width: payload_width,
             len: 0,
@@ -427,6 +498,29 @@ impl JoinTable {
     }
 }
 
+/// Runtime switches for the join fast path (see the module docs). Both
+/// default **on**; turning either off changes performance counters only —
+/// never a result bit. The off positions exist for the differential tests
+/// and the benchmark baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinOptions {
+    /// Probe the build filter (blocked bloom + exact key range) before
+    /// the hash table.
+    pub bloom: bool,
+    /// Fold probe matches with a multiplicity when the operator is
+    /// fusion-eligible ([`CompiledJoinOp::fused`]).
+    pub fuse: bool,
+}
+
+impl Default for JoinOptions {
+    fn default() -> JoinOptions {
+        JoinOptions {
+            bloom: true,
+            fuse: true,
+        }
+    }
+}
+
 /// Executes a compiled join serially.
 pub fn execute_join(
     left: &LayoutCatalog,
@@ -449,7 +543,18 @@ pub fn execute_join_with_policy(
     op: &CompiledJoinOp,
     policy: &ExecPolicy,
 ) -> Result<(QueryResult, JoinExecStats), ExecError> {
-    join_with_policy_inner(left, right, op, policy, None)
+    join_with_policy_inner(left, right, op, policy, JoinOptions::default(), None)
+}
+
+/// [`execute_join_with_policy`] with explicit fast-path switches.
+pub fn execute_join_with_policy_opts(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    op: &CompiledJoinOp,
+    policy: &ExecPolicy,
+    opts: JoinOptions,
+) -> Result<(QueryResult, JoinExecStats), ExecError> {
+    join_with_policy_inner(left, right, op, policy, opts, None)
 }
 
 /// [`execute_join_with_policy`] under a [`CancelToken`]: the token is
@@ -465,10 +570,22 @@ pub fn execute_join_with_policy_cancel(
     policy: &ExecPolicy,
     token: &CancelToken,
 ) -> Result<(QueryResult, JoinExecStats), ExecError> {
+    execute_join_with_policy_opts_cancel(left, right, op, policy, JoinOptions::default(), token)
+}
+
+/// [`execute_join_with_policy_cancel`] with explicit fast-path switches.
+pub fn execute_join_with_policy_opts_cancel(
+    left: &LayoutCatalog,
+    right: &LayoutCatalog,
+    op: &CompiledJoinOp,
+    policy: &ExecPolicy,
+    opts: JoinOptions,
+    token: &CancelToken,
+) -> Result<(QueryResult, JoinExecStats), ExecError> {
     if let Some(reason) = token.should_stop() {
         return Err(reason.into());
     }
-    let out = join_with_policy_inner(left, right, op, policy, Some(token))?;
+    let out = join_with_policy_inner(left, right, op, policy, opts, Some(token))?;
     if let Some(reason) = token.should_stop() {
         return Err(reason.into());
     }
@@ -480,6 +597,7 @@ fn join_with_policy_inner(
     right: &LayoutCatalog,
     op: &CompiledJoinOp,
     policy: &ExecPolicy,
+    opts: JoinOptions,
     cancel: Option<&CancelToken>,
 ) -> Result<(QueryResult, JoinExecStats), ExecError> {
     let (build_cat, probe_cat) = if op.build_is_left {
@@ -519,7 +637,11 @@ fn join_with_policy_inner(
         },
     );
     let build_qualifying: usize = parts.iter().map(|(_, _, n)| n).sum();
-    let mut table = JoinTable::new(key_width, payload_width);
+    // The observed post-prune cardinality sizes both probe-phase
+    // structures: the hash table's bucket array and the bloom filter's
+    // block count (a filter sized for the raw relation would waste cache
+    // on heavily filtered builds).
+    let mut table = JoinTable::new(key_width, payload_width, build_qualifying);
     table.rows.reserve(build_qualifying * payload_width);
     for (keys, pays, n) in &parts {
         for i in 0..*n {
@@ -529,6 +651,27 @@ fn join_with_policy_inner(
             );
         }
     }
+    // Derive the probe prefilter from the gathered parts: one partial
+    // filter per chunk of build morsels, OR-merged in chunk order (the
+    // merge is commutative, so the result is independent of the policy).
+    let bloom: Option<JoinFilter> = if opts.bloom && build_qualifying > 0 {
+        let partials = run_chunks(&parts, policy, |chunk| {
+            let mut f = JoinFilter::with_capacity(build_qualifying, op.key_types.clone());
+            for (keys, _, n) in chunk {
+                for key in keys.chunks_exact(key_width).take(*n) {
+                    f.insert(key);
+                }
+            }
+            f
+        });
+        let mut filter = JoinFilter::with_capacity(build_qualifying, op.key_types.clone());
+        for p in &partials {
+            filter.merge(p);
+        }
+        Some(filter)
+    } else {
+        None
+    };
     drop(parts);
 
     let mut stats = JoinExecStats {
@@ -537,7 +680,9 @@ fn join_with_policy_inner(
         probe_input_rows: probe_views.rows(),
         probe_rows: 0,
         output_pairs: 0,
-        segments_skipped: 0,
+        build_segments_skipped: 0,
+        probe_segments_skipped: 0,
+        probe_bloom_rejects: 0,
         build_is_left: op.build_is_left,
     };
 
@@ -555,13 +700,17 @@ fn join_with_policy_inner(
             } => kernels::grouped::merge_and_finish(key_types, aggs, Vec::new()),
         }
     } else {
+        let filter = bloom.as_ref();
+        let fuse = opts.fuse && op.fused;
         match &op.select {
             SelectProgram::Project(exprs) => {
                 let width = exprs.len();
-                let (parts, qual, pairs) = probe_parts(
+                let (parts, qual, pairs, rejects) = probe_parts(
                     &probe_views,
                     op,
                     &table,
+                    filter,
+                    false,
                     policy,
                     || {
                         (
@@ -569,7 +718,7 @@ fn join_with_policy_inner(
                             vec![0 as Value; width],
                         )
                     },
-                    |(out, row), tuple| {
+                    |(out, row), tuple, _| {
                         for (slot, e) in row.iter_mut().zip(exprs) {
                             *slot = e.eval_tuple(tuple);
                         }
@@ -578,23 +727,27 @@ fn join_with_policy_inner(
                 );
                 stats.probe_rows = qual;
                 stats.output_pairs = pairs;
+                stats.probe_bloom_rejects = rejects;
                 concat_blocks(width, parts.into_iter().map(|(out, _)| out).collect())
             }
             SelectProgram::Aggregate(aggs) => {
-                let (parts, qual, pairs) = probe_parts(
+                let (parts, qual, pairs, rejects) = probe_parts(
                     &probe_views,
                     op,
                     &table,
+                    filter,
+                    fuse,
                     policy,
                     || -> Vec<AggState> { aggs.iter().map(|(f, _)| AggState::new(*f)).collect() },
-                    |states, tuple| {
+                    |states, tuple, n| {
                         for (st, (_, e)) in states.iter_mut().zip(aggs) {
-                            st.update(e.eval_tuple(tuple));
+                            st.update_n(e.eval_tuple(tuple), n);
                         }
                     },
                 );
                 stats.probe_rows = qual;
                 stats.output_pairs = pairs;
+                stats.probe_bloom_rejects = rejects;
                 merge_and_finish(aggs, parts)
             }
             SelectProgram::Grouped {
@@ -602,10 +755,12 @@ fn join_with_policy_inner(
                 key_types,
                 aggs,
             } => {
-                let (parts, qual, pairs) = probe_parts(
+                let (parts, qual, pairs, rejects) = probe_parts(
                     &probe_views,
                     op,
                     &table,
+                    filter,
+                    fuse,
                     policy,
                     || {
                         (
@@ -614,12 +769,13 @@ fn join_with_policy_inner(
                             vec![0 as Value; aggs.len()],
                         )
                     },
-                    |(t, kb, vb), tuple| {
-                        kernels::grouped::update_from_tuple(t, keys, aggs, kb, vb, tuple)
+                    |(t, kb, vb), tuple, n| {
+                        kernels::grouped::update_from_tuple_n(t, keys, aggs, kb, vb, tuple, n)
                     },
                 );
                 stats.probe_rows = qual;
                 stats.output_pairs = pairs;
+                stats.probe_bloom_rejects = rejects;
                 kernels::grouped::merge_and_finish(
                     key_types,
                     aggs,
@@ -628,63 +784,210 @@ fn join_with_policy_inner(
             }
         }
     };
-    stats.segments_skipped = build_views.segments_skipped() + probe_views.segments_skipped();
+    stats.build_segments_skipped = build_views.segments_skipped();
+    stats.probe_segments_skipped = probe_views.segments_skipped();
     Ok((result, stats))
 }
 
 /// The probe driver: splits the probe side into morsels; per qualifying
-/// probe row, one hash lookup; per matched build row, stitches the
-/// combined tuple buffer and invokes `fold` on the morsel-local
-/// accumulator from `make`. Returns per-morsel accumulators in morsel
-/// order plus the qualifying-row and matched-pair totals.
+/// probe row, an optional build-filter test, then one hash lookup; per
+/// matched build row, stitches the combined tuple buffer and invokes
+/// `fold` on the morsel-local accumulator from `make` with a pair
+/// multiplicity (always `1` unless `fused`). Returns per-morsel
+/// accumulators in morsel order plus the qualifying-row, matched-pair,
+/// and filter-reject totals.
+///
+/// With a filter and a single-column key, qualifying rows batch eight at
+/// a time: the exact `[min, max]` range is tested over the batched key
+/// lanes with the vectorized mask kernels ([`simd::and_pred_masks`]),
+/// surviving lanes take the scalar blocked-bloom word probe and are then
+/// looked up in lane (= ascending row) order — the fold order is exactly
+/// the unfiltered path's, so `F64` sums stay bit-identical. Multi-column
+/// keys test the filter scalar per row.
+#[allow(clippy::too_many_arguments)]
 fn probe_parts<T, M, F>(
     views: &GroupViews<'_>,
     op: &CompiledJoinOp,
     table: &JoinTable,
+    filter: Option<&JoinFilter>,
+    fused: bool,
     policy: &ExecPolicy,
     make: M,
     fold: F,
-) -> (Vec<T>, usize, usize)
+) -> (Vec<T>, usize, usize, u64)
 where
     T: Send,
     M: Fn() -> T + Sync,
-    F: Fn(&mut T, &[Value]) + Sync,
+    F: Fn(&mut T, &[Value], u64) + Sync,
 {
+    // Comparator-key range predicates for the vectorized single-key
+    // prefilter. `CompiledPred.value` lives in cmp-key space, which is
+    // exactly where `JoinFilter` keeps its ranges; the bound attr is
+    // irrelevant when masking a contiguous batch.
+    let range_preds: Option<[CompiledPred; 2]> = match filter {
+        Some(f) if op.probe.keys.len() == 1 => {
+            let (lo, hi) = f.range(0);
+            let attr = BoundAttr { slot: 0, offset: 0 };
+            let ty = op.key_types[0];
+            Some([
+                CompiledPred {
+                    attr,
+                    op: CmpOp::Ge,
+                    ty,
+                    value: lo,
+                },
+                CompiledPred {
+                    attr,
+                    op: CmpOp::Le,
+                    ty,
+                    value: hi,
+                },
+            ])
+        }
+        _ => None,
+    };
     let parts = run_morsels(views.rows(), &policy.aligned_to(views.seg_rows()), |r| {
         let mut acc = make();
         let mut pairs = 0usize;
+        let mut rejects = 0u64;
         let mut key: Vec<Value> = vec![0; op.probe.keys.len()];
         let mut buf: Vec<Value> = vec![0; op.tuple_width];
-        let qual = op.probe.for_qualifying(views, r, |row| {
-            for (slot, &k) in key.iter_mut().zip(&op.probe.keys) {
-                *slot = views.get(k, row);
-            }
-            let Some(idxs) = table.map.get(key.as_slice()) else {
-                return;
-            };
-            // Probe-side lanes are loop-invariant across this row's
-            // matches; build-side lanes are re-stitched per matched row.
-            for &(a, p) in &op.probe.payload {
-                buf[p as usize] = views.get(a, row);
-            }
-            for &idx in idxs {
-                for (&v, &(_, p)) in table.payload(idx).iter().zip(&op.build.payload) {
-                    buf[p as usize] = v;
+        // Batch buffers for the vectorized single-key prefilter.
+        let mut rows_b = [0usize; simd::LANES];
+        let mut keys_b = [0 as Value; simd::LANES];
+        let mut blen = 0usize;
+        let qual = op
+            .probe
+            .for_qualifying(views, r, |row| match (&range_preds, filter) {
+                (Some(preds), Some(f)) => {
+                    keys_b[blen] = views.get(op.probe.keys[0], row);
+                    rows_b[blen] = row;
+                    blen += 1;
+                    if blen < simd::LANES {
+                        return;
+                    }
+                    blen = 0;
+                    let mut masks = [u8::MAX];
+                    let col = simd::RunCol::contiguous(&keys_b[..]);
+                    simd::and_pred_masks(&col, &preds[0], &mut masks);
+                    simd::and_pred_masks(&col, &preds[1], &mut masks);
+                    let mut bits = masks[0] as u32;
+                    rejects += u64::from(simd::LANES as u32 - bits.count_ones());
+                    while bits != 0 {
+                        let i = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if !f.test_lane(keys_b[i]) {
+                            rejects += 1;
+                            continue;
+                        }
+                        probe_one(
+                            views,
+                            op,
+                            table,
+                            fused,
+                            &fold,
+                            &mut acc,
+                            &mut buf,
+                            &mut pairs,
+                            &keys_b[i..=i],
+                            rows_b[i],
+                        );
+                    }
                 }
-                pairs += 1;
-                fold(&mut acc, &buf);
+                (None, Some(f)) => {
+                    for (slot, &k) in key.iter_mut().zip(&op.probe.keys) {
+                        *slot = views.get(k, row);
+                    }
+                    if !f.contains(&key) {
+                        rejects += 1;
+                        return;
+                    }
+                    probe_one(
+                        views, op, table, fused, &fold, &mut acc, &mut buf, &mut pairs, &key, row,
+                    );
+                }
+                _ => {
+                    for (slot, &k) in key.iter_mut().zip(&op.probe.keys) {
+                        *slot = views.get(k, row);
+                    }
+                    probe_one(
+                        views, op, table, fused, &fold, &mut acc, &mut buf, &mut pairs, &key, row,
+                    );
+                }
+            });
+        // Scalar tail: the last partial batch. `contains` applies the
+        // same range + bloom tests as the vectorized flush.
+        if let Some(f) = filter {
+            for i in 0..blen {
+                if !f.contains(&keys_b[i..=i]) {
+                    rejects += 1;
+                    continue;
+                }
+                probe_one(
+                    views,
+                    op,
+                    table,
+                    fused,
+                    &fold,
+                    &mut acc,
+                    &mut buf,
+                    &mut pairs,
+                    &keys_b[i..=i],
+                    rows_b[i],
+                );
             }
-        });
-        (acc, qual, pairs)
+        }
+        (acc, qual, pairs, rejects)
     });
     let mut accs = Vec::with_capacity(parts.len());
-    let (mut qual, mut pairs) = (0usize, 0usize);
-    for (a, q, p) in parts {
+    let (mut qual, mut pairs, mut rejects) = (0usize, 0usize, 0u64);
+    for (a, q, p, rj) in parts {
         accs.push(a);
         qual += q;
         pairs += p;
+        rejects += rj;
     }
-    (accs, qual, pairs)
+    (accs, qual, pairs, rejects)
+}
+
+/// One probe lookup for `key` at probe row `row`: stitch the probe row's
+/// loop-invariant lanes, then fold per matched build row — or **once**
+/// with the match count as multiplicity when `fused` (the build payload
+/// is empty, so every match would stitch the identical tuple).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn probe_one<T, F: Fn(&mut T, &[Value], u64)>(
+    views: &GroupViews<'_>,
+    op: &CompiledJoinOp,
+    table: &JoinTable,
+    fused: bool,
+    fold: &F,
+    acc: &mut T,
+    buf: &mut [Value],
+    pairs: &mut usize,
+    key: &[Value],
+    row: usize,
+) {
+    let Some(idxs) = table.map.get(key) else {
+        return;
+    };
+    // Probe-side lanes are loop-invariant across this row's matches;
+    // build-side lanes are re-stitched per matched row.
+    for &(a, p) in &op.probe.payload {
+        buf[p as usize] = views.get(a, row);
+    }
+    if fused {
+        *pairs += idxs.len();
+        fold(acc, buf, idxs.len() as u64);
+        return;
+    }
+    for &idx in idxs {
+        for (&v, &(_, p)) in table.payload(idx).iter().zip(&op.build.payload) {
+            buf[p as usize] = v;
+        }
+        *pairs += 1;
+        fold(acc, buf, 1);
+    }
 }
 
 #[cfg(test)]
@@ -885,6 +1188,166 @@ mod tests {
         assert_eq!(fstats.output_pairs, stats.output_pairs);
         assert_eq!(fstats.build_rows, stats.probe_rows);
         assert!(stats.output_pairs > 0);
+    }
+
+    #[test]
+    fn fast_path_toggles_never_change_results() {
+        let toggles = [
+            JoinOptions {
+                bloom: true,
+                fuse: false,
+            },
+            JoinOptions {
+                bloom: false,
+                fuse: true,
+            },
+            JoinOptions::default(),
+        ];
+        for segmented in [false, true] {
+            let (photo, spec) = fixture(segmented);
+            for q in queries() {
+                let checked = check_join(&q).unwrap();
+                for strategy in Strategy::ALL {
+                    let lp = AccessPlan::new(photo.catalog().layout_ids(), strategy);
+                    let rp = AccessPlan::new(spec.catalog().layout_ids(), strategy);
+                    for build_is_left in [true, false] {
+                        let op = compile_join(
+                            photo.catalog(),
+                            spec.catalog(),
+                            &lp,
+                            &rp,
+                            &q,
+                            &checked,
+                            build_is_left,
+                        )
+                        .unwrap();
+                        let (base, bstats) = execute_join_with_policy_opts(
+                            photo.catalog(),
+                            spec.catalog(),
+                            &op,
+                            &par_policy(),
+                            JoinOptions {
+                                bloom: false,
+                                fuse: false,
+                            },
+                        )
+                        .unwrap();
+                        assert_eq!(bstats.probe_bloom_rejects, 0);
+                        for opts in toggles {
+                            let (got, stats) = execute_join_with_policy_opts(
+                                photo.catalog(),
+                                spec.catalog(),
+                                &op,
+                                &par_policy(),
+                                opts,
+                            )
+                            .unwrap();
+                            assert_eq!(
+                                got.data(),
+                                base.data(),
+                                "opts {opts:?} strategy {} build_is_left {build_is_left} \
+                                 segmented {segmented} query {q}",
+                                strategy.name()
+                            );
+                            assert_eq!(stats.output_pairs, bstats.output_pairs);
+                            assert_eq!(stats.probe_rows, bstats.probe_rows);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_rollups_match_two_phase_and_bloom_counts_rejects() {
+        let (photo, spec) = fixture(false);
+        // Selects that read only one side: with the other side building,
+        // the build payload is empty and the operator fuses.
+        let jb = || Query::join(("photo", photo_schema()), ("spec", spec_schema()));
+        let z = jb().col("z").unwrap();
+        let flags = jb().col("flags").unwrap();
+        let cases = [
+            // Scalar aggregate over spec attrs only: photo builds.
+            (
+                jb().on("objID", "bestObjID")
+                    .unwrap()
+                    .aggregate([Aggregate::sum(z), Aggregate::count()])
+                    .unwrap(),
+                true,
+            ),
+            // Grouped rollup over photo attrs only: spec builds.
+            (
+                jb().on("objID", "bestObjID")
+                    .unwrap()
+                    .grouped([flags], [Aggregate::count()])
+                    .unwrap(),
+                false,
+            ),
+        ];
+        for (q, build_is_left) in cases {
+            let checked = check_join(&q).unwrap();
+            let want = interpret_join(photo.catalog(), spec.catalog(), &q).unwrap();
+            for strategy in Strategy::ALL {
+                let lp = AccessPlan::new(photo.catalog().layout_ids(), strategy);
+                let rp = AccessPlan::new(spec.catalog().layout_ids(), strategy);
+                let op = compile_join(
+                    photo.catalog(),
+                    spec.catalog(),
+                    &lp,
+                    &rp,
+                    &q,
+                    &checked,
+                    build_is_left,
+                )
+                .unwrap();
+                assert!(op.fused(), "one-sided aggregate select must fuse");
+                // And the flipped roles put select attrs on the build
+                // side, so fusion is off.
+                let flipped = compile_join(
+                    photo.catalog(),
+                    spec.catalog(),
+                    &lp,
+                    &rp,
+                    &q,
+                    &checked,
+                    !build_is_left,
+                )
+                .unwrap();
+                if q.is_grouped() {
+                    assert!(!flipped.fused());
+                }
+                for policy in [ExecPolicy::serial(), par_policy()] {
+                    let (fast, fstats) = execute_join_with_policy_opts(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &op,
+                        &policy,
+                        JoinOptions::default(),
+                    )
+                    .unwrap();
+                    let (slow, sstats) = execute_join_with_policy_opts(
+                        photo.catalog(),
+                        spec.catalog(),
+                        &op,
+                        &policy,
+                        JoinOptions {
+                            bloom: false,
+                            fuse: false,
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(fast.data(), slow.data());
+                    assert_eq!(fast.fingerprint(), want.fingerprint());
+                    assert_eq!(fstats.output_pairs, sstats.output_pairs);
+                    // With photo building, spec rows with bestObjID in
+                    // 8..12 fall outside the build key range [0, 7] and
+                    // are rejected before the hash lookup.
+                    if build_is_left {
+                        assert!(fstats.probe_bloom_rejects >= 8, "stats {fstats:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

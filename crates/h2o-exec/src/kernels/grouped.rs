@@ -61,6 +61,30 @@ pub(crate) fn update_from_tuple(
     table.update(key_buf, val_buf);
 }
 
+/// [`update_from_tuple`] with a pair multiplicity: folds the tuple's key
+/// and aggregate inputs `n` times in one table probe
+/// ([`GroupedAggs::update_n`]). The fused join-aggregate path uses this to
+/// collapse a probe row's `n` identical build matches into a single
+/// factorized update.
+#[inline]
+pub(crate) fn update_from_tuple_n(
+    table: &mut GroupedAggs,
+    keys: &[CompiledExpr],
+    aggs: &[(AggOp, CompiledExpr)],
+    key_buf: &mut [Value],
+    val_buf: &mut [Value],
+    tuple: &[Value],
+    n: u64,
+) {
+    for (slot, k) in key_buf.iter_mut().zip(keys) {
+        *slot = k.eval_tuple(tuple);
+    }
+    for (slot, (_, e)) in val_buf.iter_mut().zip(aggs) {
+        *slot = e.eval_tuple(tuple);
+    }
+    table.update_n(key_buf, val_buf, n);
+}
+
 /// Fused grouped aggregation over one row range, returning a mergeable
 /// per-range table. Single-group plans walk contiguous segment runs and
 /// evaluate keys/inputs against the sliced tuple (no per-access slot

@@ -67,6 +67,7 @@
 //! piggybacked query's partials merge exactly as above.
 
 pub mod bind;
+pub mod bloom;
 pub mod cancel;
 pub mod compile;
 pub mod filter;
@@ -80,6 +81,7 @@ pub mod reorg;
 pub mod selvec;
 
 pub use bind::{BoundAttr, GroupViews, SegRun, SlotAccessor};
+pub use bloom::JoinFilter;
 pub use cancel::{CancelReason, CancelToken, CANCEL_CHECK_ROWS};
 pub use compile::{
     compile, compile_checked, execute, execute_with_policy, execute_with_policy_cancel,
@@ -89,7 +91,8 @@ pub use compile::{
 pub use filter::CompiledFilter;
 pub use join::{
     compile_join, execute_join, execute_join_with_policy, execute_join_with_policy_cancel,
-    CompiledJoinOp, CompiledJoinSide, JoinExecStats,
+    execute_join_with_policy_opts, execute_join_with_policy_opts_cancel, CompiledJoinOp,
+    CompiledJoinSide, JoinExecStats, JoinOptions,
 };
 pub use opcache::{CompileCostModel, OperatorCache, OperatorKey};
 pub use parallel::ExecPolicy;

@@ -196,11 +196,66 @@ impl AggState {
         }
     }
 
+    /// Folds one input lane `n` times — **bit-identical** to calling
+    /// [`Self::update`] `n` times with the same `v`, at `O(1)` cost for
+    /// every function except the `F64` sum. This is the factorized-
+    /// aggregation primitive of join-aggregate fusion: a probe row whose
+    /// key matches `n` build rows contributes `n` identical updates, which
+    /// collapse to one `update_n`.
+    ///
+    /// Integer sums use `v * n` (exact modulo 2^64, same bits as `n`
+    /// wrapping adds); min/max/count fold the extremum once and advance
+    /// the count by `n`. The `F64` sum is the one accumulator whose fold
+    /// order is pinned (module docs), and repeated addition of the same
+    /// value is *not* expressible as one multiply under IEEE-754 rounding
+    /// — so it performs the `n` additions sequentially, preserving the
+    /// exact bit pattern of the unfused loop.
+    #[inline]
+    pub fn update_n(&mut self, v: Value, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.op.func {
+            AggFunc::Sum => self.sum = self.add_n_to_sum(v, n),
+            AggFunc::Min => {
+                self.min = self.min.min(self.op.ty.cmp_key(v));
+                self.count += n;
+            }
+            AggFunc::Max => {
+                self.max = self.max.max(self.op.ty.cmp_key(v));
+                self.count += n;
+            }
+            AggFunc::Count => self.count += n,
+            AggFunc::Avg => {
+                self.sum = self.add_n_to_sum(v, n);
+                self.count += n;
+            }
+        }
+    }
+
     #[inline(always)]
     fn add_to_sum(&self, v: Value) -> Value {
         match self.op.ty {
             LogicalType::F64 => f64_lane(lane_f64(self.sum) + lane_f64(v)),
             _ => self.sum.wrapping_add(v),
+        }
+    }
+
+    #[inline]
+    fn add_n_to_sum(&self, v: Value, n: u64) -> Value {
+        match self.op.ty {
+            LogicalType::F64 => {
+                // n sequential additions: IEEE-754 rounding makes a + n*v
+                // differ from ((a+v)+v)+... in general, and the fused path
+                // must be bit-identical to the unfused per-pair loop.
+                let mut a = lane_f64(self.sum);
+                let x = lane_f64(v);
+                for _ in 0..n {
+                    a += x;
+                }
+                f64_lane(a)
+            }
+            _ => self.sum.wrapping_add(v.wrapping_mul(n as Value)),
         }
     }
 
@@ -506,6 +561,49 @@ mod tests {
             fold(AggFunc::Sum, &[i64::MAX, 1, 5]),
             fold(AggFunc::Sum, &[5, 1, i64::MAX]),
         );
+    }
+
+    #[test]
+    fn update_n_is_bit_identical_to_repeated_update() {
+        // Integer functions, including the wrapping edge.
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Count,
+            AggFunc::Avg,
+        ] {
+            for v in [0 as Value, 7, -3, i64::MAX, i64::MIN] {
+                for n in [0u64, 1, 2, 5, 1000] {
+                    let mut fused = AggState::new(f);
+                    fused.update(13);
+                    let mut looped = fused;
+                    fused.update_n(v, n);
+                    for _ in 0..n {
+                        looped.update(v);
+                    }
+                    assert_eq!(fused, looped, "{} v={v} n={n}", f.name());
+                }
+            }
+        }
+        // F64 sums: repeated addition must keep the exact rounding of the
+        // sequential loop (1e16 absorbs 1.0 once per add — a multiply
+        // would not reproduce those bits).
+        for f in [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            for v in [1.0f64, 0.1, -2.5e15, f64::NAN] {
+                for n in [0u64, 1, 3, 17] {
+                    let op = AggOp::new(f, LogicalType::F64);
+                    let mut fused = AggState::new(op);
+                    fused.update(f64_lane(1e16));
+                    let mut looped = fused;
+                    fused.update_n(f64_lane(v), n);
+                    for _ in 0..n {
+                        looped.update(f64_lane(v));
+                    }
+                    assert_eq!(fused, looped, "{} v={v} n={n}", f.name());
+                }
+            }
+        }
     }
 
     #[test]

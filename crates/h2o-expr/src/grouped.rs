@@ -84,6 +84,36 @@ impl GroupedAggs {
         }
     }
 
+    /// Folds one qualifying tuple `n` times — bit-identical to `n` calls
+    /// of [`Self::update`] with the same key/vals, at one hash probe and
+    /// `O(1)` per-aggregate cost (except pinned-order `F64` sums; see
+    /// [`AggState::update_n`]). The grouped half of join-aggregate fusion:
+    /// a probe row matching `n` build rows folds once with multiplicity
+    /// `n` instead of walking the matched pairs.
+    #[inline]
+    pub fn update_n(&mut self, key: &[Value], vals: &[Value], n: u64) {
+        debug_assert_eq!(key.len(), self.key_width());
+        debug_assert_eq!(vals.len(), self.ops.len());
+        if n == 0 {
+            return;
+        }
+        match self.map.get_mut(key) {
+            Some(states) => {
+                for (st, &v) in states.iter_mut().zip(vals) {
+                    st.update_n(v, n);
+                }
+            }
+            None => {
+                let mut states: Vec<AggState> =
+                    self.ops.iter().map(|&op| AggState::new(op)).collect();
+                for (st, &v) in states.iter_mut().zip(vals) {
+                    st.update_n(v, n);
+                }
+                self.map.insert(key.into(), states);
+            }
+        }
+    }
+
     /// Merges another table into this one — the combine step of parallel
     /// execution. Per-key states merge through [`AggState::merge`], whose
     /// operations are associative and commutative, so any merge order over
@@ -206,6 +236,26 @@ mod tests {
             }
             assert_eq!(merged.finish(), want, "chunk={chunk}");
         }
+    }
+
+    #[test]
+    fn update_n_matches_repeated_update() {
+        let tuples: Vec<(Value, Value, u64)> = (0..30)
+            .map(|i| (i % 4, i * 5 - 11, (i % 3) as u64))
+            .collect();
+        let mut looped = GroupedAggs::untyped(1, [AggFunc::Sum, AggFunc::Min, AggFunc::Count]);
+        let mut fused = GroupedAggs::untyped(1, [AggFunc::Sum, AggFunc::Min, AggFunc::Count]);
+        for &(k, v, n) in &tuples {
+            for _ in 0..n {
+                looped.update(&[k], &[v, v, v]);
+            }
+            fused.update_n(&[k], &[v, v, v], n);
+        }
+        assert_eq!(fused.finish(), looped.finish());
+        // n = 0 creates no group.
+        let mut t = GroupedAggs::untyped(1, [AggFunc::Count]);
+        t.update_n(&[99], &[1], 0);
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! evaluation is single-relation (§2.2); joins are this reproduction's
 //! extension of the adaptive story — the engine observes join-side access
 //! patterns, so adaptive storage and join ordering co-evolve (see the
-//! workspace README and `h2o_core::H2oEngine::execute_join`).
+//! workspace README; the engine runs joins via
+//! `h2o_core::Request::join` through `H2oEngine::run`).
 //!
 //! # The combined attribute space
 //!

@@ -9,7 +9,8 @@
 //!
 //! * `id` — echoed verbatim in the response (any JSON value; `null`
 //!   when a line is too malformed to extract one).
-//! * `kind` — `"query"`, `"join"`, `"prepare"`, `"exec"` or `"ping"`.
+//! * `kind` — `"query"`, `"join"`, `"prepare"`, `"exec"`, `"ping"` or
+//!   `"stats"` (an engine/server counter snapshot).
 //! * `q` — the query document ([`h2o_expr::wire`] encoding): a
 //!   single-relation query against the primary relation, or (for
 //!   `"join"`) a two-relation document with `"left"`/`"right"`
@@ -121,6 +122,9 @@ pub fn options_from_json(j: &Json) -> Result<WireOptions, WireError> {
 pub enum WireRequest {
     /// Liveness probe; answered without taking an admission slot.
     Ping,
+    /// Engine + server counter snapshot; answered without taking an
+    /// admission slot.
+    Stats,
     /// One-shot single-relation query against the primary relation.
     Query {
         q: Query,
@@ -164,6 +168,7 @@ pub fn request_from_json(
     };
     match kind {
         "ping" => Ok(WireRequest::Ping),
+        "stats" => Ok(WireRequest::Stats),
         "query" => {
             let q = query_from_json(j.get("q"), primary)?;
             let opts = options_from_json(j.get("opts"))?;
@@ -210,7 +215,7 @@ pub fn request_from_json(
             })
         }
         other => Err(ServerError::Wire(WireError::Shape(format!(
-            "\"kind\" must be one of \"query\", \"join\", \"prepare\", \"exec\", \"ping\"; got \"{other}\""
+            "\"kind\" must be one of \"query\", \"join\", \"prepare\", \"exec\", \"ping\", \"stats\"; got \"{other}\""
         )))),
     }
 }
@@ -269,7 +274,7 @@ mod tests {
         assert_eq!(
             err.to_string(),
             "malformed request: \"kind\" must be one of \"query\", \"join\", \"prepare\", \
-             \"exec\", \"ping\"; got \"drop\""
+             \"exec\", \"ping\", \"stats\"; got \"drop\""
         );
     }
 

@@ -340,6 +340,7 @@ fn handle_request(
             Json::Obj(vec![("pong".to_string(), Json::Bool(true))]),
             None,
         )),
+        WireRequest::Stats => Ok(protocol::ok_line(id, stats_body(shared), None)),
         WireRequest::Prepare { name, q } => {
             let params = q.filter().predicates().len() as i64;
             let body = Json::Obj(vec![
@@ -364,6 +365,59 @@ fn handle_request(
         }
         WireRequest::Join { q, opts, check } => run_join(id, &q, opts, check, shared),
     }
+}
+
+/// Renders the `"stats"` response: the engine's lifetime counters (the
+/// join fast path's pruning/filtering among them) plus the serving
+/// counters. Like `"ping"`, answered without an admission slot — stats
+/// must stay observable while the engine is saturated.
+fn stats_body(shared: &Shared) -> Json {
+    let e = shared.engine.stats();
+    let c = &shared.counters;
+    let int = |v: u64| Json::Int(v as i64);
+    Json::Obj(vec![
+        (
+            "engine".to_string(),
+            Json::Obj(vec![
+                ("queries".to_string(), int(e.queries)),
+                ("adaptations".to_string(), int(e.adaptations)),
+                ("layouts_created".to_string(), int(e.layouts_created)),
+                ("rows_appended".to_string(), int(e.rows_appended)),
+                ("segments_skipped".to_string(), int(e.segments_skipped)),
+                (
+                    "probe_bloom_rejects".to_string(),
+                    int(e.probe_bloom_rejects),
+                ),
+                ("shifts_detected".to_string(), int(e.shifts_detected)),
+                ("reorgs_completed".to_string(), int(e.reorgs_completed)),
+                ("queries_panicked".to_string(), int(e.queries_panicked)),
+            ]),
+        ),
+        (
+            "server".to_string(),
+            Json::Obj(vec![
+                (
+                    "connections".to_string(),
+                    int(c.connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "requests".to_string(),
+                    int(c.requests.load(Ordering::Relaxed)),
+                ),
+                ("ok".to_string(), int(c.ok.load(Ordering::Relaxed))),
+                ("errors".to_string(), int(c.errors.load(Ordering::Relaxed))),
+                ("shed".to_string(), int(c.shed.load(Ordering::Relaxed))),
+                (
+                    "checked".to_string(),
+                    int(c.checked.load(Ordering::Relaxed)),
+                ),
+                (
+                    "mismatches".to_string(),
+                    int(c.mismatches.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ])
 }
 
 /// Rebinds a prepared statement's filter constants: `params` supplies

@@ -196,6 +196,33 @@ fn prepared_statements_rebind_constants_per_exec() {
 }
 
 #[test]
+fn stats_kind_reports_engine_and_server_counters() {
+    let handle = start(5_000, ServerConfig::default());
+    let mut c = Client::connect(handle.addr());
+    // The join probes R against dim's keys (multiples of four, max 252):
+    // most of R's ids fall outside the build filter's key range or miss
+    // the bloom, so the engine's reject counter must move.
+    assert_checked_ok(&c.roundtrip(JOIN));
+    let stats = c.roundtrip(r#"{"id":9,"kind":"stats"}"#);
+    let engine = stats.get("ok").get("engine");
+    assert!(engine.get("queries").int("queries").unwrap() >= 1);
+    assert!(
+        engine
+            .get("probe_bloom_rejects")
+            .int("probe_bloom_rejects")
+            .unwrap()
+            > 0,
+        "join probes past the filter should have been rejected: {stats:?}"
+    );
+    let server = stats.get("ok").get("server");
+    // The stats line itself is the second request; its own "ok" is
+    // counted only after the body renders.
+    assert_eq!(server.get("requests").int("requests").unwrap(), 2);
+    assert_eq!(server.get("ok").int("ok").unwrap(), 1);
+    assert_eq!(server.get("mismatches").int("mismatches").unwrap(), 0);
+}
+
+#[test]
 fn malformed_and_failing_requests_render_typed_messages() {
     let handle = start(
         50_000,
@@ -229,7 +256,7 @@ fn malformed_and_failing_requests_render_typed_messages() {
     let shape = c.roundtrip(r#"{"id":2,"kind":"truncate"}"#);
     assert_eq!(
         shape.get("err").get("msg").str("msg").unwrap(),
-        "malformed request: \"kind\" must be one of \"query\", \"join\", \"prepare\", \"exec\", \"ping\"; got \"truncate\""
+        "malformed request: \"kind\" must be one of \"query\", \"join\", \"prepare\", \"exec\", \"ping\", \"stats\"; got \"truncate\""
     );
 
     // Valid shape, invalid query against the schema.

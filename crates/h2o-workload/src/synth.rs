@@ -120,6 +120,61 @@ pub fn gen_fk_column(
         .collect()
 }
 
+/// Generates one **sparse** key column: `rows` values uniformly drawn
+/// from the even numbers in `[0, 2·cardinality)`. Pairs with
+/// [`gen_fk_column_in_domain`]: because every key is even, the odd
+/// values in between are guaranteed non-joining yet sit *inside* the
+/// key range — misses a `[min, max]` check alone cannot reject.
+pub fn gen_sparse_key_column(rows: usize, cardinality: u64, seed: u64) -> Vec<Value> {
+    gen_key_column(rows, cardinality, seed)
+        .into_iter()
+        .map(|v| v * 2)
+        .collect()
+}
+
+/// [`gen_fk_column`] with **in-domain** misses: instead of out-of-range
+/// sentinels, each miss is an *odd* value uniformly drawn from inside
+/// `parent`'s `[min, max]` key span. Every value of `parent` must be
+/// even ([`gen_sparse_key_column`]); the misses then provably never
+/// join while remaining indistinguishable from matches to a range
+/// check — the regime that exercises a bloom filter's hash bits rather
+/// than its range guard. `match_rate` and `skew` behave exactly as in
+/// [`gen_fk_column`].
+pub fn gen_fk_column_in_domain(
+    rows: usize,
+    parent: &[Value],
+    match_rate: f64,
+    skew: f64,
+    seed: u64,
+) -> Vec<Value> {
+    assert!(!parent.is_empty(), "foreign keys need parent keys");
+    assert!(
+        parent.iter().all(|v| v % 2 == 0),
+        "in-domain misses require even (sparse) parent keys"
+    );
+    let match_rate = match_rate.clamp(0.0, 1.0);
+    let skew = skew.clamp(0.0, 1.0);
+    let hot = parent.len().div_ceil(10);
+    let lo = *parent.iter().min().unwrap();
+    let hi = *parent.iter().max().unwrap();
+    let gaps = ((hi - lo) / 2).max(1);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x696e_646f); // "indo"
+    (0..rows)
+        .map(|_| {
+            if rng.gen_bool(match_rate) {
+                let idx = if rng.gen_bool(skew) {
+                    rng.gen_range(0..hot)
+                } else {
+                    rng.gen_range(0..parent.len())
+                };
+                parent[idx]
+            } else {
+                lo + rng.gen_range(0..gaps) * 2 + 1
+            }
+        })
+        .collect()
+}
+
 /// [`gen_columns`] with the first `key_attrs` columns replaced by
 /// low-cardinality key columns (`[0, cardinality)`); the remaining columns
 /// keep the paper's uniform `[−10⁹, 10⁹)` distribution.
@@ -224,6 +279,31 @@ mod tests {
         assert!(gen_fk_column(100, &[42], 1.0, 1.0, 1)
             .iter()
             .all(|&v| v == 42));
+    }
+
+    #[test]
+    fn in_domain_misses_stay_inside_the_parent_key_range() {
+        let parent = gen_sparse_key_column(1_000, 4_096, 3);
+        assert!(parent.iter().all(|&v| v % 2 == 0), "sparse keys are even");
+        let parents: std::collections::HashSet<Value> = parent.iter().copied().collect();
+        let lo = *parent.iter().min().unwrap();
+        let hi = *parent.iter().max().unwrap();
+
+        let fk = gen_fk_column_in_domain(20_000, &parent, 0.2, 0.0, 7);
+        assert_eq!(
+            fk,
+            gen_fk_column_in_domain(20_000, &parent, 0.2, 0.0, 7),
+            "deterministic"
+        );
+        let matched = fk.iter().filter(|v| parents.contains(v)).count() as f64 / fk.len() as f64;
+        assert!((matched - 0.2).abs() < 0.02, "match rate: {matched}");
+        // The whole point: misses are odd values *between* real parent
+        // keys, so a `[min,max]` range check alone cannot reject them —
+        // only the bloom bits can.
+        for &v in fk.iter().filter(|v| !parents.contains(v)) {
+            assert!(v % 2 != 0, "miss {v} collides with the even key domain");
+            assert!((lo..=hi).contains(&v), "miss {v} escaped [{lo},{hi}]");
+        }
     }
 
     #[test]

@@ -217,6 +217,41 @@
 //! deadline and morsel budget thread through both the build and probe
 //! phases.
 //!
+//! **The probe fast path.** Three execution shortcuts keep the probe
+//! loop cheap without changing a single output bit:
+//!
+//! * *Bloom-filtered probes* — the finished build side is folded
+//!   (morsel-parallel, OR-merged in morsel order) into a
+//!   [`JoinFilter`](h2o_exec::JoinFilter): a blocked bloom filter plus
+//!   an exact per-key `[min,max]` range in comparator-key space, sized
+//!   from the post-prune build cardinality. Probes test the range with
+//!   the existing SIMD mask kernels and the bloom bits per surviving
+//!   lane *before* touching the hash table, so low-match-rate probes
+//!   skip the random-access lookup
+//!   ([`JoinExecStats::probe_bloom_rejects`](h2o_exec::JoinExecStats)
+//!   counts the savings). No false negatives ⇒ bit-identical on or off
+//!   (`tests/join_fastpath.rs` proptests it).
+//! * *Join-aggregate fusion* — when no select expression reads a
+//!   build-side attribute, the build payload is empty and a probe
+//!   row's `k` matches are `k` identical aggregate updates;
+//!   [`compile_join`](h2o_exec::compile_join) detects this
+//!   ([`CompiledJoinOp::fused`](h2o_exec::CompiledJoinOp::fused)) and
+//!   the probe folds one multiplicity-weighted update instead —
+//!   `f64` sums apply the multiplicity as sequential adds, preserving
+//!   the pinned fold order and the serial ≡ parallel fingerprint
+//!   contract.
+//! * *Build pruning + costed sizing* — build-side zone maps prune
+//!   segment runs before hashing, the surviving cardinality sizes the
+//!   hash table and filter, and the `h2o-cost` model prices the filter
+//!   build and per-probe test so build-side choice stays honest.
+//!
+//! Both toggles default on;
+//! [`JoinOptions`](h2o_exec::JoinOptions) /
+//! [`execute_join_with_policy_opts`](h2o_exec::execute_join_with_policy_opts)
+//! switch them off for differential runs, and `fig21_join`'s
+//! `bloom`/`fusion` entries gate the win in CI
+//! (`check_guardrail --min-bloom-speedup/--min-fusion-speedup`).
+//!
 //! ## One entry point: `run` and `ExecOptions`
 //!
 //! Every query — single-relation or join, plain or hinted, bounded or
